@@ -1,0 +1,29 @@
+//! Runtime ablations: k (APs per pin) and coordinate-type restriction
+//! (quality ablations live in `tables -- ablations`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pao_core::{CoordType, PaoConfig, PinAccessOracle};
+use pao_testgen::{generate, SuiteCase};
+
+fn bench_ablations(c: &mut Criterion) {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for k in [1usize, 3, 8] {
+        g.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            let mut cfg = PaoConfig::default();
+            cfg.apgen.k = k;
+            b.iter(|| PinAccessOracle::with_config(cfg.clone()).analyze(&tech, &design))
+        });
+    }
+    g.bench_function("on_track_only", |b| {
+        let mut cfg = PaoConfig::default();
+        cfg.apgen.pref_types = vec![CoordType::OnTrack];
+        cfg.apgen.nonpref_types = vec![CoordType::OnTrack];
+        b.iter(|| PinAccessOracle::with_config(cfg.clone()).analyze(&tech, &design))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

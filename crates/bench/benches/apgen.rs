@@ -1,0 +1,36 @@
+//! Benchmarks step 1 (access point generation): PAAF vs the TrRte-like
+//! baseline (Table II's runtime columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pao_core::PinAccessOracle;
+use pao_router::{baseline_pin_access, BaselineConfig};
+use pao_testgen::{generate, SuiteCase, TechFlavor};
+
+fn bench_case() -> SuiteCase {
+    SuiteCase {
+        name: "bench300".into(),
+        flavor: TechFlavor::N45,
+        cells: 300,
+        macros: 0,
+        nets: 250,
+        io_pins: 8,
+        utilization: 82,
+        seed: 77,
+    }
+}
+
+fn bench_apgen(c: &mut Criterion) {
+    let (tech, design) = generate(&bench_case());
+    let mut g = c.benchmark_group("apgen");
+    g.sample_size(10);
+    g.bench_function("paaf_full_analysis", |b| {
+        b.iter(|| PinAccessOracle::new().analyze(&tech, &design))
+    });
+    g.bench_function("trrte_baseline", |b| {
+        b.iter(|| baseline_pin_access(&tech, &design, &BaselineConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apgen);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks DRC engine primitives (the inner loop of Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pao_core::unique::{build_instance_context, local_pin_owner};
+use pao_drc::DrcEngine;
+use pao_geom::Point;
+use pao_testgen::{generate, SuiteCase};
+
+fn bench_drc(c: &mut Criterion) {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    let engine = DrcEngine::new(&tech);
+    let comp = pao_design::CompId(0);
+    let ctx = build_instance_context(&tech, &design, comp);
+    let pin_shape = design
+        .placed_pin_shapes(&tech, comp)
+        .first()
+        .copied()
+        .expect("component has pins");
+    let at = pin_shape.2.center();
+    let via = tech.via(tech.up_vias_from(pin_shape.1)[0]);
+    let mut g = c.benchmark_group("drc");
+    g.bench_function("check_via_placement", |b| {
+        b.iter(|| engine.check_via_placement(via, at, local_pin_owner(pin_shape.0), &ctx))
+    });
+    g.bench_function("check_via_placement_offset", |b| {
+        b.iter(|| {
+            engine.check_via_placement(
+                via,
+                at + Point::new(37, 53),
+                local_pin_owner(pin_shape.0),
+                &ctx,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_drc);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmarks step 2 (access pattern generation): the DP with and
+//! without BCA (Table III's runtime columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pao_core::{PaoConfig, PinAccessOracle};
+use pao_testgen::{generate, SuiteCase, TechFlavor};
+
+fn bench_patterns(c: &mut Criterion) {
+    let case = SuiteCase {
+        name: "bench300".into(),
+        flavor: TechFlavor::N32A,
+        cells: 300,
+        macros: 0,
+        nets: 250,
+        io_pins: 8,
+        utilization: 82,
+        seed: 78,
+    };
+    let (tech, design) = generate(&case);
+    let mut g = c.benchmark_group("patterns");
+    g.sample_size(10);
+    g.bench_function("with_bca_3_patterns", |b| {
+        b.iter(|| PinAccessOracle::new().analyze(&tech, &design))
+    });
+    g.bench_function("without_bca_1_pattern", |b| {
+        let mut cfg = PaoConfig::default();
+        cfg.pattern.bca = false;
+        cfg.pattern.max_patterns = 1;
+        b.iter(|| PinAccessOracle::with_config(cfg.clone()).analyze(&tech, &design))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

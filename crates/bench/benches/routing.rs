@@ -1,0 +1,25 @@
+//! Benchmarks the routing scaffold (Experiment 3's two arms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pao_core::PinAccessOracle;
+use pao_router::route::{RouteConfig, Router};
+use pao_testgen::{generate, SuiteCase};
+
+fn bench_routing(c: &mut Criterion) {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    let pao = PinAccessOracle::new().analyze(&tech, &design);
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(10);
+    g.bench_function("route_with_pao", |b| {
+        b.iter(|| Router::new(&tech, &design, RouteConfig::default()).route_with_pao(&pao))
+    });
+    g.bench_function("route_with_center_access", |b| {
+        b.iter(|| {
+            Router::new(&tech, &design, RouteConfig::default()).route_with_accessor(|_, _| None)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Experiment harness shared by the `tables` binary and the Criterion
+//! benches: runs the paper's Experiments 1–3 on the synthetic suite and
+//! formats the corresponding tables.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run_expt1, run_expt2, run_expt3, Expt1Row, Expt2Row, Expt3Outcome};
+pub use report::{print_table, Table};

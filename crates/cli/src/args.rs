@@ -1,0 +1,117 @@
+//! Tiny dependency-free argument parser.
+
+/// Parsed command-line arguments: positionals in order, `--flag` booleans,
+/// and `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: Vec<String>,
+    values: Vec<(String, String)>,
+}
+
+/// Options that take a value (everything else starting with `--` is a
+/// boolean flag).
+const VALUE_OPTS: [&str; 8] = [
+    "--threads",
+    "--k",
+    "--report",
+    "--svg",
+    "--lef",
+    "--def",
+    "--out",
+    "--cache",
+];
+
+impl Args {
+    /// Parses a raw argument vector.
+    #[must_use]
+    pub fn parse(raw: Vec<String>) -> Args {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some((k, v)) = a.split_once('=') {
+                if k.starts_with("--") {
+                    out.values.push((k.to_owned(), v.to_owned()));
+                    continue;
+                }
+            }
+            if VALUE_OPTS.contains(&a.as_str()) {
+                if let Some(v) = it.next() {
+                    out.values.push((a, v));
+                }
+            } else if a.starts_with("--") {
+                out.flags.push(a);
+            } else {
+                out.positionals.push(a);
+            }
+        }
+        out
+    }
+
+    /// The `i`-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when missing.
+    pub fn positional(&self, i: usize) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing argument #{}", i + 1))
+    }
+
+    /// `true` when `--name` was given.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name value` or `--name=value`.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned).collect())
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse("analyze tech.lef top.def --no-bca");
+        assert_eq!(a.positional(0).unwrap(), "analyze");
+        assert_eq!(a.positional(1).unwrap(), "tech.lef");
+        assert_eq!(a.positional(2).unwrap(), "top.def");
+        assert!(a.flag("--no-bca"));
+        assert!(!a.flag("--naive"));
+        assert!(a.positional(3).is_err());
+    }
+
+    #[test]
+    fn values_space_and_equals() {
+        let a = parse("analyze x y --threads 4 --report=out.txt");
+        assert_eq!(a.value("--threads"), Some("4"));
+        assert_eq!(a.value("--report"), Some("out.txt"));
+        assert_eq!(a.value("--k"), None);
+    }
+
+    #[test]
+    fn svg_spec_keeps_colon() {
+        let a = parse("analyze x y --svg u42:cell.svg");
+        assert_eq!(a.value("--svg"), Some("u42:cell.svg"));
+    }
+
+    #[test]
+    fn missing_value_is_dropped_gracefully() {
+        let a = parse("gen smoke --lef");
+        assert_eq!(a.value("--lef"), None);
+    }
+}

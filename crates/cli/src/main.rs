@@ -1,0 +1,251 @@
+//! `pao` — command-line pin access analysis.
+//!
+//! ```text
+//! pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
+//!             [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
+//! pao route   <tech.lef> <design.def> [--naive] [--report FILE]
+//! pao drc     <tech.lef> <design.def>
+//! pao gen     <case> --lef FILE --def FILE      (case: ispd18s_test1..10,
+//!                                                aes14, smoke, or `list`)
+//! ```
+
+use pao_core::{PaoConfig, PinAccessOracle};
+use pao_design::Design;
+use pao_tech::Tech;
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn load_world(lef_path: &str, def_path: &str) -> Result<(Tech, Design), String> {
+    let lef = std::fs::read_to_string(lef_path)
+        .map_err(|e| format!("cannot read LEF `{lef_path}`: {e}"))?;
+    let tech = pao_tech::lef::parse_lef(&lef).map_err(|e| e.to_string())?;
+    let def = std::fs::read_to_string(def_path)
+        .map_err(|e| format!("cannot read DEF `{def_path}`: {e}"))?;
+    let design = pao_design::def::parse_def(&def, &tech).map_err(|e| e.to_string())?;
+    Ok((tech, design))
+}
+
+fn emit(report: Option<&str>, content: &str) -> Result<(), String> {
+    match report {
+        Some(path) => std::fs::write(path, content)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))
+            .map(|()| eprintln!("wrote {path}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+    let mut cfg = PaoConfig::default();
+    if let Some(t) = args.value("--threads") {
+        cfg.threads = t
+            .parse()
+            .map_err(|_| "--threads expects a number".to_owned())?;
+    }
+    if let Some(k) = args.value("--k") {
+        cfg.apgen.k = k.parse().map_err(|_| "--k expects a number".to_owned())?;
+    }
+    if args.flag("--no-bca") {
+        cfg.pattern.bca = false;
+        cfg.pattern.max_patterns = 1;
+    }
+    let oracle = PinAccessOracle::with_config(cfg);
+    let result = match args.value("--cache") {
+        Some(path) => {
+            // Persisted incremental cache: load if present, save after.
+            let mut cache = match std::fs::read_to_string(path) {
+                Ok(text) => pao_core::incremental::AnalysisCache::load_from_string(&text)
+                    .map_err(|e| e.to_string())?,
+                Err(_) => pao_core::incremental::AnalysisCache::new(),
+            };
+            let r = oracle.analyze_with_cache(&tech, &design, &mut cache);
+            std::fs::write(path, cache.save_to_string())
+                .map_err(|e| format!("cannot write cache `{path}`: {e}"))?;
+            let (hits, misses) = cache.stats();
+            eprintln!("cache: {hits} hits, {misses} misses -> {path}");
+            r
+        }
+        None => oracle.analyze(&tech, &design),
+    };
+    let mut out = String::new();
+    out.push_str(&format!("design: {}\n{}\n", design.name, result.stats));
+    // Per-pin access listing for failed pins (the actionable part).
+    let mut failures = String::new();
+    for net in design.nets() {
+        for (comp, pin_name) in net.comp_pins() {
+            let Some(master) = design.component(comp).master_in(&tech) else {
+                continue;
+            };
+            let Some(pi) = master.pins.iter().position(|p| p.name == pin_name) else {
+                continue;
+            };
+            if result.access_point(&design, comp, pi).is_none() {
+                failures.push_str(&format!(
+                    "  FAILED {}/{}\n",
+                    design.component(comp).name,
+                    pin_name
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        out.push_str("\nfailed pins:\n");
+        out.push_str(&failures);
+    }
+    emit(args.value("--report"), &out)?;
+    if let Some(spec) = args.value("--svg") {
+        let (inst, file) = spec
+            .split_once(':')
+            .ok_or_else(|| "--svg expects INSTANCE:FILE".to_owned())?;
+        let comp = design
+            .component_by_name(inst)
+            .ok_or_else(|| format!("unknown instance `{inst}`"))?;
+        let svg = pao_viz::render_cell_access(&tech, &design, &result, comp);
+        std::fs::write(file, svg).map_err(|e| format!("cannot write `{file}`: {e}"))?;
+        eprintln!("wrote {file}");
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &Args) -> Result<(), String> {
+    use pao_router::route::{RouteConfig, Router};
+    let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+    let router = Router::new(&tech, &design, RouteConfig::default());
+    let routed = if args.flag("--naive") {
+        router.route_with_accessor(|_, _| None)
+    } else {
+        let result = PinAccessOracle::new().analyze(&tech, &design);
+        router.route_with_pao(&result)
+    };
+    let drcs = pao_router::score::count_drcs(&tech, &design, &routed);
+    let access = pao_router::score::access_drcs(&tech, &design, &routed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "routed nets      : {} / {}\nfallback routes  : {}\nwirelength (dbu) : {}\nvias             : {}\ntotal DRCs       : {drcs}\npin-access DRCs  : {access}\n",
+        routed.routed_nets,
+        design.nets().len(),
+        routed.fallback_routes,
+        routed.wirelength,
+        routed.via_count,
+    ));
+    for (rule, n) in pao_router::score::drc_breakdown(&tech, &design, &routed) {
+        out.push_str(&format!("  {rule:<20} {n}\n"));
+    }
+    emit(args.value("--report"), &out)
+}
+
+fn cmd_drc(args: &Args) -> Result<(), String> {
+    use pao_core::unique::pin_owner;
+    use pao_drc::{DrcEngine, Owner, ShapeSet};
+    let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+    let mut ctx = ShapeSet::new(tech.layers().len());
+    for (ci, comp) in design.components().iter().enumerate() {
+        let id = pao_design::CompId(ci as u32);
+        let Some(master) = comp.master_in(&tech) else {
+            continue;
+        };
+        for (pi, layer, rect) in design.placed_pin_shapes(&tech, id) {
+            // Supply rails of all cells are one electrical net each;
+            // abutting rails are intended, not shorts.
+            let owner = match master.pins[pi].use_ {
+                pao_tech::PinUse::Power => Owner::net(u64::MAX),
+                pao_tech::PinUse::Ground => Owner::net(u64::MAX - 1),
+                _ => pin_owner(id, pi),
+            };
+            ctx.insert(layer, rect, owner);
+        }
+        for (layer, rect) in design.placed_obs_shapes(&tech, id) {
+            ctx.insert(layer, rect, Owner::obs(ci as u64));
+        }
+    }
+    ctx.rebuild();
+    let violations = DrcEngine::new(&tech).audit(&ctx);
+    println!("{} static violations", violations.len());
+    for v in violations.iter().take(50) {
+        println!("  {v}");
+    }
+    if violations.len() > 50 {
+        println!("  … ({} more)", violations.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args.positional(1)?;
+    if name == "list" {
+        for c in pao_testgen::ispd18s_suite() {
+            println!("{} ({:?}, {} cells)", c.name, c.flavor, c.cells);
+        }
+        println!(
+            "aes14 ({:?}, {} cells)",
+            pao_testgen::aes14_case().flavor,
+            pao_testgen::aes14_case().cells
+        );
+        println!("smoke (N45, 60 cells)");
+        return Ok(());
+    }
+    let case = if name == "smoke" {
+        pao_testgen::SuiteCase::small_smoke()
+    } else if name == "aes14" {
+        pao_testgen::aes14_case()
+    } else {
+        pao_testgen::ispd18s_suite()
+            .into_iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| format!("unknown case `{name}` (try `pao gen list`)"))?
+    };
+    let (tech, design) = pao_testgen::generate(&case);
+    let lef_path = args
+        .value("--lef")
+        .ok_or_else(|| "--lef FILE is required".to_owned())?;
+    let def_path = args
+        .value("--def")
+        .ok_or_else(|| "--def FILE is required".to_owned())?;
+    std::fs::write(lef_path, pao_tech::lef::write_lef(&tech))
+        .map_err(|e| format!("cannot write `{lef_path}`: {e}"))?;
+    std::fs::write(def_path, pao_design::def::write_def(&design, &tech))
+        .map_err(|e| format!("cannot write `{def_path}`: {e}"))?;
+    eprintln!(
+        "wrote {lef_path} + {def_path} ({} components, {} nets)",
+        design.components().len(),
+        design.nets().len()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "\
+pao — pin access oracle for detailed routing
+
+USAGE:
+  pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
+              [--report FILE] [--svg INSTANCE:FILE]
+  pao route   <tech.lef> <design.def> [--naive] [--report FILE]
+  pao drc     <tech.lef> <design.def>
+  pao gen     <case|list> --lef FILE --def FILE
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1).collect());
+    let result = match args.positional(0).ok() {
+        Some("analyze") => cmd_analyze(&args),
+        Some("route") => cmd_route(&args),
+        Some("drc") => cmd_drc(&args),
+        Some("gen") => cmd_gen(&args),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `pao` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pao() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pao"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pao-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = pao().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn gen_list_names_all_cases() {
+    let out = pao().args(["gen", "list"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ispd18s_test1"));
+    assert!(text.contains("ispd18s_test10"));
+    assert!(text.contains("aes14"));
+}
+
+#[test]
+fn gen_analyze_drc_pipeline() {
+    let lef = tmp("p.lef");
+    let def = tmp("p.def");
+    let out = pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("failed pins      : 0"), "{text}");
+
+    let out = pao()
+        .arg("drc")
+        .arg(&lef)
+        .arg(&def)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 static violations"));
+}
+
+#[test]
+fn analyze_svg_renders_instance() {
+    let lef = tmp("s.lef");
+    let def = tmp("s.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    let svg = tmp("u0.svg");
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .arg("--svg")
+        .arg(format!("u0:{}", svg.display()))
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let content = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(content.starts_with("<svg"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = pao()
+        .args(["analyze", "/nonexistent.lef", "/nonexistent.def"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_case_reports_error() {
+    let out = pao()
+        .args(["gen", "bogus", "--lef", "/tmp/x.lef", "--def", "/tmp/x.def"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown case"));
+}

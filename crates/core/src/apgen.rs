@@ -1,0 +1,613 @@
+//! Pin-based access point generation (paper Section III-A, Algorithm 1).
+
+use crate::coord::CoordType;
+use crate::unique::local_pin_owner;
+use pao_design::Design;
+use pao_drc::{DrcEngine, ShapeSet};
+use pao_geom::{max_rects, Dbu, Dir, Point, Rect};
+use pao_tech::{LayerId, Tech, ViaId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A planar (same-layer) escape direction stored on an access point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanarDir {
+    /// Toward +x.
+    East,
+    /// Toward −x.
+    West,
+    /// Toward +y.
+    North,
+    /// Toward −y.
+    South,
+}
+
+impl PlanarDir {
+    /// All four directions.
+    pub const ALL: [PlanarDir; 4] = [
+        PlanarDir::East,
+        PlanarDir::West,
+        PlanarDir::North,
+        PlanarDir::South,
+    ];
+}
+
+impl fmt::Display for PlanarDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlanarDir::East => "E",
+            PlanarDir::West => "W",
+            PlanarDir::North => "N",
+            PlanarDir::South => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A validated access point: an x-y coordinate on a metal layer where the
+/// detailed router may end routing for a pin (paper Section II-B).
+///
+/// `vias` lists every up-via that drops DRC-clean at this point; the first
+/// entry is the **primary** via. `planar` lists the validated same-layer
+/// escape directions. Positions are in the analysis frame of the unique
+/// instance's representative; translate by the member-instance offset to
+/// obtain die coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPoint {
+    /// Position (representative-instance die frame).
+    pub pos: Point,
+    /// The metal layer accessed.
+    pub layer: LayerId,
+    /// Coordinate type along the layer's preferred direction.
+    pub pref_type: CoordType,
+    /// Coordinate type along the non-preferred direction.
+    pub nonpref_type: CoordType,
+    /// DRC-clean up-vias; `vias[0]` is the primary via.
+    pub vias: Vec<ViaId>,
+    /// Validated planar escape directions.
+    pub planar: Vec<PlanarDir>,
+}
+
+impl AccessPoint {
+    /// The primary (preferred) up-via, if any via is clean here.
+    #[must_use]
+    pub fn primary_via(&self) -> Option<ViaId> {
+        self.vias.first().copied()
+    }
+
+    /// Combined coordinate-type cost (paper: the sum of the two types'
+    /// costs; lower is better).
+    #[must_use]
+    pub fn type_cost(&self) -> u32 {
+        self.pref_type.cost() + self.nonpref_type.cost()
+    }
+
+    /// `true` when either coordinate is off-track.
+    #[must_use]
+    pub fn is_off_track(&self) -> bool {
+        self.pref_type.is_off_track() || self.nonpref_type.is_off_track()
+    }
+}
+
+/// Configuration for Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ApGenConfig {
+    /// Early-termination threshold `k`: stop once at least this many valid
+    /// access points exist (paper: 3 for both standard and macro pins).
+    pub k: usize,
+    /// Coordinate types enumerated along the preferred direction.
+    pub pref_types: Vec<CoordType>,
+    /// Coordinate types enumerated along the non-preferred direction.
+    pub nonpref_types: Vec<CoordType>,
+    /// Require a DRC-clean up-via for validity (paper: on for standard
+    /// cells, where via access is strongly preferred over planar).
+    pub require_via: bool,
+    /// Length of the probe wire used to validate planar escapes, in units
+    /// of the layer pitch.
+    pub planar_pitches: Dbu,
+}
+
+impl Default for ApGenConfig {
+    fn default() -> ApGenConfig {
+        ApGenConfig {
+            k: 3,
+            pref_types: CoordType::PREFERRED.to_vec(),
+            nonpref_types: CoordType::NON_PREFERRED.to_vec(),
+            require_via: true,
+            planar_pitches: 2,
+        }
+    }
+}
+
+/// The span of a rectangle along the coordinate axis governed by tracks of
+/// wire direction `track_dir`: horizontal tracks hold *y* coordinates,
+/// vertical tracks hold *x* coordinates.
+fn coord_span(rect: Rect, track_dir: Dir) -> (Dbu, Dbu) {
+    match track_dir {
+        Dir::Horizontal => (rect.ylo(), rect.yhi()),
+        Dir::Vertical => (rect.xlo(), rect.xhi()),
+    }
+}
+
+/// Track coordinates governing one coordinate of a pin on `layer`, for
+/// governing tracks of wire direction `track_dir`.
+///
+/// Per the paper, the non-preferred-direction coordinates of a layer use
+/// the **upper layer's preferred-direction tracks**, so on-track up-vias
+/// align with both layers. Falls back to same-layer patterns when the
+/// upper layer has none.
+fn governing_coords(
+    tech: &Tech,
+    design: &Design,
+    layer: LayerId,
+    track_dir: Dir,
+    half: bool,
+    lo: Dbu,
+    hi: Dbu,
+) -> Vec<Dbu> {
+    let mut pats: Vec<&pao_design::TrackPattern> = design.track_patterns_for(layer, track_dir);
+    if tech.layer(layer).dir != track_dir {
+        // Non-preferred coordinate: prefer the upper routing layer's
+        // tracks.
+        if let Some(up) = tech.routing_layer_above(layer) {
+            let up_pats = design.track_patterns_for(up, track_dir);
+            if !up_pats.is_empty() {
+                pats = up_pats;
+            }
+        }
+    }
+    let mut coords: Vec<Dbu> = pats
+        .iter()
+        .flat_map(|p| {
+            if half {
+                p.half_track_coords_in(lo, hi)
+            } else {
+                p.coords_in(lo, hi)
+            }
+        })
+        .collect();
+    coords.sort_unstable();
+    coords.dedup();
+    coords
+}
+
+/// Candidate coordinates of one type within a pin rectangle's span, for
+/// governing tracks of wire direction `track_dir`.
+fn candidate_coords(
+    tech: &Tech,
+    design: &Design,
+    layer: LayerId,
+    track_dir: Dir,
+    ty: CoordType,
+    rect: Rect,
+) -> Vec<Dbu> {
+    let (lo, hi) = coord_span(rect, track_dir);
+    match ty {
+        CoordType::OnTrack => governing_coords(tech, design, layer, track_dir, false, lo, hi),
+        CoordType::HalfTrack => governing_coords(tech, design, layer, track_dir, true, lo, hi),
+        CoordType::ShapeCenter => {
+            // Paper: skip shape-center when the span touches at least two
+            // tracks, to reduce unique off-track coordinates.
+            if governing_coords(tech, design, layer, track_dir, false, lo, hi).len() >= 2 {
+                Vec::new()
+            } else {
+                vec![lo + (hi - lo) / 2]
+            }
+        }
+        CoordType::EnclosureBoundary => {
+            // Align the via's bottom enclosure with the shape boundary.
+            let mut out = Vec::new();
+            for &vid in &tech.up_vias_from(layer) {
+                let bb = tech.via(vid).bottom_bbox();
+                let (blo, bhi) = coord_span(bb, track_dir);
+                for c in [lo - blo, hi - bhi] {
+                    if c >= lo && c <= hi {
+                        out.push(c);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+    }
+}
+
+/// The probe wire used to validate a planar escape from `pos` toward
+/// `dir`.
+fn planar_probe(pos: Point, dir: PlanarDir, width: Dbu, len: Dbu) -> Rect {
+    let h = width / 2;
+    match dir {
+        PlanarDir::East => Rect::new(pos.x, pos.y - h, pos.x + len, pos.y + h),
+        PlanarDir::West => Rect::new(pos.x - len, pos.y - h, pos.x, pos.y + h),
+        PlanarDir::North => Rect::new(pos.x - h, pos.y, pos.x + h, pos.y + len),
+        PlanarDir::South => Rect::new(pos.x - h, pos.y - len, pos.x + h, pos.y),
+    }
+}
+
+/// Validates one candidate position: collects the DRC-clean up-vias and
+/// planar escapes. Returns `None` when the point fails the config's
+/// validity requirement (paper `isValid`).
+#[allow(clippy::too_many_arguments)]
+fn validate_point(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    ctx: &ShapeSet,
+    pin_idx: usize,
+    layer: LayerId,
+    pos: Point,
+    pref_type: CoordType,
+    nonpref_type: CoordType,
+    cfg: &ApGenConfig,
+) -> Option<AccessPoint> {
+    let owner = local_pin_owner(pin_idx);
+    let mut vias = Vec::new();
+    for &vid in &tech.up_vias_from(layer) {
+        let via = tech.via(vid);
+        if engine.check_via_placement(via, pos, owner, ctx).is_empty() {
+            vias.push(vid);
+        }
+    }
+    let l = tech.layer(layer);
+    let len = l.pitch.max(l.width) * cfg.planar_pitches;
+    let mut planar = Vec::new();
+    for dir in PlanarDir::ALL {
+        let probe = planar_probe(pos, dir, l.width, len);
+        if engine.check_shape(layer, probe, owner, ctx).is_empty() {
+            planar.push(dir);
+        }
+    }
+    let valid = if cfg.require_via {
+        !vias.is_empty()
+    } else {
+        !vias.is_empty() || !planar.is_empty()
+    };
+    valid.then_some(AccessPoint {
+        pos,
+        layer,
+        pref_type,
+        nonpref_type,
+        vias,
+        planar,
+    })
+}
+
+/// **Algorithm 1** — generates the valid access points for one pin.
+///
+/// `pin_rects` is the pin's flattened geometry in the analysis frame
+/// (rects per routing layer); `ctx` is the intra-cell DRC context built by
+/// [`build_instance_context`](crate::unique::build_instance_context).
+///
+/// Coordinate-type combinations are enumerated in cost order (outer loop:
+/// non-preferred types; inner: preferred types); all candidates of a
+/// combination are generated, validated and added before the `k` early-exit
+/// check, so slightly more than `k` points may be returned — exactly the
+/// paper's behaviour for large pins.
+#[must_use]
+pub fn generate_pin_access_points(
+    tech: &Tech,
+    design: &Design,
+    engine: &DrcEngine<'_>,
+    ctx: &ShapeSet,
+    pin_idx: usize,
+    pin_rects: &[(LayerId, Rect)],
+    cfg: &ApGenConfig,
+) -> Vec<AccessPoint> {
+    let mut aps: Vec<AccessPoint> = Vec::new();
+    let mut seen: HashSet<(LayerId, Point)> = HashSet::new();
+
+    // Group rects per routing layer and take maximal rectangles (the
+    // paper's treatment of polygonal pins).
+    let mut layers: Vec<LayerId> = pin_rects.iter().map(|&(l, _)| l).collect();
+    layers.sort_unstable();
+    layers.dedup();
+
+    for layer in layers {
+        if !tech.layer(layer).is_routing() {
+            continue;
+        }
+        let rects: Vec<Rect> = pin_rects
+            .iter()
+            .filter(|&&(l, _)| l == layer)
+            .map(|&(_, r)| r)
+            .collect();
+        let maxes = max_rects(&rects);
+        let pref = tech.layer(layer).dir; // wires run this way
+                                          // The preferred-direction coordinate is governed by this layer's
+                                          // own tracks (a horizontal layer's track coordinate is y); the
+                                          // non-preferred coordinate by the perpendicular (upper-layer)
+                                          // tracks.
+        let pref_track_dir = pref;
+        let nonpref_track_dir = pref.perp();
+
+        for &t_nonpref in &cfg.nonpref_types {
+            for &t_pref in &cfg.pref_types {
+                for &rect in &maxes {
+                    let pref_coords =
+                        candidate_coords(tech, design, layer, pref_track_dir, t_pref, rect);
+                    let nonpref_coords =
+                        candidate_coords(tech, design, layer, nonpref_track_dir, t_nonpref, rect);
+                    for &pc in &pref_coords {
+                        for &nc in &nonpref_coords {
+                            let pos = match pref {
+                                // Horizontal layer: pref coordinate is y.
+                                Dir::Horizontal => Point::new(nc, pc),
+                                Dir::Vertical => Point::new(pc, nc),
+                            };
+                            if !seen.insert((layer, pos)) {
+                                continue;
+                            }
+                            if let Some(ap) = validate_point(
+                                tech, engine, ctx, pin_idx, layer, pos, t_pref, t_nonpref, cfg,
+                            ) {
+                                aps.push(ap);
+                            }
+                        }
+                    }
+                }
+                if aps.len() >= cfg.k {
+                    return aps;
+                }
+            }
+        }
+    }
+    aps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_design::TrackPattern;
+    use pao_drc::Owner;
+    use pao_tech::rules::MinStepRule;
+    use pao_tech::{Layer, ViaDef};
+
+    /// Two-layer tech with an M1→M2 via whose bottom enclosure is 130×60
+    /// — the enclosure height equals the M1 wire width, so DRC-clean
+    /// placement requires the enclosure to nest inside (or align with) the
+    /// pin in y, exactly the paper's Fig. 3 setup.
+    fn tech() -> Tech {
+        let mut t = Tech::new(1000);
+        let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+        m1.min_step = Some(MinStepRule::simple(60));
+        t.add_layer(m1);
+        t.add_layer(Layer::cut("V1", 70, 80));
+        t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+        let via = ViaDef::new(
+            "via1_0",
+            LayerId(0),
+            vec![Rect::new(-65, -30, 65, 30)],
+            LayerId(1),
+            vec![Rect::new(-30, -30, 30, 30)],
+            LayerId(2),
+            vec![Rect::new(-30, -65, 30, 65)],
+        );
+        t.add_via(via);
+        t
+    }
+
+    fn design() -> Design {
+        let mut d = Design::new("t", Rect::new(0, 0, 10_000, 10_000));
+        // Horizontal M1 tracks at y = 100, 300, 500, …
+        d.tracks.push(TrackPattern::new(
+            Dir::Horizontal,
+            100,
+            200,
+            40,
+            vec![LayerId(0)],
+        ));
+        // Vertical M2 tracks at x = 100, 300, …
+        d.tracks.push(TrackPattern::new(
+            Dir::Vertical,
+            100,
+            200,
+            40,
+            vec![LayerId(2)],
+        ));
+        d
+    }
+
+    fn gen(pin: Rect, cfg: &ApGenConfig) -> Vec<AccessPoint> {
+        let t = tech();
+        let d = design();
+        let engine = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        ctx.insert(LayerId(0), pin, local_pin_owner(0));
+        ctx.rebuild();
+        generate_pin_access_points(&t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], cfg)
+    }
+
+    #[test]
+    fn tall_pin_gets_on_track_points() {
+        // Pin tall enough (y 60..540, crosses tracks at 100, 300, 500) and
+        // wide enough for the enclosure.
+        let pin = Rect::new(100, 60, 700, 540);
+        let aps = gen(pin, &ApGenConfig::default());
+        assert!(aps.len() >= 3, "{aps:?}");
+        assert!(aps.iter().all(|ap| !ap.vias.is_empty()));
+        // First combination is (on-track, on-track); k is reached there.
+        assert!(aps
+            .iter()
+            .all(|ap| ap.pref_type == CoordType::OnTrack && ap.nonpref_type == CoordType::OnTrack));
+        // All points lie on the pin.
+        assert!(aps.iter().all(|ap| pin.contains(ap.pos)));
+    }
+
+    #[test]
+    fn narrow_pin_forces_off_track_access() {
+        // A 60-tall pin centered between tracks: on-track y (none inside)
+        // and the via needs shape-center / enclosure-boundary to avoid
+        // min-step from the 70-tall enclosure on 60-tall metal…
+        // y span 210..270 contains no track (tracks at 100, 300).
+        let pin = Rect::new(100, 205, 700, 265);
+        let aps = gen(pin, &ApGenConfig::default());
+        assert!(!aps.is_empty(), "expected off-track APs");
+        assert!(aps.iter().all(|ap| ap.pref_type.is_off_track()), "{aps:?}");
+    }
+
+    #[test]
+    fn enclosure_boundary_rescues_thin_pin() {
+        // Pin slightly taller than the 60-tall enclosure: the two
+        // enclosure-boundary alignments put the via center at
+        // pin.ylo + 30 = 230 or pin.yhi − 30 = 240.
+        let pin = Rect::new(100, 200, 700, 270);
+        let cfg = ApGenConfig {
+            pref_types: vec![CoordType::EnclosureBoundary],
+            nonpref_types: vec![CoordType::OnTrack],
+            ..ApGenConfig::default()
+        };
+        let aps = gen(pin, &cfg);
+        assert!(!aps.is_empty());
+        assert!(aps
+            .iter()
+            .all(|ap| ap.pref_type == CoordType::EnclosureBoundary));
+        assert!(
+            aps.iter().all(|ap| ap.pos.y == 230 || ap.pos.y == 240),
+            "{aps:?}"
+        );
+    }
+
+    #[test]
+    fn early_termination_bounds_count() {
+        let pin = Rect::new(100, 60, 1500, 540); // huge pin, many tracks
+        let cfg = ApGenConfig {
+            k: 3,
+            ..ApGenConfig::default()
+        };
+        let aps = gen(pin, &cfg);
+        // All (on-track, on-track) candidates of the first combo are
+        // generated (7 x-tracks × 3 y-tracks = 21) before the early exit.
+        assert!(aps.len() >= 3);
+        assert!(aps
+            .iter()
+            .all(|ap| ap.pref_type == CoordType::OnTrack && ap.nonpref_type == CoordType::OnTrack));
+    }
+
+    #[test]
+    fn obstruction_blocks_vias() {
+        let t = tech();
+        let d = design();
+        let engine = DrcEngine::new(&t);
+        let pin = Rect::new(100, 60, 700, 540);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        ctx.insert(LayerId(0), pin, local_pin_owner(0));
+        // A same-layer obstruction blanket right above the pin kills all
+        // via enclosures extending past the pin… cover everything nearby.
+        ctx.insert(LayerId(0), Rect::new(0, 550, 800, 700), Owner::obs(0));
+        ctx.insert(LayerId(2), Rect::new(0, 0, 800, 700), Owner::obs(0));
+        ctx.rebuild();
+        let aps = generate_pin_access_points(
+            &t,
+            &d,
+            &engine,
+            &ctx,
+            0,
+            &[(LayerId(0), pin)],
+            &ApGenConfig::default(),
+        );
+        // M2 blanket obstruction conflicts with every top enclosure.
+        assert!(aps.is_empty(), "{aps:?}");
+    }
+
+    #[test]
+    fn planar_only_validity_for_macros() {
+        let t = tech();
+        let d = design();
+        let engine = DrcEngine::new(&t);
+        let pin = Rect::new(100, 60, 700, 540);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        ctx.insert(LayerId(0), pin, local_pin_owner(0));
+        // Blanket M2 obstruction kills vias but planar escapes remain.
+        ctx.insert(LayerId(2), Rect::new(0, 0, 800, 700), Owner::obs(0));
+        ctx.rebuild();
+        let cfg = ApGenConfig {
+            require_via: false,
+            ..ApGenConfig::default()
+        };
+        let aps = generate_pin_access_points(&t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &cfg);
+        assert!(!aps.is_empty());
+        assert!(aps
+            .iter()
+            .all(|ap| ap.vias.is_empty() && !ap.planar.is_empty()));
+    }
+
+    #[test]
+    fn type_cost_and_flags() {
+        let ap = AccessPoint {
+            pos: Point::new(0, 0),
+            layer: LayerId(0),
+            pref_type: CoordType::ShapeCenter,
+            nonpref_type: CoordType::OnTrack,
+            vias: vec![ViaId(0)],
+            planar: vec![],
+        };
+        assert_eq!(ap.type_cost(), 2);
+        assert!(ap.is_off_track());
+        assert_eq!(ap.primary_via(), Some(ViaId(0)));
+    }
+}
+
+#[cfg(test)]
+mod vertical_layer_tests {
+    use super::*;
+    use crate::unique::local_pin_owner;
+    use pao_design::TrackPattern;
+    use pao_tech::rules::MinStepRule;
+    use pao_tech::{Layer, ViaDef};
+
+    /// A pin on a VERTICAL preferred-direction layer (M2-style): the
+    /// preferred coordinate is x, the non-preferred is y, and the
+    /// position assembly must not swap them.
+    #[test]
+    fn vertical_layer_pins_get_access() {
+        let mut t = Tech::new(1000);
+        t.add_layer(Layer::routing("M1", Dir::Horizontal, 200, 60, 70));
+        t.add_layer(Layer::cut("V1", 50, 120));
+        let mut m2 = Layer::routing("M2", Dir::Vertical, 200, 60, 70);
+        m2.min_step = Some(MinStepRule::simple(60));
+        let m2 = t.add_layer(m2);
+        t.add_layer(Layer::cut("V2", 50, 120));
+        let m3 = t.add_layer(Layer::routing("M3", Dir::Horizontal, 200, 60, 70));
+        // M2→M3 via: bottom enclosure elongated along M2 (vertical).
+        let via = ViaDef::new(
+            "via2_0",
+            m2,
+            vec![Rect::new(-30, -65, 30, 65)],
+            LayerId(3),
+            vec![Rect::new(-25, -25, 25, 25)],
+            m3,
+            vec![Rect::new(-65, -30, 65, 30)],
+        );
+        t.add_via(via);
+
+        let mut d = pao_design::Design::new("v", Rect::new(0, 0, 10_000, 10_000));
+        // Vertical M2 tracks at x = 100, 300, … and horizontal M3 tracks
+        // (governing the non-preferred y coordinate) at y = 100, 300, …
+        d.tracks.push(TrackPattern::new(Dir::Vertical, 100, 200, 40, vec![m2]));
+        d.tracks.push(TrackPattern::new(Dir::Horizontal, 100, 200, 40, vec![m3]));
+
+        // A horizontal pin bar on M2 crossing several vertical tracks.
+        let pin = Rect::new(60, 100, 540, 700);
+        let engine = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        ctx.insert(m2, pin, local_pin_owner(0));
+        ctx.rebuild();
+        let aps = generate_pin_access_points(
+            &t,
+            &d,
+            &engine,
+            &ctx,
+            0,
+            &[(m2, pin)],
+            &ApGenConfig::default(),
+        );
+        assert!(aps.len() >= 3, "{aps:?}");
+        for ap in &aps {
+            assert!(pin.contains(ap.pos), "AP {} off pin", ap.pos);
+            assert!(!ap.vias.is_empty());
+            // Preferred coordinate (x on a vertical layer) is on-track.
+            assert_eq!(ap.pref_type, CoordType::OnTrack);
+            assert_eq!((ap.pos.x - 100) % 200, 0, "x must sit on an M2 track");
+        }
+    }
+}

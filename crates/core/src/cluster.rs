@@ -1,0 +1,392 @@
+//! Cluster-based access pattern selection (paper Section III-C), extended
+//! with multi-height cell support (the paper's future-work item (i)).
+
+use crate::cost::DRC_COST;
+use crate::oracle::UniqueInstanceAccess;
+use crate::pattern::aps_compatible;
+use crate::unique::UniqueInstanceId;
+use pao_design::{CompId, Design};
+use pao_drc::DrcEngine;
+use pao_geom::{Dbu, Point, Rect};
+use pao_tech::Tech;
+
+/// A maximal gap-free run of placed instances in one row, ordered left to
+/// right. Pattern compatibility is only enforced *within* a cluster; the
+/// paper assumes neighboring clusters and rows always allow compatible
+/// patterns.
+///
+/// A multi-height cell spans several rows and therefore belongs to one
+/// cluster **per row** it covers; the selection pass fixes its pattern in
+/// the first cluster and constrains later clusters to that choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Member components, ordered by x.
+    pub comps: Vec<CompId>,
+}
+
+/// Groups the design's placed components into per-row clusters.
+///
+/// Rows are taken from the design's `ROW` statements (falling back to
+/// distinct placement `y`s); a component joins the cluster of every row
+/// its bounding box covers. Within a row, instances form one cluster as
+/// long as each abuts the next (no empty site between).
+#[must_use]
+pub fn build_clusters(tech: &Tech, design: &Design) -> Vec<Cluster> {
+    // Row stripes: (y, height) from ROW statements, else from bboxes.
+    let mut stripes: Vec<(Dbu, Dbu)> = design.rows.iter().map(|r| (r.origin.y, r.height)).collect();
+    if stripes.is_empty() {
+        let mut ys: Vec<(Dbu, Dbu)> = design
+            .components()
+            .iter()
+            .filter(|c| c.master_in(tech).is_some())
+            .map(|c| {
+                let h = c.master_in(tech).map_or(0, |m| m.height);
+                (c.location.y, h)
+            })
+            .collect();
+        ys.sort_unstable();
+        ys.dedup();
+        stripes = ys;
+    }
+    stripes.sort_unstable();
+    stripes.dedup();
+
+    let boxes: Vec<Option<Rect>> = design
+        .components()
+        .iter()
+        .map(|c| {
+            if !c.is_placed {
+                return None;
+            }
+            c.master_in(tech).map(|m| {
+                pao_geom::Transform::new(c.location, c.orient, m.width, m.height).placed_bbox()
+            })
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for &(y, h) in &stripes {
+        let h = h.max(1);
+        // Members whose bbox covers this stripe.
+        let mut insts: Vec<(Dbu, Dbu, CompId)> = boxes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let b = (*b)?;
+                (b.ylo() <= y && b.yhi() >= y + h).then_some((b.xlo(), b.xhi(), CompId(i as u32)))
+            })
+            .collect();
+        insts.sort_unstable();
+        let mut current: Vec<CompId> = Vec::new();
+        let mut last_xhi: Option<Dbu> = None;
+        for (xlo, xhi, id) in insts {
+            match last_xhi {
+                Some(prev) if xlo <= prev => current.push(id),
+                Some(_) => {
+                    out.push(Cluster {
+                        comps: std::mem::take(&mut current),
+                    });
+                    current.push(id);
+                }
+                None => current.push(id),
+            }
+            last_xhi = Some(xhi.max(last_xhi.unwrap_or(xhi)));
+        }
+        if !current.is_empty() {
+            out.push(Cluster { comps: current });
+        }
+    }
+    out
+}
+
+/// How far (in x) a via at one instance's access point can conflict with a
+/// neighbor's: the widest via extent plus the largest spacing requirement.
+fn conflict_reach(tech: &Tech) -> Dbu {
+    let via_reach = tech
+        .vias()
+        .iter()
+        .map(|v| v.bottom_bbox().max_side().max(v.top_bbox().max_side()))
+        .max()
+        .unwrap_or(0);
+    let spacing = tech
+        .layers()
+        .iter()
+        .map(|l| {
+            l.spacing
+                .max(l.spacing_table.as_ref().map_or(0, |t| t.max_spacing()))
+        })
+        .max()
+        .unwrap_or(0);
+    via_reach + spacing
+}
+
+/// The access points of pattern `p` of `u` (translated by `off`) lying
+/// within `reach` of the vertical line `x = boundary`.
+fn near_boundary_aps(
+    u: &UniqueInstanceAccess,
+    p: usize,
+    off: Point,
+    boundary: Dbu,
+    reach: Dbu,
+) -> Vec<(&crate::apgen::AccessPoint, Point)> {
+    let Some(pat) = u.patterns.get(p) else {
+        return Vec::new();
+    };
+    u.pin_order
+        .iter()
+        .zip(&pat.choice)
+        .filter_map(|(&pin, &api)| {
+            let ap = u.pin_aps[pin].get(api)?;
+            ((ap.pos.x + off.x - boundary).abs() <= reach).then_some((ap, off))
+        })
+        .collect()
+}
+
+/// **Cluster-based pattern selection** — the Algorithm 2 DP re-used with
+/// instances as layers and access patterns as vertices.
+///
+/// For each cluster, selects one pattern per member so that the access
+/// points near each shared cell boundary are mutually DRC-clean. Members
+/// already assigned by an earlier cluster (multi-height cells seen in a
+/// lower row) are constrained to their assigned pattern. Returns, per
+/// component, the chosen pattern index (`None` for components without
+/// patterns).
+#[must_use]
+pub fn select_patterns(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    design: &Design,
+    comp_uniq: &[Option<UniqueInstanceId>],
+    uniq: &[UniqueInstanceAccess],
+) -> Vec<Option<usize>> {
+    let mut selection: Vec<Option<usize>> = vec![None; design.components().len()];
+    let mut pinned: Vec<bool> = vec![false; design.components().len()];
+    // Default: best (first) pattern everywhere; the cluster DP refines.
+    for (ci, cu) in comp_uniq.iter().enumerate() {
+        if let Some(ui) = cu {
+            if !uniq[ui.index()].patterns.is_empty() {
+                selection[ci] = Some(0);
+            }
+        }
+    }
+    let reach = conflict_reach(tech);
+    let offset_of = |comp: CompId, u: &UniqueInstanceAccess| -> Point {
+        design.component(comp).location - design.component(u.info.rep).location
+    };
+
+    for cluster in build_clusters(tech, design) {
+        let members: Vec<CompId> = cluster
+            .comps
+            .iter()
+            .copied()
+            .filter(|c| {
+                comp_uniq[c.index()]
+                    .map(|ui| !uniq[ui.index()].patterns.is_empty())
+                    .unwrap_or(false)
+            })
+            .collect();
+        if members.len() < 2 {
+            for &m in &members {
+                pinned[m.index()] = true;
+            }
+            continue;
+        }
+        // dp[i][p]: min cost selecting pattern p for member i.
+        let mut dp: Vec<Vec<(i64, usize)>> = members
+            .iter()
+            .map(|c| {
+                let u = &uniq[comp_uniq[c.index()]
+                    .expect("members are filtered to analyzed components")
+                    .index()];
+                vec![(i64::MAX, usize::MAX); u.patterns.len()]
+            })
+            .collect();
+        let allowed = |ci: CompId, p: usize| -> bool {
+            !pinned[ci.index()] || selection[ci.index()] == Some(p)
+        };
+        {
+            let u = &uniq[comp_uniq[members[0].index()]
+                .expect("members are filtered to analyzed components")
+                .index()];
+            for (p, cell) in dp[0].iter_mut().enumerate() {
+                if allowed(members[0], p) {
+                    cell.0 = u.patterns[p].cost;
+                }
+            }
+        }
+        for i in 1..members.len() {
+            let (lcomp, rcomp) = (members[i - 1], members[i]);
+            let lu = &uniq[comp_uniq[lcomp.index()]
+                .expect("members are filtered to analyzed components")
+                .index()];
+            let ru = &uniq[comp_uniq[rcomp.index()]
+                .expect("members are filtered to analyzed components")
+                .index()];
+            let loff = offset_of(lcomp, lu);
+            let roff = offset_of(rcomp, ru);
+            // The shared boundary: left instance's right edge.
+            let lmaster = design
+                .component(lcomp)
+                .master_in(tech)
+                .expect("known master");
+            let boundary = design.component(lcomp).location.x + lmaster.width;
+            let (head, tail) = dp.split_at_mut(i);
+            let prev = &head[i - 1];
+            for (q, cell) in tail[0].iter_mut().enumerate() {
+                if !allowed(rcomp, q) {
+                    continue;
+                }
+                let raps = near_boundary_aps(ru, q, roff, boundary, reach);
+                for (p, &(pcost, _)) in prev.iter().enumerate() {
+                    if pcost == i64::MAX {
+                        continue;
+                    }
+                    let laps = near_boundary_aps(lu, p, loff, boundary, reach);
+                    let clean = laps.iter().all(|(la, lo)| {
+                        raps.iter()
+                            .all(|(ra, ro)| aps_compatible(tech, engine, la, *lo, ra, *ro))
+                    });
+                    let edge = if clean { 0 } else { DRC_COST };
+                    let cost = pcost
+                        .saturating_add(edge)
+                        .saturating_add(ru.patterns[q].cost);
+                    if cost < cell.0 {
+                        *cell = (cost, p);
+                    }
+                }
+            }
+        }
+        // Traceback.
+        let last = dp.last().expect("cluster has members");
+        let Some((mut best_p, _)) = last
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.0 < i64::MAX)
+            .min_by_key(|(_, c)| c.0)
+        else {
+            // Over-constrained (pinned members conflict): keep defaults.
+            for &m in &members {
+                pinned[m.index()] = true;
+            }
+            continue;
+        };
+        for i in (0..members.len()).rev() {
+            selection[members[i].index()] = Some(best_p);
+            pinned[members[i].index()] = true;
+            if i > 0 {
+                best_p = dp[i][best_p].1;
+            }
+        }
+    }
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_design::Component;
+    use pao_geom::Orient;
+    use pao_tech::{Layer, Macro};
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(1000);
+        t.add_layer(Layer::routing("M1", pao_geom::Dir::Horizontal, 200, 60, 70));
+        t.add_macro(Macro::new("INVX1", 400, 1400));
+        t.add_macro(Macro::new("NAND2X1", 600, 1400));
+        let mut mh = Macro::new("DFF2MH", 800, 2800);
+        mh.class = pao_tech::MacroClass::Core;
+        t.add_macro(mh);
+        t
+    }
+
+    #[test]
+    fn clusters_split_on_gaps_and_rows() {
+        let t = tech();
+        let mut d = Design::new("x", Rect::new(0, 0, 100_000, 10_000));
+        d.add_component(Component::new("u0", "INVX1", Point::new(0, 0), Orient::N));
+        d.add_component(Component::new(
+            "u1",
+            "NAND2X1",
+            Point::new(400, 0),
+            Orient::N,
+        ));
+        d.add_component(Component::new(
+            "u2",
+            "INVX1",
+            Point::new(1400, 0),
+            Orient::N,
+        ));
+        d.add_component(Component::new(
+            "u3",
+            "INVX1",
+            Point::new(0, 1400),
+            Orient::N,
+        ));
+        let clusters = build_clusters(&t, &d);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].comps, vec![CompId(0), CompId(1)]);
+        assert_eq!(clusters[1].comps, vec![CompId(2)]);
+        assert_eq!(clusters[2].comps, vec![CompId(3)]);
+    }
+
+    #[test]
+    fn multi_height_cells_join_every_covered_row() {
+        let t = tech();
+        let mut d = Design::new("x", Rect::new(0, 0, 100_000, 10_000));
+        // Rows at 0 and 1400; the MH cell covers both.
+        d.rows.push(pao_design::Row::new(
+            "r0",
+            "core",
+            Point::new(0, 0),
+            Orient::N,
+            100,
+            400,
+            1400,
+        ));
+        d.rows.push(pao_design::Row::new(
+            "r1",
+            "core",
+            Point::new(0, 1400),
+            Orient::FS,
+            100,
+            400,
+            1400,
+        ));
+        let mh = d.add_component(Component::new("mh", "DFF2MH", Point::new(0, 0), Orient::N));
+        let lo = d.add_component(Component::new("lo", "INVX1", Point::new(800, 0), Orient::N));
+        let hi = d.add_component(Component::new(
+            "hi",
+            "INVX1",
+            Point::new(800, 1400),
+            Orient::FS,
+        ));
+        let clusters = build_clusters(&t, &d);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].comps, vec![mh, lo]);
+        assert_eq!(clusters[1].comps, vec![mh, hi]);
+    }
+
+    #[test]
+    fn unknown_masters_ignored() {
+        let t = tech();
+        let mut d = Design::new("x", Rect::new(0, 0, 100_000, 10_000));
+        d.add_component(Component::new("g", "GHOST", Point::new(0, 0), Orient::N));
+        assert!(build_clusters(&t, &d).is_empty());
+    }
+
+    #[test]
+    fn conflict_reach_covers_vias_and_spacing() {
+        let mut t = tech();
+        assert_eq!(conflict_reach(&t), 70); // no vias: just spacing
+        t.add_via(pao_tech::ViaDef::new(
+            "v",
+            pao_tech::LayerId(0),
+            vec![Rect::new(-65, -30, 65, 30)],
+            pao_tech::LayerId(0),
+            vec![Rect::new(-25, -25, 25, 25)],
+            pao_tech::LayerId(0),
+            vec![Rect::new(-30, -65, 30, 65)],
+        ));
+        assert_eq!(conflict_reach(&t), 130 + 70);
+    }
+}

@@ -1,0 +1,114 @@
+//! The four access-coordinate types (paper Section II-C).
+
+use std::fmt;
+
+/// The type — and cost — of one coordinate of an access point.
+///
+/// The paper defines four types with costs in parentheses; lower cost is
+/// preferred and drives both the enumeration order in Algorithm 1 and the
+/// access-point quality term of the pattern DP edge cost:
+///
+/// * **on-track (0)** — on a preferred or non-preferred routing track,
+/// * **half-track (1)** — midway between two neighboring tracks,
+/// * **shape-center (2)** — the midpoint of a maximal rectangle of the pin,
+/// * **enclosure-boundary (3)** — aligning the up-via enclosure with the
+///   pin shape boundary.
+///
+/// ```
+/// use pao_core::CoordType;
+/// assert!(CoordType::OnTrack.cost() < CoordType::EnclosureBoundary.cost());
+/// assert!(!CoordType::OnTrack.is_off_track());
+/// assert!(CoordType::ShapeCenter.is_off_track());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoordType {
+    /// On a routing track (cost 0).
+    OnTrack,
+    /// At the midpoint between two neighboring tracks (cost 1).
+    HalfTrack,
+    /// At the center of a maximal pin rectangle (cost 2).
+    ShapeCenter,
+    /// Aligning the via enclosure with the pin boundary (cost 3).
+    EnclosureBoundary,
+}
+
+impl CoordType {
+    /// All four types in cost order — the preferred-direction enumeration
+    /// set of Algorithm 1.
+    pub const PREFERRED: [CoordType; 4] = [
+        CoordType::OnTrack,
+        CoordType::HalfTrack,
+        CoordType::ShapeCenter,
+        CoordType::EnclosureBoundary,
+    ];
+
+    /// The first three types — the non-preferred-direction enumeration set
+    /// (enclosure-boundary is excluded to limit unique off-track
+    /// coordinates).
+    pub const NON_PREFERRED: [CoordType; 3] = [
+        CoordType::OnTrack,
+        CoordType::HalfTrack,
+        CoordType::ShapeCenter,
+    ];
+
+    /// The priority cost of this type (0 = best).
+    #[must_use]
+    pub fn cost(self) -> u32 {
+        match self {
+            CoordType::OnTrack => 0,
+            CoordType::HalfTrack => 1,
+            CoordType::ShapeCenter => 2,
+            CoordType::EnclosureBoundary => 3,
+        }
+    }
+
+    /// `true` for every type except [`CoordType::OnTrack`].
+    #[must_use]
+    pub fn is_off_track(self) -> bool {
+        self != CoordType::OnTrack
+    }
+}
+
+impl fmt::Display for CoordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoordType::OnTrack => "on-track",
+            CoordType::HalfTrack => "half-track",
+            CoordType::ShapeCenter => "shape-center",
+            CoordType::EnclosureBoundary => "enclosure-boundary",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_match_paper() {
+        assert_eq!(CoordType::OnTrack.cost(), 0);
+        assert_eq!(CoordType::HalfTrack.cost(), 1);
+        assert_eq!(CoordType::ShapeCenter.cost(), 2);
+        assert_eq!(CoordType::EnclosureBoundary.cost(), 3);
+    }
+
+    #[test]
+    fn enumeration_sets() {
+        assert_eq!(CoordType::PREFERRED.len(), 4);
+        assert_eq!(CoordType::NON_PREFERRED.len(), 3);
+        assert!(!CoordType::NON_PREFERRED.contains(&CoordType::EnclosureBoundary));
+        // Both sets are sorted by cost.
+        assert!(CoordType::PREFERRED
+            .windows(2)
+            .all(|w| w[0].cost() < w[1].cost()));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CoordType::EnclosureBoundary.to_string(),
+            "enclosure-boundary"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Cost constants shared by the pattern-generation and pattern-selection
+//! dynamic programs (paper Algorithm 3).
+
+/// Penalty applied to an edge that re-uses a boundary-pin access point
+/// already selected in an earlier pattern (the BCA term). Must dominate
+/// every achievable quality cost so the DP prefers fresh boundary access
+/// points.
+pub const PENALTY_COST: i64 = 10_000;
+
+/// Cost applied to an edge whose two access points (or the history pair)
+/// are not mutually DRC-clean. Dominates quality costs; patterns with DRC
+/// edges are only produced when no clean path exists.
+pub const DRC_COST: i64 = 1_000;
+
+/// Weight of one unit of access-point coordinate-type cost in the DP edge
+/// cost (`apCost = UNIT_AP_COST × (prefTypeCost + nonPrefTypeCost)`).
+pub const UNIT_AP_COST: i64 = 1;
+
+/// Cost added per non-primary via (an access point whose best via is not
+/// the technology's default) — mild preference for default vias.
+pub const NON_DEFAULT_VIA_COST: i64 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the invariant
+    fn cost_hierarchy() {
+        // Max quality cost per edge: two APs at cost 3+2 each plus via
+        // preference — far below DRC, which is far below penalty.
+        let max_quality = UNIT_AP_COST * 2 * (3 + 2) + 2 * NON_DEFAULT_VIA_COST;
+        assert!(max_quality < DRC_COST);
+        assert!(DRC_COST < PENALTY_COST);
+    }
+}

@@ -1,0 +1,671 @@
+//! The top-level pin access oracle.
+
+use crate::apgen::{generate_pin_access_points, AccessPoint, ApGenConfig};
+use crate::cluster::select_patterns;
+use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
+use crate::stats::PaoStats;
+use crate::unique::{
+    build_instance_context, extract_unique_instances, local_pin_owner, pin_owner, UniqueInstance,
+    UniqueInstanceId,
+};
+use pao_design::{CompId, Design};
+use pao_drc::{DrcEngine, Owner, ShapeSet};
+use pao_geom::Rect;
+use pao_tech::{LayerId, MacroClass, Tech};
+use std::time::Instant;
+
+/// Configuration of the whole three-step analysis.
+#[derive(Debug, Clone)]
+pub struct PaoConfig {
+    /// Step-1 (access point generation) settings.
+    pub apgen: ApGenConfig,
+    /// Step-2/3 (pattern generation/selection) settings.
+    pub pattern: PatternConfig,
+    /// Worker threads for the per-unique-instance steps (1 = the paper's
+    /// single-threaded measurement mode; the paper lists multi-threading
+    /// as future work — implemented here).
+    pub threads: usize,
+    /// Post-selection repair rounds (rip-up and re-place of residual
+    /// dirty access points, mirroring the router's per-pin freedom).
+    /// 0 disables repair — use that to measure the selection stage alone.
+    pub repair_rounds: usize,
+}
+
+impl Default for PaoConfig {
+    fn default() -> PaoConfig {
+        PaoConfig {
+            apgen: ApGenConfig::default(),
+            pattern: PatternConfig::default(),
+            threads: 1,
+            repair_rounds: 3,
+        }
+    }
+}
+
+/// Per-unique-instance analysis result.
+#[derive(Debug, Clone)]
+pub struct UniqueInstanceAccess {
+    /// The unique instance this data describes.
+    pub info: UniqueInstance,
+    /// Access points per master pin (indexed like the master's pin list;
+    /// supply pins and pins without geometry have empty lists). Positions
+    /// are in the representative's die frame.
+    pub pin_aps: Vec<Vec<AccessPoint>>,
+    /// The analyzed pin ordering (indices into the master pin list).
+    pub pin_order: Vec<usize>,
+    /// Generated access patterns over `pin_order`.
+    pub patterns: Vec<AccessPattern>,
+}
+
+/// The complete result of [`PinAccessOracle::analyze`].
+#[derive(Debug, Clone)]
+pub struct PaoResult {
+    /// Per-unique-instance access data.
+    pub unique: Vec<UniqueInstanceAccess>,
+    /// Unique instance of each component (`None` for unknown masters).
+    pub comp_uniq: Vec<Option<UniqueInstanceId>>,
+    /// Selected pattern per component (`None` when no pattern exists).
+    pub selection: Vec<Option<usize>>,
+    /// Per-pin repair overrides (die-frame access points) applied after
+    /// cluster selection, exactly as the downstream router would deviate
+    /// from a pattern when a specific pin demands a different AP.
+    pub overrides: std::collections::HashMap<(CompId, usize), AccessPoint>,
+    /// Run statistics (Tables II/III raw numbers).
+    pub stats: PaoStats,
+}
+
+impl PaoResult {
+    /// The selected access point for `(comp, pin_idx)`, translated into
+    /// the component's die frame. `None` when the pin failed analysis.
+    #[must_use]
+    pub fn access_point(
+        &self,
+        design: &Design,
+        comp: CompId,
+        pin_idx: usize,
+    ) -> Option<AccessPoint> {
+        if let Some(ap) = self.overrides.get(&(comp, pin_idx)) {
+            return Some(ap.clone());
+        }
+        let ui = self.comp_uniq.get(comp.index()).copied().flatten()?;
+        let u = &self.unique[ui.index()];
+        let sel = self.selection.get(comp.index()).copied().flatten()?;
+        let pat = u.patterns.get(sel)?;
+        let pos_in_order = u.pin_order.iter().position(|&p| p == pin_idx)?;
+        let ap_idx = *pat.choice.get(pos_in_order)?;
+        let mut ap = u.pin_aps[pin_idx].get(ap_idx)?.clone();
+        let delta = design.component(comp).location - design.component(u.info.rep).location;
+        ap.pos += delta;
+        Some(ap)
+    }
+
+    /// All access points of `(comp, pin_idx)` (not just the selected one),
+    /// translated into the component's die frame.
+    #[must_use]
+    pub fn all_access_points(
+        &self,
+        design: &Design,
+        comp: CompId,
+        pin_idx: usize,
+    ) -> Vec<AccessPoint> {
+        let Some(ui) = self.comp_uniq.get(comp.index()).copied().flatten() else {
+            return Vec::new();
+        };
+        let u = &self.unique[ui.index()];
+        let delta = design.component(comp).location - design.component(u.info.rep).location;
+        u.pin_aps
+            .get(pin_idx)
+            .map(|aps| {
+                aps.iter()
+                    .map(|ap| {
+                        let mut ap = ap.clone();
+                        ap.pos += delta;
+                        ap
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// The pin access oracle: runs the three-step PAAF analysis on a placed
+/// design (see the [crate docs](crate) for the algorithm outline).
+#[derive(Debug, Clone, Default)]
+pub struct PinAccessOracle {
+    config: PaoConfig,
+}
+
+impl PinAccessOracle {
+    /// Creates an oracle with the paper's default parameters
+    /// (`k = 3`, `α = 0.3`, up to 3 patterns, BCA and history costs on).
+    #[must_use]
+    pub fn new() -> PinAccessOracle {
+        PinAccessOracle::default()
+    }
+
+    /// Creates an oracle with custom parameters.
+    #[must_use]
+    pub fn with_config(config: PaoConfig) -> PinAccessOracle {
+        PinAccessOracle { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &PaoConfig {
+        &self.config
+    }
+
+    /// Runs the full three-step analysis.
+    #[must_use]
+    pub fn analyze(&self, tech: &Tech, design: &Design) -> PaoResult {
+        let engine = DrcEngine::new(tech);
+
+        // ---- Step 1: unique instances + access point generation.
+        let t0 = Instant::now();
+        let infos = extract_unique_instances(tech, design);
+        let mut comp_uniq: Vec<Option<UniqueInstanceId>> = vec![None; design.components().len()];
+        for info in &infos {
+            for &m in &info.members {
+                comp_uniq[m.index()] = Some(info.id);
+            }
+        }
+        let apcfg = &self.config.apgen;
+        let analyzed = crate::parallel::parallel_map(self.config.threads, infos, |info| {
+            let engine = DrcEngine::new(tech);
+            let master = tech
+                .macro_by_name(&info.master)
+                .expect("unique instances only cover known masters");
+            let ctx = build_instance_context(tech, design, info.rep);
+            let shapes = design.placed_pin_shapes(tech, info.rep);
+            let mut apcfg = apcfg.clone();
+            if master.class == MacroClass::Block {
+                // Macro pins: planar access acceptable.
+                apcfg.require_via = false;
+            }
+            let mut pin_aps: Vec<Vec<AccessPoint>> = vec![Vec::new(); master.pins.len()];
+            let (mut total, mut dirty, mut without, mut off_track) =
+                (0usize, 0usize, 0usize, 0usize);
+            for (pin_idx, pin) in master.pins.iter().enumerate() {
+                if pin.use_.is_supply() {
+                    continue;
+                }
+                let rects: Vec<(LayerId, Rect)> = shapes
+                    .iter()
+                    .filter(|&&(pi, _, _)| pi == pin_idx)
+                    .map(|&(_, l, r)| (l, r))
+                    .collect();
+                if rects.is_empty() {
+                    continue;
+                }
+                let aps = generate_pin_access_points(
+                    tech, design, &engine, &ctx, pin_idx, &rects, &apcfg,
+                );
+                total += aps.len();
+                off_track += aps.iter().filter(|ap| ap.is_off_track()).count();
+                if aps.is_empty() {
+                    without += 1;
+                } else {
+                    // Honest dirty-AP audit (0 by construction for PAAF).
+                    for ap in &aps {
+                        if let Some(v) = ap.primary_via() {
+                            if !engine
+                                .check_via_placement(
+                                    tech.via(v),
+                                    ap.pos,
+                                    local_pin_owner(pin_idx),
+                                    &ctx,
+                                )
+                                .is_empty()
+                            {
+                                dirty += 1;
+                            }
+                        }
+                    }
+                }
+                pin_aps[pin_idx] = aps;
+            }
+            (
+                UniqueInstanceAccess {
+                    info,
+                    pin_aps,
+                    pin_order: Vec::new(),
+                    patterns: Vec::new(),
+                },
+                total,
+                dirty,
+                without,
+                off_track,
+            )
+        });
+        let mut unique: Vec<UniqueInstanceAccess> = Vec::with_capacity(analyzed.len());
+        let mut total_aps = 0usize;
+        let mut dirty_aps = 0usize;
+        let mut pins_without_aps = 0usize;
+        let mut off_track_aps = 0usize;
+        for (u, total, dirty, without, off_track) in analyzed {
+            total_aps += total;
+            dirty_aps += dirty;
+            pins_without_aps += without;
+            off_track_aps += off_track;
+            unique.push(u);
+        }
+        let apgen_time = t0.elapsed();
+
+        // ---- Step 2: pattern generation per unique instance.
+        let t1 = Instant::now();
+        {
+            let unique_ref = &unique;
+            let results = crate::parallel::parallel_map(
+                self.config.threads,
+                (0..unique_ref.len()).collect::<Vec<_>>(),
+                |i| {
+                    let engine = DrcEngine::new(tech);
+                    generate_patterns(tech, &engine, &unique_ref[i].pin_aps, &self.config.pattern)
+                },
+            );
+            for (u, (order, patterns)) in unique.iter_mut().zip(results) {
+                u.pin_order = order;
+                u.patterns = patterns;
+            }
+        }
+        let pattern_time = t1.elapsed();
+
+        // ---- Step 3: cluster-based selection + final validation.
+        let t2 = Instant::now();
+        let selection = select_patterns(tech, &engine, design, &comp_uniq, &unique);
+        let mut result = PaoResult {
+            unique,
+            comp_uniq,
+            selection,
+            overrides: std::collections::HashMap::new(),
+            stats: PaoStats {
+                total_aps,
+                dirty_aps,
+                pins_without_aps,
+                off_track_aps,
+                apgen_time,
+                pattern_time,
+                ..PaoStats::default()
+            },
+        };
+        result.stats.unique_instances = result.unique.len();
+        // Repair pass: for residual conflicts the whole-pattern DP cannot
+        // untangle (frustrated chains of tightly-abutting boundary pins),
+        // deviate per pin to any alternate clean AP — the same freedom the
+        // detailed router has when it consumes the access points.
+        for _round in 0..self.config.repair_rounds {
+            if repair_failed_pins(tech, design, &mut result) == 0 {
+                break;
+            }
+        }
+        result.stats.repaired_pins = result.overrides.len();
+        let (total_pins, failed_pins) = count_failed_pins(tech, design, &result);
+        result.stats.total_pins = total_pins;
+        result.stats.failed_pins = failed_pins;
+        result.stats.cluster_time = t2.elapsed();
+        result
+    }
+}
+
+/// One repair round: identifies every connected pin whose selected access
+/// is dirty in the whole-design context, **rips up** all their vias, and
+/// greedily re-places each (current AP first, then alternates) against the
+/// remaining context — so mutually-blocking pairs can both move. Returns
+/// the number of pins re-placed.
+pub(crate) fn repair_failed_pins(tech: &Tech, design: &Design, result: &mut PaoResult) -> usize {
+    let engine = DrcEngine::new(tech);
+    let (ctx, connected) = build_global_context(tech, design, result);
+    let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet| -> bool {
+        match ap.primary_via() {
+            Some(v) => !engine
+                .check_via_placement(tech.via(v), ap.pos, owner, ctx)
+                .is_empty(),
+            None => ap.planar.is_empty(),
+        }
+    };
+    let dirty: Vec<(CompId, usize)> = connected
+        .iter()
+        .copied()
+        .filter(
+            |&(comp, pin_idx)| match result.access_point(design, comp, pin_idx) {
+                Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), &ctx),
+                None => true,
+            },
+        )
+        .collect();
+    if dirty.is_empty() {
+        return 0;
+    }
+    // Rebuild the context without the dirty pins' vias (rip-up).
+    let dirty_set: std::collections::HashSet<(CompId, usize)> = dirty.iter().copied().collect();
+    let mut ctx = ShapeSet::new(tech.layers().len());
+    for (ci, c) in design.components().iter().enumerate() {
+        let comp = CompId(ci as u32);
+        if c.master_in(tech).is_none() || !c.is_placed {
+            continue;
+        }
+        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
+            ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+        }
+        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
+            ctx.insert(layer, rect, Owner::obs(u64::from(comp.0)));
+        }
+    }
+    for &(comp, pin_idx) in &connected {
+        if dirty_set.contains(&(comp, pin_idx)) {
+            continue;
+        }
+        if let Some(ap) = result.access_point(design, comp, pin_idx) {
+            if let Some(v) = ap.primary_via() {
+                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
+                    ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+                }
+            }
+        }
+    }
+    ctx.rebuild();
+    // Greedy re-placement.
+    let mut repaired = 0usize;
+    for &(comp, pin_idx) in &dirty {
+        let owner = pin_owner(comp, pin_idx);
+        let current = result.access_point(design, comp, pin_idx);
+        let mut candidates: Vec<AccessPoint> = Vec::new();
+        candidates.extend(current.clone());
+        for alt in result.all_access_points(design, comp, pin_idx) {
+            if current.as_ref().map(|c| c.pos) != Some(alt.pos) {
+                candidates.push(alt);
+            }
+        }
+        let placed = candidates
+            .into_iter()
+            .find(|cand| cand.primary_via().is_some() && !is_dirty(cand, owner, &ctx));
+        if let Some(cand) = placed {
+            let v = cand.primary_via().expect("via candidates only");
+            for (l, r) in tech.via(v).placed_shapes(cand.pos) {
+                ctx.insert(l, r, owner);
+            }
+            result.overrides.insert((comp, pin_idx), cand);
+            repaired += 1;
+        } else if let Some(cur) = current {
+            // Nothing clean: keep the current choice committed so later
+            // pins at least see it.
+            if let Some(v) = cur.primary_via() {
+                for (l, r) in tech.via(v).placed_shapes(cur.pos) {
+                    ctx.insert(l, r, owner);
+                }
+            }
+        }
+    }
+    repaired
+}
+
+/// Builds the whole-design shape context (pins, obstructions, every
+/// selected access via) plus the connected-pin list.
+fn build_global_context(
+    tech: &Tech,
+    design: &Design,
+    result: &PaoResult,
+) -> (ShapeSet, Vec<(CompId, usize)>) {
+    let mut ctx = ShapeSet::new(tech.layers().len());
+    for (ci, c) in design.components().iter().enumerate() {
+        let comp = CompId(ci as u32);
+        if c.master_in(tech).is_none() || !c.is_placed {
+            continue;
+        }
+        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
+            ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+        }
+        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
+            ctx.insert(layer, rect, Owner::obs(u64::from(comp.0)));
+        }
+    }
+    let mut connected: Vec<(CompId, usize)> = Vec::new();
+    for net in design.nets() {
+        for (comp, pin_name) in net.comp_pins() {
+            if !design.component(comp).is_placed {
+                continue;
+            }
+            let Some(master) = design.component(comp).master_in(tech) else {
+                continue;
+            };
+            let Some(pin_idx) = master.pins.iter().position(|p| p.name == pin_name) else {
+                continue;
+            };
+            connected.push((comp, pin_idx));
+        }
+    }
+    for &(comp, pin_idx) in &connected {
+        if let Some(ap) = result.access_point(design, comp, pin_idx) {
+            if let Some(v) = ap.primary_via() {
+                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
+                    ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+                }
+            }
+        }
+    }
+    ctx.rebuild();
+    (ctx, connected)
+}
+
+/// Counts Table III's `(total pins, failed pins)`: every component pin
+/// with a net attached must end with a DRC-clean access point, checked
+/// against the **whole-design** context (all pins, obstructions and every
+/// other selected via).
+#[must_use]
+pub fn count_failed_pins(tech: &Tech, design: &Design, result: &PaoResult) -> (usize, usize) {
+    count_failed_pins_with(tech, design, |comp, pin_idx| {
+        result.access_point(design, comp, pin_idx)
+    })
+}
+
+/// Generic form of [`count_failed_pins`]: `accessor` supplies the selected
+/// access point per `(component, pin index)` in die coordinates. Used to
+/// score both PAAF and baseline pin access with identical rules.
+#[must_use]
+pub fn count_failed_pins_with(
+    tech: &Tech,
+    design: &Design,
+    accessor: impl Fn(CompId, usize) -> Option<AccessPoint>,
+) -> (usize, usize) {
+    // Global context: all placed pin/obs shapes + all selected vias.
+    let mut ctx = ShapeSet::new(tech.layers().len());
+    for (ci, c) in design.components().iter().enumerate() {
+        let comp = CompId(ci as u32);
+        if c.master_in(tech).is_none() || !c.is_placed {
+            continue;
+        }
+        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
+            ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+        }
+        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
+            ctx.insert(layer, rect, Owner::obs(u64::from(comp.0)));
+        }
+    }
+    // Connected pins and their selected access.
+    let mut connected: Vec<(CompId, usize)> = Vec::new();
+    for net in design.nets() {
+        for (comp, pin_name) in net.comp_pins() {
+            if !design.component(comp).is_placed {
+                continue;
+            }
+            let Some(master) = design.component(comp).master_in(tech) else {
+                continue;
+            };
+            let Some(pin_idx) = master.pins.iter().position(|p| p.name == pin_name) else {
+                continue;
+            };
+            connected.push((comp, pin_idx));
+        }
+    }
+    for &(comp, pin_idx) in &connected {
+        if let Some(ap) = accessor(comp, pin_idx) {
+            if let Some(v) = ap.primary_via() {
+                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
+                    ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+                }
+            }
+        }
+    }
+    ctx.rebuild();
+    let engine = DrcEngine::new(tech);
+    let mut failed = 0usize;
+    for &(comp, pin_idx) in &connected {
+        let ok = match accessor(comp, pin_idx) {
+            Some(ap) => match ap.primary_via() {
+                Some(v) => engine
+                    .check_via_placement(tech.via(v), ap.pos, pin_owner(comp, pin_idx), &ctx)
+                    .is_empty(),
+                // Planar-only access (macro pins): accept.
+                None => !ap.planar.is_empty(),
+            },
+            None => false,
+        };
+        if !ok {
+            failed += 1;
+        }
+    }
+    (connected.len(), failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_design::{Component, Net, NetPin, TrackPattern};
+    use pao_geom::{Dir, Orient, Point};
+    use pao_tech::rules::MinStepRule;
+    use pao_tech::{Layer, Macro, Pin, PinDir, Port, ViaDef};
+
+    /// A small but complete world: 3-layer tech, one 2-pin cell, a design
+    /// with two abutting instances and nets.
+    fn world() -> (Tech, Design) {
+        let mut t = Tech::new(1000);
+        let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+        m1.min_step = Some(MinStepRule::simple(60));
+        let m1 = t.add_layer(m1);
+        let v1 = t.add_layer(Layer::cut("V1", 70, 80));
+        let m2 = t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+        let mut via = ViaDef::new(
+            "via1_0",
+            m1,
+            vec![Rect::new(-65, -35, 65, 35)],
+            v1,
+            vec![Rect::new(-35, -35, 35, 35)],
+            m2,
+            vec![Rect::new(-35, -65, 35, 65)],
+        );
+        via.is_default = true;
+        t.add_via(via);
+        // 1200×1400 cell with pins A (left) and Y (right), both tall bars
+        // crossing tracks at y = 100…1300.
+        let mut cell = Macro::new("BUFX1", 1200, 1400);
+        cell.pins.push(Pin::new(
+            "A",
+            PinDir::Input,
+            vec![Port::rects(m1, vec![Rect::new(150, 100, 300, 900)])],
+        ));
+        cell.pins.push(Pin::new(
+            "Y",
+            PinDir::Output,
+            vec![Port::rects(m1, vec![Rect::new(800, 100, 950, 900)])],
+        ));
+        t.add_macro(cell);
+
+        let mut d = Design::new("mini", Rect::new(0, 0, 20_000, 20_000));
+        d.tracks
+            .push(TrackPattern::new(Dir::Horizontal, 100, 200, 90, vec![m1]));
+        d.tracks
+            .push(TrackPattern::new(Dir::Vertical, 100, 200, 90, vec![m2]));
+        let u0 = d.add_component(Component::new("u0", "BUFX1", Point::new(200, 0), Orient::N));
+        let u1 = d.add_component(Component::new(
+            "u1",
+            "BUFX1",
+            Point::new(1400, 0),
+            Orient::N,
+        ));
+        let mut n0 = Net::new("n0");
+        n0.pins.push(NetPin::Comp {
+            comp: u0,
+            pin: "Y".into(),
+        });
+        n0.pins.push(NetPin::Comp {
+            comp: u1,
+            pin: "A".into(),
+        });
+        d.add_net(n0);
+        let mut n1 = Net::new("n1");
+        n1.pins.push(NetPin::Comp {
+            comp: u0,
+            pin: "A".into(),
+        });
+        d.add_net(n1);
+        let mut n2 = Net::new("n2");
+        n2.pins.push(NetPin::Comp {
+            comp: u1,
+            pin: "Y".into(),
+        });
+        d.add_net(n2);
+        (t, d)
+    }
+
+    #[test]
+    fn full_analysis_is_clean_on_easy_design() {
+        let (t, d) = world();
+        let result = PinAccessOracle::new().analyze(&t, &d);
+        // Both instances share a signature (x offset = 1200 = 6 pitches).
+        assert_eq!(result.stats.unique_instances, 1);
+        assert!(result.stats.total_aps >= 6, "{}", result.stats);
+        assert_eq!(result.stats.dirty_aps, 0);
+        assert_eq!(result.stats.pins_without_aps, 0);
+        assert_eq!(result.stats.total_pins, 4);
+        assert_eq!(result.stats.failed_pins, 0, "{}", result.stats);
+        // Every connected pin resolves to an access point on its pin shape.
+        for (ci, comp) in d.components().iter().enumerate() {
+            let master = comp.master_in(&t).unwrap();
+            for (pi, _) in master.pins.iter().enumerate() {
+                let ap = result.access_point(&d, CompId(ci as u32), pi).unwrap();
+                let shapes = d.placed_pin_shapes(&t, CompId(ci as u32));
+                assert!(
+                    shapes
+                        .iter()
+                        .any(|&(p, _, r)| p == pi && r.contains(ap.pos)),
+                    "AP {} not on pin {pi} of {}",
+                    ap.pos,
+                    comp.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_share_unique_analysis() {
+        let (t, d) = world();
+        let result = PinAccessOracle::new().analyze(&t, &d);
+        let a0 = result.access_point(&d, CompId(0), 0).unwrap();
+        let a1 = result.access_point(&d, CompId(1), 0).unwrap();
+        // Same relative position, translated by the placement delta…
+        assert_eq!(a1.pos - a0.pos, Point::new(1200, 0));
+        // …and identical type/via data.
+        assert_eq!(a0.pref_type, a1.pref_type);
+        assert_eq!(a0.vias, a1.vias);
+    }
+
+    #[test]
+    fn all_access_points_translated() {
+        let (t, d) = world();
+        let result = PinAccessOracle::new().analyze(&t, &d);
+        let aps0 = result.all_access_points(&d, CompId(0), 0);
+        let aps1 = result.all_access_points(&d, CompId(1), 0);
+        assert_eq!(aps0.len(), aps1.len());
+        assert!(!aps0.is_empty());
+        for (a, b) in aps0.iter().zip(&aps1) {
+            assert_eq!(b.pos - a.pos, Point::new(1200, 0));
+        }
+    }
+
+    #[test]
+    fn unknown_pin_returns_none() {
+        let (t, d) = world();
+        let result = PinAccessOracle::new().analyze(&t, &d);
+        assert!(result.access_point(&d, CompId(0), 99).is_none());
+    }
+}

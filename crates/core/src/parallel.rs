@@ -1,0 +1,91 @@
+//! Minimal scoped-thread parallel map (the paper's future-work item (ii):
+//! multi-threading to further reduce runtime).
+//!
+//! Unique instances are analyzed independently, so steps 1 and 2
+//! parallelize trivially. This helper avoids an external thread-pool
+//! dependency: inputs are split into contiguous chunks, one scoped thread
+//! per chunk, and outputs are reassembled in order.
+
+/// Maps `f` over `items` using up to `threads` worker threads, preserving
+/// order. With `threads <= 1` (or one item) this runs inline, matching the
+/// paper's single-threaded measurement mode exactly.
+///
+/// ```
+/// let squares = pao_core::parallel::parallel_map(4, vec![1, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split from the back to keep pops O(1), then restore order.
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let f = &f;
+    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for v in &mut out {
+        flat.append(v);
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<i64> = (0..1000).collect();
+        let expect: Vec<i64> = input.iter().map(|x| x * 2).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(threads, input.clone(), |x| x * 2),
+                expect,
+                "{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map(8, Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(parallel_map(8, vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map(100, vec![1, 2, 3], |x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn propagates_panics() {
+        let _ = parallel_map(2, vec![1, 2, 3, 4], |x| {
+            assert!(x != 3, "boom");
+            x
+        });
+    }
+}

@@ -1,0 +1,293 @@
+//! Persistence for the incremental-analysis cache.
+//!
+//! Placement optimization runs in many short tool invocations; persisting
+//! the per-signature intra-cell analysis lets every invocation after the
+//! first skip steps 1–2 entirely. The format is a plain line-oriented
+//! text format (like LEF/DEF, greppable and diff-friendly), versioned by
+//! a header.
+
+use crate::apgen::{AccessPoint, PlanarDir};
+use crate::coord::CoordType;
+use crate::pattern::AccessPattern;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced while loading a persisted cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadCacheError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for LoadCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache load error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for LoadCacheError {}
+
+const MAGIC: &str = "PAO-CACHE v1";
+
+fn coord_code(t: CoordType) -> u8 {
+    t.cost() as u8
+}
+
+fn coord_from(c: u8) -> Option<CoordType> {
+    Some(match c {
+        0 => CoordType::OnTrack,
+        1 => CoordType::HalfTrack,
+        2 => CoordType::ShapeCenter,
+        3 => CoordType::EnclosureBoundary,
+        _ => return None,
+    })
+}
+
+fn planar_code(d: PlanarDir) -> char {
+    match d {
+        PlanarDir::East => 'E',
+        PlanarDir::West => 'W',
+        PlanarDir::North => 'N',
+        PlanarDir::South => 'S',
+    }
+}
+
+fn planar_from(c: char) -> Option<PlanarDir> {
+    Some(match c {
+        'E' => PlanarDir::East,
+        'W' => PlanarDir::West,
+        'N' => PlanarDir::North,
+        'S' => PlanarDir::South,
+        _ => return None,
+    })
+}
+
+/// Serializes one access point as a single line.
+pub fn write_ap(out: &mut String, ap: &AccessPoint) {
+    let vias: Vec<String> = ap.vias.iter().map(|v| v.0.to_string()).collect();
+    let planar: String = ap.planar.iter().map(|&d| planar_code(d)).collect();
+    let _ = writeln!(
+        out,
+        "AP {} {} {} {} {} vias={} planar={}",
+        ap.pos.x,
+        ap.pos.y,
+        ap.layer.0,
+        coord_code(ap.pref_type),
+        coord_code(ap.nonpref_type),
+        if vias.is_empty() {
+            "-".to_owned()
+        } else {
+            vias.join(",")
+        },
+        if planar.is_empty() {
+            "-".to_owned()
+        } else {
+            planar
+        },
+    );
+}
+
+/// Parses a line produced by [`write_ap`].
+///
+/// # Errors
+///
+/// Returns [`LoadCacheError`] with the offending line on malformed input.
+pub fn parse_ap(line: &str, lineno: usize) -> Result<AccessPoint, LoadCacheError> {
+    let err = |m: &str| LoadCacheError {
+        message: m.to_owned(),
+        line: lineno,
+    };
+    let mut it = line.split_whitespace();
+    if it.next() != Some("AP") {
+        return Err(err("expected AP line"));
+    }
+    let mut num = |name: &str| -> Result<i64, LoadCacheError> {
+        it.next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err(&format!("bad {name}")))
+    };
+    let x = num("x")?;
+    let y = num("y")?;
+    let layer = num("layer")? as u32;
+    let pref = coord_from(num("pref")? as u8).ok_or_else(|| err("bad pref type"))?;
+    let nonpref = coord_from(num("nonpref")? as u8).ok_or_else(|| err("bad nonpref type"))?;
+    let vias_tok = it.next().ok_or_else(|| err("missing vias"))?;
+    let vias_str = vias_tok
+        .strip_prefix("vias=")
+        .ok_or_else(|| err("missing vias="))?;
+    let vias = if vias_str == "-" {
+        Vec::new()
+    } else {
+        vias_str
+            .split(',')
+            .map(|v| v.parse().map(pao_tech::ViaId))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| err("bad via id"))?
+    };
+    let planar_tok = it.next().ok_or_else(|| err("missing planar"))?;
+    let planar_str = planar_tok
+        .strip_prefix("planar=")
+        .ok_or_else(|| err("missing planar="))?;
+    let planar = if planar_str == "-" {
+        Vec::new()
+    } else {
+        planar_str
+            .chars()
+            .map(planar_from)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| err("bad planar code"))?
+    };
+    Ok(AccessPoint {
+        pos: pao_geom::Point::new(x, y),
+        layer: pao_tech::LayerId(layer),
+        pref_type: pref,
+        nonpref_type: nonpref,
+        vias,
+        planar,
+    })
+}
+
+/// Serializes one access pattern as a single line.
+pub fn write_pattern(out: &mut String, p: &AccessPattern) {
+    let choice: Vec<String> = p.choice.iter().map(usize::to_string).collect();
+    let _ = writeln!(
+        out,
+        "PATTERN cost={} validated={} choice={}",
+        p.cost,
+        p.validated,
+        if choice.is_empty() {
+            "-".to_owned()
+        } else {
+            choice.join(",")
+        },
+    );
+}
+
+/// Parses a line produced by [`write_pattern`].
+///
+/// # Errors
+///
+/// Returns [`LoadCacheError`] with the offending line on malformed input.
+pub fn parse_pattern(line: &str, lineno: usize) -> Result<AccessPattern, LoadCacheError> {
+    let err = |m: &str| LoadCacheError {
+        message: m.to_owned(),
+        line: lineno,
+    };
+    let mut it = line.split_whitespace();
+    if it.next() != Some("PATTERN") {
+        return Err(err("expected PATTERN line"));
+    }
+    let cost = it
+        .next()
+        .and_then(|t| t.strip_prefix("cost="))
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err("bad cost"))?;
+    let validated = it
+        .next()
+        .and_then(|t| t.strip_prefix("validated="))
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err("bad validated"))?;
+    let choice_str = it
+        .next()
+        .and_then(|t| t.strip_prefix("choice="))
+        .ok_or_else(|| err("missing choice"))?;
+    let choice = if choice_str == "-" {
+        Vec::new()
+    } else {
+        choice_str
+            .split(',')
+            .map(str::parse)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| err("bad choice index"))?
+    };
+    Ok(AccessPattern {
+        choice,
+        cost,
+        validated,
+    })
+}
+
+/// The header line every persisted cache starts with.
+pub(crate) fn header() -> String {
+    format!("{MAGIC}\n")
+}
+
+/// Validates the header line.
+pub(crate) fn check_header(line: Option<&str>) -> Result<(), LoadCacheError> {
+    match line {
+        Some(l) if l.trim() == MAGIC => Ok(()),
+        other => Err(LoadCacheError {
+            message: format!("expected `{MAGIC}` header, found {other:?}"),
+            line: 1,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_geom::Point;
+    use pao_tech::{LayerId, ViaId};
+
+    fn sample_ap() -> AccessPoint {
+        AccessPoint {
+            pos: Point::new(-120, 4500),
+            layer: LayerId(0),
+            pref_type: CoordType::ShapeCenter,
+            nonpref_type: CoordType::OnTrack,
+            vias: vec![ViaId(3), ViaId(1)],
+            planar: vec![PlanarDir::East, PlanarDir::South],
+        }
+    }
+
+    #[test]
+    fn ap_roundtrip() {
+        let ap = sample_ap();
+        let mut s = String::new();
+        write_ap(&mut s, &ap);
+        let back = parse_ap(s.trim_end(), 1).unwrap();
+        assert_eq!(ap, back);
+    }
+
+    #[test]
+    fn ap_roundtrip_empty_lists() {
+        let mut ap = sample_ap();
+        ap.vias.clear();
+        ap.planar.clear();
+        let mut s = String::new();
+        write_ap(&mut s, &ap);
+        assert_eq!(parse_ap(s.trim_end(), 1).unwrap(), ap);
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let p = AccessPattern {
+            choice: vec![0, 2, 1],
+            cost: -42,
+            validated: true,
+        };
+        let mut s = String::new();
+        write_pattern(&mut s, &p);
+        assert_eq!(parse_pattern(s.trim_end(), 1).unwrap(), p);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        assert!(parse_ap("AP 1 2", 7).unwrap_err().line == 7);
+        assert!(parse_ap("NOPE", 3).is_err());
+        assert!(parse_pattern("PATTERN cost=x validated=true choice=-", 2).is_err());
+    }
+
+    #[test]
+    fn header_checked() {
+        assert!(check_header(Some(MAGIC)).is_ok());
+        assert!(check_header(Some("garbage")).is_err());
+        assert!(check_header(None).is_err());
+    }
+}

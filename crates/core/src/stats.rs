@@ -1,0 +1,96 @@
+//! Analysis statistics — the raw numbers behind the paper's Tables II
+//! and III.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics collected by a [`PinAccessOracle`](crate::PinAccessOracle)
+/// run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PaoStats {
+    /// Number of unique instances analyzed (Table II column 2).
+    pub unique_instances: usize,
+    /// Total access points generated over all unique-instance pins
+    /// (Table II "Total #APs").
+    pub total_aps: usize,
+    /// Access points whose primary via is not DRC-clean in the
+    /// intra-cell context (Table II "#Dirty APs" — zero by construction
+    /// for PAAF, nonzero for unvalidated baselines).
+    pub dirty_aps: usize,
+    /// Unique-instance pins with zero valid access points.
+    pub pins_without_aps: usize,
+    /// Access points with at least one off-track coordinate (Fig. 9's
+    /// "off-track pin access enabled automatically").
+    pub off_track_aps: usize,
+    /// Pins whose access was changed by the post-selection repair pass.
+    pub repaired_pins: usize,
+    /// Total connected instance pins (Table III "Total #Pins").
+    pub total_pins: usize,
+    /// Connected pins without a DRC-clean access after pattern selection
+    /// (Table III "#Failed Pins").
+    pub failed_pins: usize,
+    /// Wall time of step 1 (access point generation).
+    pub apgen_time: Duration,
+    /// Wall time of step 2 (pattern generation).
+    pub pattern_time: Duration,
+    /// Wall time of step 3 (cluster-based selection) including the final
+    /// validation pass.
+    pub cluster_time: Duration,
+}
+
+impl PaoStats {
+    /// Total wall time of the three analysis steps.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.apgen_time + self.pattern_time + self.cluster_time
+    }
+}
+
+impl fmt::Display for PaoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "unique instances : {}", self.unique_instances)?;
+        writeln!(f, "total APs        : {}", self.total_aps)?;
+        writeln!(f, "dirty APs        : {}", self.dirty_aps)?;
+        writeln!(f, "pins without APs : {}", self.pins_without_aps)?;
+        writeln!(f, "off-track APs    : {}", self.off_track_aps)?;
+        writeln!(f, "repaired pins    : {}", self.repaired_pins)?;
+        writeln!(f, "total pins       : {}", self.total_pins)?;
+        writeln!(f, "failed pins      : {}", self.failed_pins)?;
+        write!(
+            f,
+            "time (s)         : apgen {:.3} + pattern {:.3} + cluster {:.3} = {:.3}",
+            self.apgen_time.as_secs_f64(),
+            self.pattern_time.as_secs_f64(),
+            self.cluster_time.as_secs_f64(),
+            self.total_time().as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_sums_steps() {
+        let s = PaoStats {
+            apgen_time: Duration::from_millis(10),
+            pattern_time: Duration::from_millis(20),
+            cluster_time: Duration::from_millis(30),
+            ..PaoStats::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let s = PaoStats {
+            unique_instances: 42,
+            failed_pins: 7,
+            ..PaoStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("42"));
+        assert!(text.contains("failed pins      : 7"));
+    }
+}

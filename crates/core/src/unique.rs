@@ -1,0 +1,233 @@
+//! Unique-instance extraction (paper Section II-A).
+
+use pao_design::{CompId, Design};
+use pao_drc::{Owner, ShapeSet};
+use pao_geom::{Dbu, Orient};
+use pao_tech::Tech;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a unique instance in the analysis result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UniqueInstanceId(pub u32);
+
+impl UniqueInstanceId {
+    /// The index as a `usize` for direct slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UniqueInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+/// An equivalence class of placed instances sharing a *signature*: cell
+/// master, orientation, and the offsets (phases) of the placement origin
+/// to every track pattern in the design.
+///
+/// Instances with the same signature see identical on-/off-track
+/// conditions at every pin location, so intra-cell pin access analysis is
+/// performed **once per unique instance** on the representative `rep` and
+/// the resulting access points are translated to every member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniqueInstance {
+    /// This class's id.
+    pub id: UniqueInstanceId,
+    /// Cell master name.
+    pub master: String,
+    /// Placement orientation.
+    pub orient: Orient,
+    /// Origin phases against every track pattern, in declaration order.
+    pub phases: Vec<Dbu>,
+    /// The representative member (analysis frame).
+    pub rep: CompId,
+    /// All members, including `rep`.
+    pub members: Vec<CompId>,
+}
+
+/// Groups the design's components into unique instances.
+///
+/// Components whose master is unknown to `tech` are skipped. The returned
+/// vector is ordered by first appearance; `members` preserve design order.
+///
+/// ```no_run
+/// # let tech: pao_tech::Tech = unimplemented!();
+/// # let design: pao_design::Design = unimplemented!();
+/// let unique = pao_core::unique::extract_unique_instances(&tech, &design);
+/// let total: usize = unique.iter().map(|u| u.members.len()).sum();
+/// assert!(total <= design.components().len());
+/// ```
+#[must_use]
+pub fn extract_unique_instances(tech: &Tech, design: &Design) -> Vec<UniqueInstance> {
+    let mut by_sig: HashMap<(String, Orient, Vec<Dbu>), usize> = HashMap::new();
+    let mut out: Vec<UniqueInstance> = Vec::new();
+    for (i, comp) in design.components().iter().enumerate() {
+        if comp.master_in(tech).is_none() || !comp.is_placed {
+            continue;
+        }
+        let id = CompId(i as u32);
+        let sig = (comp.master.clone(), comp.orient, design.track_phases(comp));
+        match by_sig.get(&sig) {
+            Some(&ui) => out[ui].members.push(id),
+            None => {
+                let ui = out.len();
+                by_sig.insert(sig.clone(), ui);
+                out.push(UniqueInstance {
+                    id: UniqueInstanceId(ui as u32),
+                    master: sig.0,
+                    orient: sig.1,
+                    phases: sig.2,
+                    rep: id,
+                    members: vec![id],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Owner id for pin `pin_idx` of component `comp` in DRC shape sets —
+/// the scheme used throughout the framework.
+#[must_use]
+pub fn pin_owner(comp: CompId, pin_idx: usize) -> Owner {
+    Owner::pin((u64::from(comp.0) << 16) | pin_idx as u64)
+}
+
+/// Owner id for pin `pin_idx` analysed in the *unique-instance frame*
+/// (no component identity — intra-cell analysis only).
+#[must_use]
+pub fn local_pin_owner(pin_idx: usize) -> Owner {
+    Owner::pin(pin_idx as u64)
+}
+
+/// Builds the intra-cell DRC context for one placed component: its own pin
+/// shapes (owners [`local_pin_owner`]) and obstructions, in die
+/// coordinates.
+///
+/// Step 1 of the framework validates access points against exactly this
+/// context — inter-cell effects are handled by steps 2 and 3.
+///
+/// # Panics
+///
+/// Panics when the component's master is unknown to `tech`.
+#[must_use]
+pub fn build_instance_context(tech: &Tech, design: &Design, comp: CompId) -> ShapeSet {
+    let mut ctx = ShapeSet::new(tech.layers().len());
+    for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
+        ctx.insert(layer, rect, local_pin_owner(pin_idx));
+    }
+    for (layer, rect) in design.placed_obs_shapes(tech, comp) {
+        ctx.insert(layer, rect, Owner::obs(0));
+    }
+    ctx.rebuild();
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_design::{Component, TrackPattern};
+    use pao_geom::{Dir, Point, Rect};
+    use pao_tech::{Layer, LayerId, Macro, Pin, PinDir, Port};
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(2000);
+        let m1 = t.add_layer(Layer::routing("M1", Dir::Horizontal, 280, 120, 120));
+        let mut inv = Macro::new("INVX1", 760, 2800);
+        inv.pins.push(Pin::new(
+            "A",
+            PinDir::Input,
+            vec![Port::rects(m1, vec![Rect::new(100, 400, 220, 1000)])],
+        ));
+        inv.obs.push((m1, Rect::new(600, 0, 700, 2800)));
+        t.add_macro(inv);
+        t.add_macro(Macro::new("NAND2X1", 1140, 2800));
+        t
+    }
+
+    fn design_with_tracks() -> Design {
+        let mut d = Design::new("top", Rect::new(0, 0, 100_000, 100_000));
+        d.tracks.push(TrackPattern::new(
+            Dir::Horizontal,
+            140,
+            280,
+            300,
+            vec![LayerId(0)],
+        ));
+        d.tracks.push(TrackPattern::new(
+            Dir::Vertical,
+            190,
+            380,
+            250,
+            vec![LayerId(0)],
+        ));
+        d
+    }
+
+    #[test]
+    fn same_signature_groups() {
+        let t = tech();
+        let mut d = design_with_tracks();
+        // a, b: same master/orient, x offset = one vertical pitch → same class.
+        d.add_component(Component::new("a", "INVX1", Point::new(380, 0), Orient::N));
+        d.add_component(Component::new("b", "INVX1", Point::new(760, 0), Orient::N));
+        // c: shifted half a pitch → different class (paper Fig. 1).
+        d.add_component(Component::new("c", "INVX1", Point::new(570, 0), Orient::N));
+        // e: same offsets but different orientation → different class.
+        d.add_component(Component::new(
+            "e",
+            "INVX1",
+            Point::new(1140, 0),
+            Orient::FS,
+        ));
+        // f: different master → different class.
+        d.add_component(Component::new(
+            "f",
+            "NAND2X1",
+            Point::new(1520, 0),
+            Orient::N,
+        ));
+        let unique = extract_unique_instances(&t, &d);
+        assert_eq!(unique.len(), 4);
+        assert_eq!(unique[0].members.len(), 2);
+        assert_eq!(unique[0].rep, CompId(0));
+        assert_eq!(unique[0].id, UniqueInstanceId(0));
+        let total: usize = unique.iter().map(|u| u.members.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn unknown_masters_skipped() {
+        let t = tech();
+        let mut d = design_with_tracks();
+        d.add_component(Component::new("ghost", "BOGUS", Point::ORIGIN, Orient::N));
+        assert!(extract_unique_instances(&t, &d).is_empty());
+    }
+
+    #[test]
+    fn context_contains_pins_and_obs() {
+        let t = tech();
+        let mut d = design_with_tracks();
+        let id = d.add_component(Component::new("a", "INVX1", Point::new(1000, 0), Orient::N));
+        let ctx = build_instance_context(&t, &d, id);
+        assert_eq!(ctx.len(), 2);
+        // Pin shape translated by the placement.
+        let hits: Vec<(Rect, Owner)> = ctx
+            .query(LayerId(0), Rect::new(1100, 400, 1220, 1000))
+            .collect();
+        assert!(hits
+            .iter()
+            .any(|&(r, o)| r == Rect::new(1100, 400, 1220, 1000) && o == local_pin_owner(0)));
+    }
+
+    #[test]
+    fn owner_schemes_distinct() {
+        assert_ne!(pin_owner(CompId(1), 0), pin_owner(CompId(0), 1));
+        assert_ne!(pin_owner(CompId(0), 1), pin_owner(CompId(0), 2));
+        assert_eq!(local_pin_owner(3), Owner::pin(3));
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for the pin access framework's invariants.
+
+use pao_core::apgen::{generate_pin_access_points, AccessPoint, ApGenConfig};
+use pao_core::coord::CoordType;
+use pao_core::pattern::{generate_patterns, order_pins, PatternConfig};
+use pao_core::unique::local_pin_owner;
+use pao_design::{Design, TrackPattern};
+use pao_drc::{DrcEngine, ShapeSet};
+use pao_geom::{Dir, Point, Rect};
+use pao_tech::rules::MinStepRule;
+use pao_tech::{Layer, LayerId, Tech, ViaDef, ViaId};
+use proptest::prelude::*;
+
+fn tech() -> Tech {
+    let mut t = Tech::new(1000);
+    let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+    m1.min_step = Some(MinStepRule::simple(60));
+    t.add_layer(m1);
+    t.add_layer(Layer::cut("V1", 50, 120));
+    t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+    let mut via = ViaDef::new(
+        "via1_0",
+        LayerId(0),
+        vec![Rect::new(-65, -30, 65, 30)],
+        LayerId(1),
+        vec![Rect::new(-25, -25, 25, 25)],
+        LayerId(2),
+        vec![Rect::new(-30, -65, 30, 65)],
+    );
+    via.is_default = true;
+    t.add_via(via);
+    t
+}
+
+fn design() -> Design {
+    let mut d = Design::new("p", Rect::new(0, 0, 20_000, 20_000));
+    d.tracks.push(TrackPattern::new(
+        Dir::Horizontal,
+        100,
+        200,
+        90,
+        vec![LayerId(0)],
+    ));
+    d.tracks.push(TrackPattern::new(
+        Dir::Vertical,
+        100,
+        200,
+        90,
+        vec![LayerId(2)],
+    ));
+    d
+}
+
+fn ap_at(x: i64, y: i64) -> AccessPoint {
+    AccessPoint {
+        pos: Point::new(x, y),
+        layer: LayerId(0),
+        pref_type: CoordType::OnTrack,
+        nonpref_type: CoordType::OnTrack,
+        vias: vec![ViaId(0)],
+        planar: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every AP returned by Algorithm 1 lies on the pin and its primary
+    /// via re-validates clean — the framework's core guarantee.
+    #[test]
+    fn generated_aps_are_on_pin_and_clean(
+        x in 200i64..2000,
+        y in 200i64..2000,
+        w in 200i64..1500,
+        h in 70i64..800,
+    ) {
+        let t = tech();
+        let d = design();
+        let engine = DrcEngine::new(&t);
+        let pin = Rect::new(x, y, x + w, y + h);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        ctx.insert(LayerId(0), pin, local_pin_owner(0));
+        ctx.rebuild();
+        let aps = generate_pin_access_points(
+            &t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &ApGenConfig::default(),
+        );
+        for ap in &aps {
+            prop_assert!(pin.contains(ap.pos), "AP {} off pin {}", ap.pos, pin);
+            let via = ap.primary_via().expect("via access");
+            let v = engine.check_via_placement(t.via(via), ap.pos, local_pin_owner(0), &ctx);
+            prop_assert!(v.is_empty(), "dirty AP {}: {v:?}", ap.pos);
+        }
+        // Determinism.
+        let again = generate_pin_access_points(
+            &t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &ApGenConfig::default(),
+        );
+        prop_assert_eq!(aps, again);
+    }
+
+    /// Pin ordering is a permutation of the pins with access points, and
+    /// boundary pins are the extremes of the ordering key.
+    #[test]
+    fn ordering_is_a_permutation(coords in prop::collection::vec((0i64..5000, 0i64..5000), 1..8)) {
+        let pins: Vec<Vec<AccessPoint>> = coords
+            .iter()
+            .map(|&(x, y)| vec![ap_at(x, y)])
+            .collect();
+        let order = order_pins(&pins, 0.3);
+        prop_assert_eq!(order.len(), pins.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), pins.len(), "permutation");
+        // Keys are non-decreasing along the order.
+        let key = |i: usize| coords[i].0 as f64 + 0.3 * coords[i].1 as f64;
+        for w in order.windows(2) {
+            prop_assert!(key(w[0]) <= key(w[1]) + 1e-9);
+        }
+    }
+
+    /// Patterns index valid APs, and every validated pattern's choices are
+    /// pairwise compatible when re-checked exhaustively.
+    #[test]
+    fn patterns_are_well_formed(
+        xs in prop::collection::vec(0i64..20u8 as i64, 2..5),
+        seed in 0u8..4,
+    ) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        // Pins spaced 300 apart with 1–3 APs each on distinct tracks.
+        let pins: Vec<Vec<AccessPoint>> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (0..=(n % 3))
+                    .map(|k| ap_at(500 + 300 * i as i64, 100 + 200 * (k + i64::from(seed))))
+                    .collect()
+            })
+            .collect();
+        let (order, pats) = generate_patterns(&t, &e, &pins, &PatternConfig::default());
+        prop_assert_eq!(order.len(), pins.len());
+        prop_assert!(!pats.is_empty());
+        prop_assert!(pats.len() <= 3);
+        for pat in &pats {
+            prop_assert_eq!(pat.choice.len(), order.len());
+            for (oi, &api) in pat.choice.iter().enumerate() {
+                prop_assert!(api < pins[order[oi]].len(), "AP index in range");
+            }
+            if pat.validated {
+                for i in 0..order.len() {
+                    for j in (i + 1)..order.len() {
+                        let a = &pins[order[i]][pat.choice[i]];
+                        let b = &pins[order[j]][pat.choice[j]];
+                        prop_assert!(
+                            pao_core::pattern::aps_compatible(
+                                &t, &e, a, Point::ORIGIN, b, Point::ORIGIN
+                            ),
+                            "validated pattern has conflicting pair"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shrinking the coordinate-type sets never increases the AP count.
+    #[test]
+    fn fewer_coord_types_fewer_aps(y0 in 150i64..1800) {
+        let t = tech();
+        let d = design();
+        let engine = DrcEngine::new(&t);
+        let pin = Rect::new(300, y0, 1500, y0 + 150);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        ctx.insert(LayerId(0), pin, local_pin_owner(0));
+        ctx.rebuild();
+        let full = ApGenConfig { k: usize::MAX, ..ApGenConfig::default() };
+        let restricted = ApGenConfig {
+            k: usize::MAX,
+            pref_types: vec![CoordType::OnTrack],
+            nonpref_types: vec![CoordType::OnTrack],
+            ..ApGenConfig::default()
+        };
+        let all = generate_pin_access_points(&t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &full);
+        let few =
+            generate_pin_access_points(&t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &restricted);
+        prop_assert!(few.len() <= all.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Persisted access points round-trip exactly.
+    #[test]
+    fn persisted_ap_roundtrip(
+        x in -1_000_000i64..1_000_000,
+        y in -1_000_000i64..1_000_000,
+        layer in 0u32..16,
+        pref in 0u8..4,
+        nonpref in 0u8..3,
+        vias in prop::collection::vec(0u32..32, 0..4),
+        planar_mask in 0u8..16,
+    ) {
+        use pao_core::persist;
+        use pao_core::apgen::PlanarDir;
+        let coord = |c: u8| match c {
+            0 => CoordType::OnTrack,
+            1 => CoordType::HalfTrack,
+            2 => CoordType::ShapeCenter,
+            _ => CoordType::EnclosureBoundary,
+        };
+        let planar: Vec<PlanarDir> = PlanarDir::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| planar_mask & (1 << i) != 0)
+            .map(|(_, d)| d)
+            .collect();
+        let ap = AccessPoint {
+            pos: Point::new(x, y),
+            layer: LayerId(layer),
+            pref_type: coord(pref),
+            nonpref_type: coord(nonpref),
+            vias: vias.into_iter().map(ViaId).collect(),
+            planar,
+        };
+        let mut s = String::new();
+        persist::write_ap(&mut s, &ap);
+        let back = persist::parse_ap(s.trim_end(), 1).expect("parses");
+        prop_assert_eq!(ap, back);
+    }
+}

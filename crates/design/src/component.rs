@@ -1,0 +1,140 @@
+//! Placed component instances.
+
+use pao_geom::{Orient, Point, Rect, Transform};
+use pao_tech::{Macro, Tech};
+use std::fmt;
+
+/// Index of a component in its [`Design`](crate::Design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// The component index as a `usize` for direct slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A placed instance of a cell master (a DEF `COMPONENTS` entry).
+///
+/// ```
+/// use pao_design::Component;
+/// use pao_geom::{Orient, Point};
+///
+/// let c = Component::new("u42", "NAND2X1", Point::new(3800, 2800), Orient::FS);
+/// assert_eq!(c.master, "NAND2X1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Instance name, e.g. `"u42"`.
+    pub name: String,
+    /// Master (macro) name resolved against the technology.
+    pub master: String,
+    /// Placement location (lower-left of the placed bounding box).
+    pub location: Point,
+    /// Placement orientation.
+    pub orient: Orient,
+    /// `true` when the placement is fixed (DEF `FIXED`).
+    pub is_fixed: bool,
+    /// `false` for DEF `UNPLACED` components (excluded from analysis).
+    pub is_placed: bool,
+}
+
+impl Component {
+    /// Creates a placed component.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        master: impl Into<String>,
+        location: Point,
+        orient: Orient,
+    ) -> Component {
+        Component {
+            name: name.into(),
+            master: master.into(),
+            location,
+            orient,
+            is_fixed: false,
+            is_placed: true,
+        }
+    }
+
+    /// Resolves this component's master in `tech`.
+    #[must_use]
+    pub fn master_in<'t>(&self, tech: &'t Tech) -> Option<&'t Macro> {
+        tech.macro_by_name(&self.master)
+    }
+
+    /// The master-to-die [`Transform`] for this placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the master is not found in `tech`.
+    #[must_use]
+    pub fn transform(&self, tech: &Tech) -> Transform {
+        let m = self.master_in(tech).unwrap_or_else(|| {
+            panic!(
+                "unknown master `{}` for component `{}`",
+                self.master, self.name
+            )
+        });
+        Transform::new(self.location, self.orient, m.width, m.height)
+    }
+
+    /// Bounding box of the placed instance in die coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the master is not found in `tech`.
+    #[must_use]
+    pub fn bbox(&self, tech: &Tech) -> Rect {
+        self.transform(tech).placed_bbox()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_geom::Dir;
+    use pao_tech::{Layer, Macro};
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(2000);
+        t.add_layer(Layer::routing("M1", Dir::Horizontal, 280, 120, 120));
+        t.add_macro(Macro::new("NAND2X1", 1140, 2800));
+        t
+    }
+
+    #[test]
+    fn transform_and_bbox() {
+        let t = tech();
+        let c = Component::new("u1", "NAND2X1", Point::new(3800, 2800), Orient::FS);
+        assert_eq!(c.bbox(&t), Rect::new(3800, 2800, 3800 + 1140, 5600));
+        // FS mirrors master (0,0) to the top edge.
+        assert_eq!(c.transform(&t).apply(Point::ORIGIN), Point::new(3800, 5600));
+    }
+
+    #[test]
+    fn master_resolution() {
+        let t = tech();
+        let c = Component::new("u1", "NAND2X1", Point::ORIGIN, Orient::N);
+        assert!(c.master_in(&t).is_some());
+        let bad = Component::new("u2", "BOGUS", Point::ORIGIN, Orient::N);
+        assert!(bad.master_in(&t).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown master")]
+    fn transform_panics_on_unknown_master() {
+        let t = tech();
+        let bad = Component::new("u2", "BOGUS", Point::ORIGIN, Orient::N);
+        let _ = bad.transform(&t);
+    }
+}

@@ -1,0 +1,27 @@
+//! DEF reading and writing.
+//!
+//! Supports the DEF 5.8 subset pin access analysis needs: design name,
+//! units, die area, rows, tracks, components, pins and nets. Unknown
+//! sections (`VIAS`, `SPECIALNETS`, `GCELLGRID`, …) are skipped.
+//!
+//! ```
+//! use pao_design::def;
+//!
+//! let src = "\
+//! DESIGN top ;
+//! UNITS DISTANCE MICRONS 1000 ;
+//! DIEAREA ( 0 0 ) ( 1000 1000 ) ;
+//! END DESIGN
+//! ";
+//! // Tech with the layers the DEF refers to (none needed here).
+//! let tech = pao_tech::Tech::new(1000);
+//! let design = def::parse_def(src, &tech)?;
+//! assert_eq!(design.name, "top");
+//! # Ok::<(), def::ParseDefError>(())
+//! ```
+
+mod parser;
+mod writer;
+
+pub use parser::{parse_def, ParseDefError};
+pub use writer::write_def;

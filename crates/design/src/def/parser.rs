@@ -1,0 +1,513 @@
+//! The DEF parser.
+
+use crate::component::Component;
+use crate::design::Design;
+use crate::iopin::IoPin;
+use crate::net::{Net, NetPin};
+use crate::row::Row;
+use crate::tracks::TrackPattern;
+use pao_geom::{Dbu, Dir, Orient, Point, Rect};
+use pao_tech::lef::{Lexer, Token};
+use pao_tech::Tech;
+use std::fmt;
+
+/// Error produced while parsing DEF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDefError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line where the error was detected (0 = end of input).
+    pub line: u32,
+}
+
+impl ParseDefError {
+    fn new(message: impl Into<String>, line: u32) -> ParseDefError {
+        ParseDefError {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for ParseDefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DEF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDefError {}
+
+type Result<T> = std::result::Result<T, ParseDefError>;
+
+struct DefParser<'t> {
+    tokens: Vec<Token>,
+    pos: usize,
+    tech: &'t Tech,
+    design: Design,
+}
+
+impl<'t> DefParser<'t> {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|t| t.text.as_str())
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.saturating_sub(1))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseDefError::new(msg, self.line()))
+    }
+
+    fn next_word(&mut self) -> Result<String> {
+        match self.tokens.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(t.text.clone())
+            }
+            None => Err(ParseDefError::new("unexpected end of input", 0)),
+        }
+    }
+
+    fn eat(&mut self, kw: &str) -> bool {
+        if self.peek() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kw: &str) -> Result<()> {
+        let t = self.next_word()?;
+        if t == kw {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found `{t}`"))
+        }
+    }
+
+    fn skip_statement(&mut self) {
+        while let Ok(t) = self.next_word() {
+            if t == ";" {
+                break;
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<Dbu> {
+        let t = self.next_word()?;
+        t.parse::<Dbu>().map_err(|_| {
+            ParseDefError::new(format!("expected an integer, found `{t}`"), self.line())
+        })
+    }
+
+    /// Parses `( x y )`.
+    fn point(&mut self) -> Result<Point> {
+        self.expect("(")?;
+        let x = self.int()?;
+        let y = self.int()?;
+        self.expect(")")?;
+        Ok(Point::new(x, y))
+    }
+
+    fn orient(&mut self) -> Result<Orient> {
+        let t = self.next_word()?;
+        t.parse::<Orient>()
+            .map_err(|e| ParseDefError::new(e.to_string(), self.line()))
+    }
+
+    fn parse(mut self) -> Result<Design> {
+        while let Some(kw) = self.peek() {
+            match kw {
+                "DESIGN" => {
+                    self.pos += 1;
+                    self.design.name = self.next_word()?;
+                    self.expect(";")?;
+                }
+                "UNITS" => {
+                    self.pos += 1;
+                    self.expect("DISTANCE")?;
+                    self.expect("MICRONS")?;
+                    self.design.dbu_per_micron = self.int()?;
+                    self.expect(";")?;
+                }
+                "DIEAREA" => {
+                    self.pos += 1;
+                    let a = self.point()?;
+                    let b = self.point()?;
+                    self.expect(";")?;
+                    self.design.die_area = Rect::from_points(a, b);
+                }
+                "ROW" => self.parse_row()?,
+                "TRACKS" => self.parse_tracks()?,
+                "COMPONENTS" => self.parse_components()?,
+                "PINS" => self.parse_pins()?,
+                "NETS" => self.parse_nets()?,
+                "END" => {
+                    self.pos += 1;
+                    let what = self.next_word().unwrap_or_default();
+                    if what == "DESIGN" {
+                        break;
+                    }
+                    // END of a skipped section — continue.
+                }
+                _ => {
+                    self.pos += 1;
+                    self.skip_statement();
+                }
+            }
+        }
+        Ok(self.design)
+    }
+
+    fn parse_row(&mut self) -> Result<()> {
+        self.expect("ROW")?;
+        let name = self.next_word()?;
+        let site = self.next_word()?;
+        let x = self.int()?;
+        let y = self.int()?;
+        let orient = self.orient()?;
+        self.expect("DO")?;
+        let nx = self.int()?;
+        self.expect("BY")?;
+        let ny = self.int()?;
+        self.expect("STEP")?;
+        let sx = self.int()?;
+        let _sy = self.int()?;
+        self.expect(";")?;
+        if ny != 1 {
+            return self.err("only DO n BY 1 rows are supported");
+        }
+        let height = self.tech.site_by_name(&site).map_or(0, |s| s.height).max(1);
+        self.design.rows.push(Row::new(
+            name,
+            site,
+            Point::new(x, y),
+            orient,
+            nx as u32,
+            sx.max(1),
+            height,
+        ));
+        Ok(())
+    }
+
+    fn parse_tracks(&mut self) -> Result<()> {
+        self.expect("TRACKS")?;
+        let axis = self.next_word()?;
+        // DEF `TRACKS X` lists x coordinates → vertical wires run on them.
+        let dir = match axis.as_str() {
+            "X" => Dir::Vertical,
+            "Y" => Dir::Horizontal,
+            other => return self.err(format!("expected TRACKS X or Y, found `{other}`")),
+        };
+        let start = self.int()?;
+        self.expect("DO")?;
+        let count = self.int()?;
+        self.expect("STEP")?;
+        let step = self.int()?;
+        let mut layers = Vec::new();
+        if self.eat("LAYER") {
+            loop {
+                match self.peek() {
+                    Some(";") => break,
+                    Some(_) => {
+                        let lname = self.next_word()?;
+                        match self.tech.layer_id(&lname) {
+                            Some(id) => layers.push(id),
+                            None => return self.err(format!("unknown layer `{lname}` in TRACKS")),
+                        }
+                    }
+                    None => return self.err("unterminated TRACKS"),
+                }
+            }
+        }
+        self.expect(";")?;
+        self.design.tracks.push(TrackPattern::new(
+            dir,
+            start,
+            step.max(1),
+            count as u32,
+            layers,
+        ));
+        Ok(())
+    }
+
+    fn parse_components(&mut self) -> Result<()> {
+        self.expect("COMPONENTS")?;
+        let _count = self.int()?;
+        self.expect(";")?;
+        while self.eat("-") {
+            let name = self.next_word()?;
+            let master = self.next_word()?;
+            let mut comp = Component::new(name, master, Point::ORIGIN, Orient::N);
+            comp.is_placed = false; // until a PLACED/FIXED clause appears
+            while self.eat("+") {
+                let kw = self.next_word()?;
+                match kw.as_str() {
+                    "PLACED" | "FIXED" => {
+                        comp.location = self.point()?;
+                        comp.orient = self.orient()?;
+                        comp.is_fixed = kw == "FIXED";
+                        comp.is_placed = true;
+                    }
+                    "UNPLACED" => {
+                        comp.is_placed = false;
+                    }
+                    _ => {
+                        // SOURCE, WEIGHT, … skip until the next +, - or ;.
+                        while !matches!(self.peek(), Some("+" | "-" | ";") | None) {
+                            self.pos += 1;
+                        }
+                    }
+                }
+            }
+            self.expect(";")?;
+            self.design.add_component(comp);
+        }
+        self.expect("END")?;
+        self.expect("COMPONENTS")?;
+        Ok(())
+    }
+
+    fn parse_pins(&mut self) -> Result<()> {
+        self.expect("PINS")?;
+        let _count = self.int()?;
+        self.expect(";")?;
+        while self.eat("-") {
+            let name = self.next_word()?;
+            let mut net = name.clone();
+            let mut layer = None;
+            let mut rect = Rect::new(0, 0, 0, 0);
+            let mut location = Point::ORIGIN;
+            let mut orient = Orient::N;
+            let mut dir = pao_tech::PinDir::Input;
+            let mut use_ = pao_tech::PinUse::Signal;
+            while self.eat("+") {
+                let kw = self.next_word()?;
+                match kw.as_str() {
+                    "NET" => net = self.next_word()?,
+                    "DIRECTION" => {
+                        let d = self.next_word()?;
+                        dir = d
+                            .parse()
+                            .map_err(|e: String| ParseDefError::new(e, self.line()))?;
+                    }
+                    "USE" => {
+                        let u = self.next_word()?;
+                        use_ = u
+                            .parse()
+                            .map_err(|e: String| ParseDefError::new(e, self.line()))?;
+                    }
+                    "LAYER" => {
+                        let lname = self.next_word()?;
+                        layer = match self.tech.layer_id(&lname) {
+                            Some(id) => Some(id),
+                            None => return self.err(format!("unknown layer `{lname}` in PINS")),
+                        };
+                        let a = self.point()?;
+                        let b = self.point()?;
+                        rect = Rect::from_points(a, b);
+                    }
+                    "PLACED" | "FIXED" => {
+                        location = self.point()?;
+                        orient = self.orient()?;
+                    }
+                    _ => {
+                        while !matches!(self.peek(), Some("+" | "-" | ";") | None) {
+                            self.pos += 1;
+                        }
+                    }
+                }
+            }
+            self.expect(";")?;
+            let Some(layer) = layer else {
+                return self.err(format!("pin `{name}` has no LAYER geometry"));
+            };
+            let mut pin = IoPin::new(name, net, layer, rect, location, orient);
+            pin.dir = dir;
+            pin.use_ = use_;
+            self.design.add_io_pin(pin);
+        }
+        self.expect("END")?;
+        self.expect("PINS")?;
+        Ok(())
+    }
+
+    fn parse_nets(&mut self) -> Result<()> {
+        self.expect("NETS")?;
+        let _count = self.int()?;
+        self.expect(";")?;
+        while self.eat("-") {
+            let name = self.next_word()?;
+            let mut net = Net::new(name.clone());
+            loop {
+                if self.eat("(") {
+                    let a = self.next_word()?;
+                    let b = self.next_word()?;
+                    self.expect(")")?;
+                    if a == "PIN" {
+                        let idx = self
+                            .design
+                            .io_pins()
+                            .iter()
+                            .position(|p| p.name == b)
+                            .ok_or_else(|| {
+                                ParseDefError::new(format!("unknown design pin `{b}`"), self.line())
+                            })?;
+                        net.pins.push(NetPin::Io { index: idx as u32 });
+                    } else {
+                        let comp = self.design.component_by_name(&a).ok_or_else(|| {
+                            ParseDefError::new(
+                                format!("unknown component `{a}` in net `{name}`"),
+                                self.line(),
+                            )
+                        })?;
+                        net.pins.push(NetPin::Comp { comp, pin: b });
+                    }
+                } else if self.eat(";") {
+                    break;
+                } else if self.eat("+") {
+                    // USE / ROUTED / … — DEF places all terminals before
+                    // the first `+` clause, so everything up to the `;`
+                    // (including ROUTED coordinates in parentheses) is
+                    // skipped.
+                    while !matches!(self.peek(), Some(";") | None) {
+                        self.pos += 1;
+                    }
+                } else {
+                    return self.err("expected `(`, `+` or `;` in NETS entry");
+                }
+            }
+            self.design.add_net(net);
+        }
+        self.expect("END")?;
+        self.expect("NETS")?;
+        Ok(())
+    }
+}
+
+/// Parses DEF source into a [`Design`], resolving layer and site names
+/// against `tech`.
+///
+/// # Errors
+///
+/// Returns [`ParseDefError`] on malformed input, unknown layers/components
+/// referenced by later sections, or unsupported constructs (multi-row `DO n
+/// BY m` with `m > 1`). Unknown statements and sections are skipped.
+pub fn parse_def(src: &str, tech: &Tech) -> std::result::Result<Design, ParseDefError> {
+    DefParser {
+        tokens: Lexer::tokenize(src),
+        pos: 0,
+        tech,
+        design: Design::new("", Rect::new(0, 0, 0, 0)),
+    }
+    .parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_tech::{Layer, Macro, Site};
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(2000);
+        t.add_layer(Layer::routing("M1", Dir::Horizontal, 280, 120, 120));
+        t.add_layer(Layer::cut("V1", 100, 160));
+        t.add_layer(Layer::routing("M2", Dir::Vertical, 380, 120, 120));
+        t.add_site(Site::new("core", 380, 2800));
+        t.add_macro(Macro::new("INVX1", 760, 2800));
+        t.add_macro(Macro::new("NAND2X1", 1140, 2800));
+        t
+    }
+
+    const SAMPLE: &str = r#"
+VERSION 5.8 ;
+DIVIDERCHAR "/" ;
+DESIGN top ;
+UNITS DISTANCE MICRONS 2000 ;
+DIEAREA ( 0 0 ) ( 40000 38000 ) ;
+ROW row_0 core 0 0 FS DO 100 BY 1 STEP 380 0 ;
+ROW row_1 core 0 2800 N DO 100 BY 1 STEP 380 0 ;
+TRACKS Y 140 DO 135 STEP 280 LAYER M1 ;
+TRACKS X 190 DO 105 STEP 380 LAYER M1 M2 ;
+COMPONENTS 2 ;
+ - u1 INVX1 + PLACED ( 380 0 ) FS ;
+ - u2 NAND2X1 + SOURCE DIST + FIXED ( 1140 0 ) FS ;
+END COMPONENTS
+PINS 1 ;
+ - clk + NET clk + DIRECTION INPUT + USE SIGNAL
+   + LAYER M2 ( -35 -35 ) ( 35 35 )
+   + PLACED ( 0 19000 ) N ;
+END PINS
+NETS 2 ;
+ - n1 ( u1 A ) ( u2 Y ) + USE SIGNAL ;
+ - clk ( PIN clk ) ( u2 B ) ;
+END NETS
+END DESIGN
+"#;
+
+    #[test]
+    fn parses_full_sample() {
+        let t = tech();
+        let d = parse_def(SAMPLE, &t).unwrap();
+        assert_eq!(d.name, "top");
+        assert_eq!(d.dbu_per_micron, 2000);
+        assert_eq!(d.die_area, Rect::new(0, 0, 40000, 38000));
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.rows[0].orient, Orient::FS);
+        assert_eq!(d.rows[0].height, 2800);
+        assert_eq!(d.tracks.len(), 2);
+        assert_eq!(d.tracks[0].dir, Dir::Horizontal);
+        assert_eq!(d.tracks[0].start, 140);
+        assert_eq!(d.tracks[1].dir, Dir::Vertical);
+        assert_eq!(d.tracks[1].layers.len(), 2);
+        assert_eq!(d.components().len(), 2);
+        let u2 = d.component(d.component_by_name("u2").unwrap());
+        assert!(u2.is_fixed);
+        assert_eq!(u2.location, Point::new(1140, 0));
+        assert_eq!(d.io_pins().len(), 1);
+        assert_eq!(d.io_pins()[0].location, Point::new(0, 19000));
+        assert_eq!(d.nets().len(), 2);
+        let clk = d.net(d.net_by_name("clk").unwrap());
+        assert_eq!(clk.degree(), 2);
+        assert!(matches!(clk.pins[0], NetPin::Io { index: 0 }));
+        assert_eq!(d.connected_pin_count(), 3);
+    }
+
+    #[test]
+    fn error_on_unknown_component_in_net() {
+        let t = tech();
+        let src = "\
+DESIGN x ;\nCOMPONENTS 0 ;\nEND COMPONENTS\nNETS 1 ;\n - n ( ghost A ) ;\nEND NETS\nEND DESIGN";
+        let err = parse_def(src, &t).unwrap_err();
+        assert!(err.message.contains("unknown component"));
+        assert!(err.line > 0);
+    }
+
+    #[test]
+    fn error_on_unknown_layer_in_tracks() {
+        let t = tech();
+        let src = "DESIGN x ;\nTRACKS X 0 DO 10 STEP 100 LAYER M9 ;\nEND DESIGN";
+        let err = parse_def(src, &t).unwrap_err();
+        assert!(err.message.contains("unknown layer"));
+    }
+
+    #[test]
+    fn skips_unknown_sections() {
+        let t = tech();
+        let src = "\
+DESIGN x ;\nGCELLGRID X 0 DO 10 STEP 3000 ;\nVIAS 0 ;\nEND VIAS\nEND DESIGN";
+        let d = parse_def(src, &t).unwrap();
+        assert_eq!(d.name, "x");
+    }
+
+    #[test]
+    fn rejects_multi_height_rows() {
+        let t = tech();
+        let src = "DESIGN x ;\nROW r core 0 0 N DO 5 BY 2 STEP 380 2800 ;\nEND DESIGN";
+        assert!(parse_def(src, &t).is_err());
+    }
+}

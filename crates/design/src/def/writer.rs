@@ -1,0 +1,188 @@
+//! The DEF writer.
+
+use crate::design::Design;
+use crate::net::NetPin;
+use pao_geom::Dir;
+use pao_tech::Tech;
+use std::fmt::Write as _;
+
+/// Serializes a [`Design`] back to DEF text.
+///
+/// The output is a normal form of the supported subset;
+/// `parse_def(write_def(d, t), t)` reproduces the same database.
+#[must_use]
+pub fn write_def(design: &Design, tech: &Tech) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DESIGN {} ;", design.name);
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS {} ;", design.dbu_per_micron);
+    let d = design.die_area;
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        d.xlo(),
+        d.ylo(),
+        d.xhi(),
+        d.yhi()
+    );
+    for row in &design.rows {
+        let _ = writeln!(
+            out,
+            "ROW {} {} {} {} {} DO {} BY 1 STEP {} 0 ;",
+            row.name, row.site, row.origin.x, row.origin.y, row.orient, row.num_sites, row.step
+        );
+    }
+    for t in &design.tracks {
+        let axis = if t.dir == Dir::Vertical { "X" } else { "Y" };
+        let _ = write!(
+            out,
+            "TRACKS {axis} {} DO {} STEP {}",
+            t.start, t.count, t.step
+        );
+        if !t.layers.is_empty() {
+            let _ = write!(out, " LAYER");
+            for &l in &t.layers {
+                let _ = write!(out, " {}", tech.layer(l).name);
+            }
+        }
+        let _ = writeln!(out, " ;");
+    }
+    let _ = writeln!(out, "COMPONENTS {} ;", design.components().len());
+    for c in design.components() {
+        if !c.is_placed {
+            let _ = writeln!(out, " - {} {} + UNPLACED ;", c.name, c.master);
+            continue;
+        }
+        let kw = if c.is_fixed { "FIXED" } else { "PLACED" };
+        let _ = writeln!(
+            out,
+            " - {} {} + {kw} ( {} {} ) {} ;",
+            c.name, c.master, c.location.x, c.location.y, c.orient
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+    let _ = writeln!(out, "PINS {} ;", design.io_pins().len());
+    for p in design.io_pins() {
+        let _ = writeln!(
+            out,
+            " - {} + NET {} + DIRECTION {} + USE {}",
+            p.name,
+            p.net,
+            p.dir.as_str(),
+            p.use_.as_str()
+        );
+        let _ = writeln!(
+            out,
+            "   + LAYER {} ( {} {} ) ( {} {} )",
+            tech.layer(p.layer).name,
+            p.rect.xlo(),
+            p.rect.ylo(),
+            p.rect.xhi(),
+            p.rect.yhi()
+        );
+        let _ = writeln!(
+            out,
+            "   + PLACED ( {} {} ) {} ;",
+            p.location.x, p.location.y, p.orient
+        );
+    }
+    let _ = writeln!(out, "END PINS");
+    let _ = writeln!(out, "NETS {} ;", design.nets().len());
+    for n in design.nets() {
+        let _ = write!(out, " - {}", n.name);
+        for pin in &n.pins {
+            match pin {
+                NetPin::Comp { comp, pin } => {
+                    let _ = write!(out, " ( {} {} )", design.component(*comp).name, pin);
+                }
+                NetPin::Io { index } => {
+                    let _ = write!(out, " ( PIN {} )", design.io_pins()[*index as usize].name);
+                }
+            }
+        }
+        let _ = writeln!(out, " ;");
+    }
+    let _ = writeln!(out, "END NETS");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_def;
+    use super::*;
+    use pao_geom::{Orient, Point, Rect};
+    use pao_tech::{Layer, LayerId, Macro, PinUse, Site};
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(2000);
+        t.add_layer(Layer::routing("M1", Dir::Horizontal, 280, 120, 120));
+        t.add_layer(Layer::routing("M2", Dir::Vertical, 380, 120, 120));
+        t.add_site(Site::new("core", 380, 2800));
+        t.add_macro(Macro::new("INVX1", 760, 2800));
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_database() {
+        let tech = tech();
+        let mut d = crate::Design::new("top", Rect::new(0, 0, 40_000, 38_000));
+        d.dbu_per_micron = 2000;
+        d.rows.push(crate::Row::new(
+            "row_0",
+            "core",
+            Point::new(0, 0),
+            Orient::FS,
+            100,
+            380,
+            2800,
+        ));
+        d.tracks.push(crate::TrackPattern::new(
+            Dir::Horizontal,
+            140,
+            280,
+            135,
+            vec![LayerId(0)],
+        ));
+        let u1 = d.add_component(crate::Component::new(
+            "u1",
+            "INVX1",
+            Point::new(380, 0),
+            Orient::FS,
+        ));
+        let mut fixed = crate::Component::new("u2", "INVX1", Point::new(1140, 0), Orient::N);
+        fixed.is_fixed = true;
+        let u2 = d.add_component(fixed);
+        let mut io = crate::IoPin::new(
+            "clk",
+            "clk",
+            LayerId(1),
+            Rect::new(-35, -35, 35, 35),
+            Point::new(0, 19_000),
+            Orient::N,
+        );
+        io.use_ = PinUse::Clock;
+        d.add_io_pin(io);
+        let mut n = crate::Net::new("clk");
+        n.pins.push(NetPin::Io { index: 0 });
+        n.pins.push(NetPin::Comp {
+            comp: u1,
+            pin: "A".into(),
+        });
+        n.pins.push(NetPin::Comp {
+            comp: u2,
+            pin: "A".into(),
+        });
+        d.add_net(n);
+
+        let text = write_def(&d, &tech);
+        let d2 = parse_def(&text, &tech).unwrap();
+        assert_eq!(d.name, d2.name);
+        assert_eq!(d.die_area, d2.die_area);
+        assert_eq!(d.rows, d2.rows);
+        assert_eq!(d.tracks, d2.tracks);
+        assert_eq!(d.components(), d2.components());
+        assert_eq!(d.io_pins(), d2.io_pins());
+        assert_eq!(d.nets(), d2.nets());
+    }
+}

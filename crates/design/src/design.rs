@@ -1,0 +1,334 @@
+//! The design database.
+
+use crate::component::{CompId, Component};
+use crate::iopin::IoPin;
+use crate::net::{Net, NetId};
+use crate::row::Row;
+use crate::tracks::TrackPattern;
+use pao_geom::{Dbu, Rect};
+use pao_tech::{LayerId, Tech};
+use std::collections::HashMap;
+
+/// A placed design (the contents of a DEF file), resolved against a
+/// companion [`Tech`].
+///
+/// ```
+/// use pao_design::{Component, Design};
+/// use pao_geom::{Orient, Point, Rect};
+///
+/// let mut d = Design::new("top", Rect::new(0, 0, 100_000, 100_000));
+/// let u1 = d.add_component(Component::new("u1", "INVX1", Point::new(0, 0), Orient::N));
+/// assert_eq!(d.component(u1).name, "u1");
+/// assert_eq!(d.component_by_name("u1"), Some(u1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Database units per micron (DEF `UNITS DISTANCE MICRONS`).
+    pub dbu_per_micron: Dbu,
+    /// The die area.
+    pub die_area: Rect,
+    /// Placement rows.
+    pub rows: Vec<Row>,
+    /// Track patterns in declaration order.
+    pub tracks: Vec<TrackPattern>,
+    components: Vec<Component>,
+    comp_names: HashMap<String, CompId>,
+    io_pins: Vec<IoPin>,
+    nets: Vec<Net>,
+    net_names: HashMap<String, NetId>,
+}
+
+impl Design {
+    /// Creates an empty design with the given die area.
+    #[must_use]
+    pub fn new(name: impl Into<String>, die_area: Rect) -> Design {
+        Design {
+            name: name.into(),
+            dbu_per_micron: 1000,
+            die_area,
+            ..Design::default()
+        }
+    }
+
+    /// Adds a component and returns its id.
+    pub fn add_component(&mut self, c: Component) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.comp_names.insert(c.name.clone(), id);
+        self.components.push(c);
+        id
+    }
+
+    /// Adds an I/O pin and returns its index.
+    pub fn add_io_pin(&mut self, p: IoPin) -> u32 {
+        self.io_pins.push(p);
+        (self.io_pins.len() - 1) as u32
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, n: Net) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.net_names.insert(n.name.clone(), id);
+        self.nets.push(n);
+        id
+    }
+
+    /// All components.
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[must_use]
+    pub fn component(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Mutable access to a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn component_mut(&mut self, id: CompId) -> &mut Component {
+        &mut self.components[id.index()]
+    }
+
+    /// Looks up a component by instance name.
+    #[must_use]
+    pub fn component_by_name(&self, name: &str) -> Option<CompId> {
+        self.comp_names.get(name).copied()
+    }
+
+    /// All I/O pins.
+    #[must_use]
+    pub fn io_pins(&self) -> &[IoPin] {
+        &self.io_pins
+    }
+
+    /// All nets.
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a net by name.
+    #[must_use]
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Track patterns governing wires of direction `dir` on `layer`
+    /// (i.e. patterns that list the layer and run in `dir`).
+    #[must_use]
+    pub fn track_patterns_for(&self, layer: LayerId, dir: pao_geom::Dir) -> Vec<&TrackPattern> {
+        self.tracks
+            .iter()
+            .filter(|t| t.dir == dir && t.layers.contains(&layer))
+            .collect()
+    }
+
+    /// The phases of a component's origin against every track pattern, in
+    /// pattern declaration order — the third element of the paper's
+    /// unique-instance signature.
+    #[must_use]
+    pub fn track_phases(&self, comp: &Component) -> Vec<Dbu> {
+        self.tracks
+            .iter()
+            .map(|t| match t.dir {
+                pao_geom::Dir::Horizontal => t.phase(comp.location.y),
+                pao_geom::Dir::Vertical => t.phase(comp.location.x),
+            })
+            .collect()
+    }
+
+    /// Flattened pin geometry of a component in die coordinates:
+    /// `(pin index in master, layer, rect)` triples. Supply pins are
+    /// included; callers filter by use when needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the component's master is not in `tech`.
+    #[must_use]
+    pub fn placed_pin_shapes(&self, tech: &Tech, id: CompId) -> Vec<(usize, LayerId, Rect)> {
+        let comp = self.component(id);
+        let master = comp
+            .master_in(tech)
+            .unwrap_or_else(|| panic!("unknown master `{}`", comp.master));
+        let t = comp.transform(tech);
+        let mut out = Vec::new();
+        for (pi, pin) in master.pins.iter().enumerate() {
+            for port in &pin.ports {
+                for r in port.flat_rects() {
+                    out.push((pi, port.layer, t.apply_rect(r)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattened obstruction geometry of a component in die coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the component's master is not in `tech`.
+    #[must_use]
+    pub fn placed_obs_shapes(&self, tech: &Tech, id: CompId) -> Vec<(LayerId, Rect)> {
+        let comp = self.component(id);
+        let master = comp
+            .master_in(tech)
+            .unwrap_or_else(|| panic!("unknown master `{}`", comp.master));
+        let t = comp.transform(tech);
+        master
+            .obs
+            .iter()
+            .map(|&(layer, r)| (layer, t.apply_rect(r)))
+            .collect()
+    }
+
+    /// Total number of component-pin net terminals (the "total #pins (with
+    /// net attached)" of the paper's Table III).
+    #[must_use]
+    pub fn connected_pin_count(&self) -> usize {
+        self.nets.iter().map(|n| n.comp_pins().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetPin;
+    use pao_geom::{Dir, Orient, Point};
+    use pao_tech::{Layer, Macro, Pin, PinDir, Port};
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(2000);
+        let m1 = t.add_layer(Layer::routing("M1", Dir::Horizontal, 280, 120, 120));
+        let mut inv = Macro::new("INVX1", 760, 2800);
+        inv.pins.push(Pin::new(
+            "A",
+            PinDir::Input,
+            vec![Port::rects(m1, vec![Rect::new(100, 400, 220, 1000)])],
+        ));
+        inv.obs.push((m1, Rect::new(500, 0, 600, 2800)));
+        t.add_macro(inv);
+        t
+    }
+
+    fn design() -> Design {
+        let mut d = Design::new("top", Rect::new(0, 0, 20_000, 20_000));
+        d.tracks.push(TrackPattern::new(
+            Dir::Horizontal,
+            140,
+            280,
+            70,
+            vec![LayerId(0)],
+        ));
+        d.tracks.push(TrackPattern::new(
+            Dir::Vertical,
+            190,
+            380,
+            50,
+            vec![LayerId(0)],
+        ));
+        d
+    }
+
+    #[test]
+    fn component_registry() {
+        let mut d = design();
+        let id = d.add_component(Component::new("u1", "INVX1", Point::new(380, 0), Orient::N));
+        assert_eq!(d.component_by_name("u1"), Some(id));
+        assert_eq!(d.component_by_name("nope"), None);
+        d.component_mut(id).is_fixed = true;
+        assert!(d.component(id).is_fixed);
+    }
+
+    #[test]
+    fn track_phases_follow_location() {
+        let mut d = design();
+        let a = d.add_component(Component::new("a", "INVX1", Point::new(380, 0), Orient::N));
+        let b = d.add_component(Component::new("b", "INVX1", Point::new(760, 0), Orient::N));
+        let c = d.add_component(Component::new(
+            "c",
+            "INVX1",
+            Point::new(380 + 380, 280),
+            Orient::N,
+        ));
+        let pa = d.track_phases(d.component(a));
+        let pb = d.track_phases(d.component(b));
+        let pc = d.track_phases(d.component(c));
+        // a and b differ in x by one M1 vertical pitch → same phases.
+        assert_eq!(pa, pb);
+        // c is shifted in y by one horizontal pitch → same phases again.
+        assert_eq!(pb, pc);
+        // A half-pitch shift changes the horizontal phase.
+        let e = d.add_component(Component::new(
+            "e",
+            "INVX1",
+            Point::new(380, 140),
+            Orient::N,
+        ));
+        assert_ne!(pa, d.track_phases(d.component(e)));
+    }
+
+    #[test]
+    fn placed_shapes_transform() {
+        let t = tech();
+        let mut d = design();
+        let id = d.add_component(Component::new(
+            "u1",
+            "INVX1",
+            Point::new(1000, 2800),
+            Orient::N,
+        ));
+        let pins = d.placed_pin_shapes(&t, id);
+        assert_eq!(pins.len(), 1);
+        assert_eq!(pins[0], (0, LayerId(0), Rect::new(1100, 3200, 1220, 3800)));
+        let obs = d.placed_obs_shapes(&t, id);
+        assert_eq!(obs, vec![(LayerId(0), Rect::new(1500, 2800, 1600, 5600))]);
+    }
+
+    #[test]
+    fn net_registry_and_pin_count() {
+        let mut d = design();
+        let u1 = d.add_component(Component::new("u1", "INVX1", Point::ORIGIN, Orient::N));
+        let u2 = d.add_component(Component::new("u2", "INVX1", Point::new(760, 0), Orient::N));
+        let mut n = Net::new("n1");
+        n.pins.push(NetPin::Comp {
+            comp: u1,
+            pin: "A".into(),
+        });
+        n.pins.push(NetPin::Comp {
+            comp: u2,
+            pin: "A".into(),
+        });
+        n.pins.push(NetPin::Io { index: 0 });
+        let id = d.add_net(n);
+        assert_eq!(d.net_by_name("n1"), Some(id));
+        assert_eq!(d.net(id).degree(), 3);
+        assert_eq!(d.connected_pin_count(), 2);
+    }
+
+    #[test]
+    fn track_pattern_filter() {
+        let d = design();
+        assert_eq!(d.track_patterns_for(LayerId(0), Dir::Horizontal).len(), 1);
+        assert_eq!(d.track_patterns_for(LayerId(1), Dir::Horizontal).len(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Design I/O pins.
+
+use pao_geom::{Orient, Point, Rect, Transform};
+use pao_tech::{LayerId, PinDir, PinUse};
+
+/// A design-level I/O pin (a DEF `PINS` entry): a single rectangle on a
+/// routing layer placed at a location/orientation.
+///
+/// ```
+/// use pao_design::IoPin;
+/// use pao_geom::{Orient, Point, Rect};
+/// use pao_tech::LayerId;
+///
+/// let p = IoPin::new("clk", "clk", LayerId(2), Rect::new(-35, -35, 35, 35),
+///                    Point::new(0, 5000), Orient::N);
+/// assert_eq!(p.placed_rect(), Rect::new(-35, 4965, 35, 5035));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoPin {
+    /// Pin name.
+    pub name: String,
+    /// Net this pin belongs to.
+    pub net: String,
+    /// Layer of the pin shape.
+    pub layer: LayerId,
+    /// Pin shape relative to the pin location.
+    pub rect: Rect,
+    /// Placement location.
+    pub location: Point,
+    /// Placement orientation.
+    pub orient: Orient,
+    /// Signal direction.
+    pub dir: PinDir,
+    /// Electrical use.
+    pub use_: PinUse,
+}
+
+impl IoPin {
+    /// Creates a signal I/O pin.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        net: impl Into<String>,
+        layer: LayerId,
+        rect: Rect,
+        location: Point,
+        orient: Orient,
+    ) -> IoPin {
+        IoPin {
+            name: name.into(),
+            net: net.into(),
+            layer,
+            rect,
+            location,
+            orient,
+            dir: PinDir::Input,
+            use_: PinUse::Signal,
+        }
+    }
+
+    /// The pin shape in die coordinates.
+    #[must_use]
+    pub fn placed_rect(&self) -> Rect {
+        // DEF pin geometry is relative to the pin location; the orientation
+        // rotates the shape about that location.
+        let t = Transform::new(self.location, self.orient, 0, 0);
+        t.apply_rect(self.rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placed_rect_translates() {
+        let p = IoPin::new(
+            "in0",
+            "n1",
+            LayerId(2),
+            Rect::new(-35, -35, 35, 35),
+            Point::new(1000, 2000),
+            Orient::N,
+        );
+        assert_eq!(p.placed_rect(), Rect::new(965, 1965, 1035, 2035));
+    }
+
+    #[test]
+    fn orientation_rotates_about_location() {
+        let p = IoPin::new(
+            "in0",
+            "n1",
+            LayerId(2),
+            Rect::new(0, -10, 50, 10),
+            Point::new(100, 100),
+            Orient::S,
+        );
+        // S = 180° about the location (size 0 master).
+        assert_eq!(p.placed_rect(), Rect::new(50, 90, 100, 110));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Design database (DEF model) for the PAAF pin access framework.
+//!
+//! Models the subset of DEF that pin access analysis and detailed routing
+//! consume:
+//!
+//! * the die area, placement [`Row`]s and routing [`TrackPattern`]s,
+//! * placed [`Component`]s (instances of [`Macro`](pao_tech::Macro)s),
+//! * design [`IoPin`]s and signal [`Net`]s, and
+//! * a [DEF parser](def) and writer.
+//!
+//! A [`Design`] holds ids into the companion
+//! [`Tech`](pao_tech::Tech); helpers resolve instance transforms and
+//! flatten master geometry into die coordinates.
+//!
+//! # Examples
+//!
+//! ```
+//! use pao_design::{Component, Design};
+//! use pao_geom::{Orient, Point, Rect};
+//!
+//! let mut design = Design::new("demo", Rect::new(0, 0, 10_000, 10_000));
+//! design.add_component(Component::new("u1", "INVX1", Point::new(380, 0), Orient::N));
+//! assert_eq!(design.components().len(), 1);
+//! ```
+
+pub mod component;
+pub mod def;
+pub mod design;
+pub mod iopin;
+pub mod net;
+pub mod row;
+pub mod tracks;
+
+pub use component::{CompId, Component};
+pub use design::Design;
+pub use iopin::IoPin;
+pub use net::{Net, NetId, NetPin};
+pub use row::Row;
+pub use tracks::TrackPattern;

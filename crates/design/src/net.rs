@@ -1,0 +1,96 @@
+//! Signal nets.
+
+use crate::component::CompId;
+use std::fmt;
+
+/// Index of a net in its [`Design`](crate::Design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The net index as a `usize` for direct slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A terminal of a net: either a component pin or a design I/O pin.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NetPin {
+    /// A pin of a placed component, by component id and pin name.
+    Comp {
+        /// The component.
+        comp: CompId,
+        /// The master pin name.
+        pin: String,
+    },
+    /// A design I/O pin, by index into the design's I/O pin list.
+    Io {
+        /// Index into [`Design::io_pins`](crate::Design::io_pins).
+        index: u32,
+    },
+}
+
+/// A signal net connecting component pins and I/O pins (a DEF `NETS`
+/// entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Terminals in declaration order.
+    pub pins: Vec<NetPin>,
+}
+
+impl Net {
+    /// Creates a net with no terminals.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Net {
+        Net {
+            name: name.into(),
+            pins: Vec::new(),
+        }
+    }
+
+    /// Number of terminals.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Component terminals only.
+    pub fn comp_pins(&self) -> impl Iterator<Item = (CompId, &str)> {
+        self.pins.iter().filter_map(|p| match p {
+            NetPin::Comp { comp, pin } => Some((*comp, pin.as_str())),
+            NetPin::Io { .. } => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_terminals() {
+        let mut n = Net::new("n1");
+        n.pins.push(NetPin::Comp {
+            comp: CompId(0),
+            pin: "A".into(),
+        });
+        n.pins.push(NetPin::Io { index: 3 });
+        n.pins.push(NetPin::Comp {
+            comp: CompId(7),
+            pin: "Y".into(),
+        });
+        assert_eq!(n.degree(), 3);
+        let comps: Vec<(CompId, &str)> = n.comp_pins().collect();
+        assert_eq!(comps, vec![(CompId(0), "A"), (CompId(7), "Y")]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Placement rows.
+
+use pao_geom::{Dbu, Orient, Point, Rect};
+
+/// A DEF `ROW`: a horizontal strip of placement sites.
+///
+/// ```
+/// use pao_design::Row;
+/// use pao_geom::{Orient, Point};
+///
+/// let row = Row::new("row0", "core", Point::new(0, 0), Orient::N, 100, 380, 2800);
+/// assert_eq!(row.site_x(3), 1140);
+/// assert_eq!(row.site_index_at(1140), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Row name, e.g. `"row0"`.
+    pub name: String,
+    /// Site name from the technology.
+    pub site: String,
+    /// Origin (lower-left of the first site).
+    pub origin: Point,
+    /// Orientation of cells in this row (`N` or `FS` in single-height
+    /// designs).
+    pub orient: Orient,
+    /// Number of sites along x.
+    pub num_sites: u32,
+    /// Site-to-site step along x (the site width in packed rows).
+    pub step: Dbu,
+    /// Row (site) height.
+    pub height: Dbu,
+}
+
+impl Row {
+    /// Creates a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` or `height` is not positive.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        site: impl Into<String>,
+        origin: Point,
+        orient: Orient,
+        num_sites: u32,
+        step: Dbu,
+        height: Dbu,
+    ) -> Row {
+        assert!(
+            step > 0 && height > 0,
+            "row step and height must be positive"
+        );
+        Row {
+            name: name.into(),
+            site: site.into(),
+            origin,
+            orient,
+            num_sites,
+            step,
+            height,
+        }
+    }
+
+    /// x coordinate of site `i`'s left edge.
+    #[must_use]
+    pub fn site_x(&self, i: u32) -> Dbu {
+        self.origin.x + Dbu::from(i) * self.step
+    }
+
+    /// The site index whose left edge is exactly `x`, if `x` is on the site
+    /// grid and within the row.
+    #[must_use]
+    pub fn site_index_at(&self, x: Dbu) -> Option<u32> {
+        if x < self.origin.x {
+            return None;
+        }
+        let d = x - self.origin.x;
+        if d % self.step != 0 {
+            return None;
+        }
+        let i = d / self.step;
+        (i < Dbu::from(self.num_sites)).then_some(i as u32)
+    }
+
+    /// Bounding box of the whole row.
+    #[must_use]
+    pub fn bbox(&self) -> Rect {
+        Rect::new(
+            self.origin.x,
+            self.origin.y,
+            self.origin.x + Dbu::from(self.num_sites) * self.step,
+            self.origin.y + self.height,
+        )
+    }
+
+    /// `true` when a cell placed at `x` with the given width (an integer
+    /// number of sites) fits inside the row.
+    #[must_use]
+    pub fn fits(&self, x: Dbu, width: Dbu) -> bool {
+        self.site_index_at(x).is_some() && x + width <= self.bbox().xhi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::new(
+            "row0",
+            "core",
+            Point::new(1000, 2800),
+            Orient::FS,
+            50,
+            380,
+            2800,
+        )
+    }
+
+    #[test]
+    fn site_grid() {
+        let r = row();
+        assert_eq!(r.site_x(0), 1000);
+        assert_eq!(r.site_x(10), 1000 + 3800);
+        assert_eq!(r.site_index_at(1000), Some(0));
+        assert_eq!(r.site_index_at(1380), Some(1));
+        assert_eq!(r.site_index_at(999), None);
+        assert_eq!(r.site_index_at(1001), None);
+        // Past the end of the row.
+        assert_eq!(r.site_index_at(1000 + 380 * 50), None);
+    }
+
+    #[test]
+    fn bbox_and_fit() {
+        let r = row();
+        assert_eq!(r.bbox(), Rect::new(1000, 2800, 1000 + 50 * 380, 5600));
+        assert!(r.fits(1000, 380 * 3));
+        assert!(r.fits(1000 + 380 * 47, 380 * 3));
+        assert!(!r.fits(1000 + 380 * 48, 380 * 3));
+        assert!(!r.fits(1010, 380));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_step() {
+        let _ = Row::new("r", "core", Point::ORIGIN, Orient::N, 1, 0, 2800);
+    }
+}

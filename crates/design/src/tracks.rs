@@ -1,0 +1,193 @@
+//! Routing track patterns.
+
+use pao_geom::{Dbu, Dir};
+use pao_tech::LayerId;
+
+/// A DEF `TRACKS` statement: an arithmetic progression of routing track
+/// coordinates on one or more layers.
+///
+/// `dir` is the direction wires on these tracks run: horizontal tracks sit
+/// at *y* coordinates (DEF `TRACKS Y`), vertical tracks at *x* coordinates
+/// (DEF `TRACKS X`).
+///
+/// ```
+/// use pao_design::TrackPattern;
+/// use pao_geom::Dir;
+/// use pao_tech::LayerId;
+///
+/// let t = TrackPattern::new(Dir::Horizontal, 140, 280, 100, vec![LayerId(0)]);
+/// assert_eq!(t.coord(0), 140);
+/// assert_eq!(t.coord(1), 420);
+/// assert!(t.is_on_track(420));
+/// assert!(!t.is_on_track(421));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackPattern {
+    /// Direction wires on these tracks run.
+    pub dir: Dir,
+    /// Coordinate of the first track.
+    pub start: Dbu,
+    /// Spacing between consecutive tracks (> 0).
+    pub step: Dbu,
+    /// Number of tracks.
+    pub count: u32,
+    /// Layers the tracks apply to.
+    pub layers: Vec<LayerId>,
+}
+
+impl TrackPattern {
+    /// Creates a track pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is not positive.
+    #[must_use]
+    pub fn new(dir: Dir, start: Dbu, step: Dbu, count: u32, layers: Vec<LayerId>) -> TrackPattern {
+        assert!(step > 0, "track step must be positive");
+        TrackPattern {
+            dir,
+            start,
+            step,
+            count,
+            layers,
+        }
+    }
+
+    /// The coordinate of track `i`.
+    #[must_use]
+    pub fn coord(&self, i: u32) -> Dbu {
+        self.start + Dbu::from(i) * self.step
+    }
+
+    /// The coordinate of the last track.
+    #[must_use]
+    pub fn last_coord(&self) -> Dbu {
+        self.coord(self.count.saturating_sub(1))
+    }
+
+    /// Iterates over all track coordinates.
+    pub fn coords(&self) -> impl Iterator<Item = Dbu> + '_ {
+        (0..self.count).map(move |i| self.coord(i))
+    }
+
+    /// `true` when `c` lies exactly on one of the tracks.
+    #[must_use]
+    pub fn is_on_track(&self, c: Dbu) -> bool {
+        if self.count == 0 || c < self.start || c > self.last_coord() {
+            return false;
+        }
+        (c - self.start) % self.step == 0
+    }
+
+    /// The phase of `c` relative to the pattern: `(c - start).rem_euclid(step)`.
+    ///
+    /// Two placements whose origins have the same phase w.r.t. every track
+    /// pattern see identical on-/off-track conditions — this is the "offset
+    /// to track patterns" component of the paper's unique-instance
+    /// signature.
+    #[must_use]
+    pub fn phase(&self, c: Dbu) -> Dbu {
+        (c - self.start).rem_euclid(self.step)
+    }
+
+    /// Track coordinates within the closed interval `[lo, hi]`.
+    #[must_use]
+    pub fn coords_in(&self, lo: Dbu, hi: Dbu) -> Vec<Dbu> {
+        if self.count == 0 || hi < self.start || lo > self.last_coord() {
+            return Vec::new();
+        }
+        let first = if lo <= self.start {
+            0
+        } else {
+            ((lo - self.start) + self.step - 1) / self.step
+        };
+        let last = if hi >= self.last_coord() {
+            Dbu::from(self.count) - 1
+        } else {
+            (hi - self.start) / self.step
+        };
+        (first..=last).map(|i| self.start + i * self.step).collect()
+    }
+
+    /// Midpoints between consecutive tracks within `[lo, hi]` — the
+    /// *half-track* coordinates of the paper.
+    #[must_use]
+    pub fn half_track_coords_in(&self, lo: Dbu, hi: Dbu) -> Vec<Dbu> {
+        if self.count < 2 {
+            return Vec::new();
+        }
+        let half = TrackPattern {
+            dir: self.dir,
+            start: self.start + self.step / 2,
+            step: self.step,
+            count: self.count - 1,
+            layers: self.layers.clone(),
+        };
+        half.coords_in(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat() -> TrackPattern {
+        TrackPattern::new(Dir::Horizontal, 140, 280, 10, vec![LayerId(0)])
+    }
+
+    #[test]
+    fn coords_arithmetic() {
+        let t = pat();
+        assert_eq!(t.coord(0), 140);
+        assert_eq!(t.coord(9), 140 + 9 * 280);
+        assert_eq!(t.last_coord(), 2660);
+        assert_eq!(t.coords().count(), 10);
+    }
+
+    #[test]
+    fn on_track_checks_range_and_phase() {
+        let t = pat();
+        assert!(t.is_on_track(140));
+        assert!(t.is_on_track(2660));
+        assert!(!t.is_on_track(140 - 280)); // before first track
+        assert!(!t.is_on_track(2660 + 280)); // past last track
+        assert!(!t.is_on_track(141));
+    }
+
+    #[test]
+    fn phase_is_origin_offset() {
+        let t = pat();
+        assert_eq!(t.phase(140), 0);
+        assert_eq!(t.phase(150), 10);
+        assert_eq!(t.phase(130), 270); // rem_euclid keeps it non-negative
+        assert_eq!(t.phase(140 + 280 * 5 + 17), 17);
+    }
+
+    #[test]
+    fn coords_in_window() {
+        let t = pat();
+        assert_eq!(t.coords_in(0, 139), Vec::<Dbu>::new());
+        assert_eq!(t.coords_in(0, 140), vec![140]);
+        assert_eq!(t.coords_in(141, 699), vec![420]);
+        assert_eq!(t.coords_in(400, 1000), vec![420, 700, 980]);
+        assert_eq!(t.coords_in(2661, 99_999), Vec::<Dbu>::new());
+        // Full range.
+        assert_eq!(t.coords_in(Dbu::MIN / 2, Dbu::MAX / 2).len(), 10);
+    }
+
+    #[test]
+    fn half_tracks_are_midpoints() {
+        let t = pat();
+        let halves = t.half_track_coords_in(0, 1000);
+        assert_eq!(halves, vec![280, 560, 840]);
+        // A single-track pattern has no half-tracks.
+        let single = TrackPattern::new(Dir::Vertical, 0, 100, 1, vec![]);
+        assert!(single.half_track_coords_in(-1000, 1000).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_step() {
+        let _ = TrackPattern::new(Dir::Horizontal, 0, 0, 1, vec![]);
+    }
+}

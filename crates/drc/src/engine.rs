@@ -1,0 +1,594 @@
+//! The design-rule check engine.
+
+use crate::shapes::{Owner, ShapeSet};
+use crate::violation::{DrcViolation, RuleKind};
+use pao_geom::boundary::{edge_lengths, union_area, union_boundaries};
+use pao_geom::{max_rects, Dbu, Interval, Point, Rect};
+use pao_tech::{LayerId, LayerKind, Tech, ViaDef};
+
+/// The rectangle spanning the gap (or overlap) between two shapes — used
+/// as the violation marker.
+fn gap_marker(a: Rect, b: Rect) -> Rect {
+    let span = |ia: Interval, ib: Interval| -> Interval {
+        ia.intersect(ib)
+            .unwrap_or_else(|| Interval::new(ia.hi().min(ib.hi()), ia.lo().max(ib.lo())))
+    };
+    let xs = span(a.x_span(), b.x_span());
+    let ys = span(a.y_span(), b.y_span());
+    Rect::new(xs.lo(), ys.lo(), xs.hi(), ys.hi())
+}
+
+/// A design-rule checker bound to a technology.
+///
+/// See the [crate docs](crate) for the rule subset. All check methods
+/// return the violations found (empty = clean); they never panic on clean
+/// or dirty geometry, only on out-of-range layer ids.
+#[derive(Debug, Clone, Copy)]
+pub struct DrcEngine<'t> {
+    tech: &'t Tech,
+}
+
+impl<'t> DrcEngine<'t> {
+    /// Creates an engine for `tech`.
+    #[must_use]
+    pub fn new(tech: &'t Tech) -> DrcEngine<'t> {
+        DrcEngine { tech }
+    }
+
+    /// The technology this engine checks against.
+    #[must_use]
+    pub fn tech(&self) -> &'t Tech {
+        self.tech
+    }
+
+    /// Search halo for context queries on `layer`: the largest spacing any
+    /// rule on the layer can require.
+    #[must_use]
+    pub fn halo(&self, layer: LayerId) -> Dbu {
+        let l = self.tech.layer(layer);
+        let table_max = l.spacing_table.as_ref().map_or(0, |t| t.max_spacing());
+        let eol_max = l.eol_rules.iter().map(|r| r.space).max().unwrap_or(0);
+        l.spacing.max(table_max).max(eol_max)
+    }
+
+    /// Checks metal spacing between two same-layer shapes of different
+    /// owners. Returns a marker when they overlap/touch (short) or sit
+    /// closer than the required spacing.
+    #[must_use]
+    pub fn spacing_violation(&self, layer: LayerId, a: Rect, b: Rect) -> Option<DrcViolation> {
+        if a.touches(b) {
+            return Some(DrcViolation::new(RuleKind::Short, layer, gap_marker(a, b)));
+        }
+        let l = self.tech.layer(layer);
+        let (dx, dy) = a.dist_components(b);
+        let width = a.min_side().max(b.min_side());
+        let (dist_sq, prl) = if dx == 0 {
+            // Stacked vertically: PRL is the x-projection overlap.
+            (
+                i128::from(dy) * i128::from(dy),
+                a.x_span().overlap_len(b.x_span()),
+            )
+        } else if dy == 0 {
+            (
+                i128::from(dx) * i128::from(dx),
+                a.y_span().overlap_len(b.y_span()),
+            )
+        } else {
+            // Diagonal: corner-to-corner Euclidean distance, no PRL.
+            (
+                i128::from(dx) * i128::from(dx) + i128::from(dy) * i128::from(dy),
+                0,
+            )
+        };
+        let req = l.required_spacing(width, width, prl);
+        if dist_sq < i128::from(req) * i128::from(req) {
+            Some(DrcViolation::new(
+                RuleKind::MetalSpacing,
+                layer,
+                gap_marker(a, b),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Checks a candidate metal shape against conflicting context shapes:
+    /// shorts, spacing, and the candidate's end-of-line edges.
+    #[must_use]
+    pub fn check_shape(
+        &self,
+        layer: LayerId,
+        rect: Rect,
+        owner: Owner,
+        ctx: &ShapeSet,
+    ) -> Vec<DrcViolation> {
+        let mut out = Vec::new();
+        let halo = self.halo(layer);
+        let window = rect.expanded(halo.max(1));
+        for (other, _) in ctx.conflicts(layer, window, owner) {
+            if let Some(v) = self.spacing_violation(layer, rect, other) {
+                out.push(v);
+            }
+        }
+        out.extend(self.check_eol_edges(layer, rect, owner, ctx));
+        out
+    }
+
+    /// Checks the end-of-line spacing rules for the four edges of `rect`.
+    fn check_eol_edges(
+        &self,
+        layer: LayerId,
+        rect: Rect,
+        owner: Owner,
+        ctx: &ShapeSet,
+    ) -> Vec<DrcViolation> {
+        let l = self.tech.layer(layer);
+        let mut out = Vec::new();
+        for rule in &l.eol_rules {
+            // Vertical EOL edges (left/right) have length = height.
+            let mut regions: Vec<Rect> = Vec::new();
+            if rect.height() < rule.eol_width {
+                regions.push(Rect::new(
+                    rect.xlo() - rule.space,
+                    rect.ylo() - rule.within,
+                    rect.xlo(),
+                    rect.yhi() + rule.within,
+                ));
+                regions.push(Rect::new(
+                    rect.xhi(),
+                    rect.ylo() - rule.within,
+                    rect.xhi() + rule.space,
+                    rect.yhi() + rule.within,
+                ));
+            }
+            if rect.width() < rule.eol_width {
+                regions.push(Rect::new(
+                    rect.xlo() - rule.within,
+                    rect.ylo() - rule.space,
+                    rect.xhi() + rule.within,
+                    rect.ylo(),
+                ));
+                regions.push(Rect::new(
+                    rect.xlo() - rule.within,
+                    rect.yhi(),
+                    rect.xhi() + rule.within,
+                    rect.yhi() + rule.space,
+                ));
+            }
+            for region in regions {
+                for (other, _) in ctx.conflicts(layer, region, owner) {
+                    // Region query is touch-inclusive; require real overlap
+                    // so metal exactly at the spacing is legal.
+                    if other.overlaps(region) {
+                        out.push(DrcViolation::new(
+                            RuleKind::EolSpacing,
+                            layer,
+                            gap_marker(rect, other),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the merged metal formed by `candidates` and the touching
+    /// `friends` (same-owner shapes): min step, min width and min area.
+    ///
+    /// This is the Fig. 3 check: a via enclosure fused with the pin shape
+    /// may create boundary steps shorter than the layer's `MINSTEP`.
+    #[must_use]
+    pub fn check_merged(
+        &self,
+        layer: LayerId,
+        candidates: &[Rect],
+        friends: &[Rect],
+    ) -> Vec<DrcViolation> {
+        let l = self.tech.layer(layer);
+        let mut out = Vec::new();
+        // Only friends actually touching a candidate merge with it.
+        let mut merged: Vec<Rect> = candidates.to_vec();
+        let mut changed = true;
+        let mut remaining: Vec<Rect> = friends.to_vec();
+        while changed {
+            changed = false;
+            remaining.retain(|f| {
+                if merged.iter().any(|c| c.touches(*f)) {
+                    merged.push(*f);
+                    changed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let marker = merged
+            .iter()
+            .copied()
+            .reduce(Rect::hull)
+            .unwrap_or_default();
+
+        if let Some(rule) = l.min_step {
+            for loop_ in union_boundaries(&merged) {
+                let lens = edge_lengths(&loop_);
+                let n = lens.len();
+                // Count maximal runs of consecutive short edges around the
+                // cycle.
+                let mut run = 0u32;
+                let mut max_run = 0u32;
+                for i in 0..2 * n {
+                    if lens[i % n] < rule.min_step_length {
+                        run += 1;
+                        max_run = max_run.max(run.min(n as u32));
+                    } else {
+                        run = 0;
+                    }
+                    if i >= n && run == 0 {
+                        break;
+                    }
+                }
+                if max_run > rule.max_edges {
+                    out.push(DrcViolation::new(RuleKind::MinStep, layer, marker));
+                    break;
+                }
+            }
+        }
+        if l.min_width > 0
+            && max_rects(&merged)
+                .iter()
+                .any(|r| r.min_side() < l.min_width)
+        {
+            out.push(DrcViolation::new(RuleKind::MinWidth, layer, marker));
+        }
+        if l.min_area > 0 && union_area(&merged) < l.min_area {
+            out.push(DrcViolation::new(RuleKind::MinArea, layer, marker));
+        }
+        out
+    }
+
+    /// Checks a cut shape against other cuts (cut spacing).
+    #[must_use]
+    pub fn check_cut_shape(
+        &self,
+        layer: LayerId,
+        rect: Rect,
+        owner: Owner,
+        ctx: &ShapeSet,
+    ) -> Vec<DrcViolation> {
+        debug_assert_eq!(self.tech.layer(layer).kind, LayerKind::Cut);
+        let spacing = self.tech.layer(layer).spacing;
+        let mut out = Vec::new();
+        let window = rect.expanded(spacing.max(1));
+        for (other, o) in ctx.query(layer, window) {
+            // Same-owner stacked cuts at the same spot are one via; any
+            // other proximity — same-owner or not — violates cut spacing.
+            if o == owner && other == rect {
+                continue;
+            }
+            if rect.touches(other) {
+                out.push(DrcViolation::new(
+                    RuleKind::Short,
+                    layer,
+                    gap_marker(rect, other),
+                ));
+                continue;
+            }
+            let d2 = pao_geom::rect_dist(rect, other);
+            if d2 < i128::from(spacing) * i128::from(spacing) {
+                out.push(DrcViolation::new(
+                    RuleKind::CutSpacing,
+                    layer,
+                    gap_marker(rect, other),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The framework's central query: can `via` land with its origin at
+    /// `at`, on behalf of `owner`, given the context?
+    ///
+    /// Checks, in order: bottom-layer spacing/short/EOL against conflicting
+    /// shapes, bottom-layer merged min-step/min-width/min-area with the
+    /// owner's own metal, cut spacing, and top-layer spacing/short/EOL.
+    #[must_use]
+    pub fn check_via_placement(
+        &self,
+        via: &ViaDef,
+        at: Point,
+        owner: Owner,
+        ctx: &ShapeSet,
+    ) -> Vec<DrcViolation> {
+        let mut out = Vec::new();
+        let bottom: Vec<Rect> = via.bottom_shapes.iter().map(|r| r.translated(at)).collect();
+        let cuts: Vec<Rect> = via.cut_shapes.iter().map(|r| r.translated(at)).collect();
+        let top: Vec<Rect> = via.top_shapes.iter().map(|r| r.translated(at)).collect();
+
+        for &r in &bottom {
+            out.extend(self.check_shape(via.bottom_layer, r, owner, ctx));
+        }
+        // Merged-geometry checks with the owner's own bottom-layer metal.
+        let window = bottom
+            .iter()
+            .copied()
+            .reduce(Rect::hull)
+            .unwrap_or_default()
+            .expanded(1);
+        let friends: Vec<Rect> = ctx.friends(via.bottom_layer, window, owner).collect();
+        out.extend(self.check_merged(via.bottom_layer, &bottom, &friends));
+
+        for &r in &cuts {
+            out.extend(self.check_cut_shape(via.cut_layer, r, owner, ctx));
+        }
+        for &r in &top {
+            out.extend(self.check_shape(via.top_layer, r, owner, ctx));
+            // The top enclosure alone must satisfy min width.
+            let l = self.tech.layer(via.top_layer);
+            if l.min_width > 0 && r.min_side() < l.min_width {
+                out.push(DrcViolation::new(RuleKind::MinWidth, via.top_layer, r));
+            }
+        }
+        out
+    }
+
+    /// Exhaustively audits a shape set: every conflicting same-layer pair
+    /// is checked for shorts and spacing (each unordered pair reported at
+    /// most once), and cut layers for cut spacing.
+    ///
+    /// Used to score routed designs and to audit access points.
+    #[must_use]
+    pub fn audit(&self, ctx: &ShapeSet) -> Vec<DrcViolation> {
+        let mut out = Vec::new();
+        for li in 0..ctx.num_layers() {
+            let layer = LayerId(li as u32);
+            let kind = self.tech.layer(layer).kind;
+            let halo = match kind {
+                LayerKind::Routing => self.halo(layer),
+                LayerKind::Cut => self.tech.layer(layer).spacing,
+            };
+            let shapes: Vec<(Rect, Owner)> = ctx.iter_layer(layer).collect();
+            for (i, &(a, oa)) in shapes.iter().enumerate() {
+                let window = a.expanded(halo.max(1));
+                for (b, ob) in ctx.query(layer, window) {
+                    // Order pairs to avoid double-reporting: compare by
+                    // (rect, owner) with self-pair skipped.
+                    if !oa.conflicts_with(ob) || (b, ob) <= (a, oa) {
+                        continue;
+                    }
+                    match kind {
+                        LayerKind::Routing => {
+                            if let Some(v) = self.spacing_violation(layer, a, b) {
+                                out.push(v);
+                            }
+                        }
+                        LayerKind::Cut => {
+                            if a.touches(b) {
+                                out.push(DrcViolation::new(
+                                    RuleKind::Short,
+                                    layer,
+                                    gap_marker(a, b),
+                                ));
+                            } else if pao_geom::rect_dist(a, b)
+                                < i128::from(halo) * i128::from(halo)
+                            {
+                                out.push(DrcViolation::new(
+                                    RuleKind::CutSpacing,
+                                    layer,
+                                    gap_marker(a, b),
+                                ));
+                            }
+                        }
+                    }
+                }
+                let _ = i;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_geom::Dir;
+    use pao_tech::rules::{EolRule, MinStepRule};
+    use pao_tech::Layer;
+
+    fn tech() -> Tech {
+        let mut t = Tech::new(1000);
+        let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+        m1.min_step = Some(MinStepRule::simple(60));
+        m1.min_area = 10_000;
+        m1.eol_rules.push(EolRule {
+            space: 90,
+            eol_width: 80,
+            within: 25,
+        });
+        t.add_layer(m1);
+        t.add_layer(Layer::cut("V1", 70, 80));
+        t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+        t
+    }
+
+    fn m1() -> LayerId {
+        LayerId(0)
+    }
+
+    fn via(t: &Tech) -> ViaDef {
+        ViaDef::new(
+            "via1",
+            t.layer_id("M1").unwrap(),
+            vec![Rect::new(-65, -35, 65, 35)],
+            t.layer_id("V1").unwrap(),
+            vec![Rect::new(-35, -35, 35, 35)],
+            t.layer_id("M2").unwrap(),
+            vec![Rect::new(-35, -65, 35, 65)],
+        )
+    }
+
+    #[test]
+    fn spacing_simple() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let a = Rect::new(0, 0, 200, 60);
+        // 70 required; 69 violates, 70 clean.
+        assert!(e
+            .spacing_violation(m1(), a, Rect::new(0, 129, 200, 189))
+            .is_some());
+        assert!(e
+            .spacing_violation(m1(), a, Rect::new(0, 130, 200, 190))
+            .is_none());
+        // Overlap and touch are shorts.
+        let short = e
+            .spacing_violation(m1(), a, Rect::new(100, 0, 300, 60))
+            .unwrap();
+        assert_eq!(short.rule, RuleKind::Short);
+        let touch = e
+            .spacing_violation(m1(), a, Rect::new(200, 0, 300, 60))
+            .unwrap();
+        assert_eq!(touch.rule, RuleKind::Short);
+    }
+
+    #[test]
+    fn spacing_corner_to_corner() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let a = Rect::new(0, 0, 100, 60);
+        // Diagonal at (50, 49): sqrt(50²+49²) ≈ 70.01 > 70 clean.
+        assert!(e
+            .spacing_violation(m1(), a, Rect::new(150, 109, 250, 169))
+            .is_none());
+        // (40, 40): ≈ 56.6 < 70 violates.
+        let v = e
+            .spacing_violation(m1(), a, Rect::new(140, 100, 240, 160))
+            .unwrap();
+        assert_eq!(v.rule, RuleKind::MetalSpacing);
+    }
+
+    #[test]
+    fn check_shape_uses_owner() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(3);
+        ctx.insert(m1(), Rect::new(0, 0, 200, 60), Owner::pin(1));
+        // Same owner: no violations even when overlapping.
+        assert!(e
+            .check_shape(m1(), Rect::new(100, 0, 300, 60), Owner::pin(1), &ctx)
+            .is_empty());
+        // Different owner: short.
+        assert!(!e
+            .check_shape(m1(), Rect::new(100, 0, 300, 60), Owner::pin(2), &ctx)
+            .is_empty());
+    }
+
+    #[test]
+    fn eol_spacing_fires_only_for_narrow_edges() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(3);
+        // A wall 80 away to the east of a narrow shape's right EOL edge.
+        ctx.insert(m1(), Rect::new(180, 0, 240, 60), Owner::obs(0));
+        // Height 60 < eol_width 80 → EOL; gap 80 < 90 → violation.
+        let narrow = Rect::new(0, 0, 100, 60);
+        let v = e.check_shape(m1(), narrow, Owner::pin(1), &ctx);
+        assert!(v.iter().any(|v| v.rule == RuleKind::EolSpacing), "{v:?}");
+        // A tall shape (height ≥ 80) has no vertical EOL edge; plain
+        // spacing (70) is satisfied at gap 80.
+        let tall = Rect::new(0, -20, 100, 60);
+        let v = e.check_shape(m1(), tall, Owner::pin(1), &ctx);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn merged_min_step_detects_via_overhang() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        // Pin bar 400×60; via enclosure 130×70 sticking out 5 above and
+        // below near the middle: edge run (5, 130, 5) all < 60 → min-step.
+        let pin = Rect::new(0, 0, 400, 60);
+        let enc = Rect::new(100, -5, 230, 65);
+        let v = e.check_merged(m1(), &[enc], &[pin]);
+        assert!(v.iter().any(|v| v.rule == RuleKind::MinStep), "{v:?}");
+        // Enclosure aligned to the pin boundary: no step.
+        let aligned = Rect::new(100, 0, 230, 60);
+        let v = e.check_merged(m1(), &[aligned], &[pin]);
+        assert!(v.iter().all(|v| v.rule != RuleKind::MinStep), "{v:?}");
+    }
+
+    #[test]
+    fn merged_min_area_and_width() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        // Isolated 70×70 enclosure: area 4900 < 10000 → min-area.
+        let v = e.check_merged(m1(), &[Rect::new(0, 0, 70, 70)], &[]);
+        assert!(v.iter().any(|v| v.rule == RuleKind::MinArea));
+        // Thin neck: min width violation.
+        let v = e.check_merged(
+            m1(),
+            &[Rect::new(0, 0, 200, 60), Rect::new(200, 10, 260, 40)],
+            &[],
+        );
+        assert!(v.iter().any(|v| v.rule == RuleKind::MinWidth), "{v:?}");
+        // Friend that does not touch the candidate does not merge.
+        let v = e.check_merged(
+            m1(),
+            &[Rect::new(0, 0, 70, 70)],
+            &[Rect::new(1000, 0, 1400, 200)],
+        );
+        assert!(v.iter().any(|v| v.rule == RuleKind::MinArea));
+    }
+
+    #[test]
+    fn cut_spacing() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let v1 = t.layer_id("V1").unwrap();
+        let mut ctx = ShapeSet::new(3);
+        ctx.insert(v1, Rect::new(0, 0, 70, 70), Owner::pin(1));
+        // 79 away: violation (spacing 80); same for same-owner cuts.
+        let v = e.check_cut_shape(v1, Rect::new(149, 0, 219, 70), Owner::pin(2), &ctx);
+        assert!(v.iter().any(|v| v.rule == RuleKind::CutSpacing));
+        let v = e.check_cut_shape(v1, Rect::new(149, 0, 219, 70), Owner::pin(1), &ctx);
+        assert!(v.iter().any(|v| v.rule == RuleKind::CutSpacing));
+        // 80 away: clean.
+        let v = e.check_cut_shape(v1, Rect::new(150, 0, 220, 70), Owner::pin(2), &ctx);
+        assert!(v.is_empty());
+        // Identical same-owner cut: treated as the same via.
+        let v = e.check_cut_shape(v1, Rect::new(0, 0, 70, 70), Owner::pin(1), &ctx);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn via_placement_clean_and_dirty() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let via = via(&t);
+        let mut ctx = ShapeSet::new(3);
+        // A wide pin that fully contains the bottom enclosure.
+        ctx.insert(m1(), Rect::new(-200, -35, 200, 35), Owner::pin(1));
+        let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(1), &ctx);
+        assert!(v.is_empty(), "{v:?}");
+        // Same via for a different owner shorts against the pin.
+        let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(2), &ctx);
+        assert!(v.iter().any(|v| v.rule == RuleKind::Short));
+        // A narrow pin causes a min-step from the enclosure overhang.
+        let mut ctx2 = ShapeSet::new(3);
+        ctx2.insert(m1(), Rect::new(-200, -30, 200, 30), Owner::pin(1));
+        let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(1), &ctx2);
+        assert!(v.iter().any(|v| v.rule == RuleKind::MinStep), "{v:?}");
+    }
+
+    #[test]
+    fn audit_counts_each_pair_once() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(3);
+        ctx.insert(m1(), Rect::new(0, 0, 200, 60), Owner::net(1));
+        ctx.insert(m1(), Rect::new(0, 100, 200, 160), Owner::net(2)); // 40 gap
+        ctx.insert(m1(), Rect::new(1000, 0, 1200, 60), Owner::net(3)); // far away
+        ctx.rebuild();
+        let v = e.audit(&ctx);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleKind::MetalSpacing);
+    }
+}

@@ -1,0 +1,221 @@
+//! Owned shape sets — the DRC context.
+
+use pao_geom::{RTree, Rect};
+use pao_tech::LayerId;
+use std::fmt;
+
+/// Identifies who a shape belongs to, deciding which pairs of shapes can
+/// conflict. Two shapes with the **same owner** never conflict (they are,
+/// or will become, electrically connected); everything else is checked.
+///
+/// The `u32` payloads are opaque to the engine — callers choose a scheme
+/// (pin index within a unique instance, net id, component id, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Owner {
+    /// A pin, identified by an opaque id (e.g. `comp << 8 | pin_index`).
+    Pin(u64),
+    /// An obstruction belonging to component `id`. Obstructions conflict
+    /// with everything, including each other.
+    Obs(u64),
+    /// A routed net.
+    Net(u64),
+    /// A fixed blockage (die margin, macro halo).
+    Blockage,
+}
+
+impl Owner {
+    /// Convenience constructor for pin owners.
+    #[must_use]
+    pub fn pin(id: u64) -> Owner {
+        Owner::Pin(id)
+    }
+
+    /// Convenience constructor for obstruction owners.
+    #[must_use]
+    pub fn obs(id: u64) -> Owner {
+        Owner::Obs(id)
+    }
+
+    /// Convenience constructor for net owners.
+    #[must_use]
+    pub fn net(id: u64) -> Owner {
+        Owner::Net(id)
+    }
+
+    /// `true` when shapes of `self` and `other` must satisfy spacing rules
+    /// against each other.
+    #[must_use]
+    pub fn conflicts_with(self, other: Owner) -> bool {
+        match (self, other) {
+            (Owner::Obs(_), Owner::Obs(_)) => true,
+            (Owner::Blockage, Owner::Blockage) => true,
+            (a, b) => a != b,
+        }
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Pin(id) => write!(f, "pin#{id}"),
+            Owner::Obs(id) => write!(f, "obs#{id}"),
+            Owner::Net(id) => write!(f, "net#{id}"),
+            Owner::Blockage => write!(f, "blockage"),
+        }
+    }
+}
+
+/// A per-layer spatial index of owned shapes — the context the DRC engine
+/// checks candidates against.
+///
+/// ```
+/// use pao_drc::{Owner, ShapeSet};
+/// use pao_geom::Rect;
+/// use pao_tech::LayerId;
+///
+/// let mut ctx = ShapeSet::new(2);
+/// ctx.insert(LayerId(0), Rect::new(0, 0, 10, 10), Owner::pin(1));
+/// assert_eq!(ctx.query(LayerId(0), Rect::new(5, 5, 6, 6)).count(), 1);
+/// assert_eq!(ctx.query(LayerId(1), Rect::new(5, 5, 6, 6)).count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShapeSet {
+    layers: Vec<RTree<Owner>>,
+}
+
+impl ShapeSet {
+    /// Creates an empty set able to hold shapes on `num_layers` layers.
+    #[must_use]
+    pub fn new(num_layers: usize) -> ShapeSet {
+        ShapeSet {
+            layers: (0..num_layers).map(|_| RTree::new()).collect(),
+        }
+    }
+
+    /// Number of layers the set spans.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of shapes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.iter().map(RTree::len).sum()
+    }
+
+    /// `true` when the set holds no shapes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn insert(&mut self, layer: LayerId, rect: Rect, owner: Owner) {
+        self.layers[layer.index()].insert(rect, owner);
+    }
+
+    /// Bulk-inserts shapes and repacks the indexes (call once after filling
+    /// a large context).
+    pub fn rebuild(&mut self) {
+        for t in &mut self.layers {
+            t.rebuild();
+        }
+    }
+
+    /// Shapes on `layer` touching `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn query(&self, layer: LayerId, window: Rect) -> impl Iterator<Item = (Rect, Owner)> + '_ {
+        self.layers[layer.index()]
+            .query(window)
+            .map(|(r, &o)| (r, o))
+    }
+
+    /// Shapes on `layer` touching `window` whose owner conflicts with
+    /// `owner`.
+    pub fn conflicts(
+        &self,
+        layer: LayerId,
+        window: Rect,
+        owner: Owner,
+    ) -> impl Iterator<Item = (Rect, Owner)> + '_ {
+        self.query(layer, window)
+            .filter(move |&(_, o)| o.conflicts_with(owner))
+    }
+
+    /// Shapes on `layer` touching `window` with exactly the given owner —
+    /// the "friendly" metal that merges with a candidate.
+    pub fn friends(
+        &self,
+        layer: LayerId,
+        window: Rect,
+        owner: Owner,
+    ) -> impl Iterator<Item = Rect> + '_ {
+        self.query(layer, window)
+            .filter(move |&(_, o)| o == owner)
+            .map(|(r, _)| r)
+    }
+
+    /// All shapes on a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn iter_layer(&self, layer: LayerId) -> impl Iterator<Item = (Rect, Owner)> + '_ {
+        self.layers[layer.index()].iter().map(|&(r, o)| (r, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_conflict_matrix() {
+        assert!(!Owner::pin(1).conflicts_with(Owner::pin(1)));
+        assert!(Owner::pin(1).conflicts_with(Owner::pin(2)));
+        assert!(Owner::pin(1).conflicts_with(Owner::obs(1)));
+        assert!(Owner::obs(1).conflicts_with(Owner::obs(1)));
+        assert!(!Owner::net(9).conflicts_with(Owner::net(9)));
+        assert!(Owner::net(9).conflicts_with(Owner::Blockage));
+        assert!(Owner::Blockage.conflicts_with(Owner::Blockage));
+    }
+
+    #[test]
+    fn per_layer_query() {
+        let mut s = ShapeSet::new(3);
+        s.insert(LayerId(0), Rect::new(0, 0, 10, 10), Owner::pin(1));
+        s.insert(LayerId(2), Rect::new(0, 0, 10, 10), Owner::net(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.query(LayerId(0), Rect::new(0, 0, 5, 5)).count(), 1);
+        assert_eq!(s.query(LayerId(1), Rect::new(0, 0, 5, 5)).count(), 0);
+        assert_eq!(s.query(LayerId(2), Rect::new(0, 0, 5, 5)).count(), 1);
+    }
+
+    #[test]
+    fn conflicts_and_friends_filter_by_owner() {
+        let mut s = ShapeSet::new(1);
+        s.insert(LayerId(0), Rect::new(0, 0, 10, 10), Owner::pin(1));
+        s.insert(LayerId(0), Rect::new(20, 0, 30, 10), Owner::pin(2));
+        s.rebuild();
+        let w = Rect::new(-100, -100, 100, 100);
+        assert_eq!(s.conflicts(LayerId(0), w, Owner::pin(1)).count(), 1);
+        assert_eq!(s.friends(LayerId(0), w, Owner::pin(1)).count(), 1);
+        assert_eq!(s.conflicts(LayerId(0), w, Owner::net(7)).count(), 2);
+        assert_eq!(s.friends(LayerId(0), w, Owner::net(7)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_layer_panics() {
+        let s = ShapeSet::new(1);
+        let _ = s.query(LayerId(5), Rect::new(0, 0, 1, 1)).count();
+    }
+}

@@ -1,0 +1,104 @@
+//! DRC violation records.
+
+use pao_geom::Rect;
+use pao_tech::LayerId;
+use std::fmt;
+
+/// The rule class a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleKind {
+    /// Two different-owner shapes overlap.
+    Short,
+    /// Metal-to-metal spacing (simple or table).
+    MetalSpacing,
+    /// Minimum width of merged metal.
+    MinWidth,
+    /// Minimum step (short boundary edges of merged metal).
+    MinStep,
+    /// Minimum area of merged metal.
+    MinArea,
+    /// End-of-line spacing.
+    EolSpacing,
+    /// Cut-to-cut spacing.
+    CutSpacing,
+    /// Cut not sufficiently enclosed by metal.
+    Enclosure,
+    /// Shape lies outside the die / allowed region.
+    OutOfBounds,
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleKind::Short => "short",
+            RuleKind::MetalSpacing => "metal spacing",
+            RuleKind::MinWidth => "min width",
+            RuleKind::MinStep => "min step",
+            RuleKind::MinArea => "min area",
+            RuleKind::EolSpacing => "end-of-line spacing",
+            RuleKind::CutSpacing => "cut spacing",
+            RuleKind::Enclosure => "enclosure",
+            RuleKind::OutOfBounds => "out of bounds",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single DRC violation with a geometric marker.
+///
+/// ```
+/// use pao_drc::{DrcViolation, RuleKind};
+/// use pao_geom::Rect;
+/// use pao_tech::LayerId;
+///
+/// let v = DrcViolation::new(RuleKind::Short, LayerId(0), Rect::new(0, 0, 10, 10));
+/// assert_eq!(v.to_string(), "short on L0 at (0, 0) - (10, 10)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrcViolation {
+    /// Violated rule class.
+    pub rule: RuleKind,
+    /// Layer the violation occurs on.
+    pub layer: LayerId,
+    /// Marker rectangle locating the violation.
+    pub marker: Rect,
+}
+
+impl DrcViolation {
+    /// Creates a violation record.
+    #[must_use]
+    pub fn new(rule: RuleKind, layer: LayerId, marker: Rect) -> DrcViolation {
+        DrcViolation {
+            rule,
+            layer,
+            marker,
+        }
+    }
+}
+
+impl fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} at {}", self.rule, self.layer, self.marker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let v = DrcViolation::new(RuleKind::MinStep, LayerId(2), Rect::new(1, 2, 3, 4));
+        assert_eq!(v.to_string(), "min step on L2 at (1, 2) - (3, 4)");
+    }
+
+    #[test]
+    fn rule_kinds_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(RuleKind::Short);
+        set.insert(RuleKind::Short);
+        assert_eq!(set.len(), 1);
+        assert!(RuleKind::Short < RuleKind::MetalSpacing);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the DRC engine.
+
+use pao_drc::{DrcEngine, Owner, RuleKind, ShapeSet};
+use pao_geom::{Dir, Point, Rect};
+use pao_tech::rules::MinStepRule;
+use pao_tech::{Layer, LayerId, Tech, ViaDef};
+use proptest::prelude::*;
+
+fn tech() -> Tech {
+    let mut t = Tech::new(1000);
+    let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+    m1.min_step = Some(MinStepRule::simple(60));
+    t.add_layer(m1);
+    t.add_layer(Layer::cut("V1", 50, 120));
+    t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+    let via = ViaDef::new(
+        "via1_0",
+        LayerId(0),
+        vec![Rect::new(-65, -30, 65, 30)],
+        LayerId(1),
+        vec![Rect::new(-25, -25, 25, 25)],
+        LayerId(2),
+        vec![Rect::new(-30, -65, 30, 65)],
+    );
+    t.add_via(via);
+    t
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-2_000i64..2_000, -2_000i64..2_000, 60i64..400, 60i64..400)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spacing_violation_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let ab = e.spacing_violation(LayerId(0), a, b);
+        let ba = e.spacing_violation(LayerId(0), b, a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(x), Some(y)) = (ab, ba) {
+            prop_assert_eq!(x.rule, y.rule);
+            prop_assert_eq!(x.marker, y.marker);
+        }
+    }
+
+    #[test]
+    fn far_apart_shapes_never_violate(a in arb_rect(), dx in 1000i64..5000, dy in 1000i64..5000) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let b = a.translated(Point::new(a.width() + dx, a.height() + dy));
+        prop_assert!(e.spacing_violation(LayerId(0), a, b).is_none());
+    }
+
+    #[test]
+    fn overlap_is_always_a_short(a in arb_rect()) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        // Any rect overlapping `a` (shifted by less than its size) shorts.
+        let b = a.translated(Point::new(a.width() / 2, 0));
+        let v = e.spacing_violation(LayerId(0), a, b).expect("violation");
+        prop_assert_eq!(v.rule, RuleKind::Short);
+    }
+
+    #[test]
+    fn same_owner_context_is_always_clean(shapes in prop::collection::vec(arb_rect(), 1..8)) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        for &r in &shapes {
+            ctx.insert(LayerId(0), r, Owner::pin(1));
+        }
+        ctx.rebuild();
+        // A same-owner candidate can overlap everything freely.
+        for &r in &shapes {
+            prop_assert!(e.check_shape(LayerId(0), r, Owner::pin(1), &ctx).is_empty());
+        }
+        // The audit of a single-owner set is empty.
+        prop_assert!(e.audit(&ctx).is_empty());
+    }
+
+    #[test]
+    fn audit_counts_match_pairwise_checks(shapes in prop::collection::vec(arb_rect(), 2..8)) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        for (i, &r) in shapes.iter().enumerate() {
+            ctx.insert(LayerId(0), r, Owner::net(i as u64));
+        }
+        ctx.rebuild();
+        let audit = e.audit(&ctx).len();
+        let mut pairwise = 0usize;
+        for i in 0..shapes.len() {
+            for j in (i + 1)..shapes.len() {
+                if e.spacing_violation(LayerId(0), shapes[i], shapes[j]).is_some() {
+                    pairwise += 1;
+                }
+            }
+        }
+        prop_assert_eq!(audit, pairwise);
+    }
+
+    #[test]
+    fn via_nested_in_big_pin_is_clean(cx in -500i64..500, cy in -500i64..500) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        // A pin much larger than the enclosure, centered anywhere.
+        let pin = Rect::centered_at(Point::new(cx, cy), 800, 400);
+        ctx.insert(LayerId(0), pin, Owner::pin(0));
+        ctx.rebuild();
+        let via = t.via(pao_tech::ViaId(0));
+        let v = e.check_via_placement(via, Point::new(cx, cy), Owner::pin(0), &ctx);
+        prop_assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn via_overhang_below_min_step_is_dirty(overhang in 1i64..59) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let mut ctx = ShapeSet::new(t.layers().len());
+        // Pin exactly as tall as the enclosure minus 2×overhang.
+        let pin = Rect::new(-400, -30 + overhang, 400, 30 - overhang);
+        if pin.height() < 2 {
+            return Ok(());
+        }
+        ctx.insert(LayerId(0), pin, Owner::pin(0));
+        ctx.rebuild();
+        let via = t.via(pao_tech::ViaId(0));
+        let v = e.check_via_placement(via, Point::ORIGIN, Owner::pin(0), &ctx);
+        prop_assert!(
+            v.iter().any(|v| v.rule == RuleKind::MinStep),
+            "overhang {overhang}: {v:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The audit is invariant under shape insertion order.
+    #[test]
+    fn audit_is_order_invariant(shapes in prop::collection::vec(arb_rect(), 2..10)) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let build = |order: &[usize]| {
+            let mut ctx = ShapeSet::new(t.layers().len());
+            for &i in order {
+                ctx.insert(LayerId(0), shapes[i], Owner::net(i as u64));
+            }
+            ctx.rebuild();
+            e.audit(&ctx).len()
+        };
+        let fwd: Vec<usize> = (0..shapes.len()).collect();
+        let rev: Vec<usize> = (0..shapes.len()).rev().collect();
+        prop_assert_eq!(build(&fwd), build(&rev));
+    }
+
+    /// Translating the whole context never changes the verdicts.
+    #[test]
+    fn checks_are_translation_invariant(
+        shapes in prop::collection::vec(arb_rect(), 1..6),
+        dx in -10_000i64..10_000,
+        dy in -10_000i64..10_000,
+    ) {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let count = |delta: Point| {
+            let mut ctx = ShapeSet::new(t.layers().len());
+            for (i, &r) in shapes.iter().enumerate() {
+                ctx.insert(LayerId(0), r.translated(delta), Owner::net(i as u64));
+            }
+            ctx.rebuild();
+            e.audit(&ctx).len()
+        };
+        prop_assert_eq!(count(Point::ORIGIN), count(Point::new(dx, dy)));
+    }
+}

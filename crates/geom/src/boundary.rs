@@ -1,0 +1,290 @@
+//! Boundary extraction for unions of rectangles.
+//!
+//! The DRC min-step check walks the boundary of the *merged* metal formed
+//! by a pin shape and a via enclosure (paper Fig. 3): short boundary edges
+//! are "steps". This module traces the closed boundary loops of a union of
+//! rectangles.
+
+use crate::{Dbu, Point, Rect};
+use std::collections::HashMap;
+
+/// Traces the closed boundary loops of the union of `shapes`.
+///
+/// Each loop is a rectilinear vertex cycle (first vertex not repeated) with
+/// collinear runs merged. Outer boundaries wind counter-clockwise, hole
+/// boundaries clockwise. Degenerate input rectangles are ignored; returns
+/// an empty vector for empty input.
+///
+/// ```
+/// use pao_geom::{boundary::union_boundaries, Rect};
+///
+/// let loops = union_boundaries(&[Rect::new(0, 0, 10, 10)]);
+/// assert_eq!(loops.len(), 1);
+/// assert_eq!(loops[0].len(), 4);
+/// ```
+#[must_use]
+pub fn union_boundaries(shapes: &[Rect]) -> Vec<Vec<Point>> {
+    let shapes: Vec<Rect> = shapes
+        .iter()
+        .copied()
+        .filter(|r| !r.is_degenerate())
+        .collect();
+    if shapes.is_empty() {
+        return Vec::new();
+    }
+    let mut xs: Vec<Dbu> = shapes.iter().flat_map(|r| [r.xlo(), r.xhi()]).collect();
+    let mut ys: Vec<Dbu> = shapes.iter().flat_map(|r| [r.ylo(), r.yhi()]).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let nx = xs.len() - 1;
+    let ny = ys.len() - 1;
+    let mut covered = vec![vec![false; ny]; nx];
+    for r in &shapes {
+        let i0 = xs.binary_search(&r.xlo()).expect("compressed");
+        let i1 = xs.binary_search(&r.xhi()).expect("compressed");
+        let j0 = ys.binary_search(&r.ylo()).expect("compressed");
+        let j1 = ys.binary_search(&r.yhi()).expect("compressed");
+        for col in covered.iter_mut().take(i1).skip(i0) {
+            for cell in col.iter_mut().take(j1).skip(j0) {
+                *cell = true;
+            }
+        }
+    }
+    let cov = |i: isize, j: isize| -> bool {
+        i >= 0
+            && j >= 0
+            && (i as usize) < nx
+            && (j as usize) < ny
+            && covered[i as usize][j as usize]
+    };
+
+    // Directed unit boundary edges with interior on the LEFT of the travel
+    // direction (outer loops CCW, holes CW).
+    let mut outgoing: HashMap<Point, Vec<Point>> = HashMap::new();
+    let mut add = |a: Point, b: Point| outgoing.entry(a).or_default().push(b);
+    for i in 0..nx as isize {
+        for j in 0..ny as isize {
+            if !cov(i, j) {
+                continue;
+            }
+            let (x0, x1) = (xs[i as usize], xs[i as usize + 1]);
+            let (y0, y1) = (ys[j as usize], ys[j as usize + 1]);
+            if !cov(i, j - 1) {
+                // Bottom edge: travel east (interior above/left).
+                add(Point::new(x0, y0), Point::new(x1, y0));
+            }
+            if !cov(i, j + 1) {
+                // Top edge: travel west.
+                add(Point::new(x1, y1), Point::new(x0, y1));
+            }
+            if !cov(i - 1, j) {
+                // Left edge: travel south (interior to the east/left of
+                // southward? interior is right of south; use north travel).
+                add(Point::new(x0, y1), Point::new(x0, y0));
+            }
+            if !cov(i + 1, j) {
+                // Right edge: travel north.
+                add(Point::new(x1, y0), Point::new(x1, y1));
+            }
+        }
+    }
+
+    // Stitch directed edges into loops; at pinch vertices prefer the
+    // leftmost turn so loops stay simple.
+    let mut loops = Vec::new();
+    while let Some((&start, _)) = outgoing.iter().find(|(_, v)| !v.is_empty()) {
+        let mut path = vec![start];
+        let mut current = start;
+        let mut incoming_dir: Option<Point> = None;
+        loop {
+            let nexts = outgoing
+                .get_mut(&current)
+                .expect("boundary edges form loops");
+            let next = match (nexts.len(), incoming_dir) {
+                (1, _) | (_, None) => nexts.pop().expect("nonempty"),
+                (_, Some(din)) => {
+                    // Choose the leftmost turn relative to the incoming
+                    // direction (cross product maximal).
+                    let best = nexts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &n)| {
+                            let dout = n - current;
+                            din.x * dout.y - din.y * dout.x
+                        })
+                        .map(|(k, _)| k)
+                        .expect("nonempty");
+                    nexts.swap_remove(best)
+                }
+            };
+            incoming_dir = Some(next - current);
+            if next == start {
+                break;
+            }
+            path.push(next);
+            current = next;
+        }
+        // Merge collinear runs.
+        let merged = merge_collinear(path);
+        if merged.len() >= 4 {
+            loops.push(merged);
+        }
+    }
+    loops
+}
+
+fn merge_collinear(mut path: Vec<Point>) -> Vec<Point> {
+    if path.len() < 3 {
+        return path;
+    }
+    let mut out: Vec<Point> = Vec::with_capacity(path.len());
+    for p in path.drain(..) {
+        while out.len() >= 2 {
+            let a = out[out.len() - 2];
+            let b = out[out.len() - 1];
+            if (a.x == b.x && b.x == p.x) || (a.y == b.y && b.y == p.y) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(p);
+    }
+    // Seam: first/last may be collinear with neighbours.
+    while out.len() >= 3 {
+        let n = out.len();
+        let (a, b, c) = (out[n - 2], out[n - 1], out[0]);
+        if (a.x == b.x && b.x == c.x) || (a.y == b.y && b.y == c.y) {
+            out.pop();
+            continue;
+        }
+        let (a, b, c) = (out[n - 1], out[0], out[1]);
+        if (a.x == b.x && b.x == c.x) || (a.y == b.y && b.y == c.y) {
+            out.remove(0);
+            continue;
+        }
+        break;
+    }
+    out
+}
+
+/// Edge lengths around a loop produced by [`union_boundaries`].
+#[must_use]
+pub fn edge_lengths(loop_: &[Point]) -> Vec<Dbu> {
+    (0..loop_.len())
+        .map(|i| {
+            let a = loop_[i];
+            let b = loop_[(i + 1) % loop_.len()];
+            a.manhattan(b)
+        })
+        .collect()
+}
+
+/// Total area enclosed by the union of `shapes`.
+#[must_use]
+pub fn union_area(shapes: &[Rect]) -> i128 {
+    let shapes: Vec<Rect> = shapes
+        .iter()
+        .copied()
+        .filter(|r| !r.is_degenerate())
+        .collect();
+    if shapes.is_empty() {
+        return 0;
+    }
+    let mut xs: Vec<Dbu> = shapes.iter().flat_map(|r| [r.xlo(), r.xhi()]).collect();
+    let mut ys: Vec<Dbu> = shapes.iter().flat_map(|r| [r.ylo(), r.yhi()]).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let mut total: i128 = 0;
+    for i in 0..xs.len() - 1 {
+        for j in 0..ys.len() - 1 {
+            let cell = Rect::new(xs[i], ys[j], xs[i + 1], ys[j + 1]);
+            if shapes.iter().any(|r| r.contains_rect(cell)) {
+                total += i128::from(xs[i + 1] - xs[i]) * i128::from(ys[j + 1] - ys[j]);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rect_one_loop() {
+        let loops = union_boundaries(&[Rect::new(0, 0, 10, 5)]);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].len(), 4);
+        let mut lens = edge_lengths(&loops[0]);
+        lens.sort_unstable();
+        assert_eq!(lens, vec![5, 5, 10, 10]);
+    }
+
+    #[test]
+    fn abutting_rects_merge_into_one_loop() {
+        let loops = union_boundaries(&[Rect::new(0, 0, 10, 10), Rect::new(10, 0, 20, 10)]);
+        assert_eq!(loops.len(), 1);
+        let mut lens = edge_lengths(&loops[0]);
+        lens.sort_unstable();
+        assert_eq!(lens, vec![10, 10, 20, 20]);
+    }
+
+    #[test]
+    fn disjoint_rects_two_loops() {
+        let loops = union_boundaries(&[Rect::new(0, 0, 5, 5), Rect::new(100, 100, 105, 105)]);
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn l_shape_has_six_vertices_with_step() {
+        // 20×5 bar plus a 5×10 bump → L with two short edges.
+        let loops = union_boundaries(&[Rect::new(0, 0, 20, 5), Rect::new(0, 0, 5, 10)]);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].len(), 6);
+        let lens = edge_lengths(&loops[0]);
+        assert_eq!(lens.iter().filter(|&&l| l == 5).count(), 3);
+    }
+
+    #[test]
+    fn donut_has_outer_and_hole_loops() {
+        // Frame of four rects around an empty center.
+        let shapes = [
+            Rect::new(0, 0, 30, 10),
+            Rect::new(0, 20, 30, 30),
+            Rect::new(0, 0, 10, 30),
+            Rect::new(20, 0, 30, 30),
+        ];
+        let loops = union_boundaries(&shapes);
+        assert_eq!(loops.len(), 2);
+        let mut sizes: Vec<usize> = loops.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 4]);
+        assert_eq!(union_area(&shapes), 900 - 100);
+    }
+
+    #[test]
+    fn union_area_overlapping() {
+        assert_eq!(
+            union_area(&[Rect::new(0, 0, 10, 10), Rect::new(5, 5, 15, 15)]),
+            100 + 100 - 25
+        );
+        assert_eq!(union_area(&[]), 0);
+        assert_eq!(union_area(&[Rect::new(0, 0, 0, 5)]), 0);
+    }
+
+    #[test]
+    fn via_sticking_out_of_pin_creates_short_edges() {
+        // Pin 60 tall, via enclosure 70 tall centered on it → 5-unit steps.
+        let pin = Rect::new(0, 0, 400, 60);
+        let enc = Rect::new(100, -5, 230, 65);
+        let loops = union_boundaries(&[pin, enc]);
+        assert_eq!(loops.len(), 1);
+        let lens = edge_lengths(&loops[0]);
+        assert_eq!(lens.iter().filter(|&&l| l == 5).count(), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Closed 1-D integer intervals.
+
+use crate::Dbu;
+use std::fmt;
+
+/// A closed interval `[lo, hi]` on the integer line.
+///
+/// Degenerate intervals (`lo == hi`) are allowed; they model the span of a
+/// zero-width object such as a track coordinate. Construction normalizes the
+/// endpoint order.
+///
+/// ```
+/// use pao_geom::Interval;
+/// let a = Interval::new(10, 0);
+/// assert_eq!((a.lo(), a.hi()), (0, 10));
+/// assert!(a.contains(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    lo: Dbu,
+    hi: Dbu,
+}
+
+impl Interval {
+    /// Creates the interval spanning `a` and `b` (order-insensitive).
+    #[must_use]
+    pub fn new(a: Dbu, b: Dbu) -> Interval {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(self) -> Dbu {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(self) -> Dbu {
+        self.hi
+    }
+
+    /// Length `hi - lo` (zero for degenerate intervals).
+    #[must_use]
+    pub fn len(self) -> Dbu {
+        self.hi - self.lo
+    }
+
+    /// `true` when the interval is degenerate (`lo == hi`).
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Midpoint, rounded toward `lo` (integer division).
+    #[must_use]
+    pub fn center(self) -> Dbu {
+        self.lo + (self.hi - self.lo) / 2
+    }
+
+    /// `true` when `v` lies in `[lo, hi]`.
+    #[must_use]
+    pub fn contains(self, v: Dbu) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` when `other` lies entirely within `self`.
+    #[must_use]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// `true` when the two closed intervals share at least one point.
+    ///
+    /// ```
+    /// use pao_geom::Interval;
+    /// assert!(Interval::new(0, 10).overlaps(Interval::new(10, 20)));
+    /// assert!(!Interval::new(0, 10).overlaps(Interval::new(11, 20)));
+    /// ```
+    #[must_use]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Length of the overlap between the two intervals, or 0 when they are
+    /// disjoint or touch at a single point. This is the *parallel run
+    /// length* used by spacing rules.
+    #[must_use]
+    pub fn overlap_len(self, other: Interval) -> Dbu {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0)
+    }
+
+    /// Intersection of the two intervals, if non-empty (shared single points
+    /// yield a degenerate interval).
+    #[must_use]
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// Smallest interval containing both inputs.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Distance between the intervals (0 when they overlap or touch).
+    #[must_use]
+    pub fn dist(self, other: Interval) -> Dbu {
+        (self.lo.max(other.lo) - self.hi.min(other.hi)).max(0)
+    }
+
+    /// The interval expanded by `d` on both sides (shrunk for negative `d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking by `-d` would invert the interval.
+    #[must_use]
+    pub fn expanded(self, d: Dbu) -> Interval {
+        assert!(
+            self.lo - d <= self.hi + d,
+            "shrinking interval [{}, {}] by {} inverts it",
+            self.lo,
+            self.hi,
+            -d
+        );
+        Interval {
+            lo: self.lo - d,
+            hi: self.hi + d,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_order() {
+        let i = Interval::new(5, -5);
+        assert_eq!(i.lo(), -5);
+        assert_eq!(i.hi(), 5);
+        assert_eq!(i.len(), 10);
+        assert_eq!(i.center(), 0);
+    }
+
+    #[test]
+    fn containment() {
+        let i = Interval::new(0, 10);
+        assert!(i.contains(0) && i.contains(10) && i.contains(5));
+        assert!(!i.contains(-1) && !i.contains(11));
+        assert!(i.contains_interval(Interval::new(2, 8)));
+        assert!(i.contains_interval(i));
+        assert!(!i.contains_interval(Interval::new(2, 11)));
+    }
+
+    #[test]
+    fn overlap_and_prl() {
+        let a = Interval::new(0, 10);
+        assert_eq!(a.overlap_len(Interval::new(5, 20)), 5);
+        assert_eq!(a.overlap_len(Interval::new(10, 20)), 0);
+        assert_eq!(a.overlap_len(Interval::new(20, 30)), 0);
+        assert_eq!(
+            a.intersect(Interval::new(5, 20)),
+            Some(Interval::new(5, 10))
+        );
+        assert_eq!(a.intersect(Interval::new(11, 20)), None);
+    }
+
+    #[test]
+    fn hull_dist_expand() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(20, 30);
+        assert_eq!(a.hull(b), Interval::new(0, 30));
+        assert_eq!(a.dist(b), 10);
+        assert_eq!(a.dist(Interval::new(5, 7)), 0);
+        assert_eq!(a.expanded(5), Interval::new(-5, 15));
+        assert_eq!(a.expanded(-5), Interval::new(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverts")]
+    fn over_shrink_panics() {
+        let _ = Interval::new(0, 10).expanded(-6);
+    }
+
+    #[test]
+    fn center_rounds_toward_lo() {
+        assert_eq!(Interval::new(0, 5).center(), 2);
+        assert_eq!(Interval::new(-5, 0).center(), -3);
+    }
+}

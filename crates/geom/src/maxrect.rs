@@ -1,0 +1,206 @@
+//! Maximal-rectangle decomposition of a union of rectangles.
+//!
+//! The paper's *shape-center* coordinate type is defined on the **maximal
+//! rectangles** of a pin's geometry: "all overlapping rectangles that are
+//! maximal in area" (Section II-C). For a plain rectangular pin this is the
+//! pin itself; for an L/T/U-shaped pin the maximal rectangles overlap each
+//! other.
+
+use crate::{Dbu, Rect};
+
+/// Computes all maximal axis-aligned rectangles contained in the union of
+/// `shapes`.
+///
+/// A rectangle is *maximal* when it lies inside the union and cannot be
+/// grown in any of the four directions while staying inside. The result is
+/// deduplicated and sorted. Returns an empty vector for empty input.
+/// Degenerate input rectangles are ignored.
+///
+/// The implementation compresses coordinates (`n` distinct x's, `m` distinct
+/// y's) and enumerates candidate spans with a prefix-sum fullness oracle —
+/// O(n²m²) candidates, each tested in O(1). Pin geometry has tiny `n`, `m`,
+/// so this exhaustive approach is both robust and fast.
+///
+/// ```
+/// use pao_geom::{max_rects, Rect};
+///
+/// // L-shape as two overlapping rects.
+/// let shapes = [Rect::new(0, 0, 20, 5), Rect::new(0, 0, 10, 10)];
+/// let mut maxes = max_rects(&shapes);
+/// maxes.sort();
+/// assert_eq!(maxes, vec![Rect::new(0, 0, 10, 10), Rect::new(0, 0, 20, 5)]);
+/// ```
+#[must_use]
+pub fn max_rects(shapes: &[Rect]) -> Vec<Rect> {
+    let shapes: Vec<Rect> = shapes
+        .iter()
+        .copied()
+        .filter(|r| !r.is_degenerate())
+        .collect();
+    if shapes.is_empty() {
+        return Vec::new();
+    }
+    let mut xs: Vec<Dbu> = shapes.iter().flat_map(|r| [r.xlo(), r.xhi()]).collect();
+    let mut ys: Vec<Dbu> = shapes.iter().flat_map(|r| [r.ylo(), r.yhi()]).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    let nx = xs.len() - 1; // number of cell columns
+    let ny = ys.len() - 1;
+
+    // covered[i][j]: cell (xs[i]..xs[i+1]) × (ys[j]..ys[j+1]) in the union.
+    let mut covered = vec![vec![false; ny]; nx];
+    for r in &shapes {
+        let i0 = xs.binary_search(&r.xlo()).expect("compressed coord");
+        let i1 = xs.binary_search(&r.xhi()).expect("compressed coord");
+        let j0 = ys.binary_search(&r.ylo()).expect("compressed coord");
+        let j1 = ys.binary_search(&r.yhi()).expect("compressed coord");
+        for col in covered.iter_mut().take(i1).skip(i0) {
+            for cell in col.iter_mut().take(j1).skip(j0) {
+                *cell = true;
+            }
+        }
+    }
+
+    // 2-D prefix sums of covered cells for O(1) fullness queries.
+    let mut pre = vec![vec![0u32; ny + 1]; nx + 1];
+    for i in 0..nx {
+        for j in 0..ny {
+            pre[i + 1][j + 1] =
+                pre[i][j + 1] + pre[i + 1][j] - pre[i][j] + u32::from(covered[i][j]);
+        }
+    }
+    let cells = |i0: usize, i1: usize, j0: usize, j1: usize| -> u32 {
+        // Ordered so every intermediate value stays non-negative.
+        (pre[i1][j1] - pre[i0][j1]) + pre[i0][j0] - pre[i1][j0]
+    };
+    let full = |i0: usize, i1: usize, j0: usize, j1: usize| -> bool {
+        i0 < i1 && j0 < j1 && cells(i0, i1, j0, j1) == ((i1 - i0) as u32) * ((j1 - j0) as u32)
+    };
+
+    let mut out = Vec::new();
+    for i0 in 0..nx {
+        for i1 in (i0 + 1)..=nx {
+            for j0 in 0..ny {
+                for j1 in (j0 + 1)..=ny {
+                    if !full(i0, i1, j0, j1) {
+                        continue;
+                    }
+                    let grow_left = i0 > 0 && full(i0 - 1, i1, j0, j1);
+                    let grow_right = i1 < nx && full(i0, i1 + 1, j0, j1);
+                    let grow_down = j0 > 0 && full(i0, i1, j0 - 1, j1);
+                    let grow_up = j1 < ny && full(i0, i1, j0, j1 + 1);
+                    if !(grow_left || grow_right || grow_down || grow_up) {
+                        out.push(Rect::new(xs[i0], ys[j0], xs[i1], ys[j1]));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    #[test]
+    fn single_rect_is_its_own_max() {
+        let r = Rect::new(0, 0, 100, 50);
+        assert_eq!(max_rects(&[r]), vec![r]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_input() {
+        assert!(max_rects(&[]).is_empty());
+        assert!(max_rects(&[Rect::new(0, 0, 0, 10)]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_rects_dedupe() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert_eq!(max_rects(&[r, r, r]), vec![r]);
+    }
+
+    #[test]
+    fn l_shape_two_max_rects() {
+        let shapes = [Rect::new(0, 0, 20, 5), Rect::new(0, 0, 10, 10)];
+        let maxes = max_rects(&shapes);
+        assert_eq!(maxes, vec![Rect::new(0, 0, 10, 10), Rect::new(0, 0, 20, 5)]);
+    }
+
+    #[test]
+    fn cross_shape_two_max_rects() {
+        // A plus/cross: horizontal bar × vertical bar.
+        let h = Rect::new(0, 10, 30, 20);
+        let v = Rect::new(10, 0, 20, 30);
+        let maxes = max_rects(&[h, v]);
+        assert_eq!(maxes, vec![h, v]);
+    }
+
+    #[test]
+    fn t_shape() {
+        // T: top bar [0,30]×[20,30], stem [10,20]×[0,30].
+        let top = Rect::new(0, 20, 30, 30);
+        let stem = Rect::new(10, 0, 20, 30);
+        let maxes = max_rects(&[top, stem]);
+        assert_eq!(maxes, vec![top, stem]);
+    }
+
+    #[test]
+    fn abutting_rects_merge() {
+        // Two abutting halves of one rectangle → a single maximal rect.
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert_eq!(max_rects(&[a, b]), vec![Rect::new(0, 0, 20, 10)]);
+    }
+
+    #[test]
+    fn staircase_three_max_rects() {
+        // Staircase of three unit steps.
+        let shapes = [
+            Rect::new(0, 0, 30, 10),
+            Rect::new(0, 0, 20, 20),
+            Rect::new(0, 0, 10, 30),
+        ];
+        let maxes = max_rects(&shapes);
+        assert_eq!(maxes.len(), 3);
+        for s in &shapes {
+            assert!(maxes.contains(s));
+        }
+    }
+
+    #[test]
+    fn max_rects_contain_every_input_point() {
+        let shapes = [Rect::new(0, 0, 20, 5), Rect::new(5, 0, 10, 15)];
+        let maxes = max_rects(&shapes);
+        // Sample points on a fine grid; each covered point must be in some
+        // maximal rect, and each maximal rect must lie inside the union.
+        for x in 0..=20 {
+            for y in 0..=15 {
+                let p = Point::new(x, y);
+                let in_union = shapes.iter().any(|r| r.contains(p));
+                let in_max = maxes.iter().any(|r| r.contains(p));
+                if in_union {
+                    assert!(in_max, "point {p} lost by decomposition");
+                }
+            }
+        }
+        // Interior of each maximal rect must be covered by the union.
+        for m in &maxes {
+            let c = m.center();
+            assert!(shapes.iter().any(|r| r.contains(c)));
+        }
+    }
+
+    #[test]
+    fn disjoint_islands() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(100, 100, 110, 110);
+        assert_eq!(max_rects(&[a, b]), vec![a, b]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Simple rectilinear polygons.
+
+use crate::{Dbu, Point, Rect};
+use std::fmt;
+
+/// A simple (non-self-intersecting) rectilinear polygon given as a closed
+/// vertex loop.
+///
+/// The loop is stored without repeating the first vertex; consecutive edges
+/// must alternate between horizontal and vertical. LEF `POLYGON` pin ports
+/// use exactly this representation.
+///
+/// ```
+/// use pao_geom::{Point, Polygon, Rect};
+///
+/// // An L-shape: a 20×10 bar with a 10×10 notch removed from the top-right.
+/// let l = Polygon::new(vec![
+///     Point::new(0, 0),
+///     Point::new(20, 0),
+///     Point::new(20, 5),
+///     Point::new(10, 5),
+///     Point::new(10, 10),
+///     Point::new(0, 10),
+/// ]).unwrap();
+/// assert_eq!(l.area(), 150);
+/// assert_eq!(l.bbox(), Rect::new(0, 0, 20, 10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+/// Error constructing a [`Polygon`] from an invalid vertex loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than 4 vertices were supplied.
+    TooFewVertices(usize),
+    /// Two consecutive vertices are neither horizontally nor vertically
+    /// aligned (or are coincident), at the given loop index.
+    NotRectilinear(usize),
+    /// The polygon has zero area.
+    ZeroArea,
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices(n) => {
+                write!(f, "rectilinear polygon needs at least 4 vertices, got {n}")
+            }
+            PolygonError::NotRectilinear(i) => {
+                write!(f, "edge starting at vertex {i} is not axis-parallel")
+            }
+            PolygonError::ZeroArea => write!(f, "polygon has zero area"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+impl Polygon {
+    /// Creates a polygon from a closed vertex loop (first vertex not
+    /// repeated).
+    ///
+    /// Collinear runs are merged. The loop may be given in either winding
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolygonError`] if the loop has fewer than four distinct
+    /// vertices, a non-axis-parallel edge, or zero area.
+    pub fn new(vertices: Vec<Point>) -> Result<Polygon, PolygonError> {
+        // Merge collinear / duplicate vertices first.
+        let mut vs: Vec<Point> = Vec::with_capacity(vertices.len());
+        for &v in &vertices {
+            if vs.last() == Some(&v) {
+                continue;
+            }
+            if vs.len() >= 2 {
+                let a = vs[vs.len() - 2];
+                let b = vs[vs.len() - 1];
+                if (a.x == b.x && b.x == v.x) || (a.y == b.y && b.y == v.y) {
+                    vs.pop();
+                }
+            }
+            vs.push(v);
+        }
+        // Close-up: also merge across the loop seam.
+        while vs.len() >= 3 {
+            let n = vs.len();
+            let (a, b, c) = (vs[n - 2], vs[n - 1], vs[0]);
+            if (a.x == b.x && b.x == c.x) || (a.y == b.y && b.y == c.y) {
+                vs.pop();
+                continue;
+            }
+            let (a, b, c) = (vs[n - 1], vs[0], vs[1]);
+            if (a.x == b.x && b.x == c.x) || (a.y == b.y && b.y == c.y) {
+                vs.remove(0);
+                continue;
+            }
+            break;
+        }
+        if vs.len() < 4 {
+            return Err(PolygonError::TooFewVertices(vs.len()));
+        }
+        for i in 0..vs.len() {
+            let a = vs[i];
+            let b = vs[(i + 1) % vs.len()];
+            if !((a.x == b.x) ^ (a.y == b.y)) {
+                return Err(PolygonError::NotRectilinear(i));
+            }
+        }
+        let poly = Polygon { vertices: vs };
+        if poly.signed_area2() == 0 {
+            return Err(PolygonError::ZeroArea);
+        }
+        Ok(poly)
+    }
+
+    /// The four-vertex polygon equivalent to `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is degenerate (zero width or height).
+    #[must_use]
+    pub fn from_rect(r: Rect) -> Polygon {
+        Polygon::new(vec![
+            r.ll(),
+            Point::new(r.xhi(), r.ylo()),
+            r.ur(),
+            Point::new(r.xlo(), r.yhi()),
+        ])
+        .expect("rectangle with positive area forms a valid polygon")
+    }
+
+    /// The vertex loop (first vertex not repeated).
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Twice the signed (shoelace) area; positive for counter-clockwise
+    /// winding.
+    fn signed_area2(&self) -> i128 {
+        let vs = &self.vertices;
+        let mut acc: i128 = 0;
+        for i in 0..vs.len() {
+            let a = vs[i];
+            let b = vs[(i + 1) % vs.len()];
+            acc += i128::from(a.x) * i128::from(b.y) - i128::from(b.x) * i128::from(a.y);
+        }
+        acc
+    }
+
+    /// Enclosed area.
+    #[must_use]
+    pub fn area(&self) -> i128 {
+        self.signed_area2().abs() / 2
+    }
+
+    /// Axis-aligned bounding box.
+    #[must_use]
+    pub fn bbox(&self) -> Rect {
+        let mut lo = self.vertices[0];
+        let mut hi = self.vertices[0];
+        for &v in &self.vertices[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Rect::from_points(lo, hi)
+    }
+
+    /// `true` when `p` lies inside or on the boundary of the polygon.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        // Boundary check, then even-odd ray cast to the east with half-open
+        // edge treatment to be robust at vertices.
+        let vs = &self.vertices;
+        let n = vs.len();
+        for i in 0..n {
+            let a = vs[i];
+            let b = vs[(i + 1) % n];
+            if a.x == b.x {
+                if p.x == a.x && crate::Interval::new(a.y, b.y).contains(p.y) {
+                    return true;
+                }
+            } else if p.y == a.y && crate::Interval::new(a.x, b.x).contains(p.x) {
+                return true;
+            }
+        }
+        let mut inside = false;
+        for i in 0..n {
+            let a = vs[i];
+            let b = vs[(i + 1) % n];
+            if a.x != b.x {
+                continue;
+            }
+            // Vertical edge at x = a.x spanning [min, max) half-open in y.
+            let (ylo, yhi) = (a.y.min(b.y), a.y.max(b.y));
+            if p.y >= ylo && p.y < yhi && a.x > p.x {
+                inside = !inside;
+            }
+        }
+        inside
+    }
+
+    /// Decomposes the polygon into non-overlapping rectangles covering the
+    /// same region, using horizontal slab decomposition.
+    ///
+    /// ```
+    /// use pao_geom::{Point, Polygon};
+    /// let l = Polygon::new(vec![
+    ///     Point::new(0, 0), Point::new(20, 0), Point::new(20, 5),
+    ///     Point::new(10, 5), Point::new(10, 10), Point::new(0, 10),
+    /// ]).unwrap();
+    /// let rects = l.to_rects();
+    /// let total: i128 = rects.iter().map(|r| r.area()).sum();
+    /// assert_eq!(total, l.area());
+    /// ```
+    #[must_use]
+    pub fn to_rects(&self) -> Vec<Rect> {
+        let mut ys: Vec<Dbu> = self.vertices.iter().map(|v| v.y).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        let mut out = Vec::new();
+        for slab in ys.windows(2) {
+            let (ylo, yhi) = (slab[0], slab[1]);
+            let mid2 = ylo + yhi; // 2 × slab mid-y, to avoid fractional math
+                                  // Collect crossing x's of vertical edges at the slab's interior.
+            let mut xs: Vec<Dbu> = Vec::new();
+            let vs = &self.vertices;
+            let n = vs.len();
+            for i in 0..n {
+                let a = vs[i];
+                let b = vs[(i + 1) % n];
+                if a.x == b.x {
+                    let (elo, ehi) = (a.y.min(b.y), a.y.max(b.y));
+                    if 2 * elo < mid2 && mid2 < 2 * ehi {
+                        xs.push(a.x);
+                    }
+                }
+            }
+            xs.sort_unstable();
+            debug_assert_eq!(xs.len() % 2, 0, "rectilinear parity");
+            for pair in xs.chunks_exact(2) {
+                out.push(Rect::new(pair[0], ylo, pair[1], yhi));
+            }
+        }
+        out
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Polygon {
+        Polygon::from_rect(r)
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POLYGON")?;
+        for v in &self.vertices {
+            write!(f, " {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 5),
+            Point::new(10, 5),
+            Point::new(10, 10),
+            Point::new(0, 10),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_loops() {
+        assert!(matches!(
+            Polygon::new(vec![Point::new(0, 0), Point::new(1, 0), Point::new(0, 1)]),
+            Err(PolygonError::NotRectilinear(_) | PolygonError::TooFewVertices(_))
+        ));
+        // Diagonal edge.
+        assert!(matches!(
+            Polygon::new(vec![
+                Point::new(0, 0),
+                Point::new(5, 5),
+                Point::new(5, 0),
+                Point::new(0, 0)
+            ]),
+            Err(PolygonError::NotRectilinear(_) | PolygonError::TooFewVertices(_))
+        ));
+    }
+
+    #[test]
+    fn merges_collinear_vertices() {
+        let p = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(10, 0),
+            Point::new(10, 10),
+            Point::new(0, 10),
+        ])
+        .unwrap();
+        assert_eq!(p.vertices().len(), 4);
+        assert_eq!(p.area(), 100);
+    }
+
+    #[test]
+    fn area_and_bbox() {
+        let l = l_shape();
+        assert_eq!(l.area(), 150);
+        assert_eq!(l.bbox(), Rect::new(0, 0, 20, 10));
+        // Winding order does not matter.
+        let mut rev = l.vertices().to_vec();
+        rev.reverse();
+        assert_eq!(Polygon::new(rev).unwrap().area(), 150);
+    }
+
+    #[test]
+    fn containment() {
+        let l = l_shape();
+        assert!(l.contains(Point::new(5, 5))); // in the tall part
+        assert!(l.contains(Point::new(15, 2))); // in the low bar
+        assert!(!l.contains(Point::new(15, 7))); // in the notch
+        assert!(l.contains(Point::new(0, 0))); // corner
+        assert!(l.contains(Point::new(10, 7))); // boundary of notch
+        assert!(!l.contains(Point::new(21, 2)));
+    }
+
+    #[test]
+    fn slab_decomposition_covers_exactly() {
+        let l = l_shape();
+        let rects = l.to_rects();
+        assert_eq!(rects.len(), 2);
+        let total: i128 = rects.iter().map(|r| r.area()).sum();
+        assert_eq!(total, l.area());
+        for w in rects.windows(2) {
+            assert!(!w[0].overlaps(w[1]));
+        }
+    }
+
+    #[test]
+    fn rect_roundtrip() {
+        let r = Rect::new(3, 4, 30, 40);
+        let p: Polygon = r.into();
+        assert_eq!(p.bbox(), r);
+        assert_eq!(p.area(), r.area());
+        assert_eq!(p.to_rects(), vec![r]);
+    }
+
+    #[test]
+    fn u_shape_decomposes_into_three() {
+        // U-shape: 30 wide, arms 10 wide, 20 tall, base 5 tall.
+        let u = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(30, 0),
+            Point::new(30, 20),
+            Point::new(20, 20),
+            Point::new(20, 5),
+            Point::new(10, 5),
+            Point::new(10, 20),
+            Point::new(0, 20),
+        ])
+        .unwrap();
+        let rects = u.to_rects();
+        let total: i128 = rects.iter().map(|r| r.area()).sum();
+        assert_eq!(total, u.area());
+        assert_eq!(u.area(), 30 * 5 + 2 * 10 * 15);
+        assert!(u.contains(Point::new(5, 15)));
+        assert!(!u.contains(Point::new(15, 15)));
+    }
+}

@@ -1,0 +1,407 @@
+//! A bulk-loaded R-tree for rectangle region queries.
+//!
+//! The DRC engine and the access-point validator issue millions of "which
+//! shapes touch this window?" queries. This module provides a compact
+//! Sort-Tile-Recursive (STR) bulk-loaded R-tree plus an overflow buffer for
+//! incremental insertion (folded into the tree on [`RTree::rebuild`]).
+
+use crate::Rect;
+
+const NODE_CAPACITY: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        bbox: Rect,
+        /// Indices into the item arena.
+        items: Vec<u32>,
+    },
+    Inner {
+        bbox: Rect,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn bbox(&self) -> Rect {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => *bbox,
+        }
+    }
+}
+
+/// An R-tree mapping rectangles to payloads of type `T`.
+///
+/// Build with [`RTree::bulk_load`] (or collect from an iterator of
+/// `(Rect, T)` pairs), then query with [`RTree::query`]. Items whose closed
+/// bounds *touch* the query window are returned — the inclusive semantics
+/// spacing checks need.
+///
+/// ```
+/// use pao_geom::{Rect, RTree};
+///
+/// let tree: RTree<&str> = vec![
+///     (Rect::new(0, 0, 10, 10), "a"),
+///     (Rect::new(20, 0, 30, 10), "b"),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let hits: Vec<&&str> = tree.query(Rect::new(5, 5, 25, 6)).map(|(_, t)| t).collect();
+/// assert_eq!(hits.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    items: Vec<(Rect, T)>,
+    root: Option<Node>,
+    /// Items inserted after the last (re)build; scanned linearly.
+    overflow: Vec<usize>,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> RTree<T> {
+        RTree::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> RTree<T> {
+        RTree {
+            items: Vec::new(),
+            root: None,
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Bulk-loads a tree from items using Sort-Tile-Recursive packing.
+    #[must_use]
+    pub fn bulk_load(items: Vec<(Rect, T)>) -> RTree<T> {
+        let mut tree = RTree {
+            items,
+            root: None,
+            overflow: Vec::new(),
+        };
+        tree.build_root();
+        tree
+    }
+
+    fn build_root(&mut self) {
+        self.overflow.clear();
+        if self.items.is_empty() {
+            self.root = None;
+            return;
+        }
+        // STR: sort by center x, slice into vertical strips, sort each strip
+        // by center y, pack into leaves.
+        let mut idx: Vec<u32> = (0..self.items.len() as u32).collect();
+        idx.sort_by_key(|&i| {
+            let c = self.items[i as usize].0.center();
+            (c.x, c.y)
+        });
+        let n = idx.len();
+        let leaves_needed = n.div_ceil(NODE_CAPACITY);
+        let strips = (leaves_needed as f64).sqrt().ceil() as usize;
+        let strip_len = n.div_ceil(strips);
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaves_needed);
+        for strip in idx.chunks_mut(strip_len.max(1)) {
+            strip.sort_by_key(|&i| {
+                let c = self.items[i as usize].0.center();
+                (c.y, c.x)
+            });
+            for leaf in strip.chunks(NODE_CAPACITY) {
+                let bbox = leaf
+                    .iter()
+                    .map(|&i| self.items[i as usize].0)
+                    .reduce(Rect::hull)
+                    .expect("non-empty leaf");
+                leaves.push(Node::Leaf {
+                    bbox,
+                    items: leaf.to_vec(),
+                });
+            }
+        }
+        // Pack upward until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let children: Vec<Node> = iter.by_ref().take(NODE_CAPACITY).collect();
+                let bbox = children
+                    .iter()
+                    .map(Node::bbox)
+                    .reduce(Rect::hull)
+                    .expect("non-empty inner node");
+                next.push(Node::Inner { bbox, children });
+            }
+            level = next;
+        }
+        self.root = level.pop();
+    }
+
+    /// Number of stored items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the tree holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts an item into the overflow buffer. Queries see it
+    /// immediately. When the buffer grows past a threshold the tree
+    /// repacks itself automatically, so interleaved insert/query workloads
+    /// (the router's occupancy checks) stay near O(log n) per query.
+    pub fn insert(&mut self, bounds: Rect, value: T) {
+        self.items.push((bounds, value));
+        self.overflow.push(self.items.len() - 1);
+        if self.overflow.len() >= 128 && self.overflow.len() * 4 >= self.items.len() {
+            self.build_root();
+        }
+    }
+
+    /// Repacks the tree so overflow items participate in the index.
+    pub fn rebuild(&mut self) {
+        self.build_root();
+    }
+
+    /// Iterates over all `(bounds, value)` pairs whose closed bounds touch
+    /// the closed query window (shared edges count).
+    pub fn query(&self, window: Rect) -> Query<'_, T> {
+        let mut stack = Vec::new();
+        if let Some(root) = &self.root {
+            if root.bbox().touches(window) {
+                stack.push(root);
+            }
+        }
+        Query {
+            tree: self,
+            window,
+            stack,
+            leaf_items: Vec::new(),
+            overflow_pos: 0,
+        }
+    }
+
+    /// `true` when any stored item touches `window`.
+    #[must_use]
+    pub fn any_touching(&self, window: Rect) -> bool {
+        self.query(window).next().is_some()
+    }
+
+    /// Iterates over all stored items.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Rect, T)> {
+        self.items.iter()
+    }
+}
+
+impl<T> FromIterator<(Rect, T)> for RTree<T> {
+    fn from_iter<I: IntoIterator<Item = (Rect, T)>>(iter: I) -> RTree<T> {
+        RTree::bulk_load(iter.into_iter().collect())
+    }
+}
+
+impl<T> Extend<(Rect, T)> for RTree<T> {
+    fn extend<I: IntoIterator<Item = (Rect, T)>>(&mut self, iter: I) {
+        for (r, t) in iter {
+            self.insert(r, t);
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a RTree<T> {
+    type Item = &'a (Rect, T);
+    type IntoIter = std::slice::Iter<'a, (Rect, T)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over query results; see [`RTree::query`].
+#[derive(Debug)]
+pub struct Query<'a, T> {
+    tree: &'a RTree<T>,
+    window: Rect,
+    stack: Vec<&'a Node>,
+    leaf_items: Vec<u32>,
+    overflow_pos: usize,
+}
+
+impl<'a, T> Iterator for Query<'a, T> {
+    type Item = (Rect, &'a T);
+
+    fn next(&mut self) -> Option<(Rect, &'a T)> {
+        loop {
+            // Drain pending leaf items first.
+            while let Some(i) = self.leaf_items.pop() {
+                let (r, t) = &self.tree.items[i as usize];
+                if r.touches(self.window) {
+                    return Some((*r, t));
+                }
+            }
+            if let Some(node) = self.stack.pop() {
+                match node {
+                    Node::Leaf { items, .. } => {
+                        self.leaf_items.extend_from_slice(items);
+                    }
+                    Node::Inner { children, .. } => {
+                        for c in children {
+                            if c.bbox().touches(self.window) {
+                                self.stack.push(c);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            // Finally, scan the overflow buffer.
+            while self.overflow_pos < self.tree.overflow.len() {
+                let i = self.tree.overflow[self.overflow_pos];
+                self.overflow_pos += 1;
+                let (r, t) = &self.tree.items[i];
+                if r.touches(self.window) {
+                    return Some((*r, t));
+                }
+            }
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn grid_tree(n: i64) -> RTree<(i64, i64)> {
+        let mut items = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                items.push((
+                    Rect::new(i * 100, j * 100, i * 100 + 60, j * 100 + 60),
+                    (i, j),
+                ));
+            }
+        }
+        RTree::bulk_load(items)
+    }
+
+    fn query_set(tree: &RTree<(i64, i64)>, w: Rect) -> Vec<(i64, i64)> {
+        let mut v: Vec<(i64, i64)> = tree.query(w).map(|(_, &t)| t).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<u32> = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.query(Rect::new(0, 0, 100, 100)).count(), 0);
+        assert!(!tree.any_touching(Rect::new(0, 0, 1, 1)));
+    }
+
+    #[test]
+    fn point_query_hits_single_cell() {
+        let tree = grid_tree(10);
+        assert_eq!(tree.len(), 100);
+        assert_eq!(
+            query_set(&tree, Rect::new(130, 230, 140, 240)),
+            vec![(1, 2)]
+        );
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let tree = grid_tree(12);
+        let windows = [
+            Rect::new(0, 0, 1200, 1200),
+            Rect::new(50, 50, 350, 150),
+            Rect::new(-100, -100, -1, -1),
+            Rect::new(60, 60, 100, 100), // touches (0,0) at corner
+            Rect::new(555, 0, 565, 1200),
+        ];
+        for w in windows {
+            let brute: Vec<(i64, i64)> = tree
+                .iter()
+                .filter(|(r, _)| r.touches(w))
+                .map(|&(_, t)| t)
+                .collect();
+            let mut brute = brute;
+            brute.sort_unstable();
+            assert_eq!(query_set(&tree, w), brute, "window {w}");
+        }
+    }
+
+    #[test]
+    fn touching_semantics_inclusive() {
+        let tree: RTree<u8> = std::iter::once((Rect::new(0, 0, 10, 10), 1u8)).collect();
+        assert!(tree.any_touching(Rect::new(10, 10, 20, 20)));
+        assert!(!tree.any_touching(Rect::new(11, 11, 20, 20)));
+    }
+
+    #[test]
+    fn incremental_insert_visible_before_rebuild() {
+        let mut tree = grid_tree(3);
+        tree.insert(Rect::new(1000, 1000, 1010, 1010), (99, 99));
+        assert!(tree.any_touching(Rect::new(1005, 1005, 1006, 1006)));
+        tree.rebuild();
+        assert!(tree.any_touching(Rect::new(1005, 1005, 1006, 1006)));
+        assert_eq!(tree.len(), 10);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut tree: RTree<u8> = RTree::new();
+        tree.extend([(Rect::new(0, 0, 1, 1), 1u8), (Rect::new(5, 5, 6, 6), 2u8)]);
+        assert_eq!(tree.len(), 2);
+        assert!(tree.any_touching(Rect::centered_at(Point::new(5, 5), 1, 1)));
+    }
+
+    #[test]
+    fn degenerate_item_rects_are_queryable() {
+        // Zero-width track segments must still be found.
+        let tree: RTree<u8> = vec![(Rect::new(5, 0, 5, 100), 1u8)].into_iter().collect();
+        assert!(tree.any_touching(Rect::new(0, 50, 10, 60)));
+        assert!(!tree.any_touching(Rect::new(6, 50, 10, 60)));
+    }
+
+    #[test]
+    fn large_random_matches_brute_force() {
+        // Deterministic pseudo-random rectangles via an LCG.
+        let mut state: u64 = 0x1234_5678;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let items: Vec<(Rect, usize)> = (0..500)
+            .map(|k| {
+                let x = rnd() % 10_000;
+                let y = rnd() % 10_000;
+                let w = rnd() % 300;
+                let h = rnd() % 300;
+                (Rect::new(x, y, x + w, y + h), k)
+            })
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        for _ in 0..20 {
+            let x = rnd() % 10_000;
+            let y = rnd() % 10_000;
+            let w = Rect::new(x, y, x + rnd() % 1000, y + rnd() % 1000);
+            let mut expect: Vec<usize> = items
+                .iter()
+                .filter(|(r, _)| r.touches(w))
+                .map(|&(_, k)| k)
+                .collect();
+            expect.sort_unstable();
+            let mut got: Vec<usize> = tree.query(w).map(|(_, &k)| k).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! A* path search on the track grid.
+
+use crate::grid::{GridNode, RouteGrid};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AstarConfig {
+    /// Cost per DBU of travel in the layer's preferred direction.
+    pub unit_cost: i64,
+    /// Multiplier for wrong-way (non-preferred) travel.
+    pub wrong_way_mult: i64,
+    /// Cost of one via (layer hop).
+    pub via_cost: i64,
+    /// Node-expansion budget; `None` is returned when exhausted.
+    pub max_expansions: usize,
+    /// Heuristic weight in percent (100 = admissible A*; 125 trades a
+    /// little path optimality for much faster convergence in congestion).
+    pub heuristic_pct: i64,
+}
+
+impl Default for AstarConfig {
+    fn default() -> AstarConfig {
+        AstarConfig {
+            unit_cost: 1,
+            wrong_way_mult: 8,
+            via_cost: 800,
+            max_expansions: 100_000,
+            heuristic_pct: 125,
+        }
+    }
+}
+
+/// Finds a cheapest path from `src` to `dst` on the grid.
+///
+/// `extra_cost(from, to)` lets the caller price congestion/occupancy per
+/// step (return 0 for free edges). Returns the node sequence including
+/// both endpoints, or `None` when unreachable within the expansion budget.
+#[must_use]
+pub fn astar(
+    grid: &RouteGrid,
+    src: GridNode,
+    dst: GridNode,
+    cfg: &AstarConfig,
+    mut extra_cost: impl FnMut(GridNode, GridNode) -> i64,
+) -> Option<Vec<GridNode>> {
+    let mut open: BinaryHeap<Reverse<(i64, GridNode)>> = BinaryHeap::new();
+    let mut best: HashMap<GridNode, (i64, GridNode)> = HashMap::new();
+    best.insert(src, (0, src));
+    let h = |n: GridNode| grid.heuristic(n, dst, cfg.via_cost) * cfg.heuristic_pct / 100;
+    open.push(Reverse((h(src), src)));
+    let mut expansions = 0usize;
+
+    while let Some(Reverse((_, node))) = open.pop() {
+        if node == dst {
+            // Trace back.
+            let mut path = vec![node];
+            let mut cur = node;
+            while cur != src {
+                cur = best[&cur].1;
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        expansions += 1;
+        if expansions > cfg.max_expansions {
+            return None;
+        }
+        let g = best[&node].0;
+        let horizontal = grid.is_horizontal(node.layer);
+        let (xi, yi, li) = (node.xi as usize, node.yi as usize, node.layer as usize);
+        let mut neighbors: Vec<(GridNode, i64)> = Vec::with_capacity(6);
+        if xi + 1 < grid.xs.len() {
+            let step = (grid.xs[xi + 1] - grid.xs[xi]) * cfg.unit_cost;
+            let mult = if horizontal { 1 } else { cfg.wrong_way_mult };
+            neighbors.push((
+                GridNode {
+                    xi: node.xi + 1,
+                    ..node
+                },
+                step * mult,
+            ));
+        }
+        if xi > 0 {
+            let step = (grid.xs[xi] - grid.xs[xi - 1]) * cfg.unit_cost;
+            let mult = if horizontal { 1 } else { cfg.wrong_way_mult };
+            neighbors.push((
+                GridNode {
+                    xi: node.xi - 1,
+                    ..node
+                },
+                step * mult,
+            ));
+        }
+        if yi + 1 < grid.ys.len() {
+            let step = (grid.ys[yi + 1] - grid.ys[yi]) * cfg.unit_cost;
+            let mult = if horizontal { cfg.wrong_way_mult } else { 1 };
+            neighbors.push((
+                GridNode {
+                    yi: node.yi + 1,
+                    ..node
+                },
+                step * mult,
+            ));
+        }
+        if yi > 0 {
+            let step = (grid.ys[yi] - grid.ys[yi - 1]) * cfg.unit_cost;
+            let mult = if horizontal { cfg.wrong_way_mult } else { 1 };
+            neighbors.push((
+                GridNode {
+                    yi: node.yi - 1,
+                    ..node
+                },
+                step * mult,
+            ));
+        }
+        if li + 1 < grid.layers.len() {
+            neighbors.push((
+                GridNode {
+                    layer: node.layer + 1,
+                    ..node
+                },
+                cfg.via_cost,
+            ));
+        }
+        if li > 0 {
+            neighbors.push((
+                GridNode {
+                    layer: node.layer - 1,
+                    ..node
+                },
+                cfg.via_cost,
+            ));
+        }
+        for (next, step) in neighbors {
+            let extra = extra_cost(node, next);
+            let ng = g + step + extra;
+            if best.get(&next).is_none_or(|&(old, _)| ng < old) {
+                best.insert(next, (ng, node));
+                open.push(Reverse((ng + h(next), next)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_geom::{Dbu, Dir};
+    use pao_tech::LayerId;
+
+    fn grid3() -> RouteGrid {
+        RouteGrid {
+            xs: (0..20).map(|i| i * 100).collect::<Vec<Dbu>>(),
+            ys: (0..20).map(|i| i * 100).collect(),
+            layers: vec![LayerId(2), LayerId(4), LayerId(6)],
+            // metal2 vertical, metal3 horizontal, metal4 vertical.
+            dirs: vec![Dir::Vertical, Dir::Horizontal, Dir::Vertical],
+        }
+    }
+
+    fn node(layer: u16, xi: u32, yi: u32) -> GridNode {
+        GridNode { layer, xi, yi }
+    }
+
+    #[test]
+    fn straight_line_on_preferred_layer() {
+        let g = grid3();
+        let cfg = AstarConfig::default();
+        // Vertical layer 0: straight y run.
+        let path = astar(&g, node(0, 5, 0), node(0, 5, 10), &cfg, |_, _| 0).unwrap();
+        assert_eq!(path.len(), 11);
+        assert!(path.iter().all(|n| n.xi == 5 && n.layer == 0));
+    }
+
+    #[test]
+    fn l_route_uses_two_layers() {
+        let g = grid3();
+        let cfg = AstarConfig::default();
+        let path = astar(&g, node(0, 2, 2), node(0, 8, 12), &cfg, |_, _| 0).unwrap();
+        assert_eq!(*path.first().unwrap(), node(0, 2, 2));
+        assert_eq!(*path.last().unwrap(), node(0, 8, 12));
+        // The x travel should occur on the horizontal layer (index 1):
+        // wrong-way cost (×4 over 600 dbu = 2400) exceeds 2 vias (1600).
+        assert!(path.iter().any(|n| n.layer == 1), "{path:?}");
+    }
+
+    #[test]
+    fn obstacle_cost_forces_detour() {
+        let g = grid3();
+        let cfg = AstarConfig::default();
+        // Block the direct column x=5 between y=3..7 on layer 0.
+        let blocked = |_: GridNode, to: GridNode| {
+            if to.layer == 0 && to.xi == 5 && (3..=7).contains(&to.yi) {
+                1_000_000
+            } else {
+                0
+            }
+        };
+        let path = astar(&g, node(0, 5, 0), node(0, 5, 10), &cfg, blocked).unwrap();
+        assert!(path
+            .iter()
+            .all(|n| !(n.layer == 0 && n.xi == 5 && (3..=7).contains(&n.yi))));
+    }
+
+    #[test]
+    fn unreachable_when_budget_exhausted() {
+        let g = grid3();
+        let cfg = AstarConfig {
+            max_expansions: 3,
+            ..AstarConfig::default()
+        };
+        assert!(astar(&g, node(0, 0, 0), node(2, 19, 19), &cfg, |_, _| 0).is_none());
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let g = grid3();
+        let cfg = AstarConfig::default();
+        let path = astar(&g, node(1, 3, 3), node(1, 3, 3), &cfg, |_, _| 0).unwrap();
+        assert_eq!(path, vec![node(1, 3, 3)]);
+    }
+}

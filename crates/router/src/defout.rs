@@ -1,0 +1,155 @@
+//! Routed-DEF output: the standard hand-off format to downstream signoff
+//! tools.
+//!
+//! Wires are emitted as DEF 5.8 `ROUTED` center-line segments (the wire
+//! width is the layer default; over-wide shapes such as min-area patches
+//! are emitted as `RECT` deltas), vias as `( x y ) <vianame>` points.
+
+use crate::route::RoutedDesign;
+use pao_design::{Design, NetPin};
+use pao_drc::Owner;
+use pao_geom::Rect;
+use pao_tech::Tech;
+use std::fmt::Write as _;
+
+/// One `+ ROUTED` piece for a wire rectangle: center-line form when the
+/// rect is a default-width wire, `RECT` delta form otherwise.
+fn wire_piece(tech: &Tech, layer: pao_tech::LayerId, r: Rect) -> String {
+    let lname = &tech.layer(layer).name;
+    let w = tech.layer(layer).width;
+    let c = r.center();
+    if r.height() == w {
+        format!(
+            "{lname} ( {} {} ) ( {} {} )",
+            r.xlo() + w / 2,
+            c.y,
+            r.xhi() - w / 2,
+            c.y
+        )
+    } else if r.width() == w {
+        format!(
+            "{lname} ( {} {} ) ( {} {} )",
+            c.x,
+            r.ylo() + w / 2,
+            c.x,
+            r.yhi() - w / 2
+        )
+    } else {
+        // Non-default shape: RECT delta form relative to an anchor point.
+        format!(
+            "{lname} ( {} {} ) RECT ( {} {} {} {} )",
+            c.x,
+            c.y,
+            r.xlo() - c.x,
+            r.ylo() - c.y,
+            r.xhi() - c.x,
+            r.yhi() - c.y
+        )
+    }
+}
+
+/// Serializes the design with the routing result as a routed DEF: the
+/// header sections from [`write_def`](pao_design::def::write_def) plus
+/// `+ ROUTED` clauses per net.
+#[must_use]
+pub fn write_routed_def(tech: &Tech, design: &Design, routed: &RoutedDesign) -> String {
+    // Reuse the plain writer and splice routing into the NETS section.
+    let base = pao_design::def::write_def(design, tech);
+    let mut out = String::new();
+    for line in base.lines() {
+        // Net lines start with " - <name>" inside NETS; we rewrite them.
+        if let Some(rest) = line.strip_prefix(" - ") {
+            let name = rest.split_whitespace().next().unwrap_or_default();
+            if let Some(net_id) = design.net_by_name(name) {
+                let net = design.net(net_id);
+                // Re-emit terminals.
+                let _ = write!(out, " - {name}");
+                for pin in &net.pins {
+                    match pin {
+                        NetPin::Comp { comp, pin } => {
+                            let _ = write!(out, " ( {} {} )", design.component(*comp).name, pin);
+                        }
+                        NetPin::Io { index } => {
+                            let _ =
+                                write!(out, " ( PIN {} )", design.io_pins()[*index as usize].name);
+                        }
+                    }
+                }
+                // Routing pieces for this net.
+                let owner = Owner::net(u64::from(net_id.0));
+                let mut pieces: Vec<String> = routed
+                    .wires
+                    .iter()
+                    .filter(|&&(o, _, _)| o == owner)
+                    .map(|&(_, l, r)| wire_piece(tech, l, r))
+                    .collect();
+                for &(vid, pos, o) in &routed.vias {
+                    if o == owner {
+                        let v = tech.via(vid);
+                        pieces.push(format!(
+                            "{} ( {} {} ) {}",
+                            tech.layer(v.bottom_layer).name,
+                            pos.x,
+                            pos.y,
+                            v.name
+                        ));
+                    }
+                }
+                for (i, p) in pieces.iter().enumerate() {
+                    let kw = if i == 0 {
+                        "\n   + ROUTED"
+                    } else {
+                        "\n     NEW"
+                    };
+                    let _ = write!(out, "{kw} {p}");
+                }
+                out.push_str(" ;\n");
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{RouteConfig, Router};
+    use pao_core::PinAccessOracle;
+    use pao_testgen::{generate, SuiteCase};
+
+    #[test]
+    fn routed_def_contains_routing_for_every_net() {
+        let (tech, design) = generate(&SuiteCase::small_smoke());
+        let pao = PinAccessOracle::new().analyze(&tech, &design);
+        let routed = Router::new(&tech, &design, RouteConfig::default()).route_with_pao(&pao);
+        let text = write_routed_def(&tech, &design, &routed);
+        assert!(text.contains("+ ROUTED"));
+        // Every multi-terminal net carries at least one routed piece (its
+        // access vias at minimum).
+        let routed_count = text.matches("+ ROUTED").count();
+        let multi = design.nets().iter().filter(|n| n.degree() >= 2).count();
+        assert!(routed_count >= multi, "{routed_count} < {multi}");
+        // Via names appear.
+        assert!(text.contains("via1_"));
+        // The header still parses as plain DEF (ROUTED clauses are skipped
+        // by our reader).
+        let reparsed = pao_design::def::parse_def(&text, &tech).expect("parseable");
+        assert_eq!(reparsed.components(), design.components());
+    }
+
+    #[test]
+    fn wire_pieces_use_centerlines_for_default_width() {
+        let (tech, _design) = generate(&SuiteCase::small_smoke());
+        let m2 = tech.layer_id("metal2").unwrap();
+        let w = tech.layer(m2).width;
+        // Horizontal default-width wire.
+        let piece = wire_piece(&tech, m2, Rect::new(0, -w / 2, 1000, w / 2));
+        assert!(piece.contains("( 60 0 ) ( 940 0 )"), "{piece}");
+        // A square patch falls back to RECT form.
+        let piece = wire_piece(&tech, m2, Rect::new(0, 0, 300, 300));
+        assert!(piece.contains("RECT"), "{piece}");
+    }
+}

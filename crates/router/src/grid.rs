@@ -1,0 +1,240 @@
+//! The routing track grid.
+
+use pao_design::Design;
+use pao_geom::{Dbu, Dir};
+use pao_tech::{LayerId, Tech};
+
+/// A 3-D track grid: the cross product of the die's horizontal track
+/// coordinates (`ys`), vertical track coordinates (`xs`) and a contiguous
+/// range of routing layers.
+///
+/// Node `(layer, xi, yi)` sits at `(xs[xi], ys[yi])` on `layers[layer]`.
+#[derive(Debug, Clone)]
+pub struct RouteGrid {
+    /// Sorted unique x coordinates (vertical tracks).
+    pub xs: Vec<Dbu>,
+    /// Sorted unique y coordinates (horizontal tracks).
+    pub ys: Vec<Dbu>,
+    /// The routing layers used, bottom-up.
+    pub layers: Vec<LayerId>,
+    /// Preferred direction of each grid layer (parallel to `layers`).
+    pub dirs: Vec<Dir>,
+}
+
+/// A node in the grid (indices, not coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridNode {
+    /// Index into [`RouteGrid::layers`].
+    pub layer: u16,
+    /// Index into [`RouteGrid::xs`].
+    pub xi: u32,
+    /// Index into [`RouteGrid::ys`].
+    pub yi: u32,
+}
+
+impl RouteGrid {
+    /// Builds the grid from the design's track patterns, restricted to
+    /// routing layers `lo..=hi` of the technology stack (e.g. metal2 to
+    /// metal5 for standard-cell routing above the pin layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no track coordinates exist in the range.
+    #[must_use]
+    pub fn from_design(tech: &Tech, design: &Design, lo: LayerId, hi: LayerId) -> RouteGrid {
+        let layers: Vec<LayerId> = tech
+            .routing_layers()
+            .into_iter()
+            .filter(|&l| l >= lo && l <= hi)
+            .collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &l in &layers {
+            let dir = tech.layer(l).dir;
+            for p in design.track_patterns_for(l, dir) {
+                match dir {
+                    Dir::Vertical => xs.extend(p.coords()),
+                    Dir::Horizontal => ys.extend(p.coords()),
+                }
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+        assert!(
+            !xs.is_empty() && !ys.is_empty(),
+            "grid needs tracks in both directions"
+        );
+        let dirs = layers.iter().map(|&l| tech.layer(l).dir).collect();
+        RouteGrid {
+            xs,
+            ys,
+            layers,
+            dirs,
+        }
+    }
+
+    /// `true` when grid layer `layer_index` routes horizontally.
+    #[must_use]
+    pub fn is_horizontal(&self, layer_index: u16) -> bool {
+        self.dirs[layer_index as usize] == Dir::Horizontal
+    }
+
+    /// The die position of a node.
+    #[must_use]
+    pub fn pos(&self, n: GridNode) -> pao_geom::Point {
+        pao_geom::Point::new(self.xs[n.xi as usize], self.ys[n.yi as usize])
+    }
+
+    /// The technology layer of a node.
+    #[must_use]
+    pub fn layer_of(&self, n: GridNode) -> LayerId {
+        self.layers[n.layer as usize]
+    }
+
+    /// Index of the grid coordinate nearest to `v` in a sorted axis.
+    fn nearest(axis: &[Dbu], v: Dbu) -> u32 {
+        match axis.binary_search(&v) {
+            Ok(i) => i as u32,
+            Err(0) => 0,
+            Err(i) if i == axis.len() => (axis.len() - 1) as u32,
+            Err(i) => {
+                if v - axis[i - 1] <= axis[i] - v {
+                    (i - 1) as u32
+                } else {
+                    i as u32
+                }
+            }
+        }
+    }
+
+    /// The grid node nearest to `(pos, layer)`; `None` when the layer is
+    /// not part of the grid.
+    #[must_use]
+    pub fn snap(&self, layer: LayerId, pos: pao_geom::Point) -> Option<GridNode> {
+        let li = self.layers.iter().position(|&l| l == layer)?;
+        Some(GridNode {
+            layer: li as u16,
+            xi: Self::nearest(&self.xs, pos.x),
+            yi: Self::nearest(&self.ys, pos.y),
+        })
+    }
+
+    /// Manhattan-plus-layer distance between nodes — the admissible A*
+    /// heuristic (`via_cost` per layer hop).
+    #[must_use]
+    pub fn heuristic(&self, a: GridNode, b: GridNode, via_cost: i64) -> i64 {
+        let pa = self.pos(a);
+        let pb = self.pos(b);
+        pa.manhattan(pb) + i64::from(a.layer.abs_diff(b.layer)) * via_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_design::TrackPattern;
+    use pao_geom::{Point, Rect};
+    use pao_tech::Layer;
+
+    fn world() -> (Tech, Design) {
+        let mut t = Tech::new(1000);
+        t.add_layer(Layer::routing("M1", Dir::Horizontal, 200, 60, 70));
+        t.add_layer(Layer::cut("V1", 70, 80));
+        t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+        t.add_layer(Layer::cut("V2", 70, 80));
+        t.add_layer(Layer::routing("M3", Dir::Horizontal, 300, 60, 70));
+        let mut d = Design::new("g", Rect::new(0, 0, 2000, 2000));
+        d.tracks.push(TrackPattern::new(
+            Dir::Vertical,
+            100,
+            200,
+            10,
+            vec![LayerId(2)],
+        ));
+        d.tracks.push(TrackPattern::new(
+            Dir::Horizontal,
+            150,
+            300,
+            6,
+            vec![LayerId(4)],
+        ));
+        (t, d)
+    }
+
+    #[test]
+    fn grid_collects_coords() {
+        let (t, d) = world();
+        let g = RouteGrid::from_design(&t, &d, LayerId(2), LayerId(4));
+        assert_eq!(g.layers, vec![LayerId(2), LayerId(4)]);
+        assert_eq!(g.xs.len(), 10);
+        assert_eq!(g.ys.len(), 6);
+    }
+
+    #[test]
+    fn snap_picks_nearest() {
+        let (t, d) = world();
+        let g = RouteGrid::from_design(&t, &d, LayerId(2), LayerId(4));
+        let n = g.snap(LayerId(2), Point::new(210, 160)).unwrap();
+        assert_eq!(g.pos(n), Point::new(300, 150));
+        let n = g.snap(LayerId(2), Point::new(-50, 5000)).unwrap();
+        assert_eq!(g.pos(n), Point::new(100, 1650));
+        assert!(g.snap(LayerId(0), Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn heuristic_is_manhattan_plus_vias() {
+        let (t, d) = world();
+        let g = RouteGrid::from_design(&t, &d, LayerId(2), LayerId(4));
+        let a = g.snap(LayerId(2), Point::new(100, 150)).unwrap();
+        let b = g.snap(LayerId(4), Point::new(500, 450)).unwrap();
+        assert_eq!(g.heuristic(a, b, 1000), 400 + 300 + 1000);
+        assert_eq!(g.heuristic(a, a, 1000), 0);
+    }
+}
+
+#[cfg(test)]
+mod snap_property_tests {
+    use super::*;
+    use pao_design::TrackPattern;
+    use pao_geom::{Point, Rect};
+    use pao_tech::Layer;
+
+    /// Snap always returns the node minimizing Manhattan distance on the
+    /// snapped layer (brute-force cross-check on a small grid).
+    #[test]
+    fn snap_is_optimal() {
+        let mut t = Tech::new(1000);
+        t.add_layer(Layer::routing("M1", Dir::Horizontal, 200, 60, 70));
+        t.add_layer(Layer::cut("V1", 70, 80));
+        t.add_layer(Layer::routing("M2", Dir::Vertical, 170, 60, 70));
+        let mut d = Design::new("g", Rect::new(0, 0, 3000, 3000));
+        d.tracks.push(TrackPattern::new(Dir::Vertical, 85, 170, 17, vec![LayerId(2)]));
+        d.tracks.push(TrackPattern::new(Dir::Horizontal, 100, 200, 14, vec![LayerId(0)]));
+        let g = RouteGrid::from_design(&t, &d, LayerId(0), LayerId(2));
+        // Deterministic pseudo-random probes via an LCG.
+        let mut state: u64 = 0xDEAD_BEEF;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 4000) as i64 - 500
+        };
+        for _ in 0..200 {
+            let p = Point::new(rnd(), rnd());
+            let n = g.snap(LayerId(2), p).expect("layer in grid");
+            let got = g.pos(n).manhattan(p);
+            let best = g
+                .xs
+                .iter()
+                .flat_map(|&x| g.ys.iter().map(move |&y| Point::new(x, y)))
+                .map(|q| q.manhattan(p))
+                .min()
+                .expect("grid nonempty");
+            // Nearest-per-axis equals the global Manhattan optimum on a
+            // product grid.
+            assert_eq!(got, best, "probe {p}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Detailed-routing scaffolding and the baseline pin access used by the
+//! paper's experiments.
+//!
+//! Three pieces:
+//!
+//! * [`baseline`] — a faithful caricature of the TritonRoute v0.0.6.0 pin
+//!   access the paper compares against: on-track-only candidate points,
+//!   geometric via choice, **no DRC validation**, per-pin greedy selection
+//!   (no patterns). Its access points are audited with the same engine as
+//!   PAAF's, reproducing the "dirty APs" and "failed pins" columns of
+//!   Tables II/III.
+//! * [`grid`] + [`astar`] + [`route`] — a track-graph detailed router: net
+//!   decomposition (Prim MST over terminals), A* path search on the track
+//!   grid with wrong-way/via penalties and soft occupancy costs, and
+//!   shape commitment (wires + vias) into a global shape set.
+//! * [`score`] — post-route DRC scoring (Experiment 3's `#DRCs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use pao_router::route::{RouteConfig, Router};
+//! use pao_core::PinAccessOracle;
+//! use pao_testgen::{generate, SuiteCase};
+//!
+//! let (tech, design) = generate(&SuiteCase::small_smoke());
+//! let access = PinAccessOracle::new().analyze(&tech, &design);
+//! let routed = Router::new(&tech, &design, RouteConfig::default())
+//!     .route_with_pao(&access);
+//! let drcs = pao_router::score::count_drcs(&tech, &design, &routed);
+//! assert!(routed.routed_nets > 0);
+//! # let _ = drcs;
+//! ```
+
+pub mod astar;
+pub mod baseline;
+pub mod defout;
+pub mod grid;
+pub mod route;
+pub mod score;
+
+pub use baseline::{baseline_pin_access, BaselineConfig, BaselineResult};
+pub use grid::RouteGrid;
+pub use route::{RouteConfig, RoutedDesign, Router};

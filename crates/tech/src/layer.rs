@@ -1,0 +1,187 @@
+//! Routing and cut layers.
+
+use crate::rules::{EolRule, MinStepRule, SpacingTable};
+use pao_geom::{Dbu, Dir};
+use std::fmt;
+
+/// Index of a layer in its [`Tech`](crate::Tech), ordered bottom-up over
+/// *all* layers (routing and cut interleaved, as in the LEF file).
+///
+/// ```
+/// use pao_tech::LayerId;
+/// let m1 = LayerId(0);
+/// assert_eq!(m1.0, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub u32);
+
+impl LayerId {
+    /// The layer index as a `usize` for direct slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Whether a layer carries wires or via cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A metal routing layer.
+    Routing,
+    /// A via cut layer between two routing layers.
+    Cut,
+}
+
+/// A technology layer and its design rules.
+///
+/// Routing layers use `dir`, `pitch`, `offset` and `width`; cut layers use
+/// `width` (cut size) and `spacing`. Fields not given by the LEF default to
+/// zero / empty and the corresponding checks are skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name, e.g. `"metal2"`.
+    pub name: String,
+    /// Routing or cut.
+    pub kind: LayerKind,
+    /// Preferred routing direction (routing layers; ignored for cuts).
+    pub dir: Dir,
+    /// Track pitch in DBU (routing layers).
+    pub pitch: Dbu,
+    /// Track offset from the die origin in DBU (routing layers).
+    pub offset: Dbu,
+    /// Default wire width (routing) or cut size (cut) in DBU.
+    pub width: Dbu,
+    /// Minimum legal shape width in DBU (0 = unchecked).
+    pub min_width: Dbu,
+    /// Minimum shape area in DBU² (0 = unchecked).
+    pub min_area: i128,
+    /// Simple minimum spacing in DBU (used when no table is present).
+    pub spacing: Dbu,
+    /// Width / parallel-run-length spacing table (routing layers).
+    pub spacing_table: Option<SpacingTable>,
+    /// End-of-line spacing rules.
+    pub eol_rules: Vec<EolRule>,
+    /// Minimum-step rule.
+    pub min_step: Option<MinStepRule>,
+}
+
+impl Layer {
+    /// Creates a routing layer with the given essentials and no optional
+    /// rules.
+    #[must_use]
+    pub fn routing(
+        name: impl Into<String>,
+        dir: Dir,
+        pitch: Dbu,
+        width: Dbu,
+        spacing: Dbu,
+    ) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Routing,
+            dir,
+            pitch,
+            offset: 0,
+            width,
+            min_width: width,
+            min_area: 0,
+            spacing,
+            spacing_table: None,
+            eol_rules: Vec::new(),
+            min_step: None,
+        }
+    }
+
+    /// Creates a cut layer with the given cut size and cut-to-cut spacing.
+    #[must_use]
+    pub fn cut(name: impl Into<String>, width: Dbu, spacing: Dbu) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Cut,
+            // Direction is meaningless for cuts; Horizontal is the
+            // parser's default so LEF round-trips compare equal.
+            dir: Dir::Horizontal,
+            pitch: 0,
+            offset: 0,
+            width,
+            min_width: width,
+            min_area: 0,
+            spacing,
+            spacing_table: None,
+            eol_rules: Vec::new(),
+            min_step: None,
+        }
+    }
+
+    /// `true` for routing layers.
+    #[must_use]
+    pub fn is_routing(&self) -> bool {
+        self.kind == LayerKind::Routing
+    }
+
+    /// `true` for cut layers.
+    #[must_use]
+    pub fn is_cut(&self) -> bool {
+        self.kind == LayerKind::Cut
+    }
+
+    /// Required spacing between two shapes of widths `w1`, `w2` with
+    /// parallel run length `prl`, consulting the spacing table when present
+    /// and falling back to the simple spacing value.
+    #[must_use]
+    pub fn required_spacing(&self, w1: Dbu, w2: Dbu, prl: Dbu) -> Dbu {
+        match &self.spacing_table {
+            Some(t) => t.lookup(w1.max(w2), prl).max(self.spacing),
+            None => self.spacing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify() {
+        let m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 60);
+        assert!(m1.is_routing() && !m1.is_cut());
+        assert_eq!(m1.min_width, 60);
+        let v1 = Layer::cut("V1", 70, 80);
+        assert!(v1.is_cut() && !v1.is_routing());
+    }
+
+    #[test]
+    fn required_spacing_without_table_is_simple() {
+        let m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+        assert_eq!(m1.required_spacing(60, 60, 0), 70);
+        assert_eq!(m1.required_spacing(600, 600, 10_000), 70);
+    }
+
+    #[test]
+    fn required_spacing_with_table_takes_max() {
+        let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, 60, 70);
+        m1.spacing_table = Some(SpacingTable::new(
+            vec![0, 200],
+            vec![0, 500],
+            vec![vec![70, 70], vec![70, 140]],
+        ));
+        assert_eq!(m1.required_spacing(60, 60, 0), 70);
+        assert_eq!(m1.required_spacing(300, 60, 600), 140);
+        // Table value below the simple spacing is clamped up.
+        m1.spacing = 200;
+        assert_eq!(m1.required_spacing(300, 60, 600), 200);
+    }
+
+    #[test]
+    fn layer_id_display_and_index() {
+        assert_eq!(LayerId(3).to_string(), "L3");
+        assert_eq!(LayerId(3).index(), 3);
+        assert!(LayerId(1) < LayerId(2));
+    }
+}

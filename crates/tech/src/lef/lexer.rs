@@ -1,0 +1,163 @@
+//! Whitespace tokenizer shared by the LEF and DEF readers.
+
+use std::fmt;
+
+/// A token with its 1-based source line, as produced by [`Lexer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (words, numbers, or the punctuation `;` `(` `)` `+` `-`
+    /// when standing alone).
+    pub text: String,
+    /// 1-based line number for error reporting.
+    pub line: u32,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` (line {})", self.text, self.line)
+    }
+}
+
+/// Splits LEF/DEF source into whitespace-separated tokens, treating `;`,
+/// `(` and `)` as standalone tokens and `#` comments as line comments.
+///
+/// ```
+/// use pao_tech::lef::Lexer;
+/// let toks: Vec<String> = Lexer::tokenize("RECT 0 0 1 1 ; # c\nEND")
+///     .into_iter().map(|t| t.text).collect();
+/// assert_eq!(toks, vec!["RECT", "0", "0", "1", "1", ";", "END"]);
+/// ```
+#[derive(Debug)]
+pub struct Lexer;
+
+impl Lexer {
+    /// Tokenizes `src` (see type-level docs).
+    #[must_use]
+    pub fn tokenize(src: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        for (lineno, line) in src.lines().enumerate() {
+            let line = match line.find('#') {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            let lineno = lineno as u32 + 1;
+            let mut word = String::new();
+            let flush = |word: &mut String, out: &mut Vec<Token>| {
+                if !word.is_empty() {
+                    out.push(Token {
+                        text: std::mem::take(word),
+                        line: lineno,
+                    });
+                }
+            };
+            for c in line.chars() {
+                match c {
+                    ';' | '(' | ')' => {
+                        flush(&mut word, &mut out);
+                        out.push(Token {
+                            text: c.to_string(),
+                            line: lineno,
+                        });
+                    }
+                    c if c.is_whitespace() => flush(&mut word, &mut out),
+                    c => word.push(c),
+                }
+            }
+            flush(&mut word, &mut out);
+        }
+        out
+    }
+}
+
+/// A cursor over a token stream with the lookahead helpers the parsers
+/// share.
+#[derive(Debug)]
+pub(crate) struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    pub(crate) fn new(src: &str) -> Cursor {
+        Cursor {
+            tokens: Lexer::tokenize(src),
+            pos: 0,
+        }
+    }
+
+    /// The next token without consuming it.
+    pub(crate) fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Consumes and returns the next token.
+    pub(crate) fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// The line of the most recently consumed token (for errors).
+    pub(crate) fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.saturating_sub(1))
+            .map_or(0, |t| t.line)
+    }
+
+    /// `true` and consume when the next token equals `kw`.
+    pub(crate) fn eat(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.text == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes tokens up to and including the next `;`.
+    pub(crate) fn skip_statement(&mut self) {
+        while let Some(t) = self.next() {
+            if t.text == ";" {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punctuation_splits() {
+        let toks = Lexer::tokenize("A;B ( C )");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["A", ";", "B", "(", "C", ")"]);
+    }
+
+    #[test]
+    fn comments_stripped_and_lines_tracked() {
+        let toks = Lexer::tokenize("A # comment ; hidden\nB");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn cursor_basics() {
+        let mut c = Cursor::new("WIDTH 0.06 ; NEXT");
+        assert!(c.eat("WIDTH"));
+        assert_eq!(c.next().unwrap().text, "0.06");
+        c.skip_statement();
+        assert_eq!(c.peek().unwrap().text, "NEXT");
+        assert!(!c.eat("WIDTH"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Lexer::tokenize("").is_empty());
+        assert!(Lexer::tokenize("# only a comment").is_empty());
+    }
+}

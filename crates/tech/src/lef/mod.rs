@@ -1,0 +1,31 @@
+//! LEF reading and writing.
+//!
+//! Supports the LEF 5.8 subset that pin access analysis needs: units,
+//! manufacturing grid, routing/cut layers with the rules in
+//! [`rules`](crate::rules), fixed vias, sites, and macros with pins
+//! (RECT and POLYGON ports) and obstructions. Unknown statements are
+//! skipped, so real-world LEF headers parse cleanly.
+//!
+//! ```
+//! use pao_tech::lef;
+//!
+//! let src = "\
+//! UNITS DATABASE MICRONS 2000 ; END UNITS
+//! LAYER M1 TYPE ROUTING ; DIRECTION HORIZONTAL ; PITCH 0.19 ; WIDTH 0.06 ;
+//!   SPACING 0.06 ; END M1
+//! END LIBRARY
+//! ";
+//! let tech = lef::parse_lef(src)?;
+//! let out = lef::write_lef(&tech);
+//! let again = lef::parse_lef(&out)?;
+//! assert_eq!(again.layers().len(), 1);
+//! # Ok::<(), lef::ParseLefError>(())
+//! ```
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use lexer::{Lexer, Token};
+pub use parser::{parse_lef, ParseLefError};
+pub use writer::write_lef;

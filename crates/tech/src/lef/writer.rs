@@ -1,0 +1,245 @@
+//! The LEF writer.
+
+use crate::layer::LayerKind;
+use crate::tech::Tech;
+use pao_geom::{Dbu, Dir, Rect};
+use std::fmt::Write as _;
+
+fn um(t: &Tech, v: Dbu) -> String {
+    let s = format!("{:.6}", t.dbu_to_microns(v));
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+fn write_rect(out: &mut String, t: &Tech, r: Rect, indent: &str) {
+    let _ = writeln!(
+        out,
+        "{indent}RECT {} {} {} {} ;",
+        um(t, r.xlo()),
+        um(t, r.ylo()),
+        um(t, r.xhi()),
+        um(t, r.yhi())
+    );
+}
+
+/// Serializes a [`Tech`] back to LEF text.
+///
+/// The output is a normal form: polygons that were decomposed at parse
+/// time are written as rectangles, and only the supported rule subset is
+/// emitted. `parse_lef(write_lef(t))` reproduces the same database.
+#[must_use]
+pub fn write_lef(tech: &Tech) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(
+        out,
+        "UNITS DATABASE MICRONS {} ; END UNITS",
+        tech.dbu_per_micron
+    );
+    if tech.manufacturing_grid > 0 {
+        let _ = writeln!(
+            out,
+            "MANUFACTURINGGRID {} ;",
+            um(tech, tech.manufacturing_grid)
+        );
+    }
+    for layer in tech.layers() {
+        let _ = writeln!(out, "LAYER {}", layer.name);
+        match layer.kind {
+            LayerKind::Routing => {
+                let _ = writeln!(out, "  TYPE ROUTING ;");
+                let dir = if layer.dir == Dir::Horizontal {
+                    "HORIZONTAL"
+                } else {
+                    "VERTICAL"
+                };
+                let _ = writeln!(out, "  DIRECTION {dir} ;");
+                if layer.pitch > 0 {
+                    let _ = writeln!(out, "  PITCH {} ;", um(tech, layer.pitch));
+                }
+                if layer.offset > 0 {
+                    let _ = writeln!(out, "  OFFSET {} ;", um(tech, layer.offset));
+                }
+            }
+            LayerKind::Cut => {
+                let _ = writeln!(out, "  TYPE CUT ;");
+            }
+        }
+        if layer.width > 0 {
+            let _ = writeln!(out, "  WIDTH {} ;", um(tech, layer.width));
+        }
+        if layer.min_width > 0 && layer.min_width != layer.width {
+            let _ = writeln!(out, "  MINWIDTH {} ;", um(tech, layer.min_width));
+        }
+        if layer.min_area > 0 {
+            let s = tech.dbu_per_micron as f64;
+            let _ = writeln!(out, "  AREA {:.6} ;", layer.min_area as f64 / (s * s));
+        }
+        if let Some(step) = layer.min_step {
+            let _ = writeln!(
+                out,
+                "  MINSTEP {} MAXEDGES {} ;",
+                um(tech, step.min_step_length),
+                step.max_edges
+            );
+        }
+        if layer.spacing > 0 {
+            let _ = writeln!(out, "  SPACING {} ;", um(tech, layer.spacing));
+        }
+        for eol in &layer.eol_rules {
+            let _ = writeln!(
+                out,
+                "  SPACING {} ENDOFLINE {} WITHIN {} ;",
+                um(tech, eol.space),
+                um(tech, eol.eol_width),
+                um(tech, eol.within)
+            );
+        }
+        if let Some(table) = &layer.spacing_table {
+            let _ = write!(out, "  SPACINGTABLE PARALLELRUNLENGTH");
+            for &p in table.prls() {
+                let _ = write!(out, " {}", um(tech, p));
+            }
+            let _ = writeln!(out);
+            for (wi, &w) in table.widths().iter().enumerate() {
+                let _ = write!(out, "    WIDTH {}", um(tech, w));
+                for &s in &table.matrix()[wi] {
+                    let _ = write!(out, " {}", um(tech, s));
+                }
+                let _ = writeln!(out);
+            }
+            let _ = writeln!(out, "  ;");
+        }
+        let _ = writeln!(out, "END {}", layer.name);
+    }
+    for via in tech.vias() {
+        let dflt = if via.is_default { " DEFAULT" } else { "" };
+        let _ = writeln!(out, "VIA {}{dflt}", via.name);
+        for (layer, shapes) in [
+            (via.bottom_layer, &via.bottom_shapes),
+            (via.cut_layer, &via.cut_shapes),
+            (via.top_layer, &via.top_shapes),
+        ] {
+            let _ = writeln!(out, "  LAYER {} ;", tech.layer(layer).name);
+            for &r in shapes {
+                write_rect(&mut out, tech, r, "    ");
+            }
+        }
+        let _ = writeln!(out, "END {}", via.name);
+    }
+    for site in tech.sites() {
+        let _ = writeln!(out, "SITE {}", site.name);
+        let _ = writeln!(out, "  CLASS CORE ;");
+        let _ = writeln!(
+            out,
+            "  SIZE {} BY {} ;",
+            um(tech, site.width),
+            um(tech, site.height)
+        );
+        let _ = writeln!(out, "END {}", site.name);
+    }
+    for m in tech.macros() {
+        let _ = writeln!(out, "MACRO {}", m.name);
+        let _ = writeln!(out, "  CLASS {} ;", m.class);
+        let _ = writeln!(out, "  ORIGIN 0 0 ;");
+        let _ = writeln!(
+            out,
+            "  SIZE {} BY {} ;",
+            um(tech, m.width),
+            um(tech, m.height)
+        );
+        if let Some(site) = &m.site {
+            let _ = writeln!(out, "  SITE {site} ;");
+        }
+        for pin in &m.pins {
+            let _ = writeln!(out, "  PIN {}", pin.name);
+            let _ = writeln!(out, "    DIRECTION {} ;", pin.dir.as_str());
+            let _ = writeln!(out, "    USE {} ;", pin.use_.as_str());
+            let _ = writeln!(out, "    PORT");
+            for port in &pin.ports {
+                let _ = writeln!(out, "      LAYER {} ;", tech.layer(port.layer).name);
+                for r in port.flat_rects() {
+                    write_rect(&mut out, tech, r, "        ");
+                }
+            }
+            let _ = writeln!(out, "    END");
+            let _ = writeln!(out, "  END {}", pin.name);
+        }
+        if !m.obs.is_empty() {
+            let _ = writeln!(out, "  OBS");
+            let mut last_layer = None;
+            for &(layer, r) in &m.obs {
+                if last_layer != Some(layer) {
+                    let _ = writeln!(out, "    LAYER {} ;", tech.layer(layer).name);
+                    last_layer = Some(layer);
+                }
+                write_rect(&mut out, tech, r, "      ");
+            }
+            let _ = writeln!(out, "  END");
+        }
+        let _ = writeln!(out, "END {}", m.name);
+    }
+    let _ = writeln!(out, "END LIBRARY");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_lef;
+    use super::*;
+
+    const SAMPLE: &str = r#"
+UNITS DATABASE MICRONS 2000 ; END UNITS
+MANUFACTURINGGRID 0.005 ;
+LAYER M1
+  TYPE ROUTING ; DIRECTION HORIZONTAL ; PITCH 0.19 ; OFFSET 0.095 ;
+  WIDTH 0.06 ; AREA 0.02 ; MINSTEP 0.05 MAXEDGES 1 ; SPACING 0.06 ;
+  SPACING 0.07 ENDOFLINE 0.08 WITHIN 0.025 ;
+  SPACINGTABLE PARALLELRUNLENGTH 0 0.5
+    WIDTH 0 0.06 0.06
+    WIDTH 0.2 0.06 0.14 ;
+END M1
+LAYER V1 TYPE CUT ; WIDTH 0.05 ; SPACING 0.08 ; END V1
+LAYER M2 TYPE ROUTING ; DIRECTION VERTICAL ; PITCH 0.2 ; WIDTH 0.06 ; SPACING 0.06 ; END M2
+VIA via1_0 DEFAULT
+  LAYER M1 ; RECT -0.065 -0.035 0.065 0.035 ;
+  LAYER V1 ; RECT -0.025 -0.025 0.025 0.025 ;
+  LAYER M2 ; RECT -0.035 -0.065 0.035 0.065 ;
+END via1_0
+SITE core CLASS CORE ; SIZE 0.19 BY 1.4 ; END core
+MACRO INVX1
+  CLASS CORE ; SIZE 0.38 BY 1.4 ; SITE core ;
+  PIN A DIRECTION INPUT ; USE SIGNAL ;
+    PORT LAYER M1 ; RECT 0.05 0.2 0.12 0.6 ; END
+  END A
+  OBS LAYER M1 ; RECT 0.3 0.0 0.35 1.0 ; END
+END INVX1
+END LIBRARY
+"#;
+
+    #[test]
+    fn roundtrip_preserves_database() {
+        let t1 = parse_lef(SAMPLE).unwrap();
+        let text = write_lef(&t1);
+        let t2 = parse_lef(&text).unwrap();
+        assert_eq!(t1.dbu_per_micron, t2.dbu_per_micron);
+        assert_eq!(t1.manufacturing_grid, t2.manufacturing_grid);
+        assert_eq!(t1.layers(), t2.layers());
+        assert_eq!(t1.vias(), t2.vias());
+        assert_eq!(t1.sites(), t2.sites());
+        assert_eq!(t1.macros(), t2.macros());
+    }
+
+    #[test]
+    fn micron_formatting_trims_zeros() {
+        let t = parse_lef("UNITS DATABASE MICRONS 2000 ; END UNITS\nEND LIBRARY").unwrap();
+        assert_eq!(um(&t, 380), "0.19");
+        assert_eq!(um(&t, 0), "0");
+        assert_eq!(um(&t, 2000), "1");
+        assert_eq!(um(&t, -380), "-0.19");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Technology and cell-library model for the PAAF pin access framework.
+//!
+//! This crate models the subset of LEF that pin access analysis and
+//! detailed routing need:
+//!
+//! * [`Layer`]s — routing and cut layers with preferred direction, pitch,
+//!   default width and their design rules ([`rules`]),
+//! * [`ViaDef`]s — fixed via definitions with per-layer shapes,
+//! * [`Site`]s and [`Macro`]s — placement sites and cell masters with
+//!   [`Pin`]s (rectangles and polygons per layer) and obstructions,
+//! * a [`Tech`] database tying everything together, and
+//! * a [LEF parser](lef) and writer round-tripping the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use pao_tech::{lef, Tech};
+//!
+//! let src = "\
+//! UNITS DATABASE MICRONS 1000 ; END UNITS
+//! LAYER M1 TYPE ROUTING ; DIRECTION HORIZONTAL ; PITCH 0.2 ; WIDTH 0.06 ;
+//!   SPACING 0.06 ; END M1
+//! END LIBRARY
+//! ";
+//! let tech: Tech = lef::parse_lef(src)?;
+//! assert_eq!(tech.layer_by_name("M1").unwrap().pitch, 200);
+//! # Ok::<(), pao_tech::lef::ParseLefError>(())
+//! ```
+
+pub mod layer;
+pub mod lef;
+pub mod macros;
+pub mod rules;
+pub mod site;
+pub mod tech;
+pub mod via;
+
+pub use layer::{Layer, LayerId, LayerKind};
+pub use macros::{Macro, MacroClass, Pin, PinDir, PinUse, Port};
+pub use rules::{EolRule, MinStepRule, SpacingTable};
+pub use site::Site;
+pub use tech::Tech;
+pub use via::{ViaDef, ViaId};

@@ -1,0 +1,198 @@
+//! Design-rule data carried by layers.
+
+use pao_geom::Dbu;
+
+/// A LEF `SPACINGTABLE PARALLELRUNLENGTH` rule: required spacing as a
+/// function of the wider shape's width and the parallel run length (PRL)
+/// between the two shapes.
+///
+/// Rows are indexed by width thresholds, columns by PRL thresholds; the
+/// applicable entry is the one with the largest threshold not exceeding the
+/// queried value (both axes must be sorted ascending and start at 0).
+///
+/// ```
+/// use pao_tech::SpacingTable;
+/// let t = SpacingTable::new(
+///     vec![0, 200],          // width thresholds
+///     vec![0, 500],          // PRL thresholds
+///     vec![vec![70, 70],     // width < 200
+///          vec![70, 140]],   // width ≥ 200
+/// );
+/// assert_eq!(t.lookup(100, 1000), 70);
+/// assert_eq!(t.lookup(300, 1000), 140);
+/// assert_eq!(t.lookup(300, 100), 70);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpacingTable {
+    widths: Vec<Dbu>,
+    prls: Vec<Dbu>,
+    /// `spacing[width_row][prl_col]`.
+    spacing: Vec<Vec<Dbu>>,
+}
+
+impl SpacingTable {
+    /// Creates a spacing table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the thresholds are not ascending from 0 or the matrix
+    /// dimensions do not match the thresholds.
+    #[must_use]
+    pub fn new(widths: Vec<Dbu>, prls: Vec<Dbu>, spacing: Vec<Vec<Dbu>>) -> SpacingTable {
+        assert!(
+            !widths.is_empty() && widths[0] == 0,
+            "width rows must start at 0"
+        );
+        assert!(
+            !prls.is_empty() && prls[0] == 0,
+            "PRL columns must start at 0"
+        );
+        assert!(widths.windows(2).all(|w| w[0] < w[1]), "widths ascending");
+        assert!(prls.windows(2).all(|w| w[0] < w[1]), "PRLs ascending");
+        assert_eq!(spacing.len(), widths.len(), "one row per width threshold");
+        for row in &spacing {
+            assert_eq!(row.len(), prls.len(), "one column per PRL threshold");
+        }
+        SpacingTable {
+            widths,
+            prls,
+            spacing,
+        }
+    }
+
+    /// Width thresholds (row axis).
+    #[must_use]
+    pub fn widths(&self) -> &[Dbu] {
+        &self.widths
+    }
+
+    /// PRL thresholds (column axis).
+    #[must_use]
+    pub fn prls(&self) -> &[Dbu] {
+        &self.prls
+    }
+
+    /// Spacing matrix, `rows × cols = widths × prls`.
+    #[must_use]
+    pub fn matrix(&self) -> &[Vec<Dbu>] {
+        &self.spacing
+    }
+
+    /// Required spacing for the given (max) shape width and PRL.
+    ///
+    /// Width uses ≥ bucketing ("width at least threshold"); PRL uses strict
+    /// > ("run length more than threshold"), matching common router
+    /// > implementations of the LEF semantics.
+    #[must_use]
+    pub fn lookup(&self, width: Dbu, prl: Dbu) -> Dbu {
+        let wi = self.widths.iter().rposition(|&t| t <= width).unwrap_or(0);
+        let pi = self.prls.iter().rposition(|&t| t < prl).unwrap_or(0);
+        self.spacing[wi][pi]
+    }
+
+    /// The largest spacing anywhere in the table — a safe search halo.
+    #[must_use]
+    pub fn max_spacing(&self) -> Dbu {
+        self.spacing
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A LEF `SPACING ... ENDOFLINE` rule: edges shorter than `eol_width`
+/// require `space` clearance within a `within` band beyond the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EolRule {
+    /// Required end-of-line spacing in DBU.
+    pub space: Dbu,
+    /// Edges strictly shorter than this width are EOL edges.
+    pub eol_width: Dbu,
+    /// Lateral extension of the check region past the edge ends.
+    pub within: Dbu,
+}
+
+/// A simplified LEF `MINSTEP` rule: boundary edges shorter than
+/// `min_step_length` are *steps*; at most `max_edges` consecutive steps are
+/// allowed. Without `MAXEDGES` the LEF rule forbids steps outright
+/// (`max_edges = 0`), which is how a via enclosure protruding slightly from
+/// a pin shape becomes a violation (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinStepRule {
+    /// Minimum legal edge length in DBU.
+    pub min_step_length: Dbu,
+    /// Maximum number of consecutive edges shorter than the minimum.
+    pub max_edges: u32,
+}
+
+impl MinStepRule {
+    /// The plain `MINSTEP x ;` form: no boundary edge may be shorter than
+    /// `min_step_length`.
+    #[must_use]
+    pub fn simple(min_step_length: Dbu) -> MinStepRule {
+        MinStepRule {
+            min_step_length,
+            max_edges: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SpacingTable {
+        SpacingTable::new(
+            vec![0, 200, 400],
+            vec![0, 500, 1500],
+            vec![vec![70, 70, 70], vec![70, 140, 140], vec![70, 140, 300]],
+        )
+    }
+
+    #[test]
+    fn lookup_buckets() {
+        let t = table();
+        // Narrow shapes: always first row.
+        assert_eq!(t.lookup(60, 10_000), 70);
+        // Width exactly at a threshold falls into that row.
+        assert_eq!(t.lookup(200, 600), 140);
+        // PRL exactly at a threshold stays in the previous column.
+        assert_eq!(t.lookup(200, 500), 70);
+        assert_eq!(t.lookup(200, 501), 140);
+        // Big and long: bottom-right corner.
+        assert_eq!(t.lookup(1000, 2000), 300);
+        // Zero / tiny values: top-left corner.
+        assert_eq!(t.lookup(0, 0), 70);
+    }
+
+    #[test]
+    fn max_spacing() {
+        assert_eq!(table().max_spacing(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 0")]
+    fn rejects_nonzero_first_threshold() {
+        let _ = SpacingTable::new(vec![10], vec![0], vec![vec![70]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_thresholds() {
+        let _ = SpacingTable::new(vec![0, 5, 3], vec![0], vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per width")]
+    fn rejects_mismatched_matrix() {
+        let _ = SpacingTable::new(vec![0, 5], vec![0], vec![vec![1]]);
+    }
+
+    #[test]
+    fn min_step_simple() {
+        let r = MinStepRule::simple(50);
+        assert_eq!(r.max_edges, 0);
+        assert_eq!(r.min_step_length, 50);
+    }
+}

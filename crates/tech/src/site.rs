@@ -1,0 +1,56 @@
+//! Placement sites.
+
+use pao_geom::Dbu;
+
+/// A LEF `SITE`: the placement grid unit for a class of cells. Standard
+/// cells occupy an integer number of sites in a row.
+///
+/// ```
+/// use pao_tech::Site;
+/// let core = Site::new("core", 380, 2800);
+/// assert_eq!(core.width, 380);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Site name, e.g. `"core"`.
+    pub name: String,
+    /// Site width in DBU.
+    pub width: Dbu,
+    /// Site height (row height) in DBU.
+    pub height: Dbu,
+}
+
+impl Site {
+    /// Creates a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` or `height` is not positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: Dbu, height: Dbu) -> Site {
+        assert!(width > 0 && height > 0, "site dimensions must be positive");
+        Site {
+            name: name.into(),
+            width,
+            height,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let s = Site::new("core", 380, 2800);
+        assert_eq!(s.name, "core");
+        assert_eq!((s.width, s.height), (380, 2800));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_width() {
+        let _ = Site::new("bad", 0, 10);
+    }
+}

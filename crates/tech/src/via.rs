@@ -1,0 +1,217 @@
+//! Fixed via definitions.
+
+use crate::layer::LayerId;
+use pao_geom::{Point, Rect};
+use std::fmt;
+
+/// Index of a via definition in its [`Tech`](crate::Tech).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViaId(pub u32);
+
+impl ViaId {
+    /// The via index as a `usize` for direct slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ViaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// A fixed (LEF `VIA`) via definition: one or more rectangles on each of a
+/// bottom routing layer, a cut layer, and a top routing layer, in
+/// master coordinates centered on the via origin.
+///
+/// ```
+/// use pao_geom::Rect;
+/// use pao_tech::{LayerId, ViaDef};
+///
+/// let v = ViaDef::new(
+///     "via1_0",
+///     LayerId(0), vec![Rect::new(-65, -35, 65, 35)],
+///     LayerId(1), vec![Rect::new(-35, -35, 35, 35)],
+///     LayerId(2), vec![Rect::new(-35, -65, 35, 65)],
+/// );
+/// assert_eq!(v.bottom_bbox(), Rect::new(-65, -35, 65, 35));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViaDef {
+    /// Via name, e.g. `"via1_0"`.
+    pub name: String,
+    /// Bottom routing layer.
+    pub bottom_layer: LayerId,
+    /// Bottom-layer enclosure shapes.
+    pub bottom_shapes: Vec<Rect>,
+    /// Cut layer.
+    pub cut_layer: LayerId,
+    /// Cut shapes.
+    pub cut_shapes: Vec<Rect>,
+    /// Top routing layer.
+    pub top_layer: LayerId,
+    /// Top-layer enclosure shapes.
+    pub top_shapes: Vec<Rect>,
+    /// `true` for the LEF `DEFAULT` via of its cut layer.
+    pub is_default: bool,
+}
+
+impl ViaDef {
+    /// Creates a via definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any of the three shape lists is empty.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        bottom_layer: LayerId,
+        bottom_shapes: Vec<Rect>,
+        cut_layer: LayerId,
+        cut_shapes: Vec<Rect>,
+        top_layer: LayerId,
+        top_shapes: Vec<Rect>,
+    ) -> ViaDef {
+        assert!(
+            !bottom_shapes.is_empty() && !cut_shapes.is_empty() && !top_shapes.is_empty(),
+            "via definition needs shapes on all three layers"
+        );
+        ViaDef {
+            name: name.into(),
+            bottom_layer,
+            bottom_shapes,
+            cut_layer,
+            cut_shapes,
+            top_layer,
+            top_shapes,
+            is_default: false,
+        }
+    }
+
+    /// Bounding box of the bottom-layer enclosure.
+    #[must_use]
+    pub fn bottom_bbox(&self) -> Rect {
+        self.bottom_shapes
+            .iter()
+            .copied()
+            .reduce(Rect::hull)
+            .expect("via has bottom shapes")
+    }
+
+    /// Bounding box of the cut shapes.
+    #[must_use]
+    pub fn cut_bbox(&self) -> Rect {
+        self.cut_shapes
+            .iter()
+            .copied()
+            .reduce(Rect::hull)
+            .expect("via has cut shapes")
+    }
+
+    /// Bounding box of the top-layer enclosure.
+    #[must_use]
+    pub fn top_bbox(&self) -> Rect {
+        self.top_shapes
+            .iter()
+            .copied()
+            .reduce(Rect::hull)
+            .expect("via has top shapes")
+    }
+
+    /// The via's shapes translated so its origin sits at `at`, flattened as
+    /// `(layer, rect)` pairs.
+    #[must_use]
+    pub fn placed_shapes(&self, at: Point) -> Vec<(LayerId, Rect)> {
+        let mut out = Vec::with_capacity(
+            self.bottom_shapes.len() + self.cut_shapes.len() + self.top_shapes.len(),
+        );
+        for &r in &self.bottom_shapes {
+            out.push((self.bottom_layer, r.translated(at)));
+        }
+        for &r in &self.cut_shapes {
+            out.push((self.cut_layer, r.translated(at)));
+        }
+        for &r in &self.top_shapes {
+            out.push((self.top_layer, r.translated(at)));
+        }
+        out
+    }
+
+    /// A 90°-rotated variant of this via (shapes transposed about the
+    /// origin), named `<name>_R90`. Useful when the bottom enclosure's long
+    /// axis must follow a vertical pin.
+    #[must_use]
+    pub fn rotated90(&self) -> ViaDef {
+        let rot = |r: &Rect| Rect::new(r.ylo(), r.xlo(), r.yhi(), r.xhi());
+        ViaDef {
+            name: format!("{}_R90", self.name),
+            bottom_layer: self.bottom_layer,
+            bottom_shapes: self.bottom_shapes.iter().map(rot).collect(),
+            cut_layer: self.cut_layer,
+            cut_shapes: self.cut_shapes.iter().map(rot).collect(),
+            top_layer: self.top_layer,
+            top_shapes: self.top_shapes.iter().map(rot).collect(),
+            is_default: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn via() -> ViaDef {
+        ViaDef::new(
+            "via1_0",
+            LayerId(0),
+            vec![Rect::new(-65, -35, 65, 35)],
+            LayerId(1),
+            vec![Rect::new(-35, -35, 35, 35)],
+            LayerId(2),
+            vec![Rect::new(-35, -65, 35, 65)],
+        )
+    }
+
+    #[test]
+    fn bboxes() {
+        let v = via();
+        assert_eq!(v.bottom_bbox(), Rect::new(-65, -35, 65, 35));
+        assert_eq!(v.cut_bbox(), Rect::new(-35, -35, 35, 35));
+        assert_eq!(v.top_bbox(), Rect::new(-35, -65, 35, 65));
+    }
+
+    #[test]
+    fn placed_shapes_translate() {
+        let v = via();
+        let shapes = v.placed_shapes(Point::new(1000, 2000));
+        assert_eq!(shapes.len(), 3);
+        assert_eq!(shapes[0], (LayerId(0), Rect::new(935, 1965, 1065, 2035)));
+        assert_eq!(shapes[1], (LayerId(1), Rect::new(965, 1965, 1035, 2035)));
+    }
+
+    #[test]
+    fn rotation_transposes() {
+        let v = via().rotated90();
+        assert_eq!(v.bottom_bbox(), Rect::new(-35, -65, 35, 65));
+        assert_eq!(v.top_bbox(), Rect::new(-65, -35, 65, 35));
+        assert_eq!(v.name, "via1_0_R90");
+        // Cut is square; unchanged.
+        assert_eq!(v.cut_bbox(), Rect::new(-35, -35, 35, 35));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs shapes")]
+    fn rejects_empty_shapes() {
+        let _ = ViaDef::new(
+            "bad",
+            LayerId(0),
+            vec![],
+            LayerId(1),
+            vec![Rect::new(0, 0, 1, 1)],
+            LayerId(2),
+            vec![Rect::new(0, 0, 1, 1)],
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests: LEF round-trips and rule-table invariants.
+
+use pao_geom::{Dir, Rect};
+use pao_tech::{lef, Layer, Macro, Pin, PinDir, Port, SpacingTable, Tech, ViaDef};
+use proptest::prelude::*;
+
+/// Strategy: a random but structurally valid 2–4 routing-layer tech.
+fn arb_tech() -> impl Strategy<Value = Tech> {
+    (
+        2usize..5,                                           // routing layers
+        50i64..200,                                          // width
+        50i64..300,                                          // spacing
+        100i64..500,                                         // pitch
+        prop::collection::vec((1i64..300, 1i64..300), 1..4), // macro pin sizes
+    )
+        .prop_map(|(nl, width, spacing, pitch, pins)| {
+            let mut t = Tech::new(1000);
+            let mut routing = Vec::new();
+            for i in 0..nl {
+                if i > 0 {
+                    t.add_layer(Layer::cut(format!("v{i}"), width / 2 + 10, spacing));
+                }
+                let dir = if i % 2 == 0 {
+                    Dir::Horizontal
+                } else {
+                    Dir::Vertical
+                };
+                let mut l = Layer::routing(format!("m{}", i + 1), dir, pitch, width, spacing);
+                l.offset = pitch / 2;
+                routing.push(t.add_layer(l));
+            }
+            if nl >= 2 {
+                let cut = t.layer_id("v1").expect("cut exists");
+                let hw = width / 4 + 5;
+                let via = ViaDef::new(
+                    "via1_0",
+                    routing[0],
+                    vec![Rect::new(-hw * 3, -hw, hw * 3, hw)],
+                    cut,
+                    vec![Rect::new(-hw, -hw, hw, hw)],
+                    routing[1],
+                    vec![Rect::new(-hw, -hw * 3, hw, hw * 3)],
+                );
+                t.add_via(via);
+            }
+            let mut m = Macro::new("CELL", 1000, 2000);
+            for (pi, (w, h)) in pins.into_iter().enumerate() {
+                m.pins.push(Pin::new(
+                    format!("P{pi}"),
+                    PinDir::Input,
+                    vec![Port::rects(
+                        routing[0],
+                        vec![Rect::new(
+                            10 + pi as i64 * 10,
+                            20,
+                            10 + pi as i64 * 10 + w,
+                            20 + h,
+                        )],
+                    )],
+                ));
+            }
+            t.add_macro(m);
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lef_roundtrip_preserves_everything(t in arb_tech()) {
+        let text = lef::write_lef(&t);
+        let t2 = lef::parse_lef(&text).expect("own output parses");
+        prop_assert_eq!(t.dbu_per_micron, t2.dbu_per_micron);
+        prop_assert_eq!(t.layers(), t2.layers());
+        prop_assert_eq!(t.vias(), t2.vias());
+        prop_assert_eq!(t.macros(), t2.macros());
+    }
+
+    #[test]
+    fn spacing_table_lookup_is_monotone(
+        base in 10i64..200,
+        w_step in 10i64..200,
+        p_step in 10i64..500,
+        bumps in prop::collection::vec(0i64..100, 4),
+    ) {
+        // Build a table that is monotone by construction and verify
+        // lookups never decrease as width/PRL grow.
+        let t = SpacingTable::new(
+            vec![0, w_step],
+            vec![0, p_step],
+            vec![
+                vec![base, base + bumps[0]],
+                vec![base + bumps[1], base + bumps[0].max(bumps[1]) + bumps[2] + bumps[3]],
+            ],
+        );
+        let mut last = 0;
+        for w in [0, w_step - 1, w_step, w_step * 2] {
+            let s = t.lookup(w, p_step * 2);
+            prop_assert!(s >= last, "width monotone");
+            last = s;
+        }
+        let mut last = 0;
+        for p in [0, p_step, p_step + 1, p_step * 3] {
+            let s = t.lookup(w_step * 2, p);
+            prop_assert!(s >= last, "PRL monotone");
+            last = s;
+        }
+        prop_assert!(t.max_spacing() >= base);
+    }
+
+    #[test]
+    fn required_spacing_at_least_simple(w1 in 0i64..500, w2 in 0i64..500, prl in 0i64..2000) {
+        let mut l = Layer::routing("m", Dir::Horizontal, 200, 100, 120);
+        l.spacing_table = Some(SpacingTable::new(
+            vec![0, 200],
+            vec![0, 500],
+            vec![vec![100, 110], vec![110, 200]],
+        ));
+        prop_assert!(l.required_spacing(w1, w2, prl) >= 120);
+    }
+}

@@ -1,0 +1,505 @@
+//! Synthetic standard-cell library generator.
+//!
+//! Cells are single-height masters with vertical metal1 pin bars. Four pin
+//! geometry variants (chosen deterministically per pin) exercise the
+//! paper's access mechanisms:
+//!
+//! * **tall** — spans several tracks with full via-enclosure margin: easy,
+//!   on-track access;
+//! * **medium** — fewer tracks, still nested;
+//! * **sliver** — the lowest track's bar-via enclosure overhangs the pin
+//!   bottom by less than `MINSTEP`: the on-track point there is dirty
+//!   (paper Fig. 3) and validation must reject it;
+//! * **wide-short** — a wide pin *between* tracks: access requires
+//!   off-track (half-track / shape-center) preferred-direction
+//!   coordinates.
+
+use crate::techs::{TechFlavor, TechParams};
+use pao_geom::{Dbu, Point, Polygon, Rect};
+use pao_tech::{LayerId, Macro, MacroClass, Pin, PinDir, PinUse, Port, Tech};
+
+/// Static description of one library cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec {
+    /// Master name.
+    pub name: &'static str,
+    /// Width in placement sites.
+    pub width_sites: u32,
+    /// Height in rows (1 = single-height; the paper lists multi-height
+    /// support as future work — the double-height flop exercises it).
+    pub height_rows: u32,
+    /// Input pin names.
+    pub inputs: &'static [&'static str],
+    /// Output pin name (`None` for fill cells).
+    pub output: Option<&'static str>,
+}
+
+/// The library's cell set (a typical small std-cell kit). `DFFX2MH` is a
+/// double-height flop.
+pub const CELL_SPECS: [CellSpec; 13] = [
+    CellSpec {
+        name: "INVX1",
+        width_sites: 3,
+        height_rows: 1,
+        inputs: &["A"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "INVX2",
+        width_sites: 4,
+        height_rows: 1,
+        inputs: &["A"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "BUFX2",
+        width_sites: 4,
+        height_rows: 1,
+        inputs: &["A"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "NAND2X1",
+        width_sites: 5,
+        height_rows: 1,
+        inputs: &["A", "B"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "NOR2X1",
+        width_sites: 5,
+        height_rows: 1,
+        inputs: &["A", "B"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "AND2X1",
+        width_sites: 6,
+        height_rows: 1,
+        inputs: &["A", "B"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "XOR2X1",
+        width_sites: 8,
+        height_rows: 1,
+        inputs: &["A", "B"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "OAI21X1",
+        width_sites: 7,
+        height_rows: 1,
+        inputs: &["A", "B", "C"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "AOI21X1",
+        width_sites: 7,
+        height_rows: 1,
+        inputs: &["A", "B", "C"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "MUX2X1",
+        width_sites: 8,
+        height_rows: 1,
+        inputs: &["A", "B", "S"],
+        output: Some("Y"),
+    },
+    CellSpec {
+        name: "DFFX1",
+        width_sites: 10,
+        height_rows: 1,
+        inputs: &["D", "CK"],
+        output: Some("Q"),
+    },
+    CellSpec {
+        name: "DFFX2MH",
+        width_sites: 6,
+        height_rows: 2,
+        inputs: &["D", "CK", "SE"],
+        output: Some("Q"),
+    },
+    CellSpec {
+        name: "FILLX1",
+        width_sites: 1,
+        height_rows: 1,
+        inputs: &[],
+        output: None,
+    },
+];
+
+/// The local y coordinate of reference M1 track `k` (0-based) in a cell.
+fn track(p: &TechParams, k: i64) -> Dbu {
+    p.m1_offset + k * p.m1_pitch
+}
+
+/// Site columns the pins of cell `ci` occupy: spread over the cell width
+/// with the first pin in column 0. Odd-indexed cells put their last pin in
+/// the last column (hugging the right edge, where it can conflict with the
+/// abutting neighbor's first pin — the inter-cell case BCA exists for);
+/// even-indexed cells inset it by one site.
+fn pin_columns(spec: &CellSpec, ci: usize) -> Vec<u32> {
+    let n = (spec.inputs.len() + usize::from(spec.output.is_some())) as u32;
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![spec.width_sites / 2];
+    }
+    let last = if ci % 2 == 1 || spec.width_sites < 3 {
+        spec.width_sites - 1
+    } else {
+        spec.width_sites - 2
+    };
+    (0..n).map(|pi| pi * last / (n - 1)).collect()
+}
+
+/// Builds the vertical pin bar (or wide pad) for pin `variant` centered at
+/// x = `cx`, returning the port geometry.
+fn pin_geometry(p: &TechParams, m1: LayerId, cx: Dbu, variant: u32) -> Port {
+    let hw = p.width / 2;
+    match variant % 4 {
+        // Tall bar: tracks 2..6 with full bar-via margin.
+        0 => Port::rects(
+            m1,
+            vec![Rect::new(
+                cx - hw,
+                track(p, 2) - p.bar_long,
+                cx + hw,
+                track(p, 6) + p.bar_long,
+            )],
+        ),
+        // Medium bar: tracks 3..5.
+        1 => Port::rects(
+            m1,
+            vec![Rect::new(
+                cx - hw,
+                track(p, 3) - p.bar_long,
+                cx + hw,
+                track(p, 5) + p.bar_long,
+            )],
+        ),
+        // Sliver bar: the bar-via at track 2 overhangs the pin bottom by
+        // min_step/2 — a dirty on-track candidate.
+        2 => Port::rects(
+            m1,
+            vec![Rect::new(
+                cx - hw,
+                track(p, 2) - p.bar_long + p.min_step / 2,
+                cx + hw,
+                track(p, 5) + p.bar_long,
+            )],
+        ),
+        // Wide-short pad between tracks 5 and 6, as an L-shaped polygon:
+        // a wide head (fits the wide via) with a narrow bar foot. When the
+        // site is too narrow for the head (14 nm flavour), fall back to a
+        // medium bar — off-track access there comes from track-phase
+        // misalignment instead.
+        _ => {
+            let wide = p.enc_long * 2 + p.min_step;
+            if wide / 2 > p.site_width - p.width / 2 - p.spacing {
+                return pin_geometry(p, m1, cx, 1);
+            }
+            let head_ylo = track(p, 5) + p.spacing / 2;
+            let head_yhi = track(p, 6) - p.spacing / 2;
+            let foot_ylo = track(p, 3) - p.bar_long;
+            let poly = Polygon::new(vec![
+                Point::new(cx - hw, foot_ylo),
+                Point::new(cx + hw, foot_ylo),
+                Point::new(cx + hw, head_ylo),
+                Point::new(cx + wide / 2, head_ylo),
+                Point::new(cx + wide / 2, head_yhi),
+                Point::new(cx - wide / 2, head_yhi),
+                Point::new(cx - wide / 2, head_ylo),
+                Point::new(cx - hw, head_ylo),
+            ])
+            .expect("wide-short pin polygon is rectilinear");
+            Port {
+                layer: m1,
+                rects: Vec::new(),
+                polygons: vec![poly],
+            }
+        }
+    }
+}
+
+/// Adds the full standard-cell library for `flavor` to `tech`.
+///
+/// Pin bars are placed on per-site columns: the first pin occupies the
+/// first column and the last pin the last column, so neighboring cells'
+/// boundary pins sit one site apart — the inter-cell conflict the
+/// cluster-selection step must resolve.
+///
+/// # Panics
+///
+/// Panics if `tech` lacks the `metal1`/`metal2` layers (build it with
+/// [`make_tech`](crate::techs::make_tech)).
+pub fn add_std_cells(tech: &mut Tech, flavor: TechFlavor) {
+    let p = flavor.params();
+    let m1 = tech.layer_id("metal1").expect("metal1 present");
+    let m2 = tech.layer_id("metal2").expect("metal2 present");
+    let height = p.row_height;
+    for (ci, spec) in CELL_SPECS.iter().enumerate() {
+        let width = Dbu::from(spec.width_sites) * p.site_width;
+        let cell_height = Dbu::from(spec.height_rows) * height;
+        let mut m = Macro::new(spec.name, width, cell_height);
+        m.class = MacroClass::Core;
+        m.site = Some("core".to_owned());
+
+        let pin_names: Vec<&str> = spec.inputs.iter().copied().chain(spec.output).collect();
+        let cols = pin_columns(spec, ci);
+        for (pi, name) in pin_names.iter().enumerate() {
+            let col = cols[pi];
+            let cx = Dbu::from(col) * p.site_width + p.site_width / 2;
+            // Multi-height cells put odd pins in the upper row half.
+            let row_shift = if spec.height_rows > 1 && pi % 2 == 1 {
+                height
+            } else {
+                0
+            };
+            let mut variant = (ci as u32 + pi as u32) % 4;
+            // Wide-short heads extend past their site column; at a cell
+            // boundary they would violate spacing against the abutting
+            // neighbor's boundary pin, so boundary columns fall back to a
+            // bar variant.
+            if variant == 3 && (col == 0 || col == spec.width_sites - 1) {
+                variant = 1;
+            }
+            let mut port = pin_geometry(&p, m1, cx, variant);
+            if row_shift > 0 {
+                port.rects = port
+                    .rects
+                    .iter()
+                    .map(|r| r.translated(Point::new(0, row_shift)))
+                    .collect();
+                port.polygons = port
+                    .polygons
+                    .iter()
+                    .map(|poly| {
+                        Polygon::new(
+                            poly.vertices()
+                                .iter()
+                                .map(|&v| v + Point::new(0, row_shift))
+                                .collect(),
+                        )
+                        .expect("translated polygon stays valid")
+                    })
+                    .collect();
+            }
+            let dir = if Some(*name) == spec.output {
+                PinDir::Output
+            } else {
+                PinDir::Input
+            };
+            m.pins.push(Pin::new(*name, dir, vec![port]));
+        }
+
+        // Power rails on M1 along every row boundary, alternating
+        // ground/power (so multi-height cells match the row rail pattern).
+        let rail = p.width;
+        for r in 0..=spec.height_rows {
+            let y = Dbu::from(r) * height;
+            let ground = r % 2 == 0;
+            let mut pin = Pin::new(
+                if ground {
+                    format!("VSS{r}")
+                } else {
+                    format!("VDD{r}")
+                },
+                PinDir::Inout,
+                vec![Port::rects(
+                    m1,
+                    vec![Rect::new(0, y - rail / 2, width, y + rail / 2)],
+                )],
+            );
+            pin.use_ = if ground {
+                PinUse::Ground
+            } else {
+                PinUse::Power
+            };
+            m.pins.push(pin);
+        }
+
+        // Larger cells carry an internal M2 obstruction strip over a
+        // column at least two sites away from every pin (so no pin is
+        // fully blocked), knocking out some nearby up-via tops.
+        if spec.width_sites >= 6 && spec.output.is_some() {
+            let pin_cols = pin_columns(spec, ci);
+            let obs_col =
+                (0..spec.width_sites).find(|c| pin_cols.iter().all(|&pc| c.abs_diff(pc) >= 2));
+            if let Some(col) = obs_col {
+                let cx = Dbu::from(col) * p.site_width + p.site_width / 4;
+                m.obs.push((
+                    m2,
+                    Rect::new(
+                        cx - p.width / 2,
+                        track(&p, 2),
+                        cx + p.width / 2,
+                        track(&p, 6),
+                    ),
+                ));
+            }
+        }
+        tech.add_macro(m);
+    }
+}
+
+/// Adds a block macro (memory-like) used by the testcases with macros.
+/// Pins are on metal4 along the top edge (planar access); metal1–3 under
+/// the block are obstructed except for a boundary margin.
+pub fn add_block_macro(tech: &mut Tech, flavor: TechFlavor) {
+    let p = flavor.params();
+    let m4 = tech.layer_id("metal4").expect("metal4 present");
+    let width = 30 * p.site_width;
+    let height = 6 * p.row_height;
+    let mut m = Macro::new("RAM16X4", width, height);
+    m.class = MacroClass::Block;
+    for i in 0..8u32 {
+        let cx = Dbu::from(i + 1) * width / 9;
+        let pad = p.width * 2;
+        m.pins.push(Pin::new(
+            format!("D{i}"),
+            if i < 4 { PinDir::Input } else { PinDir::Output },
+            vec![Port::rects(
+                m4,
+                vec![Rect::new(
+                    cx - pad,
+                    height - 3 * pad,
+                    cx + pad,
+                    height - pad,
+                )],
+            )],
+        ));
+    }
+    for (li, lname) in ["metal1", "metal2", "metal3"].iter().enumerate() {
+        let layer = tech.layer_id(lname).expect("lower layers present");
+        let margin = p.spacing * (li as Dbu + 2);
+        m.obs.push((
+            layer,
+            Rect::new(margin, margin, width - margin, height - margin),
+        ));
+    }
+    tech.add_macro(m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::techs::make_tech;
+
+    fn lib(flavor: TechFlavor) -> Tech {
+        let mut t = make_tech(flavor);
+        add_std_cells(&mut t, flavor);
+        t
+    }
+
+    #[test]
+    fn library_has_all_cells() {
+        for flavor in [
+            TechFlavor::N45,
+            TechFlavor::N32A,
+            TechFlavor::N32B,
+            TechFlavor::N14,
+        ] {
+            let t = lib(flavor);
+            for spec in &CELL_SPECS {
+                let m = t
+                    .macro_by_name(spec.name)
+                    .unwrap_or_else(|| panic!("{}", spec.name));
+                assert_eq!(m.height, i64::from(spec.height_rows) * flavor.row_height());
+                assert_eq!(
+                    m.width,
+                    i64::from(spec.width_sites) * flavor.params().site_width
+                );
+                // Signal pins + one rail per row boundary.
+                let expected = spec.inputs.len() + usize::from(spec.output.is_some());
+                assert_eq!(m.signal_pins().count(), expected, "{}", spec.name);
+                assert_eq!(m.pins.len(), expected + spec.height_rows as usize + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pins_inside_cell_and_off_rails() {
+        let flavor = TechFlavor::N45;
+        let p = flavor.params();
+        let t = lib(flavor);
+        for spec in &CELL_SPECS {
+            let m = t.macro_by_name(spec.name).unwrap();
+            for pin in m.signal_pins() {
+                let bbox = pin.bbox().unwrap();
+                assert!(
+                    bbox.xlo() >= 0 && bbox.xhi() <= m.width,
+                    "{} {}",
+                    spec.name,
+                    pin.name
+                );
+                // Clear of the rails by at least a spacing.
+                assert!(
+                    bbox.ylo() >= p.width / 2 + p.spacing,
+                    "{} {}",
+                    spec.name,
+                    pin.name
+                );
+                assert!(bbox.yhi() <= m.height - p.width / 2 - p.spacing);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_pins_hug_cell_edges() {
+        let t = lib(TechFlavor::N45);
+        let p = TechFlavor::N45.params();
+        let nand = t.macro_by_name("NAND2X1").unwrap();
+        let a = nand.pin("A").unwrap().bbox().unwrap();
+        let y = nand.pin("Y").unwrap().bbox().unwrap();
+        // First pin in the first site column, output in the last.
+        assert!(a.center().x < p.site_width);
+        assert!(y.center().x > nand.width - p.site_width);
+    }
+
+    #[test]
+    fn wide_short_variant_is_polygonal() {
+        let t = lib(TechFlavor::N45);
+        // Variant 3 occurs when (cell_idx + pin_idx) % 4 == 3 on an
+        // interior column: MUX2X1 is cell 9, pin S (index 2, column 4).
+        let mux = t.macro_by_name("MUX2X1").unwrap();
+        let s = mux.pin("S").unwrap();
+        assert_eq!(s.ports[0].polygons.len(), 1);
+        let flat = s.ports[0].flat_rects();
+        assert!(flat.len() >= 2, "T-shape decomposes into several rects");
+        // Boundary-column pins never use the wide head: NAND2X1 pin A
+        // (cell 3, pin 0, column 0) falls back to a bar.
+        let nand = t.macro_by_name("NAND2X1").unwrap();
+        assert!(nand.pin("A").unwrap().ports[0].polygons.is_empty());
+    }
+
+    #[test]
+    fn block_macro_has_m4_pins_and_obstructions() {
+        let mut t = make_tech(TechFlavor::N45);
+        add_block_macro(&mut t, TechFlavor::N45);
+        let ram = t.macro_by_name("RAM16X4").unwrap();
+        assert_eq!(ram.class, MacroClass::Block);
+        assert_eq!(ram.signal_pins().count(), 8);
+        assert_eq!(ram.obs.len(), 3);
+        let m4 = t.layer_id("metal4").unwrap();
+        assert!(ram.pins.iter().all(|p| p.ports[0].layer == m4));
+    }
+
+    #[test]
+    fn sliver_variant_overhangs_by_half_min_step() {
+        // INVX1 is cell 0; pin Y is index 1 → variant 1 (medium); cell 2
+        // (BUFX2) pin A index 0 → variant 2 (sliver).
+        let flavor = TechFlavor::N45;
+        let p = flavor.params();
+        let t = lib(flavor);
+        let buf = t.macro_by_name("BUFX2").unwrap();
+        let a = buf.pin("A").unwrap().bbox().unwrap();
+        // Bar-via at track 2 would span [track2 − bar_long, track2 + bar_long];
+        // the pin bottom is min_step/2 above that span's bottom.
+        let enc_bottom = p.m1_offset + 2 * p.m1_pitch - p.bar_long;
+        assert_eq!(a.ylo() - enc_bottom, p.min_step / 2);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Synthetic LEF/DEF benchmark generator mirroring the shape of the
+//! ISPD-2018 initial detailed routing suite.
+//!
+//! The real suite is proprietary; this crate generates deterministic
+//! stand-ins that exercise the same pin access mechanisms (see DESIGN.md §4):
+//!
+//! * **Via/pin geometry**: the default via's bottom enclosure is wider
+//!   than a pin bar, creating min-step "wings" unless the pin is wide —
+//!   forcing the alternate bar-via; the bar-via in turn nests only when
+//!   centered, making off-track (shape-center) coordinates necessary when
+//!   track phases misalign (the paper's Fig. 3 mechanism).
+//! * **Cut spacing**: vias on the same track in adjacent-site pins
+//!   conflict, so intra-cell compatibility needs the pattern DP and
+//!   inter-cell compatibility needs BCA + cluster selection.
+//! * **Pitch commensurability** per [`TechFlavor`] controls how many
+//!   unique instances a placement produces.
+//!
+//! # Examples
+//!
+//! ```
+//! use pao_testgen::{generate, SuiteCase, TechFlavor};
+//!
+//! let case = SuiteCase::small_smoke();
+//! let (tech, design) = generate(&case);
+//! assert!(!design.components().is_empty());
+//! assert!(tech.macros().len() >= 10);
+//! ```
+
+pub mod cells;
+pub mod netlist;
+pub mod place;
+pub mod suite;
+pub mod techs;
+
+pub use suite::{aes14_case, generate, ispd18s_suite, SuiteCase};
+pub use techs::{make_tech, TechFlavor, TechParams};

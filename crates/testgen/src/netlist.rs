@@ -1,0 +1,226 @@
+//! Random netlist generator with placement locality.
+
+use pao_design::{CompId, Design, IoPin, Net, NetPin};
+use pao_geom::{Orient, Point, Rect};
+use pao_tech::{PinDir, Tech};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Netlist parameters.
+#[derive(Debug, Clone)]
+pub struct NetlistConfig {
+    /// Target number of signal nets (bounded by the number of driver
+    /// pins available).
+    pub nets: usize,
+    /// Number of design I/O pins to create and attach to nets.
+    pub io_pins: usize,
+}
+
+/// Builds a random netlist over the placed design: each net has one driver
+/// (an output pin) and 1–4 sinks (input pins of instances within a local
+/// window), mimicking the short-net locality of placed designs. Every
+/// instance pin joins at most one net. A share of nets additionally get a
+/// design I/O pin on the die boundary.
+pub fn build_netlist(tech: &Tech, design: &mut Design, cfg: &NetlistConfig, rng: &mut StdRng) {
+    // Collect drivers (output pins) and sinks (input pins) per component.
+    let mut drivers: Vec<(CompId, String)> = Vec::new();
+    let mut sinks: Vec<(CompId, String, Point)> = Vec::new();
+    for (ci, comp) in design.components().iter().enumerate() {
+        let Some(master) = comp.master_in(tech) else {
+            continue;
+        };
+        let id = CompId(ci as u32);
+        for pin in master.signal_pins() {
+            match pin.dir {
+                PinDir::Output => drivers.push((id, pin.name.clone())),
+                PinDir::Input | PinDir::Inout => {
+                    sinks.push((id, pin.name.clone(), comp.location));
+                }
+            }
+        }
+    }
+    // Spatial buckets of sinks for locality lookups. Placed designs have
+    // short nets; a ~4 µm window keeps routed wirelength (and congestion)
+    // realistic so Experiment 3's DRC counts reflect pin access, not
+    // router overload.
+    let bucket = 4_000i64;
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (si, &(_, _, loc)) in sinks.iter().enumerate() {
+        grid.entry((loc.x / bucket, loc.y / bucket))
+            .or_default()
+            .push(si);
+    }
+    let mut sink_used = vec![false; sinks.len()];
+
+    // I/O pins spread along the die boundary on metal2/metal3.
+    let m2 = tech.layer_id("metal2");
+    let m3 = tech.layer_id("metal3");
+    let die = design.die_area;
+    let pad = tech.layer_by_name("metal2").map_or(100, |l| l.width * 2);
+    let mut io_indices = Vec::new();
+    for i in 0..cfg.io_pins {
+        let (layer, loc) = match i % 4 {
+            0 => (m2, Point::new(die.xlo(), die.ylo() + (i as i64 + 1) * 3000)),
+            1 => (m2, Point::new(die.xhi(), die.ylo() + (i as i64 + 1) * 3000)),
+            2 => (m3, Point::new(die.xlo() + (i as i64 + 1) * 3000, die.ylo())),
+            _ => (m3, Point::new(die.xlo() + (i as i64 + 1) * 3000, die.yhi())),
+        };
+        let Some(layer) = layer else { continue };
+        let loc = Point::new(
+            loc.x.clamp(die.xlo(), die.xhi()),
+            loc.y.clamp(die.ylo(), die.yhi()),
+        );
+        let name = format!("io{i}");
+        let pin = IoPin::new(
+            name.clone(),
+            name,
+            layer,
+            Rect::new(-pad, -pad, pad, pad),
+            loc,
+            Orient::N,
+        );
+        io_indices.push(design.add_io_pin(pin));
+    }
+
+    // Shuffle drivers deterministically.
+    for i in (1..drivers.len()).rev() {
+        drivers.swap(i, rng.gen_range(0..=i));
+    }
+    let mut io_iter = io_indices.into_iter();
+    let mut net_id = 0usize;
+    for (comp, pin) in drivers.into_iter().take(cfg.nets) {
+        let loc = design.component(comp).location;
+        let mut net = Net::new(format!("n{net_id}"));
+        net.pins.push(NetPin::Comp { comp, pin });
+        // Gather unused sinks near the driver (3×3 bucket window).
+        let fanout = rng.gen_range(1..=3usize);
+        let (bx, by) = (loc.x / bucket, loc.y / bucket);
+        let mut candidates: Vec<usize> = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(v) = grid.get(&(bx + dx, by + dy)) {
+                    candidates.extend(v.iter().copied().filter(|&s| !sink_used[s]));
+                }
+            }
+        }
+        for _ in 0..fanout {
+            if candidates.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(0..candidates.len());
+            let si = candidates.swap_remove(k);
+            if sink_used[si] {
+                continue;
+            }
+            sink_used[si] = true;
+            let (scomp, spin, _) = &sinks[si];
+            if *scomp == comp {
+                continue; // avoid trivial self-loop nets
+            }
+            net.pins.push(NetPin::Comp {
+                comp: *scomp,
+                pin: spin.clone(),
+            });
+        }
+        if net.degree() < 2 {
+            // Attach an I/O pin if available, else drop the net.
+            if let Some(io) = io_iter.next() {
+                net.pins.push(NetPin::Io { index: io });
+            } else {
+                continue;
+            }
+        } else if net_id.is_multiple_of(29) {
+            if let Some(io) = io_iter.next() {
+                net.pins.push(NetPin::Io { index: io });
+            }
+        }
+        design.add_net(net);
+        net_id += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::add_std_cells;
+    use crate::place::{place_design, PlaceConfig};
+    use crate::techs::{make_tech, TechFlavor};
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn world(cells: usize, nets: usize, io: usize) -> (Tech, Design) {
+        let flavor = TechFlavor::N45;
+        let mut tech = make_tech(flavor);
+        add_std_cells(&mut tech, flavor);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut d = place_design(
+            &tech,
+            flavor,
+            &PlaceConfig {
+                cells,
+                macros: 0,
+                utilization: 80,
+            },
+            &mut rng,
+            "t",
+        );
+        build_netlist(
+            &tech,
+            &mut d,
+            &NetlistConfig { nets, io_pins: io },
+            &mut rng,
+        );
+        (tech, d)
+    }
+
+    #[test]
+    fn nets_have_driver_and_sinks() {
+        let (tech, d) = world(300, 250, 20);
+        assert!(d.nets().len() > 150, "{}", d.nets().len());
+        for net in d.nets() {
+            assert!(net.degree() >= 2, "{}", net.name);
+            // Exactly one driver.
+            let drivers = net
+                .comp_pins()
+                .filter(|(c, p)| {
+                    let m = d.component(*c).master_in(&tech).unwrap();
+                    m.pin(p).unwrap().dir == PinDir::Output
+                })
+                .count();
+            assert_eq!(drivers, 1, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn each_pin_in_at_most_one_net() {
+        let (_, d) = world(300, 250, 20);
+        let mut seen: HashSet<(CompId, String)> = HashSet::new();
+        for net in d.nets() {
+            for (c, p) in net.comp_pins() {
+                assert!(seen.insert((c, p.to_owned())), "pin reused: {c} {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn io_pins_on_die_boundary() {
+        let (_, d) = world(200, 150, 12);
+        assert!(!d.io_pins().is_empty());
+        let die = d.die_area;
+        for p in d.io_pins() {
+            let on_edge = p.location.x == die.xlo()
+                || p.location.x == die.xhi()
+                || p.location.y == die.ylo()
+                || p.location.y == die.yhi();
+            assert!(on_edge, "{} at {}", p.name, p.location);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, d1) = world(150, 120, 8);
+        let (_, d2) = world(150, 120, 8);
+        assert_eq!(d1.nets(), d2.nets());
+    }
+}

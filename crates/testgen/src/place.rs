@@ -1,0 +1,284 @@
+//! Row-based placement generator.
+
+use crate::cells::CELL_SPECS;
+use crate::techs::TechFlavor;
+use pao_design::{Component, Design, Row, TrackPattern};
+use pao_geom::{Dir, Orient, Point, Rect};
+use pao_tech::{LayerKind, Tech};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Placement parameters.
+#[derive(Debug, Clone)]
+pub struct PlaceConfig {
+    /// Target number of (non-fill) standard cells.
+    pub cells: usize,
+    /// Number of block macros to drop in (0 for most testcases).
+    pub macros: usize,
+    /// Row utilization in percent (gaps are left empty — they split
+    /// clusters).
+    pub utilization: u32,
+}
+
+/// Creates the die, rows, track patterns and a dense row-based placement.
+///
+/// Cells are drawn from [`CELL_SPECS`] with a bias toward small cells,
+/// packed left to right with occasional gaps (per `utilization`); rows
+/// alternate `N`/`FS` orientation as in real designs. Macros (if any) are
+/// placed in the lower-left region first and rows route around them.
+#[must_use]
+pub fn place_design(
+    tech: &Tech,
+    flavor: TechFlavor,
+    cfg: &PlaceConfig,
+    rng: &mut StdRng,
+    name: &str,
+) -> Design {
+    let p = flavor.params();
+    let row_h = p.row_height;
+
+    // Estimate die size for the requested cell count and utilization.
+    let avg_sites: f64 = CELL_SPECS
+        .iter()
+        .filter(|s| s.output.is_some())
+        .map(|s| f64::from(s.width_sites))
+        .sum::<f64>()
+        / CELL_SPECS.iter().filter(|s| s.output.is_some()).count() as f64;
+    let total_sites = cfg.cells as f64 * avg_sites / (f64::from(cfg.utilization) / 100.0);
+    let aspect = 1.1; // slightly wider than tall, like the paper's dies
+    let rows = ((total_sites * f64::from(p.site_width as u32) / f64::from(row_h as u32) / aspect)
+        .sqrt()
+        .ceil() as i64)
+        .max(2);
+    let sites_per_row = ((total_sites / rows as f64).ceil() as i64).max(20);
+    let die_w = sites_per_row * p.site_width;
+    let die_h = rows * row_h;
+
+    let mut design = Design::new(name, Rect::new(0, 0, die_w, die_h));
+    design.dbu_per_micron = 1000;
+
+    // Track patterns for every routing layer, spanning the die.
+    for (li, layer) in tech.layers().iter().enumerate() {
+        if layer.kind != LayerKind::Routing || layer.pitch == 0 {
+            continue;
+        }
+        let id = pao_tech::LayerId(li as u32);
+        let (extent, dir) = match layer.dir {
+            Dir::Horizontal => (die_h, Dir::Horizontal),
+            Dir::Vertical => (die_w, Dir::Vertical),
+        };
+        let count = ((extent - layer.offset) / layer.pitch + 1).max(1) as u32;
+        design.tracks.push(TrackPattern::new(
+            dir,
+            layer.offset,
+            layer.pitch,
+            count,
+            vec![id],
+        ));
+    }
+
+    // Macros first (lower-left corner, spaced apart).
+    let mut macro_boxes: Vec<Rect> = Vec::new();
+    if cfg.macros > 0 {
+        let ram = tech.macro_by_name("RAM16X4").expect("block macro in tech");
+        for mi in 0..cfg.macros {
+            let x = (mi as i64) * (ram.width + 4 * p.site_width);
+            let y = 0;
+            if x + ram.width > die_w {
+                break;
+            }
+            let comp = Component::new(format!("ram{mi}"), "RAM16X4", Point::new(x, y), Orient::N);
+            let bbox = Rect::new(x, y, x + ram.width, y + ram.height);
+            macro_boxes.push(bbox.expanded(p.site_width));
+            let mut comp = comp;
+            comp.is_fixed = true;
+            design.add_component(comp);
+        }
+    }
+
+    // Rows and standard cells. Multi-height cells (height_rows > 1) are
+    // placed at even rows in N orientation (so their internal rails match
+    // the row rail pattern) and block the columns of the rows they span.
+    let std_specs: Vec<_> = CELL_SPECS.iter().filter(|s| s.output.is_some()).collect();
+    let mut placed = 0usize;
+    let mut cell_id = 0usize;
+    let mut blocked: Vec<Vec<(i64, i64)>> = vec![Vec::new(); rows as usize];
+    for r in 0..rows {
+        let y = r * row_h;
+        let orient = if r % 2 == 0 { Orient::N } else { Orient::FS };
+        design.rows.push(Row::new(
+            format!("row_{r}"),
+            "core",
+            Point::new(0, y),
+            orient,
+            sites_per_row as u32,
+            p.site_width,
+            row_h,
+        ));
+        if placed >= cfg.cells {
+            continue;
+        }
+        let mut col: i64 = 0;
+        while col < sites_per_row && placed < cfg.cells {
+            // Skip columns blocked by a multi-height cell from below.
+            if let Some(&(_, hi)) = blocked[r as usize]
+                .iter()
+                .find(|&&(lo, hi)| col >= lo && col < hi)
+            {
+                col = hi;
+                continue;
+            }
+            // Occasional gap per utilization.
+            if rng.gen_range(0..100) >= cfg.utilization {
+                col += i64::from(rng.gen_range(1..3u32));
+                continue;
+            }
+            // Small-cell bias: pick two, keep the narrower most of the time.
+            let mut spec = std_specs[rng.gen_range(0..std_specs.len())];
+            let alt = std_specs[rng.gen_range(0..std_specs.len())];
+            if alt.width_sites < spec.width_sites && rng.gen_range(0..100) < 60 {
+                spec = alt;
+            }
+            let w_sites = i64::from(spec.width_sites);
+            let h_rows = i64::from(spec.height_rows);
+            if col + w_sites > sites_per_row {
+                break;
+            }
+            // Multi-height constraints: even row, room above, N orient.
+            if h_rows > 1 && (r % 2 != 0 || r + h_rows > rows || orient != Orient::N) {
+                col += 1;
+                continue;
+            }
+            // The whole span must be clear of blocks in this row too (a
+            // wide cell could start left of a blocked range).
+            if blocked[r as usize]
+                .iter()
+                .any(|&(lo, hi)| lo < col + w_sites && col < hi)
+            {
+                col += 1;
+                continue;
+            }
+            let x = col * p.site_width;
+            let bbox = Rect::new(x, y, x + w_sites * p.site_width, y + h_rows * row_h);
+            if macro_boxes.iter().any(|m| m.overlaps(bbox)) {
+                col += 1;
+                continue;
+            }
+            // Upper rows must be clear of blocks (they cannot yet hold
+            // cells — rows fill bottom-up — but may hold other MH blocks).
+            let clear_above = (1..h_rows).all(|dr| {
+                blocked[(r + dr) as usize]
+                    .iter()
+                    .all(|&(lo, hi)| hi <= col || lo >= col + w_sites)
+            });
+            if !clear_above {
+                col += 1;
+                continue;
+            }
+            for dr in 1..h_rows {
+                blocked[(r + dr) as usize].push((col, col + w_sites));
+            }
+            design.add_component(Component::new(
+                format!("u{cell_id}"),
+                spec.name,
+                Point::new(x, y),
+                orient,
+            ));
+            cell_id += 1;
+            placed += 1;
+            col += w_sites;
+        }
+    }
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{add_block_macro, add_std_cells};
+    use crate::techs::make_tech;
+    use rand::SeedableRng;
+
+    fn world(cells: usize, macros: usize) -> (Tech, Design) {
+        let flavor = TechFlavor::N45;
+        let mut tech = make_tech(flavor);
+        add_std_cells(&mut tech, flavor);
+        if macros > 0 {
+            add_block_macro(&mut tech, flavor);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = PlaceConfig {
+            cells,
+            macros,
+            utilization: 80,
+        };
+        let d = place_design(&tech, flavor, &cfg, &mut rng, "t");
+        (tech, d)
+    }
+
+    #[test]
+    fn places_requested_cell_count() {
+        let (_, d) = world(200, 0);
+        assert_eq!(d.components().len(), 200);
+        assert!(!d.rows.is_empty());
+        assert!(!d.tracks.is_empty());
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let (tech, d) = world(150, 0);
+        let p = TechFlavor::N45.params();
+        let mut boxes: Vec<Rect> = Vec::new();
+        for c in d.components() {
+            assert_eq!(c.location.x % p.site_width, 0, "site-aligned");
+            assert_eq!(c.location.y % p.row_height, 0, "row-aligned");
+            let b = c.bbox(&tech);
+            assert!(d.die_area.contains_rect(b), "inside die");
+            assert!(boxes.iter().all(|o| !o.overlaps(b)), "no overlap");
+            boxes.push(b);
+        }
+    }
+
+    #[test]
+    fn rows_alternate_orientation() {
+        let (_, d) = world(100, 0);
+        assert_eq!(d.rows[0].orient, Orient::N);
+        assert_eq!(d.rows[1].orient, Orient::FS);
+    }
+
+    #[test]
+    fn macros_avoid_cell_overlap() {
+        let (tech, d) = world(300, 2);
+        let rams: Vec<Rect> = d
+            .components()
+            .iter()
+            .filter(|c| c.master == "RAM16X4")
+            .map(|c| c.bbox(&tech))
+            .collect();
+        assert_eq!(rams.len(), 2);
+        for c in d.components().iter().filter(|c| c.master != "RAM16X4") {
+            let b = c.bbox(&tech);
+            assert!(rams.iter().all(|m| !m.overlaps(b)));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (_, d1) = world(120, 0);
+        let (_, d2) = world(120, 0);
+        assert_eq!(d1.components(), d2.components());
+    }
+
+    #[test]
+    fn tracks_cover_every_routing_layer() {
+        let (tech, d) = world(50, 0);
+        let routing = tech.routing_layers();
+        for id in routing {
+            let dir = tech.layer(id).dir;
+            assert!(
+                !d.track_patterns_for(id, dir).is_empty(),
+                "layer {id} lacks tracks"
+            );
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The `ispd18s` synthetic suite — paper Table I at 1/20 scale.
+
+use crate::cells::{add_block_macro, add_std_cells};
+use crate::netlist::{build_netlist, NetlistConfig};
+use crate::place::{place_design, PlaceConfig};
+use crate::techs::{make_tech, TechFlavor};
+use pao_design::Design;
+use pao_tech::Tech;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One testcase of the synthetic suite.
+#[derive(Debug, Clone)]
+pub struct SuiteCase {
+    /// Testcase name, e.g. `"ispd18s_test5"`.
+    pub name: String,
+    /// Technology flavour.
+    pub flavor: TechFlavor,
+    /// Standard-cell count.
+    pub cells: usize,
+    /// Block macro count.
+    pub macros: usize,
+    /// Target net count.
+    pub nets: usize,
+    /// Design I/O pin count.
+    pub io_pins: usize,
+    /// Placement utilization in percent.
+    pub utilization: u32,
+    /// RNG seed (placement + netlist are deterministic in it).
+    pub seed: u64,
+}
+
+impl SuiteCase {
+    /// A tiny fast case for unit tests and doc examples.
+    #[must_use]
+    pub fn small_smoke() -> SuiteCase {
+        SuiteCase {
+            name: "smoke".into(),
+            flavor: TechFlavor::N45,
+            cells: 60,
+            macros: 0,
+            nets: 50,
+            io_pins: 4,
+            utilization: 80,
+            seed: 42,
+        }
+    }
+}
+
+/// The ten `ispd18s` testcases — the paper's Table I rows scaled 1/20 in
+/// cell/net counts, preserving the technology split (45 nm for test1–3,
+/// 32 nm for the rest), the macro placement in test3/7/8, and the
+/// relative testcase sizes.
+#[must_use]
+pub fn ispd18s_suite() -> Vec<SuiteCase> {
+    let mk = |name: &str, flavor, cells, macros, nets, io_pins| SuiteCase {
+        name: name.into(),
+        flavor,
+        cells,
+        macros,
+        nets,
+        io_pins,
+        utilization: 82,
+        seed: 20180000 + name.bytes().map(u64::from).sum::<u64>(),
+    };
+    vec![
+        mk("ispd18s_test1", TechFlavor::N45, 444, 0, 158, 0),
+        mk("ispd18s_test2", TechFlavor::N45, 1796, 0, 1842, 61),
+        mk("ispd18s_test3", TechFlavor::N45, 1799, 1, 1835, 61),
+        mk("ispd18s_test4", TechFlavor::N32A, 3605, 0, 3620, 61),
+        mk("ispd18s_test5", TechFlavor::N32A, 3598, 0, 3620, 61),
+        mk("ispd18s_test6", TechFlavor::N32A, 5396, 0, 5385, 61),
+        mk("ispd18s_test7", TechFlavor::N32B, 8993, 1, 8993, 61),
+        mk("ispd18s_test8", TechFlavor::N32B, 9599, 1, 8993, 61),
+        mk("ispd18s_test9", TechFlavor::N32B, 9646, 0, 8943, 61),
+        mk("ispd18s_test10", TechFlavor::N32B, 14519, 0, 9100, 61),
+    ]
+}
+
+/// The 14 nm AES study case (paper Section IV-B, Fig. 9): 1/7-scale
+/// OpenCores AES on the 14 nm-like flavour.
+#[must_use]
+pub fn aes14_case() -> SuiteCase {
+    SuiteCase {
+        name: "aes14".into(),
+        flavor: TechFlavor::N14,
+        cells: 2857,
+        macros: 0,
+        nets: 2900,
+        io_pins: 45,
+        utilization: 85,
+        seed: 14_000_000,
+    }
+}
+
+/// Generates a testcase: the technology (layers, vias, site, cell library,
+/// macros when needed) and the placed design with netlist.
+#[must_use]
+pub fn generate(case: &SuiteCase) -> (Tech, Design) {
+    let mut tech = make_tech(case.flavor);
+    add_std_cells(&mut tech, case.flavor);
+    if case.macros > 0 {
+        add_block_macro(&mut tech, case.flavor);
+    }
+    let mut rng = StdRng::seed_from_u64(case.seed);
+    let mut design = place_design(
+        &tech,
+        case.flavor,
+        &PlaceConfig {
+            cells: case.cells,
+            macros: case.macros,
+            utilization: case.utilization,
+        },
+        &mut rng,
+        &case.name,
+    );
+    build_netlist(
+        &tech,
+        &mut design,
+        &NetlistConfig {
+            nets: case.nets,
+            io_pins: case.io_pins,
+        },
+        &mut rng,
+    );
+    (tech, design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_cases_matching_paper_shape() {
+        let suite = ispd18s_suite();
+        assert_eq!(suite.len(), 10);
+        // 45 nm for tests 1–3, 32 nm beyond (paper Table I).
+        assert_eq!(suite[0].flavor, TechFlavor::N45);
+        assert_eq!(suite[2].flavor, TechFlavor::N45);
+        assert_eq!(suite[3].flavor, TechFlavor::N32A);
+        assert_eq!(suite[9].flavor, TechFlavor::N32B);
+        // Macros only in tests 3, 7, 8.
+        let with_macros: Vec<&str> = suite
+            .iter()
+            .filter(|c| c.macros > 0)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(
+            with_macros,
+            vec!["ispd18s_test3", "ispd18s_test7", "ispd18s_test8"]
+        );
+        // Sizes ascend overall (test10 largest).
+        assert!(suite[9].cells > suite[0].cells * 20);
+    }
+
+    #[test]
+    fn smoke_case_generates() {
+        let (tech, design) = generate(&SuiteCase::small_smoke());
+        assert_eq!(design.components().len(), 60);
+        assert!(design.nets().len() >= 30, "{}", design.nets().len());
+        assert!(design.connected_pin_count() >= 80);
+        assert!(tech.macro_by_name("INVX1").is_some());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let case = SuiteCase::small_smoke();
+        let (_, d1) = generate(&case);
+        let (_, d2) = generate(&case);
+        assert_eq!(d1.components(), d2.components());
+        assert_eq!(d1.nets(), d2.nets());
+    }
+
+    #[test]
+    fn lef_def_roundtrip() {
+        let case = SuiteCase::small_smoke();
+        let (tech, design) = generate(&case);
+        let lef = pao_tech::lef::write_lef(&tech);
+        let tech2 = pao_tech::lef::parse_lef(&lef).unwrap();
+        assert_eq!(tech.layers(), tech2.layers());
+        assert_eq!(tech.vias(), tech2.vias());
+        let def = pao_design::def::write_def(&design, &tech);
+        let design2 = pao_design::def::parse_def(&def, &tech2).unwrap();
+        assert_eq!(design.components(), design2.components());
+        assert_eq!(design.nets(), design2.nets());
+        assert_eq!(design.tracks, design2.tracks);
+    }
+
+    #[test]
+    fn aes14_uses_14nm_flavour() {
+        let case = aes14_case();
+        assert_eq!(case.flavor, TechFlavor::N14);
+        assert_eq!(case.cells, 2857);
+    }
+}

@@ -1,0 +1,374 @@
+//! Parametric technology flavours.
+
+use pao_geom::{Dbu, Dir, Rect};
+use pao_tech::rules::{EolRule, MinStepRule, SpacingTable};
+use pao_tech::{Layer, Site, Tech, ViaDef};
+
+/// The technology flavours used by the synthetic suite (paper Table I:
+/// 45 nm for test1–3, 32 nm for test4–10, plus the 14 nm AES study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechFlavor {
+    /// 45 nm-like: relaxed pitches, few unique instances.
+    N45,
+    /// 32 nm-like with pitches incommensurate to the row height — many
+    /// unique instances (tests 4–6).
+    N32A,
+    /// 32 nm-like with mostly commensurate pitches — few unique
+    /// instances (tests 7–10).
+    N32B,
+    /// 14 nm-like: pin width well below enclosure needs, track phases
+    /// misaligned with pin centers — off-track access required.
+    N14,
+}
+
+/// The parameters a flavour expands to (all DBU, 1000 per micron).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TechParams {
+    /// Flavour these parameters came from.
+    pub flavor: TechFlavor,
+    /// M1 (horizontal) track pitch.
+    pub m1_pitch: Dbu,
+    /// M1 track offset.
+    pub m1_offset: Dbu,
+    /// M2 (vertical) track pitch.
+    pub m2_pitch: Dbu,
+    /// M2 track offset.
+    pub m2_offset: Dbu,
+    /// Routing wire width (all layers).
+    pub width: Dbu,
+    /// Simple metal spacing.
+    pub spacing: Dbu,
+    /// Min-step length (`MAXEDGES 0` semantics).
+    pub min_step: Dbu,
+    /// Cut size of the default (wide) via.
+    pub cut_wide: Dbu,
+    /// Cut size of the alternate (bar) via.
+    pub cut_bar: Dbu,
+    /// Cut-to-cut spacing.
+    pub cut_spacing: Dbu,
+    /// Default via bottom enclosure half-extent along the wire.
+    pub enc_long: Dbu,
+    /// Bar-via bottom enclosure half-extent along the pin bar.
+    pub bar_long: Dbu,
+    /// Placement site width.
+    pub site_width: Dbu,
+    /// Row (and standard-cell) height. Deliberately incommensurate with
+    /// the M1 pitch in [`TechFlavor::N32A`] so track phases cycle over
+    /// rows, multiplying unique instances.
+    pub row_height: Dbu,
+    /// Number of routing layers in the stack.
+    pub num_routing_layers: u32,
+}
+
+impl TechFlavor {
+    /// Expands the flavour to concrete parameters.
+    #[must_use]
+    pub fn params(self) -> TechParams {
+        match self {
+            TechFlavor::N45 => TechParams {
+                flavor: self,
+                m1_pitch: 280,
+                m1_offset: 140,
+                m2_pitch: 400,
+                m2_offset: 200,
+                width: 120,
+                spacing: 120,
+                min_step: 80,
+                cut_wide: 110,
+                cut_bar: 100,
+                cut_spacing: 280,
+                enc_long: 130,
+                bar_long: 120,
+                site_width: 360,
+                row_height: 2800,
+                num_routing_layers: 9,
+            },
+            TechFlavor::N32A => TechParams {
+                flavor: self,
+                // Row height (9 × 200 = 1800) is NOT a multiple of the M1
+                // pitch 190 → y phases cycle over rows → many unique
+                // instances (paper tests 4–6).
+                m1_pitch: 190,
+                m1_offset: 95,
+                m2_pitch: 320,
+                m2_offset: 160,
+                width: 100,
+                spacing: 100,
+                min_step: 70,
+                cut_wide: 90,
+                cut_bar: 80,
+                cut_spacing: 230,
+                enc_long: 110,
+                bar_long: 100,
+                site_width: 300,
+                row_height: 1800,
+                num_routing_layers: 9,
+            },
+            TechFlavor::N32B => TechParams {
+                flavor: self,
+                m1_pitch: 200,
+                m1_offset: 100,
+                m2_pitch: 240,
+                m2_offset: 120,
+                width: 100,
+                spacing: 100,
+                min_step: 70,
+                cut_wide: 90,
+                cut_bar: 80,
+                cut_spacing: 230,
+                enc_long: 110,
+                bar_long: 100,
+                site_width: 300,
+                row_height: 1800,
+                num_routing_layers: 9,
+            },
+            TechFlavor::N14 => TechParams {
+                flavor: self,
+                m1_pitch: 130,
+                m1_offset: 65,
+                m2_pitch: 140,
+                m2_offset: 70,
+                width: 60,
+                spacing: 70,
+                min_step: 50,
+                cut_wide: 55,
+                cut_bar: 50,
+                cut_spacing: 105,
+                enc_long: 75,
+                bar_long: 80,
+                site_width: 130,
+                row_height: 1300,
+                num_routing_layers: 9,
+            },
+        }
+    }
+
+    /// The row height in DBU.
+    #[must_use]
+    pub fn row_height(self) -> Dbu {
+        self.params().row_height
+    }
+}
+
+/// Builds the technology for a flavour: the routing/cut layer stack with
+/// rules, two via definitions per cut layer (the wide default via and the
+/// bar via), and the core site. Cell masters are added separately by
+/// [`cells`](crate::cells).
+#[must_use]
+pub fn make_tech(flavor: TechFlavor) -> Tech {
+    let p = flavor.params();
+    let mut tech = Tech::new(1000);
+    tech.manufacturing_grid = 5;
+
+    let mut routing_ids = Vec::new();
+    let mut cut_ids = Vec::new();
+    for i in 0..p.num_routing_layers {
+        if i > 0 {
+            let cut = Layer::cut(format!("via{i}"), p.cut_wide, p.cut_spacing);
+            cut_ids.push(tech.add_layer(cut));
+        }
+        let horizontal = i % 2 == 0;
+        let (dir, pitch, offset) = if horizontal {
+            (Dir::Horizontal, p.m1_pitch, p.m1_offset)
+        } else {
+            (Dir::Vertical, p.m2_pitch, p.m2_offset)
+        };
+        let mut layer = Layer::routing(format!("metal{}", i + 1), dir, pitch, p.width, p.spacing);
+        layer.offset = offset;
+        layer.min_step = Some(MinStepRule::simple(p.min_step));
+        layer.min_area = i128::from(p.width) * i128::from(p.width) * 3;
+        layer.spacing_table = Some(SpacingTable::new(
+            vec![0, p.width * 2],
+            vec![0, p.m1_pitch * 2],
+            vec![
+                vec![p.spacing, p.spacing],
+                vec![p.spacing, p.spacing + p.width / 2],
+            ],
+        ));
+        layer.eol_rules.push(EolRule {
+            space: p.spacing + p.width / 4,
+            eol_width: p.width - 10,
+            within: p.spacing / 4,
+        });
+        routing_ids.push(tech.add_layer(layer));
+    }
+
+    for (i, &cut) in cut_ids.iter().enumerate() {
+        let bot = routing_ids[i];
+        let top = routing_ids[i + 1];
+        // The wide default via: enclosure elongated along the *bottom*
+        // layer's preferred direction.
+        let bottom_horizontal = i % 2 == 0;
+        let hw = p.cut_wide / 2;
+        let (bx, by) = if bottom_horizontal {
+            (p.enc_long, p.width / 2)
+        } else {
+            (p.width / 2, p.enc_long)
+        };
+        let (tx, ty) = if bottom_horizontal {
+            (p.width / 2, p.enc_long)
+        } else {
+            (p.enc_long, p.width / 2)
+        };
+        let mut wide = ViaDef::new(
+            format!("via{}_0", i + 1),
+            bot,
+            vec![Rect::new(-bx, -by, bx, by)],
+            cut,
+            vec![Rect::new(-hw, -hw, hw, hw)],
+            top,
+            vec![Rect::new(-tx, -ty, tx, ty)],
+        );
+        wide.is_default = true;
+        tech.add_via(wide);
+        // The bar via: enclosure elongated along the bottom layer's
+        // NON-preferred direction — nests inside a pin bar of wire width.
+        let hb = p.cut_bar / 2;
+        let (bx, by) = if bottom_horizontal {
+            (p.width / 2, p.bar_long)
+        } else {
+            (p.bar_long, p.width / 2)
+        };
+        let (tx, ty) = if bottom_horizontal {
+            (p.width / 2, p.bar_long)
+        } else {
+            (p.bar_long, p.width / 2)
+        };
+        let bar = ViaDef::new(
+            format!("via{}_1", i + 1),
+            bot,
+            vec![Rect::new(-bx, -by, bx, by)],
+            cut,
+            vec![Rect::new(-hb, -hb, hb, hb)],
+            top,
+            vec![Rect::new(-tx, -ty, tx, ty)],
+        );
+        tech.add_via(bar);
+    }
+
+    tech.add_site(Site::new("core", p.site_width, flavor.row_height()));
+    tech
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_tech::LayerKind;
+
+    #[test]
+    fn stacks_have_nine_routing_layers() {
+        for flavor in [
+            TechFlavor::N45,
+            TechFlavor::N32A,
+            TechFlavor::N32B,
+            TechFlavor::N14,
+        ] {
+            let t = make_tech(flavor);
+            let routing = t
+                .layers()
+                .iter()
+                .filter(|l| l.kind == LayerKind::Routing)
+                .count();
+            let cuts = t
+                .layers()
+                .iter()
+                .filter(|l| l.kind == LayerKind::Cut)
+                .count();
+            assert_eq!(routing, 9, "{flavor:?}");
+            assert_eq!(cuts, 8, "{flavor:?}");
+            assert_eq!(t.vias().len(), 16, "{flavor:?}");
+            assert_eq!(t.sites().len(), 1);
+        }
+    }
+
+    #[test]
+    fn directions_alternate() {
+        let t = make_tech(TechFlavor::N45);
+        let m1 = t.layer_by_name("metal1").unwrap();
+        let m2 = t.layer_by_name("metal2").unwrap();
+        let m3 = t.layer_by_name("metal3").unwrap();
+        assert_eq!(m1.dir, Dir::Horizontal);
+        assert_eq!(m2.dir, Dir::Vertical);
+        assert_eq!(m3.dir, Dir::Horizontal);
+    }
+
+    #[test]
+    fn vias_enclose_their_cuts() {
+        for flavor in [
+            TechFlavor::N45,
+            TechFlavor::N32A,
+            TechFlavor::N32B,
+            TechFlavor::N14,
+        ] {
+            let t = make_tech(flavor);
+            for via in t.vias() {
+                let cut = via.cut_bbox();
+                assert!(
+                    via.bottom_bbox().contains_rect(cut),
+                    "{flavor:?} {}: bottom does not enclose cut",
+                    via.name
+                );
+                assert!(
+                    via.top_bbox().contains_rect(cut),
+                    "{flavor:?} {}: top does not enclose cut",
+                    via.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_vias_first_per_layer() {
+        let t = make_tech(TechFlavor::N32A);
+        let m1 = t.layer_id("metal1").unwrap();
+        let ups = t.up_vias_from(m1);
+        assert_eq!(ups.len(), 2);
+        assert!(t.via(ups[0]).is_default);
+        assert!(!t.via(ups[1]).is_default);
+    }
+
+    #[test]
+    fn row_height_matches_tracks() {
+        assert_eq!(TechFlavor::N45.row_height(), 2800);
+        // N32A: 1800 is NOT a multiple of the 190 pitch — by design.
+        assert_eq!(
+            TechFlavor::N32A.row_height() % TechFlavor::N32A.params().m1_pitch,
+            90
+        );
+        assert_eq!(TechFlavor::N32B.row_height(), 1800);
+    }
+
+    #[test]
+    fn wide_via_wings_violate_min_step_on_bars() {
+        // The engineered contrast: the default via's bottom enclosure
+        // overhangs a wire-width pin bar by (enc_long − width/2) per side,
+        // and that overhang is below min_step → Fig. 3 dirty.
+        for flavor in [TechFlavor::N45, TechFlavor::N32A, TechFlavor::N14] {
+            let p = flavor.params();
+            let overhang = p.enc_long - p.width / 2;
+            assert!(overhang < p.min_step, "{flavor:?}");
+            assert!(overhang > 0, "{flavor:?}");
+        }
+    }
+
+    #[test]
+    fn same_track_adjacent_site_cuts_conflict() {
+        // Cut-to-cut gap at one site pitch must violate cut spacing so the
+        // pattern DP has real work to do.
+        for flavor in [TechFlavor::N45, TechFlavor::N32A, TechFlavor::N32B] {
+            let p = flavor.params();
+            let gap = p.site_width - p.cut_wide;
+            assert!(
+                gap < p.cut_spacing,
+                "{flavor:?}: same-row vias must conflict"
+            );
+            // …but one track apart diagonally must be clean.
+            let dy = p.m1_pitch - p.cut_wide;
+            let d2 = i128::from(gap) * i128::from(gap) + i128::from(dy) * i128::from(dy);
+            assert!(
+                d2 >= i128::from(p.cut_spacing) * i128::from(p.cut_spacing),
+                "{flavor:?}: diagonal vias must be clean"
+            );
+        }
+    }
+}

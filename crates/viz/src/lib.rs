@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! SVG rendering of layouts, pins, access points and DRC markers.
+//!
+//! Regenerates the paper's qualitative figures: pin access close-ups with
+//! DRC markers (Fig. 8) and standard-cell pin access overviews (Fig. 9).
+//!
+//! ```
+//! use pao_viz::svg::SvgDoc;
+//! use pao_geom::Rect;
+//!
+//! let mut doc = SvgDoc::new(Rect::new(0, 0, 1000, 1000));
+//! doc.rect(Rect::new(100, 100, 400, 200), "#4c72b0", 0.8, None);
+//! let text = doc.finish();
+//! assert!(text.starts_with("<svg"));
+//! ```
+
+pub mod layout;
+pub mod svg;
+
+pub use layout::{render_cell_access, render_window, RenderOptions};
+pub use svg::SvgDoc;

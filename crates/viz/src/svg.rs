@@ -1,0 +1,173 @@
+//! A minimal SVG document builder.
+
+use pao_geom::{Point, Rect};
+use std::fmt::Write as _;
+
+/// An SVG document over a layout-space viewport.
+///
+/// Layout coordinates are y-up; the builder flips them so the rendered
+/// image matches the usual die orientation. One layout DBU maps to one SVG
+/// unit (scale in the viewer).
+#[derive(Debug)]
+pub struct SvgDoc {
+    window: Rect,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Creates a document showing `window` (layout coordinates).
+    #[must_use]
+    pub fn new(window: Rect) -> SvgDoc {
+        SvgDoc {
+            window,
+            body: String::new(),
+        }
+    }
+
+    fn flip_y(&self, y: i64) -> i64 {
+        // Map layout y (y-up, window-relative) into viewBox y (y-down,
+        // starting at 0): the window's top edge becomes 0.
+        self.window.yhi() - y
+    }
+
+    /// Adds a filled rectangle; `stroke` adds an outline when given.
+    pub fn rect(&mut self, r: Rect, fill: &str, opacity: f64, stroke: Option<&str>) {
+        let y = self.flip_y(r.yhi());
+        let stroke_attr = stroke.map_or(String::new(), |s| {
+            format!(
+                r#" stroke="{s}" stroke-width="{}""#,
+                (r.min_side() / 20).max(2)
+            )
+        });
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" fill-opacity="{:.2}"{}/>"#,
+            r.xlo(),
+            y,
+            r.width().max(1),
+            r.height().max(1),
+            fill,
+            opacity,
+            stroke_attr
+        );
+    }
+
+    /// Adds a dashed outline rectangle (the DRC marker style of Fig. 8).
+    pub fn marker(&mut self, r: Rect, color: &str, dash: i64) {
+        let y = self.flip_y(r.yhi());
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="none" stroke="{color}" stroke-width="{}" stroke-dasharray="{dash},{dash}"/>"#,
+            r.xlo(),
+            y,
+            r.width().max(1),
+            r.height().max(1),
+            dash.max(2),
+        );
+    }
+
+    /// Adds a line.
+    pub fn line(&mut self, a: Point, b: Point, color: &str, width: i64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{color}" stroke-width="{width}"/>"#,
+            a.x,
+            self.flip_y(a.y),
+            b.x,
+            self.flip_y(b.y),
+        );
+    }
+
+    /// Adds a circle marker (access points).
+    pub fn circle(&mut self, c: Point, r: i64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{r}" fill="{fill}"/>"#,
+            c.x,
+            self.flip_y(c.y),
+        );
+    }
+
+    /// Adds a text label.
+    pub fn text(&mut self, at: Point, size: i64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{size}" font-family="monospace">{escaped}</text>"#,
+            at.x,
+            self.flip_y(at.y),
+        );
+    }
+
+    /// Serializes the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{} {} {} {}\" width=\"900\">\n<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#ffffff\"/>\n{}</svg>\n",
+            self.window.xlo(),
+            0,
+            self.window.width(),
+            self.window.height(),
+            self.window.xlo(),
+            0,
+            self.window.width(),
+            self.window.height(),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(Rect::new(0, 0, 100, 100));
+        doc.rect(Rect::new(10, 10, 30, 20), "#ff0000", 1.0, None);
+        doc.marker(Rect::new(0, 0, 50, 50), "#aa0000", 4);
+        doc.line(Point::new(0, 0), Point::new(100, 100), "#000", 1);
+        doc.circle(Point::new(50, 50), 3, "#00ff00");
+        doc.text(Point::new(5, 95), 10, "pin <A>");
+        let s = doc.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<rect").count(), 3); // background + fill + marker
+        assert!(s.contains("stroke-dasharray"));
+        assert!(s.contains("pin &lt;A&gt;"));
+    }
+
+    #[test]
+    fn y_axis_flips() {
+        let mut doc = SvgDoc::new(Rect::new(0, 0, 100, 100));
+        // A rect at the layout top must render near SVG y=0.
+        doc.rect(Rect::new(0, 90, 10, 100), "#000", 1.0, None);
+        let s = doc.finish();
+        assert!(
+            s.contains(r#"<rect x="0" y="0" width="10" height="10""#),
+            "{s}"
+        );
+    }
+}
+// (regression test for windows not anchored at y = 0)
+#[cfg(test)]
+mod flip_tests {
+    use super::*;
+
+    #[test]
+    fn high_window_content_lands_in_viewbox() {
+        let win = Rect::new(9_000, 80_000, 17_000, 88_000);
+        let mut doc = SvgDoc::new(win);
+        // A rect at the window's top-left corner renders at viewBox (x, 0).
+        doc.rect(Rect::new(9_000, 87_000, 10_000, 88_000), "#000", 1.0, None);
+        let s = doc.finish();
+        assert!(s.contains(r#"<rect x="9000" y="0" width="1000" height="1000""#), "{s}");
+        // And one at the bottom edge renders at y = h - height.
+        let mut doc = SvgDoc::new(win);
+        doc.rect(Rect::new(9_000, 80_000, 10_000, 81_000), "#000", 1.0, None);
+        assert!(doc.finish().contains(r#"y="7000""#));
+    }
+}

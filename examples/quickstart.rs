@@ -1,0 +1,54 @@
+//! Quickstart: generate a small benchmark, run the pin access oracle and
+//! inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paaf::design::CompId;
+use paaf::pao::PinAccessOracle;
+use paaf::testgen::{generate, SuiteCase};
+
+fn main() {
+    // 1. A placed design. Real flows parse LEF/DEF here:
+    //    `pao_tech::lef::parse_lef(...)` + `pao_design::def::parse_def(...)`.
+    //    The synthetic generator gives us a self-contained workload.
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    println!(
+        "design `{}`: {} components, {} nets, {} connected pins",
+        design.name,
+        design.components().len(),
+        design.nets().len(),
+        design.connected_pin_count()
+    );
+
+    // 2. Run the three-step PAAF analysis with the paper's defaults
+    //    (k = 3 access points per pin, α = 0.3, up to 3 BCA-diverse
+    //    patterns per unique instance).
+    let oracle = PinAccessOracle::new();
+    let result = oracle.analyze(&tech, &design);
+    println!("\n{}\n", result.stats);
+
+    // 3. Query access for a specific pin of a specific instance.
+    let comp = CompId(0);
+    let inst = design.component(comp);
+    let master = inst.master_in(&tech).expect("known master");
+    for (pin_idx, pin) in master.pins.iter().enumerate() {
+        if pin.use_.is_supply() {
+            continue;
+        }
+        match result.access_point(&design, comp, pin_idx) {
+            Some(ap) => {
+                let via = ap
+                    .primary_via()
+                    .map(|v| tech.via(v).name.clone())
+                    .unwrap_or_else(|| "planar".to_owned());
+                println!(
+                    "{}/{:4}  access at {}  [{} x {}]  via {}",
+                    inst.name, pin.name, ap.pos, ap.nonpref_type, ap.pref_type, via
+                );
+            }
+            None => println!("{}/{} has NO access (failed pin)", inst.name, pin.name),
+        }
+    }
+}

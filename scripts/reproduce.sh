@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full reproduction: build, test, regenerate every table/figure, run benches.
+# Total wall time is dominated by Experiment 3 (full routing of
+# ispd18s_test5) and the Criterion benches; use `tables -- all --fast` for
+# a CI-sized pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== tables and figures (out/) =="
+cargo run --release -p pao-bench --bin tables -- all
+
+echo "== figure examples =="
+cargo run --release --example coordinate_types
+cargo run --release --example routed_def
+
+echo "== criterion benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "Done. See out/, test_output.txt, bench_output.txt, EXPERIMENTS.md."

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the PAAF workspace.
+pub use pao_core as pao;
+pub use pao_design as design;
+pub use pao_drc as drc;
+pub use pao_geom as geom;
+pub use pao_router as router;
+pub use pao_tech as tech;
+pub use pao_testgen as testgen;
+pub use pao_viz as viz;

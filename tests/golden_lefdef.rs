@@ -1,0 +1,173 @@
+//! Robustness: parse "foreign-style" LEF/DEF with constructs our writer
+//! never emits (comments, PROPERTYDEFINITIONS, VIAS/SPECIALNETS sections,
+//! unusual whitespace) — the shapes real files throw at a parser.
+
+use paaf::design::def;
+use paaf::tech::lef;
+
+const FOREIGN_LEF: &str = r#"
+# Foreign LEF with header noise and exotic statements
+VERSION 5.8 ;
+NAMESCASESENSITIVE ON ;
+BUSBITCHARS "[]" ;
+DIVIDERCHAR "/" ;
+UNITS
+  TIME NANOSECONDS 100 ;
+  DATABASE MICRONS 2000 ;
+END UNITS
+MANUFACTURINGGRID 0.005 ;
+PROPERTYDEFINITIONS
+  MACRO stuff STRING ;
+END PROPERTYDEFINITIONS
+LAYER poly TYPE MASTERSLICE ; END poly
+LAYER M1
+  TYPE ROUTING ; DIRECTION HORIZONTAL ;
+  PITCH 0.19 ; OFFSET 0.095 ; WIDTH 0.06 ;
+  SPACING 0.06 ;
+  THICKNESS 0.13 ; RESISTANCE RPERSQ 0.38 ; CAPACITANCE CPERSQDIST 7.7e-05 ;
+END M1
+LAYER V1 TYPE CUT ; WIDTH 0.05 ; SPACING 0.08 ; END V1
+LAYER M2
+  TYPE ROUTING ; DIRECTION VERTICAL ; PITCH 0.2 ; WIDTH 0.06 ; SPACING 0.06 ;
+END M2
+VIA via1_foreign DEFAULT
+  LAYER M1 ; RECT -0.065 -0.035 0.065 0.035 ;
+  LAYER V1 ; RECT -0.025 -0.025 0.025 0.025 ;
+  LAYER M2 ; RECT -0.035 -0.065 0.035 0.065 ;
+END via1_foreign
+SITE unit CLASS CORE ; SYMMETRY Y ; SIZE 0.19 BY 1.4 ; END unit
+MACRO WEIRD_CELL
+  CLASS CORE ;
+  FOREIGN WEIRD_CELL 0 0 ;
+  ORIGIN 0 0 ;
+  SIZE 0.57 BY 1.4 ;
+  SYMMETRY X Y ;
+  SITE unit ;
+  PIN A
+    DIRECTION INPUT ; USE SIGNAL ; SHAPE ABUTMENT ;
+    ANTENNAGATEAREA 0.04 ;
+    PORT
+      CLASS NONE ;
+      LAYER M1 ;
+        RECT 0.05 0.2 0.12 0.6 ;
+    END
+  END A
+  PIN VDD
+    DIRECTION INOUT ; USE POWER ;
+    PORT LAYER M1 ; RECT 0 1.35 0.57 1.45 ; END
+  END VDD
+END WEIRD_CELL
+END LIBRARY
+"#;
+
+const FOREIGN_DEF: &str = r#"
+###############################################
+# Foreign DEF
+###############################################
+VERSION 5.8 ;
+DIVIDERCHAR "/" ;
+BUSBITCHARS "[]" ;
+DESIGN weird_top ;
+TECHNOLOGY tech ;
+UNITS DISTANCE MICRONS 2000 ;
+PROPERTYDEFINITIONS
+  DESIGN x STRING ;
+END PROPERTYDEFINITIONS
+DIEAREA ( 0 0 ) ( 11400 2800 ) ;
+ROW r0 unit 0 0 N DO 30 BY 1 STEP 380 0 ;
+TRACKS Y 140 DO 10 STEP 280 LAYER M1 ;
+TRACKS X 190 DO 29 STEP 400 LAYER M2 ;
+GCELLGRID X 0 DO 4 STEP 3000 ;
+GCELLGRID Y 0 DO 2 STEP 1500 ;
+VIAS 1 ;
+ - custom_via + VIARULE vr + CUTSIZE 50 50 ;
+END VIAS
+COMPONENTS 2 ;
+ - u0 WEIRD_CELL + SOURCE DIST + PLACED ( 0 0 ) N
+   + PROPERTY stuff "hello" ;
+ - u1 WEIRD_CELL + FIXED ( 1140 0 ) N ;
+END COMPONENTS
+PINS 1 ;
+ - in[0] + NET in[0] + DIRECTION INPUT + USE SIGNAL
+   + LAYER M2 ( -35 -35 ) ( 35 35 ) + PLACED ( 0 1400 ) N ;
+END PINS
+SPECIALNETS 1 ;
+ - VDD ( * VDD ) + USE POWER ;
+END SPECIALNETS
+NETS 2 ;
+ - n0 ( u0 A ) ( PIN in[0] ) + USE SIGNAL ;
+ - n1 ( u1 A )
+   + ROUTED M2 ( 1230 140 ) ( 1230 1400 )
+     NEW M1 ( 1230 1400 ) ( 2000 1400 )
+   ;
+END NETS
+END DESIGN
+"#;
+
+#[test]
+fn foreign_lef_parses() {
+    let tech = lef::parse_lef(FOREIGN_LEF).expect("foreign LEF parses");
+    assert_eq!(tech.dbu_per_micron, 2000);
+    // MASTERSLICE poly is kept as a non-routing layer.
+    assert!(tech.layer_by_name("poly").unwrap().is_cut());
+    assert_eq!(tech.routing_layers().len(), 2);
+    let via = tech.via(tech.via_id("via1_foreign").unwrap());
+    assert!(via.is_default);
+    let cell = tech.macro_by_name("WEIRD_CELL").unwrap();
+    assert_eq!(cell.signal_pins().count(), 1);
+    assert_eq!(cell.pins.len(), 2);
+    assert_eq!(cell.width, 1140);
+}
+
+#[test]
+fn foreign_def_parses() {
+    let tech = lef::parse_lef(FOREIGN_LEF).expect("LEF parses");
+    let design = def::parse_def(FOREIGN_DEF, &tech).expect("foreign DEF parses");
+    assert_eq!(design.name, "weird_top");
+    assert_eq!(design.components().len(), 2);
+    assert!(
+        design
+            .component(design.component_by_name("u1").unwrap())
+            .is_fixed
+    );
+    assert_eq!(design.io_pins().len(), 1);
+    assert_eq!(design.io_pins()[0].name, "in[0]");
+    assert_eq!(design.nets().len(), 2);
+    // The pre-routed net still resolves its terminal.
+    let n1 = design.net(design.net_by_name("n1").unwrap());
+    assert_eq!(n1.comp_pins().count(), 1);
+    assert_eq!(design.rows.len(), 1);
+    assert_eq!(design.tracks.len(), 2);
+}
+
+#[test]
+fn full_analysis_on_foreign_files() {
+    let tech = lef::parse_lef(FOREIGN_LEF).expect("LEF parses");
+    let design = def::parse_def(FOREIGN_DEF, &tech).expect("DEF parses");
+    let result = paaf::pao::PinAccessOracle::new().analyze(&tech, &design);
+    // u0 at x=0 and u1 at x=1140 have different phases against the M2
+    // track pattern (pitch 400) → two unique instances.
+    assert_eq!(result.stats.unique_instances, 2);
+    assert!(result.stats.total_aps > 0);
+    assert_eq!(result.stats.pins_without_aps, 0);
+}
+
+#[test]
+fn unplaced_components_are_skipped_by_analysis() {
+    let tech = lef::parse_lef(FOREIGN_LEF).expect("LEF parses");
+    let src = FOREIGN_DEF.replace(
+        "- u1 WEIRD_CELL + FIXED ( 1140 0 ) N ;",
+        "- u1 WEIRD_CELL + UNPLACED ;",
+    );
+    let design = def::parse_def(&src, &tech).expect("DEF parses");
+    let u1 = design.component(design.component_by_name("u1").unwrap());
+    assert!(!u1.is_placed);
+    // Only u0 gets analyzed.
+    let result = paaf::pao::PinAccessOracle::new().analyze(&tech, &design);
+    assert_eq!(result.stats.unique_instances, 1);
+    // Round-trip keeps the UNPLACED marker.
+    let text = def::write_def(&design, &tech);
+    assert!(text.contains("+ UNPLACED ;"));
+    let again = def::parse_def(&text, &tech).expect("re-parses");
+    assert!(!again.component(again.component_by_name("u1").unwrap()).is_placed);
+}

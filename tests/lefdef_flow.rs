@@ -1,0 +1,60 @@
+//! Integration: the full text-format flow — generate, write LEF/DEF,
+//! re-parse, and verify the analysis is identical on both copies.
+
+use paaf::design::def;
+use paaf::pao::PinAccessOracle;
+use paaf::tech::lef;
+use paaf::testgen::{generate, SuiteCase};
+
+#[test]
+fn analysis_identical_after_lefdef_roundtrip() {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+
+    let lef_text = lef::write_lef(&tech);
+    let def_text = def::write_def(&design, &tech);
+    let tech2 = lef::parse_lef(&lef_text).expect("LEF parses");
+    let design2 = def::parse_def(&def_text, &tech2).expect("DEF parses");
+
+    let r1 = PinAccessOracle::new().analyze(&tech, &design);
+    let r2 = PinAccessOracle::new().analyze(&tech2, &design2);
+
+    assert_eq!(r1.stats.unique_instances, r2.stats.unique_instances);
+    assert_eq!(r1.stats.total_aps, r2.stats.total_aps);
+    assert_eq!(r1.stats.failed_pins, r2.stats.failed_pins);
+    // Identical selected access points for every connected pin.
+    for net in design.nets() {
+        for (comp, pin_name) in net.comp_pins() {
+            let master = design.component(comp).master_in(&tech).unwrap();
+            let pi = master.pins.iter().position(|p| p.name == pin_name).unwrap();
+            let a = r1.access_point(&design, comp, pi).map(|a| a.pos);
+            let b = r2.access_point(&design2, comp, pi).map(|a| a.pos);
+            assert_eq!(a, b, "{comp} {pin_name}");
+        }
+    }
+}
+
+#[test]
+fn def_text_references_resolve() {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    let def_text = def::write_def(&design, &tech);
+    // Every component master named in the DEF exists in the tech.
+    let design2 = def::parse_def(&def_text, &tech).expect("DEF parses");
+    for c in design2.components() {
+        assert!(tech.macro_by_name(&c.master).is_some(), "{}", c.master);
+    }
+    // Every net terminal resolves to a pin of its master.
+    for net in design2.nets() {
+        for (comp, pin) in net.comp_pins() {
+            let m = design2.component(comp).master_in(&tech).unwrap();
+            assert!(m.pin(pin).is_some(), "{} {pin}", m.name);
+        }
+    }
+}
+
+#[test]
+fn lef_parser_rejects_garbage_gracefully() {
+    assert!(lef::parse_lef("LAYER M1 TYPE ROUTING ; WIDTH banana ; END M1").is_err());
+    // An empty file is a valid (empty) library.
+    let t = lef::parse_lef("").expect("empty LEF ok");
+    assert!(t.layers().is_empty());
+}

@@ -1,0 +1,88 @@
+//! Integration: multi-height cell support (the paper's future-work item
+//! (i), implemented here).
+
+use paaf::pao::PinAccessOracle;
+use paaf::testgen::{generate, SuiteCase, TechFlavor};
+
+fn world() -> (paaf::tech::Tech, paaf::design::Design) {
+    // A case large enough that the double-height flop gets placed.
+    generate(&SuiteCase {
+        name: "mh".into(),
+        flavor: TechFlavor::N45,
+        cells: 250,
+        macros: 0,
+        nets: 200,
+        io_pins: 8,
+        utilization: 85,
+        seed: 1234,
+    })
+}
+
+#[test]
+fn double_height_cells_are_placed_and_legal() {
+    let (tech, design) = world();
+    let mh: Vec<_> = design
+        .components()
+        .iter()
+        .filter(|c| c.master == "DFFX2MH")
+        .collect();
+    assert!(!mh.is_empty(), "workload should place double-height flops");
+    let row_h = TechFlavor::N45.row_height();
+    for c in mh {
+        // Even-row placement, N orientation, double height.
+        assert_eq!(c.location.y % row_h, 0);
+        assert_eq!((c.location.y / row_h) % 2, 0, "{}", c.name);
+        assert_eq!(c.orient, pao_geom::Orient::N);
+        assert_eq!(c.bbox(&tech).height(), 2 * row_h);
+    }
+    // No overlaps with any other component.
+    let boxes: Vec<_> = design.components().iter().map(|c| c.bbox(&tech)).collect();
+    for i in 0..boxes.len() {
+        for j in (i + 1)..boxes.len() {
+            assert!(
+                !boxes[i].overlaps(boxes[j]),
+                "{} overlaps {}",
+                design.components()[i].name,
+                design.components()[j].name
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_height_pins_get_clean_access() {
+    let (tech, design) = world();
+    let result = PinAccessOracle::new().analyze(&tech, &design);
+    assert_eq!(result.stats.failed_pins, 0, "{}", result.stats);
+    // Every connected pin of every double-height flop resolves.
+    for net in design.nets() {
+        for (comp, pin_name) in net.comp_pins() {
+            if design.component(comp).master != "DFFX2MH" {
+                continue;
+            }
+            let master = design.component(comp).master_in(&tech).unwrap();
+            let pi = master.pins.iter().position(|p| p.name == pin_name).unwrap();
+            let ap = result
+                .access_point(&design, comp, pi)
+                .unwrap_or_else(|| panic!("MH pin {pin_name} of {comp} failed"));
+            // The AP is on the pin (which may sit in the upper row half).
+            let shapes = design.placed_pin_shapes(&tech, comp);
+            assert!(shapes
+                .iter()
+                .any(|&(p, _, r)| p == pi && r.contains(ap.pos)));
+        }
+    }
+}
+
+#[test]
+fn multi_height_masters_have_alternating_rails() {
+    let (tech, _) = world();
+    let m = tech.macro_by_name("DFFX2MH").expect("double-height flop");
+    let rails: Vec<_> = m.pins.iter().filter(|p| p.use_.is_supply()).collect();
+    assert_eq!(rails.len(), 3, "one rail per row boundary");
+    let grounds = rails
+        .iter()
+        .filter(|p| p.use_ == paaf::tech::PinUse::Ground)
+        .count();
+    assert_eq!(grounds, 2, "VSS-VDD-VSS pattern");
+}

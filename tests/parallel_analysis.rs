@@ -1,0 +1,28 @@
+//! Integration: multi-threaded analysis produces bit-identical results to
+//! the single-threaded (paper measurement) mode.
+
+use paaf::pao::{PaoConfig, PinAccessOracle};
+use paaf::testgen::{generate, SuiteCase};
+
+#[test]
+fn threaded_analysis_matches_single_threaded() {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    let single = PinAccessOracle::new().analyze(&tech, &design);
+    let cfg = PaoConfig {
+        threads: 4,
+        ..PaoConfig::default()
+    };
+    let multi = PinAccessOracle::with_config(cfg).analyze(&tech, &design);
+
+    assert_eq!(single.stats.unique_instances, multi.stats.unique_instances);
+    assert_eq!(single.stats.total_aps, multi.stats.total_aps);
+    assert_eq!(single.stats.dirty_aps, multi.stats.dirty_aps);
+    assert_eq!(single.stats.failed_pins, multi.stats.failed_pins);
+    assert_eq!(single.selection, multi.selection);
+    for (a, b) in single.unique.iter().zip(&multi.unique) {
+        assert_eq!(a.info, b.info);
+        assert_eq!(a.pin_aps, b.pin_aps);
+        assert_eq!(a.pin_order, b.pin_order);
+        assert_eq!(a.patterns, b.patterns);
+    }
+}

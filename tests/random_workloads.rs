@@ -1,0 +1,71 @@
+//! Randomized end-to-end guarantee: on any generated workload (any
+//! flavour, size, seed, utilization), the full PAAF flow leaves zero
+//! failed pins and every selected access point sits on its pin.
+
+use paaf::pao::PinAccessOracle;
+use paaf::testgen::{generate, SuiteCase, TechFlavor};
+use proptest::prelude::*;
+
+fn arb_case() -> impl Strategy<Value = SuiteCase> {
+    (
+        prop::sample::select(vec![
+            TechFlavor::N45,
+            TechFlavor::N32A,
+            TechFlavor::N32B,
+            TechFlavor::N14,
+        ]),
+        20usize..90,
+        0usize..2,
+        60u32..95,
+        any::<u64>(),
+    )
+        .prop_map(|(flavor, cells, macros, utilization, seed)| SuiteCase {
+            name: format!("rnd{seed}"),
+            flavor,
+            cells,
+            macros,
+            nets: cells,
+            io_pins: 4,
+            utilization,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 4,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn paaf_never_fails_pins_on_generated_workloads(case in arb_case()) {
+        let (tech, design) = generate(&case);
+        let result = PinAccessOracle::new().analyze(&tech, &design);
+        prop_assert_eq!(
+            result.stats.failed_pins, 0,
+            "case {:?}: {}", case, result.stats
+        );
+        prop_assert_eq!(result.stats.dirty_aps, 0);
+        prop_assert_eq!(result.stats.pins_without_aps, 0);
+        // Selected access points are on their pins.
+        for net in design.nets() {
+            for (comp, pin_name) in net.comp_pins() {
+                let master = design.component(comp).master_in(&tech).expect("master");
+                let pi = master
+                    .pins
+                    .iter()
+                    .position(|p| p.name == pin_name)
+                    .expect("pin");
+                let ap = result
+                    .access_point(&design, comp, pi)
+                    .expect("access point exists");
+                let on_pin = design
+                    .placed_pin_shapes(&tech, comp)
+                    .iter()
+                    .any(|&(p, _, r)| p == pi && r.contains(ap.pos));
+                prop_assert!(on_pin, "case {:?}: AP off pin {comp}/{pin_name}", case);
+            }
+        }
+    }
+}
