@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 8] = [
+const VALUE_OPTS: [&str; 9] = [
     "--threads",
     "--k",
     "--report",
@@ -20,6 +20,7 @@ const VALUE_OPTS: [&str; 8] = [
     "--def",
     "--out",
     "--cache",
+    "--case",
 ];
 
 impl Args {
@@ -101,6 +102,9 @@ mod tests {
         assert_eq!(a.value("--threads"), Some("4"));
         assert_eq!(a.value("--report"), Some("out.txt"));
         assert_eq!(a.value("--k"), None);
+        let b = parse("bench --case ispd18s_test2 --out bench.json");
+        assert_eq!(b.value("--case"), Some("ispd18s_test2"));
+        assert!(b.positional(1).is_err());
     }
 
     #[test]

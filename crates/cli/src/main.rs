@@ -7,6 +7,8 @@
 //! pao drc     <tech.lef> <design.def>
 //! pao gen     <case> --lef FILE --def FILE      (case: ispd18s_test1..10,
 //!                                                aes14, smoke, or `list`)
+//! pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
+//!             [--out FILE]
 //! ```
 
 use pao_core::{PaoConfig, PinAccessOracle};
@@ -218,15 +220,119 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One run's phase timings + executor telemetry as a JSON object (no
+/// external JSON dependency — the schema is flat and fixed).
+fn stats_json(stats: &pao_core::PaoStats) -> String {
+    let exec = |r: &pao_core::ExecReport| {
+        format!(
+            "{{\"threads\": {}, \"busy_s\": {:.6}}}",
+            r.threads.max(1),
+            r.total_busy_us() as f64 / 1e6
+        )
+    };
+    format!(
+        concat!(
+            "{{\"apgen_s\": {:.6}, \"pattern_s\": {:.6}, \"cluster_s\": {:.6}, ",
+            "\"total_s\": {:.6}, \"failed_pins\": {}, \"total_aps\": {}, ",
+            "\"exec\": {{\"apgen\": {}, \"pattern\": {}, \"select\": {}, ",
+            "\"repair\": {}, \"audit\": {}}}}}"
+        ),
+        stats.apgen_time.as_secs_f64(),
+        stats.pattern_time.as_secs_f64(),
+        stats.cluster_time.as_secs_f64(),
+        stats.total_time().as_secs_f64(),
+        stats.failed_pins,
+        stats.total_aps,
+        exec(&stats.apgen_exec),
+        exec(&stats.pattern_exec),
+        exec(&stats.cluster_exec),
+        exec(&stats.repair_exec),
+        exec(&stats.audit_exec),
+    )
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    // Workload: either an explicit LEF/DEF pair or a generated case.
+    let (tech, design, workload) = match (args.positional(1), args.positional(2)) {
+        (Ok(lef), Ok(def)) => {
+            let (t, d) = load_world(lef, def)?;
+            (t, d, def.to_owned())
+        }
+        _ => {
+            let name = args.value("--case").unwrap_or("smoke");
+            let case = if name == "smoke" {
+                pao_testgen::SuiteCase::small_smoke()
+            } else if name == "aes14" {
+                pao_testgen::aes14_case()
+            } else {
+                pao_testgen::ispd18s_suite()
+                    .into_iter()
+                    .find(|c| c.name == name)
+                    .ok_or_else(|| format!("unknown case `{name}` (try `pao gen list`)"))?
+            };
+            let (t, d) = pao_testgen::generate(&case);
+            (t, d, case.name)
+        }
+    };
+    let threads = match args.value("--threads") {
+        Some(t) => t
+            .parse()
+            .map_err(|_| "--threads expects a number".to_owned())?,
+        None => pao_core::default_threads(),
+    };
+    let analyze = |threads: usize| {
+        let cfg = PaoConfig {
+            threads,
+            ..PaoConfig::default()
+        };
+        PinAccessOracle::with_config(cfg).analyze(&tech, &design)
+    };
+    eprintln!("benchmarking `{workload}`: baseline (1 thread) …");
+    let baseline = analyze(1);
+    eprintln!("benchmarking `{workload}`: parallel ({threads} threads) …");
+    let parallel = analyze(threads);
+    if !baseline.stats.counters_eq(&parallel.stats) {
+        return Err("parallel run diverged from single-threaded baseline".to_owned());
+    }
+    let speedup =
+        baseline.stats.total_time().as_secs_f64() / parallel.stats.total_time().as_secs_f64();
+    let json = format!(
+        concat!(
+            "{{\n  \"workload\": \"{}\",\n  \"components\": {},\n  \"nets\": {},\n",
+            "  \"threads\": {},\n  \"baseline\": {},\n  \"parallel\": {},\n",
+            "  \"speedup\": {:.3},\n  \"identical_output\": true\n}}\n"
+        ),
+        workload,
+        design.components().len(),
+        design.nets().len(),
+        threads,
+        stats_json(&baseline.stats),
+        stats_json(&parallel.stats),
+        speedup,
+    );
+    let out = args.value("--out").unwrap_or("BENCH_pao.json");
+    std::fs::write(out, &json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!("speedup {speedup:.2}x -> {out}");
+    Ok(())
+}
+
 const USAGE: &str = "\
 pao — pin access oracle for detailed routing
 
 USAGE:
   pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
-              [--report FILE] [--svg INSTANCE:FILE]
+              [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
   pao route   <tech.lef> <design.def> [--naive] [--report FILE]
   pao drc     <tech.lef> <design.def>
   pao gen     <case|list> --lef FILE --def FILE
+  pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
+              [--out FILE]
+
+  analyze runs all compute phases on every available core by default;
+  --threads 1 reproduces the paper's single-threaded measurement mode
+  (output is identical for every thread count). bench times a
+  single-threaded baseline against a parallel run and writes the JSON
+  comparison (default BENCH_pao.json).
 ";
 
 fn main() -> ExitCode {
@@ -236,6 +342,7 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args),
         Some("drc") => cmd_drc(&args),
         Some("gen") => cmd_gen(&args),
+        Some("bench") => cmd_bench(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);

@@ -3,10 +3,10 @@
 use crate::coord::CoordType;
 use crate::unique::local_pin_owner;
 use pao_design::Design;
-use pao_drc::{DrcEngine, ShapeSet};
+use pao_drc::{DrcEngine, Owner, ShapeSet};
 use pao_geom::{max_rects, Dbu, Dir, Point, Rect};
 use pao_tech::{LayerId, Tech, ViaId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A planar (same-layer) escape direction stored on an access point.
@@ -136,7 +136,8 @@ fn coord_span(rect: Rect, track_dir: Dir) -> (Dbu, Dbu) {
 /// the **upper layer's preferred-direction tracks**, so on-track up-vias
 /// align with both layers. Falls back to same-layer patterns when the
 /// upper layer has none.
-fn governing_coords(
+#[allow(clippy::too_many_arguments)]
+fn governing_coords_into(
     tech: &Tech,
     design: &Design,
     layer: LayerId,
@@ -144,7 +145,8 @@ fn governing_coords(
     half: bool,
     lo: Dbu,
     hi: Dbu,
-) -> Vec<Dbu> {
+    out: &mut Vec<Dbu>,
+) {
     let mut pats: Vec<&pao_design::TrackPattern> = design.track_patterns_for(layer, track_dir);
     if tech.layer(layer).dir != track_dir {
         // Non-preferred coordinate: prefer the upper routing layer's
@@ -156,48 +158,53 @@ fn governing_coords(
             }
         }
     }
-    let mut coords: Vec<Dbu> = pats
-        .iter()
-        .flat_map(|p| {
-            if half {
-                p.half_track_coords_in(lo, hi)
-            } else {
-                p.coords_in(lo, hi)
-            }
-        })
-        .collect();
-    coords.sort_unstable();
-    coords.dedup();
-    coords
+    for p in pats {
+        out.extend(if half {
+            p.half_track_coords_in(lo, hi)
+        } else {
+            p.coords_in(lo, hi)
+        });
+    }
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Candidate coordinates of one type within a pin rectangle's span, for
-/// governing tracks of wire direction `track_dir`.
-fn candidate_coords(
+/// governing tracks of wire direction `track_dir`, written into the
+/// reused buffer `out` (cleared first).
+#[allow(clippy::too_many_arguments)]
+fn candidate_coords_into(
     tech: &Tech,
     design: &Design,
     layer: LayerId,
     track_dir: Dir,
     ty: CoordType,
     rect: Rect,
-) -> Vec<Dbu> {
+    up_vias: &[ViaId],
+    out: &mut Vec<Dbu>,
+) {
+    out.clear();
     let (lo, hi) = coord_span(rect, track_dir);
     match ty {
-        CoordType::OnTrack => governing_coords(tech, design, layer, track_dir, false, lo, hi),
-        CoordType::HalfTrack => governing_coords(tech, design, layer, track_dir, true, lo, hi),
+        CoordType::OnTrack => {
+            governing_coords_into(tech, design, layer, track_dir, false, lo, hi, out);
+        }
+        CoordType::HalfTrack => {
+            governing_coords_into(tech, design, layer, track_dir, true, lo, hi, out);
+        }
         CoordType::ShapeCenter => {
             // Paper: skip shape-center when the span touches at least two
             // tracks, to reduce unique off-track coordinates.
-            if governing_coords(tech, design, layer, track_dir, false, lo, hi).len() >= 2 {
-                Vec::new()
-            } else {
-                vec![lo + (hi - lo) / 2]
+            governing_coords_into(tech, design, layer, track_dir, false, lo, hi, out);
+            let on_track = out.len();
+            out.clear();
+            if on_track < 2 {
+                out.push(lo + (hi - lo) / 2);
             }
         }
         CoordType::EnclosureBoundary => {
             // Align the via's bottom enclosure with the shape boundary.
-            let mut out = Vec::new();
-            for &vid in &tech.up_vias_from(layer) {
+            for &vid in up_vias {
                 let bb = tech.via(vid).bottom_bbox();
                 let (blo, bhi) = coord_span(bb, track_dir);
                 for c in [lo - blo, hi - bhi] {
@@ -208,8 +215,66 @@ fn candidate_coords(
             }
             out.sort_unstable();
             out.dedup();
-            out
         }
+    }
+}
+
+/// Reusable scratch state for Algorithm 1, shared across the pins of one
+/// instance context.
+///
+/// The hot loop of access point generation probes the same
+/// `(via, position, owner)` placements repeatedly — once per candidate in
+/// [`generate_pin_access_points_scratch`] and again in the oracle's
+/// dirty-AP audit — and allocates coordinate/via/direction buffers per
+/// candidate. `ApScratch` memoizes the via probes and recycles the
+/// buffers, cutting per-candidate allocation to (amortized) zero.
+///
+/// Memoized results are only valid against one DRC context: call
+/// [`reset`](ApScratch::reset) before switching to a different instance.
+#[derive(Debug, Default)]
+pub struct ApScratch {
+    /// Positions already enumerated for the current pin (cleared per pin).
+    seen: HashSet<(LayerId, Point)>,
+    /// Memoized `check_via_placement(..).is_empty()` per placement
+    /// (persists across the pins of one instance context).
+    via_memo: HashMap<(ViaId, Point, Owner), bool>,
+    vias_buf: Vec<ViaId>,
+    planar_buf: Vec<PlanarDir>,
+    pref_coords: Vec<Dbu>,
+    nonpref_coords: Vec<Dbu>,
+}
+
+impl ApScratch {
+    /// Creates empty scratch state.
+    #[must_use]
+    pub fn new() -> ApScratch {
+        ApScratch::default()
+    }
+
+    /// Memoized via-placement probe: `true` when `via` drops DRC-clean at
+    /// `pos` for `owner` in `ctx`. The first probe per placement runs the
+    /// engine; repeats are table lookups.
+    pub fn via_clean(
+        &mut self,
+        tech: &Tech,
+        engine: &DrcEngine<'_>,
+        ctx: &ShapeSet,
+        via: ViaId,
+        pos: Point,
+        owner: Owner,
+    ) -> bool {
+        *self.via_memo.entry((via, pos, owner)).or_insert_with(|| {
+            engine
+                .check_via_placement(tech.via(via), pos, owner, ctx)
+                .is_empty()
+        })
+    }
+
+    /// Forgets memoized results. Required whenever the DRC context the
+    /// probes ran against changes (a different instance, edited shapes).
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        self.via_memo.clear();
     }
 }
 
@@ -239,36 +304,39 @@ fn validate_point(
     pref_type: CoordType,
     nonpref_type: CoordType,
     cfg: &ApGenConfig,
+    up_vias: &[ViaId],
+    scratch: &mut ApScratch,
 ) -> Option<AccessPoint> {
     let owner = local_pin_owner(pin_idx);
-    let mut vias = Vec::new();
-    for &vid in &tech.up_vias_from(layer) {
-        let via = tech.via(vid);
-        if engine.check_via_placement(via, pos, owner, ctx).is_empty() {
-            vias.push(vid);
+    scratch.vias_buf.clear();
+    for &vid in up_vias {
+        if scratch.via_clean(tech, engine, ctx, vid, pos, owner) {
+            scratch.vias_buf.push(vid);
         }
     }
     let l = tech.layer(layer);
     let len = l.pitch.max(l.width) * cfg.planar_pitches;
-    let mut planar = Vec::new();
+    scratch.planar_buf.clear();
     for dir in PlanarDir::ALL {
         let probe = planar_probe(pos, dir, l.width, len);
         if engine.check_shape(layer, probe, owner, ctx).is_empty() {
-            planar.push(dir);
+            scratch.planar_buf.push(dir);
         }
     }
     let valid = if cfg.require_via {
-        !vias.is_empty()
+        !scratch.vias_buf.is_empty()
     } else {
-        !vias.is_empty() || !planar.is_empty()
+        !scratch.vias_buf.is_empty() || !scratch.planar_buf.is_empty()
     };
-    valid.then_some(AccessPoint {
+    // Owned vectors materialize only for valid points; rejected
+    // candidates (the vast majority) allocate nothing.
+    valid.then(|| AccessPoint {
         pos,
         layer,
         pref_type,
         nonpref_type,
-        vias,
-        planar,
+        vias: scratch.vias_buf.clone(),
+        planar: scratch.planar_buf.clone(),
     })
 }
 
@@ -293,8 +361,37 @@ pub fn generate_pin_access_points(
     pin_rects: &[(LayerId, Rect)],
     cfg: &ApGenConfig,
 ) -> Vec<AccessPoint> {
+    let mut scratch = ApScratch::new();
+    generate_pin_access_points_scratch(
+        tech,
+        design,
+        engine,
+        ctx,
+        pin_idx,
+        pin_rects,
+        cfg,
+        &mut scratch,
+    )
+}
+
+/// [`generate_pin_access_points`] with caller-owned [`ApScratch`],
+/// letting one instance context's pins share buffers and memoized via
+/// probes. The caller must [`reset`](ApScratch::reset) the scratch when
+/// switching contexts.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn generate_pin_access_points_scratch(
+    tech: &Tech,
+    design: &Design,
+    engine: &DrcEngine<'_>,
+    ctx: &ShapeSet,
+    pin_idx: usize,
+    pin_rects: &[(LayerId, Rect)],
+    cfg: &ApGenConfig,
+    scratch: &mut ApScratch,
+) -> Vec<AccessPoint> {
     let mut aps: Vec<AccessPoint> = Vec::new();
-    let mut seen: HashSet<(LayerId, Point)> = HashSet::new();
+    scratch.seen.clear();
 
     // Group rects per routing layer and take maximal rectangles (the
     // paper's treatment of polygonal pins).
@@ -302,7 +399,12 @@ pub fn generate_pin_access_points(
     layers.sort_unstable();
     layers.dedup();
 
-    for layer in layers {
+    // Coordinate buffers are threaded through the candidate loops by
+    // value so `scratch` stays borrowable for the via memo.
+    let mut pref_coords = std::mem::take(&mut scratch.pref_coords);
+    let mut nonpref_coords = std::mem::take(&mut scratch.nonpref_coords);
+
+    'layers: for layer in layers {
         if !tech.layer(layer).is_routing() {
             continue;
         }
@@ -312,6 +414,7 @@ pub fn generate_pin_access_points(
             .map(|&(_, r)| r)
             .collect();
         let maxes = max_rects(&rects);
+        let up_vias = tech.up_vias_from(layer);
         let pref = tech.layer(layer).dir; // wires run this way
                                           // The preferred-direction coordinate is governed by this layer's
                                           // own tracks (a horizontal layer's track coordinate is y); the
@@ -323,10 +426,26 @@ pub fn generate_pin_access_points(
         for &t_nonpref in &cfg.nonpref_types {
             for &t_pref in &cfg.pref_types {
                 for &rect in &maxes {
-                    let pref_coords =
-                        candidate_coords(tech, design, layer, pref_track_dir, t_pref, rect);
-                    let nonpref_coords =
-                        candidate_coords(tech, design, layer, nonpref_track_dir, t_nonpref, rect);
+                    candidate_coords_into(
+                        tech,
+                        design,
+                        layer,
+                        pref_track_dir,
+                        t_pref,
+                        rect,
+                        &up_vias,
+                        &mut pref_coords,
+                    );
+                    candidate_coords_into(
+                        tech,
+                        design,
+                        layer,
+                        nonpref_track_dir,
+                        t_nonpref,
+                        rect,
+                        &up_vias,
+                        &mut nonpref_coords,
+                    );
                     for &pc in &pref_coords {
                         for &nc in &nonpref_coords {
                             let pos = match pref {
@@ -334,11 +453,12 @@ pub fn generate_pin_access_points(
                                 Dir::Horizontal => Point::new(nc, pc),
                                 Dir::Vertical => Point::new(pc, nc),
                             };
-                            if !seen.insert((layer, pos)) {
+                            if !scratch.seen.insert((layer, pos)) {
                                 continue;
                             }
                             if let Some(ap) = validate_point(
                                 tech, engine, ctx, pin_idx, layer, pos, t_pref, t_nonpref, cfg,
+                                &up_vias, scratch,
                             ) {
                                 aps.push(ap);
                             }
@@ -346,11 +466,13 @@ pub fn generate_pin_access_points(
                     }
                 }
                 if aps.len() >= cfg.k {
-                    return aps;
+                    break 'layers;
                 }
             }
         }
     }
+    scratch.pref_coords = pref_coords;
+    scratch.nonpref_coords = nonpref_coords;
     aps
 }
 
@@ -583,8 +705,10 @@ mod vertical_layer_tests {
         let mut d = pao_design::Design::new("v", Rect::new(0, 0, 10_000, 10_000));
         // Vertical M2 tracks at x = 100, 300, … and horizontal M3 tracks
         // (governing the non-preferred y coordinate) at y = 100, 300, …
-        d.tracks.push(TrackPattern::new(Dir::Vertical, 100, 200, 40, vec![m2]));
-        d.tracks.push(TrackPattern::new(Dir::Horizontal, 100, 200, 40, vec![m3]));
+        d.tracks
+            .push(TrackPattern::new(Dir::Vertical, 100, 200, 40, vec![m2]));
+        d.tracks
+            .push(TrackPattern::new(Dir::Horizontal, 100, 200, 40, vec![m3]));
 
         // A horizontal pin bar on M2 crossing several vertical tracks.
         let pin = Rect::new(60, 100, 540, 700);

@@ -3,12 +3,14 @@
 
 use crate::cost::DRC_COST;
 use crate::oracle::UniqueInstanceAccess;
+use crate::parallel::{parallel_map_report, ExecReport};
 use crate::pattern::aps_compatible;
 use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
 use pao_drc::DrcEngine;
 use pao_geom::{Dbu, Point, Rect};
 use pao_tech::Tech;
+use std::collections::HashMap;
 
 /// A maximal gap-free run of placed instances in one row, ordered left to
 /// right. Pattern compatibility is only enforced *within* a cluster; the
@@ -159,126 +161,228 @@ pub fn select_patterns(
     comp_uniq: &[Option<UniqueInstanceId>],
     uniq: &[UniqueInstanceAccess],
 ) -> Vec<Option<usize>> {
-    let mut selection: Vec<Option<usize>> = vec![None; design.components().len()];
-    let mut pinned: Vec<bool> = vec![false; design.components().len()];
+    select_patterns_threaded(tech, engine, design, comp_uniq, uniq, 1).0
+}
+
+/// [`select_patterns`] with a self-scheduling worker pool.
+///
+/// Clusters only interact through shared components (a multi-height cell
+/// appears in one cluster per covered row, and the later cluster must
+/// honor the earlier cluster's assignment). Clusters are therefore grouped
+/// into connected components over shared members; groups are mutually
+/// independent and solved in parallel, while the clusters *within* a group
+/// run sequentially in their original order. Each group records its
+/// assignments in a local overlay merged afterwards, so the output is
+/// bit-identical to the sequential pass for every thread count.
+#[must_use]
+pub fn select_patterns_threaded(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    design: &Design,
+    comp_uniq: &[Option<UniqueInstanceId>],
+    uniq: &[UniqueInstanceAccess],
+    threads: usize,
+) -> (Vec<Option<usize>>, ExecReport) {
     // Default: best (first) pattern everywhere; the cluster DP refines.
-    for (ci, cu) in comp_uniq.iter().enumerate() {
-        if let Some(ui) = cu {
-            if !uniq[ui.index()].patterns.is_empty() {
-                selection[ci] = Some(0);
+    let defaults: Vec<Option<usize>> = comp_uniq
+        .iter()
+        .map(|cu| {
+            cu.filter(|ui| !uniq[ui.index()].patterns.is_empty())
+                .map(|_| 0)
+        })
+        .collect();
+    let reach = conflict_reach(tech);
+    let clusters = build_clusters(tech, design);
+    let groups = group_clusters(&clusters, design.components().len());
+
+    let (clusters, defaults) = (&clusters, &defaults);
+    let (locals, report) = parallel_map_report(threads, groups, |group| {
+        // Overlay: component index -> final assignment; presence = pinned.
+        let mut local: HashMap<usize, Option<usize>> = HashMap::new();
+        for &cl in &group {
+            solve_cluster(
+                tech,
+                engine,
+                design,
+                comp_uniq,
+                uniq,
+                reach,
+                &clusters[cl],
+                defaults,
+                &mut local,
+            );
+        }
+        local
+    });
+
+    let mut selection = defaults.clone();
+    for local in locals {
+        for (ci, sel) in local {
+            selection[ci] = sel;
+        }
+    }
+    (selection, report)
+}
+
+/// Partitions cluster indices into connected components over shared
+/// members (multi-height cells), preserving the original cluster order
+/// within every group.
+fn group_clusters(clusters: &[Cluster], n_comps: usize) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..clusters.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]]; // path halving
+            i = parent[i];
+        }
+        i
+    }
+    let mut first_cluster: Vec<Option<usize>> = vec![None; n_comps];
+    for (cl, cluster) in clusters.iter().enumerate() {
+        for c in &cluster.comps {
+            match first_cluster[c.index()] {
+                Some(other) => {
+                    let (a, b) = (find(&mut parent, cl), find(&mut parent, other));
+                    // Root at the smaller index so group order is stable.
+                    parent[a.max(b)] = a.min(b);
+                }
+                None => first_cluster[c.index()] = Some(cl),
             }
         }
     }
-    let reach = conflict_reach(tech);
+    let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+    for cl in 0..clusters.len() {
+        let root = find(&mut parent, cl);
+        by_root.entry(root).or_default().push(cl);
+    }
+    let mut groups: Vec<(usize, Vec<usize>)> = by_root.into_iter().collect();
+    groups.sort_unstable_by_key(|&(root, _)| root);
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Runs the Algorithm 2 DP on one cluster against the group-local overlay
+/// (`local`): components present in `local` are pinned to that value,
+/// everything else defaults to `defaults`.
+#[allow(clippy::too_many_arguments)]
+fn solve_cluster(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    design: &Design,
+    comp_uniq: &[Option<UniqueInstanceId>],
+    uniq: &[UniqueInstanceAccess],
+    reach: Dbu,
+    cluster: &Cluster,
+    defaults: &[Option<usize>],
+    local: &mut HashMap<usize, Option<usize>>,
+) {
     let offset_of = |comp: CompId, u: &UniqueInstanceAccess| -> Point {
         design.component(comp).location - design.component(u.info.rep).location
     };
-
-    for cluster in build_clusters(tech, design) {
-        let members: Vec<CompId> = cluster
-            .comps
-            .iter()
-            .copied()
-            .filter(|c| {
-                comp_uniq[c.index()]
-                    .map(|ui| !uniq[ui.index()].patterns.is_empty())
-                    .unwrap_or(false)
-            })
-            .collect();
-        if members.len() < 2 {
-            for &m in &members {
-                pinned[m.index()] = true;
-            }
-            continue;
+    let members: Vec<CompId> = cluster
+        .comps
+        .iter()
+        .copied()
+        .filter(|c| {
+            comp_uniq[c.index()]
+                .map(|ui| !uniq[ui.index()].patterns.is_empty())
+                .unwrap_or(false)
+        })
+        .collect();
+    if members.len() < 2 {
+        for &m in &members {
+            // Pin to the current assignment (earlier cluster's choice if
+            // any, else the default).
+            local.entry(m.index()).or_insert(defaults[m.index()]);
         }
-        // dp[i][p]: min cost selecting pattern p for member i.
-        let mut dp: Vec<Vec<(i64, usize)>> = members
-            .iter()
-            .map(|c| {
-                let u = &uniq[comp_uniq[c.index()]
-                    .expect("members are filtered to analyzed components")
-                    .index()];
-                vec![(i64::MAX, usize::MAX); u.patterns.len()]
-            })
-            .collect();
-        let allowed = |ci: CompId, p: usize| -> bool {
-            !pinned[ci.index()] || selection[ci.index()] == Some(p)
-        };
-        {
-            let u = &uniq[comp_uniq[members[0].index()]
+        return;
+    }
+    // dp[i][p]: min cost selecting pattern p for member i.
+    let mut dp: Vec<Vec<(i64, usize)>> = members
+        .iter()
+        .map(|c| {
+            let u = &uniq[comp_uniq[c.index()]
                 .expect("members are filtered to analyzed components")
                 .index()];
-            for (p, cell) in dp[0].iter_mut().enumerate() {
-                if allowed(members[0], p) {
-                    cell.0 = u.patterns[p].cost;
-                }
-            }
+            vec![(i64::MAX, usize::MAX); u.patterns.len()]
+        })
+        .collect();
+    let allowed = |ci: CompId, p: usize| -> bool {
+        match local.get(&ci.index()) {
+            Some(&sel) => sel == Some(p),
+            None => true,
         }
-        for i in 1..members.len() {
-            let (lcomp, rcomp) = (members[i - 1], members[i]);
-            let lu = &uniq[comp_uniq[lcomp.index()]
-                .expect("members are filtered to analyzed components")
-                .index()];
-            let ru = &uniq[comp_uniq[rcomp.index()]
-                .expect("members are filtered to analyzed components")
-                .index()];
-            let loff = offset_of(lcomp, lu);
-            let roff = offset_of(rcomp, ru);
-            // The shared boundary: left instance's right edge.
-            let lmaster = design
-                .component(lcomp)
-                .master_in(tech)
-                .expect("known master");
-            let boundary = design.component(lcomp).location.x + lmaster.width;
-            let (head, tail) = dp.split_at_mut(i);
-            let prev = &head[i - 1];
-            for (q, cell) in tail[0].iter_mut().enumerate() {
-                if !allowed(rcomp, q) {
-                    continue;
-                }
-                let raps = near_boundary_aps(ru, q, roff, boundary, reach);
-                for (p, &(pcost, _)) in prev.iter().enumerate() {
-                    if pcost == i64::MAX {
-                        continue;
-                    }
-                    let laps = near_boundary_aps(lu, p, loff, boundary, reach);
-                    let clean = laps.iter().all(|(la, lo)| {
-                        raps.iter()
-                            .all(|(ra, ro)| aps_compatible(tech, engine, la, *lo, ra, *ro))
-                    });
-                    let edge = if clean { 0 } else { DRC_COST };
-                    let cost = pcost
-                        .saturating_add(edge)
-                        .saturating_add(ru.patterns[q].cost);
-                    if cost < cell.0 {
-                        *cell = (cost, p);
-                    }
-                }
-            }
-        }
-        // Traceback.
-        let last = dp.last().expect("cluster has members");
-        let Some((mut best_p, _)) = last
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.0 < i64::MAX)
-            .min_by_key(|(_, c)| c.0)
-        else {
-            // Over-constrained (pinned members conflict): keep defaults.
-            for &m in &members {
-                pinned[m.index()] = true;
-            }
-            continue;
-        };
-        for i in (0..members.len()).rev() {
-            selection[members[i].index()] = Some(best_p);
-            pinned[members[i].index()] = true;
-            if i > 0 {
-                best_p = dp[i][best_p].1;
+    };
+    {
+        let u = &uniq[comp_uniq[members[0].index()]
+            .expect("members are filtered to analyzed components")
+            .index()];
+        for (p, cell) in dp[0].iter_mut().enumerate() {
+            if allowed(members[0], p) {
+                cell.0 = u.patterns[p].cost;
             }
         }
     }
-    selection
+    for i in 1..members.len() {
+        let (lcomp, rcomp) = (members[i - 1], members[i]);
+        let lu = &uniq[comp_uniq[lcomp.index()]
+            .expect("members are filtered to analyzed components")
+            .index()];
+        let ru = &uniq[comp_uniq[rcomp.index()]
+            .expect("members are filtered to analyzed components")
+            .index()];
+        let loff = offset_of(lcomp, lu);
+        let roff = offset_of(rcomp, ru);
+        // The shared boundary: left instance's right edge.
+        let lmaster = design
+            .component(lcomp)
+            .master_in(tech)
+            .expect("known master");
+        let boundary = design.component(lcomp).location.x + lmaster.width;
+        let (head, tail) = dp.split_at_mut(i);
+        let prev = &head[i - 1];
+        for (q, cell) in tail[0].iter_mut().enumerate() {
+            if !allowed(rcomp, q) {
+                continue;
+            }
+            let raps = near_boundary_aps(ru, q, roff, boundary, reach);
+            for (p, &(pcost, _)) in prev.iter().enumerate() {
+                if pcost == i64::MAX {
+                    continue;
+                }
+                let laps = near_boundary_aps(lu, p, loff, boundary, reach);
+                let clean = laps.iter().all(|(la, lo)| {
+                    raps.iter()
+                        .all(|(ra, ro)| aps_compatible(tech, engine, la, *lo, ra, *ro))
+                });
+                let edge = if clean { 0 } else { DRC_COST };
+                let cost = pcost
+                    .saturating_add(edge)
+                    .saturating_add(ru.patterns[q].cost);
+                if cost < cell.0 {
+                    *cell = (cost, p);
+                }
+            }
+        }
+    }
+    // Traceback.
+    let last = dp.last().expect("cluster has members");
+    let Some((mut best_p, _)) = last
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.0 < i64::MAX)
+        .min_by_key(|(_, c)| c.0)
+    else {
+        // Over-constrained (pinned members conflict): keep assignments.
+        for &m in &members {
+            local.entry(m.index()).or_insert(defaults[m.index()]);
+        }
+        return;
+    };
+    for i in (0..members.len()).rev() {
+        local.insert(members[i].index(), Some(best_p));
+        if i > 0 {
+            best_p = dp[i][best_p].1;
+        }
+    }
 }
 
 #[cfg(test)]

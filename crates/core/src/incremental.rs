@@ -312,7 +312,10 @@ impl PinAccessOracle {
             unique.push(data);
         }
         let engine = pao_drc::DrcEngine::new(tech);
-        let selection = crate::cluster::select_patterns(tech, &engine, design, &comp_uniq, &unique);
+        let threads = self.config().threads;
+        let (selection, cluster_exec) = crate::cluster::select_patterns_threaded(
+            tech, &engine, design, &comp_uniq, &unique, threads,
+        );
         let mut result = PaoResult {
             stats: crate::stats::PaoStats {
                 unique_instances: unique.len(),
@@ -321,6 +324,7 @@ impl PinAccessOracle {
                     .flat_map(|u| u.pin_aps.iter())
                     .map(Vec::len)
                     .sum(),
+                cluster_exec,
                 ..Default::default()
             },
             unique,
@@ -329,11 +333,17 @@ impl PinAccessOracle {
             overrides: HashMap::new(),
         };
         for _ in 0..self.config().repair_rounds {
-            if crate::oracle::repair_failed_pins(tech, design, &mut result) == 0 {
+            let (repaired, exec) =
+                crate::oracle::repair_failed_pins_threaded(tech, design, &mut result, threads);
+            result.stats.repair_exec.merge(&exec);
+            if repaired == 0 {
                 break;
             }
         }
-        let (total_pins, failed_pins) = crate::oracle::count_failed_pins(tech, design, &result);
+        result.stats.repaired_pins = result.overrides.len();
+        let ((total_pins, failed_pins), audit_exec) =
+            crate::oracle::count_failed_pins_threaded(tech, design, &result, threads);
+        result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
         result.stats.cluster_time = t2.elapsed();

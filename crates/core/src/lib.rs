@@ -50,10 +50,11 @@ pub mod persist;
 pub mod stats;
 pub mod unique;
 
-pub use apgen::{AccessPoint, ApGenConfig, PlanarDir};
+pub use apgen::{AccessPoint, ApGenConfig, ApScratch, PlanarDir};
 pub use cluster::Cluster;
 pub use coord::CoordType;
-pub use oracle::{PaoConfig, PaoResult, PinAccessOracle, UniqueInstanceAccess};
+pub use oracle::{default_threads, PaoConfig, PaoResult, PinAccessOracle, UniqueInstanceAccess};
+pub use parallel::ExecReport;
 pub use pattern::{AccessPattern, PatternConfig};
 pub use stats::PaoStats;
 pub use unique::{UniqueInstance, UniqueInstanceId};

@@ -1,7 +1,8 @@
 //! The top-level pin access oracle.
 
-use crate::apgen::{generate_pin_access_points, AccessPoint, ApGenConfig};
-use crate::cluster::select_patterns;
+use crate::apgen::{generate_pin_access_points_scratch, AccessPoint, ApGenConfig, ApScratch};
+use crate::cluster::select_patterns_threaded;
+use crate::parallel::{parallel_map_report, ExecReport};
 use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
 use crate::stats::PaoStats;
 use crate::unique::{
@@ -21,9 +22,12 @@ pub struct PaoConfig {
     pub apgen: ApGenConfig,
     /// Step-2/3 (pattern generation/selection) settings.
     pub pattern: PatternConfig,
-    /// Worker threads for the per-unique-instance steps (1 = the paper's
-    /// single-threaded measurement mode; the paper lists multi-threading
-    /// as future work — implemented here).
+    /// Worker threads for every compute phase (AP generation, pattern
+    /// DPs, cluster-group selection, repair scans, failed-pin audit).
+    /// Defaults to the machine's available parallelism; `1` reproduces
+    /// the paper's single-threaded measurement mode bit for bit (the
+    /// paper lists multi-threading as future work — implemented here,
+    /// with output guaranteed identical for every thread count).
     pub threads: usize,
     /// Post-selection repair rounds (rip-up and re-place of residual
     /// dirty access points, mirroring the router's per-pin freedom).
@@ -31,12 +35,20 @@ pub struct PaoConfig {
     pub repair_rounds: usize,
 }
 
+/// The default worker count: all available hardware parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 impl Default for PaoConfig {
     fn default() -> PaoConfig {
         PaoConfig {
             apgen: ApGenConfig::default(),
             pattern: PatternConfig::default(),
-            threads: 1,
+            threads: default_threads(),
             repair_rounds: 3,
         }
     }
@@ -170,7 +182,7 @@ impl PinAccessOracle {
             }
         }
         let apcfg = &self.config.apgen;
-        let analyzed = crate::parallel::parallel_map(self.config.threads, infos, |info| {
+        let (analyzed, apgen_exec) = parallel_map_report(self.config.threads, infos, |info| {
             let engine = DrcEngine::new(tech);
             let master = tech
                 .macro_by_name(&info.master)
@@ -185,6 +197,10 @@ impl PinAccessOracle {
             let mut pin_aps: Vec<Vec<AccessPoint>> = vec![Vec::new(); master.pins.len()];
             let (mut total, mut dirty, mut without, mut off_track) =
                 (0usize, 0usize, 0usize, 0usize);
+            // One scratch per instance context: the pins share coordinate
+            // buffers and memoized via probes (the audit below re-asks
+            // exactly the placements generation already checked).
+            let mut scratch = ApScratch::new();
             for (pin_idx, pin) in master.pins.iter().enumerate() {
                 if pin.use_.is_supply() {
                     continue;
@@ -197,26 +213,33 @@ impl PinAccessOracle {
                 if rects.is_empty() {
                     continue;
                 }
-                let aps = generate_pin_access_points(
-                    tech, design, &engine, &ctx, pin_idx, &rects, &apcfg,
+                let aps = generate_pin_access_points_scratch(
+                    tech,
+                    design,
+                    &engine,
+                    &ctx,
+                    pin_idx,
+                    &rects,
+                    &apcfg,
+                    &mut scratch,
                 );
                 total += aps.len();
                 off_track += aps.iter().filter(|ap| ap.is_off_track()).count();
                 if aps.is_empty() {
                     without += 1;
                 } else {
-                    // Honest dirty-AP audit (0 by construction for PAAF).
+                    // Honest dirty-AP audit (0 by construction for PAAF) —
+                    // a memo lookup per AP, not a fresh DRC probe.
                     for ap in &aps {
                         if let Some(v) = ap.primary_via() {
-                            if !engine
-                                .check_via_placement(
-                                    tech.via(v),
-                                    ap.pos,
-                                    local_pin_owner(pin_idx),
-                                    &ctx,
-                                )
-                                .is_empty()
-                            {
+                            if !scratch.via_clean(
+                                tech,
+                                &engine,
+                                &ctx,
+                                v,
+                                ap.pos,
+                                local_pin_owner(pin_idx),
+                            ) {
                                 dirty += 1;
                             }
                         }
@@ -253,9 +276,10 @@ impl PinAccessOracle {
 
         // ---- Step 2: pattern generation per unique instance.
         let t1 = Instant::now();
+        let pattern_exec;
         {
             let unique_ref = &unique;
-            let results = crate::parallel::parallel_map(
+            let (results, exec) = parallel_map_report(
                 self.config.threads,
                 (0..unique_ref.len()).collect::<Vec<_>>(),
                 |i| {
@@ -263,6 +287,7 @@ impl PinAccessOracle {
                     generate_patterns(tech, &engine, &unique_ref[i].pin_aps, &self.config.pattern)
                 },
             );
+            pattern_exec = exec;
             for (u, (order, patterns)) in unique.iter_mut().zip(results) {
                 u.pin_order = order;
                 u.patterns = patterns;
@@ -272,7 +297,14 @@ impl PinAccessOracle {
 
         // ---- Step 3: cluster-based selection + final validation.
         let t2 = Instant::now();
-        let selection = select_patterns(tech, &engine, design, &comp_uniq, &unique);
+        let (selection, cluster_exec) = select_patterns_threaded(
+            tech,
+            &engine,
+            design,
+            &comp_uniq,
+            &unique,
+            self.config.threads,
+        );
         let mut result = PaoResult {
             unique,
             comp_uniq,
@@ -285,6 +317,9 @@ impl PinAccessOracle {
                 off_track_aps,
                 apgen_time,
                 pattern_time,
+                apgen_exec,
+                pattern_exec,
+                cluster_exec,
                 ..PaoStats::default()
             },
         };
@@ -294,12 +329,17 @@ impl PinAccessOracle {
         // deviate per pin to any alternate clean AP — the same freedom the
         // detailed router has when it consumes the access points.
         for _round in 0..self.config.repair_rounds {
-            if repair_failed_pins(tech, design, &mut result) == 0 {
+            let (repaired, exec) =
+                repair_failed_pins_threaded(tech, design, &mut result, self.config.threads);
+            result.stats.repair_exec.merge(&exec);
+            if repaired == 0 {
                 break;
             }
         }
         result.stats.repaired_pins = result.overrides.len();
-        let (total_pins, failed_pins) = count_failed_pins(tech, design, &result);
+        let ((total_pins, failed_pins), audit_exec) =
+            count_failed_pins_threaded(tech, design, &result, self.config.threads);
+        result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
         result.stats.cluster_time = t2.elapsed();
@@ -312,7 +352,17 @@ impl PinAccessOracle {
 /// greedily re-places each (current AP first, then alternates) against the
 /// remaining context — so mutually-blocking pairs can both move. Returns
 /// the number of pins re-placed.
-pub(crate) fn repair_failed_pins(tech: &Tech, design: &Design, result: &mut PaoResult) -> usize {
+///
+/// The dirty-pin scan (the dominant cost: one whole-design DRC probe per
+/// connected pin) fans out over `threads` workers. The greedy
+/// re-placement itself stays sequential — it is order-dependent by design
+/// and touches only the few dirty pins.
+pub(crate) fn repair_failed_pins_threaded(
+    tech: &Tech,
+    design: &Design,
+    result: &mut PaoResult,
+    threads: usize,
+) -> (usize, ExecReport) {
     let engine = DrcEngine::new(tech);
     let (ctx, connected) = build_global_context(tech, design, result);
     let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet| -> bool {
@@ -323,18 +373,25 @@ pub(crate) fn repair_failed_pins(tech: &Tech, design: &Design, result: &mut PaoR
             None => ap.planar.is_empty(),
         }
     };
-    let dirty: Vec<(CompId, usize)> = connected
-        .iter()
-        .copied()
-        .filter(
-            |&(comp, pin_idx)| match result.access_point(design, comp, pin_idx) {
-                Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), &ctx),
+    let (flags, exec) = {
+        let (result, ctx, is_dirty) = (&*result, &ctx, &is_dirty);
+        parallel_map_report(
+            threads,
+            connected.clone(),
+            move |(comp, pin_idx)| match result.access_point(design, comp, pin_idx) {
+                Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), ctx),
                 None => true,
             },
         )
+    };
+    let dirty: Vec<(CompId, usize)> = connected
+        .iter()
+        .copied()
+        .zip(flags)
+        .filter_map(|(pin, d)| d.then_some(pin))
         .collect();
     if dirty.is_empty() {
-        return 0;
+        return (0, exec);
     }
     // Rebuild the context without the dirty pins' vias (rip-up).
     let dirty_set: std::collections::HashSet<(CompId, usize)> = dirty.iter().copied().collect();
@@ -396,7 +453,7 @@ pub(crate) fn repair_failed_pins(tech: &Tech, design: &Design, result: &mut PaoR
             }
         }
     }
-    repaired
+    (repaired, exec)
 }
 
 /// Builds the whole-design shape context (pins, obstructions, every
@@ -453,9 +510,24 @@ fn build_global_context(
 /// other selected via).
 #[must_use]
 pub fn count_failed_pins(tech: &Tech, design: &Design, result: &PaoResult) -> (usize, usize) {
-    count_failed_pins_with(tech, design, |comp, pin_idx| {
-        result.access_point(design, comp, pin_idx)
-    })
+    count_failed_pins_threaded(tech, design, result, 1).0
+}
+
+/// [`count_failed_pins`] with the per-pin DRC probes fanned out over
+/// `threads` workers.
+#[must_use]
+pub fn count_failed_pins_threaded(
+    tech: &Tech,
+    design: &Design,
+    result: &PaoResult,
+    threads: usize,
+) -> ((usize, usize), ExecReport) {
+    count_failed_pins_with_threaded(
+        tech,
+        design,
+        |comp, pin_idx| result.access_point(design, comp, pin_idx),
+        threads,
+    )
 }
 
 /// Generic form of [`count_failed_pins`]: `accessor` supplies the selected
@@ -465,8 +537,21 @@ pub fn count_failed_pins(tech: &Tech, design: &Design, result: &PaoResult) -> (u
 pub fn count_failed_pins_with(
     tech: &Tech,
     design: &Design,
-    accessor: impl Fn(CompId, usize) -> Option<AccessPoint>,
+    accessor: impl Fn(CompId, usize) -> Option<AccessPoint> + Sync,
 ) -> (usize, usize) {
+    count_failed_pins_with_threaded(tech, design, accessor, 1).0
+}
+
+/// [`count_failed_pins_with`] with the per-pin DRC probes fanned out over
+/// `threads` workers. The audit context is immutable once built, so every
+/// connected pin checks independently.
+#[must_use]
+pub fn count_failed_pins_with_threaded(
+    tech: &Tech,
+    design: &Design,
+    accessor: impl Fn(CompId, usize) -> Option<AccessPoint> + Sync,
+    threads: usize,
+) -> ((usize, usize), ExecReport) {
     // Global context: all placed pin/obs shapes + all selected vias.
     let mut ctx = ShapeSet::new(tech.layers().len());
     for (ci, c) in design.components().iter().enumerate() {
@@ -508,23 +593,23 @@ pub fn count_failed_pins_with(
     }
     ctx.rebuild();
     let engine = DrcEngine::new(tech);
-    let mut failed = 0usize;
-    for &(comp, pin_idx) in &connected {
-        let ok = match accessor(comp, pin_idx) {
-            Some(ap) => match ap.primary_via() {
-                Some(v) => engine
-                    .check_via_placement(tech.via(v), ap.pos, pin_owner(comp, pin_idx), &ctx)
-                    .is_empty(),
-                // Planar-only access (macro pins): accept.
-                None => !ap.planar.is_empty(),
-            },
-            None => false,
-        };
-        if !ok {
-            failed += 1;
-        }
-    }
-    (connected.len(), failed)
+    let (oks, exec) = {
+        let (ctx, engine, accessor) = (&ctx, &engine, &accessor);
+        parallel_map_report(threads, connected.clone(), move |(comp, pin_idx)| {
+            match accessor(comp, pin_idx) {
+                Some(ap) => match ap.primary_via() {
+                    Some(v) => engine
+                        .check_via_placement(tech.via(v), ap.pos, pin_owner(comp, pin_idx), ctx)
+                        .is_empty(),
+                    // Planar-only access (macro pins): accept.
+                    None => !ap.planar.is_empty(),
+                },
+                None => false,
+            }
+        })
+    };
+    let failed = oks.iter().filter(|&&ok| !ok).count();
+    ((connected.len(), failed), exec)
 }
 
 #[cfg(test)]

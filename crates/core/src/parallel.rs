@@ -1,14 +1,60 @@
-//! Minimal scoped-thread parallel map (the paper's future-work item (ii):
+//! Self-scheduling parallel executor (the paper's future-work item (ii):
 //! multi-threading to further reduce runtime).
 //!
-//! Unique instances are analyzed independently, so steps 1 and 2
-//! parallelize trivially. This helper avoids an external thread-pool
-//! dependency: inputs are split into contiguous chunks, one scoped thread
-//! per chunk, and outputs are reassembled in order.
+//! Unique instances, pattern DPs, cluster groups, repair scans and audit
+//! shards are all independent units of work with wildly uneven costs (a
+//! RAM macro's pin takes orders of magnitude longer than an inverter's).
+//! A static chunking scheme stalls on the unlucky worker that drew the
+//! expensive chunk; instead every worker *claims* the next unprocessed
+//! index from a shared atomic counter, so load balances itself at
+//! per-item granularity with no work-queue allocation and no external
+//! thread-pool dependency — scoped threads and two atomics, std only.
+//!
+//! Results are written into a pre-sized slot table indexed by the claimed
+//! position, so output order equals input order regardless of which
+//! worker finished what — callers observe output identical to the
+//! sequential mode (`threads <= 1`).
 
-/// Maps `f` over `items` using up to `threads` worker threads, preserving
-/// order. With `threads <= 1` (or one item) this runs inline, matching the
-/// paper's single-threaded measurement mode exactly.
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What one parallel phase did: how many workers ran and how long each
+/// was busy (claimed items, excluding idle/steal time). Powers the
+/// per-step parallel-efficiency lines in [`crate::stats::PaoStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Worker threads that participated (1 for the inline mode).
+    pub threads: usize,
+    /// Busy time per worker, in microseconds (empty for empty inputs).
+    pub busy_us: Vec<u64>,
+}
+
+impl ExecReport {
+    /// Total busy time across workers, in microseconds.
+    #[must_use]
+    pub fn total_busy_us(&self) -> u64 {
+        self.busy_us.iter().sum()
+    }
+
+    /// Merges another report (phases run in several calls — e.g. repair
+    /// rounds — accumulate into one report).
+    pub fn merge(&mut self, other: &ExecReport) {
+        self.threads = self.threads.max(other.threads);
+        for (i, &b) in other.busy_us.iter().enumerate() {
+            if i < self.busy_us.len() {
+                self.busy_us[i] += b;
+            } else {
+                self.busy_us.push(b);
+            }
+        }
+    }
+}
+
+/// Maps `f` over `items` with a self-scheduling pool of up to `threads`
+/// workers, preserving order. With `threads <= 1` (or one item) this runs
+/// inline on the caller's thread, matching the paper's single-threaded
+/// measurement mode exactly.
 ///
 /// ```
 /// let squares = pao_core::parallel::parallel_map(4, vec![1, 2, 3, 4], |x| x * x);
@@ -20,36 +66,98 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_report(threads, items, f).0
+}
+
+/// [`parallel_map`] that also reports worker count and per-worker busy
+/// time for the phase.
+///
+/// A worker panic is re-raised on the caller with its original payload
+/// (via [`std::panic::resume_unwind`]), so assertion messages from inside
+/// `f` survive the thread boundary.
+pub fn parallel_map_report<T, R, F>(threads: usize, items: Vec<T>, f: F) -> (Vec<R>, ExecReport)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        let start = Instant::now();
+        let out: Vec<R> = items.into_iter().map(f).collect();
+        let report = ExecReport {
+            threads: 1,
+            busy_us: vec![duration_us(start.elapsed())],
+        };
+        return (out, report);
     }
     let threads = threads.min(n);
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    // Split from the back to keep pops O(1), then restore order.
-    while !items.is_empty() {
-        let at = items.len().saturating_sub(chunk);
-        chunks.push(items.split_off(at));
-    }
-    chunks.reverse();
-    let f = &f;
-    let mut out: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut flat = Vec::with_capacity(n);
-    for v in &mut out {
-        flat.append(v);
-    }
-    flat
+
+    // Items move into per-index slots the workers drain; results come back
+    // through parallel slots. Mutex<Option<T>> per slot keeps this safe
+    // without unsafe code; each slot is locked exactly once per side, so
+    // contention is nil.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let done: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    let busy_us = {
+        let (work, done, next, f) = (&work, &done, &next, &f);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            // Claim the next unprocessed index; self-scheduling
+                            // makes uneven item costs balance automatically.
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return duration_us(busy);
+                            }
+                            let item = work[i]
+                                .lock()
+                                .expect("work slot")
+                                .take()
+                                .expect("claimed once");
+                            let start = Instant::now();
+                            let out = f(item);
+                            busy += start.elapsed();
+                            *done[i].lock().expect("done slot") = Some(out);
+                        }
+                    })
+                })
+                .collect();
+            let mut busy_us = Vec::with_capacity(threads);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(us) => busy_us.push(us),
+                    // Keep joining the rest so no worker outlives the scope
+                    // borrow, then re-raise the first payload.
+                    Err(payload) => panic = panic.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+            busy_us
+        })
+    };
+
+    let out: Vec<R> = done
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("done slot")
+                .expect("every index processed")
+        })
+        .collect();
+    (out, ExecReport { threads, busy_us })
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -81,11 +189,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker panicked")]
-    fn propagates_panics() {
+    #[should_panic(expected = "boom")]
+    fn propagates_panic_payload() {
+        // The original assertion message must survive the worker boundary.
         let _ = parallel_map(2, vec![1, 2, 3, 4], |x| {
             assert!(x != 3, "boom");
             x
         });
+    }
+
+    #[test]
+    fn balances_uneven_work() {
+        // One huge item and many tiny ones: self-scheduling must not leave
+        // workers starved behind the huge one. (Functional check only —
+        // timing is not asserted; single-CPU CI cannot show speedup.)
+        let mut items = vec![200_000u64];
+        items.extend(std::iter::repeat_n(10, 63));
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|&spin| (0..spin).fold(0u64, |a, b| a.wrapping_add(b * b)))
+            .collect();
+        let got = parallel_map(4, items, |spin| {
+            (0..spin).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reports_threads_and_busy_time() {
+        let (out, rep) = parallel_map_report(3, (0..64).collect::<Vec<u32>>(), |x| x + 1);
+        assert_eq!(out.len(), 64);
+        assert_eq!(rep.threads, 3);
+        assert_eq!(rep.busy_us.len(), 3);
+        // Inline mode reports a single worker.
+        let (_, rep1) = parallel_map_report(1, vec![1, 2, 3], |x| x);
+        assert_eq!(rep1.threads, 1);
+        assert_eq!(rep1.busy_us.len(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_reports() {
+        let mut a = ExecReport {
+            threads: 2,
+            busy_us: vec![5, 7],
+        };
+        a.merge(&ExecReport {
+            threads: 4,
+            busy_us: vec![1, 1, 2, 3],
+        });
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.busy_us, vec![6, 8, 2, 3]);
     }
 }

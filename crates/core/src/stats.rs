@@ -1,6 +1,7 @@
 //! Analysis statistics — the raw numbers behind the paper's Tables II
 //! and III.
 
+use crate::parallel::ExecReport;
 use std::fmt;
 use std::time::Duration;
 
@@ -36,6 +37,17 @@ pub struct PaoStats {
     /// Wall time of step 3 (cluster-based selection) including the final
     /// validation pass.
     pub cluster_time: Duration,
+    /// Executor report of step 1 (threads used, per-thread busy time).
+    pub apgen_exec: ExecReport,
+    /// Executor report of step 2.
+    pub pattern_exec: ExecReport,
+    /// Executor report of step 3's cluster-group selection.
+    pub cluster_exec: ExecReport,
+    /// Executor report of the repair rounds' dirty-pin scans (all rounds
+    /// merged).
+    pub repair_exec: ExecReport,
+    /// Executor report of the final failed-pin audit.
+    pub audit_exec: ExecReport,
 }
 
 impl PaoStats {
@@ -44,6 +56,30 @@ impl PaoStats {
     pub fn total_time(&self) -> Duration {
         self.apgen_time + self.pattern_time + self.cluster_time
     }
+
+    /// `true` when all phase counters are equal, ignoring the
+    /// timing/executor fields (which legitimately differ run to run).
+    /// This is the determinism contract checked between thread counts.
+    #[must_use]
+    pub fn counters_eq(&self, other: &PaoStats) -> bool {
+        self.unique_instances == other.unique_instances
+            && self.total_aps == other.total_aps
+            && self.dirty_aps == other.dirty_aps
+            && self.pins_without_aps == other.pins_without_aps
+            && self.off_track_aps == other.off_track_aps
+            && self.repaired_pins == other.repaired_pins
+            && self.total_pins == other.total_pins
+            && self.failed_pins == other.failed_pins
+    }
+}
+
+/// `"<threads> thr, busy <seconds>s"` for one phase's report.
+fn exec_line(r: &ExecReport) -> String {
+    format!(
+        "{} thr, busy {:.3}s",
+        r.threads.max(1),
+        r.total_busy_us() as f64 / 1e6
+    )
 }
 
 impl fmt::Display for PaoStats {
@@ -56,13 +92,26 @@ impl fmt::Display for PaoStats {
         writeln!(f, "repaired pins    : {}", self.repaired_pins)?;
         writeln!(f, "total pins       : {}", self.total_pins)?;
         writeln!(f, "failed pins      : {}", self.failed_pins)?;
-        write!(
+        writeln!(
             f,
             "time (s)         : apgen {:.3} + pattern {:.3} + cluster {:.3} = {:.3}",
             self.apgen_time.as_secs_f64(),
             self.pattern_time.as_secs_f64(),
             self.cluster_time.as_secs_f64(),
             self.total_time().as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "parallel         : apgen {} | pattern {}",
+            exec_line(&self.apgen_exec),
+            exec_line(&self.pattern_exec),
+        )?;
+        write!(
+            f,
+            "                   select {} | repair {} | audit {}",
+            exec_line(&self.cluster_exec),
+            exec_line(&self.repair_exec),
+            exec_line(&self.audit_exec),
         )
     }
 }

@@ -7,9 +7,9 @@ use pao_core::unique::local_pin_owner;
 use pao_design::{Design, TrackPattern};
 use pao_drc::{DrcEngine, ShapeSet};
 use pao_geom::{Dir, Point, Rect};
+use pao_ptest::check;
 use pao_tech::rules::MinStepRule;
 use pao_tech::{Layer, LayerId, Tech, ViaDef, ViaId};
-use proptest::prelude::*;
 
 fn tech() -> Tech {
     let mut t = Tech::new(1000);
@@ -62,18 +62,15 @@ fn ap_at(x: i64, y: i64) -> AccessPoint {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every AP returned by Algorithm 1 lies on the pin and its primary
-    /// via re-validates clean — the framework's core guarantee.
-    #[test]
-    fn generated_aps_are_on_pin_and_clean(
-        x in 200i64..2000,
-        y in 200i64..2000,
-        w in 200i64..1500,
-        h in 70i64..800,
-    ) {
+/// Every AP returned by Algorithm 1 lies on the pin and its primary
+/// via re-validates clean — the framework's core guarantee.
+#[test]
+fn generated_aps_are_on_pin_and_clean() {
+    check("generated_aps_are_on_pin_and_clean", 48, |rng| {
+        let x = rng.gen_range(200i64..2000);
+        let y = rng.gen_range(200i64..2000);
+        let w = rng.gen_range(200i64..1500);
+        let h = rng.gen_range(70i64..800);
         let t = tech();
         let d = design();
         let engine = DrcEngine::new(&t);
@@ -82,78 +79,100 @@ proptest! {
         ctx.insert(LayerId(0), pin, local_pin_owner(0));
         ctx.rebuild();
         let aps = generate_pin_access_points(
-            &t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &ApGenConfig::default(),
+            &t,
+            &d,
+            &engine,
+            &ctx,
+            0,
+            &[(LayerId(0), pin)],
+            &ApGenConfig::default(),
         );
         for ap in &aps {
-            prop_assert!(pin.contains(ap.pos), "AP {} off pin {}", ap.pos, pin);
+            assert!(pin.contains(ap.pos), "AP {} off pin {}", ap.pos, pin);
             let via = ap.primary_via().expect("via access");
             let v = engine.check_via_placement(t.via(via), ap.pos, local_pin_owner(0), &ctx);
-            prop_assert!(v.is_empty(), "dirty AP {}: {v:?}", ap.pos);
+            assert!(v.is_empty(), "dirty AP {}: {v:?}", ap.pos);
         }
         // Determinism.
         let again = generate_pin_access_points(
-            &t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &ApGenConfig::default(),
+            &t,
+            &d,
+            &engine,
+            &ctx,
+            0,
+            &[(LayerId(0), pin)],
+            &ApGenConfig::default(),
         );
-        prop_assert_eq!(aps, again);
-    }
+        assert_eq!(aps, again);
+    });
+}
 
-    /// Pin ordering is a permutation of the pins with access points, and
-    /// boundary pins are the extremes of the ordering key.
-    #[test]
-    fn ordering_is_a_permutation(coords in prop::collection::vec((0i64..5000, 0i64..5000), 1..8)) {
-        let pins: Vec<Vec<AccessPoint>> = coords
-            .iter()
-            .map(|&(x, y)| vec![ap_at(x, y)])
+/// Pin ordering is a permutation of the pins with access points, and
+/// boundary pins are the extremes of the ordering key.
+#[test]
+fn ordering_is_a_permutation() {
+    check("ordering_is_a_permutation", 128, |rng| {
+        let n = rng.gen_range(1usize..8);
+        let coords: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.gen_range(0i64..5000), rng.gen_range(0i64..5000)))
             .collect();
+        let pins: Vec<Vec<AccessPoint>> = coords.iter().map(|&(x, y)| vec![ap_at(x, y)]).collect();
         let order = order_pins(&pins, 0.3);
-        prop_assert_eq!(order.len(), pins.len());
+        assert_eq!(order.len(), pins.len());
         let mut sorted = order.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), pins.len(), "permutation");
+        assert_eq!(sorted.len(), pins.len(), "permutation");
         // Keys are non-decreasing along the order.
         let key = |i: usize| coords[i].0 as f64 + 0.3 * coords[i].1 as f64;
         for w in order.windows(2) {
-            prop_assert!(key(w[0]) <= key(w[1]) + 1e-9);
+            assert!(key(w[0]) <= key(w[1]) + 1e-9);
         }
-    }
+    });
+}
 
-    /// Patterns index valid APs, and every validated pattern's choices are
-    /// pairwise compatible when re-checked exhaustively.
-    #[test]
-    fn patterns_are_well_formed(
-        xs in prop::collection::vec(0i64..20u8 as i64, 2..5),
-        seed in 0u8..4,
-    ) {
+/// Patterns index valid APs, and every validated pattern's choices are
+/// pairwise compatible when re-checked exhaustively.
+#[test]
+fn patterns_are_well_formed() {
+    check("patterns_are_well_formed", 48, |rng| {
         let t = tech();
         let e = DrcEngine::new(&t);
+        let n = rng.gen_range(2usize..5);
+        let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..20)).collect();
+        let seed = rng.gen_range(0u8..4);
         // Pins spaced 300 apart with 1–3 APs each on distinct tracks.
         let pins: Vec<Vec<AccessPoint>> = xs
             .iter()
             .enumerate()
-            .map(|(i, &n)| {
-                (0..=(n % 3))
+            .map(|(i, &x)| {
+                (0..=(x % 3))
                     .map(|k| ap_at(500 + 300 * i as i64, 100 + 200 * (k + i64::from(seed))))
                     .collect()
             })
             .collect();
         let (order, pats) = generate_patterns(&t, &e, &pins, &PatternConfig::default());
-        prop_assert_eq!(order.len(), pins.len());
-        prop_assert!(!pats.is_empty());
-        prop_assert!(pats.len() <= 3);
+        assert_eq!(order.len(), pins.len());
+        assert!(!pats.is_empty());
+        assert!(pats.len() <= 3);
         for pat in &pats {
-            prop_assert_eq!(pat.choice.len(), order.len());
+            assert_eq!(pat.choice.len(), order.len());
             for (oi, &api) in pat.choice.iter().enumerate() {
-                prop_assert!(api < pins[order[oi]].len(), "AP index in range");
+                assert!(api < pins[order[oi]].len(), "AP index in range");
             }
             if pat.validated {
                 for i in 0..order.len() {
                     for j in (i + 1)..order.len() {
                         let a = &pins[order[i]][pat.choice[i]];
                         let b = &pins[order[j]][pat.choice[j]];
-                        prop_assert!(
+                        assert!(
                             pao_core::pattern::aps_compatible(
-                                &t, &e, a, Point::ORIGIN, b, Point::ORIGIN
+                                &t,
+                                &e,
+                                a,
+                                Point::ORIGIN,
+                                b,
+                                Point::ORIGIN
                             ),
                             "validated pattern has conflicting pair"
                         );
@@ -161,11 +180,14 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// Shrinking the coordinate-type sets never increases the AP count.
-    #[test]
-    fn fewer_coord_types_fewer_aps(y0 in 150i64..1800) {
+/// Shrinking the coordinate-type sets never increases the AP count.
+#[test]
+fn fewer_coord_types_fewer_aps() {
+    check("fewer_coord_types_fewer_aps", 48, |rng| {
+        let y0 = rng.gen_range(150i64..1800);
         let t = tech();
         let d = design();
         let engine = DrcEngine::new(&t);
@@ -173,7 +195,10 @@ proptest! {
         let mut ctx = ShapeSet::new(t.layers().len());
         ctx.insert(LayerId(0), pin, local_pin_owner(0));
         ctx.rebuild();
-        let full = ApGenConfig { k: usize::MAX, ..ApGenConfig::default() };
+        let full = ApGenConfig {
+            k: usize::MAX,
+            ..ApGenConfig::default()
+        };
         let restricted = ApGenConfig {
             k: usize::MAX,
             pref_types: vec![CoordType::OnTrack],
@@ -183,49 +208,46 @@ proptest! {
         let all = generate_pin_access_points(&t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &full);
         let few =
             generate_pin_access_points(&t, &d, &engine, &ctx, 0, &[(LayerId(0), pin)], &restricted);
-        prop_assert!(few.len() <= all.len());
-    }
+        assert!(few.len() <= all.len());
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Persisted access points round-trip exactly.
-    #[test]
-    fn persisted_ap_roundtrip(
-        x in -1_000_000i64..1_000_000,
-        y in -1_000_000i64..1_000_000,
-        layer in 0u32..16,
-        pref in 0u8..4,
-        nonpref in 0u8..3,
-        vias in prop::collection::vec(0u32..32, 0..4),
-        planar_mask in 0u8..16,
-    ) {
-        use pao_core::persist;
+/// Persisted access points round-trip exactly.
+#[test]
+fn persisted_ap_roundtrip() {
+    check("persisted_ap_roundtrip", 128, |rng| {
         use pao_core::apgen::PlanarDir;
+        use pao_core::persist;
         let coord = |c: u8| match c {
             0 => CoordType::OnTrack,
             1 => CoordType::HalfTrack,
             2 => CoordType::ShapeCenter,
             _ => CoordType::EnclosureBoundary,
         };
+        let planar_mask = rng.gen_range(0u8..16);
         let planar: Vec<PlanarDir> = PlanarDir::ALL
             .into_iter()
             .enumerate()
             .filter(|(i, _)| planar_mask & (1 << i) != 0)
             .map(|(_, d)| d)
             .collect();
+        let n_vias = rng.gen_range(0usize..4);
         let ap = AccessPoint {
-            pos: Point::new(x, y),
-            layer: LayerId(layer),
-            pref_type: coord(pref),
-            nonpref_type: coord(nonpref),
-            vias: vias.into_iter().map(ViaId).collect(),
+            pos: Point::new(
+                rng.gen_range(-1_000_000i64..1_000_000),
+                rng.gen_range(-1_000_000i64..1_000_000),
+            ),
+            layer: LayerId(rng.gen_range(0u32..16)),
+            pref_type: coord(rng.gen_range(0u8..4)),
+            nonpref_type: coord(rng.gen_range(0u8..3)),
+            vias: (0..n_vias)
+                .map(|_| ViaId(rng.gen_range(0u32..32)))
+                .collect(),
             planar,
         };
         let mut s = String::new();
         persist::write_ap(&mut s, &ap);
         let back = persist::parse_ap(s.trim_end(), 1).expect("parses");
-        prop_assert_eq!(ap, back);
-    }
+        assert_eq!(ap, back);
+    });
 }

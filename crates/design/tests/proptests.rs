@@ -2,8 +2,8 @@
 
 use pao_design::{def, Component, Design, IoPin, Net, NetPin, Row, TrackPattern};
 use pao_geom::{Dir, Orient, Point, Rect};
+use pao_ptest::{check, Rng};
 use pao_tech::{Layer, LayerId, Macro, Tech};
-use proptest::prelude::*;
 
 fn tech() -> Tech {
     let mut t = Tech::new(1000);
@@ -32,127 +32,137 @@ fn tech() -> Tech {
     t
 }
 
-fn arb_orient() -> impl Strategy<Value = Orient> {
-    prop::sample::select(Orient::ALL.to_vec())
-}
-
-fn arb_design() -> impl Strategy<Value = Design> {
-    (
-        prop::collection::vec((0i64..50, 0i64..20, arb_orient()), 1..20),
-        prop::collection::vec((0i64..20_000, 0i64..20_000), 0..5),
-        1u32..200,
-        1i64..500,
-    )
-        .prop_map(|(placements, ios, track_count, track_start)| {
-            let mut d = Design::new("prop", Rect::new(0, 0, 40_000, 40_000));
-            d.dbu_per_micron = 1000;
-            d.rows.push(Row::new(
-                "r0",
-                "core",
-                Point::new(0, 0),
-                Orient::N,
-                100,
-                380,
-                1400,
-            ));
-            d.tracks.push(TrackPattern::new(
-                Dir::Horizontal,
-                track_start,
-                200,
-                track_count,
-                vec![LayerId(0)],
-            ));
-            d.tracks.push(TrackPattern::new(
-                Dir::Vertical,
-                track_start / 2 + 1,
-                200,
-                track_count,
-                vec![LayerId(2)],
-            ));
-            let mut comps = Vec::new();
-            for (i, (cx, cy, o)) in placements.into_iter().enumerate() {
-                comps.push(d.add_component(Component::new(
-                    format!("u{i}"),
-                    "CELL",
-                    Point::new(cx * 760, cy * 1400),
-                    o,
-                )));
-            }
-            let mut io_indices = Vec::new();
-            for (i, (x, y)) in ios.into_iter().enumerate() {
-                io_indices.push(d.add_io_pin(IoPin::new(
-                    format!("io{i}"),
-                    format!("n{i}"),
-                    LayerId(2),
-                    Rect::new(-50, -50, 50, 50),
-                    Point::new(x, y),
-                    Orient::N,
-                )));
-            }
-            // Simple nets: chain pairs of components, attach IOs round-robin.
-            for (ni, pair) in comps.chunks(2).enumerate() {
-                let mut n = Net::new(format!("n{ni}"));
-                n.pins.push(NetPin::Comp {
-                    comp: pair[0],
-                    pin: "Y".into(),
-                });
-                if let Some(&b) = pair.get(1) {
-                    n.pins.push(NetPin::Comp {
-                        comp: b,
-                        pin: "A".into(),
-                    });
-                }
-                if let Some(&io) = io_indices.get(ni) {
-                    n.pins.push(NetPin::Io { index: io });
-                }
-                if n.degree() >= 2 {
-                    d.add_net(n);
-                }
-            }
-            d
+fn arb_design(rng: &mut Rng) -> Design {
+    let n_placements = rng.gen_range(1usize..20);
+    let placements: Vec<(i64, i64, Orient)> = (0..n_placements)
+        .map(|_| {
+            (
+                rng.gen_range(0i64..50),
+                rng.gen_range(0i64..20),
+                *rng.pick(&Orient::ALL),
+            )
         })
+        .collect();
+    let n_ios = rng.gen_range(0usize..5);
+    let ios: Vec<(i64, i64)> = (0..n_ios)
+        .map(|_| (rng.gen_range(0i64..20_000), rng.gen_range(0i64..20_000)))
+        .collect();
+    let track_count = rng.gen_range(1u32..200);
+    let track_start = rng.gen_range(1i64..500);
+
+    let mut d = Design::new("prop", Rect::new(0, 0, 40_000, 40_000));
+    d.dbu_per_micron = 1000;
+    d.rows.push(Row::new(
+        "r0",
+        "core",
+        Point::new(0, 0),
+        Orient::N,
+        100,
+        380,
+        1400,
+    ));
+    d.tracks.push(TrackPattern::new(
+        Dir::Horizontal,
+        track_start,
+        200,
+        track_count,
+        vec![LayerId(0)],
+    ));
+    d.tracks.push(TrackPattern::new(
+        Dir::Vertical,
+        track_start / 2 + 1,
+        200,
+        track_count,
+        vec![LayerId(2)],
+    ));
+    let mut comps = Vec::new();
+    for (i, (cx, cy, o)) in placements.into_iter().enumerate() {
+        comps.push(d.add_component(Component::new(
+            format!("u{i}"),
+            "CELL",
+            Point::new(cx * 760, cy * 1400),
+            o,
+        )));
+    }
+    let mut io_indices = Vec::new();
+    for (i, (x, y)) in ios.into_iter().enumerate() {
+        io_indices.push(d.add_io_pin(IoPin::new(
+            format!("io{i}"),
+            format!("n{i}"),
+            LayerId(2),
+            Rect::new(-50, -50, 50, 50),
+            Point::new(x, y),
+            Orient::N,
+        )));
+    }
+    // Simple nets: chain pairs of components, attach IOs round-robin.
+    for (ni, pair) in comps.chunks(2).enumerate() {
+        let mut n = Net::new(format!("n{ni}"));
+        n.pins.push(NetPin::Comp {
+            comp: pair[0],
+            pin: "Y".into(),
+        });
+        if let Some(&b) = pair.get(1) {
+            n.pins.push(NetPin::Comp {
+                comp: b,
+                pin: "A".into(),
+            });
+        }
+        if let Some(&io) = io_indices.get(ni) {
+            n.pins.push(NetPin::Io { index: io });
+        }
+        if n.degree() >= 2 {
+            d.add_net(n);
+        }
+    }
+    d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn def_roundtrip_preserves_database(d in arb_design()) {
+#[test]
+fn def_roundtrip_preserves_database() {
+    check("def_roundtrip_preserves_database", 64, |rng| {
+        let d = arb_design(rng);
         let t = tech();
         let text = def::write_def(&d, &t);
         let d2 = def::parse_def(&text, &t).expect("own DEF parses");
-        prop_assert_eq!(&d.name, &d2.name);
-        prop_assert_eq!(d.die_area, d2.die_area);
-        prop_assert_eq!(&d.rows, &d2.rows);
-        prop_assert_eq!(&d.tracks, &d2.tracks);
-        prop_assert_eq!(d.components(), d2.components());
-        prop_assert_eq!(d.io_pins(), d2.io_pins());
-        prop_assert_eq!(d.nets(), d2.nets());
-    }
+        assert_eq!(&d.name, &d2.name);
+        assert_eq!(d.die_area, d2.die_area);
+        assert_eq!(&d.rows, &d2.rows);
+        assert_eq!(&d.tracks, &d2.tracks);
+        assert_eq!(d.components(), d2.components());
+        assert_eq!(d.io_pins(), d2.io_pins());
+        assert_eq!(d.nets(), d2.nets());
+    });
+}
 
-    #[test]
-    fn track_phase_is_translation_invariant(
-        start in -1000i64..1000,
-        step in 1i64..1000,
-        c in -100_000i64..100_000,
-        periods in -50i64..50,
-    ) {
+#[test]
+fn track_phase_is_translation_invariant() {
+    check("track_phase_is_translation_invariant", 128, |rng| {
+        let start = rng.gen_range(-1000i64..1000);
+        let step = rng.gen_range(1i64..1000);
+        let c = rng.gen_range(-100_000i64..100_000);
+        let periods = rng.gen_range(-50i64..50);
         let p = TrackPattern::new(Dir::Horizontal, start, step, 10, vec![]);
         // Shifting by whole periods never changes the phase.
-        prop_assert_eq!(p.phase(c), p.phase(c + periods * step));
+        assert_eq!(p.phase(c), p.phase(c + periods * step));
         // Phases are always in [0, step).
         let ph = p.phase(c);
-        prop_assert!((0..step).contains(&ph));
-    }
+        assert!((0..step).contains(&ph));
+    });
+}
 
-    #[test]
-    fn coords_in_matches_filter(start in 0i64..500, step in 1i64..400,
-                                count in 1u32..200,
-                                lo in -1000i64..50_000, span in 0i64..50_000) {
+#[test]
+fn coords_in_matches_filter() {
+    check("coords_in_matches_filter", 128, |rng| {
+        let start = rng.gen_range(0i64..500);
+        let step = rng.gen_range(1i64..400);
+        let count = rng.gen_range(1u32..200);
+        let lo = rng.gen_range(-1000i64..50_000);
+        let span = rng.gen_range(0i64..50_000);
         let p = TrackPattern::new(Dir::Vertical, start, step, count, vec![]);
         let hi = lo + span;
         let got = p.coords_in(lo, hi);
         let expect: Vec<i64> = p.coords().filter(|&c| c >= lo && c <= hi).collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
 }

@@ -2,9 +2,9 @@
 
 use pao_drc::{DrcEngine, Owner, RuleKind, ShapeSet};
 use pao_geom::{Dir, Point, Rect};
+use pao_ptest::{check, Rng};
 use pao_tech::rules::MinStepRule;
 use pao_tech::{Layer, LayerId, Tech, ViaDef};
-use proptest::prelude::*;
 
 fn tech() -> Tech {
     let mut t = Tech::new(1000);
@@ -26,47 +26,66 @@ fn tech() -> Tech {
     t
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-2_000i64..2_000, -2_000i64..2_000, 60i64..400, 60i64..400)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn arb_rect(rng: &mut Rng) -> Rect {
+    let x = rng.gen_range(-2_000i64..2_000);
+    let y = rng.gen_range(-2_000i64..2_000);
+    let w = rng.gen_range(60i64..400);
+    let h = rng.gen_range(60i64..400);
+    Rect::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_rects(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Rect> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| arb_rect(rng)).collect()
+}
 
-    #[test]
-    fn spacing_violation_is_symmetric(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn spacing_violation_is_symmetric() {
+    check("spacing_violation_is_symmetric", 128, |rng| {
+        let a = arb_rect(rng);
+        let b = arb_rect(rng);
         let t = tech();
         let e = DrcEngine::new(&t);
         let ab = e.spacing_violation(LayerId(0), a, b);
         let ba = e.spacing_violation(LayerId(0), b, a);
-        prop_assert_eq!(ab.is_some(), ba.is_some());
+        assert_eq!(ab.is_some(), ba.is_some());
         if let (Some(x), Some(y)) = (ab, ba) {
-            prop_assert_eq!(x.rule, y.rule);
-            prop_assert_eq!(x.marker, y.marker);
+            assert_eq!(x.rule, y.rule);
+            assert_eq!(x.marker, y.marker);
         }
-    }
+    });
+}
 
-    #[test]
-    fn far_apart_shapes_never_violate(a in arb_rect(), dx in 1000i64..5000, dy in 1000i64..5000) {
+#[test]
+fn far_apart_shapes_never_violate() {
+    check("far_apart_shapes_never_violate", 128, |rng| {
+        let a = arb_rect(rng);
+        let dx = rng.gen_range(1000i64..5000);
+        let dy = rng.gen_range(1000i64..5000);
         let t = tech();
         let e = DrcEngine::new(&t);
         let b = a.translated(Point::new(a.width() + dx, a.height() + dy));
-        prop_assert!(e.spacing_violation(LayerId(0), a, b).is_none());
-    }
+        assert!(e.spacing_violation(LayerId(0), a, b).is_none());
+    });
+}
 
-    #[test]
-    fn overlap_is_always_a_short(a in arb_rect()) {
+#[test]
+fn overlap_is_always_a_short() {
+    check("overlap_is_always_a_short", 128, |rng| {
+        let a = arb_rect(rng);
         let t = tech();
         let e = DrcEngine::new(&t);
         // Any rect overlapping `a` (shifted by less than its size) shorts.
         let b = a.translated(Point::new(a.width() / 2, 0));
         let v = e.spacing_violation(LayerId(0), a, b).expect("violation");
-        prop_assert_eq!(v.rule, RuleKind::Short);
-    }
+        assert_eq!(v.rule, RuleKind::Short);
+    });
+}
 
-    #[test]
-    fn same_owner_context_is_always_clean(shapes in prop::collection::vec(arb_rect(), 1..8)) {
+#[test]
+fn same_owner_context_is_always_clean() {
+    check("same_owner_context_is_always_clean", 128, |rng| {
+        let shapes = arb_rects(rng, 1, 8);
         let t = tech();
         let e = DrcEngine::new(&t);
         let mut ctx = ShapeSet::new(t.layers().len());
@@ -76,14 +95,17 @@ proptest! {
         ctx.rebuild();
         // A same-owner candidate can overlap everything freely.
         for &r in &shapes {
-            prop_assert!(e.check_shape(LayerId(0), r, Owner::pin(1), &ctx).is_empty());
+            assert!(e.check_shape(LayerId(0), r, Owner::pin(1), &ctx).is_empty());
         }
         // The audit of a single-owner set is empty.
-        prop_assert!(e.audit(&ctx).is_empty());
-    }
+        assert!(e.audit(&ctx).is_empty());
+    });
+}
 
-    #[test]
-    fn audit_counts_match_pairwise_checks(shapes in prop::collection::vec(arb_rect(), 2..8)) {
+#[test]
+fn audit_counts_match_pairwise_checks() {
+    check("audit_counts_match_pairwise_checks", 128, |rng| {
+        let shapes = arb_rects(rng, 2, 8);
         let t = tech();
         let e = DrcEngine::new(&t);
         let mut ctx = ShapeSet::new(t.layers().len());
@@ -95,16 +117,22 @@ proptest! {
         let mut pairwise = 0usize;
         for i in 0..shapes.len() {
             for j in (i + 1)..shapes.len() {
-                if e.spacing_violation(LayerId(0), shapes[i], shapes[j]).is_some() {
+                if e.spacing_violation(LayerId(0), shapes[i], shapes[j])
+                    .is_some()
+                {
                     pairwise += 1;
                 }
             }
         }
-        prop_assert_eq!(audit, pairwise);
-    }
+        assert_eq!(audit, pairwise);
+    });
+}
 
-    #[test]
-    fn via_nested_in_big_pin_is_clean(cx in -500i64..500, cy in -500i64..500) {
+#[test]
+fn via_nested_in_big_pin_is_clean() {
+    check("via_nested_in_big_pin_is_clean", 128, |rng| {
+        let cx = rng.gen_range(-500i64..500);
+        let cy = rng.gen_range(-500i64..500);
         let t = tech();
         let e = DrcEngine::new(&t);
         let mut ctx = ShapeSet::new(t.layers().len());
@@ -114,36 +142,38 @@ proptest! {
         ctx.rebuild();
         let via = t.via(pao_tech::ViaId(0));
         let v = e.check_via_placement(via, Point::new(cx, cy), Owner::pin(0), &ctx);
-        prop_assert!(v.is_empty(), "{v:?}");
-    }
+        assert!(v.is_empty(), "{v:?}");
+    });
+}
 
-    #[test]
-    fn via_overhang_below_min_step_is_dirty(overhang in 1i64..59) {
+#[test]
+fn via_overhang_below_min_step_is_dirty() {
+    check("via_overhang_below_min_step_is_dirty", 64, |rng| {
+        let overhang = rng.gen_range(1i64..59);
         let t = tech();
         let e = DrcEngine::new(&t);
         let mut ctx = ShapeSet::new(t.layers().len());
         // Pin exactly as tall as the enclosure minus 2×overhang.
         let pin = Rect::new(-400, -30 + overhang, 400, 30 - overhang);
         if pin.height() < 2 {
-            return Ok(());
+            return;
         }
         ctx.insert(LayerId(0), pin, Owner::pin(0));
         ctx.rebuild();
         let via = t.via(pao_tech::ViaId(0));
         let v = e.check_via_placement(via, Point::ORIGIN, Owner::pin(0), &ctx);
-        prop_assert!(
+        assert!(
             v.iter().any(|v| v.rule == RuleKind::MinStep),
             "overhang {overhang}: {v:?}"
         );
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The audit is invariant under shape insertion order.
-    #[test]
-    fn audit_is_order_invariant(shapes in prop::collection::vec(arb_rect(), 2..10)) {
+/// The audit is invariant under shape insertion order.
+#[test]
+fn audit_is_order_invariant() {
+    check("audit_is_order_invariant", 64, |rng| {
+        let shapes = arb_rects(rng, 2, 10);
         let t = tech();
         let e = DrcEngine::new(&t);
         let build = |order: &[usize]| {
@@ -156,16 +186,17 @@ proptest! {
         };
         let fwd: Vec<usize> = (0..shapes.len()).collect();
         let rev: Vec<usize> = (0..shapes.len()).rev().collect();
-        prop_assert_eq!(build(&fwd), build(&rev));
-    }
+        assert_eq!(build(&fwd), build(&rev));
+    });
+}
 
-    /// Translating the whole context never changes the verdicts.
-    #[test]
-    fn checks_are_translation_invariant(
-        shapes in prop::collection::vec(arb_rect(), 1..6),
-        dx in -10_000i64..10_000,
-        dy in -10_000i64..10_000,
-    ) {
+/// Translating the whole context never changes the verdicts.
+#[test]
+fn checks_are_translation_invariant() {
+    check("checks_are_translation_invariant", 64, |rng| {
+        let shapes = arb_rects(rng, 1, 6);
+        let dx = rng.gen_range(-10_000i64..10_000);
+        let dy = rng.gen_range(-10_000i64..10_000);
         let t = tech();
         let e = DrcEngine::new(&t);
         let count = |delta: Point| {
@@ -176,6 +207,6 @@ proptest! {
             ctx.rebuild();
             e.audit(&ctx).len()
         };
-        prop_assert_eq!(count(Point::ORIGIN), count(Point::new(dx, dy)));
-    }
+        assert_eq!(count(Point::ORIGIN), count(Point::new(dx, dy)));
+    });
 }

@@ -1,130 +1,179 @@
-//! Property-based tests for the geometry primitives.
+//! Property-based tests for the geometry primitives (offline harness).
 
 use pao_geom::{max_rects, Interval, Orient, Point, RTree, Rect, Transform};
-use proptest::prelude::*;
+use pao_ptest::{check, Rng};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-10_000i64..10_000, -10_000i64..10_000).prop_map(|(x, y)| Point::new(x, y))
+fn arb_point(rng: &mut Rng) -> Point {
+    Point::new(
+        rng.gen_range(-10_000i64..10_000),
+        rng.gen_range(-10_000i64..10_000),
+    )
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 1i64..500, 1i64..500).prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+fn arb_rect(rng: &mut Rng) -> Rect {
+    let p = arb_point(rng);
+    let w = rng.gen_range(1i64..500);
+    let h = rng.gen_range(1i64..500);
+    Rect::new(p.x, p.y, p.x + w, p.y + h)
 }
 
-proptest! {
-    #[test]
-    fn interval_overlap_len_symmetric(a in -100i64..100, b in -100i64..100,
-                                      c in -100i64..100, d in -100i64..100) {
-        let i = Interval::new(a, b);
-        let j = Interval::new(c, d);
-        prop_assert_eq!(i.overlap_len(j), j.overlap_len(i));
-        prop_assert_eq!(i.overlaps(j), j.overlaps(i));
-        prop_assert_eq!(i.dist(j), j.dist(i));
+fn arb_rects(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Rect> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| arb_rect(rng)).collect()
+}
+
+fn arb_orient(rng: &mut Rng) -> Orient {
+    *rng.pick(&Orient::ALL)
+}
+
+#[test]
+fn interval_overlap_len_symmetric() {
+    check("interval_overlap_len_symmetric", 256, |rng| {
+        let i = Interval::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+        let j = Interval::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+        assert_eq!(i.overlap_len(j), j.overlap_len(i));
+        assert_eq!(i.overlaps(j), j.overlaps(i));
+        assert_eq!(i.dist(j), j.dist(i));
         // Overlap length never exceeds either interval's length.
-        prop_assert!(i.overlap_len(j) <= i.len());
-        prop_assert!(i.overlap_len(j) <= j.len());
+        assert!(i.overlap_len(j) <= i.len());
+        assert!(i.overlap_len(j) <= j.len());
         // Exactly one of "positive overlap length" and "positive distance".
-        prop_assert!(!(i.overlap_len(j) > 0 && i.dist(j) > 0));
-    }
+        assert!(!(i.overlap_len(j) > 0 && i.dist(j) > 0));
+    });
+}
 
-    #[test]
-    fn interval_hull_contains_both(a in -100i64..100, b in -100i64..100,
-                                   c in -100i64..100, d in -100i64..100) {
-        let i = Interval::new(a, b);
-        let j = Interval::new(c, d);
+#[test]
+fn interval_hull_contains_both() {
+    check("interval_hull_contains_both", 256, |rng| {
+        let i = Interval::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+        let j = Interval::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
         let h = i.hull(j);
-        prop_assert!(h.contains_interval(i));
-        prop_assert!(h.contains_interval(j));
-    }
+        assert!(h.contains_interval(i));
+        assert!(h.contains_interval(j));
+    });
+}
 
-    #[test]
-    fn rect_intersect_is_contained(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersect_is_contained() {
+    check("rect_intersect_is_contained", 256, |rng| {
+        let a = arb_rect(rng);
+        let b = arb_rect(rng);
         if let Some(i) = a.intersect(b) {
-            prop_assert!(a.contains_rect(i));
-            prop_assert!(b.contains_rect(i));
-            prop_assert!(a.touches(b));
+            assert!(a.contains_rect(i));
+            assert!(b.contains_rect(i));
+            assert!(a.touches(b));
         } else {
-            prop_assert!(!a.touches(b));
+            assert!(!a.touches(b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rect_hull_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_hull_contains_both() {
+    check("rect_hull_contains_both", 256, |rng| {
+        let a = arb_rect(rng);
+        let b = arb_rect(rng);
         let h = a.hull(b);
-        prop_assert!(h.contains_rect(a));
-        prop_assert!(h.contains_rect(b));
+        assert!(h.contains_rect(a));
+        assert!(h.contains_rect(b));
         // Hull area ≥ both areas.
-        prop_assert!(h.area() >= a.area());
-        prop_assert!(h.area() >= b.area());
-    }
+        assert!(h.area() >= a.area());
+        assert!(h.area() >= b.area());
+    });
+}
 
-    #[test]
-    fn rect_dist_zero_iff_touching(a in arb_rect(), b in arb_rect()) {
-        prop_assert_eq!(a.dist(b) == 0, a.touches(b));
-        prop_assert_eq!(a.dist(b), b.dist(a));
-    }
+#[test]
+fn rect_dist_zero_iff_touching() {
+    check("rect_dist_zero_iff_touching", 256, |rng| {
+        let a = arb_rect(rng);
+        let b = arb_rect(rng);
+        assert_eq!(a.dist(b) == 0, a.touches(b));
+        assert_eq!(a.dist(b), b.dist(a));
+    });
+}
 
-    #[test]
-    fn rect_overlap_implies_touch(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_overlap_implies_touch() {
+    check("rect_overlap_implies_touch", 256, |rng| {
+        let a = arb_rect(rng);
+        let b = arb_rect(rng);
         if a.overlaps(b) {
-            prop_assert!(a.touches(b));
-            prop_assert!(a.intersect(b).map(|i| i.area() > 0).unwrap_or(false));
+            assert!(a.touches(b));
+            assert!(a.intersect(b).map(|i| i.area() > 0).unwrap_or(false));
         }
-    }
+    });
+}
 
-    #[test]
-    fn transform_roundtrip(p in arb_point(),
-                           loc in arb_point(),
-                           o in prop::sample::select(Orient::ALL.to_vec()),
-                           w in 1i64..1000, h in 1i64..1000) {
+#[test]
+fn transform_roundtrip() {
+    check("transform_roundtrip", 256, |rng| {
+        let p = arb_point(rng);
+        let loc = arb_point(rng);
+        let o = arb_orient(rng);
+        let w = rng.gen_range(1i64..1000);
+        let h = rng.gen_range(1i64..1000);
         let t = Transform::new(loc, o, w, h);
-        prop_assert_eq!(t.invert(t.apply(p)), p);
-    }
+        assert_eq!(t.invert(t.apply(p)), p);
+    });
+}
 
-    #[test]
-    fn transform_preserves_manhattan_distance(a in arb_point(), b in arb_point(),
-                                              loc in arb_point(),
-                                              o in prop::sample::select(Orient::ALL.to_vec())) {
-        let t = Transform::new(loc, o, 500, 300);
+#[test]
+fn transform_preserves_manhattan_distance() {
+    check("transform_preserves_manhattan_distance", 256, |rng| {
+        let a = arb_point(rng);
+        let b = arb_point(rng);
+        let loc = arb_point(rng);
+        let t = Transform::new(loc, arb_orient(rng), 500, 300);
         // Rigid Manhattan motions (90° rotations + mirrors) preserve L1 distance.
-        prop_assert_eq!(t.apply(a).manhattan(t.apply(b)), a.manhattan(b));
-    }
+        assert_eq!(t.apply(a).manhattan(t.apply(b)), a.manhattan(b));
+    });
+}
 
-    #[test]
-    fn transform_rect_preserves_area(r in arb_rect(), loc in arb_point(),
-                                     o in prop::sample::select(Orient::ALL.to_vec())) {
-        let t = Transform::new(loc, o, 500, 300);
-        prop_assert_eq!(t.apply_rect(r).area(), r.area());
-    }
+#[test]
+fn transform_rect_preserves_area() {
+    check("transform_rect_preserves_area", 256, |rng| {
+        let r = arb_rect(rng);
+        let loc = arb_point(rng);
+        let t = Transform::new(loc, arb_orient(rng), 500, 300);
+        assert_eq!(t.apply_rect(r).area(), r.area());
+    });
+}
 
-    #[test]
-    fn max_rects_cover_union_and_stay_inside(shapes in prop::collection::vec(arb_rect(), 1..6)) {
+#[test]
+fn max_rects_cover_union_and_stay_inside() {
+    check("max_rects_cover_union_and_stay_inside", 128, |rng| {
+        let shapes = arb_rects(rng, 1, 6);
         let maxes = max_rects(&shapes);
-        prop_assert!(!maxes.is_empty());
-        // Every maximal rect's corners/center lie inside the union bbox, and
-        // its center is covered by some input shape.
+        assert!(!maxes.is_empty());
+        // Every maximal rect's center is covered by some input shape.
         for m in &maxes {
-            prop_assert!(shapes.iter().any(|s| s.contains(m.center())),
-                         "max rect {} center not covered", m);
+            assert!(
+                shapes.iter().any(|s| s.contains(m.center())),
+                "max rect {m} center not covered"
+            );
             // Maximality: no other maximal rect contains it.
             for other in &maxes {
                 if other != m {
-                    prop_assert!(!other.contains_rect(*m),
-                                 "max rect {} contained in {}", m, other);
+                    assert!(
+                        !other.contains_rect(*m),
+                        "max rect {m} contained in {other}"
+                    );
                 }
             }
         }
-        // Every input shape is contained in at least one maximal rect if the
-        // shape is itself "whole" — weaker check: each input corner cell center
-        // is covered by some max rect.
+        // Weaker coverage check: each input shape's center is covered by
+        // some max rect.
         for s in &shapes {
-            prop_assert!(maxes.iter().any(|m| m.contains(s.center())));
+            assert!(maxes.iter().any(|m| m.contains(s.center())));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rtree_query_matches_linear_scan(items in prop::collection::vec(arb_rect(), 0..80),
-                                       window in arb_rect()) {
+#[test]
+fn rtree_query_matches_linear_scan() {
+    check("rtree_query_matches_linear_scan", 128, |rng| {
+        let items = arb_rects(rng, 0, 80);
+        let window = arb_rect(rng);
         let tree: RTree<usize> = items.iter().copied().zip(0usize..).collect();
         let mut got: Vec<usize> = tree.query(window).map(|(_, &i)| i).collect();
         got.sort_unstable();
@@ -135,23 +184,26 @@ proptest! {
             .map(|(i, _)| i)
             .collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn rtree_insert_then_query(items in prop::collection::vec(arb_rect(), 1..40)) {
+#[test]
+fn rtree_insert_then_query() {
+    check("rtree_insert_then_query", 128, |rng| {
+        let items = arb_rects(rng, 1, 40);
         let mut tree: RTree<usize> = RTree::new();
         for (i, r) in items.iter().enumerate() {
             tree.insert(*r, i);
         }
         for (i, r) in items.iter().enumerate() {
-            prop_assert!(tree.query(*r).any(|(_, &j)| j == i));
+            assert!(tree.query(*r).any(|(_, &j)| j == i));
         }
         tree.rebuild();
         for (i, r) in items.iter().enumerate() {
-            prop_assert!(tree.query(*r).any(|(_, &j)| j == i));
+            assert!(tree.query(*r).any(|(_, &j)| j == i));
         }
-    }
+    });
 }
 
 /// Shoelace area of a vertex loop (positive CCW).
@@ -165,35 +217,40 @@ fn shoelace(loop_: &[Point]) -> i128 {
     acc / 2
 }
 
-proptest! {
-    /// The signed areas of the union's boundary loops (outer CCW positive,
-    /// holes CW negative) sum to the union area — ties the boundary tracer
-    /// and the area scanline together.
-    #[test]
-    fn boundary_loops_shoelace_matches_union_area(
-        shapes in prop::collection::vec(arb_rect(), 1..7),
-    ) {
+/// The signed areas of the union's boundary loops (outer CCW positive,
+/// holes CW negative) sum to the union area — ties the boundary tracer
+/// and the area scanline together.
+#[test]
+fn boundary_loops_shoelace_matches_union_area() {
+    check("boundary_loops_shoelace_matches_union_area", 128, |rng| {
         use pao_geom::boundary::{union_area, union_boundaries};
+        let shapes = arb_rects(rng, 1, 7);
         let loops = union_boundaries(&shapes);
         let total: i128 = loops.iter().map(|l| shoelace(l)).sum();
-        prop_assert_eq!(total, union_area(&shapes));
-    }
+        assert_eq!(total, union_area(&shapes));
+    });
+}
 
-    /// Every boundary edge is axis-parallel and no loop self-intersects at
-    /// a vertex (all loop vertices distinct).
-    #[test]
-    fn boundary_loops_are_rectilinear(shapes in prop::collection::vec(arb_rect(), 1..7)) {
+/// Every boundary edge is axis-parallel and no loop self-intersects at
+/// a vertex (all loop vertices distinct).
+#[test]
+fn boundary_loops_are_rectilinear() {
+    check("boundary_loops_are_rectilinear", 128, |rng| {
         use pao_geom::boundary::union_boundaries;
+        let shapes = arb_rects(rng, 1, 7);
         for l in union_boundaries(&shapes) {
             for i in 0..l.len() {
                 let a = l[i];
                 let b = l[(i + 1) % l.len()];
-                prop_assert!((a.x == b.x) ^ (a.y == b.y), "edge {a}->{b} not axis-parallel");
+                assert!(
+                    (a.x == b.x) ^ (a.y == b.y),
+                    "edge {a}->{b} not axis-parallel"
+                );
             }
             let mut vs = l.clone();
             vs.sort_unstable();
             vs.dedup();
-            prop_assert_eq!(vs.len(), l.len(), "duplicate vertex in loop");
+            assert_eq!(vs.len(), l.len(), "duplicate vertex in loop");
         }
-    }
+    });
 }

@@ -210,8 +210,20 @@ mod snap_property_tests {
         t.add_layer(Layer::cut("V1", 70, 80));
         t.add_layer(Layer::routing("M2", Dir::Vertical, 170, 60, 70));
         let mut d = Design::new("g", Rect::new(0, 0, 3000, 3000));
-        d.tracks.push(TrackPattern::new(Dir::Vertical, 85, 170, 17, vec![LayerId(2)]));
-        d.tracks.push(TrackPattern::new(Dir::Horizontal, 100, 200, 14, vec![LayerId(0)]));
+        d.tracks.push(TrackPattern::new(
+            Dir::Vertical,
+            85,
+            170,
+            17,
+            vec![LayerId(2)],
+        ));
+        d.tracks.push(TrackPattern::new(
+            Dir::Horizontal,
+            100,
+            200,
+            14,
+            vec![LayerId(0)],
+        ));
         let g = RouteGrid::from_design(&t, &d, LayerId(0), LayerId(2));
         // Deterministic pseudo-random probes via an LCG.
         let mut state: u64 = 0xDEAD_BEEF;
@@ -225,13 +237,12 @@ mod snap_property_tests {
             let p = Point::new(rnd(), rnd());
             let n = g.snap(LayerId(2), p).expect("layer in grid");
             let got = g.pos(n).manhattan(p);
-            let best = g
-                .xs
-                .iter()
-                .flat_map(|&x| g.ys.iter().map(move |&y| Point::new(x, y)))
-                .map(|q| q.manhattan(p))
-                .min()
-                .expect("grid nonempty");
+            let best =
+                g.xs.iter()
+                    .flat_map(|&x| g.ys.iter().map(move |&y| Point::new(x, y)))
+                    .map(|q| q.manhattan(p))
+                    .min()
+                    .expect("grid nonempty");
             // Nearest-per-axis equals the global Manhattan optimum on a
             // product grid.
             assert_eq!(got, best, "probe {p}");

@@ -1,89 +1,89 @@
 //! Property-based tests: LEF round-trips and rule-table invariants.
 
 use pao_geom::{Dir, Rect};
+use pao_ptest::{check, Rng};
 use pao_tech::{lef, Layer, Macro, Pin, PinDir, Port, SpacingTable, Tech, ViaDef};
-use proptest::prelude::*;
 
-/// Strategy: a random but structurally valid 2–4 routing-layer tech.
-fn arb_tech() -> impl Strategy<Value = Tech> {
-    (
-        2usize..5,                                           // routing layers
-        50i64..200,                                          // width
-        50i64..300,                                          // spacing
-        100i64..500,                                         // pitch
-        prop::collection::vec((1i64..300, 1i64..300), 1..4), // macro pin sizes
-    )
-        .prop_map(|(nl, width, spacing, pitch, pins)| {
-            let mut t = Tech::new(1000);
-            let mut routing = Vec::new();
-            for i in 0..nl {
-                if i > 0 {
-                    t.add_layer(Layer::cut(format!("v{i}"), width / 2 + 10, spacing));
-                }
-                let dir = if i % 2 == 0 {
-                    Dir::Horizontal
-                } else {
-                    Dir::Vertical
-                };
-                let mut l = Layer::routing(format!("m{}", i + 1), dir, pitch, width, spacing);
-                l.offset = pitch / 2;
-                routing.push(t.add_layer(l));
-            }
-            if nl >= 2 {
-                let cut = t.layer_id("v1").expect("cut exists");
-                let hw = width / 4 + 5;
-                let via = ViaDef::new(
-                    "via1_0",
-                    routing[0],
-                    vec![Rect::new(-hw * 3, -hw, hw * 3, hw)],
-                    cut,
-                    vec![Rect::new(-hw, -hw, hw, hw)],
-                    routing[1],
-                    vec![Rect::new(-hw, -hw * 3, hw, hw * 3)],
-                );
-                t.add_via(via);
-            }
-            let mut m = Macro::new("CELL", 1000, 2000);
-            for (pi, (w, h)) in pins.into_iter().enumerate() {
-                m.pins.push(Pin::new(
-                    format!("P{pi}"),
-                    PinDir::Input,
-                    vec![Port::rects(
-                        routing[0],
-                        vec![Rect::new(
-                            10 + pi as i64 * 10,
-                            20,
-                            10 + pi as i64 * 10 + w,
-                            20 + h,
-                        )],
-                    )],
-                ));
-            }
-            t.add_macro(m);
-            t
-        })
+/// A random but structurally valid 2–4 routing-layer tech.
+fn arb_tech(rng: &mut Rng) -> Tech {
+    let nl = rng.gen_range(2usize..5);
+    let width = rng.gen_range(50i64..200);
+    let spacing = rng.gen_range(50i64..300);
+    let pitch = rng.gen_range(100i64..500);
+    let n_pins = rng.gen_range(1usize..4);
+    let pins: Vec<(i64, i64)> = (0..n_pins)
+        .map(|_| (rng.gen_range(1i64..300), rng.gen_range(1i64..300)))
+        .collect();
+
+    let mut t = Tech::new(1000);
+    let mut routing = Vec::new();
+    for i in 0..nl {
+        if i > 0 {
+            t.add_layer(Layer::cut(format!("v{i}"), width / 2 + 10, spacing));
+        }
+        let dir = if i % 2 == 0 {
+            Dir::Horizontal
+        } else {
+            Dir::Vertical
+        };
+        let mut l = Layer::routing(format!("m{}", i + 1), dir, pitch, width, spacing);
+        l.offset = pitch / 2;
+        routing.push(t.add_layer(l));
+    }
+    if nl >= 2 {
+        let cut = t.layer_id("v1").expect("cut exists");
+        let hw = width / 4 + 5;
+        let via = ViaDef::new(
+            "via1_0",
+            routing[0],
+            vec![Rect::new(-hw * 3, -hw, hw * 3, hw)],
+            cut,
+            vec![Rect::new(-hw, -hw, hw, hw)],
+            routing[1],
+            vec![Rect::new(-hw, -hw * 3, hw, hw * 3)],
+        );
+        t.add_via(via);
+    }
+    let mut m = Macro::new("CELL", 1000, 2000);
+    for (pi, (w, h)) in pins.into_iter().enumerate() {
+        m.pins.push(Pin::new(
+            format!("P{pi}"),
+            PinDir::Input,
+            vec![Port::rects(
+                routing[0],
+                vec![Rect::new(
+                    10 + pi as i64 * 10,
+                    20,
+                    10 + pi as i64 * 10 + w,
+                    20 + h,
+                )],
+            )],
+        ));
+    }
+    t.add_macro(m);
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lef_roundtrip_preserves_everything(t in arb_tech()) {
+#[test]
+fn lef_roundtrip_preserves_everything() {
+    check("lef_roundtrip_preserves_everything", 64, |rng| {
+        let t = arb_tech(rng);
         let text = lef::write_lef(&t);
         let t2 = lef::parse_lef(&text).expect("own output parses");
-        prop_assert_eq!(t.dbu_per_micron, t2.dbu_per_micron);
-        prop_assert_eq!(t.layers(), t2.layers());
-        prop_assert_eq!(t.vias(), t2.vias());
-        prop_assert_eq!(t.macros(), t2.macros());
-    }
+        assert_eq!(t.dbu_per_micron, t2.dbu_per_micron);
+        assert_eq!(t.layers(), t2.layers());
+        assert_eq!(t.vias(), t2.vias());
+        assert_eq!(t.macros(), t2.macros());
+    });
+}
 
-    #[test]
-    fn spacing_table_lookup_is_monotone(
-        base in 10i64..200,
-        w_step in 10i64..200,
-        p_step in 10i64..500,
-        bumps in prop::collection::vec(0i64..100, 4),
-    ) {
+#[test]
+fn spacing_table_lookup_is_monotone() {
+    check("spacing_table_lookup_is_monotone", 128, |rng| {
+        let base = rng.gen_range(10i64..200);
+        let w_step = rng.gen_range(10i64..200);
+        let p_step = rng.gen_range(10i64..500);
+        let bumps: Vec<i64> = (0..4).map(|_| rng.gen_range(0i64..100)).collect();
         // Build a table that is monotone by construction and verify
         // lookups never decrease as width/PRL grow.
         let t = SpacingTable::new(
@@ -91,32 +91,40 @@ proptest! {
             vec![0, p_step],
             vec![
                 vec![base, base + bumps[0]],
-                vec![base + bumps[1], base + bumps[0].max(bumps[1]) + bumps[2] + bumps[3]],
+                vec![
+                    base + bumps[1],
+                    base + bumps[0].max(bumps[1]) + bumps[2] + bumps[3],
+                ],
             ],
         );
         let mut last = 0;
         for w in [0, w_step - 1, w_step, w_step * 2] {
             let s = t.lookup(w, p_step * 2);
-            prop_assert!(s >= last, "width monotone");
+            assert!(s >= last, "width monotone");
             last = s;
         }
         let mut last = 0;
         for p in [0, p_step, p_step + 1, p_step * 3] {
             let s = t.lookup(w_step * 2, p);
-            prop_assert!(s >= last, "PRL monotone");
+            assert!(s >= last, "PRL monotone");
             last = s;
         }
-        prop_assert!(t.max_spacing() >= base);
-    }
+        assert!(t.max_spacing() >= base);
+    });
+}
 
-    #[test]
-    fn required_spacing_at_least_simple(w1 in 0i64..500, w2 in 0i64..500, prl in 0i64..2000) {
+#[test]
+fn required_spacing_at_least_simple() {
+    check("required_spacing_at_least_simple", 128, |rng| {
+        let w1 = rng.gen_range(0i64..500);
+        let w2 = rng.gen_range(0i64..500);
+        let prl = rng.gen_range(0i64..2000);
         let mut l = Layer::routing("m", Dir::Horizontal, 200, 100, 120);
         l.spacing_table = Some(SpacingTable::new(
             vec![0, 200],
             vec![0, 500],
             vec![vec![100, 110], vec![110, 200]],
         ));
-        prop_assert!(l.required_spacing(w1, w2, prl) >= 120);
-    }
+        assert!(l.required_spacing(w1, w2, prl) >= 120);
+    });
 }

@@ -2,9 +2,8 @@
 
 use pao_design::{CompId, Design, IoPin, Net, NetPin};
 use pao_geom::{Orient, Point, Rect};
+use pao_ptest::Rng;
 use pao_tech::{PinDir, Tech};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Netlist parameters.
 #[derive(Debug, Clone)]
@@ -21,7 +20,7 @@ pub struct NetlistConfig {
 /// window), mimicking the short-net locality of placed designs. Every
 /// instance pin joins at most one net. A share of nets additionally get a
 /// design I/O pin on the die boundary.
-pub fn build_netlist(tech: &Tech, design: &mut Design, cfg: &NetlistConfig, rng: &mut StdRng) {
+pub fn build_netlist(tech: &Tech, design: &mut Design, cfg: &NetlistConfig, rng: &mut Rng) {
     // Collect drivers (output pins) and sinks (input pins) per component.
     let mut drivers: Vec<(CompId, String)> = Vec::new();
     let mut sinks: Vec<(CompId, String, Point)> = Vec::new();
@@ -146,14 +145,13 @@ mod tests {
     use crate::cells::add_std_cells;
     use crate::place::{place_design, PlaceConfig};
     use crate::techs::{make_tech, TechFlavor};
-    use rand::SeedableRng;
     use std::collections::HashSet;
 
     fn world(cells: usize, nets: usize, io: usize) -> (Tech, Design) {
         let flavor = TechFlavor::N45;
         let mut tech = make_tech(flavor);
         add_std_cells(&mut tech, flavor);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::new(11);
         let mut d = place_design(
             &tech,
             flavor,

@@ -4,9 +4,8 @@ use crate::cells::CELL_SPECS;
 use crate::techs::TechFlavor;
 use pao_design::{Component, Design, Row, TrackPattern};
 use pao_geom::{Dir, Orient, Point, Rect};
+use pao_ptest::Rng;
 use pao_tech::{LayerKind, Tech};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Placement parameters.
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ pub fn place_design(
     tech: &Tech,
     flavor: TechFlavor,
     cfg: &PlaceConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     name: &str,
 ) -> Design {
     let p = flavor.params();
@@ -129,7 +128,7 @@ pub fn place_design(
                 continue;
             }
             // Occasional gap per utilization.
-            if rng.gen_range(0..100) >= cfg.utilization {
+            if rng.gen_range(0..100u32) >= cfg.utilization {
                 col += i64::from(rng.gen_range(1..3u32));
                 continue;
             }
@@ -197,7 +196,6 @@ mod tests {
     use super::*;
     use crate::cells::{add_block_macro, add_std_cells};
     use crate::techs::make_tech;
-    use rand::SeedableRng;
 
     fn world(cells: usize, macros: usize) -> (Tech, Design) {
         let flavor = TechFlavor::N45;
@@ -206,7 +204,7 @@ mod tests {
         if macros > 0 {
             add_block_macro(&mut tech, flavor);
         }
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::new(7);
         let cfg = PlaceConfig {
             cells,
             macros,

@@ -5,9 +5,8 @@ use crate::netlist::{build_netlist, NetlistConfig};
 use crate::place::{place_design, PlaceConfig};
 use crate::techs::{make_tech, TechFlavor};
 use pao_design::Design;
+use pao_ptest::Rng;
 use pao_tech::Tech;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One testcase of the synthetic suite.
 #[derive(Debug, Clone)]
@@ -102,7 +101,7 @@ pub fn generate(case: &SuiteCase) -> (Tech, Design) {
     if case.macros > 0 {
         add_block_macro(&mut tech, case.flavor);
     }
-    let mut rng = StdRng::seed_from_u64(case.seed);
+    let mut rng = Rng::new(case.seed);
     let mut design = place_design(
         &tech,
         case.flavor,

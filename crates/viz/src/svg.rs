@@ -164,7 +164,10 @@ mod flip_tests {
         // A rect at the window's top-left corner renders at viewBox (x, 0).
         doc.rect(Rect::new(9_000, 87_000, 10_000, 88_000), "#000", 1.0, None);
         let s = doc.finish();
-        assert!(s.contains(r#"<rect x="9000" y="0" width="1000" height="1000""#), "{s}");
+        assert!(
+            s.contains(r#"<rect x="9000" y="0" width="1000" height="1000""#),
+            "{s}"
+        );
         // And one at the bottom edge renders at y = h - height.
         let mut doc = SvgDoc::new(win);
         doc.rect(Rect::new(9_000, 80_000, 10_000, 81_000), "#000", 1.0, None);

@@ -90,7 +90,10 @@ fn main() {
         .iter()
         .max_by_key(|c| c.comps.len())
         .expect("some cluster");
-    println!("\nlargest cluster ({} instances, left to right):", big.comps.len());
+    println!(
+        "\nlargest cluster ({} instances, left to right):",
+        big.comps.len()
+    );
     let mut vertices = 0usize;
     for &comp in &big.comps {
         let c = design.component(comp);
@@ -107,7 +110,10 @@ fn main() {
             result.selection[comp.index()]
         );
     }
-    println!("cluster DP: {vertices} vertices over {} layers", big.comps.len());
+    println!(
+        "cluster DP: {vertices} vertices over {} layers",
+        big.comps.len()
+    );
 
     // Compare against a run without BCA.
     let mut cfg = PaoConfig::default();

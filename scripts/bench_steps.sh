@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Times the three PAAF steps (std::time::Instant inside the oracle)
+# single-threaded vs. parallel and writes the comparison to
+# BENCH_pao.json. Offline; uses the generated suite, no criterion.
+#
+# Usage: scripts/bench_steps.sh [case] [threads] [out.json]
+#   case     testgen case name (smoke, ispd18s_test1..10, aes14);
+#            default ispd18s_test2
+#   threads  parallel worker count; default: all available cores
+#   out      output path; default BENCH_pao.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CASE="${1:-ispd18s_test2}"
+OUT="${3:-BENCH_pao.json}"
+ARGS=(bench --case "$CASE" --out "$OUT")
+if [[ -n "${2:-}" ]]; then
+  ARGS+=(--threads "$2")
+fi
+
+cargo run --release -p pao-cli -- "${ARGS[@]}"
+echo "wrote $OUT"

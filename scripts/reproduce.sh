@@ -13,13 +13,18 @@ echo "== tests =="
 cargo test --workspace 2>&1 | tee test_output.txt
 
 echo "== tables and figures (out/) =="
-cargo run --release -p pao-bench --bin tables -- all
+# pao-bench is excluded from the workspace so the workspace builds
+# offline; its criterion dependency needs registry access once.
+cargo run --release --manifest-path crates/bench/Cargo.toml --bin tables -- all
 
 echo "== figure examples =="
 cargo run --release --example coordinate_types
 cargo run --release --example routed_def
 
+echo "== step timings (offline, BENCH_pao.json) =="
+scripts/bench_steps.sh
+
 echo "== criterion benches =="
-cargo bench --workspace 2>&1 | tee bench_output.txt
+cargo bench --manifest-path crates/bench/Cargo.toml 2>&1 | tee bench_output.txt
 
 echo "Done. See out/, test_output.txt, bench_output.txt, EXPERIMENTS.md."

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline tier-1 verification: formatting, lints, release build and the
+# full test suite. Needs no network — the workspace has zero external
+# dependencies (the criterion benches live in the excluded crates/bench
+# package; see scripts/reproduce.sh for those).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== release build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "verify: OK"

@@ -169,5 +169,9 @@ fn unplaced_components_are_skipped_by_analysis() {
     let text = def::write_def(&design, &tech);
     assert!(text.contains("+ UNPLACED ;"));
     let again = def::parse_def(&text, &tech).expect("re-parses");
-    assert!(!again.component(again.component_by_name("u1").unwrap()).is_placed);
+    assert!(
+        !again
+            .component(again.component_by_name("u1").unwrap())
+            .is_placed
+    );
 }

@@ -1,28 +1,87 @@
 //! Integration: multi-threaded analysis produces bit-identical results to
-//! the single-threaded (paper measurement) mode.
+//! the single-threaded (paper measurement) mode, for every thread count,
+//! on generated suites and the checked-in LEF/DEF smoke benchmark.
 
-use paaf::pao::{PaoConfig, PinAccessOracle};
-use paaf::testgen::{generate, SuiteCase};
+use paaf::pao::{PaoConfig, PaoResult, PinAccessOracle};
+use paaf::testgen::{generate, ispd18s_suite, SuiteCase};
+use pao_design::Design;
+use pao_tech::Tech;
 
-#[test]
-fn threaded_analysis_matches_single_threaded() {
-    let (tech, design) = generate(&SuiteCase::small_smoke());
-    let single = PinAccessOracle::new().analyze(&tech, &design);
+fn analyze_with_threads(tech: &Tech, design: &Design, threads: usize) -> PaoResult {
     let cfg = PaoConfig {
-        threads: 4,
+        threads,
         ..PaoConfig::default()
     };
-    let multi = PinAccessOracle::with_config(cfg).analyze(&tech, &design);
+    PinAccessOracle::with_config(cfg).analyze(tech, design)
+}
 
-    assert_eq!(single.stats.unique_instances, multi.stats.unique_instances);
-    assert_eq!(single.stats.total_aps, multi.stats.total_aps);
-    assert_eq!(single.stats.dirty_aps, multi.stats.dirty_aps);
-    assert_eq!(single.stats.failed_pins, multi.stats.failed_pins);
-    assert_eq!(single.selection, multi.selection);
-    for (a, b) in single.unique.iter().zip(&multi.unique) {
-        assert_eq!(a.info, b.info);
-        assert_eq!(a.pin_aps, b.pin_aps);
-        assert_eq!(a.pin_order, b.pin_order);
-        assert_eq!(a.patterns, b.patterns);
+/// The determinism contract: everything except wall-clock/executor
+/// telemetry must be equal.
+fn assert_identical(base: &PaoResult, other: &PaoResult, label: &str) {
+    assert!(
+        base.stats.counters_eq(&other.stats),
+        "{label}: stats counters diverged\nbase:\n{}\nother:\n{}",
+        base.stats,
+        other.stats
+    );
+    assert_eq!(base.comp_uniq, other.comp_uniq, "{label}: comp_uniq");
+    assert_eq!(base.selection, other.selection, "{label}: selection");
+    assert_eq!(base.overrides, other.overrides, "{label}: repair overrides");
+    assert_eq!(base.unique.len(), other.unique.len(), "{label}: unique");
+    for (a, b) in base.unique.iter().zip(&other.unique) {
+        assert_eq!(a.info, b.info, "{label}: unique info");
+        assert_eq!(a.pin_aps, b.pin_aps, "{label}: pin APs");
+        assert_eq!(a.pin_order, b.pin_order, "{label}: pin order");
+        assert_eq!(a.patterns, b.patterns, "{label}: patterns");
+    }
+}
+
+#[test]
+fn testgen_cases_identical_across_thread_counts() {
+    let mut cases = vec![SuiteCase::small_smoke()];
+    // The smallest Table I row (45 nm) plus a 32 nm case with a macro, so
+    // the comparison covers block pins and planar access too.
+    cases.push(ispd18s_suite().swap_remove(0));
+    cases.push(SuiteCase {
+        name: "par_macro".into(),
+        flavor: paaf::testgen::TechFlavor::N32B,
+        cells: 120,
+        macros: 1,
+        nets: 110,
+        io_pins: 8,
+        utilization: 80,
+        seed: 99,
+    });
+    for case in cases {
+        let (tech, design) = generate(&case);
+        let base = analyze_with_threads(&tech, &design, 1);
+        for threads in [2, 4, 8] {
+            let multi = analyze_with_threads(&tech, &design, threads);
+            assert_identical(&base, &multi, &format!("{} threads={threads}", case.name));
+            // The executor actually engaged the requested worker count on
+            // at least one phase (unless there was less work than workers).
+            let engaged = multi.stats.apgen_exec.threads.max(
+                multi
+                    .stats
+                    .audit_exec
+                    .threads
+                    .max(multi.stats.cluster_exec.threads),
+            );
+            assert!(engaged > 1, "{}: no phase ran parallel", case.name);
+        }
+    }
+}
+
+#[test]
+fn smoke_benchmark_identical_across_thread_counts() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let lef = std::fs::read_to_string(format!("{root}/benchmarks/smoke.lef")).expect("smoke.lef");
+    let def = std::fs::read_to_string(format!("{root}/benchmarks/smoke.def")).expect("smoke.def");
+    let tech = pao_tech::lef::parse_lef(&lef).expect("parse smoke.lef");
+    let design = pao_design::def::parse_def(&def, &tech).expect("parse smoke.def");
+    let base = analyze_with_threads(&tech, &design, 1);
+    for threads in [2, 4, 8] {
+        let multi = analyze_with_threads(&tech, &design, threads);
+        assert_identical(&base, &multi, &format!("smoke threads={threads}"));
     }
 }

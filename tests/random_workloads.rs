@@ -4,50 +4,42 @@
 
 use paaf::pao::PinAccessOracle;
 use paaf::testgen::{generate, SuiteCase, TechFlavor};
-use proptest::prelude::*;
+use pao_ptest::{check, Rng};
 
-fn arb_case() -> impl Strategy<Value = SuiteCase> {
-    (
-        prop::sample::select(vec![
-            TechFlavor::N45,
-            TechFlavor::N32A,
-            TechFlavor::N32B,
-            TechFlavor::N14,
-        ]),
-        20usize..90,
-        0usize..2,
-        60u32..95,
-        any::<u64>(),
-    )
-        .prop_map(|(flavor, cells, macros, utilization, seed)| SuiteCase {
-            name: format!("rnd{seed}"),
-            flavor,
-            cells,
-            macros,
-            nets: cells,
-            io_pins: 4,
-            utilization,
-            seed,
-        })
+fn arb_case(rng: &mut Rng) -> SuiteCase {
+    let flavor = *rng.pick(&[
+        TechFlavor::N45,
+        TechFlavor::N32A,
+        TechFlavor::N32B,
+        TechFlavor::N14,
+    ]);
+    let cells = rng.gen_range(20usize..90);
+    let seed = rng.next_u64();
+    SuiteCase {
+        name: format!("rnd{seed}"),
+        flavor,
+        cells,
+        macros: rng.gen_range(0usize..2),
+        nets: cells,
+        io_pins: 4,
+        utilization: rng.gen_range(60u32..95),
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        max_shrink_iters: 4,
-        ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn paaf_never_fails_pins_on_generated_workloads(case in arb_case()) {
+#[test]
+fn paaf_never_fails_pins_on_generated_workloads() {
+    check("paaf_never_fails_pins_on_generated_workloads", 12, |rng| {
+        let case = arb_case(rng);
         let (tech, design) = generate(&case);
         let result = PinAccessOracle::new().analyze(&tech, &design);
-        prop_assert_eq!(
+        assert_eq!(
             result.stats.failed_pins, 0,
-            "case {:?}: {}", case, result.stats
+            "case {case:?}: {}",
+            result.stats
         );
-        prop_assert_eq!(result.stats.dirty_aps, 0);
-        prop_assert_eq!(result.stats.pins_without_aps, 0);
+        assert_eq!(result.stats.dirty_aps, 0);
+        assert_eq!(result.stats.pins_without_aps, 0);
         // Selected access points are on their pins.
         for net in design.nets() {
             for (comp, pin_name) in net.comp_pins() {
@@ -64,8 +56,8 @@ proptest! {
                     .placed_pin_shapes(&tech, comp)
                     .iter()
                     .any(|&(p, _, r)| p == pi && r.contains(ap.pos));
-                prop_assert!(on_pin, "case {:?}: AP off pin {comp}/{pin_name}", case);
+                assert!(on_pin, "case {case:?}: AP off pin {comp}/{pin_name}");
             }
         }
-    }
+    });
 }
