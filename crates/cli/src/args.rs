@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 9] = [
+const VALUE_OPTS: [&str; 10] = [
     "--threads",
     "--k",
     "--report",
@@ -21,6 +21,7 @@ const VALUE_OPTS: [&str; 9] = [
     "--out",
     "--cache",
     "--case",
+    "--trace",
 ];
 
 impl Args {

@@ -3,12 +3,15 @@
 //! ```text
 //! pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
 //!             [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
+//!             [--metrics] [--trace FILE]
 //! pao route   <tech.lef> <design.def> [--naive] [--report FILE]
 //! pao drc     <tech.lef> <design.def>
 //! pao gen     <case> --lef FILE --def FILE      (case: ispd18s_test1..10,
 //!                                                aes14, smoke, or `list`)
 //! pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
 //!             [--out FILE]
+//! pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
+//!             [--trace FILE] [--report FILE]
 //! ```
 
 use pao_core::{PaoConfig, PinAccessOracle};
@@ -41,8 +44,29 @@ fn emit(report: Option<&str>, content: &str) -> Result<(), String> {
     }
 }
 
+/// Validates an exported Chrome trace with the crate's own JSON parser
+/// and writes it to `path`.
+fn write_trace(path: &str, dump: &pao_obs::TraceDump) -> Result<(), String> {
+    let json = dump.to_chrome_json();
+    pao_obs::json::validate(&json)
+        .map_err(|e| format!("internal: exported trace is not valid JSON: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!(
+        "wrote {path} ({} spans, {} tracks)",
+        dump.events.len(),
+        dump.tracks.len()
+    );
+    Ok(())
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+    if args.flag("--metrics") {
+        pao_obs::enable_metrics();
+    }
+    if args.value("--trace").is_some() {
+        pao_obs::enable_trace();
+    }
     let mut cfg = PaoConfig::default();
     if let Some(t) = args.value("--threads") {
         cfg.threads = t
@@ -74,8 +98,13 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         }
         None => oracle.analyze(&tech, &design),
     };
+    pao_obs::disable_all();
     let mut out = String::new();
     out.push_str(&format!("design: {}\n{}\n", design.name, result.stats));
+    if args.flag("--metrics") {
+        out.push_str("\nmetrics:\n");
+        out.push_str(&result.stats.metrics.to_table());
+    }
     // Per-pin access listing for failed pins (the actionable part).
     let mut failures = String::new();
     for net in design.nets() {
@@ -110,6 +139,9 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         let svg = pao_viz::render_cell_access(&tech, &design, &result, comp);
         std::fs::write(file, svg).map_err(|e| format!("cannot write `{file}`: {e}"))?;
         eprintln!("wrote {file}");
+    }
+    if let Some(path) = args.value("--trace") {
+        write_trace(path, &pao_obs::take_trace())?;
     }
     Ok(())
 }
@@ -251,12 +283,13 @@ fn stats_json(stats: &pao_core::PaoStats) -> String {
     )
 }
 
-fn cmd_bench(args: &Args) -> Result<(), String> {
-    // Workload: either an explicit LEF/DEF pair or a generated case.
-    let (tech, design, workload) = match (args.positional(1), args.positional(2)) {
+/// Workload selection shared by `bench` and `profile`: either an
+/// explicit LEF/DEF pair or a generated case (`--case`, default smoke).
+fn load_workload(args: &Args) -> Result<(Tech, Design, String), String> {
+    match (args.positional(1), args.positional(2)) {
         (Ok(lef), Ok(def)) => {
             let (t, d) = load_world(lef, def)?;
-            (t, d, def.to_owned())
+            Ok((t, d, def.to_owned()))
         }
         _ => {
             let name = args.value("--case").unwrap_or("smoke");
@@ -271,15 +304,36 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                     .ok_or_else(|| format!("unknown case `{name}` (try `pao gen list`)"))?
             };
             let (t, d) = pao_testgen::generate(&case);
-            (t, d, case.name)
+            Ok((t, d, case.name))
         }
-    };
-    let threads = match args.value("--threads") {
+    }
+}
+
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    match args.value("--threads") {
         Some(t) => t
             .parse()
-            .map_err(|_| "--threads expects a number".to_owned())?,
-        None => pao_core::default_threads(),
-    };
+            .map_err(|_| "--threads expects a number".to_owned()),
+        None => Ok(pao_core::default_threads()),
+    }
+}
+
+/// Short git revision of the working tree, or `unknown` outside a repo.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let (tech, design, workload) = load_workload(args)?;
+    let threads = parse_threads(args)?;
     let analyze = |threads: usize| {
         let cfg = PaoConfig {
             threads,
@@ -299,13 +353,17 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let json = format!(
         concat!(
             "{{\n  \"workload\": \"{}\",\n  \"components\": {},\n  \"nets\": {},\n",
-            "  \"threads\": {},\n  \"baseline\": {},\n  \"parallel\": {},\n",
+            "  \"threads\": {},\n  \"git_rev\": \"{}\",\n  \"host_threads\": {},\n",
+            "  \"timestamp\": \"{}\",\n  \"baseline\": {},\n  \"parallel\": {},\n",
             "  \"speedup\": {:.3},\n  \"identical_output\": true\n}}\n"
         ),
         workload,
         design.components().len(),
         design.nets().len(),
         threads,
+        git_rev(),
+        pao_core::default_threads(),
+        pao_obs::clock::now_iso8601(),
         stats_json(&baseline.stats),
         stats_json(&parallel.stats),
         speedup,
@@ -316,23 +374,193 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let (tech, design, workload) = load_workload(args)?;
+    let threads = parse_threads(args)?;
+    pao_obs::reset();
+    pao_obs::enable_metrics();
+    if args.value("--trace").is_some() {
+        pao_obs::enable_trace();
+    }
+    let cfg = PaoConfig {
+        threads,
+        ..PaoConfig::default()
+    };
+    let result = PinAccessOracle::with_config(cfg).analyze(&tech, &design);
+    pao_obs::disable_all();
+    let dump = pao_obs::take_trace();
+    let stats = &result.stats;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: {workload} ({} components, {} nets, {threads} threads)\n\n",
+        design.components().len(),
+        design.nets().len(),
+    ));
+    // Per-phase wall vs busy time. select/repair/audit all run inside
+    // the cluster step, so only their combined row has a wall clock of
+    // its own; utilization is busy / (wall x threads).
+    out.push_str("phase        wall_s     busy_s  thr   util%\n");
+    let row = |out: &mut String, name: &str, wall: Option<f64>, busy_us: u64, thr: usize| {
+        let busy_s = busy_us as f64 / 1e6;
+        match wall {
+            Some(w) => {
+                let util = if w > 0.0 {
+                    100.0 * busy_s / (w * thr.max(1) as f64)
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "{name:<10} {w:>8.3} {busy_s:>10.3} {thr:>4} {util:>6.1}\n"
+                ));
+            }
+            None => out.push_str(&format!(
+                "{name:<10} {:>8} {busy_s:>10.3} {thr:>4} {:>6}\n",
+                "--", "--"
+            )),
+        }
+    };
+    row(
+        &mut out,
+        "apgen",
+        Some(stats.apgen_time.as_secs_f64()),
+        stats.apgen_exec.total_busy_us(),
+        stats.apgen_exec.threads,
+    );
+    row(
+        &mut out,
+        "pattern",
+        Some(stats.pattern_time.as_secs_f64()),
+        stats.pattern_exec.total_busy_us(),
+        stats.pattern_exec.threads,
+    );
+    let cluster_busy = stats.cluster_exec.total_busy_us()
+        + stats.repair_exec.total_busy_us()
+        + stats.audit_exec.total_busy_us();
+    let cluster_thr = stats
+        .cluster_exec
+        .threads
+        .max(stats.repair_exec.threads)
+        .max(stats.audit_exec.threads);
+    row(
+        &mut out,
+        "cluster",
+        Some(stats.cluster_time.as_secs_f64()),
+        cluster_busy,
+        cluster_thr,
+    );
+    row(
+        &mut out,
+        "  select",
+        None,
+        stats.cluster_exec.total_busy_us(),
+        stats.cluster_exec.threads,
+    );
+    row(
+        &mut out,
+        "  repair",
+        None,
+        stats.repair_exec.total_busy_us(),
+        stats.repair_exec.threads,
+    );
+    row(
+        &mut out,
+        "  audit",
+        None,
+        stats.audit_exec.total_busy_us(),
+        stats.audit_exec.threads,
+    );
+    out.push_str(&format!(
+        "run        {:>8.3}\n",
+        stats.total_time().as_secs_f64()
+    ));
+    let m = &stats.metrics;
+    out.push_str("\nmetrics:\n");
+    out.push_str(&m.to_table());
+    let hits = m.counter("apgen.via_memo.hits");
+    let misses = m.counter("apgen.via_memo.misses");
+    if hits + misses > 0 {
+        out.push_str(&format!(
+            "\nvia-memo hit rate : {:.1}% ({hits} hits / {} probes)\n",
+            100.0 * hits as f64 / (hits + misses) as f64,
+            hits + misses,
+        ));
+    }
+    // Per-type-pair acceptance, derived from the apgen.tried.* /
+    // apgen.accepted.* counter families (pair = pref_nonpref classes).
+    let mut acceptance = String::new();
+    for (name, &tried) in &m.counters {
+        let Some(pair) = name.strip_prefix("apgen.tried.") else {
+            continue;
+        };
+        if tried == 0 {
+            continue;
+        }
+        let accepted = m.counter(&format!("apgen.accepted.{pair}"));
+        acceptance.push_str(&format!(
+            "  {pair:<14} {accepted:>9} / {tried:<9} {:>5.1}%\n",
+            100.0 * accepted as f64 / tried as f64,
+        ));
+    }
+    if !acceptance.is_empty() {
+        out.push_str("AP acceptance by type pair (accepted / tried):\n");
+        out.push_str(&acceptance);
+    }
+    if let Some(path) = args.value("--trace") {
+        // Item spans are recorded from the executor's own busy-time
+        // stopwatch, so their total should cover the reported busy time.
+        let item_ns: u64 = dump
+            .events
+            .iter()
+            .filter(|e| !e.name.starts_with("phase."))
+            .map(|e| e.dur_ns)
+            .sum();
+        let busy_us: u64 = [
+            &stats.apgen_exec,
+            &stats.pattern_exec,
+            &stats.cluster_exec,
+            &stats.repair_exec,
+            &stats.audit_exec,
+        ]
+        .iter()
+        .map(|r| r.total_busy_us())
+        .sum();
+        if busy_us > 0 {
+            out.push_str(&format!(
+                "\ntrace: item spans cover {:.1}% of reported worker busy time\n",
+                (item_ns as f64 / 1e3) / busy_us as f64 * 100.0,
+            ));
+        }
+        write_trace(path, &dump)?;
+    }
+    emit(args.value("--report"), &out)
+}
+
 const USAGE: &str = "\
 pao — pin access oracle for detailed routing
 
 USAGE:
   pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
               [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
+              [--metrics] [--trace FILE]
   pao route   <tech.lef> <design.def> [--naive] [--report FILE]
   pao drc     <tech.lef> <design.def>
   pao gen     <case|list> --lef FILE --def FILE
   pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
               [--out FILE]
+  pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
+              [--trace FILE] [--report FILE]
 
   analyze runs all compute phases on every available core by default;
   --threads 1 reproduces the paper's single-threaded measurement mode
   (output is identical for every thread count). bench times a
   single-threaded baseline against a parallel run and writes the JSON
-  comparison (default BENCH_pao.json).
+  comparison (default BENCH_pao.json). profile re-runs the analysis with
+  pipeline instrumentation enabled and prints a per-phase breakdown:
+  wall vs per-worker busy time, utilization, counters and histograms
+  (via-memo hit rate, AP acceptance per type pair, DP sizes, …).
+  --trace (on analyze or profile) additionally writes a Chrome
+  trace-event JSON with one track per worker, viewable in Perfetto
+  (https://ui.perfetto.dev) or chrome://tracing.
 ";
 
 fn main() -> ExitCode {
@@ -343,6 +571,7 @@ fn main() -> ExitCode {
         Some("drc") => cmd_drc(&args),
         Some("gen") => cmd_gen(&args),
         Some("bench") => cmd_bench(&args),
+        Some("profile") => cmd_profile(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);

@@ -98,6 +98,86 @@ fn analyze_svg_renders_instance() {
 }
 
 #[test]
+fn profile_smoke_writes_valid_chrome_trace() {
+    let trace = tmp("profile_trace.json");
+    let out = pao()
+        .args(["profile", "--case", "smoke", "--threads", "2", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("via-memo hit rate"), "{text}");
+    assert!(text.contains("AP acceptance by type pair"), "{text}");
+    assert!(text.contains("trace: item spans cover"), "{text}");
+    // The trace must be valid JSON carrying the Chrome trace envelope
+    // with at least one complete ("ph":"X") span event.
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    pao_obs::json::validate(&json).expect("trace is valid JSON");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"name\":\"phase.apgen\""));
+}
+
+#[test]
+fn analyze_metrics_flag_prints_counter_table() {
+    let lef = tmp("m.lef");
+    let def = tmp("m.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .arg("--metrics")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics:"), "{text}");
+    assert!(text.contains("apgen.via_memo."), "{text}");
+    assert!(text.contains("select.cluster_size"), "{text}");
+}
+
+#[test]
+fn bench_json_is_stamped_with_provenance() {
+    let out_path = tmp("bench.json");
+    let out = pao()
+        .args(["bench", "--case", "smoke", "--threads", "2", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).expect("bench json written");
+    pao_obs::json::validate(&json).expect("bench output is valid JSON");
+    for key in ["\"git_rev\":", "\"host_threads\":", "\"timestamp\":"] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    // ISO-8601 UTC stamp: "YYYY-MM-DDTHH:MM:SSZ".
+    let stamp = json
+        .split("\"timestamp\": \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("timestamp value");
+    assert_eq!(stamp.len(), 20, "unexpected timestamp shape: {stamp}");
+    assert!(stamp.ends_with('Z') && stamp.as_bytes()[10] == b'T');
+}
+
+#[test]
 fn missing_file_reports_error() {
     let out = pao()
         .args(["analyze", "/nonexistent.lef", "/nonexistent.def"])

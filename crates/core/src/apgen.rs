@@ -242,7 +242,59 @@ pub struct ApScratch {
     planar_buf: Vec<PlanarDir>,
     pref_coords: Vec<Dbu>,
     nonpref_coords: Vec<Dbu>,
+    /// Observability tallies (plain integer adds in the hot loop; the
+    /// oracle publishes them via [`flush_obs`](ApScratch::flush_obs)
+    /// once per instance).
+    memo_hits: u64,
+    memo_misses: u64,
+    planar_probes: u64,
+    /// Candidates tried/accepted per coordinate-type pair, indexed by
+    /// `pref.cost() * 4 + nonpref.cost()`.
+    tried: [u64; 16],
+    accepted: [u64; 16],
 }
+
+/// Counter names per coordinate-type pair (`<pref>_<nonpref>` with the
+/// paper's cost order track < half < center < encl), indexed like
+/// [`ApScratch::tried`].
+static TRIED_NAMES: [&str; 16] = [
+    "apgen.tried.track_track",
+    "apgen.tried.track_half",
+    "apgen.tried.track_center",
+    "apgen.tried.track_encl",
+    "apgen.tried.half_track",
+    "apgen.tried.half_half",
+    "apgen.tried.half_center",
+    "apgen.tried.half_encl",
+    "apgen.tried.center_track",
+    "apgen.tried.center_half",
+    "apgen.tried.center_center",
+    "apgen.tried.center_encl",
+    "apgen.tried.encl_track",
+    "apgen.tried.encl_half",
+    "apgen.tried.encl_center",
+    "apgen.tried.encl_encl",
+];
+
+/// Counter names for accepted candidates, indexed like [`TRIED_NAMES`].
+static ACCEPTED_NAMES: [&str; 16] = [
+    "apgen.accepted.track_track",
+    "apgen.accepted.track_half",
+    "apgen.accepted.track_center",
+    "apgen.accepted.track_encl",
+    "apgen.accepted.half_track",
+    "apgen.accepted.half_half",
+    "apgen.accepted.half_center",
+    "apgen.accepted.half_encl",
+    "apgen.accepted.center_track",
+    "apgen.accepted.center_half",
+    "apgen.accepted.center_center",
+    "apgen.accepted.center_encl",
+    "apgen.accepted.encl_track",
+    "apgen.accepted.encl_half",
+    "apgen.accepted.encl_center",
+    "apgen.accepted.encl_encl",
+];
 
 impl ApScratch {
     /// Creates empty scratch state.
@@ -263,11 +315,37 @@ impl ApScratch {
         pos: Point,
         owner: Owner,
     ) -> bool {
-        *self.via_memo.entry((via, pos, owner)).or_insert_with(|| {
-            engine
-                .check_via_placement(tech.via(via), pos, owner, ctx)
-                .is_empty()
-        })
+        let key = (via, pos, owner);
+        if let Some(&clean) = self.via_memo.get(&key) {
+            self.memo_hits += 1;
+            return clean;
+        }
+        self.memo_misses += 1;
+        let clean = engine
+            .check_via_placement(tech.via(via), pos, owner, ctx)
+            .is_empty();
+        self.via_memo.insert(key, clean);
+        clean
+    }
+
+    /// Publishes the accumulated tallies as `apgen.*` counters and zeroes
+    /// them. The oracle calls this once per analyzed instance; between
+    /// calls the hot loop pays only plain integer adds.
+    pub fn flush_obs(&mut self) {
+        if pao_obs::metrics_enabled() {
+            pao_obs::counter_add("apgen.via_memo.hits", self.memo_hits);
+            pao_obs::counter_add("apgen.via_memo.misses", self.memo_misses);
+            pao_obs::counter_add("apgen.planar_probes", self.planar_probes);
+            for i in 0..16 {
+                pao_obs::counter_add(TRIED_NAMES[i], self.tried[i]);
+                pao_obs::counter_add(ACCEPTED_NAMES[i], self.accepted[i]);
+            }
+        }
+        self.memo_hits = 0;
+        self.memo_misses = 0;
+        self.planar_probes = 0;
+        self.tried = [0; 16];
+        self.accepted = [0; 16];
     }
 
     /// Forgets memoized results. Required whenever the DRC context the
@@ -319,6 +397,7 @@ fn validate_point(
     scratch.planar_buf.clear();
     for dir in PlanarDir::ALL {
         let probe = planar_probe(pos, dir, l.width, len);
+        scratch.planar_probes += 1;
         if engine.check_shape(layer, probe, owner, ctx).is_empty() {
             scratch.planar_buf.push(dir);
         }
@@ -456,10 +535,13 @@ pub fn generate_pin_access_points_scratch(
                             if !scratch.seen.insert((layer, pos)) {
                                 continue;
                             }
+                            let pair = (t_pref.cost() * 4 + t_nonpref.cost()) as usize;
+                            scratch.tried[pair] += 1;
                             if let Some(ap) = validate_point(
                                 tech, engine, ctx, pin_idx, layer, pos, t_pref, t_nonpref, cfg,
                                 &up_vias, scratch,
                             ) {
+                                scratch.accepted[pair] += 1;
                                 aps.push(ap);
                             }
                         }

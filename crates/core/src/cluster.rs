@@ -3,7 +3,7 @@
 
 use crate::cost::DRC_COST;
 use crate::oracle::UniqueInstanceAccess;
-use crate::parallel::{parallel_map_report, ExecReport};
+use crate::parallel::{parallel_map_labeled, ExecReport};
 use crate::pattern::aps_compatible;
 use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
@@ -194,9 +194,16 @@ pub fn select_patterns_threaded(
     let reach = conflict_reach(tech);
     let clusters = build_clusters(tech, design);
     let groups = group_clusters(&clusters, design.components().len());
+    if pao_obs::metrics_enabled() {
+        pao_obs::counter_add("select.clusters", clusters.len() as u64);
+        pao_obs::counter_add("select.groups", groups.len() as u64);
+        for cluster in &clusters {
+            pao_obs::hist_record("select.cluster_size", cluster.comps.len() as u64);
+        }
+    }
 
     let (clusters, defaults) = (&clusters, &defaults);
-    let (locals, report) = parallel_map_report(threads, groups, |group| {
+    let (locals, report) = parallel_map_labeled(threads, "select.group", groups, |group| {
         // Overlay: component index -> final assignment; presence = pinned.
         let mut local: HashMap<usize, Option<usize>> = HashMap::new();
         for &cl in &group {
@@ -277,6 +284,8 @@ fn solve_cluster(
     let offset_of = |comp: CompId, u: &UniqueInstanceAccess| -> Point {
         design.component(comp).location - design.component(u.info.rep).location
     };
+    // Boundary compatibility probes, published on every exit path below.
+    let probes = std::cell::Cell::new(0u64);
     let members: Vec<CompId> = cluster
         .comps
         .iter()
@@ -350,8 +359,10 @@ fn solve_cluster(
                 }
                 let laps = near_boundary_aps(lu, p, loff, boundary, reach);
                 let clean = laps.iter().all(|(la, lo)| {
-                    raps.iter()
-                        .all(|(ra, ro)| aps_compatible(tech, engine, la, *lo, ra, *ro))
+                    raps.iter().all(|(ra, ro)| {
+                        probes.set(probes.get() + 1);
+                        aps_compatible(tech, engine, la, *lo, ra, *ro)
+                    })
                 });
                 let edge = if clean { 0 } else { DRC_COST };
                 let cost = pcost
@@ -375,6 +386,7 @@ fn solve_cluster(
         for &m in &members {
             local.entry(m.index()).or_insert(defaults[m.index()]);
         }
+        pao_obs::counter_add("select.compat_probes", probes.get());
         return;
     };
     for i in (0..members.len()).rev() {
@@ -383,6 +395,7 @@ fn solve_cluster(
             best_p = dp[i][best_p].1;
         }
     }
+    pao_obs::counter_add("select.compat_probes", probes.get());
 }
 
 #[cfg(test)]

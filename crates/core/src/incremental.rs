@@ -279,6 +279,7 @@ impl PinAccessOracle {
             for u in &result.unique {
                 let sig = (u.info.master.clone(), u.info.orient, u.info.phases.clone());
                 cache.misses += 1;
+                pao_obs::counter_add("cache.misses", 1);
                 cache.entries.insert(
                     sig,
                     CacheEntry {
@@ -291,6 +292,9 @@ impl PinAccessOracle {
         }
         // Fast path: rebuild per-unique data from the cache, translated
         // into each new representative's frame.
+        let run_start = std::time::Instant::now();
+        let metrics_before = pao_obs::metrics_enabled().then(pao_obs::snapshot);
+        let fast_span = pao_obs::span("phase.cache_fast_path");
         let t2 = std::time::Instant::now();
         let mut comp_uniq = vec![None; design.components().len()];
         let mut unique = Vec::with_capacity(infos.len());
@@ -301,6 +305,7 @@ impl PinAccessOracle {
             let sig = (info.master.clone(), info.orient, info.phases.clone());
             let entry = cache.entries.get(&sig).expect("checked above");
             cache.hits += 1;
+            pao_obs::counter_add("cache.hits", 1);
             let delta = design.component(info.rep).location - entry.rep_location;
             let mut data = entry.data.clone();
             data.info = info;
@@ -347,6 +352,11 @@ impl PinAccessOracle {
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
         result.stats.cluster_time = t2.elapsed();
+        drop(fast_span);
+        result.stats.run_time = run_start.elapsed();
+        if let Some(before) = metrics_before {
+            result.stats.metrics = pao_obs::snapshot().delta_since(&before);
+        }
         result
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::apgen::{generate_pin_access_points_scratch, AccessPoint, ApGenConfig, ApScratch};
 use crate::cluster::select_patterns_threaded;
-use crate::parallel::{parallel_map_report, ExecReport};
+use crate::parallel::{parallel_map_labeled, ExecReport};
 use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
 use crate::stats::PaoStats;
 use crate::unique::{
@@ -168,11 +168,21 @@ impl PinAccessOracle {
     }
 
     /// Runs the full three-step analysis.
+    ///
+    /// When [`pao_obs::enable_metrics`] is on, the run's `apgen.*` /
+    /// `pattern.*` / `select.*` / `repair.*` counters land in
+    /// [`PaoStats::metrics`] (as a delta, so back-to-back runs in one
+    /// process stay separable). When [`pao_obs::enable_trace`] is on,
+    /// every phase and every work item records spans collectable with
+    /// [`pao_obs::take_trace`].
     #[must_use]
     pub fn analyze(&self, tech: &Tech, design: &Design) -> PaoResult {
         let engine = DrcEngine::new(tech);
+        let run_start = Instant::now();
+        let metrics_before = pao_obs::metrics_enabled().then(pao_obs::snapshot);
 
         // ---- Step 1: unique instances + access point generation.
+        let phase_span = pao_obs::span("phase.apgen");
         let t0 = Instant::now();
         let infos = extract_unique_instances(tech, design);
         let mut comp_uniq: Vec<Option<UniqueInstanceId>> = vec![None; design.components().len()];
@@ -182,84 +192,86 @@ impl PinAccessOracle {
             }
         }
         let apcfg = &self.config.apgen;
-        let (analyzed, apgen_exec) = parallel_map_report(self.config.threads, infos, |info| {
-            let engine = DrcEngine::new(tech);
-            let master = tech
-                .macro_by_name(&info.master)
-                .expect("unique instances only cover known masters");
-            let ctx = build_instance_context(tech, design, info.rep);
-            let shapes = design.placed_pin_shapes(tech, info.rep);
-            let mut apcfg = apcfg.clone();
-            if master.class == MacroClass::Block {
-                // Macro pins: planar access acceptable.
-                apcfg.require_via = false;
-            }
-            let mut pin_aps: Vec<Vec<AccessPoint>> = vec![Vec::new(); master.pins.len()];
-            let (mut total, mut dirty, mut without, mut off_track) =
-                (0usize, 0usize, 0usize, 0usize);
-            // One scratch per instance context: the pins share coordinate
-            // buffers and memoized via probes (the audit below re-asks
-            // exactly the placements generation already checked).
-            let mut scratch = ApScratch::new();
-            for (pin_idx, pin) in master.pins.iter().enumerate() {
-                if pin.use_.is_supply() {
-                    continue;
+        let (analyzed, apgen_exec) =
+            parallel_map_labeled(self.config.threads, "apgen.instance", infos, |info| {
+                let engine = DrcEngine::new(tech);
+                let master = tech
+                    .macro_by_name(&info.master)
+                    .expect("unique instances only cover known masters");
+                let ctx = build_instance_context(tech, design, info.rep);
+                let shapes = design.placed_pin_shapes(tech, info.rep);
+                let mut apcfg = apcfg.clone();
+                if master.class == MacroClass::Block {
+                    // Macro pins: planar access acceptable.
+                    apcfg.require_via = false;
                 }
-                let rects: Vec<(LayerId, Rect)> = shapes
-                    .iter()
-                    .filter(|&&(pi, _, _)| pi == pin_idx)
-                    .map(|&(_, l, r)| (l, r))
-                    .collect();
-                if rects.is_empty() {
-                    continue;
-                }
-                let aps = generate_pin_access_points_scratch(
-                    tech,
-                    design,
-                    &engine,
-                    &ctx,
-                    pin_idx,
-                    &rects,
-                    &apcfg,
-                    &mut scratch,
-                );
-                total += aps.len();
-                off_track += aps.iter().filter(|ap| ap.is_off_track()).count();
-                if aps.is_empty() {
-                    without += 1;
-                } else {
-                    // Honest dirty-AP audit (0 by construction for PAAF) —
-                    // a memo lookup per AP, not a fresh DRC probe.
-                    for ap in &aps {
-                        if let Some(v) = ap.primary_via() {
-                            if !scratch.via_clean(
-                                tech,
-                                &engine,
-                                &ctx,
-                                v,
-                                ap.pos,
-                                local_pin_owner(pin_idx),
-                            ) {
-                                dirty += 1;
+                let mut pin_aps: Vec<Vec<AccessPoint>> = vec![Vec::new(); master.pins.len()];
+                let (mut total, mut dirty, mut without, mut off_track) =
+                    (0usize, 0usize, 0usize, 0usize);
+                // One scratch per instance context: the pins share coordinate
+                // buffers and memoized via probes (the audit below re-asks
+                // exactly the placements generation already checked).
+                let mut scratch = ApScratch::new();
+                for (pin_idx, pin) in master.pins.iter().enumerate() {
+                    if pin.use_.is_supply() {
+                        continue;
+                    }
+                    let rects: Vec<(LayerId, Rect)> = shapes
+                        .iter()
+                        .filter(|&&(pi, _, _)| pi == pin_idx)
+                        .map(|&(_, l, r)| (l, r))
+                        .collect();
+                    if rects.is_empty() {
+                        continue;
+                    }
+                    let aps = generate_pin_access_points_scratch(
+                        tech,
+                        design,
+                        &engine,
+                        &ctx,
+                        pin_idx,
+                        &rects,
+                        &apcfg,
+                        &mut scratch,
+                    );
+                    total += aps.len();
+                    off_track += aps.iter().filter(|ap| ap.is_off_track()).count();
+                    if aps.is_empty() {
+                        without += 1;
+                    } else {
+                        // Honest dirty-AP audit (0 by construction for PAAF) —
+                        // a memo lookup per AP, not a fresh DRC probe.
+                        for ap in &aps {
+                            if let Some(v) = ap.primary_via() {
+                                if !scratch.via_clean(
+                                    tech,
+                                    &engine,
+                                    &ctx,
+                                    v,
+                                    ap.pos,
+                                    local_pin_owner(pin_idx),
+                                ) {
+                                    dirty += 1;
+                                }
                             }
                         }
                     }
+                    pin_aps[pin_idx] = aps;
                 }
-                pin_aps[pin_idx] = aps;
-            }
-            (
-                UniqueInstanceAccess {
-                    info,
-                    pin_aps,
-                    pin_order: Vec::new(),
-                    patterns: Vec::new(),
-                },
-                total,
-                dirty,
-                without,
-                off_track,
-            )
-        });
+                scratch.flush_obs();
+                (
+                    UniqueInstanceAccess {
+                        info,
+                        pin_aps,
+                        pin_order: Vec::new(),
+                        patterns: Vec::new(),
+                    },
+                    total,
+                    dirty,
+                    without,
+                    off_track,
+                )
+            });
         let mut unique: Vec<UniqueInstanceAccess> = Vec::with_capacity(analyzed.len());
         let mut total_aps = 0usize;
         let mut dirty_aps = 0usize;
@@ -273,14 +285,17 @@ impl PinAccessOracle {
             unique.push(u);
         }
         let apgen_time = t0.elapsed();
+        drop(phase_span);
 
         // ---- Step 2: pattern generation per unique instance.
+        let phase_span = pao_obs::span("phase.pattern");
         let t1 = Instant::now();
         let pattern_exec;
         {
             let unique_ref = &unique;
-            let (results, exec) = parallel_map_report(
+            let (results, exec) = parallel_map_labeled(
                 self.config.threads,
+                "pattern.instance",
                 (0..unique_ref.len()).collect::<Vec<_>>(),
                 |i| {
                     let engine = DrcEngine::new(tech);
@@ -294,8 +309,10 @@ impl PinAccessOracle {
             }
         }
         let pattern_time = t1.elapsed();
+        drop(phase_span);
 
         // ---- Step 3: cluster-based selection + final validation.
+        let phase_span = pao_obs::span("phase.select");
         let t2 = Instant::now();
         let (selection, cluster_exec) = select_patterns_threaded(
             tech,
@@ -324,11 +341,14 @@ impl PinAccessOracle {
             },
         };
         result.stats.unique_instances = result.unique.len();
+        drop(phase_span);
         // Repair pass: for residual conflicts the whole-pattern DP cannot
         // untangle (frustrated chains of tightly-abutting boundary pins),
         // deviate per pin to any alternate clean AP — the same freedom the
         // detailed router has when it consumes the access points.
+        let phase_span = pao_obs::span("phase.repair");
         for _round in 0..self.config.repair_rounds {
+            pao_obs::counter_add("repair.rounds", 1);
             let (repaired, exec) =
                 repair_failed_pins_threaded(tech, design, &mut result, self.config.threads);
             result.stats.repair_exec.merge(&exec);
@@ -337,12 +357,19 @@ impl PinAccessOracle {
             }
         }
         result.stats.repaired_pins = result.overrides.len();
+        drop(phase_span);
+        let phase_span = pao_obs::span("phase.audit");
         let ((total_pins, failed_pins), audit_exec) =
             count_failed_pins_threaded(tech, design, &result, self.config.threads);
         result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
+        drop(phase_span);
         result.stats.cluster_time = t2.elapsed();
+        result.stats.run_time = run_start.elapsed();
+        if let Some(before) = metrics_before {
+            result.stats.metrics = pao_obs::snapshot().delta_since(&before);
+        }
         result
     }
 }
@@ -375,8 +402,9 @@ pub(crate) fn repair_failed_pins_threaded(
     };
     let (flags, exec) = {
         let (result, ctx, is_dirty) = (&*result, &ctx, &is_dirty);
-        parallel_map_report(
+        parallel_map_labeled(
             threads,
+            "repair.scan",
             connected.clone(),
             move |(comp, pin_idx)| match result.access_point(design, comp, pin_idx) {
                 Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), ctx),
@@ -390,6 +418,7 @@ pub(crate) fn repair_failed_pins_threaded(
         .zip(flags)
         .filter_map(|(pin, d)| d.then_some(pin))
         .collect();
+    pao_obs::hist_record("repair.dirty_pins", dirty.len() as u64);
     if dirty.is_empty() {
         return (0, exec);
     }
@@ -443,6 +472,7 @@ pub(crate) fn repair_failed_pins_threaded(
             }
             result.overrides.insert((comp, pin_idx), cand);
             repaired += 1;
+            pao_obs::counter_add("repair.replaced", 1);
         } else if let Some(cur) = current {
             // Nothing clean: keep the current choice committed so later
             // pins at least see it.
@@ -595,18 +625,23 @@ pub fn count_failed_pins_with_threaded(
     let engine = DrcEngine::new(tech);
     let (oks, exec) = {
         let (ctx, engine, accessor) = (&ctx, &engine, &accessor);
-        parallel_map_report(threads, connected.clone(), move |(comp, pin_idx)| {
-            match accessor(comp, pin_idx) {
-                Some(ap) => match ap.primary_via() {
-                    Some(v) => engine
-                        .check_via_placement(tech.via(v), ap.pos, pin_owner(comp, pin_idx), ctx)
-                        .is_empty(),
-                    // Planar-only access (macro pins): accept.
-                    None => !ap.planar.is_empty(),
-                },
-                None => false,
-            }
-        })
+        parallel_map_labeled(
+            threads,
+            "audit.pin",
+            connected.clone(),
+            move |(comp, pin_idx)| {
+                match accessor(comp, pin_idx) {
+                    Some(ap) => match ap.primary_via() {
+                        Some(v) => engine
+                            .check_via_placement(tech.via(v), ap.pos, pin_owner(comp, pin_idx), ctx)
+                            .is_empty(),
+                        // Planar-only access (macro pins): accept.
+                        None => !ap.planar.is_empty(),
+                    },
+                    None => false,
+                }
+            },
+        )
     };
     let failed = oks.iter().filter(|&&ok| !ok).count();
     ((connected.len(), failed), exec)

@@ -142,12 +142,25 @@ pub fn generate_patterns(
         return (order, Vec::new());
     }
     let m = order.len();
+    // Observability tallies: plain local adds in the DP loops, published
+    // as `pattern.*` counters once per call. The compat counters live in
+    // `Cell`s because the memo closure needs them while holding the
+    // cache borrow.
+    let mut dp_runs = 0u64;
+    let mut dp_vertices = 0u64;
+    let mut dp_edges = 0u64;
+    let mut bca_penalties = 0u64;
+    let mut validations = 0u64;
+    let compat_probes = std::cell::Cell::new(0u64);
+    let compat_misses = std::cell::Cell::new(0u64);
     // Pairwise compatibility memo: the DP queries the same AP pairs on
     // every run.
     let mut compat_cache: std::collections::HashMap<(usize, usize, usize, usize), bool> =
         std::collections::HashMap::new();
     let mut compat = |pa: usize, na: usize, pb: usize, nb: usize| -> bool {
+        compat_probes.set(compat_probes.get() + 1);
         *compat_cache.entry((pa, na, pb, nb)).or_insert_with(|| {
+            compat_misses.set(compat_misses.get() + 1);
             aps_compatible(
                 tech,
                 engine,
@@ -164,6 +177,7 @@ pub fn generate_patterns(
     let mut seen_choices: HashSet<Vec<usize>> = HashSet::new();
 
     for _ in 0..cfg.max_patterns {
+        dp_runs += 1;
         // dp[m][n]
         let mut dp: Vec<Vec<DpCell>> = order
             .iter()
@@ -177,12 +191,14 @@ pub fn generate_patterns(
                 ]
             })
             .collect();
+        dp_vertices += dp.iter().map(Vec::len).sum::<usize>() as u64;
         // Source: first pin's vertices.
         for (n, cell) in dp[0].iter_mut().enumerate() {
             let ap = &pin_aps[order[0]][n];
             let mut c = ap_cost(tech, ap);
             if cfg.bca && used_boundary.contains(&(0, n)) {
                 c += PENALTY_COST;
+                bca_penalties += 1;
             }
             cell.cost = c;
         }
@@ -199,10 +215,13 @@ pub fn generate_patterns(
                         continue;
                     }
                     let prev_ap = &pin_aps[prev_pin][np];
+                    dp_edges += 1;
                     // Algorithm 3 edge cost.
                     let edge = if cfg.bca && mi - 1 == 0 && used_boundary.contains(&(0, np)) {
+                        bca_penalties += 1;
                         PENALTY_COST
                     } else if cfg.bca && mi == m - 1 && used_boundary.contains(&(m - 1, n)) {
+                        bca_penalties += 1;
                         PENALTY_COST
                     } else if !compat(prev_pin, np, curr_pin, n) {
                         DRC_COST
@@ -256,6 +275,7 @@ pub fn generate_patterns(
             }
         }
         ctx.rebuild();
+        validations += 1;
         let clean = engine.audit(&ctx).is_empty();
         let pat = AccessPattern {
             choice,
@@ -272,6 +292,16 @@ pub fn generate_patterns(
         if let Some(p) = dirty_fallback {
             patterns.push(p);
         }
+    }
+    if pao_obs::metrics_enabled() {
+        pao_obs::counter_add("pattern.dp_runs", dp_runs);
+        pao_obs::counter_add("pattern.dp_vertices", dp_vertices);
+        pao_obs::counter_add("pattern.dp_edges", dp_edges);
+        pao_obs::counter_add("pattern.bca_penalties", bca_penalties);
+        pao_obs::counter_add("pattern.compat_probes", compat_probes.get());
+        pao_obs::counter_add("pattern.compat_misses", compat_misses.get());
+        pao_obs::counter_add("pattern.validations", validations);
+        pao_obs::counter_add("pattern.patterns_out", patterns.len() as u64);
     }
     (order, patterns)
 }

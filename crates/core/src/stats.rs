@@ -48,13 +48,32 @@ pub struct PaoStats {
     pub repair_exec: ExecReport,
     /// Executor report of the final failed-pin audit.
     pub audit_exec: ExecReport,
+    /// End-to-end wall time of the whole run as measured by the oracle
+    /// (covers the three steps *plus* repair, audit and bookkeeping;
+    /// zero for stats not produced by a full run).
+    pub run_time: Duration,
+    /// Metrics recorded during this run (empty unless the caller enabled
+    /// [`pao_obs::enable_metrics`] before analyzing).
+    pub metrics: pao_obs::MetricsSnapshot,
 }
 
 impl PaoStats {
-    /// Total wall time of the three analysis steps.
+    /// Sum of the three analysis-step wall times (excludes repair/audit
+    /// and orchestration overhead).
+    #[must_use]
+    pub fn steps_time(&self) -> Duration {
+        self.apgen_time + self.pattern_time + self.cluster_time
+    }
+
+    /// End-to-end wall time: the oracle's measured [`Self::run_time`],
+    /// falling back to [`Self::steps_time`] for hand-built stats.
     #[must_use]
     pub fn total_time(&self) -> Duration {
-        self.apgen_time + self.pattern_time + self.cluster_time
+        if self.run_time > Duration::ZERO {
+            self.run_time
+        } else {
+            self.steps_time()
+        }
     }
 
     /// `true` when all phase counters are equal, ignoring the
@@ -94,10 +113,11 @@ impl fmt::Display for PaoStats {
         writeln!(f, "failed pins      : {}", self.failed_pins)?;
         writeln!(
             f,
-            "time (s)         : apgen {:.3} + pattern {:.3} + cluster {:.3} = {:.3}",
+            "time (s)         : apgen {:.3} + pattern {:.3} + cluster {:.3} = {:.3} (run {:.3})",
             self.apgen_time.as_secs_f64(),
             self.pattern_time.as_secs_f64(),
             self.cluster_time.as_secs_f64(),
+            self.steps_time().as_secs_f64(),
             self.total_time().as_secs_f64()
         )?;
         writeln!(
@@ -121,14 +141,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn total_time_sums_steps() {
-        let s = PaoStats {
+    fn total_time_prefers_measured_run_time() {
+        let mut s = PaoStats {
             apgen_time: Duration::from_millis(10),
             pattern_time: Duration::from_millis(20),
             cluster_time: Duration::from_millis(30),
             ..PaoStats::default()
         };
+        assert_eq!(s.steps_time(), Duration::from_millis(60));
+        // Hand-built stats (no run_time) fall back to the step sum.
         assert_eq!(s.total_time(), Duration::from_millis(60));
+        // A measured run covers repair/audit too, so it wins when set.
+        s.run_time = Duration::from_millis(75);
+        assert_eq!(s.total_time(), Duration::from_millis(75));
+        assert_eq!(s.steps_time(), Duration::from_millis(60));
     }
 
     #[test]

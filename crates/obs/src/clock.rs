@@ -1,0 +1,68 @@
+//! Wall-clock formatting without external date dependencies: enough
+//! ISO-8601 to stamp benchmark artifacts comparably across runs.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Converts days since 1970-01-01 to a `(year, month, day)` civil date
+/// (Howard Hinnant's `civil_from_days`, valid far beyond any plausible
+/// benchmark timestamp).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m as u32, d as u32)
+}
+
+/// Formats a Unix timestamp (seconds) as `YYYY-MM-DDThh:mm:ssZ`.
+#[must_use]
+pub fn iso8601_utc(unix_secs: i64) -> String {
+    let days = unix_secs.div_euclid(86_400);
+    let tod = unix_secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        tod / 3600,
+        (tod / 60) % 60,
+        tod % 60
+    )
+}
+
+/// The current wall-clock time as `YYYY-MM-DDThh:mm:ssZ` (UTC).
+#[must_use]
+pub fn now_iso8601() -> String {
+    let secs = match SystemTime::now().duration_since(UNIX_EPOCH) {
+        Ok(d) => i64::try_from(d.as_secs()).unwrap_or(i64::MAX),
+        Err(e) => -i64::try_from(e.duration().as_secs()).unwrap_or(i64::MAX),
+    };
+    iso8601_utc(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_timestamps_format_correctly() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(1_000_000_000), "2001-09-09T01:46:40Z");
+        // Leap-year day: 2020-02-29.
+        assert_eq!(iso8601_utc(1_582_934_400), "2020-02-29T00:00:00Z");
+        // Pre-epoch values stay well-formed.
+        assert_eq!(iso8601_utc(-1), "1969-12-31T23:59:59Z");
+    }
+
+    #[test]
+    fn now_is_plausibly_recent() {
+        let now = now_iso8601();
+        assert_eq!(now.len(), 20);
+        assert!(now.ends_with('Z'));
+        let year: i64 = now[..4].parse().expect("year");
+        assert!(year >= 2024, "{now}");
+    }
+}

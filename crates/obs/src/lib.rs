@@ -1,0 +1,118 @@
+#![warn(missing_docs)]
+
+//! `pao-obs` — std-only observability for the PAAF pipeline.
+//!
+//! The crate provides three cooperating facilities, all designed so that
+//! instrumentation left in hot loops costs ~nothing when disabled (a
+//! single relaxed atomic load per call site):
+//!
+//! 1. **Spans** ([`trace`]): lightweight begin/end records buffered in
+//!    thread-local vectors and flushed through a mutex-guarded global
+//!    sink. Each thread records onto a *track*; the parallel executor
+//!    assigns one track per worker so traces show per-worker timelines.
+//! 2. **Metrics** ([`metrics`]): named counters and log₂-bucket
+//!    histograms, accumulated thread-locally and merged into a global
+//!    registry when threads exit (or on explicit flush). Snapshots are
+//!    plain `BTreeMap`s, diffable between two points in time.
+//! 3. **Export** ([`trace::TraceDump::to_chrome_json`]): the span sink
+//!    serializes to Chrome trace-event JSON loadable in Perfetto
+//!    (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Recording is controlled by two independent process-wide switches:
+//!
+//! ```
+//! pao_obs::enable_metrics();
+//! pao_obs::metrics::counter_add("demo.widgets", 3);
+//! let snap = pao_obs::metrics::snapshot();
+//! assert_eq!(snap.counter("demo.widgets"), 3);
+//! # pao_obs::disable_all();
+//! # pao_obs::reset();
+//! ```
+//!
+//! Thread-local buffers are merged when their thread exits; [`metrics::snapshot`]
+//! and [`trace::take_trace`] additionally flush the *calling* thread, so
+//! call them after worker threads have been joined (the PAAF executor
+//! joins its scoped workers at the end of every phase, making phase
+//! boundaries natural collection points).
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const METRICS_BIT: u8 = 1;
+const TRACE_BIT: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Turns on counter/histogram recording process-wide.
+pub fn enable_metrics() {
+    MODE.fetch_or(METRICS_BIT, Ordering::SeqCst);
+}
+
+/// Turns on span recording process-wide (also pins the trace epoch, so
+/// the first span does not pay the one-time clock initialization).
+pub fn enable_trace() {
+    trace::init_epoch();
+    MODE.fetch_or(TRACE_BIT, Ordering::SeqCst);
+}
+
+/// Turns off all recording. Already-buffered data stays collectable.
+pub fn disable_all() {
+    MODE.store(0, Ordering::SeqCst);
+}
+
+/// `true` when counters/histograms are being recorded.
+#[inline]
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) & METRICS_BIT != 0
+}
+
+/// `true` when spans are being recorded.
+#[inline]
+#[must_use]
+pub fn trace_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) & TRACE_BIT != 0
+}
+
+/// Clears all collected metrics and span data (the current thread's
+/// buffers and the global sinks). Recording switches are left as-is.
+pub fn reset() {
+    metrics::reset();
+    trace::reset();
+}
+
+/// Flushes the calling thread's buffered metrics *and* spans into the
+/// global sinks. Worker threads call this before finishing; the TLS
+/// `Drop` flush alone is not enough because `std::thread::scope` can
+/// unblock before TLS destructors run.
+pub fn flush_thread() {
+    metrics::flush_thread();
+    trace::flush_thread();
+}
+
+pub use metrics::{counter_add, hist_record, snapshot, Hist, MetricsSnapshot};
+pub use trace::{record_span_at, span, take_trace, Span, SpanEvent, TraceDump};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn switches_toggle_independently() {
+        // Serialize against other global-state tests in this binary.
+        let _g = crate::metrics::test_lock();
+        super::disable_all();
+        assert!(!super::metrics_enabled());
+        assert!(!super::trace_enabled());
+        super::enable_metrics();
+        assert!(super::metrics_enabled());
+        assert!(!super::trace_enabled());
+        super::enable_trace();
+        assert!(super::trace_enabled());
+        super::disable_all();
+        assert!(!super::metrics_enabled() && !super::trace_enabled());
+        super::reset();
+    }
+}

@@ -1,0 +1,517 @@
+//! Named counters and histograms with thread-local accumulation.
+//!
+//! Every recording thread owns a small private map from metric name to
+//! value; [`counter_add`]/[`hist_record`] touch only that map (no global
+//! lock in the hot path). The map merges into the process-wide registry
+//! when the thread exits and when the owning thread calls [`snapshot`]
+//! or [`flush_thread`]. Names are `&'static str` by design: every metric
+//! the pipeline emits is known at compile time, which keeps the hot path
+//! free of `String` allocation.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log₂ buckets: bucket `i` holds values whose bit length is
+/// `i` (bucket 0 holds only the value 0, bucket 64 holds `≥ 2^63`).
+const BUCKETS: usize = 65;
+
+/// A mergeable log₂-bucket histogram of `u64` samples.
+///
+/// Exact `count`/`sum`/`min`/`max`; quantiles are approximated by the
+/// upper bound of the bucket containing the requested rank, clamped to
+/// the observed `[min, max]` — at most a 2× relative error, plenty for
+/// "are cluster sizes ~3 or ~300" style questions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Largest value a bucket can hold.
+fn bucket_upper(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`); 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Approximate 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The samples recorded since `earlier` (bucket-wise subtraction;
+    /// `earlier` must be a previous snapshot of the same histogram).
+    /// `min`/`max` cannot be reconstructed for the interval and keep the
+    /// whole-history values.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Hist) -> Hist {
+        let mut out = self.clone();
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        for (b, &e) in out.buckets.iter_mut().zip(&earlier.buckets) {
+            *b = b.saturating_sub(e);
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: HashMap<&'static str, u64>,
+    hists: HashMap<&'static str, Hist>,
+}
+
+impl Registry {
+    fn merge_from(
+        &mut self,
+        counters: &mut HashMap<&'static str, u64>,
+        hists: &mut HashMap<&'static str, Hist>,
+    ) {
+        for (name, v) in counters.drain() {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in hists.drain() {
+            self.hists.entry(name).or_default().merge(&h);
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+#[derive(Default)]
+struct ThreadMetrics {
+    counters: HashMap<&'static str, u64>,
+    hists: HashMap<&'static str, Hist>,
+}
+
+impl ThreadMetrics {
+    fn flush(&mut self) {
+        if self.counters.is_empty() && self.hists.is_empty() {
+            return;
+        }
+        let mut reg = registry().lock().expect("metrics registry");
+        reg.merge_from(&mut self.counters, &mut self.hists);
+    }
+}
+
+impl Drop for ThreadMetrics {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadMetrics> = RefCell::new(ThreadMetrics::default());
+}
+
+/// Adds `delta` to the named counter. No-op (one relaxed atomic load)
+/// when metrics are disabled or `delta == 0`.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if delta == 0 || !crate::metrics_enabled() {
+        return;
+    }
+    TLS.with(|t| {
+        *t.borrow_mut().counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Records one sample into the named histogram. No-op when metrics are
+/// disabled.
+#[inline]
+pub fn hist_record(name: &'static str, value: u64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    TLS.with(|t| {
+        t.borrow_mut().hists.entry(name).or_default().record(value);
+    });
+}
+
+/// Merges the calling thread's buffered metrics into the global registry.
+///
+/// Worker threads must call this before finishing: the TLS `Drop` flush
+/// is only a backstop, and `std::thread::scope` can unblock before TLS
+/// destructors run, so metrics left to the destructor may be invisible
+/// to a `snapshot` immediately after the scope.
+pub fn flush_thread() {
+    TLS.with(|t| t.borrow_mut().flush());
+}
+
+/// A point-in-time copy of every metric: counters and histograms keyed
+/// by name, in deterministic (sorted) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Hist>,
+}
+
+impl MetricsSnapshot {
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// The named counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if recorded.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// What was recorded between `earlier` and this snapshot. Metrics
+    /// whose interval value is zero are dropped.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(earlier.counter(name));
+            if d > 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        for (name, h) in &self.hists {
+            let d = match earlier.hist(name) {
+                Some(e) => h.delta_since(e),
+                None => h.clone(),
+            };
+            if d.count() > 0 {
+                out.hists.insert(name.clone(), d);
+            }
+        }
+        out
+    }
+
+    /// Renders an aligned two-section text table (counters, then
+    /// histograms with count/mean/p50/p95/max) for terminal display.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let w = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<w$}  {v}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let w = self.hists.keys().map(String::len).max().unwrap_or(0).max(4);
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>9} {:>10} {:>8} {:>8} {:>8}",
+                "hist", "count", "mean", "p50", "p95", "max"
+            );
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<w$}  {:>9} {:>10.1} {:>8} {:>8} {:>8}",
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Flushes the calling thread and copies the global registry. Metrics
+/// buffered by *other live* threads are not included — join workers
+/// first (PAAF phases do).
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    flush_thread();
+    let reg = registry().lock().expect("metrics registry");
+    let mut out = MetricsSnapshot::default();
+    for (&name, &v) in &reg.counters {
+        out.counters.insert(name.to_owned(), v);
+    }
+    for (&name, h) in &reg.hists {
+        out.hists.insert(name.to_owned(), h.clone());
+    }
+    out
+}
+
+/// Clears the global registry and the calling thread's buffers.
+pub fn reset() {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.counters.clear();
+        t.hists.clear();
+    });
+    let mut reg = registry().lock().expect("metrics registry");
+    reg.counters.clear();
+    reg.hists.clear();
+}
+
+/// Serializes tests that touch the process-global recording state.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_records_and_summarizes() {
+        let mut h = Hist::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+        // p50: rank 3 → value 3 lives in bucket 2 (values 2..=3).
+        assert_eq!(h.p50(), 3);
+        // p95: rank 5 → the 100 sample's bucket, clamped to max.
+        assert_eq!(h.p95(), 100);
+        // Empty histogram is all zeros.
+        let e = Hist::new();
+        assert_eq!((e.count(), e.min(), e.max(), e.p50()), (0, 0, 0, 0));
+        assert_eq!(e.mean(), 0.0);
+    }
+
+    #[test]
+    fn hist_merge_equals_combined_recording() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut both = Hist::new();
+        for v in [5u64, 9, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 900, 31] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn hist_delta_since_subtracts() {
+        let mut h = Hist::new();
+        h.record(4);
+        let early = h.clone();
+        h.record(7);
+        h.record(9);
+        let d = h.delta_since(&early);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 16);
+    }
+
+    #[test]
+    fn zero_and_huge_values_bucket_correctly() {
+        let mut h = Hist::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let _g = test_lock();
+        crate::enable_metrics();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        counter_add("test.merge.ctr", 2);
+                    }
+                    hist_record("test.merge.hist", 8);
+                    // Scope exit does not wait for TLS destructors.
+                    flush_thread();
+                });
+            }
+        });
+        // Workers flushed explicitly; main thread adds its share.
+        counter_add("test.merge.ctr", 1);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.merge.ctr"), 4 * 200 + 1);
+        let h = snap.hist("test.merge.hist").expect("hist recorded");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 8);
+        crate::disable_all();
+        reset();
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = test_lock();
+        crate::disable_all();
+        reset();
+        counter_add("test.disabled.ctr", 5);
+        hist_record("test.disabled.hist", 5);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.disabled.ctr"), 0);
+        assert!(snap.hist("test.disabled.hist").is_none());
+    }
+
+    #[test]
+    fn snapshot_delta_drops_unchanged() {
+        let _g = test_lock();
+        crate::enable_metrics();
+        reset();
+        counter_add("test.delta.a", 10);
+        counter_add("test.delta.b", 1);
+        let first = snapshot();
+        counter_add("test.delta.a", 7);
+        hist_record("test.delta.h", 3);
+        let second = snapshot();
+        let d = second.delta_since(&first);
+        assert_eq!(d.counter("test.delta.a"), 7);
+        assert!(!d.counters.contains_key("test.delta.b"));
+        assert_eq!(d.hist("test.delta.h").map(Hist::count), Some(1));
+        crate::disable_all();
+        reset();
+    }
+
+    #[test]
+    fn table_renders_counters_and_hists() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("alpha".into(), 42);
+        let mut h = Hist::new();
+        h.record(16);
+        snap.hists.insert("sizes".into(), h);
+        let t = snap.to_table();
+        assert!(t.contains("alpha"));
+        assert!(t.contains("42"));
+        assert!(t.contains("p95"));
+        assert!(t.contains("sizes"));
+    }
+}

@@ -1,0 +1,408 @@
+//! Span recording and Chrome trace-event export.
+//!
+//! Spans are complete (`ph: "X"`) events: a name, a *track*, a start
+//! timestamp relative to the process trace epoch, and a duration, all in
+//! nanoseconds. Each thread buffers its spans locally and flushes them
+//! to the global sink when the buffer fills or the thread exits; the
+//! sink is a mutex-guarded vector capped at [`MAX_EVENTS`] (overflow is
+//! counted, not silently lost).
+//!
+//! Tracks map to Chrome trace `tid`s. Track 0 is the main thread; the
+//! parallel executor assigns track `w + 1` to worker `w`, so every
+//! phase's worker `w` lands on the same timeline — idle gaps between a
+//! worker's spans are directly visible in Perfetto.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Hard cap on buffered span events (~32 MB at 32 B/event); beyond it
+/// new events increment [`TraceDump::dropped`] instead.
+pub const MAX_EVENTS: usize = 1 << 20;
+
+/// Thread-local buffer size triggering a flush to the global sink.
+const FLUSH_AT: usize = 4096;
+
+/// One complete span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (a compile-time label; phase or item kind).
+    pub name: &'static str,
+    /// Track (Chrome `tid`): 0 = main thread, `w + 1` = executor worker `w`.
+    pub track: u32,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Default)]
+struct Sink {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    tracks: BTreeMap<u32, String>,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Pins the trace epoch to "now" if not already set. Called by
+/// [`crate::enable_trace`]; harmless to call again.
+pub(crate) fn init_epoch() {
+    let _ = epoch();
+}
+
+struct ThreadTrace {
+    track: u32,
+    buf: Vec<SpanEvent>,
+}
+
+impl ThreadTrace {
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut s = sink().lock().expect("trace sink");
+        let room = MAX_EVENTS.saturating_sub(s.events.len());
+        if self.buf.len() > room {
+            s.dropped += (self.buf.len() - room) as u64;
+            self.buf.truncate(room);
+        }
+        s.events.append(&mut self.buf);
+    }
+}
+
+impl Drop for ThreadTrace {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadTrace> = const {
+        RefCell::new(ThreadTrace {
+            track: 0,
+            buf: Vec::new(),
+        })
+    };
+}
+
+/// Assigns the calling thread to `track` and registers the track's
+/// display label (first registration wins). The executor calls this at
+/// worker startup; the main thread defaults to track 0 ("main").
+pub fn set_track(track: u32, label: &str) {
+    TLS.with(|t| t.borrow_mut().track = track);
+    let mut s = sink().lock().expect("trace sink");
+    s.tracks.entry(track).or_insert_with(|| label.to_owned());
+}
+
+/// Records a span whose endpoints were measured by the caller (the
+/// executor reuses its busy-time instants, so tracing adds no extra
+/// clock reads in the hot loop). No-op when tracing is disabled.
+#[inline]
+pub fn record_span_at(name: &'static str, start: Instant, dur: Duration) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let start_ns =
+        u64::try_from(start.saturating_duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX);
+    let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let track = t.track;
+        t.buf.push(SpanEvent {
+            name,
+            track,
+            start_ns,
+            dur_ns,
+        });
+        if t.buf.len() >= FLUSH_AT {
+            t.flush();
+        }
+    });
+}
+
+/// An RAII span: records a [`SpanEvent`] from construction to drop.
+/// Construction when tracing is disabled costs one atomic load.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            record_span_at(self.name, start, start.elapsed());
+        }
+    }
+}
+
+/// Opens a span named `name` on the calling thread's track.
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: crate::trace_enabled().then(Instant::now),
+    }
+}
+
+/// Flushes the calling thread's buffered spans into the global sink.
+///
+/// Worker threads must call this before finishing: the TLS `Drop` flush
+/// is only a backstop, and `std::thread::scope` can unblock before TLS
+/// destructors run, so spans left to the destructor may be invisible to
+/// a `take_trace` immediately after the scope.
+pub fn flush_thread() {
+    TLS.with(|t| t.borrow_mut().flush());
+}
+
+/// Everything the sink collected: events, track labels, overflow count.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Collected spans (sink order: per-thread batches).
+    pub events: Vec<SpanEvent>,
+    /// Track display labels by track id.
+    pub tracks: BTreeMap<u32, String>,
+    /// Events discarded after [`MAX_EVENTS`] was reached.
+    pub dropped: u64,
+}
+
+impl TraceDump {
+    /// Total span nanoseconds per track — the tracing-side view of
+    /// per-worker busy time.
+    #[must_use]
+    pub fn busy_ns_per_track(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.track).or_insert(0u64) += e.dur_ns;
+        }
+        out
+    }
+
+    /// Serializes to Chrome trace-event JSON (the "JSON array format"
+    /// wrapped in an object), loadable in Perfetto or `chrome://tracing`.
+    /// Timestamps are microseconds with nanosecond precision.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[\n");
+        out.push_str(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"pao\"}}",
+        );
+        let mut tracks = self.tracks.clone();
+        tracks.entry(0).or_insert_with(|| "main".to_owned());
+        for e in &self.events {
+            tracks
+                .entry(e.track)
+                .or_insert_with(|| format!("track {}", e.track));
+        }
+        for (id, label) in &tracks {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{id},\
+                 \"args\":{{\"name\":{}}}}}",
+                crate::json::quote(label)
+            );
+            // Keep main on top, workers in index order.
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":{id},\
+                 \"args\":{{\"sort_index\":{id}}}}}"
+            );
+        }
+        for e in &self.events {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"X\",\"cat\":\"pao\",\"name\":{},\"pid\":0,\"tid\":{},\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03}}}",
+                crate::json::quote(e.name),
+                e.track,
+                e.start_ns / 1000,
+                e.start_ns % 1000,
+                e.dur_ns / 1000,
+                e.dur_ns % 1000,
+            );
+        }
+        let _ = write!(
+            out,
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{}}}}}\n",
+            self.dropped
+        );
+        out
+    }
+}
+
+/// Flushes the calling thread and drains the global sink. Spans buffered
+/// by *other live* threads are not included — join workers first.
+#[must_use]
+pub fn take_trace() -> TraceDump {
+    flush_thread();
+    let mut s = sink().lock().expect("trace sink");
+    TraceDump {
+        events: std::mem::take(&mut s.events),
+        tracks: s.tracks.clone(),
+        dropped: std::mem::take(&mut s.dropped),
+    }
+}
+
+/// Clears the sink and the calling thread's buffer.
+pub fn reset() {
+    TLS.with(|t| t.borrow_mut().buf.clear());
+    let mut s = sink().lock().expect("trace sink");
+    s.events.clear();
+    s.tracks.clear();
+    s.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_in_order() {
+        let _g = crate::metrics::test_lock();
+        crate::enable_trace();
+        reset();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let dump = take_trace();
+        crate::disable_all();
+        assert_eq!(dump.events.len(), 2);
+        // Inner drops first.
+        let inner = &dump.events[0];
+        let outer = &dump.events[1];
+        assert_eq!((inner.name, outer.name), ("inner", "outer"));
+        // Outer encloses inner in time.
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert!(
+            inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns,
+            "inner must end within outer"
+        );
+        reset();
+    }
+
+    #[test]
+    fn disabled_spans_cost_nothing_and_record_nothing() {
+        let _g = crate::metrics::test_lock();
+        crate::disable_all();
+        reset();
+        {
+            let _s = span("ghost");
+        }
+        record_span_at("ghost2", Instant::now(), Duration::from_millis(1));
+        assert!(take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn worker_tracks_collect_across_threads() {
+        let _g = crate::metrics::test_lock();
+        crate::enable_trace();
+        reset();
+        std::thread::scope(|s| {
+            for w in 0..3u32 {
+                s.spawn(move || {
+                    set_track(w + 1, &format!("worker {w}"));
+                    let t0 = Instant::now();
+                    record_span_at("item", t0, Duration::from_micros(50));
+                    // Scope exit does not wait for TLS destructors.
+                    flush_thread();
+                });
+            }
+        });
+        let dump = take_trace();
+        crate::disable_all();
+        assert_eq!(dump.events.len(), 3);
+        let tracks: std::collections::BTreeSet<u32> = dump.events.iter().map(|e| e.track).collect();
+        assert_eq!(tracks.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(dump.tracks.get(&2).map(String::as_str), Some("worker 1"));
+        let busy = dump.busy_ns_per_track();
+        assert_eq!(busy[&1], 50_000);
+        reset();
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_nonnegative_durations() {
+        let dump = TraceDump {
+            events: vec![
+                SpanEvent {
+                    name: "apgen",
+                    track: 1,
+                    start_ns: 1500,
+                    dur_ns: 2750,
+                },
+                SpanEvent {
+                    name: "phase.\"quoted\"\\x",
+                    track: 0,
+                    start_ns: 0,
+                    dur_ns: 0,
+                },
+            ],
+            tracks: std::iter::once((1u32, "worker 0".to_owned())).collect(),
+            dropped: 2,
+        };
+        let json = dump.to_chrome_json();
+        crate::json::validate(&json).expect("chrome export must be valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.750"));
+        assert!(json.contains("\"droppedEvents\":2"));
+        // Golden check: every emitted duration is non-negative (no "-"
+        // directly after a dur key).
+        assert!(!json.contains("\"dur\":-"));
+    }
+
+    #[test]
+    fn sink_cap_counts_drops() {
+        // Exercise the truncation arithmetic without 1M allocations.
+        let mut t = ThreadTrace {
+            track: 0,
+            buf: vec![
+                SpanEvent {
+                    name: "x",
+                    track: 0,
+                    start_ns: 0,
+                    dur_ns: 1,
+                };
+                8
+            ],
+        };
+        let _g = crate::metrics::test_lock();
+        reset();
+        {
+            let mut s = sink().lock().expect("trace sink");
+            s.events = vec![
+                SpanEvent {
+                    name: "pre",
+                    track: 0,
+                    start_ns: 0,
+                    dur_ns: 1,
+                };
+                MAX_EVENTS - 3
+            ];
+        }
+        t.flush();
+        let dump = take_trace();
+        assert_eq!(dump.events.len(), MAX_EVENTS);
+        assert_eq!(dump.dropped, 5);
+        reset();
+    }
+}

@@ -18,4 +18,18 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== profile smoke =="
+# End-to-end observability check: `pao profile` on the bundled smoke
+# case must emit a Chrome trace that python's strict JSON parser accepts.
+trace="$(mktemp /tmp/pao_trace_XXXXXX.json)"
+trap 'rm -f "$trace"' EXIT
+target/release/pao profile benchmarks/smoke.lef benchmarks/smoke.def \
+    --trace "$trace" > /dev/null
+if command -v python3 > /dev/null; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$trace"
+else
+    # Fallback: the exporter self-validates, just check non-emptiness.
+    test -s "$trace"
+fi
+
 echo "verify: OK"

@@ -3,6 +3,7 @@ pub use pao_core as pao;
 pub use pao_design as design;
 pub use pao_drc as drc;
 pub use pao_geom as geom;
+pub use pao_obs as obs;
 pub use pao_router as router;
 pub use pao_tech as tech;
 pub use pao_testgen as testgen;
