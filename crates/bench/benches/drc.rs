@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pao_core::unique::{build_instance_context, local_pin_owner};
-use pao_drc::DrcEngine;
+use pao_drc::{DrcEngine, DrcScratch};
 use pao_geom::Point;
 use pao_testgen::{generate, SuiteCase};
 
@@ -31,6 +31,28 @@ fn bench_drc(c: &mut Criterion) {
                 &ctx,
             )
         })
+    });
+    // Steady-state first-verdict probing through a reused scratch: after a
+    // short warm-up the buffers stop growing, so the hot loop is
+    // allocation-free.
+    g.bench_function("via_placement_clean_scratch", |b| {
+        let mut ws = DrcScratch::new();
+        let owner = local_pin_owner(pin_shape.0);
+        for _ in 0..64 {
+            engine.via_placement_clean(via, at, owner, &ctx, &mut ws);
+            engine.via_placement_clean(via, at + Point::new(37, 53), owner, &ctx, &mut ws);
+        }
+        let warm = ws.high_water();
+        b.iter(|| {
+            let a = engine.via_placement_clean(via, at, owner, &ctx, &mut ws);
+            let b = engine.via_placement_clean(via, at + Point::new(37, 53), owner, &ctx, &mut ws);
+            (a, b)
+        });
+        assert_eq!(
+            ws.high_water(),
+            warm,
+            "scratch capacities must be stable after warm-up"
+        );
     });
     g.finish();
 }

@@ -485,6 +485,20 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
             hits + misses,
         ));
     }
+    let probes = m.counter("drc.probes");
+    let rejects = m.counter("drc.rejects");
+    let early = m.counter("drc.early_exit");
+    if probes > 0 {
+        out.push_str(&format!(
+            "drc early-exit    : {:.1}% of {rejects} rejects ({probes} probes, scratch high-water {} slots)\n",
+            if rejects > 0 {
+                100.0 * early as f64 / rejects as f64
+            } else {
+                0.0
+            },
+            m.gauge("drc.scratch.high_water"),
+        ));
+    }
     // Per-type-pair acceptance, derived from the apgen.tried.* /
     // apgen.accepted.* counter families (pair = pref_nonpref classes).
     let mut acceptance = String::new();

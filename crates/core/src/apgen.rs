@@ -3,7 +3,7 @@
 use crate::coord::CoordType;
 use crate::unique::local_pin_owner;
 use pao_design::Design;
-use pao_drc::{DrcEngine, Owner, ShapeSet};
+use pao_drc::{DrcEngine, DrcScratch, Owner, ShapeSet};
 use pao_geom::{max_rects, Dbu, Dir, Point, Rect};
 use pao_tech::{LayerId, Tech, ViaId};
 use std::collections::{HashMap, HashSet};
@@ -238,6 +238,9 @@ pub struct ApScratch {
     /// Memoized `check_via_placement(..).is_empty()` per placement
     /// (persists across the pins of one instance context).
     via_memo: HashMap<(ViaId, Point, Owner), bool>,
+    /// Workspace of the early-exit DRC kernel (translated via shapes,
+    /// merge fixpoint, grid buffers) plus its probe tallies.
+    pub(crate) drc: DrcScratch,
     vias_buf: Vec<ViaId>,
     planar_buf: Vec<PlanarDir>,
     pref_coords: Vec<Dbu>,
@@ -321,9 +324,7 @@ impl ApScratch {
             return clean;
         }
         self.memo_misses += 1;
-        let clean = engine
-            .check_via_placement(tech.via(via), pos, owner, ctx)
-            .is_empty();
+        let clean = engine.via_placement_clean(tech.via(via), pos, owner, ctx, &mut self.drc);
         self.via_memo.insert(key, clean);
         clean
     }
@@ -346,6 +347,7 @@ impl ApScratch {
         self.planar_probes = 0;
         self.tried = [0; 16];
         self.accepted = [0; 16];
+        self.drc.flush_obs();
     }
 
     /// Forgets memoized results. Required whenever the DRC context the
@@ -398,7 +400,7 @@ fn validate_point(
     for dir in PlanarDir::ALL {
         let probe = planar_probe(pos, dir, l.width, len);
         scratch.planar_probes += 1;
-        if engine.check_shape(layer, probe, owner, ctx).is_empty() {
+        if engine.shape_clean(layer, probe, owner, ctx) {
             scratch.planar_buf.push(dir);
         }
     }

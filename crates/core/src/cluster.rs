@@ -4,10 +4,10 @@
 use crate::cost::DRC_COST;
 use crate::oracle::UniqueInstanceAccess;
 use crate::parallel::{parallel_map_labeled, ExecReport};
-use crate::pattern::aps_compatible;
+use crate::pattern::aps_compatible_scratch;
 use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
-use pao_drc::DrcEngine;
+use pao_drc::{DrcEngine, ShapeSet};
 use pao_geom::{Dbu, Point, Rect};
 use pao_tech::Tech;
 use std::collections::HashMap;
@@ -123,25 +123,29 @@ fn conflict_reach(tech: &Tech) -> Dbu {
 }
 
 /// The access points of pattern `p` of `u` (translated by `off`) lying
-/// within `reach` of the vertical line `x = boundary`.
-fn near_boundary_aps(
-    u: &UniqueInstanceAccess,
+/// within `reach` of the vertical line `x = boundary`, written into the
+/// reused buffer `out` (cleared first).
+fn near_boundary_aps_into<'u>(
+    u: &'u UniqueInstanceAccess,
     p: usize,
     off: Point,
     boundary: Dbu,
     reach: Dbu,
-) -> Vec<(&crate::apgen::AccessPoint, Point)> {
+    out: &mut Vec<(&'u crate::apgen::AccessPoint, Point)>,
+) {
+    out.clear();
     let Some(pat) = u.patterns.get(p) else {
-        return Vec::new();
+        return;
     };
-    u.pin_order
-        .iter()
-        .zip(&pat.choice)
-        .filter_map(|(&pin, &api)| {
-            let ap = u.pin_aps[pin].get(api)?;
-            ((ap.pos.x + off.x - boundary).abs() <= reach).then_some((ap, off))
-        })
-        .collect()
+    out.extend(
+        u.pin_order
+            .iter()
+            .zip(&pat.choice)
+            .filter_map(|(&pin, &api)| {
+                let ap = u.pin_aps[pin].get(api)?;
+                ((ap.pos.x + off.x - boundary).abs() <= reach).then_some((ap, off))
+            }),
+    );
 }
 
 /// **Cluster-based pattern selection** — the Algorithm 2 DP re-used with
@@ -206,6 +210,9 @@ pub fn select_patterns_threaded(
     let (locals, report) = parallel_map_labeled(threads, "select.group", groups, |group| {
         // Overlay: component index -> final assignment; presence = pinned.
         let mut local: HashMap<usize, Option<usize>> = HashMap::new();
+        // Per-worker compat-probe context, reused across the group's
+        // clusters so the boundary probes stop allocating trees.
+        let mut compat_ctx = ShapeSet::new(tech.layers().len());
         for &cl in &group {
             solve_cluster(
                 tech,
@@ -216,6 +223,7 @@ pub fn select_patterns_threaded(
                 reach,
                 &clusters[cl],
                 defaults,
+                &mut compat_ctx,
                 &mut local,
             );
         }
@@ -279,6 +287,7 @@ fn solve_cluster(
     reach: Dbu,
     cluster: &Cluster,
     defaults: &[Option<usize>],
+    compat_ctx: &mut ShapeSet,
     local: &mut HashMap<usize, Option<usize>>,
 ) {
     let offset_of = |comp: CompId, u: &UniqueInstanceAccess| -> Point {
@@ -330,6 +339,9 @@ fn solve_cluster(
             }
         }
     }
+    // Near-boundary AP buffers, reused across all DP edges.
+    let mut laps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
+    let mut raps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
     for i in 1..members.len() {
         let (lcomp, rcomp) = (members[i - 1], members[i]);
         let lu = &uniq[comp_uniq[lcomp.index()]
@@ -352,16 +364,16 @@ fn solve_cluster(
             if !allowed(rcomp, q) {
                 continue;
             }
-            let raps = near_boundary_aps(ru, q, roff, boundary, reach);
+            near_boundary_aps_into(ru, q, roff, boundary, reach, &mut raps);
             for (p, &(pcost, _)) in prev.iter().enumerate() {
                 if pcost == i64::MAX {
                     continue;
                 }
-                let laps = near_boundary_aps(lu, p, loff, boundary, reach);
+                near_boundary_aps_into(lu, p, loff, boundary, reach, &mut laps);
                 let clean = laps.iter().all(|(la, lo)| {
                     raps.iter().all(|(ra, ro)| {
                         probes.set(probes.get() + 1);
-                        aps_compatible(tech, engine, la, *lo, ra, *ro)
+                        aps_compatible_scratch(tech, engine, la, *lo, ra, *ro, compat_ctx)
                     })
                 });
                 let edge = if clean { 0 } else { DRC_COST };

@@ -2,7 +2,7 @@
 
 use crate::apgen::{generate_pin_access_points_scratch, AccessPoint, ApGenConfig, ApScratch};
 use crate::cluster::select_patterns_threaded;
-use crate::parallel::{parallel_map_labeled, ExecReport};
+use crate::parallel::{parallel_map_labeled, parallel_map_scratch, ExecReport};
 use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
 use crate::stats::PaoStats;
 use crate::unique::{
@@ -10,7 +10,7 @@ use crate::unique::{
     UniqueInstanceId,
 };
 use pao_design::{CompId, Design};
-use pao_drc::{DrcEngine, Owner, ShapeSet};
+use pao_drc::{DrcEngine, DrcScratch, Owner, ShapeSet};
 use pao_geom::Rect;
 use pao_tech::{LayerId, MacroClass, Tech};
 use std::time::Instant;
@@ -392,23 +392,26 @@ pub(crate) fn repair_failed_pins_threaded(
 ) -> (usize, ExecReport) {
     let engine = DrcEngine::new(tech);
     let (ctx, connected) = build_global_context(tech, design, result);
-    let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet| -> bool {
+    let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet, ws: &mut DrcScratch| -> bool {
         match ap.primary_via() {
-            Some(v) => !engine
-                .check_via_placement(tech.via(v), ap.pos, owner, ctx)
-                .is_empty(),
+            Some(v) => !engine.via_placement_clean(tech.via(v), ap.pos, owner, ctx, ws),
             None => ap.planar.is_empty(),
         }
     };
     let (flags, exec) = {
         let (result, ctx, is_dirty) = (&*result, &ctx, &is_dirty);
-        parallel_map_labeled(
+        parallel_map_scratch(
             threads,
             "repair.scan",
             connected.clone(),
-            move |(comp, pin_idx)| match result.access_point(design, comp, pin_idx) {
-                Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), ctx),
-                None => true,
+            DrcScratch::new,
+            move |ws, (comp, pin_idx)| {
+                let dirty = match result.access_point(design, comp, pin_idx) {
+                    Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), ctx, ws),
+                    None => true,
+                };
+                ws.flush_obs();
+                dirty
             },
         )
     };
@@ -452,6 +455,7 @@ pub(crate) fn repair_failed_pins_threaded(
     ctx.rebuild();
     // Greedy re-placement.
     let mut repaired = 0usize;
+    let mut ws = DrcScratch::new();
     for &(comp, pin_idx) in &dirty {
         let owner = pin_owner(comp, pin_idx);
         let current = result.access_point(design, comp, pin_idx);
@@ -464,7 +468,7 @@ pub(crate) fn repair_failed_pins_threaded(
         }
         let placed = candidates
             .into_iter()
-            .find(|cand| cand.primary_via().is_some() && !is_dirty(cand, owner, &ctx));
+            .find(|cand| cand.primary_via().is_some() && !is_dirty(cand, owner, &ctx, &mut ws));
         if let Some(cand) = placed {
             let v = cand.primary_via().expect("via candidates only");
             for (l, r) in tech.via(v).placed_shapes(cand.pos) {
@@ -483,6 +487,7 @@ pub(crate) fn repair_failed_pins_threaded(
             }
         }
     }
+    ws.flush_obs();
     (repaired, exec)
 }
 
@@ -625,21 +630,28 @@ pub fn count_failed_pins_with_threaded(
     let engine = DrcEngine::new(tech);
     let (oks, exec) = {
         let (ctx, engine, accessor) = (&ctx, &engine, &accessor);
-        parallel_map_labeled(
+        parallel_map_scratch(
             threads,
             "audit.pin",
             connected.clone(),
-            move |(comp, pin_idx)| {
-                match accessor(comp, pin_idx) {
+            DrcScratch::new,
+            move |ws, (comp, pin_idx)| {
+                let ok = match accessor(comp, pin_idx) {
                     Some(ap) => match ap.primary_via() {
-                        Some(v) => engine
-                            .check_via_placement(tech.via(v), ap.pos, pin_owner(comp, pin_idx), ctx)
-                            .is_empty(),
+                        Some(v) => engine.via_placement_clean(
+                            tech.via(v),
+                            ap.pos,
+                            pin_owner(comp, pin_idx),
+                            ctx,
+                            ws,
+                        ),
                         // Planar-only access (macro pins): accept.
                         None => !ap.planar.is_empty(),
                     },
                     None => false,
-                }
+                };
+                ws.flush_obs();
+                ok
             },
         )
     };

@@ -101,10 +101,40 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_scratch(threads, label, items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map_labeled`] with per-worker scratch state: `init` runs
+/// once on each worker thread (and once for the inline mode), and every
+/// item call receives that worker's `&mut S`. This is how per-worker
+/// arenas (e.g. [`pao_drc::DrcScratch`]) reach fine-grained scans — the
+/// repair and audit phases probe one pin per item and would otherwise
+/// re-allocate the DRC workspace per probe.
+///
+/// The scratch is dropped when its worker finishes; state that must
+/// outlive the phase (observability tallies) should be published from
+/// inside `f`.
+pub fn parallel_map_scratch<T, R, S, F, I>(
+    threads: usize,
+    label: &'static str,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> (Vec<R>, ExecReport)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
         let start = Instant::now();
-        let out: Vec<R> = items.into_iter().map(f).collect();
+        let mut scratch = init();
+        let out: Vec<R> = items
+            .into_iter()
+            .map(|item| f(&mut scratch, item))
+            .collect();
         let elapsed = start.elapsed();
         if n > 0 {
             pao_obs::record_span_at(label, start, elapsed);
@@ -126,7 +156,7 @@ where
     let next = AtomicUsize::new(0);
 
     let busy_us = {
-        let (work, done, next, f) = (&work, &done, &next, &f);
+        let (work, done, next, f, init) = (&work, &done, &next, &f, &init);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
@@ -136,6 +166,7 @@ where
                             // so one Perfetto row shows a worker's whole run.
                             pao_obs::trace::set_track(w as u32 + 1, &format!("worker {w}"));
                         }
+                        let mut scratch = init();
                         let mut busy = Duration::ZERO;
                         loop {
                             // Claim the next unprocessed index; self-scheduling
@@ -154,7 +185,7 @@ where
                                 .take()
                                 .expect("claimed once");
                             let start = Instant::now();
-                            let out = f(item);
+                            let out = f(&mut scratch, item);
                             let elapsed = start.elapsed();
                             busy += elapsed;
                             pao_obs::record_span_at(label, start, elapsed);
@@ -289,6 +320,30 @@ mod tests {
             span_ns + 1000 >= busy_ns,
             "span total {span_ns}ns must cover busy total {busy_ns}ns"
         );
+    }
+
+    #[test]
+    fn scratch_state_persists_per_worker() {
+        for threads in [1, 3] {
+            let (out, _) = parallel_map_scratch(
+                threads,
+                "test.scratch",
+                (0..100u32).collect::<Vec<_>>(),
+                || 0u32,
+                |seen, x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+            );
+            // Order preserved; every worker's counter is monotone from 1.
+            assert!(out.iter().enumerate().all(|(i, &(x, _))| x == i as u32));
+            assert!(out.iter().all(|&(_, s)| s >= 1));
+            let max_seen = out.iter().map(|&(_, s)| s).max().unwrap();
+            assert!(
+                max_seen as usize >= 100 / threads.max(1),
+                "scratch must persist across items on a worker"
+            );
+        }
     }
 
     #[test]

@@ -82,11 +82,30 @@ pub fn aps_compatible(
     b: &AccessPoint,
     offset_b: Point,
 ) -> bool {
+    let mut ctx = ShapeSet::new(tech.layers().len());
+    aps_compatible_scratch(tech, engine, a, offset_a, b, offset_b, &mut ctx)
+}
+
+/// [`aps_compatible`] with a caller-owned scratch [`ShapeSet`] (cleared
+/// and refilled per probe), so hot compatibility loops reuse the tree
+/// allocations instead of building a fresh context per pair. The audit
+/// runs in first-violation short-circuit mode — only the verdict is
+/// needed.
+#[must_use]
+pub fn aps_compatible_scratch(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    a: &AccessPoint,
+    offset_a: Point,
+    b: &AccessPoint,
+    offset_b: Point,
+    ctx: &mut ShapeSet,
+) -> bool {
     let (Some(va), Some(vb)) = (a.primary_via(), b.primary_via()) else {
         // Planar-only access points cannot via-conflict.
         return true;
     };
-    let mut ctx = ShapeSet::new(tech.layers().len());
+    ctx.clear();
     for (layer, rect) in tech.via(va).placed_shapes(a.pos + offset_a) {
         ctx.insert(layer, rect, Owner::net(1));
     }
@@ -94,7 +113,7 @@ pub fn aps_compatible(
         ctx.insert(layer, rect, Owner::net(2));
     }
     ctx.rebuild();
-    engine.audit(&ctx).is_empty()
+    engine.audit_clean(ctx)
 }
 
 /// State for one DP vertex.
@@ -157,17 +176,19 @@ pub fn generate_patterns(
     // every run.
     let mut compat_cache: std::collections::HashMap<(usize, usize, usize, usize), bool> =
         std::collections::HashMap::new();
+    let mut compat_ctx = ShapeSet::new(tech.layers().len());
     let mut compat = |pa: usize, na: usize, pb: usize, nb: usize| -> bool {
         compat_probes.set(compat_probes.get() + 1);
         *compat_cache.entry((pa, na, pb, nb)).or_insert_with(|| {
             compat_misses.set(compat_misses.get() + 1);
-            aps_compatible(
+            aps_compatible_scratch(
                 tech,
                 engine,
                 &pin_aps[pa][na],
                 Point::ORIGIN,
                 &pin_aps[pb][nb],
                 Point::ORIGIN,
+                &mut compat_ctx,
             )
         })
     };
@@ -175,6 +196,7 @@ pub fn generate_patterns(
     let mut patterns: Vec<AccessPattern> = Vec::new();
     let mut dirty_fallback: Option<AccessPattern> = None;
     let mut seen_choices: HashSet<Vec<usize>> = HashSet::new();
+    let mut val_ctx = ShapeSet::new(tech.layers().len());
 
     for _ in 0..cfg.max_patterns {
         dp_runs += 1;
@@ -265,18 +287,18 @@ pub fn generate_patterns(
         used_boundary.insert((m - 1, choice[m - 1]));
 
         // Whole-pattern validation: drop every primary via together.
-        let mut ctx = ShapeSet::new(tech.layers().len());
+        val_ctx.clear();
         for (mi, &ap_idx) in choice.iter().enumerate() {
             let ap = &pin_aps[order[mi]][ap_idx];
             if let Some(v) = ap.primary_via() {
                 for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
-                    ctx.insert(layer, rect, Owner::net(mi as u64));
+                    val_ctx.insert(layer, rect, Owner::net(mi as u64));
                 }
             }
         }
-        ctx.rebuild();
+        val_ctx.rebuild();
         validations += 1;
-        let clean = engine.audit(&ctx).is_empty();
+        let clean = engine.audit_clean(&val_ctx);
         let pat = AccessPattern {
             choice,
             cost: total,

@@ -1,9 +1,18 @@
 //! The design-rule check engine.
+//!
+//! Every check is implemented against a [`DrcSink`] — the `Vec`-returning
+//! methods are thin wrappers over [`CollectAll`](crate::sink::CollectAll).
+//! Decision sites that only need a clean/dirty verdict use the
+//! [`FirstOnly`](crate::sink::FirstOnly)-based [`DrcEngine::via_placement_clean`]
+//! / [`DrcEngine::shape_clean`] / [`DrcEngine::audit_clean`] forms, which
+//! stop at the first violation and skip all remaining sub-checks.
 
+use crate::scratch::DrcScratch;
 use crate::shapes::{Owner, ShapeSet};
+use crate::sink::{CollectAll, DrcSink, FirstOnly};
 use crate::violation::{DrcViolation, RuleKind};
-use pao_geom::boundary::{edge_lengths, union_area, union_boundaries};
-use pao_geom::{max_rects, Dbu, Interval, Point, Rect};
+use pao_geom::boundary::{union_area_with, visit_union_boundaries};
+use pao_geom::{max_rects_into, Dbu, Interval, Point, Rect};
 use pao_tech::{LayerId, LayerKind, Tech, ViaDef};
 
 /// The rectangle spanning the gap (or overlap) between two shapes — used
@@ -21,18 +30,31 @@ fn gap_marker(a: Rect, b: Rect) -> Rect {
 /// A design-rule checker bound to a technology.
 ///
 /// See the [crate docs](crate) for the rule subset. All check methods
-/// return the violations found (empty = clean); they never panic on clean
-/// or dirty geometry, only on out-of-range layer ids.
-#[derive(Debug, Clone, Copy)]
+/// report the violations found (none = clean); they never panic on clean
+/// or dirty geometry, only on out-of-range layer ids. Per-layer search
+/// halos are precomputed at construction, so cloning an engine is cheap
+/// and `check_shape` does not re-derive rule maxima per call.
+#[derive(Debug, Clone)]
 pub struct DrcEngine<'t> {
     tech: &'t Tech,
+    /// Per-layer search halo: the largest spacing any rule can require
+    /// (for cut layers, the cut spacing).
+    halos: Vec<Dbu>,
 }
 
 impl<'t> DrcEngine<'t> {
-    /// Creates an engine for `tech`.
+    /// Creates an engine for `tech`, precomputing per-layer halos.
     #[must_use]
     pub fn new(tech: &'t Tech) -> DrcEngine<'t> {
-        DrcEngine { tech }
+        let halos = (0..tech.layers().len())
+            .map(|li| {
+                let l = tech.layer(LayerId(li as u32));
+                let table_max = l.spacing_table.as_ref().map_or(0, |t| t.max_spacing());
+                let eol_max = l.eol_rules.iter().map(|r| r.space).max().unwrap_or(0);
+                l.spacing.max(table_max).max(eol_max)
+            })
+            .collect();
+        DrcEngine { tech, halos }
     }
 
     /// The technology this engine checks against.
@@ -42,13 +64,10 @@ impl<'t> DrcEngine<'t> {
     }
 
     /// Search halo for context queries on `layer`: the largest spacing any
-    /// rule on the layer can require.
+    /// rule on the layer can require. Precomputed at [`DrcEngine::new`].
     #[must_use]
     pub fn halo(&self, layer: LayerId) -> Dbu {
-        let l = self.tech.layer(layer);
-        let table_max = l.spacing_table.as_ref().map_or(0, |t| t.max_spacing());
-        let eol_max = l.eol_rules.iter().map(|r| r.space).max().unwrap_or(0);
-        l.spacing.max(table_max).max(eol_max)
+        self.halos[layer.index()]
     }
 
     /// Checks metal spacing between two same-layer shapes of different
@@ -103,73 +122,109 @@ impl<'t> DrcEngine<'t> {
         ctx: &ShapeSet,
     ) -> Vec<DrcViolation> {
         let mut out = Vec::new();
-        let halo = self.halo(layer);
-        let window = rect.expanded(halo.max(1));
-        for (other, _) in ctx.conflicts(layer, window, owner) {
-            if let Some(v) = self.spacing_violation(layer, rect, other) {
-                out.push(v);
-            }
-        }
-        out.extend(self.check_eol_edges(layer, rect, owner, ctx));
+        self.check_shape_sink(layer, rect, owner, ctx, &mut CollectAll::new(&mut out));
         out
     }
 
-    /// Checks the end-of-line spacing rules for the four edges of `rect`.
-    fn check_eol_edges(
+    /// `true` when `rect` raises no shape violation — [`FirstOnly`]
+    /// short-circuit form of [`DrcEngine::check_shape`].
+    #[must_use]
+    pub fn shape_clean(&self, layer: LayerId, rect: Rect, owner: Owner, ctx: &ShapeSet) -> bool {
+        let mut sink = FirstOnly::new();
+        self.check_shape_sink(layer, rect, owner, ctx, &mut sink);
+        sink.is_clean()
+    }
+
+    /// Sink form of [`DrcEngine::check_shape`]. Returns `false` iff the
+    /// sink stopped the check early.
+    pub fn check_shape_sink(
         &self,
         layer: LayerId,
         rect: Rect,
         owner: Owner,
         ctx: &ShapeSet,
-    ) -> Vec<DrcViolation> {
+        sink: &mut impl DrcSink,
+    ) -> bool {
+        let halo = self.halo(layer);
+        let window = rect.expanded(halo.max(1));
+        let cont = ctx.for_each_conflict(layer, window, owner, |other, _| {
+            match self.spacing_violation(layer, rect, other) {
+                Some(v) => sink.report(v),
+                None => true,
+            }
+        });
+        if !cont {
+            return false;
+        }
+        self.check_eol_edges_sink(layer, rect, owner, ctx, sink)
+    }
+
+    /// Checks the end-of-line spacing rules for the four edges of `rect`.
+    fn check_eol_edges_sink(
+        &self,
+        layer: LayerId,
+        rect: Rect,
+        owner: Owner,
+        ctx: &ShapeSet,
+        sink: &mut impl DrcSink,
+    ) -> bool {
         let l = self.tech.layer(layer);
-        let mut out = Vec::new();
         for rule in &l.eol_rules {
+            // At most 4 EOL search regions exist per rule (left/right when
+            // the shape is short, below/above when it is narrow).
+            let mut regions = [Rect::default(); 4];
+            let mut n = 0;
             // Vertical EOL edges (left/right) have length = height.
-            let mut regions: Vec<Rect> = Vec::new();
             if rect.height() < rule.eol_width {
-                regions.push(Rect::new(
+                regions[n] = Rect::new(
                     rect.xlo() - rule.space,
                     rect.ylo() - rule.within,
                     rect.xlo(),
                     rect.yhi() + rule.within,
-                ));
-                regions.push(Rect::new(
+                );
+                regions[n + 1] = Rect::new(
                     rect.xhi(),
                     rect.ylo() - rule.within,
                     rect.xhi() + rule.space,
                     rect.yhi() + rule.within,
-                ));
+                );
+                n += 2;
             }
             if rect.width() < rule.eol_width {
-                regions.push(Rect::new(
+                regions[n] = Rect::new(
                     rect.xlo() - rule.within,
                     rect.ylo() - rule.space,
                     rect.xhi() + rule.within,
                     rect.ylo(),
-                ));
-                regions.push(Rect::new(
+                );
+                regions[n + 1] = Rect::new(
                     rect.xlo() - rule.within,
                     rect.yhi(),
                     rect.xhi() + rule.within,
                     rect.yhi() + rule.space,
-                ));
+                );
+                n += 2;
             }
-            for region in regions {
-                for (other, _) in ctx.conflicts(layer, region, owner) {
+            for &region in &regions[..n] {
+                let cont = ctx.for_each_conflict(layer, region, owner, |other, _| {
                     // Region query is touch-inclusive; require real overlap
                     // so metal exactly at the spacing is legal.
                     if other.overlaps(region) {
-                        out.push(DrcViolation::new(
+                        sink.report(DrcViolation::new(
                             RuleKind::EolSpacing,
                             layer,
                             gap_marker(rect, other),
-                        ));
+                        ))
+                    } else {
+                        true
                     }
+                });
+                if !cont {
+                    return false;
                 }
             }
         }
-        out
+        true
     }
 
     /// Checks the merged metal formed by `candidates` and the touching
@@ -184,15 +239,39 @@ impl<'t> DrcEngine<'t> {
         candidates: &[Rect],
         friends: &[Rect],
     ) -> Vec<DrcViolation> {
-        let l = self.tech.layer(layer);
         let mut out = Vec::new();
+        self.check_merged_sink(
+            layer,
+            candidates,
+            friends,
+            &mut DrcScratch::new(),
+            &mut CollectAll::new(&mut out),
+        );
+        out
+    }
+
+    /// Sink form of [`DrcEngine::check_merged`], running against the
+    /// workspace buffers of `ws`. Returns `false` iff the sink stopped
+    /// the check early (remaining sub-checks are skipped).
+    pub fn check_merged_sink(
+        &self,
+        layer: LayerId,
+        candidates: &[Rect],
+        friends: &[Rect],
+        ws: &mut DrcScratch,
+        sink: &mut impl DrcSink,
+    ) -> bool {
+        let l = self.tech.layer(layer);
         // Only friends actually touching a candidate merge with it.
-        let mut merged: Vec<Rect> = candidates.to_vec();
+        ws.merged.clear();
+        ws.merged.extend_from_slice(candidates);
+        ws.remaining.clear();
+        ws.remaining.extend_from_slice(friends);
         let mut changed = true;
-        let mut remaining: Vec<Rect> = friends.to_vec();
         while changed {
             changed = false;
-            remaining.retain(|f| {
+            let merged = &mut ws.merged;
+            ws.remaining.retain(|f| {
                 if merged.iter().any(|c| c.touches(*f)) {
                     merged.push(*f);
                     changed = true;
@@ -202,22 +281,25 @@ impl<'t> DrcEngine<'t> {
                 }
             });
         }
-        let marker = merged
+        let marker = ws
+            .merged
             .iter()
             .copied()
             .reduce(Rect::hull)
             .unwrap_or_default();
 
         if let Some(rule) = l.min_step {
-            for loop_ in union_boundaries(&merged) {
-                let lens = edge_lengths(&loop_);
-                let n = lens.len();
+            let mut violated = false;
+            visit_union_boundaries(&ws.merged, &mut ws.grid, |loop_| {
+                let n = loop_.len();
                 // Count maximal runs of consecutive short edges around the
                 // cycle.
                 let mut run = 0u32;
                 let mut max_run = 0u32;
                 for i in 0..2 * n {
-                    if lens[i % n] < rule.min_step_length {
+                    let a = loop_[i % n];
+                    let b = loop_[(i + 1) % n];
+                    if a.manhattan(b) < rule.min_step_length {
                         run += 1;
                         max_run = max_run.max(run.min(n as u32));
                     } else {
@@ -228,22 +310,30 @@ impl<'t> DrcEngine<'t> {
                     }
                 }
                 if max_run > rule.max_edges {
-                    out.push(DrcViolation::new(RuleKind::MinStep, layer, marker));
-                    break;
+                    violated = true;
+                    return false; // first violating loop suffices
                 }
+                true
+            });
+            if violated && !sink.report(DrcViolation::new(RuleKind::MinStep, layer, marker)) {
+                return false;
             }
         }
-        if l.min_width > 0
-            && max_rects(&merged)
-                .iter()
-                .any(|r| r.min_side() < l.min_width)
+        if l.min_width > 0 {
+            max_rects_into(&ws.merged, &mut ws.grid, &mut ws.maxes);
+            if ws.maxes.iter().any(|r| r.min_side() < l.min_width)
+                && !sink.report(DrcViolation::new(RuleKind::MinWidth, layer, marker))
+            {
+                return false;
+            }
+        }
+        if l.min_area > 0
+            && union_area_with(&ws.merged, &mut ws.grid) < l.min_area
+            && !sink.report(DrcViolation::new(RuleKind::MinArea, layer, marker))
         {
-            out.push(DrcViolation::new(RuleKind::MinWidth, layer, marker));
+            return false;
         }
-        if l.min_area > 0 && union_area(&merged) < l.min_area {
-            out.push(DrcViolation::new(RuleKind::MinArea, layer, marker));
-        }
-        out
+        true
     }
 
     /// Checks a cut shape against other cuts (cut spacing).
@@ -255,42 +345,59 @@ impl<'t> DrcEngine<'t> {
         owner: Owner,
         ctx: &ShapeSet,
     ) -> Vec<DrcViolation> {
+        let mut out = Vec::new();
+        self.check_cut_shape_sink(layer, rect, owner, ctx, &mut CollectAll::new(&mut out));
+        out
+    }
+
+    /// Sink form of [`DrcEngine::check_cut_shape`]. Returns `false` iff
+    /// the sink stopped the check early.
+    pub fn check_cut_shape_sink(
+        &self,
+        layer: LayerId,
+        rect: Rect,
+        owner: Owner,
+        ctx: &ShapeSet,
+        sink: &mut impl DrcSink,
+    ) -> bool {
         debug_assert_eq!(self.tech.layer(layer).kind, LayerKind::Cut);
         let spacing = self.tech.layer(layer).spacing;
-        let mut out = Vec::new();
         let window = rect.expanded(spacing.max(1));
-        for (other, o) in ctx.query(layer, window) {
+        ctx.for_each_in(layer, window, |other, o| {
             // Same-owner stacked cuts at the same spot are one via; any
             // other proximity — same-owner or not — violates cut spacing.
             if o == owner && other == rect {
-                continue;
+                return true;
             }
             if rect.touches(other) {
-                out.push(DrcViolation::new(
+                return sink.report(DrcViolation::new(
                     RuleKind::Short,
                     layer,
                     gap_marker(rect, other),
                 ));
-                continue;
             }
             let d2 = pao_geom::rect_dist(rect, other);
             if d2 < i128::from(spacing) * i128::from(spacing) {
-                out.push(DrcViolation::new(
+                return sink.report(DrcViolation::new(
                     RuleKind::CutSpacing,
                     layer,
                     gap_marker(rect, other),
                 ));
             }
-        }
-        out
+            true
+        })
     }
 
     /// The framework's central query: can `via` land with its origin at
     /// `at`, on behalf of `owner`, given the context?
     ///
-    /// Checks, in order: bottom-layer spacing/short/EOL against conflicting
-    /// shapes, bottom-layer merged min-step/min-width/min-area with the
-    /// owner's own metal, cut spacing, and top-layer spacing/short/EOL.
+    /// Sub-checks run cheapest-first so a [`FirstOnly`] sink exits before
+    /// the expensive polygon machinery: cut spacing, bottom-layer
+    /// spacing/short/EOL, top-layer spacing/short/EOL plus the top
+    /// enclosure's own min width, and finally the merged-geometry
+    /// min-step/min-width/min-area with the owner's own bottom metal.
+    /// Every caller that *decides* on the result consumes only its
+    /// emptiness, so the ordering is observationally irrelevant to them.
     #[must_use]
     pub fn check_via_placement(
         &self,
@@ -300,35 +407,233 @@ impl<'t> DrcEngine<'t> {
         ctx: &ShapeSet,
     ) -> Vec<DrcViolation> {
         let mut out = Vec::new();
-        let bottom: Vec<Rect> = via.bottom_shapes.iter().map(|r| r.translated(at)).collect();
-        let cuts: Vec<Rect> = via.cut_shapes.iter().map(|r| r.translated(at)).collect();
-        let top: Vec<Rect> = via.top_shapes.iter().map(|r| r.translated(at)).collect();
+        self.check_via_placement_sink(
+            via,
+            at,
+            owner,
+            ctx,
+            &mut DrcScratch::new(),
+            &mut CollectAll::new(&mut out),
+        );
+        out
+    }
 
-        for &r in &bottom {
-            out.extend(self.check_shape(via.bottom_layer, r, owner, ctx));
+    /// Sink form of [`DrcEngine::check_via_placement`], running against
+    /// the workspace buffers of `ws`. Returns `false` iff the sink
+    /// stopped the check early.
+    pub fn check_via_placement_sink(
+        &self,
+        via: &ViaDef,
+        at: Point,
+        owner: Owner,
+        ctx: &ShapeSet,
+        ws: &mut DrcScratch,
+        sink: &mut impl DrcSink,
+    ) -> bool {
+        self.via_pre_merged_sink(via, at, owner, ctx, ws, sink)
+            && self.via_merged_sink(via, owner, ctx, ws, sink)
+    }
+
+    /// `true` when `via` can land at `at` DRC-free — the [`FirstOnly`]
+    /// short-circuit form of [`DrcEngine::check_via_placement`] that every
+    /// accept/reject decision site uses. Tallies probe/reject/early-exit
+    /// counts into `ws` (published by [`DrcScratch::flush_obs`]).
+    #[must_use]
+    pub fn via_placement_clean(
+        &self,
+        via: &ViaDef,
+        at: Point,
+        owner: Owner,
+        ctx: &ShapeSet,
+        ws: &mut DrcScratch,
+    ) -> bool {
+        ws.probes += 1;
+        let mut sink = FirstOnly::new();
+        if !self.via_pre_merged_sink(via, at, owner, ctx, ws, &mut sink) {
+            // Rejected before the merged-geometry machinery was touched.
+            ws.rejects += 1;
+            ws.early_exits += 1;
+            return false;
         }
-        // Merged-geometry checks with the owner's own bottom-layer metal.
-        let window = bottom
+        if self.merged_definitely_dirty(via.bottom_layer, owner, ctx, &ws.bottom) {
+            // The dominant failure mode (enclosure overhang tripping a
+            // plain min-step) proven in O(1), before any merge machinery.
+            ws.rejects += 1;
+            ws.early_exits += 1;
+            return false;
+        }
+        if !self.via_merged_sink(via, owner, ctx, ws, &mut sink) {
+            ws.rejects += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Exact O(1) definite-reject test for the common merged-geometry
+    /// shapes: a single bottom enclosure rect merging with at most one
+    /// same-owner metal shape. Returns `true` only when
+    /// [`Self::via_merged_sink`] would provably reject as well; `false`
+    /// means "unknown — run the real check". Only the boolean fast path
+    /// ([`Self::via_placement_clean`]) uses this, so the collected
+    /// violation lists never change.
+    fn merged_definitely_dirty(
+        &self,
+        layer: LayerId,
+        owner: Owner,
+        ctx: &ShapeSet,
+        bottom: &[Rect],
+    ) -> bool {
+        let [r] = bottom else { return false };
+        let r = *r;
+        let l = self.tech.layer(layer);
+        // Same window the merged check scans; more than one friend means
+        // general multi-shape geometry — bail out to the full machinery.
+        let mut first: Option<Rect> = None;
+        let mut many = false;
+        ctx.for_each_friend(layer, r.expanded(1), owner, |f| {
+            if first.is_some() {
+                many = true;
+                return false;
+            }
+            first = Some(f);
+            true
+        });
+        if many {
+            return false;
+        }
+        // When the merged component is literally one rectangle, all three
+        // merged rules collapse to closed forms (exact, both directions —
+        // used only for reject here).
+        let single_rect_dirty = |u: Rect| {
+            (l.min_width > 0 && u.min_side() < l.min_width)
+                || (l.min_area > 0 && u.area() < l.min_area)
+                || l.min_step.is_some_and(|rule| {
+                    let w_short = u.width() < rule.min_step_length;
+                    let h_short = u.height() < rule.min_step_length;
+                    let max_run: u32 = match (w_short, h_short) {
+                        (true, true) => 4,
+                        (true, false) | (false, true) => 1,
+                        (false, false) => 0,
+                    };
+                    max_run > rule.max_edges
+                })
+        };
+        let Some(f) = first else {
+            return single_rect_dirty(r);
+        };
+        if !f.touches(r) {
+            return single_rect_dirty(r);
+        }
+        if f.contains_rect(r) {
+            return single_rect_dirty(f);
+        }
+        if r.contains_rect(f) {
+            return single_rect_dirty(r);
+        }
+        // Two properly overlapping rects, neither containing the other: a
+        // side of one protruding past the other by less than the min-step
+        // length leaves a boundary edge of exactly that length, provided
+        // the other rect strictly sticks out on a perpendicular side (so
+        // the short edge cannot merge with a collinear run). Only claimed
+        // for plain `MAXEDGES 0` rules, where one short edge suffices.
+        let Some(rule) = l.min_step else {
+            return false;
+        };
+        if rule.max_edges != 0 || !r.overlaps(f) {
+            return false;
+        }
+        let s = rule.min_step_length;
+        let tab = |a: Rect, b: Rect| {
+            let perp_x = b.xlo() < a.xlo() || b.xhi() > a.xhi();
+            let perp_y = b.ylo() < a.ylo() || b.yhi() > a.yhi();
+            (a.xhi() > b.xhi() && a.xhi() - b.xhi() < s && perp_y)
+                || (a.xlo() < b.xlo() && b.xlo() - a.xlo() < s && perp_y)
+                || (a.yhi() > b.yhi() && a.yhi() - b.yhi() < s && perp_x)
+                || (a.ylo() < b.ylo() && b.ylo() - a.ylo() < s && perp_x)
+        };
+        tab(r, f) || tab(f, r)
+    }
+
+    /// Everything except the merged-geometry check, cheapest sub-check
+    /// first. Fills `ws.bottom`/`ws.cuts`/`ws.top` with the translated
+    /// via shapes (`ws.bottom` is consumed by [`Self::via_merged_sink`]).
+    fn via_pre_merged_sink(
+        &self,
+        via: &ViaDef,
+        at: Point,
+        owner: Owner,
+        ctx: &ShapeSet,
+        ws: &mut DrcScratch,
+        sink: &mut impl DrcSink,
+    ) -> bool {
+        ws.bottom.clear();
+        ws.bottom
+            .extend(via.bottom_shapes.iter().map(|r| r.translated(at)));
+        ws.cuts.clear();
+        ws.cuts
+            .extend(via.cut_shapes.iter().map(|r| r.translated(at)));
+        ws.top.clear();
+        ws.top
+            .extend(via.top_shapes.iter().map(|r| r.translated(at)));
+
+        for i in 0..ws.cuts.len() {
+            let r = ws.cuts[i];
+            if !self.check_cut_shape_sink(via.cut_layer, r, owner, ctx, sink) {
+                return false;
+            }
+        }
+        for i in 0..ws.bottom.len() {
+            let r = ws.bottom[i];
+            if !self.check_shape_sink(via.bottom_layer, r, owner, ctx, sink) {
+                return false;
+            }
+        }
+        let top_min_width = self.tech.layer(via.top_layer).min_width;
+        for i in 0..ws.top.len() {
+            let r = ws.top[i];
+            if !self.check_shape_sink(via.top_layer, r, owner, ctx, sink) {
+                return false;
+            }
+            // The top enclosure alone must satisfy min width.
+            if top_min_width > 0
+                && r.min_side() < top_min_width
+                && !sink.report(DrcViolation::new(RuleKind::MinWidth, via.top_layer, r))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Merged-geometry checks with the owner's own bottom-layer metal.
+    /// Expects `ws.bottom` as filled by [`Self::via_pre_merged_sink`].
+    fn via_merged_sink(
+        &self,
+        via: &ViaDef,
+        owner: Owner,
+        ctx: &ShapeSet,
+        ws: &mut DrcScratch,
+        sink: &mut impl DrcSink,
+    ) -> bool {
+        let window = ws
+            .bottom
             .iter()
             .copied()
             .reduce(Rect::hull)
             .unwrap_or_default()
             .expanded(1);
-        let friends: Vec<Rect> = ctx.friends(via.bottom_layer, window, owner).collect();
-        out.extend(self.check_merged(via.bottom_layer, &bottom, &friends));
-
-        for &r in &cuts {
-            out.extend(self.check_cut_shape(via.cut_layer, r, owner, ctx));
-        }
-        for &r in &top {
-            out.extend(self.check_shape(via.top_layer, r, owner, ctx));
-            // The top enclosure alone must satisfy min width.
-            let l = self.tech.layer(via.top_layer);
-            if l.min_width > 0 && r.min_side() < l.min_width {
-                out.push(DrcViolation::new(RuleKind::MinWidth, via.top_layer, r));
-            }
-        }
-        out
+        let friends = &mut ws.friends;
+        friends.clear();
+        ctx.for_each_friend(via.bottom_layer, window, owner, |r| {
+            friends.push(r);
+            true
+        });
+        let bottom = std::mem::take(&mut ws.bottom);
+        let friends = std::mem::take(&mut ws.friends);
+        let cont = self.check_merged_sink(via.bottom_layer, &bottom, &friends, ws, sink);
+        ws.bottom = bottom;
+        ws.friends = friends;
+        cont
     }
 
     /// Exhaustively audits a shape set: every conflicting same-layer pair
@@ -339,6 +644,22 @@ impl<'t> DrcEngine<'t> {
     #[must_use]
     pub fn audit(&self, ctx: &ShapeSet) -> Vec<DrcViolation> {
         let mut out = Vec::new();
+        self.audit_sink(ctx, &mut CollectAll::new(&mut out));
+        out
+    }
+
+    /// `true` when the whole shape set is clean — [`FirstOnly`]
+    /// short-circuit form of [`DrcEngine::audit`].
+    #[must_use]
+    pub fn audit_clean(&self, ctx: &ShapeSet) -> bool {
+        let mut sink = FirstOnly::new();
+        self.audit_sink(ctx, &mut sink);
+        sink.is_clean()
+    }
+
+    /// Sink form of [`DrcEngine::audit`]. Returns `false` iff the sink
+    /// stopped the audit early.
+    pub fn audit_sink(&self, ctx: &ShapeSet, sink: &mut impl DrcSink) -> bool {
         for li in 0..ctx.num_layers() {
             let layer = LayerId(li as u32);
             let kind = self.tech.layer(layer).kind;
@@ -346,44 +667,46 @@ impl<'t> DrcEngine<'t> {
                 LayerKind::Routing => self.halo(layer),
                 LayerKind::Cut => self.tech.layer(layer).spacing,
             };
-            let shapes: Vec<(Rect, Owner)> = ctx.iter_layer(layer).collect();
-            for (i, &(a, oa)) in shapes.iter().enumerate() {
+            for (a, oa) in ctx.iter_layer(layer) {
                 let window = a.expanded(halo.max(1));
-                for (b, ob) in ctx.query(layer, window) {
+                let cont = ctx.for_each_in(layer, window, |b, ob| {
                     // Order pairs to avoid double-reporting: compare by
                     // (rect, owner) with self-pair skipped.
                     if !oa.conflicts_with(ob) || (b, ob) <= (a, oa) {
-                        continue;
+                        return true;
                     }
                     match kind {
-                        LayerKind::Routing => {
-                            if let Some(v) = self.spacing_violation(layer, a, b) {
-                                out.push(v);
-                            }
-                        }
+                        LayerKind::Routing => match self.spacing_violation(layer, a, b) {
+                            Some(v) => sink.report(v),
+                            None => true,
+                        },
                         LayerKind::Cut => {
                             if a.touches(b) {
-                                out.push(DrcViolation::new(
+                                sink.report(DrcViolation::new(
                                     RuleKind::Short,
                                     layer,
                                     gap_marker(a, b),
-                                ));
+                                ))
                             } else if pao_geom::rect_dist(a, b)
                                 < i128::from(halo) * i128::from(halo)
                             {
-                                out.push(DrcViolation::new(
+                                sink.report(DrcViolation::new(
                                     RuleKind::CutSpacing,
                                     layer,
                                     gap_marker(a, b),
-                                ));
+                                ))
+                            } else {
+                                true
                             }
                         }
                     }
+                });
+                if !cont {
+                    return false;
                 }
-                let _ = i;
             }
         }
-        out
+        true
     }
 }
 
@@ -475,10 +798,12 @@ mod tests {
         assert!(e
             .check_shape(m1(), Rect::new(100, 0, 300, 60), Owner::pin(1), &ctx)
             .is_empty());
+        assert!(e.shape_clean(m1(), Rect::new(100, 0, 300, 60), Owner::pin(1), &ctx));
         // Different owner: short.
         assert!(!e
             .check_shape(m1(), Rect::new(100, 0, 300, 60), Owner::pin(2), &ctx)
             .is_empty());
+        assert!(!e.shape_clean(m1(), Rect::new(100, 0, 300, 60), Owner::pin(2), &ctx));
     }
 
     #[test]
@@ -563,19 +888,57 @@ mod tests {
         let t = tech();
         let e = DrcEngine::new(&t);
         let via = via(&t);
+        let mut ws = DrcScratch::new();
         let mut ctx = ShapeSet::new(3);
         // A wide pin that fully contains the bottom enclosure.
         ctx.insert(m1(), Rect::new(-200, -35, 200, 35), Owner::pin(1));
         let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(1), &ctx);
         assert!(v.is_empty(), "{v:?}");
+        assert!(e.via_placement_clean(&via, Point::new(0, 0), Owner::pin(1), &ctx, &mut ws));
         // Same via for a different owner shorts against the pin.
         let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(2), &ctx);
         assert!(v.iter().any(|v| v.rule == RuleKind::Short));
+        assert!(!e.via_placement_clean(&via, Point::new(0, 0), Owner::pin(2), &ctx, &mut ws));
         // A narrow pin causes a min-step from the enclosure overhang.
         let mut ctx2 = ShapeSet::new(3);
         ctx2.insert(m1(), Rect::new(-200, -30, 200, 30), Owner::pin(1));
         let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(1), &ctx2);
         assert!(v.iter().any(|v| v.rule == RuleKind::MinStep), "{v:?}");
+        assert!(!e.via_placement_clean(&via, Point::new(0, 0), Owner::pin(1), &ctx2, &mut ws));
+        // Probe accounting: 3 probes, 2 rejects, both early (the short
+        // fires in the pre-merged phase; the single-friend overhang
+        // min-step is proven by the O(1) definite-reject test).
+        assert_eq!(ws.probes(), 3);
+        assert_eq!(ws.rejects(), 2);
+        assert_eq!(ws.early_exits(), 2);
+    }
+
+    #[test]
+    fn via_probe_reuse_reaches_steady_state_capacity() {
+        let t = tech();
+        let e = DrcEngine::new(&t);
+        let via = via(&t);
+        let mut ctx = ShapeSet::new(3);
+        // A pin tall enough to contain the enclosure, so clean probes run
+        // the full merged machinery (exercising all scratch buffers).
+        ctx.insert(m1(), Rect::new(-200, -35, 200, 35), Owner::pin(1));
+        ctx.insert(m1(), Rect::new(-200, 200, 200, 260), Owner::pin(2));
+        ctx.rebuild();
+        let mut ws = DrcScratch::new();
+        // Warm up, record the high-water mark, then probe a lot more.
+        for x in -50..0 {
+            let _ = e.via_placement_clean(&via, Point::new(x, 0), Owner::pin(1), &ctx, &mut ws);
+        }
+        let hiwater = ws.high_water();
+        assert!(hiwater > 0);
+        for x in 0..200 {
+            let _ = e.via_placement_clean(&via, Point::new(x, 0), Owner::pin(1), &ctx, &mut ws);
+        }
+        assert_eq!(
+            ws.high_water(),
+            hiwater,
+            "scratch buffers must stop growing after warm-up"
+        );
     }
 
     #[test]
@@ -590,5 +953,9 @@ mod tests {
         let v = e.audit(&ctx);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, RuleKind::MetalSpacing);
+        assert!(!e.audit_clean(&ctx));
+        let mut count = crate::sink::CountOnly::new();
+        assert!(e.audit_sink(&ctx, &mut count));
+        assert_eq!(count.count(), 1);
     }
 }

@@ -38,9 +38,13 @@
 //! ```
 
 pub mod engine;
+pub mod scratch;
 pub mod shapes;
+pub mod sink;
 pub mod violation;
 
 pub use engine::DrcEngine;
+pub use scratch::DrcScratch;
 pub use shapes::{Owner, ShapeSet};
+pub use sink::{CollectAll, CountOnly, DrcSink, FirstOnly};
 pub use violation::{DrcViolation, RuleKind};

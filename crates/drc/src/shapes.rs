@@ -171,6 +171,62 @@ impl ShapeSet {
     pub fn iter_layer(&self, layer: LayerId) -> impl Iterator<Item = (Rect, Owner)> + '_ {
         self.layers[layer.index()].iter().map(|&(r, o)| (r, o))
     }
+
+    /// Visitor form of [`ShapeSet::query`]: calls `f` for every shape on
+    /// `layer` touching `window`, without building an iterator adapter
+    /// chain. `f` returns `false` to stop the walk; the method returns
+    /// `false` iff the walk was stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn for_each_in<F: FnMut(Rect, Owner) -> bool>(
+        &self,
+        layer: LayerId,
+        window: Rect,
+        mut f: F,
+    ) -> bool {
+        self.layers[layer.index()].visit(window, &mut |r, &o| f(r, o))
+    }
+
+    /// Visitor form of [`ShapeSet::conflicts`] — only shapes whose owner
+    /// conflicts with `owner` reach `f`.
+    pub fn for_each_conflict<F: FnMut(Rect, Owner) -> bool>(
+        &self,
+        layer: LayerId,
+        window: Rect,
+        owner: Owner,
+        mut f: F,
+    ) -> bool {
+        self.for_each_in(layer, window, |r, o| {
+            if o.conflicts_with(owner) {
+                f(r, o)
+            } else {
+                true
+            }
+        })
+    }
+
+    /// Visitor form of [`ShapeSet::friends`] — only shapes with exactly
+    /// the given owner reach `f`.
+    pub fn for_each_friend<F: FnMut(Rect) -> bool>(
+        &self,
+        layer: LayerId,
+        window: Rect,
+        owner: Owner,
+        mut f: F,
+    ) -> bool {
+        self.for_each_in(layer, window, |r, o| if o == owner { f(r) } else { true })
+    }
+
+    /// Removes every shape from every layer, keeping the allocated trees
+    /// so a reused context does not re-allocate. Pairs with a scratch
+    /// [`ShapeSet`] rebuilt per work item.
+    pub fn clear(&mut self) {
+        for t in &mut self.layers {
+            t.clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +266,57 @@ mod tests {
         assert_eq!(s.friends(LayerId(0), w, Owner::pin(1)).count(), 1);
         assert_eq!(s.conflicts(LayerId(0), w, Owner::net(7)).count(), 2);
         assert_eq!(s.friends(LayerId(0), w, Owner::net(7)).count(), 0);
+    }
+
+    #[test]
+    fn visitors_match_iterators_and_early_exit() {
+        let mut s = ShapeSet::new(1);
+        s.insert(LayerId(0), Rect::new(0, 0, 10, 10), Owner::pin(1));
+        s.insert(LayerId(0), Rect::new(20, 0, 30, 10), Owner::pin(2));
+        s.insert(LayerId(0), Rect::new(40, 0, 50, 10), Owner::pin(1));
+        s.rebuild();
+        let w = Rect::new(-100, -100, 100, 100);
+        let mut seen = 0;
+        assert!(s.for_each_in(LayerId(0), w, |_, _| {
+            seen += 1;
+            true
+        }));
+        assert_eq!(seen, 3);
+        let mut conf = Vec::new();
+        assert!(s.for_each_conflict(LayerId(0), w, Owner::pin(1), |r, o| {
+            conf.push((r, o));
+            true
+        }));
+        let mut iter: Vec<_> = s.conflicts(LayerId(0), w, Owner::pin(1)).collect();
+        conf.sort();
+        iter.sort();
+        assert_eq!(conf, iter);
+        let mut fr = 0;
+        assert!(s.for_each_friend(LayerId(0), w, Owner::pin(1), |_| {
+            fr += 1;
+            true
+        }));
+        assert_eq!(fr, 2);
+        // Early exit propagates.
+        let mut first = 0;
+        assert!(!s.for_each_in(LayerId(0), w, |_, _| {
+            first += 1;
+            false
+        }));
+        assert_eq!(first, 1);
+    }
+
+    #[test]
+    fn clear_keeps_layers_but_drops_shapes() {
+        let mut s = ShapeSet::new(2);
+        s.insert(LayerId(0), Rect::new(0, 0, 10, 10), Owner::pin(1));
+        s.insert(LayerId(1), Rect::new(0, 0, 10, 10), Owner::pin(2));
+        s.rebuild();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.num_layers(), 2);
+        s.insert(LayerId(0), Rect::new(0, 0, 5, 5), Owner::pin(3));
+        assert_eq!(s.query(LayerId(0), Rect::new(0, 0, 9, 9)).count(), 1);
     }
 
     #[test]

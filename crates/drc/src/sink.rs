@@ -1,0 +1,136 @@
+//! Violation sinks — how DRC results leave the engine.
+//!
+//! Every check in [`DrcEngine`](crate::DrcEngine) reports violations
+//! through a [`DrcSink`] instead of returning a `Vec`. The sink decides
+//! what to keep and whether the check should continue: [`CollectAll`]
+//! reproduces the classic collect-everything behaviour, [`FirstOnly`]
+//! stops the engine at the first violation (the form every accept/reject
+//! decision site uses — apgen validity, pattern post-validation, cluster
+//! compat probes), and [`CountOnly`] tallies without storing markers.
+
+use crate::violation::DrcViolation;
+
+/// Receives violations from the engine's check methods.
+///
+/// `report` returns `true` to continue checking; returning `false` makes
+/// the engine short-circuit every remaining sub-check of the current
+/// query. Check methods propagate the same flag: they return `false` iff
+/// a sink stopped them early.
+pub trait DrcSink {
+    /// Accepts one violation; returns `false` to stop the check.
+    fn report(&mut self, v: DrcViolation) -> bool;
+}
+
+/// Collects every violation into a caller-provided vector (the behaviour
+/// of the classic `Vec`-returning methods, which wrap this sink).
+#[derive(Debug)]
+pub struct CollectAll<'a> {
+    out: &'a mut Vec<DrcViolation>,
+}
+
+impl<'a> CollectAll<'a> {
+    /// Collects into `out` (not cleared; violations append).
+    #[must_use]
+    pub fn new(out: &'a mut Vec<DrcViolation>) -> CollectAll<'a> {
+        CollectAll { out }
+    }
+}
+
+impl DrcSink for CollectAll<'_> {
+    fn report(&mut self, v: DrcViolation) -> bool {
+        self.out.push(v);
+        true
+    }
+}
+
+/// Stops at the first violation; only the clean/dirty verdict survives.
+#[derive(Debug, Default)]
+pub struct FirstOnly {
+    found: bool,
+}
+
+impl FirstOnly {
+    /// A fresh sink with no violation seen.
+    #[must_use]
+    pub fn new() -> FirstOnly {
+        FirstOnly::default()
+    }
+
+    /// `true` when no violation was reported — the geometry is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.found
+    }
+}
+
+impl DrcSink for FirstOnly {
+    fn report(&mut self, _: DrcViolation) -> bool {
+        self.found = true;
+        false
+    }
+}
+
+/// Counts violations without storing them.
+#[derive(Debug, Default)]
+pub struct CountOnly {
+    count: usize,
+}
+
+impl CountOnly {
+    /// A fresh sink with a zero count.
+    #[must_use]
+    pub fn new() -> CountOnly {
+        CountOnly::default()
+    }
+
+    /// Number of violations reported so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl DrcSink for CountOnly {
+    fn report(&mut self, _: DrcViolation) -> bool {
+        self.count += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::RuleKind;
+    use pao_geom::Rect;
+    use pao_tech::LayerId;
+
+    fn v() -> DrcViolation {
+        DrcViolation::new(RuleKind::Short, LayerId(0), Rect::new(0, 0, 1, 1))
+    }
+
+    #[test]
+    fn collect_all_keeps_everything_and_continues() {
+        let mut out = Vec::new();
+        let mut sink = CollectAll::new(&mut out);
+        assert!(sink.report(v()));
+        assert!(sink.report(v()));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn first_only_stops_immediately() {
+        let mut sink = FirstOnly::new();
+        assert!(sink.is_clean());
+        assert!(!sink.report(v()));
+        assert!(!sink.is_clean());
+    }
+
+    #[test]
+    fn count_only_tallies() {
+        let mut sink = CountOnly::new();
+        assert!(sink.report(v()));
+        assert!(sink.report(v()));
+        assert!(sink.report(v()));
+        assert_eq!(sink.count(), 3);
+    }
+}

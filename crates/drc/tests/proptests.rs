@@ -1,9 +1,9 @@
 //! Property-based tests for the DRC engine.
 
-use pao_drc::{DrcEngine, Owner, RuleKind, ShapeSet};
+use pao_drc::{CountOnly, DrcEngine, DrcScratch, Owner, RuleKind, ShapeSet};
 use pao_geom::{Dir, Point, Rect};
 use pao_ptest::{check, Rng};
-use pao_tech::rules::MinStepRule;
+use pao_tech::rules::{EolRule, MinStepRule};
 use pao_tech::{Layer, LayerId, Tech, ViaDef};
 
 fn tech() -> Tech {
@@ -187,6 +187,167 @@ fn audit_is_order_invariant() {
         let fwd: Vec<usize> = (0..shapes.len()).collect();
         let rev: Vec<usize> = (0..shapes.len()).rev().collect();
         assert_eq!(build(&fwd), build(&rev));
+    });
+}
+
+/// A technology with randomized rule values, exercising every sub-check
+/// the sink-based kernel can take (spacing, EOL, min step/width/area, cut
+/// spacing).
+fn arb_tech(rng: &mut Rng) -> Tech {
+    let mut t = Tech::new(1000);
+    let width = rng.gen_range(40i64..80);
+    let mut m1 = Layer::routing("M1", Dir::Horizontal, 200, width, rng.gen_range(50i64..90));
+    if rng.gen_bool(0.7) {
+        m1.min_step = Some(MinStepRule::simple(rng.gen_range(30i64..80)));
+    }
+    m1.min_area = i128::from(rng.gen_range(0i64..20_000));
+    if rng.gen_bool(0.5) {
+        m1.eol_rules.push(EolRule {
+            space: rng.gen_range(60i64..120),
+            eol_width: rng.gen_range(50i64..100),
+            within: rng.gen_range(0i64..40),
+        });
+    }
+    t.add_layer(m1);
+    t.add_layer(Layer::cut("V1", 50, rng.gen_range(60i64..140)));
+    t.add_layer(Layer::routing("M2", Dir::Vertical, 200, 60, 70));
+    let enc = rng.gen_range(25i64..70);
+    t.add_via(ViaDef::new(
+        "via1_0",
+        LayerId(0),
+        vec![Rect::new(-enc, -30, enc, 30)],
+        LayerId(1),
+        vec![Rect::new(-25, -25, 25, 25)],
+        LayerId(2),
+        vec![Rect::new(-30, -65, 30, 65)],
+    ));
+    t
+}
+
+/// A randomized multi-owner, multi-layer context.
+fn arb_ctx(rng: &mut Rng, t: &Tech) -> ShapeSet {
+    let mut ctx = ShapeSet::new(t.layers().len());
+    for layer in [LayerId(0), LayerId(1), LayerId(2)] {
+        for r in arb_rects(rng, 0, 5) {
+            let owner = match rng.gen_range(0u32..3) {
+                0 => Owner::pin(0),
+                1 => Owner::net(rng.gen_range(0u64..3)),
+                _ => Owner::obs(0),
+            };
+            ctx.insert(layer, r, owner);
+        }
+    }
+    if rng.gen_bool(0.8) {
+        ctx.rebuild();
+    }
+    ctx
+}
+
+/// `FirstOnly`'s verdict must equal `CollectAll` emptiness and `CountOnly`
+/// must equal `CollectAll` length, for the via-placement kernel and the
+/// audit, over randomized tech and geometry — including with a reused
+/// (warm) scratch.
+#[test]
+fn sink_modes_agree_with_collect_all() {
+    let mut warm = DrcScratch::new();
+    check("sink_modes_agree_with_collect_all", 96, |rng| {
+        let t = arb_tech(rng);
+        let e = DrcEngine::new(&t);
+        let ctx = arb_ctx(rng, &t);
+        let via = t.via(pao_tech::ViaId(0));
+        let at = Point::new(rng.gen_range(-600i64..600), rng.gen_range(-600i64..600));
+        let owner = Owner::pin(0);
+
+        let all = e.check_via_placement(via, at, owner, &ctx);
+        assert_eq!(
+            e.via_placement_clean(via, at, owner, &ctx, &mut warm),
+            all.is_empty(),
+            "FirstOnly verdict must equal CollectAll emptiness: {all:?}"
+        );
+        let mut count = CountOnly::new();
+        assert!(e.check_via_placement_sink(via, at, owner, &ctx, &mut warm, &mut count));
+        assert_eq!(count.count(), all.len());
+
+        let audit = e.audit(&ctx);
+        assert_eq!(e.audit_clean(&ctx), audit.is_empty());
+        let mut count = CountOnly::new();
+        assert!(e.audit_sink(&ctx, &mut count));
+        assert_eq!(count.count(), audit.len());
+    });
+    // The tallies stay consistent across all cases.
+    assert!(warm.rejects() <= warm.probes());
+    assert!(warm.early_exits() <= warm.rejects());
+}
+
+/// The `ShapeSet` visitor queries must agree with a brute-force scan over
+/// all inserted shapes, for rebuilt and non-rebuilt (overflow) sets.
+#[test]
+fn visitor_query_matches_brute_force() {
+    check("visitor_query_matches_brute_force", 96, |rng| {
+        let shapes = arb_rects(rng, 0, 20);
+        let mut ctx = ShapeSet::new(1);
+        let owner_of = |i: usize| Owner::net((i % 4) as u64);
+        for (i, &r) in shapes.iter().enumerate() {
+            ctx.insert(LayerId(0), r, owner_of(i));
+        }
+        if rng.gen_bool(0.5) {
+            ctx.rebuild();
+        }
+        let window = arb_rect(rng);
+        let probe = Owner::net(rng.gen_range(0u64..4));
+
+        let mut got: Vec<(Rect, Owner)> = Vec::new();
+        assert!(ctx.for_each_in(LayerId(0), window, |r, o| {
+            got.push((r, o));
+            true
+        }));
+        let mut want: Vec<(Rect, Owner)> = shapes
+            .iter()
+            .enumerate()
+            .filter(|&(_, r)| r.touches(window))
+            .map(|(i, &r)| (r, owner_of(i)))
+            .collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "visitor must see exactly the touching shapes");
+
+        let mut conf: Vec<(Rect, Owner)> = Vec::new();
+        assert!(ctx.for_each_conflict(LayerId(0), window, probe, |r, o| {
+            conf.push((r, o));
+            true
+        }));
+        let mut conf_want: Vec<(Rect, Owner)> = want
+            .iter()
+            .copied()
+            .filter(|&(_, o)| o.conflicts_with(probe))
+            .collect();
+        conf.sort();
+        conf_want.sort();
+        assert_eq!(conf, conf_want);
+
+        let mut fr: Vec<Rect> = Vec::new();
+        assert!(ctx.for_each_friend(LayerId(0), window, probe, |r| {
+            fr.push(r);
+            true
+        }));
+        let mut fr_want: Vec<Rect> = want
+            .iter()
+            .copied()
+            .filter_map(|(r, o)| (o == probe).then_some(r))
+            .collect();
+        fr.sort();
+        fr_want.sort();
+        assert_eq!(fr, fr_want);
+
+        // Early exit visits exactly one touching shape (when any exist).
+        if !want.is_empty() {
+            let mut n = 0;
+            assert!(!ctx.for_each_in(LayerId(0), window, |_, _| {
+                n += 1;
+                false
+            }));
+            assert_eq!(n, 1);
+        }
     });
 }
 

@@ -3,10 +3,13 @@
 //! The DRC min-step check walks the boundary of the *merged* metal formed
 //! by a pin shape and a via enclosure (paper Fig. 3): short boundary edges
 //! are "steps". This module traces the closed boundary loops of a union of
-//! rectangles.
+//! rectangles. The allocating [`union_boundaries`] / [`union_area`] entry
+//! points are wrappers over the scratch-based [`visit_union_boundaries`] /
+//! [`union_area_with`], which run allocation-free against a reusable
+//! [`GridScratch`] — the form the DRC hot path uses.
 
+use crate::scratch::GridScratch;
 use crate::{Dbu, Point, Rect};
-use std::collections::HashMap;
 
 /// Traces the closed boundary loops of the union of `shapes`.
 ///
@@ -24,123 +27,129 @@ use std::collections::HashMap;
 /// ```
 #[must_use]
 pub fn union_boundaries(shapes: &[Rect]) -> Vec<Vec<Point>> {
-    let shapes: Vec<Rect> = shapes
-        .iter()
-        .copied()
-        .filter(|r| !r.is_degenerate())
-        .collect();
-    if shapes.is_empty() {
-        return Vec::new();
-    }
-    let mut xs: Vec<Dbu> = shapes.iter().flat_map(|r| [r.xlo(), r.xhi()]).collect();
-    let mut ys: Vec<Dbu> = shapes.iter().flat_map(|r| [r.ylo(), r.yhi()]).collect();
-    xs.sort_unstable();
-    xs.dedup();
-    ys.sort_unstable();
-    ys.dedup();
-    let nx = xs.len() - 1;
-    let ny = ys.len() - 1;
-    let mut covered = vec![vec![false; ny]; nx];
-    for r in &shapes {
-        let i0 = xs.binary_search(&r.xlo()).expect("compressed");
-        let i1 = xs.binary_search(&r.xhi()).expect("compressed");
-        let j0 = ys.binary_search(&r.ylo()).expect("compressed");
-        let j1 = ys.binary_search(&r.yhi()).expect("compressed");
-        for col in covered.iter_mut().take(i1).skip(i0) {
-            for cell in col.iter_mut().take(j1).skip(j0) {
-                *cell = true;
-            }
-        }
-    }
-    let cov = |i: isize, j: isize| -> bool {
+    let mut ws = GridScratch::new();
+    let mut loops = Vec::new();
+    visit_union_boundaries(shapes, &mut ws, |loop_| {
+        loops.push(loop_.to_vec());
+        true
+    });
+    loops
+}
+
+/// Visits every closed boundary loop of the union of `shapes` without
+/// allocating (after `ws` warms up).
+///
+/// The visitor receives each collinear-merged vertex cycle (≥ 4 vertices,
+/// first vertex not repeated; outer loops CCW, holes CW) and returns
+/// `true` to continue. Returns `false` iff the visitor stopped the walk
+/// early. Loop order is deterministic (sorted by starting vertex).
+pub fn visit_union_boundaries<F: FnMut(&[Point]) -> bool>(
+    shapes: &[Rect],
+    ws: &mut GridScratch,
+    mut f: F,
+) -> bool {
+    let Some((nx, ny)) = ws.compress_and_fill(shapes) else {
+        return true;
+    };
+    let cov = |covered: &[bool], i: isize, j: isize| -> bool {
         i >= 0
             && j >= 0
             && (i as usize) < nx
             && (j as usize) < ny
-            && covered[i as usize][j as usize]
+            && covered[i as usize * ny + j as usize]
     };
 
     // Directed unit boundary edges with interior on the LEFT of the travel
     // direction (outer loops CCW, holes CW).
-    let mut outgoing: HashMap<Point, Vec<Point>> = HashMap::new();
-    let mut add = |a: Point, b: Point| outgoing.entry(a).or_default().push(b);
+    ws.edges.clear();
     for i in 0..nx as isize {
         for j in 0..ny as isize {
-            if !cov(i, j) {
+            if !cov(&ws.covered, i, j) {
                 continue;
             }
-            let (x0, x1) = (xs[i as usize], xs[i as usize + 1]);
-            let (y0, y1) = (ys[j as usize], ys[j as usize + 1]);
-            if !cov(i, j - 1) {
+            let (x0, x1) = (ws.xs[i as usize], ws.xs[i as usize + 1]);
+            let (y0, y1) = (ws.ys[j as usize], ws.ys[j as usize + 1]);
+            if !cov(&ws.covered, i, j - 1) {
                 // Bottom edge: travel east (interior above/left).
-                add(Point::new(x0, y0), Point::new(x1, y0));
+                ws.edges.push((Point::new(x0, y0), Point::new(x1, y0)));
             }
-            if !cov(i, j + 1) {
+            if !cov(&ws.covered, i, j + 1) {
                 // Top edge: travel west.
-                add(Point::new(x1, y1), Point::new(x0, y1));
+                ws.edges.push((Point::new(x1, y1), Point::new(x0, y1)));
             }
-            if !cov(i - 1, j) {
-                // Left edge: travel south (interior to the east/left of
-                // southward? interior is right of south; use north travel).
-                add(Point::new(x0, y1), Point::new(x0, y0));
+            if !cov(&ws.covered, i - 1, j) {
+                // Left edge: travel south.
+                ws.edges.push((Point::new(x0, y1), Point::new(x0, y0)));
             }
-            if !cov(i + 1, j) {
+            if !cov(&ws.covered, i + 1, j) {
                 // Right edge: travel north.
-                add(Point::new(x1, y0), Point::new(x1, y1));
+                ws.edges.push((Point::new(x1, y0), Point::new(x1, y1)));
             }
         }
     }
+    ws.edges
+        .sort_unstable_by_key(|&(a, b)| (a.x, a.y, b.x, b.y));
+    ws.used.clear();
+    ws.used.resize(ws.edges.len(), false);
 
     // Stitch directed edges into loops; at pinch vertices prefer the
     // leftmost turn so loops stay simple.
-    let mut loops = Vec::new();
-    while let Some((&start, _)) = outgoing.iter().find(|(_, v)| !v.is_empty()) {
-        let mut path = vec![start];
-        let mut current = start;
-        let mut incoming_dir: Option<Point> = None;
-        loop {
-            let nexts = outgoing
-                .get_mut(&current)
-                .expect("boundary edges form loops");
-            let next = match (nexts.len(), incoming_dir) {
-                (1, _) | (_, None) => nexts.pop().expect("nonempty"),
-                (_, Some(din)) => {
-                    // Choose the leftmost turn relative to the incoming
-                    // direction (cross product maximal).
-                    let best = nexts
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &n)| {
-                            let dout = n - current;
-                            din.x * dout.y - din.y * dout.x
-                        })
-                        .map(|(k, _)| k)
-                        .expect("nonempty");
-                    nexts.swap_remove(best)
+    let mut cursor = 0;
+    while cursor < ws.edges.len() {
+        if ws.used[cursor] {
+            cursor += 1;
+            continue;
+        }
+        let (start, first) = ws.edges[cursor];
+        ws.used[cursor] = true;
+        ws.path.clear();
+        ws.path.push(start);
+        let mut current = first;
+        let mut din = first - start;
+        while current != start {
+            ws.path.push(current);
+            // All outgoing edges from `current` form a contiguous sorted run.
+            let lo = ws
+                .edges
+                .partition_point(|&(a, _)| (a.x, a.y) < (current.x, current.y));
+            let hi = ws
+                .edges
+                .partition_point(|&(a, _)| (a.x, a.y) <= (current.x, current.y));
+            // Choose the leftmost turn relative to the incoming direction
+            // (cross product maximal) among unconsumed edges.
+            let mut best: Option<(usize, Dbu)> = None;
+            for k in lo..hi {
+                if ws.used[k] {
+                    continue;
                 }
-            };
-            incoming_dir = Some(next - current);
-            if next == start {
-                break;
+                let dout = ws.edges[k].1 - current;
+                let cross = din.x * dout.y - din.y * dout.x;
+                if best.is_none_or(|(_, c)| cross > c) {
+                    best = Some((k, cross));
+                }
             }
-            path.push(next);
+            let (k, _) = best.expect("boundary edges form loops");
+            ws.used[k] = true;
+            let next = ws.edges[k].1;
+            din = next - current;
             current = next;
         }
-        // Merge collinear runs.
-        let merged = merge_collinear(path);
-        if merged.len() >= 4 {
-            loops.push(merged);
+        merge_collinear_into(&ws.path, &mut ws.merged);
+        if ws.merged.len() >= 4 && !f(&ws.merged) {
+            return false;
         }
     }
-    loops
+    true
 }
 
-fn merge_collinear(mut path: Vec<Point>) -> Vec<Point> {
+/// Merges collinear runs of `path` (a closed rectilinear cycle) into `out`.
+fn merge_collinear_into(path: &[Point], out: &mut Vec<Point>) {
+    out.clear();
     if path.len() < 3 {
-        return path;
+        out.extend_from_slice(path);
+        return;
     }
-    let mut out: Vec<Point> = Vec::with_capacity(path.len());
-    for p in path.drain(..) {
+    for &p in path {
         while out.len() >= 2 {
             let a = out[out.len() - 2];
             let b = out[out.len() - 1];
@@ -167,44 +176,44 @@ fn merge_collinear(mut path: Vec<Point>) -> Vec<Point> {
         }
         break;
     }
-    out
 }
 
 /// Edge lengths around a loop produced by [`union_boundaries`].
 #[must_use]
 pub fn edge_lengths(loop_: &[Point]) -> Vec<Dbu> {
-    (0..loop_.len())
-        .map(|i| {
-            let a = loop_[i];
-            let b = loop_[(i + 1) % loop_.len()];
-            a.manhattan(b)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(loop_.len());
+    edge_lengths_into(loop_, &mut out);
+    out
+}
+
+/// Writes the edge lengths around `loop_` into `out` (cleared first).
+pub fn edge_lengths_into(loop_: &[Point], out: &mut Vec<Dbu>) {
+    out.clear();
+    out.extend((0..loop_.len()).map(|i| {
+        let a = loop_[i];
+        let b = loop_[(i + 1) % loop_.len()];
+        a.manhattan(b)
+    }));
 }
 
 /// Total area enclosed by the union of `shapes`.
 #[must_use]
 pub fn union_area(shapes: &[Rect]) -> i128 {
-    let shapes: Vec<Rect> = shapes
-        .iter()
-        .copied()
-        .filter(|r| !r.is_degenerate())
-        .collect();
-    if shapes.is_empty() {
+    union_area_with(shapes, &mut GridScratch::new())
+}
+
+/// Total area enclosed by the union of `shapes`, computed against a
+/// reusable [`GridScratch`] (allocation-free once warmed up).
+pub fn union_area_with(shapes: &[Rect], ws: &mut GridScratch) -> i128 {
+    let Some((nx, ny)) = ws.compress_and_fill(shapes) else {
         return 0;
-    }
-    let mut xs: Vec<Dbu> = shapes.iter().flat_map(|r| [r.xlo(), r.xhi()]).collect();
-    let mut ys: Vec<Dbu> = shapes.iter().flat_map(|r| [r.ylo(), r.yhi()]).collect();
-    xs.sort_unstable();
-    xs.dedup();
-    ys.sort_unstable();
-    ys.dedup();
+    };
     let mut total: i128 = 0;
-    for i in 0..xs.len() - 1 {
-        for j in 0..ys.len() - 1 {
-            let cell = Rect::new(xs[i], ys[j], xs[i + 1], ys[j + 1]);
-            if shapes.iter().any(|r| r.contains_rect(cell)) {
-                total += i128::from(xs[i + 1] - xs[i]) * i128::from(ys[j + 1] - ys[j]);
+    for i in 0..nx {
+        let w = i128::from(ws.xs[i + 1] - ws.xs[i]);
+        for j in 0..ny {
+            if ws.covered[i * ny + j] {
+                total += w * i128::from(ws.ys[j + 1] - ws.ys[j]);
             }
         }
     }
@@ -286,5 +295,58 @@ mod tests {
         assert_eq!(loops.len(), 1);
         let lens = edge_lengths(&loops[0]);
         assert_eq!(lens.iter().filter(|&&l| l == 5).count(), 4);
+    }
+
+    #[test]
+    fn visitor_early_exit_stops_walk() {
+        let shapes = [Rect::new(0, 0, 5, 5), Rect::new(100, 100, 105, 105)];
+        let mut ws = GridScratch::new();
+        let mut seen = 0;
+        let completed = visit_union_boundaries(&shapes, &mut ws, |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let cases: Vec<Vec<Rect>> = vec![
+            vec![Rect::new(0, 0, 10, 5)],
+            vec![Rect::new(0, 0, 20, 5), Rect::new(0, 0, 5, 10)],
+            vec![Rect::new(0, 0, 400, 60), Rect::new(100, -5, 230, 65)],
+            vec![],
+        ];
+        let mut ws = GridScratch::new();
+        for shapes in &cases {
+            let mut loops = Vec::new();
+            visit_union_boundaries(shapes, &mut ws, |l| {
+                loops.push(l.to_vec());
+                true
+            });
+            let fresh = union_boundaries(shapes);
+            assert_eq!(loops.len(), fresh.len());
+            let mut got: Vec<Vec<Dbu>> = loops
+                .iter()
+                .map(|l| {
+                    let mut e = edge_lengths(l);
+                    e.sort_unstable();
+                    e
+                })
+                .collect();
+            let mut want: Vec<Vec<Dbu>> = fresh
+                .iter()
+                .map(|l| {
+                    let mut e = edge_lengths(l);
+                    e.sort_unstable();
+                    e
+                })
+                .collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+            assert_eq!(union_area_with(shapes, &mut ws), union_area(shapes));
+        }
     }
 }

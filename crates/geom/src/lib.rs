@@ -34,16 +34,18 @@ pub mod point;
 pub mod polygon;
 pub mod rect;
 pub mod rtree;
+pub mod scratch;
 pub mod transform;
 
 pub use dist::{euclid_sq, manhattan, rect_dist, rect_dist_components};
 pub use interval::Interval;
-pub use maxrect::max_rects;
+pub use maxrect::{max_rects, max_rects_into};
 pub use orient::Orient;
 pub use point::Point;
 pub use polygon::Polygon;
 pub use rect::Rect;
 pub use rtree::RTree;
+pub use scratch::GridScratch;
 pub use transform::Transform;
 
 /// Database unit coordinate type used throughout the workspace.

@@ -6,7 +6,8 @@
 //! pin itself; for an L/T/U-shaped pin the maximal rectangles overlap each
 //! other.
 
-use crate::{Dbu, Rect};
+use crate::scratch::GridScratch;
+use crate::Rect;
 
 /// Computes all maximal axis-aligned rectangles contained in the union of
 /// `shapes`.
@@ -32,54 +33,42 @@ use crate::{Dbu, Rect};
 /// ```
 #[must_use]
 pub fn max_rects(shapes: &[Rect]) -> Vec<Rect> {
-    let shapes: Vec<Rect> = shapes
-        .iter()
-        .copied()
-        .filter(|r| !r.is_degenerate())
-        .collect();
-    if shapes.is_empty() {
-        return Vec::new();
-    }
-    let mut xs: Vec<Dbu> = shapes.iter().flat_map(|r| [r.xlo(), r.xhi()]).collect();
-    let mut ys: Vec<Dbu> = shapes.iter().flat_map(|r| [r.ylo(), r.yhi()]).collect();
-    xs.sort_unstable();
-    xs.dedup();
-    ys.sort_unstable();
-    ys.dedup();
-    let nx = xs.len() - 1; // number of cell columns
-    let ny = ys.len() - 1;
+    let mut out = Vec::new();
+    max_rects_into(shapes, &mut GridScratch::new(), &mut out);
+    out
+}
 
-    // covered[i][j]: cell (xs[i]..xs[i+1]) × (ys[j]..ys[j+1]) in the union.
-    let mut covered = vec![vec![false; ny]; nx];
-    for r in &shapes {
-        let i0 = xs.binary_search(&r.xlo()).expect("compressed coord");
-        let i1 = xs.binary_search(&r.xhi()).expect("compressed coord");
-        let j0 = ys.binary_search(&r.ylo()).expect("compressed coord");
-        let j1 = ys.binary_search(&r.yhi()).expect("compressed coord");
-        for col in covered.iter_mut().take(i1).skip(i0) {
-            for cell in col.iter_mut().take(j1).skip(j0) {
-                *cell = true;
-            }
-        }
-    }
+/// Writes all maximal rectangles of the union of `shapes` into `out`
+/// (cleared first), reusing the buffers of `ws` — allocation-free once
+/// both have warmed up. Semantics are identical to [`max_rects`].
+pub fn max_rects_into(shapes: &[Rect], ws: &mut GridScratch, out: &mut Vec<Rect>) {
+    out.clear();
+    let Some((nx, ny)) = ws.compress_and_fill(shapes) else {
+        return;
+    };
 
-    // 2-D prefix sums of covered cells for O(1) fullness queries.
-    let mut pre = vec![vec![0u32; ny + 1]; nx + 1];
+    // 2-D prefix sums of covered cells for O(1) fullness queries,
+    // row-major `pre[i * (ny + 1) + j]`.
+    let stride = ny + 1;
+    ws.pre.clear();
+    ws.pre.resize((nx + 1) * stride, 0);
     for i in 0..nx {
         for j in 0..ny {
-            pre[i + 1][j + 1] =
-                pre[i][j + 1] + pre[i + 1][j] - pre[i][j] + u32::from(covered[i][j]);
+            ws.pre[(i + 1) * stride + j + 1] =
+                ws.pre[i * stride + j + 1] + ws.pre[(i + 1) * stride + j] - ws.pre[i * stride + j]
+                    + u32::from(ws.covered[i * ny + j]);
         }
     }
+    let pre = &ws.pre;
     let cells = |i0: usize, i1: usize, j0: usize, j1: usize| -> u32 {
         // Ordered so every intermediate value stays non-negative.
-        (pre[i1][j1] - pre[i0][j1]) + pre[i0][j0] - pre[i1][j0]
+        (pre[i1 * stride + j1] - pre[i0 * stride + j1]) + pre[i0 * stride + j0]
+            - pre[i1 * stride + j0]
     };
     let full = |i0: usize, i1: usize, j0: usize, j1: usize| -> bool {
         i0 < i1 && j0 < j1 && cells(i0, i1, j0, j1) == ((i1 - i0) as u32) * ((j1 - j0) as u32)
     };
 
-    let mut out = Vec::new();
     for i0 in 0..nx {
         for i1 in (i0 + 1)..=nx {
             for j0 in 0..ny {
@@ -92,7 +81,7 @@ pub fn max_rects(shapes: &[Rect]) -> Vec<Rect> {
                     let grow_down = j0 > 0 && full(i0, i1, j0 - 1, j1);
                     let grow_up = j1 < ny && full(i0, i1, j0, j1 + 1);
                     if !(grow_left || grow_right || grow_down || grow_up) {
-                        out.push(Rect::new(xs[i0], ys[j0], xs[i1], ys[j1]));
+                        out.push(Rect::new(ws.xs[i0], ws.ys[j0], ws.xs[i1], ws.ys[j1]));
                     }
                 }
             }
@@ -100,7 +89,6 @@ pub fn max_rects(shapes: &[Rect]) -> Vec<Rect> {
     }
     out.sort();
     out.dedup();
-    out
 }
 
 #[cfg(test)]
@@ -194,6 +182,23 @@ mod tests {
         for m in &maxes {
             let c = m.center();
             assert!(shapes.iter().any(|r| r.contains(c)));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let cases: Vec<Vec<Rect>> = vec![
+            vec![Rect::new(0, 0, 100, 50)],
+            vec![Rect::new(0, 0, 20, 5), Rect::new(0, 0, 10, 10)],
+            vec![Rect::new(0, 10, 30, 20), Rect::new(10, 0, 20, 30)],
+            vec![],
+            vec![Rect::new(0, 0, 10, 10), Rect::new(100, 100, 110, 110)],
+        ];
+        let mut ws = GridScratch::new();
+        let mut out = Vec::new();
+        for shapes in &cases {
+            max_rects_into(shapes, &mut ws, &mut out);
+            assert_eq!(out, max_rects(shapes));
         }
     }
 

@@ -187,16 +187,74 @@ impl<T> RTree<T> {
         }
     }
 
+    /// Visits every `(bounds, value)` pair whose closed bounds touch the
+    /// closed query window, without allocating. The visitor returns `true`
+    /// to continue; `visit` returns `false` iff the visitor stopped early.
+    ///
+    /// This is the zero-overhead form of [`RTree::query`] used by the DRC
+    /// hot path: no iterator state, no heap-allocated traversal stack.
+    pub fn visit<F: FnMut(Rect, &T) -> bool>(&self, window: Rect, f: &mut F) -> bool {
+        if let Some(root) = &self.root {
+            if !visit_node(root, &self.items, window, f) {
+                return false;
+            }
+        }
+        for &i in &self.overflow {
+            let (r, t) = &self.items[i];
+            if r.touches(window) && !f(*r, t) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// `true` when any stored item touches `window`.
     #[must_use]
     pub fn any_touching(&self, window: Rect) -> bool {
-        self.query(window).next().is_some()
+        !self.visit(window, &mut |_, _| false)
+    }
+
+    /// Removes all items, keeping allocated capacity where possible.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.overflow.clear();
+        self.root = None;
     }
 
     /// Iterates over all stored items.
     pub fn iter(&self) -> std::slice::Iter<'_, (Rect, T)> {
         self.items.iter()
     }
+}
+
+/// Recursive allocation-free traversal behind [`RTree::visit`].
+fn visit_node<T, F: FnMut(Rect, &T) -> bool>(
+    node: &Node,
+    arena: &[(Rect, T)],
+    window: Rect,
+    f: &mut F,
+) -> bool {
+    if !node.bbox().touches(window) {
+        return true;
+    }
+    match node {
+        Node::Leaf { items, .. } => {
+            for &i in items {
+                let (r, t) = &arena[i as usize];
+                if r.touches(window) && !f(*r, t) {
+                    return false;
+                }
+            }
+        }
+        Node::Inner { children, .. } => {
+            for c in children {
+                if !visit_node(c, arena, window, f) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 impl<T> FromIterator<(Rect, T)> for RTree<T> {
@@ -367,6 +425,48 @@ mod tests {
         let tree: RTree<u8> = vec![(Rect::new(5, 0, 5, 100), 1u8)].into_iter().collect();
         assert!(tree.any_touching(Rect::new(0, 50, 10, 60)));
         assert!(!tree.any_touching(Rect::new(6, 50, 10, 60)));
+    }
+
+    #[test]
+    fn visit_matches_query_and_early_exits() {
+        let mut tree = grid_tree(8);
+        tree.insert(Rect::new(45, 45, 55, 55), (77, 77)); // lands in overflow
+        let windows = [
+            Rect::new(0, 0, 800, 800),
+            Rect::new(50, 50, 350, 150),
+            Rect::new(-100, -100, -1, -1),
+        ];
+        for w in windows {
+            let mut via_visit: Vec<(i64, i64)> = Vec::new();
+            assert!(tree.visit(w, &mut |_, &t| {
+                via_visit.push(t);
+                true
+            }));
+            via_visit.sort_unstable();
+            let mut via_query: Vec<(i64, i64)> = tree.query(w).map(|(_, &t)| t).collect();
+            via_query.sort_unstable();
+            assert_eq!(via_visit, via_query, "window {w}");
+        }
+        // Early exit: stop after the first hit.
+        let mut count = 0;
+        let stopped = !tree.visit(Rect::new(0, 0, 800, 800), &mut |_, _| {
+            count += 1;
+            false
+        });
+        assert!(stopped);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn clear_empties_but_stays_usable() {
+        let mut tree = grid_tree(4);
+        tree.insert(Rect::new(0, 0, 5, 5), (9, 9));
+        tree.clear();
+        assert!(tree.is_empty());
+        assert!(!tree.any_touching(Rect::new(0, 0, 1000, 1000)));
+        tree.insert(Rect::new(1, 1, 2, 2), (1, 1));
+        tree.rebuild();
+        assert!(tree.any_touching(Rect::new(0, 0, 3, 3)));
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn flush_thread() {
     trace::flush_thread();
 }
 
-pub use metrics::{counter_add, hist_record, snapshot, Hist, MetricsSnapshot};
+pub use metrics::{counter_add, gauge_max, hist_record, snapshot, Hist, MetricsSnapshot};
 pub use trace::{record_span_at, span, take_trace, Span, SpanEvent, TraceDump};
 
 #[cfg(test)]

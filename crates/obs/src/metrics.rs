@@ -170,19 +170,20 @@ impl Hist {
 struct Registry {
     counters: HashMap<&'static str, u64>,
     hists: HashMap<&'static str, Hist>,
+    gauges: HashMap<&'static str, u64>,
 }
 
 impl Registry {
-    fn merge_from(
-        &mut self,
-        counters: &mut HashMap<&'static str, u64>,
-        hists: &mut HashMap<&'static str, Hist>,
-    ) {
-        for (name, v) in counters.drain() {
+    fn merge_from(&mut self, tls: &mut ThreadMetrics) {
+        for (name, v) in tls.counters.drain() {
             *self.counters.entry(name).or_insert(0) += v;
         }
-        for (name, h) in hists.drain() {
+        for (name, h) in tls.hists.drain() {
             self.hists.entry(name).or_default().merge(&h);
+        }
+        for (name, v) in tls.gauges.drain() {
+            let g = self.gauges.entry(name).or_insert(0);
+            *g = (*g).max(v);
         }
     }
 }
@@ -196,15 +197,16 @@ fn registry() -> &'static Mutex<Registry> {
 struct ThreadMetrics {
     counters: HashMap<&'static str, u64>,
     hists: HashMap<&'static str, Hist>,
+    gauges: HashMap<&'static str, u64>,
 }
 
 impl ThreadMetrics {
     fn flush(&mut self) {
-        if self.counters.is_empty() && self.hists.is_empty() {
+        if self.counters.is_empty() && self.hists.is_empty() && self.gauges.is_empty() {
             return;
         }
         let mut reg = registry().lock().expect("metrics registry");
-        reg.merge_from(&mut self.counters, &mut self.hists);
+        reg.merge_from(self);
     }
 }
 
@@ -242,6 +244,22 @@ pub fn hist_record(name: &'static str, value: u64) {
     });
 }
 
+/// Raises the named gauge to at least `value` (max-merge semantics).
+/// Gauges report *levels* — e.g. scratch-buffer high-water marks — so
+/// merging keeps the maximum seen across all threads and calls. No-op
+/// when metrics are disabled.
+#[inline]
+pub fn gauge_max(name: &'static str, value: u64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let g = t.gauges.entry(name).or_insert(0);
+        *g = (*g).max(value);
+    });
+}
+
 /// Merges the calling thread's buffered metrics into the global registry.
 ///
 /// Worker threads must call this before finishing: the TLS `Drop` flush
@@ -260,13 +278,15 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, Hist>,
+    /// Gauge levels by name (max-merged; e.g. buffer high-water marks).
+    pub gauges: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
     /// `true` when nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.hists.is_empty()
+        self.counters.is_empty() && self.hists.is_empty() && self.gauges.is_empty()
     }
 
     /// The named counter's value (0 when absent).
@@ -281,8 +301,16 @@ impl MetricsSnapshot {
         self.hists.get(name)
     }
 
+    /// The named gauge's level (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// What was recorded between `earlier` and this snapshot. Metrics
-    /// whose interval value is zero are dropped.
+    /// whose interval value is zero are dropped. Gauges are levels, not
+    /// rates: a gauge that rose above its earlier level is kept at its
+    /// **absolute** new level, an unchanged one is dropped.
     #[must_use]
     pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         let mut out = MetricsSnapshot::default();
@@ -301,6 +329,11 @@ impl MetricsSnapshot {
                 out.hists.insert(name.clone(), d);
             }
         }
+        for (name, &v) in &self.gauges {
+            if v > earlier.gauge(name) {
+                out.gauges.insert(name.clone(), v);
+            }
+        }
         out
     }
 
@@ -314,6 +347,19 @@ impl MetricsSnapshot {
             let w = self.counters.keys().map(String::len).max().unwrap_or(0);
             for (name, v) in &self.counters {
                 let _ = writeln!(out, "  {name:<w$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let w = self
+                .gauges
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(5);
+            let _ = writeln!(out, "  {:<w$}  {:>9}", "gauge", "level");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<w$}  {v:>9}");
             }
         }
         if !self.hists.is_empty() {
@@ -353,6 +399,9 @@ pub fn snapshot() -> MetricsSnapshot {
     for (&name, h) in &reg.hists {
         out.hists.insert(name.to_owned(), h.clone());
     }
+    for (&name, &v) in &reg.gauges {
+        out.gauges.insert(name.to_owned(), v);
+    }
     out
 }
 
@@ -362,10 +411,12 @@ pub fn reset() {
         let mut t = t.borrow_mut();
         t.counters.clear();
         t.hists.clear();
+        t.gauges.clear();
     });
     let mut reg = registry().lock().expect("metrics registry");
     reg.counters.clear();
     reg.hists.clear();
+    reg.gauges.clear();
 }
 
 /// Serializes tests that touch the process-global recording state.
@@ -466,6 +517,36 @@ mod tests {
         let h = snap.hist("test.merge.hist").expect("hist recorded");
         assert_eq!(h.count(), 4);
         assert_eq!(h.min(), 8);
+        crate::disable_all();
+        reset();
+    }
+
+    #[test]
+    fn gauges_max_merge_across_threads() {
+        let _g = test_lock();
+        crate::enable_metrics();
+        reset();
+        std::thread::scope(|s| {
+            for level in [30u64, 80, 50] {
+                s.spawn(move || {
+                    gauge_max("test.gauge.hiwater", level);
+                    gauge_max("test.gauge.hiwater", level / 2);
+                    flush_thread();
+                });
+            }
+        });
+        gauge_max("test.gauge.hiwater", 10);
+        let snap = snapshot();
+        assert_eq!(snap.gauge("test.gauge.hiwater"), 80);
+        assert_eq!(snap.gauge("test.gauge.absent"), 0);
+        // Levels: unchanged gauges drop out of a delta, raised ones keep
+        // their absolute level.
+        let d = snap.delta_since(&snap);
+        assert!(d.gauges.is_empty());
+        gauge_max("test.gauge.hiwater", 200);
+        let d = snapshot().delta_since(&snap);
+        assert_eq!(d.gauge("test.gauge.hiwater"), 200);
+        assert!(d.to_table().contains("test.gauge.hiwater"));
         crate::disable_all();
         reset();
     }

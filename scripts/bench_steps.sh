@@ -1,22 +1,59 @@
 #!/usr/bin/env bash
 # Times the three PAAF steps (std::time::Instant inside the oracle)
-# single-threaded vs. parallel and writes the comparison to
-# BENCH_pao.json. Offline; uses the generated suite, no criterion.
+# single-threaded vs. parallel and appends the comparison to a history
+# array in BENCH_pao.json, printing the delta against the previous run.
+# Offline; uses the generated suite, no criterion.
 #
 # Usage: scripts/bench_steps.sh [case] [threads] [out.json]
 #   case     testgen case name (smoke, ispd18s_test1..10, aes14);
 #            default ispd18s_test2
 #   threads  parallel worker count; default: all available cores
-#   out      output path; default BENCH_pao.json
+#   out      history file; default BENCH_pao.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CASE="${1:-ispd18s_test2}"
 OUT="${3:-BENCH_pao.json}"
-ARGS=(bench --case "$CASE" --out "$OUT")
+RUN="$(mktemp /tmp/pao_bench_XXXXXX.json)"
+trap 'rm -f "$RUN"' EXIT
+ARGS=(bench --case "$CASE" --out "$RUN")
 if [[ -n "${2:-}" ]]; then
   ARGS+=(--threads "$2")
 fi
 
 cargo run --release -p pao-cli -- "${ARGS[@]}"
-echo "wrote $OUT"
+
+if command -v python3 > /dev/null; then
+  python3 - "$RUN" "$OUT" <<'EOF'
+import json, sys
+
+run_path, out_path = sys.argv[1], sys.argv[2]
+run = json.load(open(run_path))
+try:
+    hist = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    hist = []
+if isinstance(hist, dict):  # legacy single-object file from older runs
+    hist = [hist]
+
+prev = next((h for h in reversed(hist) if h.get("workload") == run["workload"]), None)
+hist.append(run)
+with open(out_path, "w") as f:
+    json.dump(hist, f, indent=2)
+    f.write("\n")
+
+print(f"appended run #{len(hist)} ({run['workload']}) to {out_path}")
+if prev is None:
+    print("no previous run for this workload; no delta to report")
+else:
+    for key in ("apgen_s", "pattern_s", "cluster_s", "total_s"):
+        old, new = prev["parallel"][key], run["parallel"][key]
+        pct = 100.0 * (new - old) / old if old else 0.0
+        print(f"  {key:<10} {old:>9.6f}s -> {new:>9.6f}s  ({pct:+.1f}%)")
+    print(f"  speedup    {prev['speedup']:.3f} -> {run['speedup']:.3f}")
+EOF
+else
+  # No python3: keep the raw run so nothing is lost, skip the history.
+  cp "$RUN" "$OUT"
+  echo "python3 not found; wrote single run to $OUT (no history append)"
+fi

@@ -32,4 +32,21 @@ else
     test -s "$trace"
 fi
 
+echo "== bench history =="
+# The bench history appended by scripts/bench_steps.sh must stay valid
+# JSON (a top-level array of run objects, or the legacy single object).
+if [[ -f BENCH_pao.json ]]; then
+    if command -v python3 > /dev/null; then
+        python3 -c "
+import json, sys
+h = json.load(open('BENCH_pao.json'))
+runs = h if isinstance(h, list) else [h]
+assert runs and all('workload' in r and 'speedup' in r for r in runs), 'malformed bench history'
+print(f'BENCH_pao.json: {len(runs)} run(s), ok')
+"
+    else
+        test -s BENCH_pao.json
+    fi
+fi
+
 echo "verify: OK"
