@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 10] = [
+const VALUE_OPTS: [&str; 11] = [
     "--threads",
     "--k",
     "--report",
@@ -22,6 +22,7 @@ const VALUE_OPTS: [&str; 10] = [
     "--cache",
     "--case",
     "--trace",
+    "--inject-fault",
 ];
 
 impl Args {

@@ -14,7 +14,7 @@
 //!             [--trace FILE] [--report FILE]
 //! ```
 
-use pao_core::{PaoConfig, PinAccessOracle};
+use pao_core::{PaoConfig, PaoError, PinAccessOracle};
 use pao_design::Design;
 use pao_tech::Tech;
 use std::process::ExitCode;
@@ -22,20 +22,87 @@ use std::process::ExitCode;
 mod args;
 use args::Args;
 
-fn load_world(lef_path: &str, def_path: &str) -> Result<(Tech, Design), String> {
+/// Typed CLI failure. Each variant maps to a distinct exit code so
+/// scripts (and CI) can tell a bad invocation from bad input data from a
+/// bug in `pao` itself:
+///
+/// | code | meaning                                               |
+/// |------|-------------------------------------------------------|
+/// | 0    | success                                               |
+/// | 2    | usage error (bad flags/arguments)                     |
+/// | 3    | input error (unreadable or malformed LEF/DEF/cache)   |
+/// | 4    | internal error (a `pao` bug)                          |
+/// | 5    | run completed degraded (quarantined items) and        |
+/// |      | `--degraded-ok` was not given                         |
+#[derive(Debug)]
+enum CliError {
+    /// The invocation is wrong: missing arguments, unknown case names,
+    /// unparsable flag values.
+    Usage(String),
+    /// The input data is at fault; carries the full typed error.
+    Input(PaoError),
+    /// A bug in `pao` itself (violated invariant, invalid export).
+    Internal(String),
+    /// The analysis finished but quarantined this many work items, and
+    /// the caller did not opt into degraded results with `--degraded-ok`.
+    Degraded(usize),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError::Usage(message.into())
+    }
+
+    fn input(message: impl Into<String>) -> CliError {
+        CliError::Input(PaoError::input(message))
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Internal(_) => 4,
+            CliError::Degraded(_) => 5,
+        }
+    }
+
+    /// Prints the error (and, for typed errors, its source chain) to
+    /// stderr.
+    fn report(&self) {
+        match self {
+            CliError::Usage(m) => eprintln!("error: {m}"),
+            CliError::Internal(m) => eprintln!("error: internal: {m}"),
+            CliError::Degraded(n) => eprintln!(
+                "error: run degraded: {n} work item(s) quarantined (see report; pass --degraded-ok to accept)"
+            ),
+            CliError::Input(e) => {
+                eprintln!("error: {e}");
+                let mut source = std::error::Error::source(e);
+                while let Some(cause) = source {
+                    eprintln!("  caused by: {cause}");
+                    source = cause.source();
+                }
+            }
+        }
+    }
+}
+
+fn load_world(lef_path: &str, def_path: &str) -> Result<(Tech, Design), CliError> {
     let lef = std::fs::read_to_string(lef_path)
-        .map_err(|e| format!("cannot read LEF `{lef_path}`: {e}"))?;
-    let tech = pao_tech::lef::parse_lef(&lef).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::input(format!("cannot read LEF `{lef_path}`: {e}")))?;
+    let tech = pao_tech::lef::parse_lef(&lef)
+        .map_err(|e| CliError::Input(PaoError::input_at(lef_path, e.line, e.message)))?;
     let def = std::fs::read_to_string(def_path)
-        .map_err(|e| format!("cannot read DEF `{def_path}`: {e}"))?;
-    let design = pao_design::def::parse_def(&def, &tech).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::input(format!("cannot read DEF `{def_path}`: {e}")))?;
+    let design = pao_design::def::parse_def(&def, &tech)
+        .map_err(|e| CliError::Input(PaoError::input_at(def_path, e.line, e.message)))?;
     Ok((tech, design))
 }
 
-fn emit(report: Option<&str>, content: &str) -> Result<(), String> {
+fn emit(report: Option<&str>, content: &str) -> Result<(), CliError> {
     match report {
         Some(path) => std::fs::write(path, content)
-            .map_err(|e| format!("cannot write `{path}`: {e}"))
+            .map_err(|e| CliError::input(format!("cannot write `{path}`: {e}")))
             .map(|()| eprintln!("wrote {path}")),
         None => {
             print!("{content}");
@@ -46,11 +113,12 @@ fn emit(report: Option<&str>, content: &str) -> Result<(), String> {
 
 /// Validates an exported Chrome trace with the crate's own JSON parser
 /// and writes it to `path`.
-fn write_trace(path: &str, dump: &pao_obs::TraceDump) -> Result<(), String> {
+fn write_trace(path: &str, dump: &pao_obs::TraceDump) -> Result<(), CliError> {
     let json = dump.to_chrome_json();
     pao_obs::json::validate(&json)
-        .map_err(|e| format!("internal: exported trace is not valid JSON: {e}"))?;
-    std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        .map_err(|e| CliError::Internal(format!("exported trace is not valid JSON: {e}")))?;
+    std::fs::write(path, &json)
+        .map_err(|e| CliError::input(format!("cannot write `{path}`: {e}")))?;
     eprintln!(
         "wrote {path} ({} spans, {} tracks)",
         dump.events.len(),
@@ -59,8 +127,40 @@ fn write_trace(path: &str, dump: &pao_obs::TraceDump) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
-    let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+/// Maps an `--inject-fault` phase name to its executor label.
+fn fault_label(phase: &str) -> Option<&'static str> {
+    Some(match phase {
+        "apgen" => "apgen.instance",
+        "pattern" => "pattern.instance",
+        "select" => "select.group",
+        "repair" => "repair.scan",
+        "audit" => "audit.pin",
+        _ => return None,
+    })
+}
+
+/// Arms the deterministic fault-injection hook from an
+/// `--inject-fault PHASE[:INDEX]` value (chaos testing: verify the run
+/// degrades instead of aborting).
+fn arm_injected_fault(spec: &str) -> Result<(), CliError> {
+    let (phase, index) = spec.split_once(':').unwrap_or((spec, "0"));
+    let label = fault_label(phase).ok_or_else(|| {
+        CliError::usage(format!(
+            "--inject-fault: unknown phase `{phase}` (expected apgen|pattern|select|repair|audit)"
+        ))
+    })?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| CliError::usage("--inject-fault expects PHASE[:INDEX]"))?;
+    pao_core::fault::arm(label, index);
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), CliError> {
+    let (tech, design) = load_world(
+        args.positional(1).map_err(CliError::Usage)?,
+        args.positional(2).map_err(CliError::Usage)?,
+    )?;
     if args.flag("--metrics") {
         pao_obs::enable_metrics();
     }
@@ -71,33 +171,48 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     if let Some(t) = args.value("--threads") {
         cfg.threads = t
             .parse()
-            .map_err(|_| "--threads expects a number".to_owned())?;
+            .map_err(|_| CliError::usage("--threads expects a number"))?;
     }
     if let Some(k) = args.value("--k") {
-        cfg.apgen.k = k.parse().map_err(|_| "--k expects a number".to_owned())?;
+        cfg.apgen.k = k
+            .parse()
+            .map_err(|_| CliError::usage("--k expects a number"))?;
     }
     if args.flag("--no-bca") {
         cfg.pattern.bca = false;
         cfg.pattern.max_patterns = 1;
     }
+    if let Some(spec) = args.value("--inject-fault") {
+        arm_injected_fault(spec)?;
+    }
     let oracle = PinAccessOracle::with_config(cfg);
     let result = match args.value("--cache") {
         Some(path) => {
-            // Persisted incremental cache: load if present, save after.
+            // Persisted incremental cache: load if present, save after. A
+            // corrupt/truncated/old-version cache is *rejected* (warning +
+            // `cache.rejected` counter inside load_or_rebuild) and the
+            // analysis transparently rebuilds it — never an abort.
             let mut cache = match std::fs::read_to_string(path) {
-                Ok(text) => pao_core::incremental::AnalysisCache::load_from_string(&text)
-                    .map_err(|e| e.to_string())?,
+                Ok(text) => {
+                    let (cache, rejected) =
+                        pao_core::incremental::AnalysisCache::load_or_rebuild(&text);
+                    if let Some(reason) = rejected {
+                        eprintln!("warning: cache `{path}` rejected, rebuilding: {reason}");
+                    }
+                    cache
+                }
                 Err(_) => pao_core::incremental::AnalysisCache::new(),
             };
             let r = oracle.analyze_with_cache(&tech, &design, &mut cache);
             std::fs::write(path, cache.save_to_string())
-                .map_err(|e| format!("cannot write cache `{path}`: {e}"))?;
+                .map_err(|e| CliError::input(format!("cannot write cache `{path}`: {e}")))?;
             let (hits, misses) = cache.stats();
             eprintln!("cache: {hits} hits, {misses} misses -> {path}");
             r
         }
         None => oracle.analyze(&tech, &design),
     };
+    pao_core::fault::disarm();
     pao_obs::disable_all();
     let mut out = String::new();
     out.push_str(&format!("design: {}\n{}\n", design.name, result.stats));
@@ -132,23 +247,33 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     if let Some(spec) = args.value("--svg") {
         let (inst, file) = spec
             .split_once(':')
-            .ok_or_else(|| "--svg expects INSTANCE:FILE".to_owned())?;
+            .ok_or_else(|| CliError::usage("--svg expects INSTANCE:FILE"))?;
         let comp = design
             .component_by_name(inst)
-            .ok_or_else(|| format!("unknown instance `{inst}`"))?;
+            .ok_or_else(|| CliError::input(format!("unknown instance `{inst}`")))?;
         let svg = pao_viz::render_cell_access(&tech, &design, &result, comp);
-        std::fs::write(file, svg).map_err(|e| format!("cannot write `{file}`: {e}"))?;
+        std::fs::write(file, svg)
+            .map_err(|e| CliError::input(format!("cannot write `{file}`: {e}")))?;
         eprintln!("wrote {file}");
     }
     if let Some(path) = args.value("--trace") {
         write_trace(path, &pao_obs::take_trace())?;
     }
+    // Degraded completion: quarantined items were reported above; whether
+    // that is acceptable is the caller's call, not ours.
+    let quarantined = result.stats.quarantined.len();
+    if quarantined > 0 && !args.flag("--degraded-ok") {
+        return Err(CliError::Degraded(quarantined));
+    }
     Ok(())
 }
 
-fn cmd_route(args: &Args) -> Result<(), String> {
+fn cmd_route(args: &Args) -> Result<(), CliError> {
     use pao_router::route::{RouteConfig, Router};
-    let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+    let (tech, design) = load_world(
+        args.positional(1).map_err(CliError::Usage)?,
+        args.positional(2).map_err(CliError::Usage)?,
+    )?;
     let router = Router::new(&tech, &design, RouteConfig::default());
     let routed = if args.flag("--naive") {
         router.route_with_accessor(|_, _| None)
@@ -173,10 +298,13 @@ fn cmd_route(args: &Args) -> Result<(), String> {
     emit(args.value("--report"), &out)
 }
 
-fn cmd_drc(args: &Args) -> Result<(), String> {
+fn cmd_drc(args: &Args) -> Result<(), CliError> {
     use pao_core::unique::pin_owner;
     use pao_drc::{DrcEngine, Owner, ShapeSet};
-    let (tech, design) = load_world(args.positional(1)?, args.positional(2)?)?;
+    let (tech, design) = load_world(
+        args.positional(1).map_err(CliError::Usage)?,
+        args.positional(2).map_err(CliError::Usage)?,
+    )?;
     let mut ctx = ShapeSet::new(tech.layers().len());
     for (ci, comp) in design.components().iter().enumerate() {
         let id = pao_design::CompId(ci as u32);
@@ -209,8 +337,8 @@ fn cmd_drc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
-    let name = args.positional(1)?;
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
+    let name = args.positional(1).map_err(CliError::Usage)?;
     if name == "list" {
         for c in pao_testgen::ispd18s_suite() {
             println!("{} ({:?}, {} cells)", c.name, c.flavor, c.cells);
@@ -223,27 +351,19 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         println!("smoke (N45, 60 cells)");
         return Ok(());
     }
-    let case = if name == "smoke" {
-        pao_testgen::SuiteCase::small_smoke()
-    } else if name == "aes14" {
-        pao_testgen::aes14_case()
-    } else {
-        pao_testgen::ispd18s_suite()
-            .into_iter()
-            .find(|c| c.name == name)
-            .ok_or_else(|| format!("unknown case `{name}` (try `pao gen list`)"))?
-    };
+    let case = pao_testgen::case_by_name(name)
+        .ok_or_else(|| CliError::usage(format!("unknown case `{name}` (try `pao gen list`)")))?;
     let (tech, design) = pao_testgen::generate(&case);
     let lef_path = args
         .value("--lef")
-        .ok_or_else(|| "--lef FILE is required".to_owned())?;
+        .ok_or_else(|| CliError::usage("--lef FILE is required"))?;
     let def_path = args
         .value("--def")
-        .ok_or_else(|| "--def FILE is required".to_owned())?;
+        .ok_or_else(|| CliError::usage("--def FILE is required"))?;
     std::fs::write(lef_path, pao_tech::lef::write_lef(&tech))
-        .map_err(|e| format!("cannot write `{lef_path}`: {e}"))?;
+        .map_err(|e| CliError::input(format!("cannot write `{lef_path}`: {e}")))?;
     std::fs::write(def_path, pao_design::def::write_def(&design, &tech))
-        .map_err(|e| format!("cannot write `{def_path}`: {e}"))?;
+        .map_err(|e| CliError::input(format!("cannot write `{def_path}`: {e}")))?;
     eprintln!(
         "wrote {lef_path} + {def_path} ({} components, {} nets)",
         design.components().len(),
@@ -285,35 +405,29 @@ fn stats_json(stats: &pao_core::PaoStats) -> String {
 
 /// Workload selection shared by `bench` and `profile`: either an
 /// explicit LEF/DEF pair or a generated case (`--case`, default smoke).
-fn load_workload(args: &Args) -> Result<(Tech, Design, String), String> {
+fn load_workload(args: &Args) -> Result<(Tech, Design, String), CliError> {
     match (args.positional(1), args.positional(2)) {
         (Ok(lef), Ok(def)) => {
-            let (t, d) = load_world(lef, def)?;
-            Ok((t, d, def.to_owned()))
+            let def = def.to_owned();
+            let (t, d) = load_world(lef, &def)?;
+            Ok((t, d, def))
         }
         _ => {
             let name = args.value("--case").unwrap_or("smoke");
-            let case = if name == "smoke" {
-                pao_testgen::SuiteCase::small_smoke()
-            } else if name == "aes14" {
-                pao_testgen::aes14_case()
-            } else {
-                pao_testgen::ispd18s_suite()
-                    .into_iter()
-                    .find(|c| c.name == name)
-                    .ok_or_else(|| format!("unknown case `{name}` (try `pao gen list`)"))?
-            };
+            let case = pao_testgen::case_by_name(name).ok_or_else(|| {
+                CliError::usage(format!("unknown case `{name}` (try `pao gen list`)"))
+            })?;
             let (t, d) = pao_testgen::generate(&case);
             Ok((t, d, case.name))
         }
     }
 }
 
-fn parse_threads(args: &Args) -> Result<usize, String> {
+fn parse_threads(args: &Args) -> Result<usize, CliError> {
     match args.value("--threads") {
         Some(t) => t
             .parse()
-            .map_err(|_| "--threads expects a number".to_owned()),
+            .map_err(|_| CliError::usage("--threads expects a number")),
         None => Ok(pao_core::default_threads()),
     }
 }
@@ -331,7 +445,7 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-fn cmd_bench(args: &Args) -> Result<(), String> {
+fn cmd_bench(args: &Args) -> Result<(), CliError> {
     let (tech, design, workload) = load_workload(args)?;
     let threads = parse_threads(args)?;
     let analyze = |threads: usize| {
@@ -346,7 +460,9 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     eprintln!("benchmarking `{workload}`: parallel ({threads} threads) …");
     let parallel = analyze(threads);
     if !baseline.stats.counters_eq(&parallel.stats) {
-        return Err("parallel run diverged from single-threaded baseline".to_owned());
+        return Err(CliError::Internal(
+            "parallel run diverged from single-threaded baseline".to_owned(),
+        ));
     }
     let speedup =
         baseline.stats.total_time().as_secs_f64() / parallel.stats.total_time().as_secs_f64();
@@ -369,14 +485,18 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         speedup,
     );
     let out = args.value("--out").unwrap_or("BENCH_pao.json");
-    std::fs::write(out, &json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    std::fs::write(out, &json)
+        .map_err(|e| CliError::input(format!("cannot write `{out}`: {e}")))?;
     eprintln!("speedup {speedup:.2}x -> {out}");
     Ok(())
 }
 
-fn cmd_profile(args: &Args) -> Result<(), String> {
+fn cmd_profile(args: &Args) -> Result<(), CliError> {
     let (tech, design, workload) = load_workload(args)?;
     let threads = parse_threads(args)?;
+    if let Some(spec) = args.value("--inject-fault") {
+        arm_injected_fault(spec)?;
+    }
     pao_obs::reset();
     pao_obs::enable_metrics();
     if args.value("--trace").is_some() {
@@ -387,6 +507,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         ..PaoConfig::default()
     };
     let result = PinAccessOracle::with_config(cfg).analyze(&tech, &design);
+    pao_core::fault::disarm();
     pao_obs::disable_all();
     let dump = pao_obs::take_trace();
     let stats = &result.stats;
@@ -473,6 +594,15 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         "run        {:>8.3}\n",
         stats.total_time().as_secs_f64()
     ));
+    if !stats.quarantined.is_empty() {
+        out.push_str(&format!(
+            "\nquarantined items : {} (run completed degraded)\n",
+            stats.quarantined.len()
+        ));
+        for fault in &stats.quarantined {
+            out.push_str(&format!("  {fault}\n"));
+        }
+    }
     let m = &stats.metrics;
     out.push_str("\nmetrics:\n");
     out.push_str(&m.to_table());
@@ -555,7 +685,8 @@ pao — pin access oracle for detailed routing
 USAGE:
   pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
               [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
-              [--metrics] [--trace FILE]
+              [--metrics] [--trace FILE] [--degraded-ok]
+              [--inject-fault PHASE[:INDEX]]
   pao route   <tech.lef> <design.def> [--naive] [--report FILE]
   pao drc     <tech.lef> <design.def>
   pao gen     <case|list> --lef FILE --def FILE
@@ -575,6 +706,14 @@ USAGE:
   --trace (on analyze or profile) additionally writes a Chrome
   trace-event JSON with one track per worker, viewable in Perfetto
   (https://ui.perfetto.dev) or chrome://tracing.
+
+  Fault isolation: a work item that panics is quarantined — the run
+  completes without it and reports it under `quarantined` in the stats.
+  By default a degraded run exits 5; pass --degraded-ok to accept it
+  (exit 0). --inject-fault PHASE[:INDEX] deterministically panics one
+  work item (phases: apgen, pattern, select, repair, audit) to exercise
+  that path. Exit codes: 0 ok, 2 usage, 3 bad input, 4 internal bug,
+  5 degraded without --degraded-ok.
 ";
 
 fn main() -> ExitCode {
@@ -594,8 +733,8 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.report();
+            ExitCode::from(e.exit_code())
         }
     }
 }

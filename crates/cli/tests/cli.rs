@@ -184,7 +184,170 @@ fn missing_file_reports_error() {
         .output()
         .expect("spawn");
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "input errors exit 3");
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn exit_codes_distinguish_usage_input_and_degraded() {
+    // Usage: no arguments at all.
+    let out = pao().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    // Usage: bad flag value.
+    let out = pao()
+        .args(["profile", "--case", "smoke", "--threads", "banana"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    // Input: malformed LEF names the file and line in the error chain.
+    let lef = tmp("bad.lef");
+    std::fs::write(&lef, "LAYER M1\nTHIS IS NOT LEF\n").expect("write");
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg("/nonexistent.def")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("input error"), "{err}");
+    assert!(err.contains("bad.lef"), "{err}");
+}
+
+#[test]
+fn injected_fault_degrades_and_exit_codes_honor_degraded_ok() {
+    let lef = tmp("f.lef");
+    let def = tmp("f.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    // Without --degraded-ok: the run completes, reports the quarantined
+    // item, and exits 5.
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--inject-fault", "apgen:0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(5), "degraded without --degraded-ok");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quarantined      : 1"), "{text}");
+    assert!(text.contains("[apgen]"), "{text}");
+    assert!(
+        text.contains("injected fault at apgen.instance[0]"),
+        "{text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degraded"), "{err}");
+    // With --degraded-ok: same degraded report, exit 0.
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--inject-fault", "audit:1", "--degraded-ok"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "--degraded-ok accepts degraded");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quarantined      : 1"), "{text}");
+    assert!(text.contains("[audit]"), "{text}");
+    // Unknown phase name is a usage error.
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--inject-fault", "bogus"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn corrupt_cache_is_rejected_and_rebuilt() {
+    let lef = tmp("c.lef");
+    let def = tmp("c.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    let cache = tmp("c.cache");
+    // Seed the cache with garbage (e.g. a truncated write from a killed
+    // process): the analysis must warn, rebuild, and exit 0.
+    std::fs::write(&cache, "PAO-CACHE v1\nENTRY master=X orient=N").expect("write");
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .arg("--cache")
+        .arg(&cache)
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rejected, rebuilding"), "{err}");
+    // The rebuilt cache is valid: a second run loads it cleanly (all
+    // hits, no rejection warning).
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .arg("--cache")
+        .arg(&cache)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("rejected"), "{err}");
+    assert!(err.contains("hits"), "{err}");
+}
+
+#[test]
+fn profile_reports_quarantined_section_on_injected_fault() {
+    // Healthy run: no quarantine section.
+    let out = pao()
+        .args(["profile", "--case", "smoke", "--threads", "2"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !text.contains("quarantined items"),
+        "healthy run must not print a quarantine section: {text}"
+    );
+    // Faulted run: the section lists the item and the fault.quarantined.*
+    // counter shows up in the metrics table.
+    let out = pao()
+        .args([
+            "profile",
+            "--case",
+            "smoke",
+            "--threads",
+            "2",
+            "--inject-fault",
+            "pattern:0",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quarantined items : 1"), "{text}");
+    assert!(text.contains("[pattern]"), "{text}");
+    assert!(text.contains("fault.quarantined.pattern"), "{text}");
 }
 
 #[test]

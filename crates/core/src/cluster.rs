@@ -2,8 +2,9 @@
 //! with multi-height cell support (the paper's future-work item (i)).
 
 use crate::cost::DRC_COST;
+use crate::error::{FaultRecord, Phase};
 use crate::oracle::UniqueInstanceAccess;
-use crate::parallel::{parallel_map_labeled, ExecReport};
+use crate::parallel::{parallel_map_quarantine, ExecReport};
 use crate::pattern::aps_compatible_scratch;
 use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
@@ -168,6 +169,9 @@ pub fn select_patterns(
     select_patterns_threaded(tech, engine, design, comp_uniq, uniq, 1).0
 }
 
+/// The result of the threaded cluster-selection phase.
+pub type SelectOutcome = (Vec<Option<usize>>, ExecReport, Vec<FaultRecord>);
+
 /// [`select_patterns`] with a self-scheduling worker pool.
 ///
 /// Clusters only interact through shared components (a multi-height cell
@@ -178,6 +182,10 @@ pub fn select_patterns(
 /// run sequentially in their original order. Each group records its
 /// assignments in a local overlay merged afterwards, so the output is
 /// bit-identical to the sequential pass for every thread count.
+///
+/// Groups run fault-isolated: a panic inside one group's DP quarantines
+/// that group (its members keep their default pattern) and is reported in
+/// the returned [`FaultRecord`]s; every other group selects normally.
 #[must_use]
 pub fn select_patterns_threaded(
     tech: &Tech,
@@ -186,7 +194,7 @@ pub fn select_patterns_threaded(
     comp_uniq: &[Option<UniqueInstanceId>],
     uniq: &[UniqueInstanceAccess],
     threads: usize,
-) -> (Vec<Option<usize>>, ExecReport) {
+) -> SelectOutcome {
     // Default: best (first) pattern everywhere; the cluster DP refines.
     let defaults: Vec<Option<usize>> = comp_uniq
         .iter()
@@ -206,37 +214,56 @@ pub fn select_patterns_threaded(
         }
     }
 
+    let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
     let (clusters, defaults) = (&clusters, &defaults);
-    let (locals, report) = parallel_map_labeled(threads, "select.group", groups, |group| {
-        // Overlay: component index -> final assignment; presence = pinned.
-        let mut local: HashMap<usize, Option<usize>> = HashMap::new();
-        // Per-worker compat-probe context, reused across the group's
-        // clusters so the boundary probes stop allocating trees.
-        let mut compat_ctx = ShapeSet::new(tech.layers().len());
-        for &cl in &group {
-            solve_cluster(
-                tech,
-                engine,
-                design,
-                comp_uniq,
-                uniq,
-                reach,
-                &clusters[cl],
-                defaults,
-                &mut compat_ctx,
-                &mut local,
-            );
-        }
-        local
-    });
+    let (locals, report) = parallel_map_quarantine(
+        threads,
+        "select.group",
+        groups,
+        || (),
+        |(), group| {
+            // Overlay: component index -> final assignment; presence = pinned.
+            let mut local: HashMap<usize, Option<usize>> = HashMap::new();
+            // Per-worker compat-probe context, reused across the group's
+            // clusters so the boundary probes stop allocating trees.
+            let mut compat_ctx = ShapeSet::new(tech.layers().len());
+            for &cl in &group {
+                solve_cluster(
+                    tech,
+                    engine,
+                    design,
+                    comp_uniq,
+                    uniq,
+                    reach,
+                    &clusters[cl],
+                    defaults,
+                    &mut compat_ctx,
+                    &mut local,
+                );
+            }
+            local
+        },
+    );
 
     let mut selection = defaults.clone();
-    for local in locals {
-        for (ci, sel) in local {
-            selection[ci] = sel;
+    let mut faults = Vec::new();
+    for (gi, local) in locals.into_iter().enumerate() {
+        match local {
+            Ok(local) => {
+                for (ci, sel) in local {
+                    selection[ci] = sel;
+                }
+            }
+            // Quarantined group: its members keep the default (best
+            // intra-cell) pattern — degraded but routable.
+            Err(reason) => faults.push(FaultRecord {
+                phase: Phase::Select,
+                item: format!("selection group {gi} ({} clusters)", group_sizes[gi]),
+                reason,
+            }),
         }
     }
-    (selection, report)
+    (selection, report, faults)
 }
 
 /// Partitions cluster indices into connected components over shared
@@ -295,18 +322,19 @@ fn solve_cluster(
     };
     // Boundary compatibility probes, published on every exit path below.
     let probes = std::cell::Cell::new(0u64);
-    let members: Vec<CompId> = cluster
+    // Members paired with their analyzed unique-instance data; the filter
+    // guarantees every retained member resolves, so no lookup below can
+    // fail.
+    let members: Vec<(CompId, &UniqueInstanceAccess)> = cluster
         .comps
         .iter()
-        .copied()
-        .filter(|c| {
-            comp_uniq[c.index()]
-                .map(|ui| !uniq[ui.index()].patterns.is_empty())
-                .unwrap_or(false)
+        .filter_map(|&c| {
+            let u = &uniq[comp_uniq[c.index()]?.index()];
+            (!u.patterns.is_empty()).then_some((c, u))
         })
         .collect();
     if members.len() < 2 {
-        for &m in &members {
+        for &(m, _) in &members {
             // Pin to the current assignment (earlier cluster's choice if
             // any, else the default).
             local.entry(m.index()).or_insert(defaults[m.index()]);
@@ -316,12 +344,7 @@ fn solve_cluster(
     // dp[i][p]: min cost selecting pattern p for member i.
     let mut dp: Vec<Vec<(i64, usize)>> = members
         .iter()
-        .map(|c| {
-            let u = &uniq[comp_uniq[c.index()]
-                .expect("members are filtered to analyzed components")
-                .index()];
-            vec![(i64::MAX, usize::MAX); u.patterns.len()]
-        })
+        .map(|&(_, u)| vec![(i64::MAX, usize::MAX); u.patterns.len()])
         .collect();
     let allowed = |ci: CompId, p: usize| -> bool {
         match local.get(&ci.index()) {
@@ -330,11 +353,9 @@ fn solve_cluster(
         }
     };
     {
-        let u = &uniq[comp_uniq[members[0].index()]
-            .expect("members are filtered to analyzed components")
-            .index()];
+        let (c0, u) = members[0];
         for (p, cell) in dp[0].iter_mut().enumerate() {
-            if allowed(members[0], p) {
+            if allowed(c0, p) {
                 cell.0 = u.patterns[p].cost;
             }
         }
@@ -343,21 +364,17 @@ fn solve_cluster(
     let mut laps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
     let mut raps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
     for i in 1..members.len() {
-        let (lcomp, rcomp) = (members[i - 1], members[i]);
-        let lu = &uniq[comp_uniq[lcomp.index()]
-            .expect("members are filtered to analyzed components")
-            .index()];
-        let ru = &uniq[comp_uniq[rcomp.index()]
-            .expect("members are filtered to analyzed components")
-            .index()];
+        let ((lcomp, lu), (rcomp, ru)) = (members[i - 1], members[i]);
         let loff = offset_of(lcomp, lu);
         let roff = offset_of(rcomp, ru);
-        // The shared boundary: left instance's right edge.
-        let lmaster = design
+        // The shared boundary: left instance's right edge (members carry
+        // analyzed data, so their master is known; 0-width fallback keeps
+        // this panic-free regardless).
+        let lwidth = design
             .component(lcomp)
             .master_in(tech)
-            .expect("known master");
-        let boundary = design.component(lcomp).location.x + lmaster.width;
+            .map_or(0, |m| m.width);
+        let boundary = design.component(lcomp).location.x + lwidth;
         let (head, tail) = dp.split_at_mut(i);
         let prev = &head[i - 1];
         for (q, cell) in tail[0].iter_mut().enumerate() {
@@ -387,22 +404,23 @@ fn solve_cluster(
         }
     }
     // Traceback.
-    let last = dp.last().expect("cluster has members");
-    let Some((mut best_p, _)) = last
-        .iter()
+    let Some((mut best_p, _)) = dp
+        .last()
+        .into_iter()
+        .flatten()
         .enumerate()
         .filter(|(_, c)| c.0 < i64::MAX)
         .min_by_key(|(_, c)| c.0)
     else {
         // Over-constrained (pinned members conflict): keep assignments.
-        for &m in &members {
+        for &(m, _) in &members {
             local.entry(m.index()).or_insert(defaults[m.index()]);
         }
         pao_obs::counter_add("select.compat_probes", probes.get());
         return;
     };
     for i in (0..members.len()).rev() {
-        local.insert(members[i].index(), Some(best_p));
+        local.insert(members[i].0.index(), Some(best_p));
         if i > 0 {
             best_p = dp[i][best_p].1;
         }

@@ -1,0 +1,92 @@
+//! Deterministic fault injection for the fault-isolation harness.
+//!
+//! The executor calls [`fire`] once per work item with the phase label and
+//! the item's input index. When a fault is [`arm`]ed for that `(label,
+//! index)` pair, the call panics exactly once — the panic is then caught
+//! by the executor's per-item quarantine and must surface as a
+//! [`FaultRecord`](crate::error::FaultRecord) in the run's stats instead
+//! of aborting the process. Because the trigger is keyed on the *input
+//! index* (not the claiming worker), an injected fault hits the same item
+//! at every thread count, keeping degraded runs bit-identical between
+//! `--threads 1` and `--threads N`.
+//!
+//! The hook is armed explicitly (tests, or the `pao analyze
+//! --inject-fault` chaos flag) and costs one relaxed atomic load per item
+//! when disarmed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<(String, usize)>> = Mutex::new(None);
+
+/// Arms one injected panic at item `index` of the executor phase labeled
+/// `label` (e.g. `"apgen.instance"`). Replaces any previously armed plan;
+/// the fault fires at most once.
+pub fn arm(label: &str, index: usize) {
+    *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = Some((label.to_owned(), index));
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms any pending injection.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+    *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// `true` while an injection is armed and has not fired yet.
+#[must_use]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::SeqCst)
+}
+
+/// Executor hook: panics once when `(label, index)` matches the armed
+/// plan. Inert (one relaxed atomic load) when nothing is armed.
+#[inline]
+pub fn fire(label: &str, index: usize) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut plan = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+    let hit = matches!(&*plan, Some((l, i)) if l == label && *i == index);
+    if hit {
+        *plan = None;
+        ARMED.store(false, Ordering::SeqCst);
+        drop(plan);
+        panic!("injected fault at {label}[{index}]");
+    }
+}
+
+/// Serializes unit tests that touch the process-global injection plan
+/// (cargo runs tests of one binary concurrently).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_on_matching_item_only() {
+        let _g = test_lock();
+        disarm();
+        fire("phase.x", 0); // disarmed: inert
+        arm("phase.x", 2);
+        assert!(armed());
+        fire("phase.x", 1); // wrong index: inert
+        fire("phase.y", 2); // wrong label: inert
+        let caught = std::panic::catch_unwind(|| fire("phase.x", 2));
+        let payload = caught.expect_err("armed fault must fire");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected fault at phase.x[2]"), "{msg}");
+        assert!(!armed(), "fault fires at most once");
+        fire("phase.x", 2); // already fired: inert
+        disarm();
+    }
+}

@@ -79,13 +79,14 @@ impl AnalysisCache {
         (self.hits, self.misses)
     }
 
-    /// Serializes the cache to the line-oriented `PAO-CACHE v1` format, so
-    /// short-lived tool invocations (a placement optimizer's inner loop)
-    /// can reuse intra-cell analysis across process boundaries.
+    /// Serializes the cache to the line-oriented `PAO-CACHE v2` format
+    /// (version + body checksum header), so short-lived tool invocations
+    /// (a placement optimizer's inner loop) can reuse intra-cell analysis
+    /// across process boundaries.
     #[must_use]
     pub fn save_to_string(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = crate::persist::header();
+        let mut out = String::new();
         // Deterministic order for diff-friendliness.
         let mut sigs: Vec<&Signature> = self.entries.keys().collect();
         sigs.sort();
@@ -125,7 +126,7 @@ impl AnalysisCache {
             }
             let _ = writeln!(out, "END");
         }
-        out
+        crate::persist::seal(&out)
     }
 
     /// Loads a cache saved by [`save_to_string`](AnalysisCache::save_to_string).
@@ -133,14 +134,16 @@ impl AnalysisCache {
     /// # Errors
     ///
     /// Returns [`LoadCacheError`](crate::persist::LoadCacheError) on a bad
-    /// header or malformed entry.
+    /// header (wrong version, missing or mismatching checksum) or a
+    /// malformed entry. Line numbers in errors are 1-based whole-file
+    /// positions (the body starts on line 2, after the header).
     pub fn load_from_string(text: &str) -> Result<AnalysisCache, crate::persist::LoadCacheError> {
-        use crate::persist::{check_header, parse_ap, parse_pattern, LoadCacheError};
-        let mut lines = text.lines().enumerate().peekable();
-        check_header(lines.next().map(|(_, l)| l))?;
+        use crate::persist::{open, parse_ap, parse_pattern, LoadCacheError};
+        let body = open(text)?;
+        let mut lines = body.lines().enumerate().peekable();
         let err = |m: &str, n: usize| LoadCacheError {
             message: m.to_owned(),
-            line: n + 1,
+            line: n + 2,
         };
         let mut cache = AnalysisCache::new();
         while let Some((n, line)) = lines.next() {
@@ -209,7 +212,7 @@ impl AnalysisCache {
                     for _ in 0..count {
                         let (an, ap_line) =
                             lines.next().ok_or_else(|| err("missing AP line", bn))?;
-                        pin_aps[pi].push(parse_ap(ap_line.trim(), an + 1)?);
+                        pin_aps[pi].push(parse_ap(ap_line.trim(), an + 2)?);
                     }
                 } else if let Some(rest) = body.strip_prefix("ORDER ") {
                     if rest != "-" {
@@ -220,7 +223,7 @@ impl AnalysisCache {
                             .map_err(|_| err("bad ORDER", bn))?;
                     }
                 } else if body.starts_with("PATTERN") {
-                    patterns.push(parse_pattern(body, bn + 1)?);
+                    patterns.push(parse_pattern(body, bn + 2)?);
                 } else {
                     return Err(err("unexpected line in ENTRY", bn));
                 }
@@ -249,6 +252,22 @@ impl AnalysisCache {
         }
         Ok(cache)
     }
+
+    /// Loads a persisted cache, degrading on failure instead of erroring:
+    /// corrupt, truncated or version-mismatched input yields an **empty**
+    /// cache (so the caller transparently rebuilds via the full-analysis
+    /// path) plus the rejection reason. Every rejection bumps the
+    /// `cache.rejected` counter.
+    #[must_use]
+    pub fn load_or_rebuild(text: &str) -> (AnalysisCache, Option<crate::error::PaoError>) {
+        match AnalysisCache::load_from_string(text) {
+            Ok(cache) => (cache, None),
+            Err(e) => {
+                pao_obs::counter_add("cache.rejected", 1);
+                (AnalysisCache::new(), Some(crate::error::PaoError::from(e)))
+            }
+        }
+    }
 }
 
 impl PinAccessOracle {
@@ -265,13 +284,20 @@ impl PinAccessOracle {
         cache: &mut AnalysisCache,
     ) -> PaoResult {
         // Which signatures exist in this placement, and which are cached?
+        // Resolving every entry up front makes the all-cached check and the
+        // fast path share one lookup — there is no later re-lookup that
+        // could miss.
         let infos = extract_unique_instances(tech, design);
-        let all_cached = infos.iter().all(|info| {
-            cache
-                .entries
-                .contains_key(&(info.master.clone(), info.orient, info.phases.clone()))
-        });
-        if !all_cached {
+        let entries: Option<Vec<CacheEntry>> = infos
+            .iter()
+            .map(|info| {
+                cache
+                    .entries
+                    .get(&(info.master.clone(), info.orient, info.phases.clone()))
+                    .cloned()
+            })
+            .collect();
+        let Some(entries) = entries else {
             // At least one new signature: run the full analysis (simple and
             // correct; a finer-grained variant could analyze only the new
             // signatures) and refresh the cache from it.
@@ -289,7 +315,7 @@ impl PinAccessOracle {
                 );
             }
             return result;
-        }
+        };
         // Fast path: rebuild per-unique data from the cache, translated
         // into each new representative's frame.
         let run_start = std::time::Instant::now();
@@ -298,16 +324,14 @@ impl PinAccessOracle {
         let t2 = std::time::Instant::now();
         let mut comp_uniq = vec![None; design.components().len()];
         let mut unique = Vec::with_capacity(infos.len());
-        for info in infos {
+        for (info, entry) in infos.into_iter().zip(entries) {
             for &m in &info.members {
                 comp_uniq[m.index()] = Some(info.id);
             }
-            let sig = (info.master.clone(), info.orient, info.phases.clone());
-            let entry = cache.entries.get(&sig).expect("checked above");
             cache.hits += 1;
             pao_obs::counter_add("cache.hits", 1);
             let delta = design.component(info.rep).location - entry.rep_location;
-            let mut data = entry.data.clone();
+            let mut data = entry.data;
             data.info = info;
             for aps in &mut data.pin_aps {
                 for ap in aps {
@@ -318,9 +342,11 @@ impl PinAccessOracle {
         }
         let engine = pao_drc::DrcEngine::new(tech);
         let threads = self.config().threads;
-        let (selection, cluster_exec) = crate::cluster::select_patterns_threaded(
+        let mut faults: Vec<crate::error::FaultRecord> = Vec::new();
+        let (selection, cluster_exec, select_faults) = crate::cluster::select_patterns_threaded(
             tech, &engine, design, &comp_uniq, &unique, threads,
         );
+        faults.extend(select_faults);
         let mut result = PaoResult {
             stats: crate::stats::PaoStats {
                 unique_instances: unique.len(),
@@ -338,19 +364,30 @@ impl PinAccessOracle {
             overrides: HashMap::new(),
         };
         for _ in 0..self.config().repair_rounds {
-            let (repaired, exec) =
+            let (repaired, exec, repair_faults) =
                 crate::oracle::repair_failed_pins_threaded(tech, design, &mut result, threads);
             result.stats.repair_exec.merge(&exec);
+            faults.extend(repair_faults);
             if repaired == 0 {
                 break;
             }
         }
         result.stats.repaired_pins = result.overrides.len();
-        let ((total_pins, failed_pins), audit_exec) =
-            crate::oracle::count_failed_pins_threaded(tech, design, &result, threads);
+        let ((total_pins, failed_pins), audit_exec, audit_faults) =
+            crate::oracle::count_failed_pins_with_faults(
+                tech,
+                design,
+                |comp, pin_idx| result.access_point(design, comp, pin_idx),
+                threads,
+            );
+        faults.extend(audit_faults);
         result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
+        for fault in &faults {
+            pao_obs::counter_add(fault.phase.quarantine_counter(), 1);
+        }
+        result.stats.quarantined = faults;
         result.stats.cluster_time = t2.elapsed();
         drop(fast_span);
         result.stats.run_time = run_start.elapsed();
@@ -435,7 +472,7 @@ mod persist_tests {
         let first = oracle.analyze_with_cache(&tech, &design, &mut cache);
 
         let text = cache.save_to_string();
-        assert!(text.starts_with("PAO-CACHE v1"));
+        assert!(text.starts_with("PAO-CACHE v2 fnv1a="));
         let mut loaded = AnalysisCache::load_from_string(&text).expect("loads");
         assert_eq!(loaded.len(), cache.len());
 
@@ -460,10 +497,57 @@ mod persist_tests {
     fn load_rejects_garbage() {
         assert!(AnalysisCache::load_from_string("").is_err());
         assert!(AnalysisCache::load_from_string("NOT A CACHE").is_err());
+        // Legacy (un-checksummed) caches are a version mismatch: rebuilt,
+        // not parsed on trust.
         assert!(
             AnalysisCache::load_from_string("PAO-CACHE v1\nENTRY master=X orient=N phases=-\n")
                 .is_err(),
+            "v1 cache must be rejected"
+        );
+        let sealed = crate::persist::seal("ENTRY master=X orient=N phases=-\n");
+        assert!(
+            AnalysisCache::load_from_string(&sealed).is_err(),
             "unterminated entry"
         );
+    }
+
+    #[test]
+    fn load_or_rebuild_degrades_to_empty_cache() {
+        let (cache, err) = AnalysisCache::load_or_rebuild("PAO-CACHE v1\ngarbage\n");
+        assert!(cache.is_empty());
+        let err = err.expect("rejection reason");
+        assert!(matches!(err, crate::error::PaoError::Cache { .. }), "{err}");
+    }
+
+    #[test]
+    fn byte_mutated_cache_never_panics() {
+        let (tech, design) = generate(&SuiteCase::small_smoke());
+        let oracle = PinAccessOracle::new();
+        let mut cache = AnalysisCache::new();
+        let _ = oracle.analyze_with_cache(&tech, &design, &mut cache);
+        let text = cache.save_to_string();
+        assert!(AnalysisCache::load_from_string(&text).is_ok());
+        pao_ptest::check("persist.byte_mutation", 200, |rng| {
+            let mut bytes = text.clone().into_bytes();
+            // 1–4 random byte smashes (overwrites, not just bit flips), or
+            // a truncation — the half-written-file case.
+            if rng.gen_bool(0.25) {
+                bytes.truncate(rng.gen_range(0..bytes.len()));
+            } else {
+                for _ in 0..rng.gen_range(1..=4usize) {
+                    let i = rng.gen_range(0..bytes.len());
+                    bytes[i] = rng.gen_range(0..=255u64) as u8;
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            // Must never panic; any outcome other than a clean parse or a
+            // typed rejection is a bug. The checksum makes silent
+            // acceptance of a *changed* body effectively impossible.
+            let (loaded, err) = AnalysisCache::load_or_rebuild(&mutated);
+            if mutated != text {
+                assert!(err.is_some(), "mutated cache accepted: {mutated:?}");
+                assert!(loaded.is_empty());
+            }
+        });
     }
 }

@@ -42,6 +42,8 @@ pub mod apgen;
 pub mod cluster;
 pub mod coord;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod incremental;
 pub mod oracle;
 pub mod parallel;
@@ -53,6 +55,7 @@ pub mod unique;
 pub use apgen::{AccessPoint, ApGenConfig, ApScratch, PlanarDir};
 pub use cluster::Cluster;
 pub use coord::CoordType;
+pub use error::{FaultRecord, PaoError, Phase};
 pub use oracle::{default_threads, PaoConfig, PaoResult, PinAccessOracle, UniqueInstanceAccess};
 pub use parallel::ExecReport;
 pub use pattern::{AccessPattern, PatternConfig};

@@ -2,7 +2,8 @@
 
 use crate::apgen::{generate_pin_access_points_scratch, AccessPoint, ApGenConfig, ApScratch};
 use crate::cluster::select_patterns_threaded;
-use crate::parallel::{parallel_map_labeled, parallel_map_scratch, ExecReport};
+use crate::error::{FaultRecord, PaoError, Phase};
+use crate::parallel::{parallel_map_quarantine, ExecReport};
 use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
 use crate::stats::PaoStats;
 use crate::unique::{
@@ -192,98 +193,147 @@ impl PinAccessOracle {
             }
         }
         let apcfg = &self.config.apgen;
-        let (analyzed, apgen_exec) =
-            parallel_map_labeled(self.config.threads, "apgen.instance", infos, |info| {
-                let engine = DrcEngine::new(tech);
-                let master = tech
-                    .macro_by_name(&info.master)
-                    .expect("unique instances only cover known masters");
-                let ctx = build_instance_context(tech, design, info.rep);
-                let shapes = design.placed_pin_shapes(tech, info.rep);
-                let mut apcfg = apcfg.clone();
-                if master.class == MacroClass::Block {
-                    // Macro pins: planar access acceptable.
-                    apcfg.require_via = false;
-                }
-                let mut pin_aps: Vec<Vec<AccessPoint>> = vec![Vec::new(); master.pins.len()];
-                let (mut total, mut dirty, mut without, mut off_track) =
-                    (0usize, 0usize, 0usize, 0usize);
-                // One scratch per instance context: the pins share coordinate
-                // buffers and memoized via probes (the audit below re-asks
-                // exactly the placements generation already checked).
-                let mut scratch = ApScratch::new();
-                for (pin_idx, pin) in master.pins.iter().enumerate() {
-                    if pin.use_.is_supply() {
-                        continue;
+        type ApgenItem = (UniqueInstanceAccess, usize, usize, usize, usize);
+        let (analyzed, apgen_exec) = {
+            let infos = &infos;
+            parallel_map_quarantine(
+                self.config.threads,
+                "apgen.instance",
+                (0..infos.len()).collect::<Vec<_>>(),
+                || (),
+                move |(), idx| -> Result<ApgenItem, PaoError> {
+                    let info = &infos[idx];
+                    let engine = DrcEngine::new(tech);
+                    let Some(master) = tech.macro_by_name(&info.master) else {
+                        return Err(PaoError::input(format!(
+                            "unique instance {} (component `{}`) references unknown master `{}`",
+                            info.id.index(),
+                            design.component(info.rep).name,
+                            info.master
+                        )));
+                    };
+                    let ctx = build_instance_context(tech, design, info.rep);
+                    let shapes = design.placed_pin_shapes(tech, info.rep);
+                    let mut apcfg = apcfg.clone();
+                    if master.class == MacroClass::Block {
+                        // Macro pins: planar access acceptable.
+                        apcfg.require_via = false;
                     }
-                    let rects: Vec<(LayerId, Rect)> = shapes
-                        .iter()
-                        .filter(|&&(pi, _, _)| pi == pin_idx)
-                        .map(|&(_, l, r)| (l, r))
-                        .collect();
-                    if rects.is_empty() {
-                        continue;
-                    }
-                    let aps = generate_pin_access_points_scratch(
-                        tech,
-                        design,
-                        &engine,
-                        &ctx,
-                        pin_idx,
-                        &rects,
-                        &apcfg,
-                        &mut scratch,
-                    );
-                    total += aps.len();
-                    off_track += aps.iter().filter(|ap| ap.is_off_track()).count();
-                    if aps.is_empty() {
-                        without += 1;
-                    } else {
-                        // Honest dirty-AP audit (0 by construction for PAAF) —
-                        // a memo lookup per AP, not a fresh DRC probe.
-                        for ap in &aps {
-                            if let Some(v) = ap.primary_via() {
-                                if !scratch.via_clean(
-                                    tech,
-                                    &engine,
-                                    &ctx,
-                                    v,
-                                    ap.pos,
-                                    local_pin_owner(pin_idx),
-                                ) {
-                                    dirty += 1;
+                    let mut pin_aps: Vec<Vec<AccessPoint>> = vec![Vec::new(); master.pins.len()];
+                    let (mut total, mut dirty, mut without, mut off_track) =
+                        (0usize, 0usize, 0usize, 0usize);
+                    // One scratch per instance context: the pins share coordinate
+                    // buffers and memoized via probes (the audit below re-asks
+                    // exactly the placements generation already checked).
+                    let mut scratch = ApScratch::new();
+                    for (pin_idx, pin) in master.pins.iter().enumerate() {
+                        if pin.use_.is_supply() {
+                            continue;
+                        }
+                        let rects: Vec<(LayerId, Rect)> = shapes
+                            .iter()
+                            .filter(|&&(pi, _, _)| pi == pin_idx)
+                            .map(|&(_, l, r)| (l, r))
+                            .collect();
+                        if rects.is_empty() {
+                            continue;
+                        }
+                        let aps = generate_pin_access_points_scratch(
+                            tech,
+                            design,
+                            &engine,
+                            &ctx,
+                            pin_idx,
+                            &rects,
+                            &apcfg,
+                            &mut scratch,
+                        );
+                        total += aps.len();
+                        off_track += aps.iter().filter(|ap| ap.is_off_track()).count();
+                        if aps.is_empty() {
+                            without += 1;
+                        } else {
+                            // Honest dirty-AP audit (0 by construction for PAAF) —
+                            // a memo lookup per AP, not a fresh DRC probe.
+                            for ap in &aps {
+                                if let Some(v) = ap.primary_via() {
+                                    if !scratch.via_clean(
+                                        tech,
+                                        &engine,
+                                        &ctx,
+                                        v,
+                                        ap.pos,
+                                        local_pin_owner(pin_idx),
+                                    ) {
+                                        dirty += 1;
+                                    }
                                 }
                             }
                         }
+                        pin_aps[pin_idx] = aps;
                     }
-                    pin_aps[pin_idx] = aps;
-                }
-                scratch.flush_obs();
-                (
-                    UniqueInstanceAccess {
-                        info,
-                        pin_aps,
-                        pin_order: Vec::new(),
-                        patterns: Vec::new(),
-                    },
-                    total,
-                    dirty,
-                    without,
-                    off_track,
-                )
-            });
+                    scratch.flush_obs();
+                    Ok((
+                        UniqueInstanceAccess {
+                            info: info.clone(),
+                            pin_aps,
+                            pin_order: Vec::new(),
+                            patterns: Vec::new(),
+                        },
+                        total,
+                        dirty,
+                        without,
+                        off_track,
+                    ))
+                },
+            )
+        };
         let mut unique: Vec<UniqueInstanceAccess> = Vec::with_capacity(analyzed.len());
+        let mut faults: Vec<FaultRecord> = Vec::new();
         let mut total_aps = 0usize;
         let mut dirty_aps = 0usize;
         let mut pins_without_aps = 0usize;
         let mut off_track_aps = 0usize;
-        for (u, total, dirty, without, off_track) in analyzed {
-            total_aps += total;
-            dirty_aps += dirty;
-            pins_without_aps += without;
-            off_track_aps += off_track;
-            unique.push(u);
+        for (idx, outcome) in analyzed.into_iter().enumerate() {
+            // Flatten quarantined panics and typed errors into one degraded
+            // path: the instance keeps a placeholder (no APs, no patterns)
+            // and the run records why.
+            let flat = match outcome {
+                Ok(Ok(item)) => Ok(item),
+                Ok(Err(e)) => Err(e.to_string()),
+                Err(reason) => Err(reason),
+            };
+            match flat {
+                Ok((u, total, dirty, without, off_track)) => {
+                    total_aps += total;
+                    dirty_aps += dirty;
+                    pins_without_aps += without;
+                    off_track_aps += off_track;
+                    unique.push(u);
+                }
+                Err(reason) => {
+                    let info = &infos[idx];
+                    faults.push(FaultRecord {
+                        phase: Phase::Apgen,
+                        item: format!(
+                            "unique instance {} (`{}` of master `{}`)",
+                            info.id.index(),
+                            design.component(info.rep).name,
+                            info.master
+                        ),
+                        reason,
+                    });
+                    let npins = tech.macro_by_name(&info.master).map_or(0, |m| m.pins.len());
+                    unique.push(UniqueInstanceAccess {
+                        info: info.clone(),
+                        pin_aps: vec![Vec::new(); npins],
+                        pin_order: Vec::new(),
+                        patterns: Vec::new(),
+                    });
+                }
+            }
         }
+        drop(infos);
         let apgen_time = t0.elapsed();
         drop(phase_span);
 
@@ -293,19 +343,35 @@ impl PinAccessOracle {
         let pattern_exec;
         {
             let unique_ref = &unique;
-            let (results, exec) = parallel_map_labeled(
+            let (results, exec) = parallel_map_quarantine(
                 self.config.threads,
                 "pattern.instance",
                 (0..unique_ref.len()).collect::<Vec<_>>(),
-                |i| {
+                || (),
+                |(), i| {
                     let engine = DrcEngine::new(tech);
                     generate_patterns(tech, &engine, &unique_ref[i].pin_aps, &self.config.pattern)
                 },
             );
             pattern_exec = exec;
-            for (u, (order, patterns)) in unique.iter_mut().zip(results) {
-                u.pin_order = order;
-                u.patterns = patterns;
+            for (i, res) in results.into_iter().enumerate() {
+                match res {
+                    Ok((order, patterns)) => {
+                        unique[i].pin_order = order;
+                        unique[i].patterns = patterns;
+                    }
+                    // Quarantined: the instance keeps empty order/patterns,
+                    // so its members simply have no selected access.
+                    Err(reason) => faults.push(FaultRecord {
+                        phase: Phase::Pattern,
+                        item: format!(
+                            "unique instance {} (master `{}`)",
+                            unique[i].info.id.index(),
+                            unique[i].info.master
+                        ),
+                        reason,
+                    }),
+                }
             }
         }
         let pattern_time = t1.elapsed();
@@ -314,7 +380,7 @@ impl PinAccessOracle {
         // ---- Step 3: cluster-based selection + final validation.
         let phase_span = pao_obs::span("phase.select");
         let t2 = Instant::now();
-        let (selection, cluster_exec) = select_patterns_threaded(
+        let (selection, cluster_exec, select_faults) = select_patterns_threaded(
             tech,
             &engine,
             design,
@@ -322,6 +388,7 @@ impl PinAccessOracle {
             &unique,
             self.config.threads,
         );
+        faults.extend(select_faults);
         let mut result = PaoResult {
             unique,
             comp_uniq,
@@ -349,9 +416,10 @@ impl PinAccessOracle {
         let phase_span = pao_obs::span("phase.repair");
         for _round in 0..self.config.repair_rounds {
             pao_obs::counter_add("repair.rounds", 1);
-            let (repaired, exec) =
+            let (repaired, exec, repair_faults) =
                 repair_failed_pins_threaded(tech, design, &mut result, self.config.threads);
             result.stats.repair_exec.merge(&exec);
+            faults.extend(repair_faults);
             if repaired == 0 {
                 break;
             }
@@ -359,12 +427,21 @@ impl PinAccessOracle {
         result.stats.repaired_pins = result.overrides.len();
         drop(phase_span);
         let phase_span = pao_obs::span("phase.audit");
-        let ((total_pins, failed_pins), audit_exec) =
-            count_failed_pins_threaded(tech, design, &result, self.config.threads);
+        let ((total_pins, failed_pins), audit_exec, audit_faults) = count_failed_pins_with_faults(
+            tech,
+            design,
+            |comp, pin_idx| result.access_point(design, comp, pin_idx),
+            self.config.threads,
+        );
+        faults.extend(audit_faults);
         result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
         drop(phase_span);
+        for fault in &faults {
+            pao_obs::counter_add(fault.phase.quarantine_counter(), 1);
+        }
+        result.stats.quarantined = faults;
         result.stats.cluster_time = t2.elapsed();
         result.stats.run_time = run_start.elapsed();
         if let Some(before) = metrics_before {
@@ -384,12 +461,16 @@ impl PinAccessOracle {
 /// connected pin) fans out over `threads` workers. The greedy
 /// re-placement itself stays sequential — it is order-dependent by design
 /// and touches only the few dirty pins.
+///
+/// A scan item that panics is quarantined: its pin is treated as
+/// not-dirty (left untouched this round) and reported in the returned
+/// fault list instead of aborting the run.
 pub(crate) fn repair_failed_pins_threaded(
     tech: &Tech,
     design: &Design,
     result: &mut PaoResult,
     threads: usize,
-) -> (usize, ExecReport) {
+) -> (usize, ExecReport, Vec<FaultRecord>) {
     let engine = DrcEngine::new(tech);
     let (ctx, connected) = build_global_context(tech, design, result);
     let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet, ws: &mut DrcScratch| -> bool {
@@ -400,7 +481,7 @@ pub(crate) fn repair_failed_pins_threaded(
     };
     let (flags, exec) = {
         let (result, ctx, is_dirty) = (&*result, &ctx, &is_dirty);
-        parallel_map_scratch(
+        parallel_map_quarantine(
             threads,
             "repair.scan",
             connected.clone(),
@@ -415,15 +496,26 @@ pub(crate) fn repair_failed_pins_threaded(
             },
         )
     };
+    let mut faults: Vec<FaultRecord> = Vec::new();
     let dirty: Vec<(CompId, usize)> = connected
         .iter()
         .copied()
         .zip(flags)
-        .filter_map(|(pin, d)| d.then_some(pin))
+        .filter_map(|((comp, pin_idx), d)| match d {
+            Ok(d) => d.then_some((comp, pin_idx)),
+            Err(reason) => {
+                faults.push(FaultRecord {
+                    phase: Phase::Repair,
+                    item: pin_label(tech, design, comp, pin_idx),
+                    reason,
+                });
+                None
+            }
+        })
         .collect();
     pao_obs::hist_record("repair.dirty_pins", dirty.len() as u64);
     if dirty.is_empty() {
-        return (0, exec);
+        return (0, exec, faults);
     }
     // Rebuild the context without the dirty pins' vias (rip-up).
     let dirty_set: std::collections::HashSet<(CompId, usize)> = dirty.iter().copied().collect();
@@ -466,11 +558,13 @@ pub(crate) fn repair_failed_pins_threaded(
                 candidates.push(alt);
             }
         }
-        let placed = candidates
-            .into_iter()
-            .find(|cand| cand.primary_via().is_some() && !is_dirty(cand, owner, &ctx, &mut ws));
-        if let Some(cand) = placed {
-            let v = cand.primary_via().expect("via candidates only");
+        // `find_map` keeps the winning candidate *and* its via together,
+        // so there is no second (fallible) `primary_via` lookup.
+        let placed = candidates.into_iter().find_map(|cand| {
+            let v = cand.primary_via()?;
+            (!is_dirty(&cand, owner, &ctx, &mut ws)).then_some((cand, v))
+        });
+        if let Some((cand, v)) = placed {
             for (l, r) in tech.via(v).placed_shapes(cand.pos) {
                 ctx.insert(l, r, owner);
             }
@@ -488,7 +582,21 @@ pub(crate) fn repair_failed_pins_threaded(
         }
     }
     ws.flush_obs();
-    (repaired, exec)
+    (repaired, exec, faults)
+}
+
+/// `"pin <component>/<pin name>"` for fault reports; degrades to the pin
+/// index when the master is unknown.
+fn pin_label(tech: &Tech, design: &Design, comp: CompId, pin_idx: usize) -> String {
+    let cname = &design.component(comp).name;
+    match design
+        .component(comp)
+        .master_in(tech)
+        .and_then(|m| m.pins.get(pin_idx))
+    {
+        Some(pin) => format!("pin {cname}/{}", pin.name),
+        None => format!("pin {cname}/#{pin_idx}"),
+    }
 }
 
 /// Builds the whole-design shape context (pins, obstructions, every
@@ -587,6 +695,20 @@ pub fn count_failed_pins_with_threaded(
     accessor: impl Fn(CompId, usize) -> Option<AccessPoint> + Sync,
     threads: usize,
 ) -> ((usize, usize), ExecReport) {
+    let (counts, exec, _faults) = count_failed_pins_with_faults(tech, design, accessor, threads);
+    (counts, exec)
+}
+
+/// Fault-isolated form of [`count_failed_pins_with_threaded`]: an audit
+/// probe that panics quarantines its pin (counted failed — the audit could
+/// not certify it) and the fault is returned instead of aborting.
+#[must_use]
+pub fn count_failed_pins_with_faults(
+    tech: &Tech,
+    design: &Design,
+    accessor: impl Fn(CompId, usize) -> Option<AccessPoint> + Sync,
+    threads: usize,
+) -> ((usize, usize), ExecReport, Vec<FaultRecord>) {
     // Global context: all placed pin/obs shapes + all selected vias.
     let mut ctx = ShapeSet::new(tech.layers().len());
     for (ci, c) in design.components().iter().enumerate() {
@@ -630,7 +752,7 @@ pub fn count_failed_pins_with_threaded(
     let engine = DrcEngine::new(tech);
     let (oks, exec) = {
         let (ctx, engine, accessor) = (&ctx, &engine, &accessor);
-        parallel_map_scratch(
+        parallel_map_quarantine(
             threads,
             "audit.pin",
             connected.clone(),
@@ -655,8 +777,25 @@ pub fn count_failed_pins_with_threaded(
             },
         )
     };
-    let failed = oks.iter().filter(|&&ok| !ok).count();
-    ((connected.len(), failed), exec)
+    let mut faults: Vec<FaultRecord> = Vec::new();
+    let mut failed = 0usize;
+    for (&(comp, pin_idx), ok) in connected.iter().zip(oks) {
+        match ok {
+            Ok(true) => {}
+            Ok(false) => failed += 1,
+            // Quarantined probe: the pin could not be certified clean, so
+            // it conservatively counts as failed.
+            Err(reason) => {
+                failed += 1;
+                faults.push(FaultRecord {
+                    phase: Phase::Audit,
+                    item: pin_label(tech, design, comp, pin_idx),
+                    reason,
+                });
+            }
+        }
+    }
+    ((connected.len(), failed), exec, faults)
 }
 
 #[cfg(test)]

@@ -15,9 +15,34 @@
 //! worker finished what — callers observe output identical to the
 //! sequential mode (`threads <= 1`).
 
+//! **Fault isolation.** Every work item runs under
+//! [`std::panic::catch_unwind`], so one panicking item cannot take down
+//! the phase: the quarantine-mode entry point
+//! ([`parallel_map_quarantine`]) yields the panic as a per-item `Err`
+//! while every other item completes, and the strict entry points
+//! re-raise the first payload only after the full phase has drained.
+//! Slot mutexes recover from poisoning (`PoisonError::into_inner`) so a
+//! fault in one item can never cascade into an unrelated "done slot"
+//! panic on another thread.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// A caught worker-panic payload (kept intact so strict callers can
+/// re-raise it with the original assertion message).
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// Renders a caught panic payload as the quarantine reason string.
+fn payload_reason(payload: &Payload) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_owned())
+}
 
 /// What one parallel phase did: how many workers ran and how long each
 /// was busy (claimed items, excluding idle/steal time). Powers the
@@ -127,14 +152,111 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
+    let (outcomes, report) = run_isolated(threads, label, items, init, f);
+    let mut panic: Option<Payload> = None;
+    let out: Vec<R> = outcomes
+        .into_iter()
+        .filter_map(|o| match o {
+            Ok(r) => Some(r),
+            Err(payload) => {
+                panic = panic.take().or(Some(payload));
+                None
+            }
+        })
+        .collect();
+    if let Some(payload) = panic {
+        // Strict contract: the whole phase drained (no half-poisoned
+        // state), then the first payload is re-raised with its original
+        // assertion message.
+        std::panic::resume_unwind(payload);
+    }
+    (out, report)
+}
+
+/// Fault-isolated map: like [`parallel_map_scratch`], but a panicking
+/// work item yields `Err(reason)` in its output slot (its quarantine
+/// record) while **every other item completes normally**. The executor
+/// and its slot mutexes stay fully usable afterwards — quarantine is
+/// per item, not per phase.
+///
+/// A worker whose item panicked gets a fresh scratch (`init` is re-run)
+/// before claiming its next item, since the old scratch may have been
+/// left mid-update by the unwind.
+///
+/// ```
+/// let (out, _) = pao_core::parallel::parallel_map_quarantine(
+///     2,
+///     "docs.quarantine",
+///     vec![1, 2, 3],
+///     || (),
+///     |(), x| {
+///         assert!(x != 2, "two is right out");
+///         x * 10
+///     },
+/// );
+/// assert_eq!(out[0], Ok(10));
+/// assert!(out[1].as_ref().unwrap_err().contains("two is right out"));
+/// assert_eq!(out[2], Ok(30));
+/// ```
+pub fn parallel_map_quarantine<T, R, S, F, I>(
+    threads: usize,
+    label: &'static str,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> (Vec<Result<R, String>>, ExecReport)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let (outcomes, report) = run_isolated(threads, label, items, init, f);
+    let out = outcomes
+        .into_iter()
+        .map(|o| o.map_err(|payload| payload_reason(&payload)))
+        .collect();
+    (out, report)
+}
+
+/// The shared engine: self-scheduling order-preserving map with per-item
+/// `catch_unwind` isolation. Both the strict and the quarantine entry
+/// points run through here; they differ only in how `Err` slots are
+/// surfaced.
+fn run_isolated<T, R, S, F, I>(
+    threads: usize,
+    label: &'static str,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> (Vec<Result<R, Payload>>, ExecReport)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
+    // One guarded item call: the armed-fault hook and the item body both
+    // run inside the unwind boundary, so an injected or organic panic is
+    // contained to this slot.
+    let run_one = |scratch: &mut S, i: usize, item: T| -> Result<R, Payload> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            crate::fault::fire(label, i);
+            f(scratch, item)
+        }))
+    };
     if threads <= 1 || n <= 1 {
         let start = Instant::now();
         let mut scratch = init();
-        let out: Vec<R> = items
-            .into_iter()
-            .map(|item| f(&mut scratch, item))
-            .collect();
+        let mut out: Vec<Result<R, Payload>> = Vec::with_capacity(n);
+        for (i, item) in items.into_iter().enumerate() {
+            let res = run_one(&mut scratch, i, item);
+            if res.is_err() {
+                scratch = init();
+            }
+            out.push(res);
+        }
         let elapsed = start.elapsed();
         if n > 0 {
             pao_obs::record_span_at(label, start, elapsed);
@@ -150,13 +272,14 @@ where
     // Items move into per-index slots the workers drain; results come back
     // through parallel slots. Mutex<Option<T>> per slot keeps this safe
     // without unsafe code; each slot is locked exactly once per side, so
-    // contention is nil.
+    // contention is nil. No lock is held across the item call, and every
+    // lock recovers from poisoning, so one fault cannot cascade.
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let done: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let done: Vec<Mutex<Option<Result<R, Payload>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     let busy_us = {
-        let (work, done, next, f, init) = (&work, &done, &next, &f, &init);
+        let (work, done, next, init, run_one) = (&work, &done, &next, &init, &run_one);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
@@ -181,42 +304,54 @@ where
                             }
                             let item = work[i]
                                 .lock()
-                                .expect("work slot")
-                                .take()
-                                .expect("claimed once");
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .take();
                             let start = Instant::now();
-                            let out = f(&mut scratch, item);
+                            let out = match item {
+                                Some(item) => run_one(&mut scratch, i, item),
+                                // Unreachable: fetch_add hands out each
+                                // index exactly once. Degrade, don't abort.
+                                None => {
+                                    Err(Box::new(format!("executor: work slot {i} claimed twice"))
+                                        as Payload)
+                                }
+                            };
+                            if out.is_err() {
+                                // The unwind may have left the scratch
+                                // arena mid-update; rebuild it.
+                                scratch = init();
+                            }
                             let elapsed = start.elapsed();
                             busy += elapsed;
                             pao_obs::record_span_at(label, start, elapsed);
-                            *done[i].lock().expect("done slot") = Some(out);
+                            *done[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                         }
                     })
                 })
                 .collect();
             let mut busy_us = Vec::with_capacity(threads);
-            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
             for h in handles {
                 match h.join() {
                     Ok(us) => busy_us.push(us),
-                    // Keep joining the rest so no worker outlives the scope
-                    // borrow, then re-raise the first payload.
-                    Err(payload) => panic = panic.or(Some(payload)),
+                    // Workers catch item panics, so a join error means the
+                    // worker loop itself failed; report idle rather than
+                    // abort — the done slots below degrade per item.
+                    Err(_) => busy_us.push(0),
                 }
-            }
-            if let Some(payload) = panic {
-                std::panic::resume_unwind(payload);
             }
             busy_us
         })
     };
 
-    let out: Vec<R> = done
+    let out: Vec<Result<R, Payload>> = done
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(i, slot)| {
             slot.into_inner()
-                .expect("done slot")
-                .expect("every index processed")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(Box::new(format!("executor: result slot {i} never filled")) as Payload)
+                })
         })
         .collect();
     (out, ExecReport { threads, busy_us })
@@ -344,6 +479,99 @@ mod tests {
                 "scratch must persist across items on a worker"
             );
         }
+    }
+
+    #[test]
+    fn quarantine_isolates_panicking_item() {
+        for threads in [1, 4] {
+            let (out, rep) = parallel_map_quarantine(
+                threads,
+                "test.quarantine",
+                (0..16i64).collect::<Vec<_>>(),
+                || (),
+                |(), x| {
+                    assert!(x != 5, "item five exploded");
+                    x * 2
+                },
+            );
+            assert_eq!(out.len(), 16, "{threads}");
+            for (i, o) in out.iter().enumerate() {
+                if i == 5 {
+                    let reason = o.as_ref().expect_err("item 5 must be quarantined");
+                    assert!(reason.contains("item five exploded"), "{reason}");
+                } else {
+                    assert_eq!(*o, Ok(i as i64 * 2), "item {i} at {threads} threads");
+                }
+            }
+            assert_eq!(rep.busy_us.len(), rep.threads);
+        }
+    }
+
+    #[test]
+    fn executor_reusable_after_worker_panic() {
+        // Regression: a panicking item used to poison the done-slot chain
+        // and abort the scope; now the same executor (and the process)
+        // keeps working afterwards.
+        let (out, _) = parallel_map_quarantine(
+            4,
+            "test.reuse.faulty",
+            (0..32u64).collect::<Vec<_>>(),
+            || (),
+            |(), x| {
+                assert!(x % 7 != 3, "boom {x}");
+                x
+            },
+        );
+        assert_eq!(out.iter().filter(|o| o.is_err()).count(), 5);
+        // Strict mode right after: must behave exactly as on a fresh
+        // process.
+        let clean = parallel_map(4, (0..32u64).collect::<Vec<_>>(), |x| x + 1);
+        assert_eq!(clean, (1..=32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn quarantine_reinitializes_scratch_after_panic() {
+        // Inline mode is deterministic: the item after the panic must see
+        // a fresh scratch, not one abandoned mid-unwind.
+        let (out, _) = parallel_map_quarantine(
+            1,
+            "test.scratch.reinit",
+            vec![10u32, 11, 12],
+            || 0u32,
+            |seen, x| {
+                *seen += 1;
+                assert!(x != 11, "poisoned item");
+                (x, *seen)
+            },
+        );
+        assert_eq!(out[0], Ok((10, 1)));
+        assert!(out[1].is_err());
+        assert_eq!(out[2], Ok((12, 1)), "scratch must be rebuilt after a fault");
+    }
+
+    #[test]
+    fn injected_fault_is_quarantined_at_every_thread_count() {
+        let _g = crate::fault::test_lock();
+        for threads in [1, 4] {
+            crate::fault::arm("test.inject", 2);
+            let (out, _) = parallel_map_quarantine(
+                threads,
+                "test.inject",
+                (0..8u32).collect::<Vec<_>>(),
+                || (),
+                |(), x| x,
+            );
+            assert!(!crate::fault::armed(), "fault must have fired");
+            for (i, o) in out.iter().enumerate() {
+                if i == 2 {
+                    let reason = o.as_ref().expect_err("armed item quarantined");
+                    assert!(reason.contains("injected fault"), "{reason}");
+                } else {
+                    assert_eq!(*o, Ok(i as u32), "{threads}");
+                }
+            }
+        }
+        crate::fault::disarm();
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl fmt::Display for LoadCacheError {
 
 impl std::error::Error for LoadCacheError {}
 
-const MAGIC: &str = "PAO-CACHE v1";
+const MAGIC: &str = "PAO-CACHE v2";
 
 fn coord_code(t: CoordType) -> u8 {
     t.cost() as u8
@@ -213,20 +213,48 @@ pub fn parse_pattern(line: &str, lineno: usize) -> Result<AccessPattern, LoadCac
     })
 }
 
-/// The header line every persisted cache starts with.
-pub(crate) fn header() -> String {
-    format!("{MAGIC}\n")
+/// FNV-1a (64-bit) over the serialized cache body. Not cryptographic —
+/// it guards against truncation and accidental corruption, exactly the
+/// failure modes of half-written files in an interrupted optimizer loop.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
-/// Validates the header line.
-pub(crate) fn check_header(line: Option<&str>) -> Result<(), LoadCacheError> {
-    match line {
-        Some(l) if l.trim() == MAGIC => Ok(()),
-        other => Err(LoadCacheError {
-            message: format!("expected `{MAGIC}` header, found {other:?}"),
-            line: 1,
-        }),
+/// Prepends the versioned, checksummed header (`PAO-CACHE v2
+/// fnv1a=<16 hex>`) to a serialized cache body.
+pub(crate) fn seal(body: &str) -> String {
+    format!("{MAGIC} fnv1a={:016x}\n{body}", fnv1a(body.as_bytes()))
+}
+
+/// Validates the header line (version and body checksum) of a persisted
+/// cache and returns the body that follows it. Any mismatch — wrong
+/// magic, old version, bad or missing checksum — is a [`LoadCacheError`];
+/// callers treat that as cache-miss-and-rebuild, never a crash.
+pub(crate) fn open(text: &str) -> Result<&str, LoadCacheError> {
+    let (header, body) = text.split_once('\n').unwrap_or((text, ""));
+    let err = |message: String| LoadCacheError { message, line: 1 };
+    let rest = header.trim_end().strip_prefix(MAGIC).ok_or_else(|| {
+        let shown: String = header.chars().take(40).collect();
+        err(format!("expected `{MAGIC}` header, found `{shown}`"))
+    })?;
+    let sum = rest
+        .trim()
+        .strip_prefix("fnv1a=")
+        .ok_or_else(|| err("header missing fnv1a= checksum".to_owned()))?;
+    let expected =
+        u64::from_str_radix(sum, 16).map_err(|_| err(format!("bad checksum `{sum}`")))?;
+    let got = fnv1a(body.as_bytes());
+    if got != expected {
+        return Err(err(format!(
+            "checksum mismatch: header fnv1a={expected:016x}, body fnv1a={got:016x} (truncated or corrupt cache)"
+        )));
     }
+    Ok(body)
 }
 
 #[cfg(test)]
@@ -285,9 +313,28 @@ mod tests {
     }
 
     #[test]
-    fn header_checked() {
-        assert!(check_header(Some(MAGIC)).is_ok());
-        assert!(check_header(Some("garbage")).is_err());
-        assert!(check_header(None).is_err());
+    fn seal_open_roundtrip() {
+        let sealed = seal("BODY line 1\nBODY line 2\n");
+        assert!(sealed.starts_with("PAO-CACHE v2 fnv1a="));
+        assert_eq!(open(&sealed).unwrap(), "BODY line 1\nBODY line 2\n");
+    }
+
+    #[test]
+    fn open_rejects_corruption_and_old_versions() {
+        // Wrong magic / legacy version: version mismatch, not a panic.
+        assert!(open("garbage").is_err());
+        assert!(open("PAO-CACHE v1\nENTRY ...\n").is_err());
+        assert!(open("").is_err());
+        // Missing or malformed checksum.
+        assert!(open("PAO-CACHE v2\nbody\n").is_err());
+        assert!(open("PAO-CACHE v2 fnv1a=xyz\nbody\n").is_err());
+        // Truncated body no longer matches the recorded checksum.
+        let sealed = seal("line 1\nline 2\n");
+        let truncated = &sealed[..sealed.len() - 3];
+        let e = open(truncated).unwrap_err();
+        assert!(e.message.contains("checksum mismatch"), "{e}");
+        // A flipped body byte is caught too.
+        let flipped = sealed.replace("line 2", "line 3");
+        assert!(open(&flipped).is_err());
     }
 }

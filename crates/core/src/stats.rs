@@ -1,6 +1,7 @@
 //! Analysis statistics — the raw numbers behind the paper's Tables II
 //! and III.
 
+use crate::error::FaultRecord;
 use crate::parallel::ExecReport;
 use std::fmt;
 use std::time::Duration;
@@ -55,6 +56,11 @@ pub struct PaoStats {
     /// Metrics recorded during this run (empty unless the caller enabled
     /// [`pao_obs::enable_metrics`] before analyzing).
     pub metrics: pao_obs::MetricsSnapshot,
+    /// Work items quarantined by the fault-isolation layer: the run
+    /// completed *without* these items instead of aborting. Empty on a
+    /// healthy run; deterministic (input order) for a given fault set, so
+    /// it participates in the thread-count identity contract.
+    pub quarantined: Vec<FaultRecord>,
 }
 
 impl PaoStats {
@@ -89,6 +95,7 @@ impl PaoStats {
             && self.repaired_pins == other.repaired_pins
             && self.total_pins == other.total_pins
             && self.failed_pins == other.failed_pins
+            && self.quarantined == other.quarantined
     }
 }
 
@@ -111,6 +118,10 @@ impl fmt::Display for PaoStats {
         writeln!(f, "repaired pins    : {}", self.repaired_pins)?;
         writeln!(f, "total pins       : {}", self.total_pins)?;
         writeln!(f, "failed pins      : {}", self.failed_pins)?;
+        writeln!(f, "quarantined      : {}", self.quarantined.len())?;
+        for fault in &self.quarantined {
+            writeln!(f, "  {fault}")?;
+        }
         writeln!(
             f,
             "time (s)         : apgen {:.3} + pattern {:.3} + cluster {:.3} = {:.3} (run {:.3})",

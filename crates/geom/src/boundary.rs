@@ -128,7 +128,14 @@ pub fn visit_union_boundaries<F: FnMut(&[Point]) -> bool>(
                     best = Some((k, cross));
                 }
             }
-            let (k, _) = best.expect("boundary edges form loops");
+            // The directed edges of a valid merge form closed loops, so an
+            // unconsumed outgoing edge always exists; if that invariant is
+            // ever violated, abandon this (broken) loop instead of
+            // panicking — its partial path is simply skipped below.
+            let Some((k, _)) = best else {
+                ws.path.clear();
+                break;
+            };
             ws.used[k] = true;
             let next = ws.edges[k].1;
             din = next - current;

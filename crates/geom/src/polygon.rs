@@ -124,13 +124,15 @@ impl Polygon {
     /// Panics if `r` is degenerate (zero width or height).
     #[must_use]
     pub fn from_rect(r: Rect) -> Polygon {
-        Polygon::new(vec![
+        match Polygon::new(vec![
             r.ll(),
             Point::new(r.xhi(), r.ylo()),
             r.ur(),
             Point::new(r.xlo(), r.yhi()),
-        ])
-        .expect("rectangle with positive area forms a valid polygon")
+        ]) {
+            Ok(p) => p,
+            Err(e) => panic!("degenerate rectangle {r}: {e}"),
+        }
     }
 
     /// The vertex loop (first vertex not repeated).

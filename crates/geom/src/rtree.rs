@@ -110,11 +110,12 @@ impl<T> RTree<T> {
                 (c.y, c.x)
             });
             for leaf in strip.chunks(NODE_CAPACITY) {
-                let bbox = leaf
-                    .iter()
-                    .map(|&i| self.items[i as usize].0)
-                    .reduce(Rect::hull)
-                    .expect("non-empty leaf");
+                // chunks() never yields an empty slice, so folding from the
+                // first item needs no fallible reduce.
+                let mut bbox = self.items[leaf[0] as usize].0;
+                for &i in &leaf[1..] {
+                    bbox = Rect::hull(bbox, self.items[i as usize].0);
+                }
                 leaves.push(Node::Leaf {
                     bbox,
                     items: leaf.to_vec(),
@@ -127,12 +128,12 @@ impl<T> RTree<T> {
             let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
             let mut iter = level.into_iter().peekable();
             while iter.peek().is_some() {
+                // peek() guarantees at least one child, so fold from it.
                 let children: Vec<Node> = iter.by_ref().take(NODE_CAPACITY).collect();
-                let bbox = children
-                    .iter()
-                    .map(Node::bbox)
-                    .reduce(Rect::hull)
-                    .expect("non-empty inner node");
+                let mut bbox = children[0].bbox();
+                for c in &children[1..] {
+                    bbox = Rect::hull(bbox, c.bbox());
+                }
                 next.push(Node::Inner { bbox, children });
             }
             level = next;

@@ -89,10 +89,13 @@ impl GridScratch {
         self.covered.clear();
         self.covered.resize(nx * ny, false);
         for r in &self.shapes {
-            let i0 = self.xs.binary_search(&r.xlo()).expect("compressed");
-            let i1 = self.xs.binary_search(&r.xhi()).expect("compressed");
-            let j0 = self.ys.binary_search(&r.ylo()).expect("compressed");
-            let j1 = self.ys.binary_search(&r.yhi()).expect("compressed");
+            // xs/ys contain every shape coordinate by construction; a failed
+            // search returns the insertion point, degrading to the nearest
+            // cell instead of panicking.
+            let i0 = self.xs.binary_search(&r.xlo()).unwrap_or_else(|i| i);
+            let i1 = self.xs.binary_search(&r.xhi()).unwrap_or_else(|i| i);
+            let j0 = self.ys.binary_search(&r.ylo()).unwrap_or_else(|i| i);
+            let j1 = self.ys.binary_search(&r.yhi()).unwrap_or_else(|i| i);
             for i in i0..i1 {
                 for cell in &mut self.covered[i * ny + j0..i * ny + j1] {
                     *cell = true;

@@ -205,7 +205,9 @@ impl ThreadMetrics {
         if self.counters.is_empty() && self.hists.is_empty() && self.gauges.is_empty() {
             return;
         }
-        let mut reg = registry().lock().expect("metrics registry");
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         reg.merge_from(self);
     }
 }
@@ -391,7 +393,9 @@ impl MetricsSnapshot {
 #[must_use]
 pub fn snapshot() -> MetricsSnapshot {
     flush_thread();
-    let reg = registry().lock().expect("metrics registry");
+    let reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out = MetricsSnapshot::default();
     for (&name, &v) in &reg.counters {
         out.counters.insert(name.to_owned(), v);
@@ -413,7 +417,9 @@ pub fn reset() {
         t.hists.clear();
         t.gauges.clear();
     });
-    let mut reg = registry().lock().expect("metrics registry");
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.counters.clear();
     reg.hists.clear();
     reg.gauges.clear();

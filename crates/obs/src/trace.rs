@@ -70,7 +70,9 @@ impl ThreadTrace {
         if self.buf.is_empty() {
             return;
         }
-        let mut s = sink().lock().expect("trace sink");
+        let mut s = sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let room = MAX_EVENTS.saturating_sub(s.events.len());
         if self.buf.len() > room {
             s.dropped += (self.buf.len() - room) as u64;
@@ -100,7 +102,9 @@ thread_local! {
 /// worker startup; the main thread defaults to track 0 ("main").
 pub fn set_track(track: u32, label: &str) {
     TLS.with(|t| t.borrow_mut().track = track);
-    let mut s = sink().lock().expect("trace sink");
+    let mut s = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     s.tracks.entry(track).or_insert_with(|| label.to_owned());
 }
 
@@ -248,7 +252,9 @@ impl TraceDump {
 #[must_use]
 pub fn take_trace() -> TraceDump {
     flush_thread();
-    let mut s = sink().lock().expect("trace sink");
+    let mut s = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     TraceDump {
         events: std::mem::take(&mut s.events),
         tracks: s.tracks.clone(),
@@ -259,7 +265,9 @@ pub fn take_trace() -> TraceDump {
 /// Clears the sink and the calling thread's buffer.
 pub fn reset() {
     TLS.with(|t| t.borrow_mut().buf.clear());
-    let mut s = sink().lock().expect("trace sink");
+    let mut s = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     s.events.clear();
     s.tracks.clear();
     s.dropped = 0;
@@ -388,7 +396,9 @@ mod tests {
         let _g = crate::metrics::test_lock();
         reset();
         {
-            let mut s = sink().lock().expect("trace sink");
+            let mut s = sink()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             s.events = vec![
                 SpanEvent {
                     name: "pre",

@@ -104,9 +104,10 @@ impl Rng {
         let (lo, hi) = range.bounds();
         assert!(lo <= hi, "gen_range called with an empty range");
         let span = (hi - lo + 1) as u128;
+        // `below(span) < span = hi - lo + 1`, so `lo + below(span) <= hi`
+        // always fits; degrade to `hi` rather than panic regardless.
         lo.checked_add(i128::from(self.below(span)))
-            .map(R::cast)
-            .expect("range arithmetic fits i128")
+            .map_or_else(|| R::cast(hi), R::cast)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).

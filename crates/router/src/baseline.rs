@@ -146,9 +146,15 @@ pub fn baseline_pin_access(tech: &Tech, design: &Design, cfg: &BaselineConfig) -
     let mut unique = Vec::with_capacity(infos.len());
     let mut total_aps = 0usize;
     for info in infos {
-        let master = tech
-            .macro_by_name(&info.master)
-            .expect("unique instances only cover known masters");
+        // An unknown master yields an empty (no-access) entry so `unique`
+        // stays index-aligned with `comp_uniq`, instead of aborting.
+        let Some(master) = tech.macro_by_name(&info.master) else {
+            unique.push(BaselineUnique {
+                info,
+                pin_aps: Vec::new(),
+            });
+            continue;
+        };
         let shapes = design.placed_pin_shapes(tech, info.rep);
         // The "era-faithful" linear context scan: for every candidate the
         // baseline sweeps all cell shapes once (no spatial index).
@@ -199,8 +205,10 @@ pub fn baseline_pin_access(tech: &Tech, design: &Design, cfg: &BaselineConfig) -
                     // rules this misses (min-step, merged metal, spacing
                     // tables, EOL, cut context) are exactly where the
                     // dirty APs come from.
-                    let clean = via.is_none()
-                        || simple_rules_pass(tech, &all_rects, &rects, via.expect("via"), pos);
+                    let clean = match via {
+                        None => true,
+                        Some(v) => simple_rules_pass(tech, &all_rects, &rects, v, pos),
+                    };
                     if !clean {
                         continue;
                     }

@@ -391,7 +391,11 @@ impl<'a> Router<'a> {
                         }
                     }
                 }
-                let (_, i, j) = best.expect("spanning tree edge exists");
+                // With at least one node in and one out of the tree, the
+                // double loop always finds an edge; bail out of the (then
+                // fully spanned) loop rather than panic if it somehow
+                // does not.
+                let Some((_, i, j)) = best else { break };
                 in_tree[j] = true;
                 edges.push((i, j));
             }

@@ -93,31 +93,19 @@ impl ViaDef {
     /// Bounding box of the bottom-layer enclosure.
     #[must_use]
     pub fn bottom_bbox(&self) -> Rect {
-        self.bottom_shapes
-            .iter()
-            .copied()
-            .reduce(Rect::hull)
-            .expect("via has bottom shapes")
+        shapes_bbox(&self.bottom_shapes)
     }
 
     /// Bounding box of the cut shapes.
     #[must_use]
     pub fn cut_bbox(&self) -> Rect {
-        self.cut_shapes
-            .iter()
-            .copied()
-            .reduce(Rect::hull)
-            .expect("via has cut shapes")
+        shapes_bbox(&self.cut_shapes)
     }
 
     /// Bounding box of the top-layer enclosure.
     #[must_use]
     pub fn top_bbox(&self) -> Rect {
-        self.top_shapes
-            .iter()
-            .copied()
-            .reduce(Rect::hull)
-            .expect("via has top shapes")
+        shapes_bbox(&self.top_shapes)
     }
 
     /// The via's shapes translated so its origin sits at `at`, flattened as
@@ -156,6 +144,15 @@ impl ViaDef {
             is_default: false,
         }
     }
+}
+
+/// Hull of a shape list. The [`ViaDef`] constructor guarantees each layer
+/// has at least one shape; an empty list degrades to a point rect at the
+/// origin rather than panicking.
+fn shapes_bbox(shapes: &[Rect]) -> Rect {
+    let mut it = shapes.iter().copied();
+    let first = it.next().unwrap_or_else(|| Rect::new(0, 0, 0, 0));
+    it.fold(first, Rect::hull)
 }
 
 #[cfg(test)]

@@ -215,7 +215,7 @@ fn pin_geometry(p: &TechParams, m1: LayerId, cx: Dbu, variant: u32) -> Port {
                 Point::new(cx - wide / 2, head_ylo),
                 Point::new(cx - hw, head_ylo),
             ])
-            .expect("wide-short pin polygon is rectilinear");
+            .unwrap_or_else(|e| panic!("wide-short pin polygon is rectilinear: {e}"));
             Port {
                 layer: m1,
                 rects: Vec::new(),
@@ -238,8 +238,12 @@ fn pin_geometry(p: &TechParams, m1: LayerId, cx: Dbu, variant: u32) -> Port {
 /// [`make_tech`](crate::techs::make_tech)).
 pub fn add_std_cells(tech: &mut Tech, flavor: TechFlavor) {
     let p = flavor.params();
-    let m1 = tech.layer_id("metal1").expect("metal1 present");
-    let m2 = tech.layer_id("metal2").expect("metal2 present");
+    let m1 = tech
+        .layer_id("metal1")
+        .unwrap_or_else(|| panic!("tech lacks metal1; build it with make_tech"));
+    let m2 = tech
+        .layer_id("metal2")
+        .unwrap_or_else(|| panic!("tech lacks metal2; build it with make_tech"));
     let height = p.row_height;
     for (ci, spec) in CELL_SPECS.iter().enumerate() {
         let width = Dbu::from(spec.width_sites) * p.site_width;
@@ -284,7 +288,7 @@ pub fn add_std_cells(tech: &mut Tech, flavor: TechFlavor) {
                                 .map(|&v| v + Point::new(0, row_shift))
                                 .collect(),
                         )
-                        .expect("translated polygon stays valid")
+                        .unwrap_or_else(|e| panic!("translated polygon stays valid: {e}"))
                     })
                     .collect();
             }
@@ -351,7 +355,9 @@ pub fn add_std_cells(tech: &mut Tech, flavor: TechFlavor) {
 /// the block are obstructed except for a boundary margin.
 pub fn add_block_macro(tech: &mut Tech, flavor: TechFlavor) {
     let p = flavor.params();
-    let m4 = tech.layer_id("metal4").expect("metal4 present");
+    let m4 = tech
+        .layer_id("metal4")
+        .unwrap_or_else(|| panic!("tech lacks metal4; build it with make_tech"));
     let width = 30 * p.site_width;
     let height = 6 * p.row_height;
     let mut m = Macro::new("RAM16X4", width, height);
@@ -374,7 +380,9 @@ pub fn add_block_macro(tech: &mut Tech, flavor: TechFlavor) {
         ));
     }
     for (li, lname) in ["metal1", "metal2", "metal3"].iter().enumerate() {
-        let layer = tech.layer_id(lname).expect("lower layers present");
+        let layer = tech
+            .layer_id(lname)
+            .unwrap_or_else(|| panic!("tech lacks {lname}; build it with make_tech"));
         let margin = p.spacing * (li as Dbu + 2);
         m.obs.push((
             layer,

@@ -34,5 +34,5 @@ pub mod place;
 pub mod suite;
 pub mod techs;
 
-pub use suite::{aes14_case, generate, ispd18s_suite, SuiteCase};
+pub use suite::{aes14_case, case_by_name, generate, ispd18s_suite, SuiteCase};
 pub use techs::{make_tech, TechFlavor, TechParams};

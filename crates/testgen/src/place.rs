@@ -79,7 +79,9 @@ pub fn place_design(
     // Macros first (lower-left corner, spaced apart).
     let mut macro_boxes: Vec<Rect> = Vec::new();
     if cfg.macros > 0 {
-        let ram = tech.macro_by_name("RAM16X4").expect("block macro in tech");
+        let ram = tech.macro_by_name("RAM16X4").unwrap_or_else(|| {
+            panic!("tech lacks block macro RAM16X4; add it with add_block_macro")
+        });
         for mi in 0..cfg.macros {
             let x = (mi as i64) * (ram.width + 4 * p.site_width);
             let y = 0;

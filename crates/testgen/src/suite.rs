@@ -92,6 +92,20 @@ pub fn aes14_case() -> SuiteCase {
     }
 }
 
+/// Resolves a case by its suite name: `"smoke"`, `"aes14"`, or one of the
+/// `ispd18s_test*` cases. `None` for anything else — callers own the
+/// diagnostic (e.g. "try `pao gen list`").
+#[must_use]
+pub fn case_by_name(name: &str) -> Option<SuiteCase> {
+    if name == "smoke" {
+        return Some(SuiteCase::small_smoke());
+    }
+    if name == "aes14" {
+        return Some(aes14_case());
+    }
+    ispd18s_suite().into_iter().find(|c| c.name == name)
+}
+
 /// Generates a testcase: the technology (layers, vias, site, cell library,
 /// macros when needed) and the placed design with netlist.
 #[must_use]
@@ -183,6 +197,14 @@ mod tests {
         assert_eq!(design.components(), design2.components());
         assert_eq!(design.nets(), design2.nets());
         assert_eq!(design.tracks, design2.tracks);
+    }
+
+    #[test]
+    fn case_by_name_resolves_all_suites() {
+        assert_eq!(case_by_name("smoke").unwrap().name, "smoke");
+        assert_eq!(case_by_name("aes14").unwrap().flavor, TechFlavor::N14);
+        assert_eq!(case_by_name("ispd18s_test7").unwrap().name, "ispd18s_test7");
+        assert!(case_by_name("nope").is_none());
     }
 
     #[test]

@@ -12,6 +12,13 @@ cargo fmt --all --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy (panic-freedom gate) =="
+# Library and binary code must not contain `unwrap()`/`expect()` — errors
+# are typed (`PaoError`) or explicitly degraded (see DESIGN.md §12).
+# Tests keep their asserting style; `--lib --bins` leaves them exempt.
+cargo clippy --workspace --lib --bins -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== release build =="
 cargo build --workspace --release
 
