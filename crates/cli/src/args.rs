@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 11] = [
+const VALUE_OPTS: [&str; 15] = [
     "--threads",
     "--k",
     "--report",
@@ -23,6 +23,10 @@ const VALUE_OPTS: [&str; 11] = [
     "--case",
     "--trace",
     "--inject-fault",
+    "--inject-stall",
+    "--deadline-ms",
+    "--checkpoint",
+    "--watchdog-ms",
 ];
 
 impl Args {
@@ -39,8 +43,12 @@ impl Args {
                 }
             }
             if VALUE_OPTS.contains(&a.as_str()) {
-                if let Some(v) = it.next() {
-                    out.values.push((a, v));
+                match it.next() {
+                    Some(v) => out.values.push((a, v)),
+                    // A value option at the end of the line: record it as
+                    // a bare flag so the command can reject the invocation
+                    // as a usage error instead of silently ignoring it.
+                    None => out.flags.push(a),
                 }
             } else if a.starts_with("--") {
                 out.flags.push(a);
@@ -49,6 +57,13 @@ impl Args {
             }
         }
         out
+    }
+
+    /// `true` when value option `--name` appeared *without* its value —
+    /// the caller should treat this as a usage error.
+    #[must_use]
+    pub fn value_missing(&self, name: &str) -> bool {
+        self.flag(name) && self.value(name).is_none()
     }
 
     /// The `i`-th positional argument.
@@ -119,5 +134,9 @@ mod tests {
     fn missing_value_is_dropped_gracefully() {
         let a = parse("gen smoke --lef");
         assert_eq!(a.value("--lef"), None);
+        // … but detectably, so commands can emit a usage error.
+        assert!(a.value_missing("--lef"));
+        let b = parse("gen smoke --lef out.lef");
+        assert!(!b.value_missing("--lef"));
     }
 }

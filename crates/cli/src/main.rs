@@ -3,7 +3,9 @@
 //! ```text
 //! pao analyze <tech.lef> <design.def> [--threads N] [--k N] [--no-bca]
 //!             [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
-//!             [--metrics] [--trace FILE]
+//!             [--metrics] [--trace FILE] [--deadline-ms MS]
+//!             [--deadline-ok] [--checkpoint DIR] [--resume]
+//!             [--watchdog-ms MS]
 //! pao route   <tech.lef> <design.def> [--naive] [--report FILE]
 //! pao drc     <tech.lef> <design.def>
 //! pao gen     <case> --lef FILE --def FILE      (case: ispd18s_test1..10,
@@ -11,13 +13,14 @@
 //! pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
 //!             [--out FILE]
 //! pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
-//!             [--trace FILE] [--report FILE]
+//!             [--trace FILE] [--report FILE] [--deadline-ms MS]
 //! ```
 
-use pao_core::{PaoConfig, PaoError, PinAccessOracle};
+use pao_core::{PaoConfig, PaoError, PinAccessOracle, RunBudget};
 use pao_design::Design;
 use pao_tech::Tech;
 use std::process::ExitCode;
+use std::time::Duration;
 
 mod args;
 use args::Args;
@@ -34,6 +37,8 @@ use args::Args;
 /// | 4    | internal error (a `pao` bug)                          |
 /// | 5    | run completed degraded (quarantined items) and        |
 /// |      | `--degraded-ok` was not given                         |
+/// | 6    | run hit its `--deadline-ms` budget (partial result)   |
+/// |      | and `--deadline-ok` was not given                     |
 #[derive(Debug)]
 enum CliError {
     /// The invocation is wrong: missing arguments, unknown case names,
@@ -46,6 +51,10 @@ enum CliError {
     /// The analysis finished but quarantined this many work items, and
     /// the caller did not opt into degraded results with `--degraded-ok`.
     Degraded(usize),
+    /// The analysis was cut short — by its deadline budget (skipped work
+    /// items) and/or by a watchdog-detected worker stall — and the caller
+    /// did not opt into partial results with `--deadline-ok`.
+    DeadlinePartial { skipped: usize, stalls: usize },
 }
 
 impl CliError {
@@ -63,6 +72,7 @@ impl CliError {
             CliError::Input(_) => 3,
             CliError::Internal(_) => 4,
             CliError::Degraded(_) => 5,
+            CliError::DeadlinePartial { .. } => 6,
         }
     }
 
@@ -74,6 +84,9 @@ impl CliError {
             CliError::Internal(m) => eprintln!("error: internal: {m}"),
             CliError::Degraded(n) => eprintln!(
                 "error: run degraded: {n} work item(s) quarantined (see report; pass --degraded-ok to accept)"
+            ),
+            CliError::DeadlinePartial { skipped, stalls } => eprintln!(
+                "error: deadline hit: {skipped} work item(s) skipped, {stalls} worker stall(s) (partial result; pass --deadline-ok to accept, or --checkpoint DIR + --resume to continue)"
             ),
             CliError::Input(e) => {
                 eprintln!("error: {e}");
@@ -156,6 +169,99 @@ fn arm_injected_fault(spec: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Arms the deterministic stall-injection hook from an
+/// `--inject-stall PHASE[:INDEX[:MS]]` value (watchdog testing: verify a
+/// hung worker is detected and the run degrades instead of hanging).
+fn arm_injected_stall(spec: &str) -> Result<(), CliError> {
+    let mut it = spec.split(':');
+    let phase = it.next().unwrap_or_default();
+    let label = fault_label(phase).ok_or_else(|| {
+        CliError::usage(format!(
+            "--inject-stall: unknown phase `{phase}` (expected apgen|pattern|select|repair|audit)"
+        ))
+    })?;
+    let bad = || CliError::usage("--inject-stall expects PHASE[:INDEX[:MS]]");
+    let index: usize = it.next().map_or(Ok(0), str::parse).map_err(|_| bad())?;
+    let ms: u64 = it.next().map_or(Ok(1000), str::parse).map_err(|_| bad())?;
+    if it.next().is_some() {
+        return Err(bad());
+    }
+    pao_core::fault::arm_stall(label, index, ms);
+    Ok(())
+}
+
+/// Parses the shared deadline/watchdog/stall-injection flags into
+/// `(deadline, watchdog)`. Rejects value options that arrived without a
+/// value (usage error, exit 2). The watchdog is armed whenever any of
+/// `--deadline-ms`, `--watchdog-ms` or `--inject-stall` is present.
+fn parse_budget_flags(
+    args: &Args,
+) -> Result<(Option<Duration>, Option<pao_core::Watchdog>), CliError> {
+    for name in [
+        "--inject-fault",
+        "--inject-stall",
+        "--deadline-ms",
+        "--watchdog-ms",
+        "--checkpoint",
+    ] {
+        if args.value_missing(name) {
+            return Err(CliError::usage(format!("{name} requires a value")));
+        }
+    }
+    let deadline = args
+        .value("--deadline-ms")
+        .map(|ms| ms.parse::<u64>().map(Duration::from_millis))
+        .transpose()
+        .map_err(|_| CliError::usage("--deadline-ms expects milliseconds"))?;
+    let min_stall = args
+        .value("--watchdog-ms")
+        .map(str::parse::<u64>)
+        .transpose()
+        .map_err(|_| CliError::usage("--watchdog-ms expects milliseconds"))?;
+    if let Some(spec) = args.value("--inject-stall") {
+        arm_injected_stall(spec)?;
+    }
+    let watchdog =
+        if deadline.is_some() || min_stall.is_some() || args.value("--inject-stall").is_some() {
+            Some(match min_stall {
+                Some(ms) => pao_core::Watchdog::with_min_stall(Duration::from_millis(ms)),
+                None => pao_core::Watchdog::default(),
+            })
+        } else {
+            None
+        };
+    Ok((deadline, watchdog))
+}
+
+/// Opens the `--checkpoint DIR` store. With `--resume` the directory's
+/// phase checkpoints are reloaded (corrupt sections degrade to recompute,
+/// with a warning); without it stale checkpoints are cleared so a fresh
+/// run never silently reuses them. The phase-time history survives both
+/// ways — it seeds the budget allocator.
+fn open_checkpoint(args: &Args) -> Result<Option<pao_core::CheckpointStore>, CliError> {
+    let Some(dir) = args.value("--checkpoint") else {
+        if args.flag("--resume") {
+            return Err(CliError::usage("--resume requires --checkpoint DIR"));
+        }
+        return Ok(None);
+    };
+    let store = if args.flag("--resume") {
+        let (store, rejected) = pao_core::CheckpointStore::resume(dir)
+            .map_err(|e| CliError::input(format!("cannot open checkpoint dir `{dir}`: {e}")))?;
+        for e in rejected {
+            eprintln!(
+                "warning: checkpoint in `{dir}` rejected, recomputing: {}",
+                PaoError::from(e)
+            );
+        }
+        store
+    } else {
+        pao_core::CheckpointStore::create(dir)
+            .map_err(|e| CliError::input(format!("cannot create checkpoint dir `{dir}`: {e}")))?
+    };
+    Ok(Some(store))
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     let (tech, design) = load_world(
         args.positional(1).map_err(CliError::Usage)?,
@@ -185,6 +291,20 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     if let Some(spec) = args.value("--inject-fault") {
         arm_injected_fault(spec)?;
     }
+    let (deadline, watchdog) = parse_budget_flags(args)?;
+    let mut store = open_checkpoint(args)?;
+    // Budget split: this checkpoint directory's recorded phase-time
+    // history when available, the built-in default otherwise.
+    let fractions = store
+        .as_ref()
+        .and_then(pao_core::CheckpointStore::fractions)
+        .unwrap_or_default();
+    let budget = RunBudget {
+        deadline,
+        fractions,
+        watchdog,
+        checkpoint: store.as_mut(),
+    };
     let oracle = PinAccessOracle::with_config(cfg);
     let result = match args.value("--cache") {
         Some(path) => {
@@ -203,14 +323,14 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
                 }
                 Err(_) => pao_core::incremental::AnalysisCache::new(),
             };
-            let r = oracle.analyze_with_cache(&tech, &design, &mut cache);
+            let r = oracle.analyze_with_cache_budget(&tech, &design, &mut cache, budget);
             std::fs::write(path, cache.save_to_string())
                 .map_err(|e| CliError::input(format!("cannot write cache `{path}`: {e}")))?;
             let (hits, misses) = cache.stats();
             eprintln!("cache: {hits} hits, {misses} misses -> {path}");
             r
         }
-        None => oracle.analyze(&tech, &design),
+        None => oracle.analyze_with_budget(&tech, &design, budget),
     };
     pao_core::fault::disarm();
     pao_obs::disable_all();
@@ -258,6 +378,14 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     }
     if let Some(path) = args.value("--trace") {
         write_trace(path, &pao_obs::take_trace())?;
+    }
+    // Deadline-partial completion: the budget cut the run. The partial
+    // result was fully reported above; exit 6 unless the caller opted in.
+    if result.stats.deadline.is_partial() && !args.flag("--deadline-ok") {
+        return Err(CliError::DeadlinePartial {
+            skipped: result.stats.deadline.skipped_items(),
+            stalls: result.stats.deadline.stalls.len(),
+        });
     }
     // Degraded completion: quarantined items were reported above; whether
     // that is acceptable is the caller's call, not ours.
@@ -464,13 +592,36 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             "parallel run diverged from single-threaded baseline".to_owned(),
         ));
     }
+    // Deadline-mode overhead: the same parallel run with an effectively
+    // infinite (but finite, so every poll is live) budget measures the
+    // pure cancellation-poll cost of the anytime machinery.
+    eprintln!("benchmarking `{workload}`: deadline mode ({threads} threads) …");
+    let budgeted = PinAccessOracle::with_config(PaoConfig {
+        threads,
+        ..PaoConfig::default()
+    })
+    .analyze_with_budget(
+        &tech,
+        &design,
+        RunBudget::with_deadline(Duration::from_secs(86_400)),
+    );
+    if !baseline.stats.counters_eq(&budgeted.stats) {
+        return Err(CliError::Internal(
+            "deadline-mode run diverged from unbudgeted baseline".to_owned(),
+        ));
+    }
     let speedup =
         baseline.stats.total_time().as_secs_f64() / parallel.stats.total_time().as_secs_f64();
+    let deadline_overhead_pct = (budgeted.stats.total_time().as_secs_f64()
+        / parallel.stats.total_time().as_secs_f64()
+        - 1.0)
+        * 100.0;
     let json = format!(
         concat!(
             "{{\n  \"workload\": \"{}\",\n  \"components\": {},\n  \"nets\": {},\n",
             "  \"threads\": {},\n  \"git_rev\": \"{}\",\n  \"host_threads\": {},\n",
             "  \"timestamp\": \"{}\",\n  \"baseline\": {},\n  \"parallel\": {},\n",
+            "  \"deadline_mode\": {},\n  \"deadline_overhead_pct\": {:.3},\n",
             "  \"speedup\": {:.3},\n  \"identical_output\": true\n}}\n"
         ),
         workload,
@@ -482,12 +633,16 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
         pao_obs::clock::now_iso8601(),
         stats_json(&baseline.stats),
         stats_json(&parallel.stats),
+        stats_json(&budgeted.stats),
+        deadline_overhead_pct,
         speedup,
     );
     let out = args.value("--out").unwrap_or("BENCH_pao.json");
     std::fs::write(out, &json)
         .map_err(|e| CliError::input(format!("cannot write `{out}`: {e}")))?;
-    eprintln!("speedup {speedup:.2}x -> {out}");
+    eprintln!(
+        "speedup {speedup:.2}x, deadline-mode overhead {deadline_overhead_pct:+.2}% -> {out}"
+    );
     Ok(())
 }
 
@@ -497,6 +652,7 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
     if let Some(spec) = args.value("--inject-fault") {
         arm_injected_fault(spec)?;
     }
+    let (deadline, watchdog) = parse_budget_flags(args)?;
     pao_obs::reset();
     pao_obs::enable_metrics();
     if args.value("--trace").is_some() {
@@ -506,7 +662,12 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
         threads,
         ..PaoConfig::default()
     };
-    let result = PinAccessOracle::with_config(cfg).analyze(&tech, &design);
+    let budget = RunBudget {
+        deadline,
+        watchdog,
+        ..RunBudget::unlimited()
+    };
+    let result = PinAccessOracle::with_config(cfg).analyze_with_budget(&tech, &design, budget);
     pao_core::fault::disarm();
     pao_obs::disable_all();
     let dump = pao_obs::take_trace();
@@ -603,6 +764,22 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
             out.push_str(&format!("  {fault}\n"));
         }
     }
+    if stats.deadline.budget.is_some() || stats.deadline.is_partial() {
+        out.push_str(&format!("\ndeadline          : {}\n", stats.deadline));
+        for skip in &stats.deadline.skipped {
+            out.push_str(&format!("  skipped {skip}\n"));
+        }
+        for stall in &stats.deadline.stalls {
+            out.push_str(&format!("  {stall}\n"));
+        }
+        let beats = stats.metrics.gauge("watchdog.heartbeats");
+        let stalls_n = stats.metrics.counter("watchdog.stalls");
+        if beats > 0 || stalls_n > 0 {
+            out.push_str(&format!(
+                "watchdog          : {stalls_n} stall(s) detected, {beats} heartbeat(s) observed\n"
+            ));
+        }
+    }
     let m = &stats.metrics;
     out.push_str("\nmetrics:\n");
     out.push_str(&m.to_table());
@@ -687,13 +864,17 @@ USAGE:
               [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
               [--metrics] [--trace FILE] [--degraded-ok]
               [--inject-fault PHASE[:INDEX]]
+              [--deadline-ms MS] [--deadline-ok] [--checkpoint DIR]
+              [--resume] [--watchdog-ms MS]
+              [--inject-stall PHASE[:INDEX[:MS]]]
   pao route   <tech.lef> <design.def> [--naive] [--report FILE]
   pao drc     <tech.lef> <design.def>
   pao gen     <case|list> --lef FILE --def FILE
   pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
               [--out FILE]
   pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
-              [--trace FILE] [--report FILE]
+              [--trace FILE] [--report FILE] [--deadline-ms MS]
+              [--watchdog-ms MS] [--inject-stall PHASE[:INDEX[:MS]]]
 
   analyze runs all compute phases on every available core by default;
   --threads 1 reproduces the paper's single-threaded measurement mode
@@ -712,8 +893,21 @@ USAGE:
   By default a degraded run exits 5; pass --degraded-ok to accept it
   (exit 0). --inject-fault PHASE[:INDEX] deterministically panics one
   work item (phases: apgen, pattern, select, repair, audit) to exercise
-  that path. Exit codes: 0 ok, 2 usage, 3 bad input, 4 internal bug,
-  5 degraded without --degraded-ok.
+  that path.
+
+  Deadlines: --deadline-ms MS makes the analysis *anytime* — the budget
+  is split across phases (by this checkpoint directory's recorded phase
+  history when available), in-flight items finish when it expires, and
+  unstarted items degrade like quarantined ones. A partial run exits 6
+  unless --deadline-ok is given. --checkpoint DIR persists completed
+  apgen/pattern work after each phase; --resume reloads it so a cut (or
+  killed) run continues without redoing finished phases. A watchdog
+  (armed automatically with any deadline flag; threshold floor
+  --watchdog-ms) detects stalled workers and converts the stall into a
+  degraded run. --inject-stall PHASE[:INDEX[:MS]] deterministically
+  stalls one work item to exercise that path. Exit codes: 0 ok, 2 usage,
+  3 bad input, 4 internal bug, 5 degraded without --degraded-ok,
+  6 deadline-partial without --deadline-ok.
 ";
 
 fn main() -> ExitCode {

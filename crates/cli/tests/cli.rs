@@ -350,6 +350,252 @@ fn profile_reports_quarantined_section_on_injected_fault() {
     assert!(text.contains("fault.quarantined.pattern"), "{text}");
 }
 
+/// Stat lines that must be reproducible across runs (timings and
+/// parallel-executor lines are wall-clock and excluded).
+fn counter_lines(report: &str) -> Vec<&str> {
+    const STABLE: [&str; 10] = [
+        "unique instances",
+        "total APs",
+        "dirty APs",
+        "pins without APs",
+        "off-track APs",
+        "repaired pins",
+        "total pins",
+        "failed pins",
+        "quarantined",
+        "  FAILED",
+    ];
+    report
+        .lines()
+        .filter(|l| STABLE.iter().any(|p| l.starts_with(p)))
+        .collect()
+}
+
+#[test]
+fn deadline_exit_codes_honor_deadline_ok() {
+    let lef = tmp("d.lef");
+    let def = tmp("d.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    // A zero budget skips everything skippable: the run still completes,
+    // prints the partial stats, and exits 6 without --deadline-ok.
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--deadline-ms", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(6), "deadline-partial exits 6");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("deadline         :"), "{text}");
+    assert!(text.contains("deadline)"), "skip reasons shown: {text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline hit"), "{err}");
+    assert!(err.contains("--deadline-ok"), "{err}");
+    // With --deadline-ok: same partial report, exit 0.
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--deadline-ms", "0", "--deadline-ok"])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--deadline-ok accepts partial: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn checkpoint_resume_reproduces_uninterrupted_report() {
+    let lef = tmp("r.lef");
+    let def = tmp("r.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    for threads in ["1", "4"] {
+        let t = format!("--threads={threads}");
+        // Uninterrupted reference run.
+        let clean_report = tmp(&format!("clean-{threads}.txt"));
+        assert!(pao()
+            .arg("analyze")
+            .arg(&lef)
+            .arg(&def)
+            .arg(&t)
+            .arg("--report")
+            .arg(&clean_report)
+            .status()
+            .expect("spawn")
+            .success());
+        // Budget-cut run persisting finished work into a checkpoint dir.
+        let ckpt = tmp(&format!("ckpt-{threads}"));
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let out = pao()
+            .arg("analyze")
+            .arg(&lef)
+            .arg(&def)
+            .arg(&t)
+            .args(["--deadline-ms", "3", "--deadline-ok", "--checkpoint"])
+            .arg(&ckpt)
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Resume with a fresh (unlimited) budget: exit 0, and the stable
+        // stat lines match the uninterrupted run exactly.
+        let resumed_report = tmp(&format!("resumed-{threads}.txt"));
+        let out = pao()
+            .arg("analyze")
+            .arg(&lef)
+            .arg(&def)
+            .arg(&t)
+            .args(["--checkpoint"])
+            .arg(&ckpt)
+            .arg("--resume")
+            .arg("--report")
+            .arg(&resumed_report)
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.contains("rejected"), "clean checkpoints reload: {err}");
+        let clean = std::fs::read_to_string(&clean_report).expect("clean report");
+        let resumed = std::fs::read_to_string(&resumed_report).expect("resumed report");
+        assert_eq!(
+            counter_lines(&clean),
+            counter_lines(&resumed),
+            "resume x{threads} reproduces the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+}
+
+#[test]
+fn injected_stall_is_detected_never_hangs() {
+    let lef = tmp("w.lef");
+    let def = tmp("w.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    // One apgen worker sleeps 600 ms mid-item; a 100 ms stall floor makes
+    // the watchdog trip long before the sleep ends. The run must complete
+    // degraded (exit 6: partial without --deadline-ok), never hang.
+    let out = pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args([
+            "--threads",
+            "2",
+            "--inject-stall",
+            "apgen:0:600",
+            "--watchdog-ms",
+            "100",
+            "--metrics",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(6), "stall-cut run is partial");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stalled on item 0"), "{text}");
+    assert!(text.contains("stalls 1"), "{text}");
+    assert!(text.contains("watchdog.stalls"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1 worker stall(s)"), "{err}");
+}
+
+#[test]
+fn budget_flag_misuse_is_a_usage_error() {
+    let lef = tmp("u.lef");
+    let def = tmp("u.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    // (flags..., expected stderr fragment) — all exit 2 (usage), not 4.
+    let cases: &[(&[&str], &str)] = &[
+        (&["--inject-fault"], "requires a value"),
+        (&["--inject-stall"], "requires a value"),
+        (&["--inject-stall", "bogus:0"], "unknown phase"),
+        (&["--inject-stall", "apgen:0:5:9"], "PHASE[:INDEX[:MS]]"),
+        (&["--deadline-ms", "banana"], "--deadline-ms"),
+        (&["--watchdog-ms", "-3"], "--watchdog-ms"),
+        (&["--resume"], "--resume requires --checkpoint"),
+    ];
+    for (flags, fragment) in cases {
+        let out = pao()
+            .arg("analyze")
+            .arg(&lef)
+            .arg(&def)
+            .args(*flags)
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flags:?} is a usage error: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(fragment), "{flags:?}: {err}");
+    }
+}
+
+#[test]
+fn profile_prints_deadline_section_when_budgeted() {
+    let out = pao()
+        .args([
+            "profile",
+            "--case",
+            "smoke",
+            "--threads",
+            "2",
+            "--deadline-ms",
+            "60000",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("deadline          :"), "{text}");
+}
+
 #[test]
 fn unknown_case_reports_error() {
     let out = pao()

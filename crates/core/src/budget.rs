@@ -1,0 +1,696 @@
+//! Deadline-aware anytime execution: cancellation tokens, per-phase
+//! budget allocation, and the stall-watchdog configuration.
+//!
+//! PAAF is an oracle consulted by a detailed router under a wall-clock
+//! budget. This module makes the whole pipeline *anytime*: a
+//! [`CancelToken`] (an atomic flag plus an optional monotonic
+//! [`Instant`] deadline) is polled by every executor variant between
+//! work items, so an expired budget finishes in-flight items, marks the
+//! remaining ones skipped, and lets every phase degrade exactly like a
+//! quarantined item would (PR 4 semantics) — the oracle always returns a
+//! usable partial result, never aborts.
+//!
+//! All duration and deadline arithmetic in this module (and everywhere
+//! in the pipeline) uses the **monotonic** [`Instant`] clock. The
+//! wall-clock ISO-8601 formatter in `pao_obs::clock` is for trace/
+//! provenance timestamps only and must never feed an elapsed-time or
+//! deadline comparison.
+
+use crate::error::Phase;
+use crate::stats::PaoStats;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a run (or phase) was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The monotonic deadline expired.
+    Deadline,
+    /// The watchdog detected a stalled worker and tripped the token.
+    Stall,
+    /// An explicit caller-side cancellation (e.g. a test, or an embedding
+    /// router revoking the query).
+    External,
+}
+
+impl CancelReason {
+    /// Stable lowercase name (used in reports and skip records).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelReason::Deadline => "deadline",
+            CancelReason::Stall => "stall",
+            CancelReason::External => "external",
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One stalled worker observed by the watchdog: the worker made no
+/// heartbeat progress on its claimed item for longer than the adaptive
+/// threshold, so the phase was cancelled instead of hanging forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallRecord {
+    /// Executor phase label (e.g. `"apgen.instance"`).
+    pub label: String,
+    /// Worker index within the phase's pool.
+    pub worker: usize,
+    /// Input index of the item the worker was stuck on.
+    pub item: usize,
+    /// How long the heartbeat had been silent when the watchdog fired.
+    pub stalled: Duration,
+    /// The threshold in force (a multiple of the observed per-item time,
+    /// floored at the configured minimum).
+    pub threshold: Duration,
+}
+
+impl fmt::Display for StallRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] worker {} stalled on item {} for {:.3}s (threshold {:.3}s)",
+            self.label,
+            self.worker,
+            self.item,
+            self.stalled.as_secs_f64(),
+            self.threshold.as_secs_f64()
+        )
+    }
+}
+
+/// Work items of one phase skipped by an expired budget (or a tripped
+/// watchdog). The items were never started; on resume from a checkpoint
+/// they run normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipRecord {
+    /// The phase whose items were skipped.
+    pub phase: Phase,
+    /// How many items were skipped.
+    pub items: usize,
+    /// Why the phase was cut short.
+    pub reason: CancelReason,
+}
+
+impl fmt::Display for SkipRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({})", self.phase, self.items, self.reason)
+    }
+}
+
+/// Everything the deadline/watchdog machinery did to a run: which phases
+/// lost items and which workers stalled. Carried in
+/// [`PaoStats::deadline`](crate::stats::PaoStats::deadline).
+///
+/// Skip sets depend on wall-clock timing, so this report is **excluded**
+/// from [`PaoStats::counters_eq`] — the thread-count identity contract
+/// covers unlimited-budget runs; deadline-partial runs are reconciled via
+/// checkpoint resume instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeadlineReport {
+    /// The configured budget (`None` = unlimited).
+    pub budget: Option<Duration>,
+    /// Per-phase skip tallies, in pipeline order.
+    pub skipped: Vec<SkipRecord>,
+    /// Stalls detected by the watchdog.
+    pub stalls: Vec<StallRecord>,
+}
+
+impl DeadlineReport {
+    /// `true` when any work was skipped or any stall fired — i.e. the
+    /// result is usable but partial.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        !self.skipped.is_empty() || !self.stalls.is_empty()
+    }
+
+    /// Total skipped items across all phases.
+    #[must_use]
+    pub fn skipped_items(&self) -> usize {
+        self.skipped.iter().map(|s| s.items).sum()
+    }
+}
+
+impl fmt::Display for DeadlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.budget {
+            Some(b) => write!(f, "budget {:.3}s", b.as_secs_f64())?,
+            None => write!(f, "budget unlimited")?,
+        }
+        write!(f, ", skipped {}", self.skipped_items())?;
+        if !self.skipped.is_empty() {
+            let parts: Vec<String> = self.skipped.iter().map(SkipRecord::to_string).collect();
+            write!(f, " ({})", parts.join(", "))?;
+        }
+        write!(f, ", stalls {}", self.stalls.len())
+    }
+}
+
+/// Shared cancellation state. See [`CancelToken`].
+#[derive(Debug)]
+struct TokenState {
+    cancelled: AtomicBool,
+    /// Deterministic cut index for [`CancelToken::cancel_at`]: items with
+    /// input index strictly greater than this are skipped even if a
+    /// concurrent worker already computed them, which keeps deterministic
+    /// cancellations bit-identical across thread counts.
+    cut: AtomicUsize,
+    deadline: Option<Instant>,
+    reason: Mutex<Option<CancelReason>>,
+    stalls: Mutex<Vec<StallRecord>>,
+}
+
+impl Default for TokenState {
+    fn default() -> TokenState {
+        TokenState {
+            cancelled: AtomicBool::new(false),
+            cut: AtomicUsize::new(usize::MAX),
+            deadline: None,
+            reason: Mutex::new(None),
+            stalls: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A cooperative cancellation token: an atomic flag plus an optional
+/// monotonic deadline. Cloning is cheap (`Arc`); all clones observe the
+/// same cancellation.
+///
+/// The executor polls [`is_cancelled`](CancelToken::is_cancelled) between
+/// items: in-flight items always finish, unstarted items are skipped.
+/// With no deadline the poll is a single relaxed atomic load, so the
+/// always-on cancellation path costs nothing measurable (the bench gate
+/// holds it under 1% end to end).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenState>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own (it can still be
+    /// [`cancel`](CancelToken::cancel)led explicitly).
+    #[must_use]
+    pub fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that expires at the given monotonic instant.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenState {
+                deadline: Some(deadline),
+                ..TokenState::default()
+            }),
+        }
+    }
+
+    /// A token that expires `budget` from now. A budget too large to
+    /// represent degrades to never-expiring.
+    #[must_use]
+    pub fn after(budget: Duration) -> CancelToken {
+        match Instant::now().checked_add(budget) {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        }
+    }
+
+    /// The absolute deadline, if one is set.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` = no deadline; zero when
+    /// already expired).
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Trips the token. The first recorded reason wins; later calls only
+    /// ensure the flag stays set.
+    pub fn cancel(&self, reason: CancelReason) {
+        let mut slot = self
+            .inner
+            .reason
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        drop(slot);
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Trips the token *at a specific input index*: items with index
+    /// `<= index` keep their results, later items are skipped even if a
+    /// concurrent worker already computed them. This is what makes a
+    /// deterministic cancellation (triggered from inside item `index`)
+    /// produce bit-identical output at every thread count.
+    pub fn cancel_at(&self, index: usize, reason: CancelReason) {
+        self.inner.cut.fetch_min(index, Ordering::SeqCst);
+        self.cancel(reason);
+    }
+
+    /// The deterministic cut index set by
+    /// [`cancel_at`](CancelToken::cancel_at) (`usize::MAX` when the token
+    /// was cancelled without one, or not at all).
+    #[must_use]
+    pub fn cut(&self) -> usize {
+        self.inner.cut.load(Ordering::SeqCst)
+    }
+
+    /// `true` once the token is tripped — explicitly, or lazily when the
+    /// monotonic deadline has passed (the first observer latches the
+    /// flag, so later polls are a single atomic load).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.cancel(CancelReason::Deadline);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The first cancellation reason, once tripped.
+    #[must_use]
+    pub fn reason(&self) -> Option<CancelReason> {
+        *self
+            .inner
+            .reason
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a watchdog stall against this token.
+    pub fn record_stall(&self, stall: StallRecord) {
+        self.inner
+            .stalls
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(stall);
+    }
+
+    /// Drains the recorded stalls (the oracle collects them into
+    /// [`DeadlineReport::stalls`] after each phase).
+    #[must_use]
+    pub fn take_stalls(&self) -> Vec<StallRecord> {
+        std::mem::take(
+            &mut *self
+                .inner
+                .stalls
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+}
+
+/// Stall-watchdog configuration. The watchdog is a monitor thread that
+/// samples per-worker heartbeats every `poll`; a worker that has been
+/// inside the *same* item for more than
+/// `max(min_stall, multiple × observed mean item time)` is declared
+/// stalled: the stall is recorded, `watchdog.stalls` is bumped, and the
+/// phase's cancel token is tripped with [`CancelReason::Stall`] so every
+/// healthy worker drains cooperatively. The stalled item itself must
+/// eventually return (cooperative model — the watchdog converts a hung
+/// *run* into a degraded one, it cannot kill a thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Stall threshold as a multiple of the observed mean per-item time.
+    pub multiple: u32,
+    /// Threshold floor — also the effective threshold before any item of
+    /// the phase has completed (no observed mean yet).
+    pub min_stall: Duration,
+    /// Heartbeat sampling period of the monitor thread.
+    pub poll: Duration,
+}
+
+impl Default for Watchdog {
+    fn default() -> Watchdog {
+        Watchdog {
+            multiple: 32,
+            min_stall: Duration::from_millis(250),
+            poll: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Watchdog {
+    /// A watchdog with a custom threshold floor (the CLI's
+    /// `--watchdog-ms`).
+    #[must_use]
+    pub fn with_min_stall(min_stall: Duration) -> Watchdog {
+        Watchdog {
+            min_stall,
+            ..Watchdog::default()
+        }
+    }
+}
+
+/// Relative wall-time weights of the five pipeline phases, used to split
+/// an overall deadline. Indexed `[apgen, pattern, select, repair, audit]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseFractions(pub [f64; 5]);
+
+impl PhaseFractions {
+    /// Default split, measured from this repo's bench history on the
+    /// testgen suite (apgen dominates; see DESIGN.md §13).
+    pub const DEFAULT: PhaseFractions = PhaseFractions([0.55, 0.18, 0.12, 0.09, 0.06]);
+
+    /// Derives fractions from a finished run's per-phase executor busy
+    /// totals; falls back to [`DEFAULT`](PhaseFractions::DEFAULT) when the
+    /// run recorded no busy time.
+    #[must_use]
+    pub fn from_stats(stats: &PaoStats) -> PhaseFractions {
+        let busy = [
+            stats.apgen_exec.total_busy_us(),
+            stats.pattern_exec.total_busy_us(),
+            stats.cluster_exec.total_busy_us(),
+            stats.repair_exec.total_busy_us(),
+            stats.audit_exec.total_busy_us(),
+        ];
+        let total: u64 = busy.iter().sum();
+        if total == 0 {
+            return PhaseFractions::DEFAULT;
+        }
+        let mut f = [0f64; 5];
+        for (slot, &b) in f.iter_mut().zip(&busy) {
+            *slot = b as f64 / total as f64;
+        }
+        PhaseFractions(f).normalized()
+    }
+
+    /// Clamps every fraction to a small positive floor and rescales to
+    /// sum 1, so no phase is ever allocated a zero budget.
+    #[must_use]
+    pub fn normalized(self) -> PhaseFractions {
+        const FLOOR: f64 = 0.01;
+        let mut f = self
+            .0
+            .map(|x| if x.is_finite() && x > FLOOR { x } else { FLOOR });
+        let sum: f64 = f.iter().sum();
+        for x in &mut f {
+            *x /= sum;
+        }
+        PhaseFractions(f)
+    }
+
+    /// Serializes as one `FRACS` line for the checkpoint history file.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "FRACS {:.6} {:.6} {:.6} {:.6} {:.6}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4]
+        )
+    }
+
+    /// Parses a line produced by [`to_line`](PhaseFractions::to_line).
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<PhaseFractions> {
+        let rest = line.trim().strip_prefix("FRACS ")?;
+        let mut f = [0f64; 5];
+        let mut it = rest.split_whitespace();
+        for slot in &mut f {
+            *slot = it.next()?.parse().ok()?;
+        }
+        it.next()
+            .is_none()
+            .then_some(PhaseFractions(f).normalized())
+    }
+
+    fn index(phase: Phase) -> Option<usize> {
+        match phase {
+            Phase::Apgen => Some(0),
+            Phase::Pattern => Some(1),
+            Phase::Select => Some(2),
+            Phase::Repair => Some(3),
+            Phase::Audit => Some(4),
+            Phase::Cache | Phase::Input => None,
+        }
+    }
+}
+
+impl Default for PhaseFractions {
+    fn default() -> PhaseFractions {
+        PhaseFractions::DEFAULT
+    }
+}
+
+/// Splits an overall deadline across the five pipeline phases by their
+/// historical wall-time fractions, **rolling unused time forward**: each
+/// phase's token is minted when the phase starts, from the time actually
+/// remaining to the overall deadline, so a phase that finishes early
+/// donates its slack to every later phase (proportionally to their
+/// fractions).
+#[derive(Debug)]
+pub struct BudgetAllocator {
+    deadline: Option<Instant>,
+    fractions: PhaseFractions,
+}
+
+impl BudgetAllocator {
+    /// Anchors the overall deadline `budget` from now (`None` =
+    /// unlimited).
+    #[must_use]
+    pub fn new(budget: Option<Duration>, fractions: PhaseFractions) -> BudgetAllocator {
+        BudgetAllocator {
+            deadline: budget.and_then(|b| Instant::now().checked_add(b)),
+            fractions: fractions.normalized(),
+        }
+    }
+
+    /// The absolute overall deadline, if bounded.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// A token bounded only by the overall deadline (used for work that
+    /// spans phases, e.g. the incremental fast path).
+    #[must_use]
+    pub fn overall_token(&self) -> CancelToken {
+        match self.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        }
+    }
+
+    /// Mints the cancel token for `phase`, called when the phase starts:
+    /// its share is `remaining × fraction(phase) / Σ fraction(phase..)`,
+    /// capped at the overall deadline. Phases outside the five-phase
+    /// pipeline (cache/input) get the overall token.
+    #[must_use]
+    pub fn phase_token(&self, phase: Phase) -> CancelToken {
+        let Some(end) = self.deadline else {
+            return CancelToken::never();
+        };
+        let Some(i) = PhaseFractions::index(phase) else {
+            return CancelToken::with_deadline(end);
+        };
+        let now = Instant::now();
+        if now >= end {
+            // Already over budget: the token reads expired on first poll.
+            return CancelToken::with_deadline(end);
+        }
+        let remaining = end - now;
+        let tail: f64 = self.fractions.0[i..].iter().sum();
+        let share = if tail > 0.0 {
+            remaining.mul_f64((self.fractions.0[i] / tail).clamp(0.0, 1.0))
+        } else {
+            remaining
+        };
+        CancelToken::with_deadline((now + share).min(end))
+    }
+}
+
+/// The per-run budget handed to
+/// [`PinAccessOracle::analyze_with_budget`](crate::PinAccessOracle::analyze_with_budget):
+/// an optional overall deadline, the phase split, an optional stall
+/// watchdog, and an optional phase-granular checkpoint store for
+/// cut/crash resume.
+#[derive(Debug, Default)]
+pub struct RunBudget<'a> {
+    /// Overall wall-clock budget (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// How the budget splits across phases (see [`BudgetAllocator`]).
+    pub fractions: PhaseFractions,
+    /// Stall watchdog (`None` = no monitoring).
+    pub watchdog: Option<Watchdog>,
+    /// Phase-granular checkpoint store: completed apgen/pattern items are
+    /// persisted after each phase and restored on the next run, so a cut
+    /// or crashed run resumes without redoing finished work.
+    pub checkpoint: Option<&'a mut crate::persist::CheckpointStore>,
+}
+
+impl RunBudget<'static> {
+    /// No deadline, no watchdog, no checkpointing — plain
+    /// [`analyze`](crate::PinAccessOracle::analyze) behavior.
+    #[must_use]
+    pub fn unlimited() -> RunBudget<'static> {
+        RunBudget::default()
+    }
+
+    /// A budget with the given overall deadline and default fractions.
+    #[must_use]
+    pub fn with_deadline(deadline: Duration) -> RunBudget<'static> {
+        RunBudget {
+            deadline: Some(deadline),
+            ..RunBudget::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_never_is_inert() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.remaining(), None);
+        assert_eq!(t.cut(), usize::MAX);
+    }
+
+    #[test]
+    fn token_expires_at_deadline() {
+        let t = CancelToken::after(Duration::ZERO);
+        assert!(t.is_cancelled(), "zero budget expires immediately");
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        let far = CancelToken::after(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far
+            .remaining()
+            .is_some_and(|r| r > Duration::from_secs(3000)));
+    }
+
+    #[test]
+    fn first_cancel_reason_wins_and_clones_share_state() {
+        let t = CancelToken::never();
+        let c = t.clone();
+        c.cancel(CancelReason::Stall);
+        t.cancel(CancelReason::External);
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Stall));
+    }
+
+    #[test]
+    fn cancel_at_latches_minimum_cut() {
+        let t = CancelToken::never();
+        t.cancel_at(9, CancelReason::External);
+        t.cancel_at(4, CancelReason::External);
+        t.cancel_at(7, CancelReason::External);
+        assert_eq!(t.cut(), 4);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn stalls_accumulate_and_drain() {
+        let t = CancelToken::never();
+        t.record_stall(StallRecord {
+            label: "apgen.instance".into(),
+            worker: 1,
+            item: 5,
+            stalled: Duration::from_millis(300),
+            threshold: Duration::from_millis(100),
+        });
+        let drained = t.take_stalls();
+        assert_eq!(drained.len(), 1);
+        assert!(drained[0]
+            .to_string()
+            .contains("worker 1 stalled on item 5"));
+        assert!(t.take_stalls().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn fractions_normalize_and_roundtrip() {
+        let f = PhaseFractions([0.0, 0.0, 0.0, 0.0, 1.0]).normalized();
+        assert!((f.0.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f.0[0] > 0.0, "floor keeps every phase fundable");
+        let line = PhaseFractions::DEFAULT.to_line();
+        let back = PhaseFractions::parse_line(&line).expect("roundtrip");
+        for (a, b) in back.0.iter().zip(&PhaseFractions::DEFAULT.0) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert!(PhaseFractions::parse_line("FRACS 1 2 3").is_none());
+        assert!(PhaseFractions::parse_line("nope").is_none());
+    }
+
+    #[test]
+    fn fractions_from_stats_follow_busy_time() {
+        let mut stats = PaoStats::default();
+        assert_eq!(PhaseFractions::from_stats(&stats), PhaseFractions::DEFAULT);
+        stats.apgen_exec = crate::parallel::ExecReport {
+            threads: 1,
+            busy_us: vec![900],
+        };
+        stats.audit_exec = crate::parallel::ExecReport {
+            threads: 1,
+            busy_us: vec![100],
+        };
+        let f = PhaseFractions::from_stats(&stats);
+        assert!(f.0[0] > 0.8, "{f:?}");
+        assert!(f.0[4] < 0.2, "{f:?}");
+    }
+
+    #[test]
+    fn allocator_splits_and_rolls_forward() {
+        let alloc = BudgetAllocator::new(Some(Duration::from_secs(100)), PhaseFractions::DEFAULT);
+        let end = alloc.deadline().expect("bounded");
+        // First phase gets roughly its fraction of the whole budget.
+        let apgen = alloc.phase_token(Phase::Apgen).deadline().expect("bounded");
+        assert!(apgen < end, "apgen must not consume the whole budget");
+        // The last phase's token reaches the overall deadline: everything
+        // unspent by earlier phases rolled forward to it.
+        let audit = alloc.phase_token(Phase::Audit).deadline().expect("bounded");
+        let slack = end.saturating_duration_since(audit);
+        assert!(
+            slack < Duration::from_secs(1),
+            "audit gets all remaining time"
+        );
+        // Unlimited allocator mints inert tokens.
+        let unlimited = BudgetAllocator::new(None, PhaseFractions::DEFAULT);
+        assert!(unlimited.phase_token(Phase::Apgen).deadline().is_none());
+    }
+
+    #[test]
+    fn expired_allocator_tokens_cancel_immediately() {
+        let alloc = BudgetAllocator::new(Some(Duration::ZERO), PhaseFractions::DEFAULT);
+        let t = alloc.phase_token(Phase::Pattern);
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn deadline_report_summarizes() {
+        let mut r = DeadlineReport::default();
+        assert!(!r.is_partial());
+        r.budget = Some(Duration::from_millis(100));
+        r.skipped.push(SkipRecord {
+            phase: Phase::Apgen,
+            items: 12,
+            reason: CancelReason::Deadline,
+        });
+        assert!(r.is_partial());
+        assert_eq!(r.skipped_items(), 12);
+        let text = r.to_string();
+        assert!(text.contains("budget 0.100s"), "{text}");
+        assert!(text.contains("apgen 12 (deadline)"), "{text}");
+    }
+}

@@ -1,10 +1,11 @@
 //! Cluster-based access pattern selection (paper Section III-C), extended
 //! with multi-height cell support (the paper's future-work item (i)).
 
+use crate::budget::CancelToken;
 use crate::cost::DRC_COST;
 use crate::error::{FaultRecord, Phase};
 use crate::oracle::UniqueInstanceAccess;
-use crate::parallel::{parallel_map_quarantine, ExecReport};
+use crate::parallel::{parallel_map_budget, ExecReport, ItemFault, PhaseBudget};
 use crate::pattern::aps_compatible_scratch;
 use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
@@ -195,6 +196,35 @@ pub fn select_patterns_threaded(
     uniq: &[UniqueInstanceAccess],
     threads: usize,
 ) -> SelectOutcome {
+    let token = CancelToken::never();
+    let (selection, report, faults, _skipped) = select_patterns_budget(
+        tech,
+        engine,
+        design,
+        comp_uniq,
+        uniq,
+        threads,
+        PhaseBudget::new(&token, None),
+    );
+    (selection, report, faults)
+}
+
+/// Deadline-aware [`select_patterns_threaded`]: `budget` is polled between
+/// groups, and a group skipped by an expired budget simply keeps its
+/// members' default (best intra-cell) pattern — the same degraded-but-
+/// routable semantics as a quarantined group, minus the fault record. The
+/// fourth element of the return is the number of skipped groups.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn select_patterns_budget(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    design: &Design,
+    comp_uniq: &[Option<UniqueInstanceId>],
+    uniq: &[UniqueInstanceAccess],
+    threads: usize,
+    budget: PhaseBudget<'_>,
+) -> (Vec<Option<usize>>, ExecReport, Vec<FaultRecord>, usize) {
     // Default: best (first) pattern everywhere; the cluster DP refines.
     let defaults: Vec<Option<usize>> = comp_uniq
         .iter()
@@ -216,7 +246,7 @@ pub fn select_patterns_threaded(
 
     let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
     let (clusters, defaults) = (&clusters, &defaults);
-    let (locals, report) = parallel_map_quarantine(
+    let (locals, report) = parallel_map_budget(
         threads,
         "select.group",
         groups,
@@ -243,10 +273,12 @@ pub fn select_patterns_threaded(
             }
             local
         },
+        budget,
     );
 
     let mut selection = defaults.clone();
     let mut faults = Vec::new();
+    let mut skipped = 0usize;
     for (gi, local) in locals.into_iter().enumerate() {
         match local {
             Ok(local) => {
@@ -254,16 +286,20 @@ pub fn select_patterns_threaded(
                     selection[ci] = sel;
                 }
             }
+            // Budget ran out before the group was claimed: its members
+            // keep their defaults, and on a checkpoint resume the group
+            // selects normally.
+            Err(ItemFault::Skipped(_)) => skipped += 1,
             // Quarantined group: its members keep the default (best
             // intra-cell) pattern — degraded but routable.
-            Err(reason) => faults.push(FaultRecord {
+            Err(ItemFault::Panic(reason)) => faults.push(FaultRecord {
                 phase: Phase::Select,
                 item: format!("selection group {gi} ({} clusters)", group_sizes[gi]),
                 reason,
             }),
         }
     }
-    (selection, report, faults)
+    (selection, report, faults, skipped)
 }
 
 /// Partitions cluster indices into connected components over shared

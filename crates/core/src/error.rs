@@ -58,6 +58,21 @@ impl Phase {
             Phase::Input => "fault.quarantined.input",
         }
     }
+
+    /// The `pao-obs` counter bumped once per item skipped by the deadline
+    /// budget in this phase (`deadline.skipped.<phase>`).
+    #[must_use]
+    pub fn deadline_counter(self) -> &'static str {
+        match self {
+            Phase::Apgen => "deadline.skipped.apgen",
+            Phase::Pattern => "deadline.skipped.pattern",
+            Phase::Select => "deadline.skipped.select",
+            Phase::Repair => "deadline.skipped.repair",
+            Phase::Audit => "deadline.skipped.audit",
+            Phase::Cache => "deadline.skipped.cache",
+            Phase::Input => "deadline.skipped.input",
+        }
+    }
 }
 
 impl fmt::Display for Phase {

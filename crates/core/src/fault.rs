@@ -10,15 +10,26 @@
 //! at every thread count, keeping degraded runs bit-identical between
 //! `--threads 1` and `--threads N`.
 //!
-//! The hook is armed explicitly (tests, or the `pao analyze
-//! --inject-fault` chaos flag) and costs one relaxed atomic load per item
+//! A second hook, [`stall_fire`], injects a *stall* instead of a panic:
+//! the armed item sleeps for a configured duration, which is how the
+//! executor's watchdog (PR 5) is tested deterministically — the sleep is
+//! long enough to cross the heartbeat threshold, the watchdog trips the
+//! phase's [`CancelToken`](crate::budget::CancelToken), and the run
+//! degrades instead of hanging. Armed via [`arm_stall`] or the `pao
+//! analyze --inject-stall PHASE[:INDEX[:MS]]` chaos flag.
+//!
+//! The hooks are armed explicitly (tests, or the `pao analyze
+//! --inject-fault` chaos flag) and cost one relaxed atomic load per item
 //! when disarmed.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<(String, usize)>> = Mutex::new(None);
+static STALL_ARMED: AtomicBool = AtomicBool::new(false);
+static STALL_PLAN: Mutex<Option<(String, usize, Duration)>> = Mutex::new(None);
 
 /// Arms one injected panic at item `index` of the executor phase labeled
 /// `label` (e.g. `"apgen.instance"`). Replaces any previously armed plan;
@@ -28,10 +39,21 @@ pub fn arm(label: &str, index: usize) {
     ARMED.store(true, Ordering::SeqCst);
 }
 
-/// Disarms any pending injection.
+/// Arms one injected stall: item `index` of the phase labeled `label`
+/// sleeps for `millis` before running. Replaces any previously armed
+/// stall plan; the stall fires at most once.
+pub fn arm_stall(label: &str, index: usize, millis: u64) {
+    *STALL_PLAN.lock().unwrap_or_else(PoisonError::into_inner) =
+        Some((label.to_owned(), index, Duration::from_millis(millis)));
+    STALL_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms any pending injection (panic and stall plans alike).
 pub fn disarm() {
     ARMED.store(false, Ordering::SeqCst);
     *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    STALL_ARMED.store(false, Ordering::SeqCst);
+    *STALL_PLAN.lock().unwrap_or_else(PoisonError::into_inner) = None;
 }
 
 /// `true` while an injection is armed and has not fired yet.
@@ -54,6 +76,38 @@ pub fn fire(label: &str, index: usize) {
         ARMED.store(false, Ordering::SeqCst);
         drop(plan);
         panic!("injected fault at {label}[{index}]");
+    }
+}
+
+/// `true` while a stall injection is armed and has not fired yet.
+#[must_use]
+pub fn stall_armed() -> bool {
+    STALL_ARMED.load(Ordering::SeqCst)
+}
+
+/// Executor hook: sleeps once when `(label, index)` matches the armed
+/// stall plan. Inert (one relaxed atomic load) when nothing is armed.
+/// The sleep runs *inside* the item's unwind boundary on the claiming
+/// worker, so the watchdog observes a genuine missing heartbeat.
+#[inline]
+pub fn stall_fire(label: &str, index: usize) {
+    if !STALL_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let hit = {
+        let mut plan = STALL_PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+        match &*plan {
+            Some((l, i, d)) if l == label && *i == index => {
+                let d = *d;
+                *plan = None;
+                STALL_ARMED.store(false, Ordering::SeqCst);
+                Some(d)
+            }
+            _ => None,
+        }
+    };
+    if let Some(d) = hit {
+        std::thread::sleep(d);
     }
 }
 
@@ -87,6 +141,24 @@ mod tests {
         assert!(msg.contains("injected fault at phase.x[2]"), "{msg}");
         assert!(!armed(), "fault fires at most once");
         fire("phase.x", 2); // already fired: inert
+        disarm();
+    }
+
+    #[test]
+    fn stall_fires_once_on_matching_item_only() {
+        let _g = test_lock();
+        disarm();
+        stall_fire("phase.x", 0); // disarmed: inert
+        arm_stall("phase.x", 3, 1);
+        assert!(stall_armed());
+        stall_fire("phase.x", 1); // wrong index: inert, stays armed
+        stall_fire("phase.y", 3); // wrong label: inert, stays armed
+        assert!(stall_armed());
+        let start = std::time::Instant::now();
+        stall_fire("phase.x", 3);
+        assert!(start.elapsed() >= Duration::from_millis(1), "must sleep");
+        assert!(!stall_armed(), "stall fires at most once");
+        stall_fire("phase.x", 3); // already fired: inert
         disarm();
     }
 }

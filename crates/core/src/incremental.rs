@@ -12,7 +12,10 @@
 //! signature seen before and re-runs only the placement-dependent cluster
 //! selection and validation.
 
+use crate::budget::{BudgetAllocator, CancelReason, DeadlineReport, RunBudget, SkipRecord};
+use crate::error::Phase;
 use crate::oracle::{PaoResult, PinAccessOracle, UniqueInstanceAccess};
+use crate::parallel::PhaseBudget;
 use crate::unique::extract_unique_instances;
 use pao_design::Design;
 use pao_geom::{Dbu, Orient, Point};
@@ -79,7 +82,7 @@ impl AnalysisCache {
         (self.hits, self.misses)
     }
 
-    /// Serializes the cache to the line-oriented `PAO-CACHE v2` format
+    /// Serializes the cache to the line-oriented `PAO-CACHE v3` format
     /// (version + body checksum header), so short-lived tool invocations
     /// (a placement optimizer's inner loop) can reuse intra-cell analysis
     /// across process boundaries.
@@ -283,6 +286,24 @@ impl PinAccessOracle {
         design: &Design,
         cache: &mut AnalysisCache,
     ) -> PaoResult {
+        self.analyze_with_cache_budget(tech, design, cache, RunBudget::unlimited())
+    }
+
+    /// [`analyze_with_cache`](PinAccessOracle::analyze_with_cache) under a
+    /// [`RunBudget`]. The full-analysis path (new signatures present)
+    /// forwards the whole budget — per-phase allocation, watchdog and
+    /// checkpointing included. The cache fast path skips steps 1–2, so it
+    /// runs its select/repair/audit tail under the *overall* deadline
+    /// token instead of per-phase slices (there is no history for the
+    /// shrunken pipeline, and the tail is already the cheap part).
+    #[must_use]
+    pub fn analyze_with_cache_budget(
+        &self,
+        tech: &Tech,
+        design: &Design,
+        cache: &mut AnalysisCache,
+        budget: RunBudget<'_>,
+    ) -> PaoResult {
         // Which signatures exist in this placement, and which are cached?
         // Resolving every entry up front makes the all-cached check and the
         // fast path share one lookup — there is no later re-lookup that
@@ -301,7 +322,7 @@ impl PinAccessOracle {
             // At least one new signature: run the full analysis (simple and
             // correct; a finer-grained variant could analyze only the new
             // signatures) and refresh the cache from it.
-            let result = self.analyze(tech, design);
+            let result = self.analyze_with_budget(tech, design, budget);
             for u in &result.unique {
                 let sig = (u.info.master.clone(), u.info.orient, u.info.phases.clone());
                 cache.misses += 1;
@@ -318,6 +339,15 @@ impl PinAccessOracle {
         };
         // Fast path: rebuild per-unique data from the cache, translated
         // into each new representative's frame.
+        let RunBudget {
+            deadline,
+            fractions,
+            watchdog,
+            checkpoint: _,
+        } = budget;
+        let alloc = BudgetAllocator::new(deadline, fractions);
+        let token = alloc.overall_token();
+        let mut skips: Vec<SkipRecord> = Vec::new();
         let run_start = std::time::Instant::now();
         let metrics_before = pao_obs::metrics_enabled().then(pao_obs::snapshot);
         let fast_span = pao_obs::span("phase.cache_fast_path");
@@ -343,10 +373,23 @@ impl PinAccessOracle {
         let engine = pao_drc::DrcEngine::new(tech);
         let threads = self.config().threads;
         let mut faults: Vec<crate::error::FaultRecord> = Vec::new();
-        let (selection, cluster_exec, select_faults) = crate::cluster::select_patterns_threaded(
-            tech, &engine, design, &comp_uniq, &unique, threads,
-        );
+        let (selection, cluster_exec, select_faults, select_skipped) =
+            crate::cluster::select_patterns_budget(
+                tech,
+                &engine,
+                design,
+                &comp_uniq,
+                &unique,
+                threads,
+                PhaseBudget::new(&token, watchdog),
+            );
         faults.extend(select_faults);
+        crate::oracle::push_skip(
+            &mut skips,
+            Phase::Select,
+            select_skipped,
+            token.reason().unwrap_or(CancelReason::Deadline),
+        );
         let mut result = PaoResult {
             stats: crate::stats::PaoStats {
                 unique_instances: unique.len(),
@@ -363,24 +406,48 @@ impl PinAccessOracle {
             selection,
             overrides: HashMap::new(),
         };
+        let mut repair_skipped = 0usize;
         for _ in 0..self.config().repair_rounds {
-            let (repaired, exec, repair_faults) =
-                crate::oracle::repair_failed_pins_threaded(tech, design, &mut result, threads);
+            if token.is_cancelled() {
+                break;
+            }
+            let (repaired, exec, repair_faults, round_skipped) =
+                crate::oracle::repair_failed_pins_budget(
+                    tech,
+                    design,
+                    &mut result,
+                    threads,
+                    PhaseBudget::new(&token, watchdog),
+                );
             result.stats.repair_exec.merge(&exec);
             faults.extend(repair_faults);
+            repair_skipped += round_skipped;
             if repaired == 0 {
                 break;
             }
         }
+        crate::oracle::push_skip(
+            &mut skips,
+            Phase::Repair,
+            repair_skipped,
+            token.reason().unwrap_or(CancelReason::Deadline),
+        );
         result.stats.repaired_pins = result.overrides.len();
-        let ((total_pins, failed_pins), audit_exec, audit_faults) =
-            crate::oracle::count_failed_pins_with_faults(
+        let ((total_pins, failed_pins), audit_exec, audit_faults, audit_skipped) =
+            crate::oracle::count_failed_pins_with_budget(
                 tech,
                 design,
                 |comp, pin_idx| result.access_point(design, comp, pin_idx),
                 threads,
+                PhaseBudget::new(&token, watchdog),
             );
         faults.extend(audit_faults);
+        crate::oracle::push_skip(
+            &mut skips,
+            Phase::Audit,
+            audit_skipped,
+            token.reason().unwrap_or(CancelReason::Deadline),
+        );
         result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
@@ -388,6 +455,11 @@ impl PinAccessOracle {
             pao_obs::counter_add(fault.phase.quarantine_counter(), 1);
         }
         result.stats.quarantined = faults;
+        result.stats.deadline = DeadlineReport {
+            budget: deadline,
+            skipped: skips,
+            stalls: token.take_stalls(),
+        };
         result.stats.cluster_time = t2.elapsed();
         drop(fast_span);
         result.stats.run_time = run_start.elapsed();
@@ -472,7 +544,7 @@ mod persist_tests {
         let first = oracle.analyze_with_cache(&tech, &design, &mut cache);
 
         let text = cache.save_to_string();
-        assert!(text.starts_with("PAO-CACHE v2 fnv1a="));
+        assert!(text.starts_with("PAO-CACHE v3 fnv1a="));
         let mut loaded = AnalysisCache::load_from_string(&text).expect("loads");
         assert_eq!(loaded.len(), cache.len());
 

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod apgen;
+pub mod budget;
 pub mod cluster;
 pub mod coord;
 pub mod cost;
@@ -53,11 +54,16 @@ pub mod stats;
 pub mod unique;
 
 pub use apgen::{AccessPoint, ApGenConfig, ApScratch, PlanarDir};
+pub use budget::{
+    BudgetAllocator, CancelReason, CancelToken, DeadlineReport, PhaseFractions, RunBudget,
+    SkipRecord, StallRecord, Watchdog,
+};
 pub use cluster::Cluster;
 pub use coord::CoordType;
 pub use error::{FaultRecord, PaoError, Phase};
 pub use oracle::{default_threads, PaoConfig, PaoResult, PinAccessOracle, UniqueInstanceAccess};
-pub use parallel::ExecReport;
+pub use parallel::{ExecReport, ItemFault, PhaseBudget};
 pub use pattern::{AccessPattern, PatternConfig};
+pub use persist::CheckpointStore;
 pub use stats::PaoStats;
 pub use unique::{UniqueInstance, UniqueInstanceId};

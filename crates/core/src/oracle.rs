@@ -1,10 +1,15 @@
 //! The top-level pin access oracle.
 
 use crate::apgen::{generate_pin_access_points_scratch, AccessPoint, ApGenConfig, ApScratch};
-use crate::cluster::select_patterns_threaded;
+use crate::budget::{
+    BudgetAllocator, CancelReason, CancelToken, DeadlineReport, PhaseFractions, RunBudget,
+    SkipRecord, StallRecord,
+};
+use crate::cluster::select_patterns_budget;
 use crate::error::{FaultRecord, PaoError, Phase};
-use crate::parallel::{parallel_map_quarantine, ExecReport};
+use crate::parallel::{parallel_map_budget, ExecReport, ItemFault, PhaseBudget};
 use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
+use crate::persist::{aps_fingerprint, ApgenSnapshot, CheckpointStore, PatternSnapshot};
 use crate::stats::PaoStats;
 use crate::unique::{
     build_instance_context, extract_unique_instances, local_pin_owner, pin_owner, UniqueInstance,
@@ -178,6 +183,41 @@ impl PinAccessOracle {
     /// [`pao_obs::take_trace`].
     #[must_use]
     pub fn analyze(&self, tech: &Tech, design: &Design) -> PaoResult {
+        self.analyze_with_budget(tech, design, RunBudget::unlimited())
+    }
+
+    /// [`analyze`](Self::analyze) under a [`RunBudget`]: an optional
+    /// wall-clock deadline split across the five phases (see
+    /// [`BudgetAllocator`]), an optional stall watchdog, and an optional
+    /// phase-granular checkpoint store.
+    ///
+    /// This is the *anytime* entry point — it **always returns a usable
+    /// result**. When the budget expires mid-phase, in-flight items
+    /// finish, unstarted items degrade exactly like quarantined ones
+    /// (skipped apgen/pattern instance → empty access, select group →
+    /// default patterns, repair scan → not-dirty, audit pin → counted
+    /// failed), and the cuts are reported in
+    /// [`PaoStats::deadline`](crate::stats::PaoStats::deadline). With a
+    /// checkpoint store attached, completed apgen/pattern work is
+    /// persisted after each phase so a later `--resume` run completes the
+    /// analysis without redoing it.
+    #[must_use]
+    pub fn analyze_with_budget(
+        &self,
+        tech: &Tech,
+        design: &Design,
+        budget: RunBudget<'_>,
+    ) -> PaoResult {
+        let RunBudget {
+            deadline,
+            fractions,
+            watchdog,
+            checkpoint,
+        } = budget;
+        let mut ckpt = checkpoint;
+        let alloc = BudgetAllocator::new(deadline, fractions);
+        let mut skips: Vec<SkipRecord> = Vec::new();
+        let mut stalls: Vec<StallRecord> = Vec::new();
         let engine = DrcEngine::new(tech);
         let run_start = Instant::now();
         let metrics_before = pao_obs::metrics_enabled().then(pao_obs::snapshot);
@@ -193,16 +233,42 @@ impl PinAccessOracle {
             }
         }
         let apcfg = &self.config.apgen;
+        let apgen_token = alloc.phase_token(Phase::Apgen);
         type ApgenItem = (UniqueInstanceAccess, usize, usize, usize, usize);
         let (analyzed, apgen_exec) = {
             let infos = &infos;
-            parallel_map_quarantine(
+            let ck: Option<&CheckpointStore> = ckpt.as_deref();
+            parallel_map_budget(
                 self.config.threads,
                 "apgen.instance",
                 (0..infos.len()).collect::<Vec<_>>(),
                 || (),
                 move |(), idx| -> Result<ApgenItem, PaoError> {
                     let info = &infos[idx];
+                    // Checkpoint restore: reuse the persisted snapshot when
+                    // its signature (master/orient/phases + representative
+                    // location) still matches this run's instance.
+                    if let Some(snap) = ck.and_then(|c| c.apgen(idx)) {
+                        if snap.master == info.master
+                            && snap.orient == info.orient
+                            && snap.phases == info.phases
+                            && snap.rep_location == design.component(info.rep).location
+                        {
+                            pao_obs::counter_add("checkpoint.restored.apgen", 1);
+                            return Ok((
+                                UniqueInstanceAccess {
+                                    info: info.clone(),
+                                    pin_aps: snap.pin_aps.clone(),
+                                    pin_order: Vec::new(),
+                                    patterns: Vec::new(),
+                                },
+                                snap.total,
+                                snap.dirty,
+                                snap.without,
+                                snap.off_track,
+                            ));
+                        }
+                    }
                     let engine = DrcEngine::new(tech);
                     let Some(master) = tech.macro_by_name(&info.master) else {
                         return Err(PaoError::input(format!(
@@ -286,6 +352,7 @@ impl PinAccessOracle {
                         off_track,
                     ))
                 },
+                PhaseBudget::new(&apgen_token, watchdog),
             )
         };
         let mut unique: Vec<UniqueInstanceAccess> = Vec::with_capacity(analyzed.len());
@@ -294,14 +361,20 @@ impl PinAccessOracle {
         let mut dirty_aps = 0usize;
         let mut pins_without_aps = 0usize;
         let mut off_track_aps = 0usize;
+        let mut apgen_skip_reasons: Vec<CancelReason> = Vec::new();
         for (idx, outcome) in analyzed.into_iter().enumerate() {
             // Flatten quarantined panics and typed errors into one degraded
             // path: the instance keeps a placeholder (no APs, no patterns)
-            // and the run records why.
+            // and the run records why. Budget-skipped instances take the
+            // same placeholder but are tallied as skips, not faults.
             let flat = match outcome {
                 Ok(Ok(item)) => Ok(item),
-                Ok(Err(e)) => Err(e.to_string()),
-                Err(reason) => Err(reason),
+                Ok(Err(e)) => Err(Some(e.to_string())),
+                Err(ItemFault::Panic(reason)) => Err(Some(reason)),
+                Err(ItemFault::Skipped(r)) => {
+                    apgen_skip_reasons.push(r);
+                    Err(None)
+                }
             };
             match flat {
                 Ok((u, total, dirty, without, off_track)) => {
@@ -309,20 +382,38 @@ impl PinAccessOracle {
                     dirty_aps += dirty;
                     pins_without_aps += without;
                     off_track_aps += off_track;
+                    if ckpt.is_some() {
+                        let snap = ApgenSnapshot {
+                            master: u.info.master.clone(),
+                            orient: u.info.orient,
+                            phases: u.info.phases.clone(),
+                            rep_location: design.component(u.info.rep).location,
+                            pin_aps: u.pin_aps.clone(),
+                            total,
+                            dirty,
+                            without,
+                            off_track,
+                        };
+                        if let Some(store) = ckpt.as_mut() {
+                            store.put_apgen(idx, snap);
+                        }
+                    }
                     unique.push(u);
                 }
                 Err(reason) => {
                     let info = &infos[idx];
-                    faults.push(FaultRecord {
-                        phase: Phase::Apgen,
-                        item: format!(
-                            "unique instance {} (`{}` of master `{}`)",
-                            info.id.index(),
-                            design.component(info.rep).name,
-                            info.master
-                        ),
-                        reason,
-                    });
+                    if let Some(reason) = reason {
+                        faults.push(FaultRecord {
+                            phase: Phase::Apgen,
+                            item: format!(
+                                "unique instance {} (`{}` of master `{}`)",
+                                info.id.index(),
+                                design.component(info.rep).name,
+                                info.master
+                            ),
+                            reason,
+                        });
+                    }
                     let npins = tech.macro_by_name(&info.master).map_or(0, |m| m.pins.len());
                     unique.push(UniqueInstanceAccess {
                         info: info.clone(),
@@ -334,24 +425,55 @@ impl PinAccessOracle {
             }
         }
         drop(infos);
+        record_skips(&mut skips, Phase::Apgen, &apgen_skip_reasons);
+        stalls.extend(apgen_token.take_stalls());
+        if let Some(store) = ckpt.as_mut() {
+            if let Err(e) = store.save_apgen() {
+                faults.push(FaultRecord {
+                    phase: Phase::Cache,
+                    item: "apgen checkpoint".to_owned(),
+                    reason: e.to_string(),
+                });
+            }
+        }
         let apgen_time = t0.elapsed();
         drop(phase_span);
 
         // ---- Step 2: pattern generation per unique instance.
         let phase_span = pao_obs::span("phase.pattern");
         let t1 = Instant::now();
+        let pattern_token = alloc.phase_token(Phase::Pattern);
         let pattern_exec;
+        let mut pattern_skip_reasons: Vec<CancelReason> = Vec::new();
+        let mut pattern_completed: Vec<usize> = Vec::new();
         {
             let unique_ref = &unique;
-            let (results, exec) = parallel_map_quarantine(
+            let ck: Option<&CheckpointStore> = ckpt.as_deref();
+            let (results, exec) = parallel_map_budget(
                 self.config.threads,
                 "pattern.instance",
                 (0..unique_ref.len()).collect::<Vec<_>>(),
                 || (),
                 |(), i| {
+                    // Checkpoint restore: a pattern snapshot is only valid
+                    // for the exact access-point table it was computed from,
+                    // so the guard pins it to the fingerprint of this run's
+                    // (possibly just-restored) apgen output.
+                    if let Some(snap) = ck.and_then(|c| c.pattern(i)) {
+                        let u = &unique_ref[i];
+                        if snap.master == u.info.master
+                            && snap.orient == u.info.orient
+                            && snap.phases == u.info.phases
+                            && snap.aps_fnv == aps_fingerprint(&u.pin_aps)
+                        {
+                            pao_obs::counter_add("checkpoint.restored.pattern", 1);
+                            return (snap.pin_order.clone(), snap.patterns.clone());
+                        }
+                    }
                     let engine = DrcEngine::new(tech);
                     generate_patterns(tech, &engine, &unique_ref[i].pin_aps, &self.config.pattern)
                 },
+                PhaseBudget::new(&pattern_token, watchdog),
             );
             pattern_exec = exec;
             for (i, res) in results.into_iter().enumerate() {
@@ -359,10 +481,14 @@ impl PinAccessOracle {
                     Ok((order, patterns)) => {
                         unique[i].pin_order = order;
                         unique[i].patterns = patterns;
+                        pattern_completed.push(i);
                     }
+                    // Skipped by the budget: the instance keeps empty
+                    // order/patterns (no selected access), tallied below.
+                    Err(ItemFault::Skipped(r)) => pattern_skip_reasons.push(r),
                     // Quarantined: the instance keeps empty order/patterns,
                     // so its members simply have no selected access.
-                    Err(reason) => faults.push(FaultRecord {
+                    Err(ItemFault::Panic(reason)) => faults.push(FaultRecord {
                         phase: Phase::Pattern,
                         item: format!(
                             "unique instance {} (master `{}`)",
@@ -374,21 +500,55 @@ impl PinAccessOracle {
                 }
             }
         }
+        record_skips(&mut skips, Phase::Pattern, &pattern_skip_reasons);
+        stalls.extend(pattern_token.take_stalls());
+        if let Some(store) = ckpt.as_mut() {
+            for &i in &pattern_completed {
+                let u = &unique[i];
+                store.put_pattern(
+                    i,
+                    PatternSnapshot {
+                        master: u.info.master.clone(),
+                        orient: u.info.orient,
+                        phases: u.info.phases.clone(),
+                        aps_fnv: aps_fingerprint(&u.pin_aps),
+                        pin_order: u.pin_order.clone(),
+                        patterns: u.patterns.clone(),
+                    },
+                );
+            }
+            if let Err(e) = store.save_pattern() {
+                faults.push(FaultRecord {
+                    phase: Phase::Cache,
+                    item: "pattern checkpoint".to_owned(),
+                    reason: e.to_string(),
+                });
+            }
+        }
         let pattern_time = t1.elapsed();
         drop(phase_span);
 
         // ---- Step 3: cluster-based selection + final validation.
         let phase_span = pao_obs::span("phase.select");
         let t2 = Instant::now();
-        let (selection, cluster_exec, select_faults) = select_patterns_threaded(
+        let select_token = alloc.phase_token(Phase::Select);
+        let (selection, cluster_exec, select_faults, select_skipped) = select_patterns_budget(
             tech,
             &engine,
             design,
             &comp_uniq,
             &unique,
             self.config.threads,
+            PhaseBudget::new(&select_token, watchdog),
         );
         faults.extend(select_faults);
+        push_skip(
+            &mut skips,
+            Phase::Select,
+            select_skipped,
+            select_token.reason().unwrap_or(CancelReason::Deadline),
+        );
+        stalls.extend(select_token.take_stalls());
         let mut result = PaoResult {
             unique,
             comp_uniq,
@@ -414,26 +574,56 @@ impl PinAccessOracle {
         // deviate per pin to any alternate clean AP — the same freedom the
         // detailed router has when it consumes the access points.
         let phase_span = pao_obs::span("phase.repair");
+        let repair_token = alloc.phase_token(Phase::Repair);
+        let mut repair_skipped = 0usize;
         for _round in 0..self.config.repair_rounds {
+            // All repair rounds share one phase token: once it expires, no
+            // further round starts and the remaining scans are skipped.
+            if repair_token.is_cancelled() {
+                break;
+            }
             pao_obs::counter_add("repair.rounds", 1);
-            let (repaired, exec, repair_faults) =
-                repair_failed_pins_threaded(tech, design, &mut result, self.config.threads);
+            let (repaired, exec, repair_faults, round_skipped) = repair_failed_pins_budget(
+                tech,
+                design,
+                &mut result,
+                self.config.threads,
+                PhaseBudget::new(&repair_token, watchdog),
+            );
             result.stats.repair_exec.merge(&exec);
             faults.extend(repair_faults);
+            repair_skipped += round_skipped;
             if repaired == 0 {
                 break;
             }
         }
+        push_skip(
+            &mut skips,
+            Phase::Repair,
+            repair_skipped,
+            repair_token.reason().unwrap_or(CancelReason::Deadline),
+        );
+        stalls.extend(repair_token.take_stalls());
         result.stats.repaired_pins = result.overrides.len();
         drop(phase_span);
         let phase_span = pao_obs::span("phase.audit");
-        let ((total_pins, failed_pins), audit_exec, audit_faults) = count_failed_pins_with_faults(
-            tech,
-            design,
-            |comp, pin_idx| result.access_point(design, comp, pin_idx),
-            self.config.threads,
-        );
+        let audit_token = alloc.phase_token(Phase::Audit);
+        let ((total_pins, failed_pins), audit_exec, audit_faults, audit_skipped) =
+            count_failed_pins_with_budget(
+                tech,
+                design,
+                |comp, pin_idx| result.access_point(design, comp, pin_idx),
+                self.config.threads,
+                PhaseBudget::new(&audit_token, watchdog),
+            );
         faults.extend(audit_faults);
+        push_skip(
+            &mut skips,
+            Phase::Audit,
+            audit_skipped,
+            audit_token.reason().unwrap_or(CancelReason::Deadline),
+        );
+        stalls.extend(audit_token.take_stalls());
         result.stats.audit_exec = audit_exec;
         result.stats.total_pins = total_pins;
         result.stats.failed_pins = failed_pins;
@@ -442,12 +632,63 @@ impl PinAccessOracle {
             pao_obs::counter_add(fault.phase.quarantine_counter(), 1);
         }
         result.stats.quarantined = faults;
+        result.stats.deadline = DeadlineReport {
+            budget: deadline,
+            skipped: skips,
+            stalls,
+        };
         result.stats.cluster_time = t2.elapsed();
         result.stats.run_time = run_start.elapsed();
         if let Some(before) = metrics_before {
             result.stats.metrics = pao_obs::snapshot().delta_since(&before);
         }
+        // Record this run's observed phase-time split so the next budgeted
+        // run over this checkpoint directory allocates from history instead
+        // of the built-in default. Partial runs are biased (cut phases look
+        // cheap), so only complete runs update the history.
+        if let Some(store) = ckpt.as_mut() {
+            if !result.stats.deadline.is_partial() {
+                if let Err(e) = store.save_fractions(PhaseFractions::from_stats(&result.stats)) {
+                    result.stats.quarantined.push(FaultRecord {
+                        phase: Phase::Cache,
+                        item: "phase-history checkpoint".to_owned(),
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
         result
+    }
+}
+
+/// Tallies one phase's budget-skipped items into the run's skip records
+/// (grouped by cancel reason) and the `deadline.skipped.<phase>` counter.
+fn record_skips(skips: &mut Vec<SkipRecord>, phase: Phase, reasons: &[CancelReason]) {
+    for reason in [
+        CancelReason::Deadline,
+        CancelReason::Stall,
+        CancelReason::External,
+    ] {
+        let items = reasons.iter().filter(|&&r| r == reason).count();
+        push_skip(skips, phase, items, reason);
+    }
+}
+
+/// Appends one [`SkipRecord`] (and bumps the phase's skip counter) when
+/// `items > 0`; no-op otherwise.
+pub(crate) fn push_skip(
+    skips: &mut Vec<SkipRecord>,
+    phase: Phase,
+    items: usize,
+    reason: CancelReason,
+) {
+    if items > 0 {
+        pao_obs::counter_add(phase.deadline_counter(), items as u64);
+        skips.push(SkipRecord {
+            phase,
+            items,
+            reason,
+        });
     }
 }
 
@@ -464,13 +705,16 @@ impl PinAccessOracle {
 ///
 /// A scan item that panics is quarantined: its pin is treated as
 /// not-dirty (left untouched this round) and reported in the returned
-/// fault list instead of aborting the run.
-pub(crate) fn repair_failed_pins_threaded(
+/// fault list instead of aborting the run. A scan item skipped by an
+/// expired [`CancelToken`] is likewise treated as not-dirty, but counted
+/// in the returned skip tally instead of producing a fault record.
+pub(crate) fn repair_failed_pins_budget(
     tech: &Tech,
     design: &Design,
     result: &mut PaoResult,
     threads: usize,
-) -> (usize, ExecReport, Vec<FaultRecord>) {
+    budget: PhaseBudget<'_>,
+) -> (usize, ExecReport, Vec<FaultRecord>, usize) {
     let engine = DrcEngine::new(tech);
     let (ctx, connected) = build_global_context(tech, design, result);
     let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet, ws: &mut DrcScratch| -> bool {
@@ -481,7 +725,7 @@ pub(crate) fn repair_failed_pins_threaded(
     };
     let (flags, exec) = {
         let (result, ctx, is_dirty) = (&*result, &ctx, &is_dirty);
-        parallel_map_quarantine(
+        parallel_map_budget(
             threads,
             "repair.scan",
             connected.clone(),
@@ -494,16 +738,22 @@ pub(crate) fn repair_failed_pins_threaded(
                 ws.flush_obs();
                 dirty
             },
+            budget,
         )
     };
     let mut faults: Vec<FaultRecord> = Vec::new();
+    let mut skipped = 0usize;
     let dirty: Vec<(CompId, usize)> = connected
         .iter()
         .copied()
         .zip(flags)
         .filter_map(|((comp, pin_idx), d)| match d {
             Ok(d) => d.then_some((comp, pin_idx)),
-            Err(reason) => {
+            Err(ItemFault::Skipped(_)) => {
+                skipped += 1;
+                None
+            }
+            Err(ItemFault::Panic(reason)) => {
                 faults.push(FaultRecord {
                     phase: Phase::Repair,
                     item: pin_label(tech, design, comp, pin_idx),
@@ -515,7 +765,7 @@ pub(crate) fn repair_failed_pins_threaded(
         .collect();
     pao_obs::hist_record("repair.dirty_pins", dirty.len() as u64);
     if dirty.is_empty() {
-        return (0, exec, faults);
+        return (0, exec, faults, skipped);
     }
     // Rebuild the context without the dirty pins' vias (rip-up).
     let dirty_set: std::collections::HashSet<(CompId, usize)> = dirty.iter().copied().collect();
@@ -582,7 +832,7 @@ pub(crate) fn repair_failed_pins_threaded(
         }
     }
     ws.flush_obs();
-    (repaired, exec, faults)
+    (repaired, exec, faults, skipped)
 }
 
 /// `"pin <component>/<pin name>"` for fault reports; degrades to the pin
@@ -709,6 +959,29 @@ pub fn count_failed_pins_with_faults(
     accessor: impl Fn(CompId, usize) -> Option<AccessPoint> + Sync,
     threads: usize,
 ) -> ((usize, usize), ExecReport, Vec<FaultRecord>) {
+    let token = CancelToken::never();
+    let (counts, exec, faults, _skipped) = count_failed_pins_with_budget(
+        tech,
+        design,
+        accessor,
+        threads,
+        PhaseBudget::new(&token, None),
+    );
+    (counts, exec, faults)
+}
+
+/// [`count_failed_pins_with_faults`] under a phase budget: a pin skipped
+/// by an expired [`CancelToken`] conservatively counts as failed (it was
+/// never certified clean) and lands in the returned skip tally rather
+/// than the fault list.
+#[must_use]
+pub fn count_failed_pins_with_budget(
+    tech: &Tech,
+    design: &Design,
+    accessor: impl Fn(CompId, usize) -> Option<AccessPoint> + Sync,
+    threads: usize,
+    budget: PhaseBudget<'_>,
+) -> ((usize, usize), ExecReport, Vec<FaultRecord>, usize) {
     // Global context: all placed pin/obs shapes + all selected vias.
     let mut ctx = ShapeSet::new(tech.layers().len());
     for (ci, c) in design.components().iter().enumerate() {
@@ -752,7 +1025,7 @@ pub fn count_failed_pins_with_faults(
     let engine = DrcEngine::new(tech);
     let (oks, exec) = {
         let (ctx, engine, accessor) = (&ctx, &engine, &accessor);
-        parallel_map_quarantine(
+        parallel_map_budget(
             threads,
             "audit.pin",
             connected.clone(),
@@ -775,17 +1048,25 @@ pub fn count_failed_pins_with_faults(
                 ws.flush_obs();
                 ok
             },
+            budget,
         )
     };
     let mut faults: Vec<FaultRecord> = Vec::new();
     let mut failed = 0usize;
+    let mut skipped = 0usize;
     for (&(comp, pin_idx), ok) in connected.iter().zip(oks) {
         match ok {
             Ok(true) => {}
             Ok(false) => failed += 1,
+            // Skipped by the budget: never certified clean, so it
+            // conservatively counts as failed (no fault record).
+            Err(ItemFault::Skipped(_)) => {
+                failed += 1;
+                skipped += 1;
+            }
             // Quarantined probe: the pin could not be certified clean, so
             // it conservatively counts as failed.
-            Err(reason) => {
+            Err(ItemFault::Panic(reason)) => {
                 failed += 1;
                 faults.push(FaultRecord {
                     phase: Phase::Audit,
@@ -795,7 +1076,7 @@ pub fn count_failed_pins_with_faults(
             }
         }
     }
-    ((connected.len(), failed), exec, faults)
+    ((connected.len(), failed), exec, faults, skipped)
 }
 
 #[cfg(test)]

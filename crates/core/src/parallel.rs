@@ -25,10 +25,28 @@
 //! fault in one item can never cascade into an unrelated "done slot"
 //! panic on another thread.
 
+//! **Deadlines and the watchdog.** The budget-mode entry point
+//! ([`parallel_map_budget`]) threads a [`CancelToken`] through the claim
+//! loop: every worker polls it *before* claiming the next index, so an
+//! expired budget (or an explicit cancellation) finishes in-flight items
+//! and yields the unstarted ones as `Err(ItemFault::Skipped)`. Because
+//! indices are handed out strictly in order and claimed items always
+//! finish, the completed results always form a prefix of the input. A
+//! deterministic cancellation via [`CancelToken::cancel_at`]
+//! additionally discards any results that racing workers computed past
+//! the cut index, which keeps such cancellations bit-identical at every
+//! thread count. When a [`Watchdog`] is armed, a monitor thread samples
+//! per-worker heartbeats and trips the token (recording a
+//! [`StallRecord`] and bumping `watchdog.stalls`) when a worker sits in
+//! one item for longer than a multiple of the observed per-item time —
+//! a hung run becomes a degraded one.
+
+use crate::budget::{CancelReason, CancelToken, StallRecord, Watchdog};
 use std::any::Any;
+use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A caught worker-panic payload (kept intact so strict callers can
@@ -42,6 +60,49 @@ fn payload_reason(payload: &Payload) -> String {
         .map(|s| (*s).to_owned())
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "panic with non-string payload".to_owned())
+}
+
+/// Why one work item produced no result in budget mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemFault {
+    /// The item panicked (quarantined); the payload message.
+    Panic(String),
+    /// The item was never run: the phase's budget expired, the watchdog
+    /// tripped, or the token was cancelled before the item was claimed.
+    Skipped(CancelReason),
+}
+
+impl fmt::Display for ItemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemFault::Panic(reason) => f.write_str(reason),
+            ItemFault::Skipped(reason) => write!(f, "skipped ({reason})"),
+        }
+    }
+}
+
+/// Internal per-item outcome: completed, panicked, or never started.
+enum Dropped {
+    Panic(Payload),
+    Skipped(CancelReason),
+}
+
+/// The budget under which one phase runs: the cancel token polled
+/// between items plus the optional stall watchdog.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseBudget<'a> {
+    /// Cancellation/deadline token; polled before every item claim.
+    pub token: &'a CancelToken,
+    /// Stall watchdog configuration (`None` = no monitor thread).
+    pub watchdog: Option<Watchdog>,
+}
+
+impl<'a> PhaseBudget<'a> {
+    /// A budget over `token` with an optional watchdog.
+    #[must_use]
+    pub fn new(token: &'a CancelToken, watchdog: Option<Watchdog>) -> PhaseBudget<'a> {
+        PhaseBudget { token, watchdog }
+    }
 }
 
 /// What one parallel phase did: how many workers ran and how long each
@@ -152,14 +213,30 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
-    let (outcomes, report) = run_isolated(threads, label, items, init, f);
+    let token = CancelToken::never();
+    let (outcomes, report) = run_isolated(
+        threads,
+        label,
+        items,
+        init,
+        f,
+        PhaseBudget::new(&token, None),
+    );
     let mut panic: Option<Payload> = None;
     let out: Vec<R> = outcomes
         .into_iter()
         .filter_map(|o| match o {
             Ok(r) => Some(r),
-            Err(payload) => {
+            Err(Dropped::Panic(payload)) => {
                 panic = panic.take().or(Some(payload));
+                None
+            }
+            // Unreachable with a never-cancelled token; degrade to the
+            // strict panic path rather than silently dropping the slot.
+            Err(Dropped::Skipped(reason)) => {
+                panic = panic
+                    .take()
+                    .or_else(|| Some(Box::new(format!("executor: item skipped ({reason})"))));
                 None
             }
         })
@@ -211,25 +288,91 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, T) -> R + Sync,
 {
-    let (outcomes, report) = run_isolated(threads, label, items, init, f);
+    let token = CancelToken::never();
+    let (outcomes, report) = run_isolated(
+        threads,
+        label,
+        items,
+        init,
+        f,
+        PhaseBudget::new(&token, None),
+    );
     let out = outcomes
         .into_iter()
-        .map(|o| o.map_err(|payload| payload_reason(&payload)))
+        .map(|o| {
+            o.map_err(|d| match d {
+                Dropped::Panic(payload) => payload_reason(&payload),
+                Dropped::Skipped(reason) => format!("executor: item skipped ({reason})"),
+            })
+        })
         .collect();
     (out, report)
 }
 
+/// Deadline-aware fault-isolated map: like [`parallel_map_quarantine`],
+/// but additionally polls `budget.token` before every item claim and
+/// (optionally) runs a stall watchdog. An item that was never started
+/// because the token tripped yields `Err(ItemFault::Skipped(reason))`;
+/// a panicking item yields `Err(ItemFault::Panic(reason))`. In-flight
+/// items always finish, so the `Ok` results form a prefix of the input
+/// (plus, for non-deterministic cancellations, whatever racing workers
+/// had already claimed).
+pub fn parallel_map_budget<T, R, S, F, I>(
+    threads: usize,
+    label: &'static str,
+    items: Vec<T>,
+    init: I,
+    f: F,
+    budget: PhaseBudget<'_>,
+) -> (Vec<Result<R, ItemFault>>, ExecReport)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let (outcomes, report) = run_isolated(threads, label, items, init, f, budget);
+    let out = outcomes
+        .into_iter()
+        .map(|o| {
+            o.map_err(|d| match d {
+                Dropped::Panic(payload) => ItemFault::Panic(payload_reason(&payload)),
+                Dropped::Skipped(reason) => ItemFault::Skipped(reason),
+            })
+        })
+        .collect();
+    (out, report)
+}
+
+/// Applies the deterministic cut of [`CancelToken::cancel_at`]: results
+/// computed past the cut index (by workers racing the cancellation) are
+/// replaced with `Skipped`, so the surviving prefix is identical at
+/// every thread count.
+fn apply_cut<R>(out: &mut [Result<R, Dropped>], token: &CancelToken) {
+    let cut = token.cut();
+    if cut == usize::MAX {
+        return;
+    }
+    let reason = token.reason().unwrap_or(CancelReason::External);
+    for (i, slot) in out.iter_mut().enumerate() {
+        if i > cut && slot.is_ok() {
+            *slot = Err(Dropped::Skipped(reason));
+        }
+    }
+}
+
 /// The shared engine: self-scheduling order-preserving map with per-item
-/// `catch_unwind` isolation. Both the strict and the quarantine entry
+/// `catch_unwind` isolation and cooperative cancellation. All entry
 /// points run through here; they differ only in how `Err` slots are
-/// surfaced.
+/// surfaced (the strict/quarantine paths pass a never-cancelled token).
 fn run_isolated<T, R, S, F, I>(
     threads: usize,
     label: &'static str,
     items: Vec<T>,
     init: I,
     f: F,
-) -> (Vec<Result<R, Payload>>, ExecReport)
+    budget: PhaseBudget<'_>,
+) -> (Vec<Result<R, Dropped>>, ExecReport)
 where
     T: Send,
     R: Send,
@@ -237,26 +380,38 @@ where
     F: Fn(&mut S, T) -> R + Sync,
 {
     let n = items.len();
-    // One guarded item call: the armed-fault hook and the item body both
-    // run inside the unwind boundary, so an injected or organic panic is
-    // contained to this slot.
-    let run_one = |scratch: &mut S, i: usize, item: T| -> Result<R, Payload> {
+    // One guarded item call: the armed fault/stall hooks and the item
+    // body all run inside the unwind boundary, so an injected or organic
+    // panic is contained to this slot.
+    let run_one = |scratch: &mut S, i: usize, item: T| -> Result<R, Dropped> {
         std::panic::catch_unwind(AssertUnwindSafe(|| {
             crate::fault::fire(label, i);
+            crate::fault::stall_fire(label, i);
             f(scratch, item)
         }))
+        .map_err(Dropped::Panic)
     };
-    if threads <= 1 || n <= 1 {
+    // Inline mode: single-threaded, no monitor. A phase with a watchdog
+    // armed always takes the threaded engine (even for `threads <= 1` —
+    // the output is bit-identical by construction, and the monitor needs
+    // its own thread to observe a stalled worker).
+    if n == 0 || (budget.watchdog.is_none() && (threads <= 1 || n == 1)) {
         let start = Instant::now();
         let mut scratch = init();
-        let mut out: Vec<Result<R, Payload>> = Vec::with_capacity(n);
+        let mut out: Vec<Result<R, Dropped>> = Vec::with_capacity(n);
         for (i, item) in items.into_iter().enumerate() {
+            if budget.token.is_cancelled() {
+                let reason = budget.token.reason().unwrap_or(CancelReason::Deadline);
+                out.extend((i..n).map(|_| Err(Dropped::Skipped(reason))));
+                break;
+            }
             let res = run_one(&mut scratch, i, item);
             if res.is_err() {
                 scratch = init();
             }
             out.push(res);
         }
+        apply_cut(&mut out, budget.token);
         let elapsed = start.elapsed();
         if n > 0 {
             pao_obs::record_span_at(label, start, elapsed);
@@ -267,7 +422,7 @@ where
         };
         return (out, report);
     }
-    let threads = threads.min(n);
+    let threads = threads.min(n).max(1);
 
     // Items move into per-index slots the workers drain; results come back
     // through parallel slots. Mutex<Option<T>> per slot keeps this safe
@@ -275,12 +430,39 @@ where
     // contention is nil. No lock is held across the item call, and every
     // lock recovers from poisoning, so one fault cannot cascade.
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let done: Vec<Mutex<Option<Result<R, Payload>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let done: Vec<Mutex<Option<Result<R, Dropped>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+
+    // Watchdog instrumentation. Heartbeats are per-worker counters with
+    // claim/finish parity: an odd value means the worker is inside the
+    // item recorded in `cur_item`. Only touched when a watchdog is armed,
+    // so the unmonitored hot loop pays nothing.
+    let monitoring = budget.watchdog.is_some();
+    let beats: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let cur_item: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    let done_count = AtomicUsize::new(0);
+    let finished = Mutex::new(false);
+    let finished_cv = Condvar::new();
 
     let busy_us = {
         let (work, done, next, init, run_one) = (&work, &done, &next, &init, &run_one);
+        let (beats, cur_item, done_count) = (&beats, &cur_item, &done_count);
+        let (finished, finished_cv) = (&finished, &finished_cv);
         std::thread::scope(|scope| {
+            let monitor = budget.watchdog.map(|wd| {
+                scope.spawn(move || {
+                    monitor_heartbeats(
+                        label,
+                        wd,
+                        budget.token,
+                        beats,
+                        cur_item,
+                        done_count,
+                        finished,
+                        finished_cv,
+                    );
+                })
+            });
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
@@ -292,6 +474,13 @@ where
                         let mut scratch = init();
                         let mut busy = Duration::ZERO;
                         loop {
+                            // Cooperative cancellation: poll before claiming,
+                            // so in-flight items finish and unclaimed ones
+                            // stay unclaimed (the post-pass skips them).
+                            if budget.token.is_cancelled() {
+                                pao_obs::flush_thread();
+                                return duration_us(busy);
+                            }
                             // Claim the next unprocessed index; self-scheduling
                             // makes uneven item costs balance automatically.
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +491,10 @@ where
                                 pao_obs::flush_thread();
                                 return duration_us(busy);
                             }
+                            if monitoring {
+                                cur_item[w].store(i, Ordering::Relaxed);
+                                beats[w].fetch_add(1, Ordering::Release);
+                            }
                             let item = work[i]
                                 .lock()
                                 .unwrap_or_else(PoisonError::into_inner)
@@ -311,15 +504,19 @@ where
                                 Some(item) => run_one(&mut scratch, i, item),
                                 // Unreachable: fetch_add hands out each
                                 // index exactly once. Degrade, don't abort.
-                                None => {
-                                    Err(Box::new(format!("executor: work slot {i} claimed twice"))
-                                        as Payload)
-                                }
+                                None => Err(Dropped::Panic(Box::new(format!(
+                                    "executor: work slot {i} claimed twice"
+                                ))
+                                    as Payload)),
                             };
                             if out.is_err() {
                                 // The unwind may have left the scratch
                                 // arena mid-update; rebuild it.
                                 scratch = init();
+                            }
+                            if monitoring {
+                                beats[w].fetch_add(1, Ordering::Release);
+                                done_count.fetch_add(1, Ordering::Relaxed);
                             }
                             let elapsed = start.elapsed();
                             busy += elapsed;
@@ -339,22 +536,111 @@ where
                     Err(_) => busy_us.push(0),
                 }
             }
+            if let Some(m) = monitor {
+                *finished.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                finished_cv.notify_all();
+                let _ = m.join();
+            }
             busy_us
         })
     };
 
-    let out: Vec<Result<R, Payload>> = done
+    let cancel_reason = budget.token.reason();
+    let mut out: Vec<Result<R, Dropped>> = done
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
-                .unwrap_or_else(|| {
-                    Err(Box::new(format!("executor: result slot {i} never filled")) as Payload)
+                .unwrap_or_else(|| match cancel_reason {
+                    // Never claimed because the token tripped first.
+                    Some(reason) => Err(Dropped::Skipped(reason)),
+                    None => Err(Dropped::Panic(Box::new(format!(
+                        "executor: result slot {i} never filled"
+                    )) as Payload)),
                 })
         })
         .collect();
+    apply_cut(&mut out, budget.token);
     (out, ExecReport { threads, busy_us })
+}
+
+/// The watchdog monitor loop: samples per-worker heartbeats every
+/// `wd.poll` until the phase finishes, and trips `token` with
+/// [`CancelReason::Stall`] when a worker has been inside one item for
+/// longer than `max(wd.min_stall, wd.multiple × observed mean item
+/// time)`. The mean is estimated generously (elapsed × workers /
+/// completed items), which biases the watchdog away from false positives
+/// on legitimately slow phases. Crucially, "elapsed" is measured up to
+/// the *last heartbeat progress*, not the current instant: once every
+/// healthy worker has drained, the threshold freezes while the stalled
+/// worker's silence keeps growing — otherwise a short phase (few items
+/// per worker) could see its threshold outrun the stall forever.
+#[allow(clippy::too_many_arguments)]
+fn monitor_heartbeats(
+    label: &str,
+    wd: Watchdog,
+    token: &CancelToken,
+    beats: &[AtomicU64],
+    cur_item: &[AtomicUsize],
+    done_count: &AtomicUsize,
+    finished: &Mutex<bool>,
+    finished_cv: &Condvar,
+) {
+    let phase_start = Instant::now();
+    let mut seen: Vec<(u64, Instant)> = beats.iter().map(|_| (0u64, phase_start)).collect();
+    let mut last_progress = phase_start;
+    'monitor: loop {
+        {
+            let guard = finished.lock().unwrap_or_else(PoisonError::into_inner);
+            let (guard, _) = finished_cv
+                .wait_timeout(guard, wd.poll)
+                .unwrap_or_else(PoisonError::into_inner);
+            if *guard {
+                break 'monitor;
+            }
+        }
+        let now = Instant::now();
+        // Refresh per-worker progress stamps first so the mean below is
+        // based on when work was last actually moving.
+        for (w, beat) in beats.iter().enumerate() {
+            let b = beat.load(Ordering::Acquire);
+            if b != seen[w].0 {
+                seen[w] = (b, now);
+                last_progress = now;
+            }
+        }
+        let completed = done_count.load(Ordering::Relaxed);
+        let mean = if completed > 0 {
+            last_progress
+                .duration_since(phase_start)
+                .mul_f64(beats.len() as f64 / completed as f64)
+        } else {
+            Duration::ZERO
+        };
+        let threshold = wd.min_stall.max(mean.saturating_mul(wd.multiple));
+        for (w, &(b, since)) in seen.iter().enumerate() {
+            // Odd parity = the worker claimed an item it has not finished.
+            if b % 2 == 1 && now.duration_since(since) >= threshold {
+                let stalled = now.duration_since(since);
+                pao_obs::counter_add("watchdog.stalls", 1);
+                token.record_stall(StallRecord {
+                    label: label.to_owned(),
+                    worker: w,
+                    item: cur_item[w].load(Ordering::Relaxed),
+                    stalled,
+                    threshold,
+                });
+                token.cancel(CancelReason::Stall);
+                // One trip per phase: healthy workers drain cooperatively;
+                // the stalled item must eventually return on its own.
+                break 'monitor;
+            }
+        }
+    }
+    let total_beats: u64 = beats.iter().map(|b| b.load(Ordering::Acquire)).sum();
+    pao_obs::gauge_max("watchdog.heartbeats", total_beats);
+    pao_obs::flush_thread();
 }
 
 fn duration_us(d: Duration) -> u64 {
@@ -586,5 +872,224 @@ mod tests {
         });
         assert_eq!(a.threads, 4);
         assert_eq!(a.busy_us, vec![6, 8, 2, 3]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_everything_and_executor_stays_usable() {
+        for threads in [1, 4] {
+            let token = CancelToken::never();
+            token.cancel(CancelReason::External);
+            let (out, rep) = parallel_map_budget(
+                threads,
+                "test.precancel",
+                (0..16u32).collect::<Vec<_>>(),
+                || (),
+                |(), x| x,
+                PhaseBudget::new(&token, None),
+            );
+            assert_eq!(out.len(), 16, "{threads}");
+            assert!(
+                out.iter()
+                    .all(|o| *o == Err(ItemFault::Skipped(CancelReason::External))),
+                "{threads}: every item skipped"
+            );
+            assert_eq!(rep.busy_us.len(), rep.threads);
+        }
+        // The executor (and a fresh token) works normally right after.
+        let token = CancelToken::never();
+        let (out, _) = parallel_map_budget(
+            4,
+            "test.precancel.reuse",
+            (0..8u32).collect::<Vec<_>>(),
+            || (),
+            |(), x| x + 1,
+            PhaseBudget::new(&token, None),
+        );
+        assert!(out.iter().enumerate().all(|(i, o)| *o == Ok(i as u32 + 1)));
+    }
+
+    #[test]
+    fn cancel_at_is_bit_identical_across_thread_counts() {
+        const CUT: usize = 5;
+        let mut runs: Vec<Vec<Result<u32, ItemFault>>> = Vec::new();
+        for threads in [1usize, 4] {
+            let token = CancelToken::never();
+            let tok = &token;
+            let (out, _) = parallel_map_budget(
+                threads,
+                "test.cancel_at",
+                (0..32u32).collect::<Vec<_>>(),
+                || (),
+                move |(), x| {
+                    if x as usize == CUT {
+                        tok.cancel_at(CUT, CancelReason::External);
+                    }
+                    x * 3
+                },
+                PhaseBudget::new(tok, None),
+            );
+            // Completed prefix 0..=CUT in input order; everything after is
+            // skipped even if a racing worker computed it.
+            for (i, o) in out.iter().enumerate() {
+                if i <= CUT {
+                    assert_eq!(*o, Ok(i as u32 * 3), "{threads} item {i}");
+                } else {
+                    assert_eq!(
+                        *o,
+                        Err(ItemFault::Skipped(CancelReason::External)),
+                        "{threads} item {i}"
+                    );
+                }
+            }
+            runs.push(out);
+        }
+        assert_eq!(runs[0], runs[1], "bit-identical at threads 1 and 4");
+    }
+
+    /// Property: for *any* cancel index, the deterministic cut keeps the
+    /// completed prefix in input order, is bit-identical at threads
+    /// {1, 4}, and leaves the executor fully reusable afterwards.
+    #[test]
+    fn prop_cancel_cut_is_ordered_deterministic_and_reusable() {
+        pao_ptest::check("parallel.cancel_cut", 40, |rng| {
+            let n = rng.gen_range(1..=48u64) as usize;
+            // `cut >= n` exercises the no-cancel edge (nothing skipped).
+            let cut = rng.gen_range(0..=(n as u64 + 1)) as usize;
+            let mut runs: Vec<Vec<Result<usize, ItemFault>>> = Vec::new();
+            for threads in [1usize, 4] {
+                let token = CancelToken::never();
+                let tok = &token;
+                let (out, _) = parallel_map_budget(
+                    threads,
+                    "prop.cancel_cut",
+                    (0..n).collect::<Vec<_>>(),
+                    || (),
+                    move |(), x| {
+                        if x == cut {
+                            tok.cancel_at(cut, CancelReason::External);
+                        }
+                        x * 7 + 1
+                    },
+                    PhaseBudget::new(tok, None),
+                );
+                for (i, o) in out.iter().enumerate() {
+                    if i <= cut {
+                        assert_eq!(*o, Ok(i * 7 + 1), "threads {threads} item {i}");
+                    } else {
+                        assert_eq!(
+                            *o,
+                            Err(ItemFault::Skipped(CancelReason::External)),
+                            "threads {threads} item {i}"
+                        );
+                    }
+                }
+                runs.push(out);
+                // Reusable: a fresh run right after the cancelled one
+                // completes every item.
+                let clean = CancelToken::never();
+                let (again, _) = parallel_map_budget(
+                    threads,
+                    "prop.cancel_cut.again",
+                    (0..n).collect::<Vec<_>>(),
+                    || (),
+                    |(), x| x,
+                    PhaseBudget::new(&clean, None),
+                );
+                for (i, r) in again.iter().enumerate() {
+                    assert_eq!(*r, Ok(i), "reuse after cancel, threads {threads}");
+                }
+            }
+            assert_eq!(runs[0], runs[1], "bit-identical at threads 1 and 4");
+        });
+    }
+
+    #[test]
+    fn deadline_finishes_in_flight_items_and_skips_the_rest() {
+        let token = CancelToken::after(Duration::from_millis(10));
+        let (out, _) = parallel_map_budget(
+            2,
+            "test.deadline",
+            (0..64u32).collect::<Vec<_>>(),
+            || (),
+            |(), x| {
+                std::thread::sleep(Duration::from_millis(2));
+                x
+            },
+            PhaseBudget::new(&token, None),
+        );
+        assert_eq!(out.len(), 64);
+        let done = out.iter().filter(|o| o.is_ok()).count();
+        let skipped = out
+            .iter()
+            .filter(|o| matches!(o, Err(ItemFault::Skipped(CancelReason::Deadline))))
+            .count();
+        assert_eq!(done + skipped, 64, "no panics, only done or skipped");
+        assert!(done >= 1, "items claimed before expiry finish");
+        assert!(skipped >= 1, "a 10ms budget cannot cover 128ms of work");
+        // Completed results keep input order (prefix + racing claims).
+        for (i, o) in out.iter().enumerate() {
+            if let Ok(v) = o {
+                assert_eq!(*v as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_injected_stall() {
+        let _g = crate::fault::test_lock();
+        crate::fault::arm_stall("test.stall", 1, 400);
+        let token = CancelToken::never();
+        let wd = Watchdog {
+            multiple: 4,
+            min_stall: Duration::from_millis(50),
+            poll: Duration::from_millis(1),
+        };
+        let (out, _) = parallel_map_budget(
+            2,
+            "test.stall",
+            (0..32u32).collect::<Vec<_>>(),
+            || (),
+            |(), x| {
+                std::thread::sleep(Duration::from_millis(5));
+                x
+            },
+            PhaseBudget::new(&token, Some(wd)),
+        );
+        crate::fault::disarm();
+        assert!(token.is_cancelled(), "watchdog must trip the token");
+        assert_eq!(token.reason(), Some(CancelReason::Stall));
+        let stalls = token.take_stalls();
+        assert_eq!(stalls.len(), 1, "one stall recorded");
+        assert_eq!(stalls[0].item, 1, "the stalled item is identified");
+        assert_eq!(stalls[0].label, "test.stall");
+        // The stalled item finishes (cooperative model) and healthy items
+        // claimed before the trip finish too; the rest are skipped.
+        assert_eq!(out[1], Ok(1), "stalled item still returns its result");
+        assert!(
+            out.iter()
+                .any(|o| matches!(o, Err(ItemFault::Skipped(CancelReason::Stall)))),
+            "items after the trip are skipped"
+        );
+        assert!(
+            out.iter().all(|o| !matches!(o, Err(ItemFault::Panic(_)))),
+            "a stall is a degrade, never an abort"
+        );
+    }
+
+    #[test]
+    fn watchdog_runs_clean_phases_to_completion() {
+        // A healthy phase under watchdog: identical output, no stalls.
+        let token = CancelToken::never();
+        let (out, _) = parallel_map_budget(
+            1, // exercises the forced-threaded path for threads <= 1
+            "test.watchdog.clean",
+            (0..16u32).collect::<Vec<_>>(),
+            || (),
+            |(), x| x * 2,
+            PhaseBudget::new(&token, Some(Watchdog::default())),
+        );
+        assert!(out.iter().enumerate().all(|(i, o)| *o == Ok(i as u32 * 2)));
+        assert!(!token.is_cancelled());
+        assert!(token.take_stalls().is_empty());
     }
 }

@@ -1,16 +1,27 @@
-//! Persistence for the incremental-analysis cache.
+//! Persistence for the incremental-analysis cache and the phase-granular
+//! checkpoint store.
 //!
 //! Placement optimization runs in many short tool invocations; persisting
 //! the per-signature intra-cell analysis lets every invocation after the
 //! first skip steps 1–2 entirely. The format is a plain line-oriented
 //! text format (like LEF/DEF, greppable and diff-friendly), versioned by
 //! a header.
+//!
+//! [`CheckpointStore`] (format v3) extends the same machinery to
+//! *within-run* durability: completed apgen and pattern items are written
+//! after each phase (atomic tmp+rename, see [`write_atomic`]), so a
+//! deadline-cut, killed, or crashed run resumes via `--checkpoint DIR
+//! --resume` without redoing finished work.
 
 use crate::apgen::{AccessPoint, PlanarDir};
+use crate::budget::PhaseFractions;
 use crate::coord::CoordType;
 use crate::pattern::AccessPattern;
+use pao_geom::{Dbu, Orient, Point};
+use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Error produced while loading a persisted cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +44,7 @@ impl fmt::Display for LoadCacheError {
 
 impl std::error::Error for LoadCacheError {}
 
-const MAGIC: &str = "PAO-CACHE v2";
+const MAGIC: &str = "PAO-CACHE v3";
 
 fn coord_code(t: CoordType) -> u8 {
     t.cost() as u8
@@ -225,7 +236,7 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Prepends the versioned, checksummed header (`PAO-CACHE v2
+/// Prepends the versioned, checksummed header (`PAO-CACHE v3
 /// fnv1a=<16 hex>`) to a serialized cache body.
 pub(crate) fn seal(body: &str) -> String {
     format!("{MAGIC} fnv1a={:016x}\n{body}", fnv1a(body.as_bytes()))
@@ -255,6 +266,523 @@ pub(crate) fn open(text: &str) -> Result<&str, LoadCacheError> {
         )));
     }
     Ok(body)
+}
+
+/// Writes `text` to `path` atomically: the bytes go to a sibling `.tmp`
+/// file which is then renamed over the target, so a reader (or a crash
+/// mid-write) never observes a half-written file — the checkpoint either
+/// has the previous complete state or the new one.
+///
+/// # Errors
+///
+/// Any underlying filesystem error.
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// FNV-1a fingerprint of a per-pin access point table, via its canonical
+/// serialization. The pattern checkpoint stores this for each instance so
+/// a resumed run only reuses pattern results whose *inputs* (the apgen
+/// output) are byte-identical to what produced them.
+#[must_use]
+pub fn aps_fingerprint(pin_aps: &[Vec<AccessPoint>]) -> u64 {
+    let mut s = String::new();
+    for (pi, aps) in pin_aps.iter().enumerate() {
+        let _ = writeln!(s, "PIN {} {}", pi, aps.len());
+        for ap in aps {
+            write_ap(&mut s, ap);
+        }
+    }
+    fnv1a(s.as_bytes())
+}
+
+fn phases_str(phases: &[Dbu]) -> String {
+    if phases.is_empty() {
+        "-".to_owned()
+    } else {
+        phases
+            .iter()
+            .map(i64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn parse_phases(s: &str) -> Option<Vec<Dbu>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|t| t.parse().ok()).collect()
+}
+
+/// Checkpointed step-1 output for one unique instance: its signature
+/// (master/orient/phases + representative location, which anchors the AP
+/// frame) plus the per-pin access points and the instance's contribution
+/// to the run counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApgenSnapshot {
+    /// Cell master name.
+    pub master: String,
+    /// Placement orientation.
+    pub orient: Orient,
+    /// Track-phase signature.
+    pub phases: Vec<Dbu>,
+    /// The representative's placement when the snapshot was made (AP
+    /// positions are in that die frame).
+    pub rep_location: Point,
+    /// Access points per master pin.
+    pub pin_aps: Vec<Vec<AccessPoint>>,
+    /// This instance's `total_aps` contribution.
+    pub total: usize,
+    /// This instance's `dirty_aps` contribution.
+    pub dirty: usize,
+    /// This instance's `pins_without_aps` contribution.
+    pub without: usize,
+    /// This instance's `off_track_aps` contribution.
+    pub off_track: usize,
+}
+
+/// Checkpointed step-2 output for one unique instance. `aps_fnv` pins the
+/// snapshot to the exact apgen output it was computed from (see
+/// [`aps_fingerprint`]); a mismatch on resume — different design, config,
+/// or a partially redone apgen — makes the snapshot a miss, never a wrong
+/// answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSnapshot {
+    /// Cell master name.
+    pub master: String,
+    /// Placement orientation.
+    pub orient: Orient,
+    /// Track-phase signature.
+    pub phases: Vec<Dbu>,
+    /// Fingerprint of the `pin_aps` the patterns were derived from.
+    pub aps_fnv: u64,
+    /// The analyzed pin ordering.
+    pub pin_order: Vec<usize>,
+    /// Generated access patterns over `pin_order`.
+    pub patterns: Vec<AccessPattern>,
+}
+
+/// Phase-granular checkpoint store backing `--checkpoint DIR --resume`:
+/// completed apgen/pattern items are persisted (atomically) after each
+/// phase, keyed by unique-instance index, and restored on the next run
+/// when their signatures still match. The directory also carries the
+/// measured phase fractions of the last finished run (`history.ckpt`),
+/// which seed the next run's [`BudgetAllocator`](crate::budget::BudgetAllocator).
+///
+/// All files use the sealed v3 format; a corrupt or legacy file on resume
+/// degrades to an empty section (reported, never fatal).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    apgen: HashMap<usize, ApgenSnapshot>,
+    pattern: HashMap<usize, PatternSnapshot>,
+    fractions: Option<PhaseFractions>,
+}
+
+impl CheckpointStore {
+    /// Starts a fresh checkpoint in `dir` (created if missing). Stale
+    /// apgen/pattern checkpoints from earlier runs are removed — a
+    /// non-resume run must never silently reuse them — but the fraction
+    /// history survives (it seeds the budget allocator).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        for name in ["apgen.ckpt", "pattern.ckpt"] {
+            let p = dir.join(name);
+            if p.exists() {
+                std::fs::remove_file(&p)?;
+            }
+        }
+        let fractions = load_history(&dir.join("history.ckpt"));
+        Ok(CheckpointStore {
+            dir,
+            apgen: HashMap::new(),
+            pattern: HashMap::new(),
+            fractions,
+        })
+    }
+
+    /// Resumes from the checkpoints in `dir`. Missing files are empty
+    /// sections; corrupt or legacy-version files are *rejected* sections
+    /// — their parse errors come back alongside the (empty-there) store
+    /// so the caller can report them, and the run proceeds as if that
+    /// phase had no checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Only on filesystem errors creating the directory; data problems
+    /// are returned as [`LoadCacheError`]s, not failures.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+    ) -> std::io::Result<(CheckpointStore, Vec<LoadCacheError>)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut rejected = Vec::new();
+        let mut apgen = HashMap::new();
+        let mut pattern = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(dir.join("apgen.ckpt")) {
+            match parse_apgen_checkpoint(&text) {
+                Ok(map) => apgen = map,
+                Err(e) => rejected.push(e),
+            }
+        }
+        if let Ok(text) = std::fs::read_to_string(dir.join("pattern.ckpt")) {
+            match parse_pattern_checkpoint(&text) {
+                Ok(map) => pattern = map,
+                Err(e) => rejected.push(e),
+            }
+        }
+        let fractions = load_history(&dir.join("history.ckpt"));
+        Ok((
+            CheckpointStore {
+                dir,
+                apgen,
+                pattern,
+                fractions,
+            },
+            rejected,
+        ))
+    }
+
+    /// The checkpoint directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Restorable apgen snapshot for unique-instance index `idx`.
+    #[must_use]
+    pub fn apgen(&self, idx: usize) -> Option<&ApgenSnapshot> {
+        self.apgen.get(&idx)
+    }
+
+    /// Restorable pattern snapshot for unique-instance index `idx`.
+    #[must_use]
+    pub fn pattern(&self, idx: usize) -> Option<&PatternSnapshot> {
+        self.pattern.get(&idx)
+    }
+
+    /// Number of apgen snapshots currently held.
+    #[must_use]
+    pub fn apgen_len(&self) -> usize {
+        self.apgen.len()
+    }
+
+    /// Number of pattern snapshots currently held.
+    #[must_use]
+    pub fn pattern_len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Records (or replaces) the apgen snapshot for instance `idx`.
+    pub fn put_apgen(&mut self, idx: usize, snap: ApgenSnapshot) {
+        self.apgen.insert(idx, snap);
+    }
+
+    /// Records (or replaces) the pattern snapshot for instance `idx`.
+    pub fn put_pattern(&mut self, idx: usize, snap: PatternSnapshot) {
+        self.pattern.insert(idx, snap);
+    }
+
+    /// Persists the apgen section atomically (tmp+rename).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn save_apgen(&self) -> std::io::Result<()> {
+        let mut body = String::new();
+        let mut idxs: Vec<&usize> = self.apgen.keys().collect();
+        idxs.sort();
+        for &idx in idxs {
+            let s = &self.apgen[&idx];
+            let _ = writeln!(
+                body,
+                "INST {} master={} orient={} phases={} rep={},{} counts={},{},{},{}",
+                idx,
+                s.master,
+                s.orient,
+                phases_str(&s.phases),
+                s.rep_location.x,
+                s.rep_location.y,
+                s.total,
+                s.dirty,
+                s.without,
+                s.off_track,
+            );
+            for (pi, aps) in s.pin_aps.iter().enumerate() {
+                let _ = writeln!(body, "PIN {} {}", pi, aps.len());
+                for ap in aps {
+                    write_ap(&mut body, ap);
+                }
+            }
+            let _ = writeln!(body, "END");
+        }
+        write_atomic(&self.dir.join("apgen.ckpt"), &seal(&body))
+    }
+
+    /// Persists the pattern section atomically (tmp+rename).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn save_pattern(&self) -> std::io::Result<()> {
+        let mut body = String::new();
+        let mut idxs: Vec<&usize> = self.pattern.keys().collect();
+        idxs.sort();
+        for &idx in idxs {
+            let s = &self.pattern[&idx];
+            let _ = writeln!(
+                body,
+                "INST {} master={} orient={} phases={} aps={:016x}",
+                idx,
+                s.master,
+                s.orient,
+                phases_str(&s.phases),
+                s.aps_fnv,
+            );
+            let order: Vec<String> = s.pin_order.iter().map(usize::to_string).collect();
+            let _ = writeln!(
+                body,
+                "ORDER {}",
+                if order.is_empty() {
+                    "-".to_owned()
+                } else {
+                    order.join(",")
+                },
+            );
+            for p in &s.patterns {
+                write_pattern(&mut body, p);
+            }
+            let _ = writeln!(body, "END");
+        }
+        write_atomic(&self.dir.join("pattern.ckpt"), &seal(&body))
+    }
+
+    /// The phase fractions measured by the last finished run in this
+    /// directory, if any.
+    #[must_use]
+    pub fn fractions(&self) -> Option<PhaseFractions> {
+        self.fractions
+    }
+
+    /// Persists `fractions` as this directory's history (atomically) and
+    /// remembers them in the store.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn save_fractions(&mut self, fractions: PhaseFractions) -> std::io::Result<()> {
+        self.fractions = Some(fractions);
+        let body = format!("{}\n", fractions.to_line());
+        write_atomic(&self.dir.join("history.ckpt"), &seal(&body))
+    }
+}
+
+/// Loads the fraction history, degrading to `None` on any problem (a
+/// corrupt history only costs allocator accuracy, never correctness).
+fn load_history(path: &Path) -> Option<PhaseFractions> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let body = open(&text).ok()?;
+    body.lines().find_map(PhaseFractions::parse_line)
+}
+
+/// Parsed `INST` header: the instance index plus its `key=value` pairs.
+type InstHeader<'a> = (usize, Vec<(&'a str, &'a str)>);
+
+/// Splits `rest` of an `INST` line into `(idx, key=value map iterator)`.
+fn parse_inst_header(line: &str, lineno: usize) -> Result<InstHeader<'_>, LoadCacheError> {
+    let err = |m: &str| LoadCacheError {
+        message: m.to_owned(),
+        line: lineno,
+    };
+    let rest = line
+        .strip_prefix("INST ")
+        .ok_or_else(|| err("expected INST"))?;
+    let mut it = rest.split_whitespace();
+    let idx: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err("bad INST index"))?;
+    let kvs = it.filter_map(|tok| tok.split_once('=')).collect();
+    Ok((idx, kvs))
+}
+
+fn parse_apgen_checkpoint(text: &str) -> Result<HashMap<usize, ApgenSnapshot>, LoadCacheError> {
+    let body = open(text)?;
+    let err = |m: &str, n: usize| LoadCacheError {
+        message: m.to_owned(),
+        line: n + 2,
+    };
+    let mut out = HashMap::new();
+    let mut lines = body.lines().enumerate();
+    while let Some((n, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (idx, kvs) = parse_inst_header(line, n + 2)?;
+        let mut master = None;
+        let mut orient = None;
+        let mut phases = None;
+        let mut rep = None;
+        let mut counts = None;
+        for (k, v) in kvs {
+            match k {
+                "master" => master = Some(v.to_owned()),
+                "orient" => {
+                    orient = Some(v.parse::<Orient>().map_err(|e| err(&e.to_string(), n))?);
+                }
+                "phases" => phases = parse_phases(v),
+                "rep" => {
+                    let (x, y) = v.split_once(',').ok_or_else(|| err("bad rep", n))?;
+                    rep = Some(Point::new(
+                        x.parse().map_err(|_| err("bad rep x", n))?,
+                        y.parse().map_err(|_| err("bad rep y", n))?,
+                    ));
+                }
+                "counts" => {
+                    let cs: Vec<usize> = v
+                        .split(',')
+                        .map(|t| t.parse().ok())
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| err("bad counts", n))?;
+                    if cs.len() != 4 {
+                        return Err(err("counts needs 4 fields", n));
+                    }
+                    counts = Some((cs[0], cs[1], cs[2], cs[3]));
+                }
+                _ => {}
+            }
+        }
+        let master = master.ok_or_else(|| err("INST missing master", n))?;
+        let orient = orient.ok_or_else(|| err("INST missing orient", n))?;
+        let phases = phases.ok_or_else(|| err("INST missing phases", n))?;
+        let rep_location = rep.ok_or_else(|| err("INST missing rep", n))?;
+        let (total, dirty, without, off_track) =
+            counts.ok_or_else(|| err("INST missing counts", n))?;
+        let mut pin_aps: Vec<Vec<AccessPoint>> = Vec::new();
+        loop {
+            let (bn, bline) = lines.next().ok_or_else(|| err("unterminated INST", n))?;
+            let bline = bline.trim();
+            if bline == "END" {
+                break;
+            } else if let Some(rest) = bline.strip_prefix("PIN ") {
+                let mut it = rest.split_whitespace();
+                let pi: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad PIN index", bn))?;
+                let count: usize = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad PIN count", bn))?;
+                while pin_aps.len() <= pi {
+                    pin_aps.push(Vec::new());
+                }
+                for _ in 0..count {
+                    let (an, ap_line) = lines.next().ok_or_else(|| err("missing AP line", bn))?;
+                    pin_aps[pi].push(parse_ap(ap_line.trim(), an + 2)?);
+                }
+            } else {
+                return Err(err("unexpected line in INST", bn));
+            }
+        }
+        out.insert(
+            idx,
+            ApgenSnapshot {
+                master,
+                orient,
+                phases,
+                rep_location,
+                pin_aps,
+                total,
+                dirty,
+                without,
+                off_track,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn parse_pattern_checkpoint(text: &str) -> Result<HashMap<usize, PatternSnapshot>, LoadCacheError> {
+    let body = open(text)?;
+    let err = |m: &str, n: usize| LoadCacheError {
+        message: m.to_owned(),
+        line: n + 2,
+    };
+    let mut out = HashMap::new();
+    let mut lines = body.lines().enumerate();
+    while let Some((n, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (idx, kvs) = parse_inst_header(line, n + 2)?;
+        let mut master = None;
+        let mut orient = None;
+        let mut phases = None;
+        let mut aps_fnv = None;
+        for (k, v) in kvs {
+            match k {
+                "master" => master = Some(v.to_owned()),
+                "orient" => {
+                    orient = Some(v.parse::<Orient>().map_err(|e| err(&e.to_string(), n))?);
+                }
+                "phases" => phases = parse_phases(v),
+                "aps" => {
+                    aps_fnv = Some(u64::from_str_radix(v, 16).map_err(|_| err("bad aps hash", n))?);
+                }
+                _ => {}
+            }
+        }
+        let master = master.ok_or_else(|| err("INST missing master", n))?;
+        let orient = orient.ok_or_else(|| err("INST missing orient", n))?;
+        let phases = phases.ok_or_else(|| err("INST missing phases", n))?;
+        let aps_fnv = aps_fnv.ok_or_else(|| err("INST missing aps hash", n))?;
+        let mut pin_order = Vec::new();
+        let mut patterns = Vec::new();
+        loop {
+            let (bn, bline) = lines.next().ok_or_else(|| err("unterminated INST", n))?;
+            let bline = bline.trim();
+            if bline == "END" {
+                break;
+            } else if let Some(rest) = bline.strip_prefix("ORDER ") {
+                if rest != "-" {
+                    pin_order = rest
+                        .split(',')
+                        .map(str::parse)
+                        .collect::<Result<Vec<usize>, _>>()
+                        .map_err(|_| err("bad ORDER", bn))?;
+                }
+            } else if bline.starts_with("PATTERN") {
+                patterns.push(parse_pattern(bline, bn + 2)?);
+            } else {
+                return Err(err("unexpected line in INST", bn));
+            }
+        }
+        out.insert(
+            idx,
+            PatternSnapshot {
+                master,
+                orient,
+                phases,
+                aps_fnv,
+                pin_order,
+                patterns,
+            },
+        );
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -315,7 +843,7 @@ mod tests {
     #[test]
     fn seal_open_roundtrip() {
         let sealed = seal("BODY line 1\nBODY line 2\n");
-        assert!(sealed.starts_with("PAO-CACHE v2 fnv1a="));
+        assert!(sealed.starts_with("PAO-CACHE v3 fnv1a="));
         assert_eq!(open(&sealed).unwrap(), "BODY line 1\nBODY line 2\n");
     }
 
@@ -324,10 +852,11 @@ mod tests {
         // Wrong magic / legacy version: version mismatch, not a panic.
         assert!(open("garbage").is_err());
         assert!(open("PAO-CACHE v1\nENTRY ...\n").is_err());
+        assert!(open("PAO-CACHE v2 fnv1a=0000000000000000\n").is_err());
         assert!(open("").is_err());
         // Missing or malformed checksum.
-        assert!(open("PAO-CACHE v2\nbody\n").is_err());
-        assert!(open("PAO-CACHE v2 fnv1a=xyz\nbody\n").is_err());
+        assert!(open("PAO-CACHE v3\nbody\n").is_err());
+        assert!(open("PAO-CACHE v3 fnv1a=xyz\nbody\n").is_err());
         // Truncated body no longer matches the recorded checksum.
         let sealed = seal("line 1\nline 2\n");
         let truncated = &sealed[..sealed.len() - 3];
@@ -336,5 +865,120 @@ mod tests {
         // A flipped body byte is caught too.
         let flipped = sealed.replace("line 2", "line 3");
         assert!(open(&flipped).is_err());
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pao-persist-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_apgen_snapshot() -> ApgenSnapshot {
+        ApgenSnapshot {
+            master: "BUFX1".to_owned(),
+            orient: Orient::N,
+            phases: vec![0, 140],
+            rep_location: Point::new(1200, -400),
+            pin_aps: vec![
+                vec![sample_ap()],
+                Vec::new(),
+                vec![sample_ap(), sample_ap()],
+            ],
+            total: 3,
+            dirty: 0,
+            without: 1,
+            off_track: 2,
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let mut store = CheckpointStore::create(&dir).unwrap();
+        let apgen = sample_apgen_snapshot();
+        store.put_apgen(7, apgen.clone());
+        let pattern = PatternSnapshot {
+            master: "BUFX1".to_owned(),
+            orient: Orient::FS,
+            phases: Vec::new(),
+            aps_fnv: aps_fingerprint(&apgen.pin_aps),
+            pin_order: vec![2, 0],
+            patterns: vec![AccessPattern {
+                choice: vec![0, 1],
+                cost: 5,
+                validated: true,
+            }],
+        };
+        store.put_pattern(7, pattern.clone());
+        store.save_apgen().unwrap();
+        store.save_pattern().unwrap();
+        store
+            .save_fractions(PhaseFractions([0.5, 0.2, 0.1, 0.1, 0.1]))
+            .unwrap();
+
+        let (back, rejected) = CheckpointStore::resume(&dir).unwrap();
+        assert!(rejected.is_empty(), "{rejected:?}");
+        assert_eq!(back.apgen(7), Some(&apgen));
+        assert_eq!(back.pattern(7), Some(&pattern));
+        assert_eq!(back.apgen(0), None);
+        assert_eq!(back.apgen_len(), 1);
+        let f = back.fractions().expect("history restored");
+        assert!((f.0[0] - 0.5).abs() < 1e-3, "{f:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_clears_stale_checkpoints_but_keeps_history() {
+        let dir = tmpdir("stale");
+        let mut store = CheckpointStore::create(&dir).unwrap();
+        store.put_apgen(0, sample_apgen_snapshot());
+        store.save_apgen().unwrap();
+        store.save_fractions(PhaseFractions::DEFAULT).unwrap();
+        // A fresh (non-resume) run must not see the old snapshots…
+        let fresh = CheckpointStore::create(&dir).unwrap();
+        assert_eq!(fresh.apgen_len(), 0);
+        assert!(!dir.join("apgen.ckpt").exists());
+        // …but keeps the measured fractions for its allocator.
+        assert!(fresh.fractions().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_empty_with_report() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("apgen.ckpt"), "PAO-CACHE v2 fnv1a=0\nINST\n").unwrap();
+        std::fs::write(dir.join("pattern.ckpt"), seal("INST not-a-number\n")).unwrap();
+        std::fs::write(dir.join("history.ckpt"), "garbage").unwrap();
+        let (store, rejected) = CheckpointStore::resume(&dir).unwrap();
+        assert_eq!(rejected.len(), 2, "{rejected:?}");
+        assert_eq!(store.apgen_len(), 0);
+        assert_eq!(store.pattern_len(), 0);
+        assert!(store.fractions().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = tmpdir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.ckpt");
+        write_atomic(&path, "first version, quite long\n").unwrap();
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(!dir.join("x.ckpt.tmp").exists(), "tmp file renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aps_fingerprint_distinguishes_tables() {
+        let a = vec![vec![sample_ap()]];
+        let mut moved = sample_ap();
+        moved.pos.x += 10;
+        let b = vec![vec![moved]];
+        assert_eq!(aps_fingerprint(&a), aps_fingerprint(&a));
+        assert_ne!(aps_fingerprint(&a), aps_fingerprint(&b));
+        assert_ne!(aps_fingerprint(&a), aps_fingerprint(&[]));
     }
 }

@@ -1,6 +1,7 @@
 //! Analysis statistics — the raw numbers behind the paper's Tables II
 //! and III.
 
+use crate::budget::DeadlineReport;
 use crate::error::FaultRecord;
 use crate::parallel::ExecReport;
 use std::fmt;
@@ -61,6 +62,13 @@ pub struct PaoStats {
     /// healthy run; deterministic (input order) for a given fault set, so
     /// it participates in the thread-count identity contract.
     pub quarantined: Vec<FaultRecord>,
+    /// What the deadline budget did to this run: per-phase skip tallies
+    /// and any watchdog stall records. Empty/default for unbudgeted runs.
+    /// Deliberately **excluded** from [`Self::counters_eq`] — where the
+    /// wall clock cuts a phase is inherently timing-dependent (only
+    /// [`CancelToken::cancel_at`](crate::budget::CancelToken::cancel_at)
+    /// cuts are deterministic).
+    pub deadline: DeadlineReport,
 }
 
 impl PaoStats {
@@ -121,6 +129,12 @@ impl fmt::Display for PaoStats {
         writeln!(f, "quarantined      : {}", self.quarantined.len())?;
         for fault in &self.quarantined {
             writeln!(f, "  {fault}")?;
+        }
+        if self.deadline.budget.is_some() || self.deadline.is_partial() {
+            writeln!(f, "deadline         : {}", self.deadline)?;
+            for stall in &self.deadline.stalls {
+                writeln!(f, "  {stall}")?;
+            }
         }
         writeln!(
             f,

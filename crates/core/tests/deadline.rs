@@ -1,0 +1,193 @@
+//! End-to-end deadline/watchdog/checkpoint harness: the *anytime* contract.
+//!
+//! Asserts that the oracle under a [`RunBudget`]
+//!
+//! 1. never aborts — an exhausted budget still yields a usable partial
+//!    result with per-phase skip tallies,
+//! 2. resumes from a phase-granular checkpoint bit-identically to an
+//!    uninterrupted run (at 1 and 4 threads), and
+//! 3. detects an injected worker stall via the watchdog and converts it
+//!    into a degraded (never hung, never aborted) run.
+//!
+//! Everything lives in one `#[test]` because the stall-injection plan is
+//! process-global state — concurrent tests in the same binary would race
+//! on it.
+
+use pao_core::{
+    fault, CancelReason, CheckpointStore, PaoConfig, PaoResult, PinAccessOracle, RunBudget,
+    Watchdog,
+};
+use pao_design::CompId;
+use pao_tech::Tech;
+use pao_testgen::{generate, SuiteCase};
+use std::time::Duration;
+
+fn oracle(threads: usize) -> PinAccessOracle {
+    PinAccessOracle::with_config(PaoConfig {
+        threads,
+        ..PaoConfig::default()
+    })
+}
+
+/// Every connected pin's selected access position — the output the
+/// downstream router consumes, used here as the identity fingerprint.
+fn access_fingerprint(
+    tech: &Tech,
+    design: &pao_design::Design,
+    result: &PaoResult,
+) -> Vec<Option<pao_geom::Point>> {
+    let mut out = Vec::new();
+    for (ci, comp) in design.components().iter().enumerate() {
+        let Some(master) = comp.master_in(tech) else {
+            continue;
+        };
+        for pi in 0..master.pins.len() {
+            out.push(
+                result
+                    .access_point(design, CompId(ci as u32), pi)
+                    .map(|ap| ap.pos),
+            );
+        }
+    }
+    out
+}
+
+/// A scratch checkpoint directory under the OS temp dir, cleaned first.
+fn ckpt_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pao-deadline-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn deadline_watchdog_and_resume_contract() {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    fault::disarm();
+    let clean = oracle(1).analyze(&tech, &design);
+    assert!(clean.stats.quarantined.is_empty(), "clean run is healthy");
+    assert!(!clean.stats.deadline.is_partial(), "clean run is complete");
+    let clean_fp = access_fingerprint(&tech, &design, &clean);
+
+    // ---- 1. Zero budget: everything skippable is skipped, the run still
+    // returns a structurally usable result (partial, never aborted).
+    let zero =
+        oracle(2).analyze_with_budget(&tech, &design, RunBudget::with_deadline(Duration::ZERO));
+    assert!(zero.stats.deadline.is_partial(), "{}", zero.stats);
+    assert_eq!(zero.stats.deadline.budget, Some(Duration::ZERO));
+    assert!(zero.stats.deadline.skipped_items() > 0);
+    assert!(
+        zero.stats
+            .deadline
+            .skipped
+            .iter()
+            .all(|s| s.reason == CancelReason::Deadline),
+        "{}",
+        zero.stats.deadline
+    );
+    // Skips are not faults: the quarantine list stays clean.
+    assert!(zero.stats.quarantined.is_empty(), "{}", zero.stats);
+    // The partial result answers access queries without panicking
+    // (every pin simply has no access yet).
+    let _ = access_fingerprint(&tech, &design, &zero);
+    // Pins the audit never certified count as failed, not as missing.
+    assert_eq!(zero.stats.failed_pins, zero.stats.total_pins);
+
+    // ---- 2. Checkpoint + resume: a run cut mid-way persists its finished
+    // apgen/pattern work; resuming with a fresh budget completes the
+    // analysis bit-identically to the uninterrupted run.
+    for threads in [1usize, 4] {
+        let dir = ckpt_dir(&format!("resume-t{threads}"));
+        {
+            let mut store = CheckpointStore::create(&dir).expect("create checkpoint dir");
+            // A 2 ms budget cuts somewhere inside the pipeline; wherever
+            // the cut lands, completed work is checkpointed.
+            let budget = RunBudget {
+                checkpoint: Some(&mut store),
+                ..RunBudget::with_deadline(Duration::from_millis(2))
+            };
+            let _partial = oracle(threads).analyze_with_budget(&tech, &design, budget);
+        }
+        let (mut store, errors) = CheckpointStore::resume(&dir).expect("resume");
+        assert!(errors.is_empty(), "clean checkpoints reload: {errors:?}");
+        let budget = RunBudget {
+            checkpoint: Some(&mut store),
+            ..RunBudget::unlimited()
+        };
+        let resumed = oracle(threads).analyze_with_budget(&tech, &design, budget);
+        assert!(!resumed.stats.deadline.is_partial(), "{}", resumed.stats);
+        assert!(
+            resumed.stats.counters_eq(&clean.stats),
+            "resume x{threads} counters match uninterrupted run:\n{}\nvs\n{}",
+            resumed.stats,
+            clean.stats
+        );
+        assert_eq!(
+            access_fingerprint(&tech, &design, &resumed),
+            clean_fp,
+            "resume x{threads} is bit-identical to the uninterrupted run"
+        );
+        // The complete run left full checkpoints + phase history behind.
+        let (store2, errors2) = CheckpointStore::resume(&dir).expect("resume");
+        assert!(errors2.is_empty(), "{errors2:?}");
+        assert_eq!(store2.apgen_len(), resumed.stats.unique_instances);
+        assert_eq!(store2.pattern_len(), resumed.stats.unique_instances);
+        assert!(store2.fractions().is_some(), "history saved on completion");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- 3. A fully-checkpointed directory restores instead of
+    // recomputing (and still produces the identical result).
+    let dir = ckpt_dir("warm");
+    {
+        let mut store = CheckpointStore::create(&dir).expect("create checkpoint dir");
+        let budget = RunBudget {
+            checkpoint: Some(&mut store),
+            ..RunBudget::unlimited()
+        };
+        let _ = oracle(2).analyze_with_budget(&tech, &design, budget);
+    }
+    let (mut store, _) = CheckpointStore::resume(&dir).expect("resume");
+    assert!(store.apgen_len() > 0 && store.pattern_len() > 0);
+    let budget = RunBudget {
+        checkpoint: Some(&mut store),
+        ..RunBudget::unlimited()
+    };
+    let warm = oracle(2).analyze_with_budget(&tech, &design, budget);
+    assert_eq!(access_fingerprint(&tech, &design, &warm), clean_fp);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- 4. Watchdog: an injected mid-item stall is detected, recorded,
+    // and converted into a cancelled (degraded) run — never a hang.
+    fault::arm_stall("apgen.instance", 0, 400);
+    let budget = RunBudget {
+        watchdog: Some(Watchdog {
+            multiple: 2,
+            min_stall: Duration::from_millis(50),
+            poll: Duration::from_millis(1),
+        }),
+        ..RunBudget::unlimited()
+    };
+    let stalled = oracle(2).analyze_with_budget(&tech, &design, budget);
+    assert!(!fault::stall_armed(), "injected stall must have fired");
+    assert!(
+        !stalled.stats.deadline.stalls.is_empty(),
+        "watchdog records the stall: {}",
+        stalled.stats
+    );
+    let rec = &stalled.stats.deadline.stalls[0];
+    assert_eq!(rec.label, "apgen.instance");
+    assert_eq!(rec.item, 0);
+    assert!(
+        stalled
+            .stats
+            .deadline
+            .skipped
+            .iter()
+            .all(|s| s.reason == CancelReason::Stall),
+        "{}",
+        stalled.stats.deadline
+    );
+    // Degraded, not aborted: the result is still structurally usable.
+    let _ = access_fingerprint(&tech, &design, &stalled);
+    fault::disarm();
+}

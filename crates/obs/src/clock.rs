@@ -1,5 +1,11 @@
 //! Wall-clock formatting without external date dependencies: enough
 //! ISO-8601 to stamp benchmark artifacts comparably across runs.
+//!
+//! Wall-clock time is for *provenance stamps only* (e.g. the
+//! `timestamp` field of bench JSON). Every duration, deadline, span or
+//! heartbeat in the codebase is measured with monotonic
+//! [`std::time::Instant`] — a system clock step (NTP, suspend/resume)
+//! must never shrink a budget or fire the watchdog.
 
 use std::time::{SystemTime, UNIX_EPOCH};
 

@@ -51,6 +51,12 @@ else:
         pct = 100.0 * (new - old) / old if old else 0.0
         print(f"  {key:<10} {old:>9.6f}s -> {new:>9.6f}s  ({pct:+.1f}%)")
     print(f"  speedup    {prev['speedup']:.3f} -> {run['speedup']:.3f}")
+    # Deadline-mode run (infinite budget, every cancellation poll live):
+    # the overhead of the anytime machinery, expected well under 1%.
+    old_ov, new_ov = prev.get("deadline_overhead_pct"), run.get("deadline_overhead_pct")
+    if new_ov is not None:
+        shown = f"{old_ov:+.2f}% -> " if old_ov is not None else ""
+        print(f"  deadline-mode overhead {shown}{new_ov:+.2f}%")
 EOF
 else
   # No python3: keep the raw run so nothing is lost, skip the history.

@@ -39,6 +39,48 @@ else
     test -s "$trace"
 fi
 
+echo "== deadline / watchdog / resume e2e =="
+# The anytime contract (DESIGN.md §13), end to end on the release binary.
+# 1. A zero budget must yield a *partial* result: exit 6 without
+#    --deadline-ok, exit 0 with it — never a hang or an abort.
+target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+    --deadline-ms 0 > /dev/null && {
+    echo "deadline-partial run must exit 6"; exit 1; }
+rc=$?
+[[ "$rc" == 6 ]] || { echo "expected exit 6, got $rc"; exit 1; }
+target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+    --deadline-ms 0 --deadline-ok > /dev/null
+# 2. Checkpoint + resume reproduces an uninterrupted run bit-identically
+#    (stable stat lines; timings excluded) at 1 and 4 threads.
+ckpt="$(mktemp -d /tmp/pao_ckpt_XXXXXX)"
+rep="$(mktemp -d /tmp/pao_rep_XXXXXX)"
+trap 'rm -f "$trace"; rm -rf "$ckpt" "$rep"' EXIT
+counters() { grep -E '^(unique|total|dirty|pins|off-track|repaired|failed|quarantined)' "$1"; }
+for t in 1 4; do
+    target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+        --threads "$t" --report "$rep/clean-$t.txt" > /dev/null
+    rm -rf "$ckpt"
+    target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+        --threads "$t" --deadline-ms 3 --deadline-ok \
+        --checkpoint "$ckpt" > /dev/null
+    target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+        --threads "$t" --checkpoint "$ckpt" --resume \
+        --report "$rep/resumed-$t.txt" > /dev/null
+    diff <(counters "$rep/clean-$t.txt") <(counters "$rep/resumed-$t.txt") \
+        || { echo "resume x$t diverged from uninterrupted run"; exit 1; }
+done
+# 3. An injected mid-item stall is detected by the watchdog (exit 6,
+#    stall recorded) instead of hanging the run.
+out="$rep/stall.txt"
+target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+    --threads 2 --inject-stall apgen:0:600 --watchdog-ms 100 \
+    --metrics > "$out" && { echo "stall-cut run must exit 6"; exit 1; }
+rc=$?
+[[ "$rc" == 6 ]] || { echo "expected exit 6 after stall, got $rc"; exit 1; }
+grep -q "stalled on item 0" "$out" || { echo "stall not recorded"; exit 1; }
+grep -q "watchdog.stalls" "$out" || { echo "watchdog counter missing"; exit 1; }
+echo "deadline e2e: OK"
+
 echo "== bench history =="
 # The bench history appended by scripts/bench_steps.sh must stay valid
 # JSON (a top-level array of run objects, or the legacy single object).
