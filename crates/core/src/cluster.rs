@@ -396,8 +396,11 @@ fn solve_cluster(
             }
         }
     }
-    // Near-boundary AP buffers, reused across all DP edges.
-    let mut laps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
+    // Near-boundary AP buffers, reused across all DP edges. The left
+    // side is precomputed per neighbor pair: it depends only on `p`, so
+    // collecting it inside the `q` loop would redo the same walk O(P·Q)
+    // times instead of O(P).
+    let mut laps_by_p: Vec<Vec<(&crate::apgen::AccessPoint, Point)>> = Vec::new();
     let mut raps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
     for i in 1..members.len() {
         let ((lcomp, lu), (rcomp, ru)) = (members[i - 1], members[i]);
@@ -413,6 +416,14 @@ fn solve_cluster(
         let boundary = design.component(lcomp).location.x + lwidth;
         let (head, tail) = dp.split_at_mut(i);
         let prev = &head[i - 1];
+        while laps_by_p.len() < prev.len() {
+            laps_by_p.push(Vec::new());
+        }
+        for (p, &(pcost, _)) in prev.iter().enumerate() {
+            if pcost != i64::MAX {
+                near_boundary_aps_into(lu, p, loff, boundary, reach, &mut laps_by_p[p]);
+            }
+        }
         for (q, cell) in tail[0].iter_mut().enumerate() {
             if !allowed(rcomp, q) {
                 continue;
@@ -422,8 +433,7 @@ fn solve_cluster(
                 if pcost == i64::MAX {
                     continue;
                 }
-                near_boundary_aps_into(lu, p, loff, boundary, reach, &mut laps);
-                let clean = laps.iter().all(|(la, lo)| {
+                let clean = laps_by_p[p].iter().all(|(la, lo)| {
                     raps.iter().all(|(ra, ro)| {
                         probes.set(probes.get() + 1);
                         aps_compatible_scratch(tech, engine, la, *lo, ra, *ro, compat_ctx)
