@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 15] = [
+const VALUE_OPTS: [&str; 17] = [
     "--threads",
     "--k",
     "--report",
@@ -27,6 +27,8 @@ const VALUE_OPTS: [&str; 15] = [
     "--deadline-ms",
     "--checkpoint",
     "--watchdog-ms",
+    "--select-split",
+    "--dump-selection",
 ];
 
 impl Args {

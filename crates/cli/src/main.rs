@@ -5,7 +5,8 @@
 //!             [--report FILE] [--svg INSTANCE:FILE] [--cache FILE]
 //!             [--metrics] [--trace FILE] [--deadline-ms MS]
 //!             [--deadline-ok] [--checkpoint DIR] [--resume]
-//!             [--watchdog-ms MS]
+//!             [--watchdog-ms MS] [--no-select-memo] [--select-split N]
+//!             [--dump-selection FILE]
 //! pao route   <tech.lef> <design.def> [--naive] [--report FILE]
 //! pao drc     <tech.lef> <design.def>
 //! pao gen     <case> --lef FILE --def FILE      (case: ispd18s_test1..10,
@@ -233,6 +234,57 @@ fn parse_budget_flags(
     Ok((deadline, watchdog))
 }
 
+/// Applies the cluster-selection tuning flags. `--no-select-memo`
+/// disables the boundary-compat memo cache (A/B identity runs);
+/// `--select-split N` sets the minimum group size for the intra-group
+/// wavefront split (0 disables, 1 forces it). Shared by analyze/profile.
+fn parse_select_flags(args: &Args, select: &mut pao_core::SelectTuning) -> Result<(), CliError> {
+    for name in ["--select-split", "--dump-selection"] {
+        if args.value_missing(name) {
+            return Err(CliError::usage(format!("{name} requires a value")));
+        }
+    }
+    if args.flag("--no-select-memo") {
+        select.memo = false;
+    }
+    if let Some(v) = args.value("--select-split") {
+        select.split_min_clusters = v
+            .parse()
+            .map_err(|_| CliError::usage("--select-split expects a cluster count"))?;
+    }
+    Ok(())
+}
+
+/// Deterministic text dump of the cluster-selection outcome: one line
+/// per component (selected pattern index), the repair overrides in
+/// component order, and the failed-pin count. Byte-identical across
+/// thread counts, memo modes and split settings by the selection
+/// identity contract — `scripts/verify.sh` diffs two of these to
+/// enforce it end to end.
+fn selection_dump(design: &Design, result: &pao_core::PaoResult) -> String {
+    let mut out = String::new();
+    for (ci, comp) in design.components().iter().enumerate() {
+        match result.selection.get(ci).copied().flatten() {
+            Some(p) => out.push_str(&format!("comp {ci} {} pattern {p}\n", comp.name)),
+            None => out.push_str(&format!("comp {ci} {} pattern -\n", comp.name)),
+        }
+    }
+    let mut overrides: Vec<_> = result.overrides.iter().collect();
+    overrides.sort_by_key(|(k, _)| (k.0.index(), k.1));
+    for (k, ap) in overrides {
+        out.push_str(&format!(
+            "override {} {} layer {} at {},{}\n",
+            k.0.index(),
+            k.1,
+            ap.layer.index(),
+            ap.pos.x,
+            ap.pos.y
+        ));
+    }
+    out.push_str(&format!("failed {}\n", result.stats.failed_pins));
+    out
+}
+
 /// Opens the `--checkpoint DIR` store. With `--resume` the directory's
 /// phase checkpoints are reloaded (corrupt sections degrade to recompute,
 /// with a warning); without it stale checkpoints are cleared so a fresh
@@ -288,6 +340,7 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
         cfg.pattern.bca = false;
         cfg.pattern.max_patterns = 1;
     }
+    parse_select_flags(args, &mut cfg.select)?;
     if let Some(spec) = args.value("--inject-fault") {
         arm_injected_fault(spec)?;
     }
@@ -364,6 +417,11 @@ fn cmd_analyze(args: &Args) -> Result<(), CliError> {
         out.push_str(&failures);
     }
     emit(args.value("--report"), &out)?;
+    if let Some(path) = args.value("--dump-selection") {
+        std::fs::write(path, selection_dump(&design, &result))
+            .map_err(|e| CliError::input(format!("cannot write `{path}`: {e}")))?;
+        eprintln!("wrote {path}");
+    }
     if let Some(spec) = args.value("--svg") {
         let (inst, file) = spec
             .split_once(':')
@@ -610,6 +668,54 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             "deadline-mode run diverged from unbudgeted baseline".to_owned(),
         ));
     }
+    // Selection-identity evidence backing `identical_output`: the
+    // memoized fast path and the wavefront split must not change a
+    // single selection. Compare the full selection vector and the
+    // repair overrides — not just the aggregate counters — between
+    // thread counts and against a memo-off reference run.
+    if baseline.selection != parallel.selection || baseline.overrides != parallel.overrides {
+        return Err(CliError::Internal(
+            "parallel selection diverged from single-threaded baseline".to_owned(),
+        ));
+    }
+    eprintln!("benchmarking `{workload}`: memo-off reference ({threads} threads) …");
+    let memo_off = {
+        let mut cfg = PaoConfig {
+            threads,
+            ..PaoConfig::default()
+        };
+        cfg.select.memo = false;
+        PinAccessOracle::with_config(cfg).analyze(&tech, &design)
+    };
+    if memo_off.selection != parallel.selection
+        || memo_off.overrides != parallel.overrides
+        || !memo_off.stats.counters_eq(&parallel.stats)
+    {
+        return Err(CliError::Internal(
+            "memoized selection diverged from unmemoized reference".to_owned(),
+        ));
+    }
+    let tel = parallel.stats.select_telemetry;
+    let lookups = tel.cache_hits + tel.cache_misses;
+    let select_json = format!(
+        concat!(
+            "{{\"edges\": {}, \"probes\": {}, \"cache_hits\": {}, ",
+            "\"cache_misses\": {}, \"cache_hit_rate\": {:.4}, ",
+            "\"edges_pruned\": {}, \"pairs_far\": {}, \"subranges\": {}}}"
+        ),
+        tel.edges,
+        tel.probes,
+        tel.cache_hits,
+        tel.cache_misses,
+        if lookups > 0 {
+            tel.cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        tel.edges_pruned,
+        tel.pairs_far,
+        tel.subranges,
+    );
     let speedup =
         baseline.stats.total_time().as_secs_f64() / parallel.stats.total_time().as_secs_f64();
     let deadline_overhead_pct = (budgeted.stats.total_time().as_secs_f64()
@@ -622,6 +728,7 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             "  \"threads\": {},\n  \"git_rev\": \"{}\",\n  \"host_threads\": {},\n",
             "  \"timestamp\": \"{}\",\n  \"baseline\": {},\n  \"parallel\": {},\n",
             "  \"deadline_mode\": {},\n  \"deadline_overhead_pct\": {:.3},\n",
+            "  \"select\": {},\n",
             "  \"speedup\": {:.3},\n  \"identical_output\": true\n}}\n"
         ),
         workload,
@@ -635,6 +742,7 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
         stats_json(&parallel.stats),
         stats_json(&budgeted.stats),
         deadline_overhead_pct,
+        select_json,
         speedup,
     );
     let out = args.value("--out").unwrap_or("BENCH_pao.json");
@@ -658,10 +766,11 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
     if args.value("--trace").is_some() {
         pao_obs::enable_trace();
     }
-    let cfg = PaoConfig {
+    let mut cfg = PaoConfig {
         threads,
         ..PaoConfig::default()
     };
+    parse_select_flags(args, &mut cfg.select)?;
     let budget = RunBudget {
         deadline,
         watchdog,
@@ -806,6 +915,37 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
             m.gauge("drc.scratch.high_water"),
         ));
     }
+    // Cluster-selection fast path: how much work the memo cache, the
+    // DP pruning and the pair-distance early-out saved this run.
+    let tel = &stats.select_telemetry;
+    if tel.edges > 0 {
+        let lookups = tel.cache_hits + tel.cache_misses;
+        let total_edges = tel.edges + tel.edges_pruned;
+        out.push_str("\nselection fast path:\n");
+        if lookups > 0 {
+            out.push_str(&format!(
+                "  compat cache    : {:.1}% hit rate ({} hits / {lookups} lookups)\n",
+                100.0 * tel.cache_hits as f64 / lookups as f64,
+                tel.cache_hits,
+            ));
+        } else {
+            out.push_str("  compat cache    : disabled (--no-select-memo)\n");
+        }
+        out.push_str(&format!(
+            "  edges pruned    : {:.1}% ({} of {total_edges} DP edges)\n",
+            if total_edges > 0 {
+                100.0 * tel.edges_pruned as f64 / total_edges as f64
+            } else {
+                0.0
+            },
+            tel.edges_pruned,
+        ));
+        out.push_str(&format!(
+            "  via-pair probes : {} ({} pairs skipped as far)\n",
+            tel.probes, tel.pairs_far,
+        ));
+        out.push_str(&format!("  wavefront ranges: {}\n", tel.subranges));
+    }
     // Per-type-pair acceptance, derived from the apgen.tried.* /
     // apgen.accepted.* counter families (pair = pref_nonpref classes).
     let mut acceptance = String::new();
@@ -867,6 +1007,8 @@ USAGE:
               [--deadline-ms MS] [--deadline-ok] [--checkpoint DIR]
               [--resume] [--watchdog-ms MS]
               [--inject-stall PHASE[:INDEX[:MS]]]
+              [--no-select-memo] [--select-split N]
+              [--dump-selection FILE]
   pao route   <tech.lef> <design.def> [--naive] [--report FILE]
   pao drc     <tech.lef> <design.def>
   pao gen     <case|list> --lef FILE --def FILE
@@ -875,6 +1017,7 @@ USAGE:
   pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
               [--trace FILE] [--report FILE] [--deadline-ms MS]
               [--watchdog-ms MS] [--inject-stall PHASE[:INDEX[:MS]]]
+              [--no-select-memo] [--select-split N]
 
   analyze runs all compute phases on every available core by default;
   --threads 1 reproduces the paper's single-threaded measurement mode
@@ -894,6 +1037,18 @@ USAGE:
   (exit 0). --inject-fault PHASE[:INDEX] deterministically panics one
   work item (phases: apgen, pattern, select, repair, audit) to exercise
   that path.
+
+  Selection fast path: cluster selection memoizes boundary-compat
+  probes and prunes dominated DP edges; large groups additionally split
+  into component-disjoint wavefront levels when --threads > 1. All of
+  it is output-invariant: --no-select-memo (A/B the memo cache) and
+  --select-split N (minimum group size for the split; 0 disables,
+  1 forces) exist to prove that. --dump-selection FILE (analyze) writes
+  a deterministic per-component selection dump; dumps from any thread
+  count / memo / split combination are byte-identical. bench runs a
+  memo-off reference and fails with exit 4 if a single selection
+  differs; profile prints the cache hit rate, pruned-edge share and
+  probe counts under `selection fast path`.
 
   Deadlines: --deadline-ms MS makes the analysis *anytime* — the budget
   is split across phases (by this checkpoint directory's recorded phase

@@ -5,13 +5,15 @@ use crate::budget::CancelToken;
 use crate::cost::DRC_COST;
 use crate::error::{FaultRecord, Phase};
 use crate::oracle::UniqueInstanceAccess;
-use crate::parallel::{parallel_map_budget, ExecReport, ItemFault, PhaseBudget};
-use crate::pattern::aps_compatible_scratch;
+use crate::parallel::{
+    parallel_map_budget, parallel_map_scratch, ExecReport, ItemFault, PhaseBudget,
+};
+use crate::pattern::vias_compatible;
 use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
 use pao_drc::{DrcEngine, ShapeSet};
 use pao_geom::{Dbu, Point, Rect};
-use pao_tech::Tech;
+use pao_tech::{Tech, ViaId};
 use std::collections::HashMap;
 
 /// A maximal gap-free run of placed instances in one row, ordered left to
@@ -105,7 +107,10 @@ pub fn build_clusters(tech: &Tech, design: &Design) -> Vec<Cluster> {
 
 /// How far (in x) a via at one instance's access point can conflict with a
 /// neighbor's: the widest via extent plus the largest spacing requirement.
-fn conflict_reach(tech: &Tech) -> Dbu {
+/// Exposed (hidden) for the allocation regression test.
+#[doc(hidden)]
+#[must_use]
+pub fn conflict_reach(tech: &Tech) -> Dbu {
     let via_reach = tech
         .vias()
         .iter()
@@ -124,16 +129,45 @@ fn conflict_reach(tech: &Tech) -> Dbu {
     via_reach + spacing
 }
 
-/// The access points of pattern `p` of `u` (translated by `off`) lying
-/// within `reach` of the vertical line `x = boundary`, written into the
-/// reused buffer `out` (cleared first).
-fn near_boundary_aps_into<'u>(
-    u: &'u UniqueInstanceAccess,
+/// The widest extent of any via's shape from its drop point — how far a
+/// placed via's geometry can stick out from its origin on either axis.
+pub(crate) fn max_via_extent(tech: &Tech) -> Dbu {
+    tech.vias()
+        .iter()
+        .flat_map(|v| v.each_placed_shape(Point::new(0, 0)))
+        .map(|(_, r)| {
+            r.xlo()
+                .abs()
+                .max(r.xhi().abs())
+                .max(r.ylo().abs())
+                .max(r.yhi().abs())
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Upper bound on the per-axis origin distance at which two placed vias
+/// can still interact under any pairwise rule: both extents plus the
+/// engine's widest search halo. Pairs farther apart are clean without a
+/// probe. Exposed (hidden) for the allocation regression test.
+#[doc(hidden)]
+#[must_use]
+pub fn pair_reach(tech: &Tech, engine: &DrcEngine<'_>) -> Dbu {
+    2 * max_via_extent(tech) + engine.interaction_range()
+}
+
+/// The primary-via placements of pattern `p` of `u` (translated by
+/// `off`) lying within `reach` of the vertical line `x = boundary`,
+/// written into the reused buffer `out` (cleared first). Planar-only
+/// access points cannot via-conflict and are dropped here instead of
+/// being carried into the probe loop.
+fn near_boundary_vias_into(
+    u: &UniqueInstanceAccess,
     p: usize,
     off: Point,
     boundary: Dbu,
     reach: Dbu,
-    out: &mut Vec<(&'u crate::apgen::AccessPoint, Point)>,
+    out: &mut Vec<(ViaId, Point)>,
 ) {
     out.clear();
     let Some(pat) = u.patterns.get(p) else {
@@ -145,9 +179,126 @@ fn near_boundary_aps_into<'u>(
             .zip(&pat.choice)
             .filter_map(|(&pin, &api)| {
                 let ap = u.pin_aps[pin].get(api)?;
-                ((ap.pos.x + off.x - boundary).abs() <= reach).then_some((ap, off))
+                let via = ap.primary_via()?;
+                ((ap.pos.x + off.x - boundary).abs() <= reach).then_some((via, ap.pos + off))
             }),
     );
+}
+
+/// Tuning knobs for the cluster-selection fast path. Every combination
+/// produces bit-identical selections; the knobs only trade DRC probes
+/// for cache lookups and wall-clock for parallelism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectTuning {
+    /// Memoize boundary-edge verdicts (cache keyed on the pair of unique
+    /// instances, their patterns and the boundary-relative offset delta;
+    /// cleared per cluster so hit/miss counts are deterministic at every
+    /// thread count and split mode).
+    pub memo: bool,
+    /// Minimum clusters in a selection group before its DP fans out over
+    /// comp-disjoint wavefront levels (`0` disables the split).
+    pub split_min_clusters: usize,
+}
+
+impl Default for SelectTuning {
+    fn default() -> SelectTuning {
+        SelectTuning {
+            memo: true,
+            split_min_clusters: 16,
+        }
+    }
+}
+
+/// Deterministic instrumentation of one selection pass, aggregated from
+/// the per-group solves in group order (also published as `select.*`
+/// counters when metrics are on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectTelemetry {
+    /// Non-trivial DP edges whose verdict was requested (memo hits and
+    /// misses alike; identical with memoization on or off).
+    pub edges: u64,
+    /// Pairwise via DRC probes actually executed.
+    pub probes: u64,
+    /// Edge verdicts answered from the memo.
+    pub cache_hits: u64,
+    /// Edge verdicts computed and inserted into the memo.
+    pub cache_misses: u64,
+    /// DP transitions skipped by the running-best bound (`pcost + qcost
+    /// >= best` with edge cost >= 0 means no later candidate can win).
+    pub edges_pruned: u64,
+    /// Via pairs skipped by the `pair_reach` distance bound.
+    pub pairs_far: u64,
+    /// Clusters solved by the intra-group wavefront fan-out (0 when the
+    /// split never engaged; varies with thread count by design).
+    pub subranges: u64,
+}
+
+impl SelectTelemetry {
+    /// Accumulates another solve's counts into `self`.
+    pub fn absorb(&mut self, o: &SelectTelemetry) {
+        self.edges += o.edges;
+        self.probes += o.probes;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.edges_pruned += o.edges_pruned;
+        self.pairs_far += o.pairs_far;
+        self.subranges += o.subranges;
+    }
+}
+
+/// The result of one threaded/budgeted cluster-selection pass.
+#[derive(Debug)]
+pub struct SelectOutput {
+    /// Selected pattern per component (`None` when no pattern exists).
+    pub selection: Vec<Option<usize>>,
+    /// Executor report of the group fan-out.
+    pub exec: ExecReport,
+    /// Quarantined selection groups (members kept their defaults).
+    pub faults: Vec<FaultRecord>,
+    /// Groups skipped by an expired budget.
+    pub skipped: usize,
+    /// Aggregated fast-path instrumentation.
+    pub telemetry: SelectTelemetry,
+}
+
+/// Memo key of one boundary edge: both unique instances, both patterns,
+/// and the boundary-relative placement delta `roff - loff`. The left
+/// boundary filter bound (`boundary - loff.x`) equals `rep.x + width`
+/// (a constant per left instance) and the right bound equals that minus
+/// `delta.x`, so every geometric input of the edge verdict is a function
+/// of exactly this tuple — see DESIGN.md §14.
+type EdgeKey = (u32, u32, u32, u32, Dbu, Dbu);
+
+/// Per-worker reusable state for the selection DP. Every buffer is
+/// grow-only and cleared (capacity-retaining) per cluster or group, so
+/// steady-state selection performs no allocations.
+#[doc(hidden)]
+pub struct SelectScratch {
+    ctx: ShapeSet,
+    memo: HashMap<EdgeKey, bool>,
+    members: Vec<(CompId, u32)>,
+    laps_by_p: Vec<Vec<(ViaId, Point)>>,
+    raps: Vec<(ViaId, Point)>,
+    order: Vec<(i64, usize)>,
+    dp: Vec<Vec<(i64, usize)>>,
+    emit: Vec<(usize, Option<usize>)>,
+}
+
+impl SelectScratch {
+    /// Creates an empty scratch for a `num_layers`-layer technology.
+    #[must_use]
+    pub fn new(num_layers: usize) -> SelectScratch {
+        SelectScratch {
+            ctx: ShapeSet::new(num_layers),
+            memo: HashMap::new(),
+            members: Vec::new(),
+            laps_by_p: Vec::new(),
+            raps: Vec::new(),
+            order: Vec::new(),
+            dp: Vec::new(),
+            emit: Vec::new(),
+        }
+    }
 }
 
 /// **Cluster-based pattern selection** — the Algorithm 2 DP re-used with
@@ -167,11 +318,8 @@ pub fn select_patterns(
     comp_uniq: &[Option<UniqueInstanceId>],
     uniq: &[UniqueInstanceAccess],
 ) -> Vec<Option<usize>> {
-    select_patterns_threaded(tech, engine, design, comp_uniq, uniq, 1).0
+    select_patterns_threaded(tech, engine, design, comp_uniq, uniq, 1).selection
 }
-
-/// The result of the threaded cluster-selection phase.
-pub type SelectOutcome = (Vec<Option<usize>>, ExecReport, Vec<FaultRecord>);
 
 /// [`select_patterns`] with a self-scheduling worker pool.
 ///
@@ -180,7 +328,7 @@ pub type SelectOutcome = (Vec<Option<usize>>, ExecReport, Vec<FaultRecord>);
 /// honor the earlier cluster's assignment). Clusters are therefore grouped
 /// into connected components over shared members; groups are mutually
 /// independent and solved in parallel, while the clusters *within* a group
-/// run sequentially in their original order. Each group records its
+/// run in wavefront order (see [`solve_group`]). Each group records its
 /// assignments in a local overlay merged afterwards, so the output is
 /// bit-identical to the sequential pass for every thread count.
 ///
@@ -195,25 +343,24 @@ pub fn select_patterns_threaded(
     comp_uniq: &[Option<UniqueInstanceId>],
     uniq: &[UniqueInstanceAccess],
     threads: usize,
-) -> SelectOutcome {
+) -> SelectOutput {
     let token = CancelToken::never();
-    let (selection, report, faults, _skipped) = select_patterns_budget(
+    select_patterns_budget(
         tech,
         engine,
         design,
         comp_uniq,
         uniq,
         threads,
+        &SelectTuning::default(),
         PhaseBudget::new(&token, None),
-    );
-    (selection, report, faults)
+    )
 }
 
 /// Deadline-aware [`select_patterns_threaded`]: `budget` is polled between
 /// groups, and a group skipped by an expired budget simply keeps its
 /// members' default (best intra-cell) pattern — the same degraded-but-
-/// routable semantics as a quarantined group, minus the fault record. The
-/// fourth element of the return is the number of skipped groups.
+/// routable semantics as a quarantined group, minus the fault record.
 #[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn select_patterns_budget(
@@ -223,8 +370,9 @@ pub fn select_patterns_budget(
     comp_uniq: &[Option<UniqueInstanceId>],
     uniq: &[UniqueInstanceAccess],
     threads: usize,
+    tuning: &SelectTuning,
     budget: PhaseBudget<'_>,
-) -> (Vec<Option<usize>>, ExecReport, Vec<FaultRecord>, usize) {
+) -> SelectOutput {
     // Default: best (first) pattern everywhere; the cluster DP refines.
     let defaults: Vec<Option<usize>> = comp_uniq
         .iter()
@@ -234,6 +382,7 @@ pub fn select_patterns_budget(
         })
         .collect();
     let reach = conflict_reach(tech);
+    let far = pair_reach(tech, engine);
     let clusters = build_clusters(tech, design);
     let groups = group_clusters(&clusters, design.components().len());
     if pao_obs::metrics_enabled() {
@@ -250,28 +399,15 @@ pub fn select_patterns_budget(
         threads,
         "select.group",
         groups,
-        || (),
-        |(), group| {
+        || SelectScratch::new(tech.layers().len()),
+        |scratch, group| {
             // Overlay: component index -> final assignment; presence = pinned.
             let mut local: HashMap<usize, Option<usize>> = HashMap::new();
-            // Per-worker compat-probe context, reused across the group's
-            // clusters so the boundary probes stop allocating trees.
-            let mut compat_ctx = ShapeSet::new(tech.layers().len());
-            for &cl in &group {
-                solve_cluster(
-                    tech,
-                    engine,
-                    design,
-                    comp_uniq,
-                    uniq,
-                    reach,
-                    &clusters[cl],
-                    defaults,
-                    &mut compat_ctx,
-                    &mut local,
-                );
-            }
-            local
+            let tel = solve_group(
+                tech, engine, design, comp_uniq, uniq, reach, far, clusters, &group, defaults,
+                tuning, threads, &mut local, scratch,
+            );
+            (local, tel)
         },
         budget,
     );
@@ -279,9 +415,11 @@ pub fn select_patterns_budget(
     let mut selection = defaults.clone();
     let mut faults = Vec::new();
     let mut skipped = 0usize;
+    let mut telemetry = SelectTelemetry::default();
     for (gi, local) in locals.into_iter().enumerate() {
         match local {
-            Ok(local) => {
+            Ok((local, tel)) => {
+                telemetry.absorb(&tel);
                 for (ci, sel) in local {
                     selection[ci] = sel;
                 }
@@ -299,13 +437,30 @@ pub fn select_patterns_budget(
             }),
         }
     }
-    (selection, report, faults, skipped)
+    if pao_obs::metrics_enabled() {
+        pao_obs::counter_add("select.compat_probes", telemetry.probes);
+        pao_obs::counter_add("select.compat_edges", telemetry.edges);
+        pao_obs::counter_add("select.compat_cache.hits", telemetry.cache_hits);
+        pao_obs::counter_add("select.compat_cache.misses", telemetry.cache_misses);
+        pao_obs::counter_add("select.edges_pruned", telemetry.edges_pruned);
+        pao_obs::counter_add("select.pairs_far", telemetry.pairs_far);
+        pao_obs::counter_add("select.subranges", telemetry.subranges);
+    }
+    SelectOutput {
+        selection,
+        exec: report,
+        faults,
+        skipped,
+        telemetry,
+    }
 }
 
 /// Partitions cluster indices into connected components over shared
 /// members (multi-height cells), preserving the original cluster order
-/// within every group.
-fn group_clusters(clusters: &[Cluster], n_comps: usize) -> Vec<Vec<usize>> {
+/// within every group. Exposed (hidden) for the allocation regression
+/// test and the criterion bench.
+#[doc(hidden)]
+pub fn group_clusters(clusters: &[Cluster], n_comps: usize) -> Vec<Vec<usize>> {
     let mut parent: Vec<usize> = (0..clusters.len()).collect();
     fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
@@ -337,9 +492,170 @@ fn group_clusters(clusters: &[Cluster], n_comps: usize) -> Vec<Vec<usize>> {
     groups.into_iter().map(|(_, g)| g).collect()
 }
 
-/// Runs the Algorithm 2 DP on one cluster against the group-local overlay
-/// (`local`): components present in `local` are pinned to that value,
-/// everything else defaults to `defaults`.
+/// Solves one selection group: clusters in their original order, each
+/// DP reading earlier assignments from `local` and merging its results
+/// back. Large groups fan out over comp-disjoint wavefront levels (see
+/// [`solve_group_wavefront`]); the fan-out changes wall-clock only, never
+/// the assignments. Exposed (hidden) for the allocation regression test
+/// and the criterion bench: with a warm `local` and `scratch`, the
+/// sequential path performs zero allocations.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn solve_group(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    design: &Design,
+    comp_uniq: &[Option<UniqueInstanceId>],
+    uniq: &[UniqueInstanceAccess],
+    reach: Dbu,
+    far: Dbu,
+    clusters: &[Cluster],
+    group: &[usize],
+    defaults: &[Option<usize>],
+    tuning: &SelectTuning,
+    threads: usize,
+    local: &mut HashMap<usize, Option<usize>>,
+    scratch: &mut SelectScratch,
+) -> SelectTelemetry {
+    let mut tel = SelectTelemetry::default();
+    if threads > 1 && tuning.split_min_clusters > 0 && group.len() >= tuning.split_min_clusters {
+        solve_group_wavefront(
+            tech, engine, design, comp_uniq, uniq, reach, far, clusters, group, defaults, tuning,
+            threads, local, scratch, &mut tel,
+        );
+    } else {
+        for &cl in group {
+            solve_cluster(
+                tech,
+                engine,
+                design,
+                comp_uniq,
+                uniq,
+                reach,
+                far,
+                &clusters[cl],
+                defaults,
+                tuning.memo,
+                local,
+                scratch,
+                &mut tel,
+            );
+            for &(ci, sel) in &scratch.emit {
+                local.entry(ci).or_insert(sel);
+            }
+        }
+    }
+    tel
+}
+
+/// Intra-group parallelism for big groups: assigns every cluster to the
+/// earliest wavefront level after all earlier clusters it shares a
+/// component with. Clusters on one level are pairwise comp-disjoint, so
+/// they read an identical pinned overlay and write disjoint components —
+/// solving a level in parallel and merging the emitted assignments in
+/// cluster order is bit-identical to the sequential left-to-right pass.
+/// In row-based placements multi-height cells chain only locally, so the
+/// bulk of a group lands on level 0 and the critical path collapses.
+#[allow(clippy::too_many_arguments)]
+fn solve_group_wavefront(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    design: &Design,
+    comp_uniq: &[Option<UniqueInstanceId>],
+    uniq: &[UniqueInstanceAccess],
+    reach: Dbu,
+    far: Dbu,
+    clusters: &[Cluster],
+    group: &[usize],
+    defaults: &[Option<usize>],
+    tuning: &SelectTuning,
+    threads: usize,
+    local: &mut HashMap<usize, Option<usize>>,
+    scratch: &mut SelectScratch,
+    tel: &mut SelectTelemetry,
+) {
+    let mut comp_level: HashMap<usize, usize> = HashMap::new();
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for &cl in group {
+        let lvl = clusters[cl]
+            .comps
+            .iter()
+            .filter_map(|c| comp_level.get(&c.index()).copied())
+            .max()
+            .unwrap_or(0);
+        if levels.len() <= lvl {
+            levels.resize_with(lvl + 1, Vec::new);
+        }
+        levels[lvl].push(cl);
+        for c in &clusters[cl].comps {
+            comp_level.insert(c.index(), lvl + 1);
+        }
+    }
+    for level in levels {
+        if level.len() == 1 {
+            solve_cluster(
+                tech,
+                engine,
+                design,
+                comp_uniq,
+                uniq,
+                reach,
+                far,
+                &clusters[level[0]],
+                defaults,
+                tuning.memo,
+                local,
+                scratch,
+                tel,
+            );
+            for &(ci, sel) in &scratch.emit {
+                local.entry(ci).or_insert(sel);
+            }
+            continue;
+        }
+        tel.subranges += level.len() as u64;
+        let memo_on = tuning.memo;
+        let pinned: &HashMap<usize, Option<usize>> = local;
+        let (results, _nested) = parallel_map_scratch(
+            threads.min(level.len()),
+            "select.subrange",
+            level,
+            || SelectScratch::new(tech.layers().len()),
+            |s, cl| {
+                let mut t = SelectTelemetry::default();
+                solve_cluster(
+                    tech,
+                    engine,
+                    design,
+                    comp_uniq,
+                    uniq,
+                    reach,
+                    far,
+                    &clusters[cl],
+                    defaults,
+                    memo_on,
+                    pinned,
+                    s,
+                    &mut t,
+                );
+                (s.emit.clone(), t)
+            },
+        );
+        for (emit, t) in results {
+            tel.absorb(&t);
+            for (ci, sel) in emit {
+                local.entry(ci).or_insert(sel);
+            }
+        }
+    }
+}
+
+/// Runs the Algorithm 2 DP on one cluster against the pinned overlay:
+/// components present in `pinned` are constrained to that value,
+/// everything else defaults to `defaults`. Results are emitted into
+/// `s.emit` as `(component index, assignment)` pairs; the caller merges
+/// them with `or_insert` (equivalent to overwriting: an already-present
+/// component is pinned, so the DP can only re-emit its existing value).
 #[allow(clippy::too_many_arguments)]
 fn solve_cluster(
     tech: &Tech,
@@ -348,64 +664,84 @@ fn solve_cluster(
     comp_uniq: &[Option<UniqueInstanceId>],
     uniq: &[UniqueInstanceAccess],
     reach: Dbu,
+    far: Dbu,
     cluster: &Cluster,
     defaults: &[Option<usize>],
-    compat_ctx: &mut ShapeSet,
-    local: &mut HashMap<usize, Option<usize>>,
+    memo_on: bool,
+    pinned: &HashMap<usize, Option<usize>>,
+    s: &mut SelectScratch,
+    tel: &mut SelectTelemetry,
 ) {
+    let SelectScratch {
+        ctx,
+        memo,
+        members,
+        laps_by_p,
+        raps,
+        order,
+        dp,
+        emit,
+    } = s;
+    emit.clear();
+    // The memo is scoped to one cluster: hit/miss/probe counts then
+    // depend only on the cluster's own edge sequence, making them
+    // identical at every thread count and split mode (a group-lifetime
+    // cache would hit more often in sequential mode than in the split's
+    // short-lived workers).
+    memo.clear();
     let offset_of = |comp: CompId, u: &UniqueInstanceAccess| -> Point {
         design.component(comp).location - design.component(u.info.rep).location
     };
-    // Boundary compatibility probes, published on every exit path below.
-    let probes = std::cell::Cell::new(0u64);
-    // Members paired with their analyzed unique-instance data; the filter
+    // Members paired with their unique-instance index; the filter
     // guarantees every retained member resolves, so no lookup below can
     // fail.
-    let members: Vec<(CompId, &UniqueInstanceAccess)> = cluster
-        .comps
-        .iter()
-        .filter_map(|&c| {
-            let u = &uniq[comp_uniq[c.index()]?.index()];
-            (!u.patterns.is_empty()).then_some((c, u))
-        })
-        .collect();
+    members.clear();
+    members.extend(cluster.comps.iter().filter_map(|&c| {
+        let ui = comp_uniq[c.index()]?;
+        (!uniq[ui.index()].patterns.is_empty()).then_some((c, ui.index() as u32))
+    }));
     if members.len() < 2 {
-        for &(m, _) in &members {
-            // Pin to the current assignment (earlier cluster's choice if
-            // any, else the default).
-            local.entry(m.index()).or_insert(defaults[m.index()]);
+        for &(m, _) in members.iter() {
+            // Keep the current assignment (earlier cluster's choice if
+            // any — `or_insert` at the merge — else the default).
+            emit.push((m.index(), defaults[m.index()]));
         }
         return;
     }
-    // dp[i][p]: min cost selecting pattern p for member i.
-    let mut dp: Vec<Vec<(i64, usize)>> = members
-        .iter()
-        .map(|&(_, u)| vec![(i64::MAX, usize::MAX); u.patterns.len()])
-        .collect();
+    let n = members.len();
+    // dp[i][p]: min cost selecting pattern p for member i (grow-only;
+    // stale rows beyond `n` are never read).
+    while dp.len() < n {
+        dp.push(Vec::new());
+    }
+    for (i, &(_, ui)) in members.iter().enumerate() {
+        dp[i].clear();
+        dp[i].resize(uniq[ui as usize].patterns.len(), (i64::MAX, usize::MAX));
+    }
     let allowed = |ci: CompId, p: usize| -> bool {
-        match local.get(&ci.index()) {
+        match pinned.get(&ci.index()) {
             Some(&sel) => sel == Some(p),
             None => true,
         }
     };
     {
-        let (c0, u) = members[0];
+        let (c0, ui) = members[0];
+        let u = &uniq[ui as usize];
         for (p, cell) in dp[0].iter_mut().enumerate() {
             if allowed(c0, p) {
                 cell.0 = u.patterns[p].cost;
             }
         }
     }
-    // Near-boundary AP buffers, reused across all DP edges. The left
-    // side is precomputed per neighbor pair: it depends only on `p`, so
-    // collecting it inside the `q` loop would redo the same walk O(P·Q)
-    // times instead of O(P).
-    let mut laps_by_p: Vec<Vec<(&crate::apgen::AccessPoint, Point)>> = Vec::new();
-    let mut raps: Vec<(&crate::apgen::AccessPoint, Point)> = Vec::new();
-    for i in 1..members.len() {
-        let ((lcomp, lu), (rcomp, ru)) = (members[i - 1], members[i]);
+    for i in 1..n {
+        let ((lcomp, lui), (rcomp, rui)) = (members[i - 1], members[i]);
+        let (lu, ru) = (&uniq[lui as usize], &uniq[rui as usize]);
         let loff = offset_of(lcomp, lu);
         let roff = offset_of(rcomp, ru);
+        // The boundary-relative placement delta: together with the two
+        // unique instances and patterns it determines the entire edge
+        // geometry, so it completes the memo key (DESIGN.md §14).
+        let (dx, dy) = (roff.x - loff.x, roff.y - loff.y);
         // The shared boundary: left instance's right edge (members carry
         // analyzed data, so their master is known; 0-width fallback keeps
         // this panic-free regardless).
@@ -419,59 +755,125 @@ fn solve_cluster(
         while laps_by_p.len() < prev.len() {
             laps_by_p.push(Vec::new());
         }
+        // Reachable predecessors sorted by (cost, pattern): the left-side
+        // near-boundary vias depend only on `p`, so they are collected
+        // once per pair, and the ascending cost order lets the inner loop
+        // stop at the running best (edge cost is never negative).
+        order.clear();
         for (p, &(pcost, _)) in prev.iter().enumerate() {
             if pcost != i64::MAX {
-                near_boundary_aps_into(lu, p, loff, boundary, reach, &mut laps_by_p[p]);
+                order.push((pcost, p));
+                near_boundary_vias_into(lu, p, loff, boundary, reach, &mut laps_by_p[p]);
             }
+        }
+        order.sort_unstable();
+        if order.is_empty() {
+            continue; // over-constrained: dp[i] stays unreachable
         }
         for (q, cell) in tail[0].iter_mut().enumerate() {
             if !allowed(rcomp, q) {
                 continue;
             }
-            near_boundary_aps_into(ru, q, roff, boundary, reach, &mut raps);
-            for (p, &(pcost, _)) in prev.iter().enumerate() {
-                if pcost == i64::MAX {
+            let qcost = ru.patterns[q].cost;
+            near_boundary_vias_into(ru, q, roff, boundary, reach, raps);
+            if raps.is_empty() {
+                // No right-side via near the boundary: every edge into q
+                // is trivially clean and the cheapest predecessor wins.
+                let (pcost, p) = order[0];
+                tel.edges_pruned += order.len() as u64 - 1;
+                *cell = (pcost.saturating_add(qcost), p);
+                continue;
+            }
+            for (k, &(pcost, p)) in order.iter().enumerate() {
+                let base = pcost.saturating_add(qcost);
+                if base >= cell.0 {
+                    // Later candidates cost at least this much before the
+                    // (non-negative) edge term: provably dominated.
+                    tel.edges_pruned += (order.len() - k) as u64;
+                    break;
+                }
+                if laps_by_p[p].is_empty() {
+                    // No left-side via near the boundary: clean edge.
+                    *cell = (base, p);
                     continue;
                 }
-                let clean = laps_by_p[p].iter().all(|(la, lo)| {
-                    raps.iter().all(|(ra, ro)| {
-                        probes.set(probes.get() + 1);
-                        aps_compatible_scratch(tech, engine, la, *lo, ra, *ro, compat_ctx)
-                    })
-                });
-                let edge = if clean { 0 } else { DRC_COST };
-                let cost = pcost
-                    .saturating_add(edge)
-                    .saturating_add(ru.patterns[q].cost);
+                tel.edges += 1;
+                let clean = if memo_on {
+                    let key = (lui, p as u32, rui, q as u32, dx, dy);
+                    match memo.get(&key).copied() {
+                        Some(v) => {
+                            tel.cache_hits += 1;
+                            v
+                        }
+                        None => {
+                            tel.cache_misses += 1;
+                            let v = edge_clean(tech, engine, &laps_by_p[p], raps, far, ctx, tel);
+                            memo.insert(key, v);
+                            v
+                        }
+                    }
+                } else {
+                    edge_clean(tech, engine, &laps_by_p[p], raps, far, ctx, tel)
+                };
+                let cost = if clean {
+                    base
+                } else {
+                    base.saturating_add(DRC_COST)
+                };
                 if cost < cell.0 {
                     *cell = (cost, p);
                 }
             }
         }
     }
-    // Traceback.
-    let Some((mut best_p, _)) = dp
-        .last()
-        .into_iter()
-        .flatten()
+    // Traceback (dp is grow-only, so index by member count, not len()).
+    let Some((mut best_p, _)) = dp[n - 1]
+        .iter()
         .enumerate()
         .filter(|(_, c)| c.0 < i64::MAX)
-        .min_by_key(|(_, c)| c.0)
+        .min_by_key(|&(_, c)| c.0)
     else {
         // Over-constrained (pinned members conflict): keep assignments.
-        for &(m, _) in &members {
-            local.entry(m.index()).or_insert(defaults[m.index()]);
+        for &(m, _) in members.iter() {
+            emit.push((m.index(), defaults[m.index()]));
         }
-        pao_obs::counter_add("select.compat_probes", probes.get());
         return;
     };
-    for i in (0..members.len()).rev() {
-        local.insert(members[i].0.index(), Some(best_p));
+    for i in (0..n).rev() {
+        emit.push((members[i].0.index(), Some(best_p)));
         if i > 0 {
             best_p = dp[i][best_p].1;
         }
     }
-    pao_obs::counter_add("select.compat_probes", probes.get());
+}
+
+/// Probes one DP edge: every near-boundary via pair across the boundary
+/// must be mutually DRC-clean. Pairs farther apart than `far` on either
+/// axis cannot interact and are skipped; the first dirty pair settles the
+/// verdict (the underlying audit already short-circuits per pair via the
+/// `FirstOnly` sink).
+fn edge_clean(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    laps: &[(ViaId, Point)],
+    raps: &[(ViaId, Point)],
+    far: Dbu,
+    ctx: &mut ShapeSet,
+    tel: &mut SelectTelemetry,
+) -> bool {
+    for &(lv, lp) in laps {
+        for &(rv, rp) in raps {
+            if (lp.x - rp.x).abs() > far || (lp.y - rp.y).abs() > far {
+                tel.pairs_far += 1;
+                continue;
+            }
+            tel.probes += 1;
+            if !vias_compatible(tech, engine, lv, lp, rv, rp, ctx) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -373,21 +373,21 @@ impl PinAccessOracle {
         let engine = pao_drc::DrcEngine::new(tech);
         let threads = self.config().threads;
         let mut faults: Vec<crate::error::FaultRecord> = Vec::new();
-        let (selection, cluster_exec, select_faults, select_skipped) =
-            crate::cluster::select_patterns_budget(
-                tech,
-                &engine,
-                design,
-                &comp_uniq,
-                &unique,
-                threads,
-                PhaseBudget::new(&token, watchdog),
-            );
-        faults.extend(select_faults);
+        let select_out = crate::cluster::select_patterns_budget(
+            tech,
+            &engine,
+            design,
+            &comp_uniq,
+            &unique,
+            threads,
+            &self.config().select,
+            PhaseBudget::new(&token, watchdog),
+        );
+        faults.extend(select_out.faults);
         crate::oracle::push_skip(
             &mut skips,
             Phase::Select,
-            select_skipped,
+            select_out.skipped,
             token.reason().unwrap_or(CancelReason::Deadline),
         );
         let mut result = PaoResult {
@@ -398,23 +398,28 @@ impl PinAccessOracle {
                     .flat_map(|u| u.pin_aps.iter())
                     .map(Vec::len)
                     .sum(),
-                cluster_exec,
+                cluster_exec: select_out.exec,
+                select_telemetry: select_out.telemetry,
                 ..Default::default()
             },
             unique,
             comp_uniq,
-            selection,
+            selection: select_out.selection,
             overrides: HashMap::new(),
         };
+        let gctx = crate::oracle::GlobalContext::build(tech, design);
         let mut repair_skipped = 0usize;
+        let mut scan_ok: Option<Vec<Option<bool>>> = None;
         for _ in 0..self.config().repair_rounds {
             if token.is_cancelled() {
+                scan_ok = None;
                 break;
             }
-            let (repaired, exec, repair_faults, round_skipped) =
+            let (repaired, exec, repair_faults, round_skipped, ok_flags) =
                 crate::oracle::repair_failed_pins_budget(
                     tech,
                     design,
+                    &gctx,
                     &mut result,
                     threads,
                     PhaseBudget::new(&token, watchdog),
@@ -422,6 +427,7 @@ impl PinAccessOracle {
             result.stats.repair_exec.merge(&exec);
             faults.extend(repair_faults);
             repair_skipped += round_skipped;
+            scan_ok = (repaired == 0).then_some(ok_flags);
             if repaired == 0 {
                 break;
             }
@@ -434,10 +440,12 @@ impl PinAccessOracle {
         );
         result.stats.repaired_pins = result.overrides.len();
         let ((total_pins, failed_pins), audit_exec, audit_faults, audit_skipped) =
-            crate::oracle::count_failed_pins_with_budget(
+            crate::oracle::audit_pins_budget(
                 tech,
                 design,
-                |comp, pin_idx| result.access_point(design, comp, pin_idx),
+                &gctx,
+                &|comp, pin_idx| result.access_point(design, comp, pin_idx),
+                scan_ok.as_deref(),
                 threads,
                 PhaseBudget::new(&token, watchdog),
             );

@@ -58,7 +58,7 @@ pub use budget::{
     BudgetAllocator, CancelReason, CancelToken, DeadlineReport, PhaseFractions, RunBudget,
     SkipRecord, StallRecord, Watchdog,
 };
-pub use cluster::Cluster;
+pub use cluster::{Cluster, SelectTelemetry, SelectTuning};
 pub use coord::CoordType;
 pub use error::{FaultRecord, PaoError, Phase};
 pub use oracle::{default_threads, PaoConfig, PaoResult, PinAccessOracle, UniqueInstanceAccess};

@@ -5,7 +5,7 @@ use crate::budget::{
     BudgetAllocator, CancelReason, CancelToken, DeadlineReport, PhaseFractions, RunBudget,
     SkipRecord, StallRecord,
 };
-use crate::cluster::select_patterns_budget;
+use crate::cluster::{select_patterns_budget, SelectTuning};
 use crate::error::{FaultRecord, PaoError, Phase};
 use crate::parallel::{parallel_map_budget, ExecReport, ItemFault, PhaseBudget};
 use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
@@ -39,6 +39,9 @@ pub struct PaoConfig {
     /// dirty access points, mirroring the router's per-pin freedom).
     /// 0 disables repair — use that to measure the selection stage alone.
     pub repair_rounds: usize,
+    /// Cluster-selection fast-path tuning (memoization, wavefront split).
+    /// Every setting produces bit-identical selections.
+    pub select: SelectTuning,
 }
 
 /// The default worker count: all available hardware parallelism.
@@ -56,6 +59,7 @@ impl Default for PaoConfig {
             pattern: PatternConfig::default(),
             threads: default_threads(),
             repair_rounds: 3,
+            select: SelectTuning::default(),
         }
     }
 }
@@ -532,27 +536,28 @@ impl PinAccessOracle {
         let phase_span = pao_obs::span("phase.select");
         let t2 = Instant::now();
         let select_token = alloc.phase_token(Phase::Select);
-        let (selection, cluster_exec, select_faults, select_skipped) = select_patterns_budget(
+        let select_out = select_patterns_budget(
             tech,
             &engine,
             design,
             &comp_uniq,
             &unique,
             self.config.threads,
+            &self.config.select,
             PhaseBudget::new(&select_token, watchdog),
         );
-        faults.extend(select_faults);
+        faults.extend(select_out.faults);
         push_skip(
             &mut skips,
             Phase::Select,
-            select_skipped,
+            select_out.skipped,
             select_token.reason().unwrap_or(CancelReason::Deadline),
         );
         stalls.extend(select_token.take_stalls());
         let mut result = PaoResult {
             unique,
             comp_uniq,
-            selection,
+            selection: select_out.selection,
             overrides: std::collections::HashMap::new(),
             stats: PaoStats {
                 total_aps,
@@ -563,7 +568,8 @@ impl PinAccessOracle {
                 pattern_time,
                 apgen_exec,
                 pattern_exec,
-                cluster_exec,
+                cluster_exec: select_out.exec,
+                select_telemetry: select_out.telemetry,
                 ..PaoStats::default()
             },
         };
@@ -575,24 +581,37 @@ impl PinAccessOracle {
         // detailed router has when it consumes the access points.
         let phase_span = pao_obs::span("phase.repair");
         let repair_token = alloc.phase_token(Phase::Repair);
+        // The whole-design base context and connected-pin list depend only
+        // on the placement, so they are built once and shared by every
+        // repair round and the final audit (each use completes a clone
+        // with the then-current selected vias).
+        let gctx = GlobalContext::build(tech, design);
         let mut repair_skipped = 0usize;
+        // Scan verdicts of the last repair round, usable as audit hints:
+        // valid only when that round repaired nothing (the overrides — and
+        // therefore the audit context — are unchanged since the scan).
+        let mut scan_ok: Option<Vec<Option<bool>>> = None;
         for _round in 0..self.config.repair_rounds {
             // All repair rounds share one phase token: once it expires, no
             // further round starts and the remaining scans are skipped.
             if repair_token.is_cancelled() {
+                scan_ok = None;
                 break;
             }
             pao_obs::counter_add("repair.rounds", 1);
-            let (repaired, exec, repair_faults, round_skipped) = repair_failed_pins_budget(
-                tech,
-                design,
-                &mut result,
-                self.config.threads,
-                PhaseBudget::new(&repair_token, watchdog),
-            );
+            let (repaired, exec, repair_faults, round_skipped, ok_flags) =
+                repair_failed_pins_budget(
+                    tech,
+                    design,
+                    &gctx,
+                    &mut result,
+                    self.config.threads,
+                    PhaseBudget::new(&repair_token, watchdog),
+                );
             result.stats.repair_exec.merge(&exec);
             faults.extend(repair_faults);
             repair_skipped += round_skipped;
+            scan_ok = (repaired == 0).then_some(ok_flags);
             if repaired == 0 {
                 break;
             }
@@ -609,10 +628,12 @@ impl PinAccessOracle {
         let phase_span = pao_obs::span("phase.audit");
         let audit_token = alloc.phase_token(Phase::Audit);
         let ((total_pins, failed_pins), audit_exec, audit_faults, audit_skipped) =
-            count_failed_pins_with_budget(
+            audit_pins_budget(
                 tech,
                 design,
-                |comp, pin_idx| result.access_point(design, comp, pin_idx),
+                &gctx,
+                &|comp, pin_idx| result.access_point(design, comp, pin_idx),
+                scan_ok.as_deref(),
                 self.config.threads,
                 PhaseBudget::new(&audit_token, watchdog),
             );
@@ -708,34 +729,397 @@ pub(crate) fn push_skip(
 /// fault list instead of aborting the run. A scan item skipped by an
 /// expired [`CancelToken`] is likewise treated as not-dirty, but counted
 /// in the returned skip tally instead of producing a fault record.
+///
+/// The fifth element of the return is the per-connected-pin scan verdict
+/// (`Some(clean)`; `None` for panicked/skipped items) — reusable as audit
+/// hints when the round repaired nothing.
+/// What the repair scan needs from a selected access point: position,
+/// primary via and the planar fallback — resolved without cloning the
+/// access point's `Vec`s.
+struct ScanAp {
+    pos: pao_geom::Point,
+    via: Option<pao_tech::ViaId>,
+    planar_ok: bool,
+}
+
+/// Per-worker scan state: the DRC workspace plus the verdict memo and
+/// its reusable key buffer.
+struct ScanScratch {
+    ws: DrcScratch,
+    memo: std::collections::HashMap<Vec<u64>, bool>,
+    neigh: Vec<u32>,
+    /// Stage-1 candidates: foreign components whose reach bounds meet
+    /// the current pin's via-hull window.
+    cands: Vec<u32>,
+    /// The current pin's per-via-shape probe windows (layer, halo-grown
+    /// rect).
+    wins: Vec<(LayerId, Rect)>,
+    /// Foreign shapes inside the current pin's probe windows, copied
+    /// during stage 2 of the neighborhood scan; never packed (probes
+    /// scan its handful of raw items linearly).
+    mini: ShapeSet,
+    tuples: Vec<(i64, i64, u64)>,
+    key: Vec<u64>,
+}
+
+impl Default for ScanScratch {
+    fn default() -> ScanScratch {
+        ScanScratch {
+            ws: DrcScratch::default(),
+            memo: std::collections::HashMap::new(),
+            neigh: Vec::new(),
+            cands: Vec::new(),
+            wins: Vec::new(),
+            // Sized lazily on first use (the layer count lives in `Tech`).
+            mini: ShapeSet::new(0),
+            tuples: Vec::new(),
+            key: Vec::new(),
+        }
+    }
+}
+
+/// [`PaoResult::access_point`] minus the allocations: resolves the
+/// selected AP for `(comp, pin_idx)` into a [`ScanAp`].
+fn scan_ap(result: &PaoResult, design: &Design, comp: CompId, pin_idx: usize) -> Option<ScanAp> {
+    if let Some(ap) = result.overrides.get(&(comp, pin_idx)) {
+        return Some(ScanAp {
+            pos: ap.pos,
+            via: ap.primary_via(),
+            planar_ok: !ap.planar.is_empty(),
+        });
+    }
+    let ui = result.comp_uniq.get(comp.index()).copied().flatten()?;
+    let u = &result.unique[ui.index()];
+    let sel = result.selection.get(comp.index()).copied().flatten()?;
+    let pat = u.patterns.get(sel)?;
+    let pos_in_order = u.pin_order.iter().position(|&p| p == pin_idx)?;
+    let ap_idx = *pat.choice.get(pos_in_order)?;
+    let ap = u.pin_aps.get(pin_idx)?.get(ap_idx)?;
+    let delta = design.component(comp).location - design.component(u.info.rep).location;
+    Some(ScanAp {
+        pos: ap.pos + delta,
+        via: ap.primary_via(),
+        planar_ok: !ap.planar.is_empty(),
+    })
+}
+
 pub(crate) fn repair_failed_pins_budget(
     tech: &Tech,
     design: &Design,
+    gctx: &GlobalContext,
     result: &mut PaoResult,
     threads: usize,
     budget: PhaseBudget<'_>,
-) -> (usize, ExecReport, Vec<FaultRecord>, usize) {
+) -> (
+    usize,
+    ExecReport,
+    Vec<FaultRecord>,
+    usize,
+    Vec<Option<bool>>,
+) {
     let engine = DrcEngine::new(tech);
-    let (ctx, connected) = build_global_context(tech, design, result);
-    let is_dirty = |ap: &AccessPoint, owner: Owner, ctx: &ShapeSet, ws: &mut DrcScratch| -> bool {
-        match ap.primary_via() {
-            Some(v) => !engine.via_placement_clean(tech.via(v), ap.pos, owner, ctx, ws),
-            None => ap.planar.is_empty(),
+    let connected = &gctx.connected;
+    // Selected access points, reduced to what the scan needs (position,
+    // primary via, planar fallback) and resolved once: `access_point`
+    // clones two `Vec`s and walks the pin order per call, so the scan
+    // below indexes this slice instead of re-resolving every pin (and
+    // the via-index fill reuses the same resolutions).
+    let selected: Vec<Option<ScanAp>> = connected
+        .iter()
+        .map(|&(comp, pin_idx)| scan_ap(result, design, comp, pin_idx))
+        .collect();
+    // Selected-vias-only index: lets the same-component fast path below
+    // rule out foreign via conflicts without probing the full context.
+    let mut via_index = ShapeSet::new(tech.layers().len());
+    for (&(comp, pin_idx), ap) in connected.iter().zip(&selected) {
+        let Some(ap) = ap else { continue };
+        let Some(v) = ap.via else { continue };
+        for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
+            via_index.insert_deferred(layer, rect, pin_owner(comp, pin_idx));
+        }
+    }
+    let overridden: std::collections::HashSet<u32> =
+        result.overrides.keys().map(|&(c, _)| c.0).collect();
+    let comp_uniq = &result.comp_uniq;
+    let selection = &result.selection;
+    let poisoned =
+        |c: u32| overridden.contains(&c) || comp_uniq.get(c as usize).copied().flatten().is_none();
+    // A pin of a certified component needs no probe when no foreign
+    // component is in reach: AP generation proved its via clean against
+    // the cell's own shapes, and whole-pattern validation proved the
+    // pattern's vias clean against each other — together exactly the
+    // isolated pin's probe environment.
+    let unique = &result.unique;
+    let certified = |c: u32| -> bool {
+        let Some(u) = comp_uniq.get(c as usize).copied().flatten() else {
+            return false;
+        };
+        let Some(sel) = selection.get(c as usize).copied().flatten() else {
+            return false;
+        };
+        unique[u.index()]
+            .patterns
+            .get(sel)
+            .is_some_and(|p| p.validated)
+    };
+    // The packed form of the via index only serves direct probes (pins of
+    // poisoned or uncertified components) and the greedy re-place windows.
+    // When those are rare — the common case — the handful of raw linear
+    // window scans is far cheaper than a full STR pack of every selected
+    // via; with many direct probes the pack pays for itself.
+    if connected
+        .iter()
+        .filter(|&&(c, _)| poisoned(c.0) || !certified(c.0))
+        .count()
+        > 64
+    {
+        via_index.rebuild();
+    }
+    // Split probe instead of one merged pack: the full check runs against
+    // the packed base, and a pairwise-only check runs against the packed
+    // via index. This covers every rule exactly once — merged-geometry
+    // rules only ever union same-owner shapes, which all live in the
+    // base (a pin's own selected via adds nothing to its own union), and
+    // pairwise rules skip same-owner shapes, so the via's own copy in
+    // the index is inert. Skipping the base+vias repack saves the
+    // dominant setup cost of every scan round.
+    let base = &gctx.base;
+    let is_dirty = |ap: &ScanAp, owner: Owner, ws: &mut DrcScratch| -> bool {
+        match ap.via {
+            Some(v) => {
+                let vd = tech.via(v);
+                !(engine.via_placement_clean(vd, ap.pos, owner, base, ws)
+                    && engine.via_pairwise_clean(vd, ap.pos, owner, &via_index, ws))
+            }
+            None => !ap.planar_ok,
         }
     };
+    // Scan neighborhoods: a probe for a pin's via only ever touches
+    // shapes within the via's own layers' search halos of its shapes,
+    // and a neighboring component's shapes all lie inside that
+    // component's reach bounds (base-shape hull grown by its selected
+    // via hulls). So the set of components that can influence the
+    // verdict is found with one query of the via hull window against a
+    // component-bounds tree — no per-shape walks — and the verdict is a
+    // pure function of the pin's (unique instance, pattern, pin index)
+    // plus every such neighbor's (offset, unique instance, pattern):
+    // equal keys see identical shape environments and the verdict
+    // transfers. Components carrying a repair override place vias
+    // off-pattern and components without a unique instance have no
+    // translation-invariant geometry; both poison the neighborhood and
+    // force direct probes.
+    // Hull of each via's shapes around the drop point, and the widest
+    // search halo among the via's own layers: the hull translated to the
+    // pin's position and expanded by that halo bounds every context
+    // shape a probe of this via can read.
+    let origin = pao_geom::Point::new(0, 0);
+    let via_hulls: Vec<Rect> = tech
+        .vias()
+        .iter()
+        .map(|v| {
+            v.each_placed_shape(origin)
+                .map(|(_, r)| r)
+                .reduce(Rect::hull)
+                .unwrap_or_else(|| Rect::new(0, 0, 0, 0))
+        })
+        .collect();
+    let via_margins: Vec<pao_geom::Dbu> = tech
+        .vias()
+        .iter()
+        .map(|v| {
+            v.each_placed_shape(origin)
+                .map(|(l, _)| engine.halo(l))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    // `(unique << 32) | pattern` — the memoized identity of one
+    // component. A missing pattern keeps the `u32::MAX` sentinel: its
+    // base shapes still follow from the unique instance, it just
+    // contributes no via.
+    let key_part = |c: u32| -> u64 {
+        let u = comp_uniq
+            .get(c as usize)
+            .copied()
+            .flatten()
+            .map_or(u64::MAX, |u| u.index() as u64);
+        let sel = selection
+            .get(c as usize)
+            .copied()
+            .flatten()
+            .map_or(u64::from(u32::MAX), |s| s as u64);
+        (u << 32) | sel
+    };
+    // Component reach bounds: base-shape hull grown by every selected
+    // via's full placed hull, so all via geometry is covered even where
+    // an access point sits outside the pin shapes.
+    let mut bounds_ext: Vec<Option<Rect>> = gctx.bounds.clone();
+    for (&(comp, _), ap) in connected.iter().zip(&selected) {
+        let Some(ap) = ap else { continue };
+        let Some(v) = ap.via else { continue };
+        let p = via_hulls[v.index()].translated(ap.pos);
+        let b = &mut bounds_ext[comp.index()];
+        *b = Some(b.map_or(p, |r| r.hull(p)));
+    }
+    let comp_tree: pao_geom::RTree<u32> = pao_geom::RTree::bulk_load(
+        bounds_ext
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.map(|r| (r, i as u32)))
+            .collect(),
+    );
+    // Per-component shape lists (pin + obstruction + selected-via shapes,
+    // exactly the scan context's contents): once stage 1 has named the
+    // few candidate components near a pin, stage 2 walks their lists
+    // directly instead of descending the global trees once per probe
+    // window. One flat pass here beats thousands of tree queries there.
+    let mut csr: Vec<Vec<(LayerId, Rect, Owner)>> = vec![Vec::new(); design.components().len()];
+    for (ci, c) in design.components().iter().enumerate() {
+        let comp = CompId(ci as u32);
+        if c.master_in(tech).is_none() || !c.is_placed {
+            continue;
+        }
+        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
+            csr[ci].push((layer, rect, pin_owner(comp, pin_idx)));
+        }
+        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
+            csr[ci].push((layer, rect, Owner::obs(u64::from(comp.0))));
+        }
+    }
+    for (&(comp, pin_idx), ap) in connected.iter().zip(&selected) {
+        let Some(ap) = ap else { continue };
+        let Some(v) = ap.via else { continue };
+        for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
+            csr[comp.index()].push((layer, rect, pin_owner(comp, pin_idx)));
+        }
+    }
     let (flags, exec) = {
-        let (result, ctx, is_dirty) = (&*result, &ctx, &is_dirty);
+        let (selected, csr, is_dirty, engine) = (&selected, &csr, &is_dirty, &engine);
+        let (comp_tree, via_hulls, poisoned, key_part) =
+            (&comp_tree, &via_hulls, &poisoned, &key_part);
         parallel_map_budget(
             threads,
             "repair.scan",
-            connected.clone(),
-            DrcScratch::new,
-            move |ws, (comp, pin_idx)| {
-                let dirty = match result.access_point(design, comp, pin_idx) {
-                    Some(ap) => is_dirty(&ap, pin_owner(comp, pin_idx), ctx, ws),
+            (0..connected.len()).collect(),
+            ScanScratch::default,
+            move |s, i: usize| {
+                let (comp, pin_idx) = connected[i];
+                let dirty = match &selected[i] {
+                    Some(ap) => 'verdict: {
+                        let Some(v) = ap.via else {
+                            // Planar-only verdicts are a field read.
+                            break 'verdict !ap.planar_ok;
+                        };
+                        if poisoned(comp.0) {
+                            break 'verdict is_dirty(ap, pin_owner(comp, pin_idx), &mut s.ws);
+                        }
+                        // Stage 1 — bbox filter: any foreign component
+                        // whose reach bounds meet the via hull window?
+                        let w = via_hulls[v.index()]
+                            .translated(ap.pos)
+                            .expanded(via_margins[v.index()]);
+                        s.cands.clear();
+                        comp_tree.visit(w, &mut |_, &c| {
+                            if c != comp.0 {
+                                s.cands.push(c);
+                            }
+                            true
+                        });
+                        // Stage 2 — for bbox-near pins, refine to the
+                        // components whose shapes actually fall inside
+                        // the probe windows (per-shape, per-layer
+                        // halos). Pins whose windows hold nothing
+                        // foreign join the certified fast path after
+                        // all, and the memo key shrinks to the real
+                        // environment, so it repeats far more often.
+                        s.neigh.clear();
+                        if !s.cands.is_empty() {
+                            if s.mini.num_layers() == tech.layers().len() {
+                                s.mini.clear();
+                            } else {
+                                s.mini = ShapeSet::new(tech.layers().len());
+                            }
+                            s.wins.clear();
+                            for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
+                                s.wins.push((layer, rect.expanded(engine.halo(layer))));
+                            }
+                            // `touches` (closed contact) matches the
+                            // spatial index's window semantics, so the
+                            // neighbor sets — and hence the memo keys —
+                            // are the same ones tree queries would yield.
+                            for &c in &s.cands {
+                                let mut hit = false;
+                                for &(layer, r, o) in &csr[c as usize] {
+                                    if s.wins.iter().any(|&(wl, w)| wl == layer && r.touches(w)) {
+                                        s.mini.insert_deferred(layer, r, o);
+                                        hit = true;
+                                    }
+                                }
+                                if hit {
+                                    s.neigh.push(c);
+                                }
+                            }
+                        }
+                        if s.neigh.is_empty() && certified(comp.0) {
+                            pao_obs::counter_add("repair.scan.fast_clean", 1);
+                            break 'verdict false;
+                        }
+                        if s.neigh.iter().any(|&c| poisoned(c)) {
+                            break 'verdict is_dirty(ap, pin_owner(comp, pin_idx), &mut s.ws);
+                        }
+                        let own_loc = design.component(comp).location;
+                        s.tuples.clear();
+                        for &c in &s.neigh {
+                            let loc = design.component(CompId(c)).location;
+                            s.tuples
+                                .push((loc.x - own_loc.x, loc.y - own_loc.y, key_part(c)));
+                        }
+                        s.tuples.sort_unstable();
+                        s.key.clear();
+                        s.key.push(key_part(comp.0));
+                        s.key.push(pin_idx as u64);
+                        for &(dx, dy, us) in &s.tuples {
+                            s.key.push(dx as u64);
+                            s.key.push(dy as u64);
+                            s.key.push(us);
+                        }
+                        // Worker-local memo: verdicts are pure functions
+                        // of the key, so results stay
+                        // thread-count-invariant.
+                        if let Some(&d) = s.memo.get(s.key.as_slice()) {
+                            pao_obs::counter_add("repair.scan.memo_hits", 1);
+                            d
+                        } else {
+                            // A certified component's own-cell checks are
+                            // already proven (AP generation probed the via
+                            // against every own-cell shape; whole-pattern
+                            // validation probed sibling vias against each
+                            // other), so only the *foreign* shapes — the
+                            // exact set stage 2 copied into the scratch
+                            // mini-context — can still reject, and only
+                            // through pairwise rules: merged-geometry
+                            // unions are same-owner, hence own. One probe
+                            // over a handful of raw shapes replaces two
+                            // full-context probes.
+                            let d = if certified(comp.0) {
+                                !engine.via_pairwise_clean(
+                                    tech.via(v),
+                                    ap.pos,
+                                    pin_owner(comp, pin_idx),
+                                    &s.mini,
+                                    &mut s.ws,
+                                )
+                            } else {
+                                is_dirty(ap, pin_owner(comp, pin_idx), &mut s.ws)
+                            };
+                            s.memo.insert(s.key.clone(), d);
+                            pao_obs::counter_add("repair.scan.memo_misses", 1);
+                            d
+                        }
+                    }
                     None => true,
                 };
-                ws.flush_obs();
+                s.ws.flush_obs();
                 dirty
             },
             budget,
@@ -743,17 +1127,23 @@ pub(crate) fn repair_failed_pins_budget(
     };
     let mut faults: Vec<FaultRecord> = Vec::new();
     let mut skipped = 0usize;
+    let mut scan_ok: Vec<Option<bool>> = Vec::with_capacity(connected.len());
     let dirty: Vec<(CompId, usize)> = connected
         .iter()
         .copied()
         .zip(flags)
         .filter_map(|((comp, pin_idx), d)| match d {
-            Ok(d) => d.then_some((comp, pin_idx)),
+            Ok(d) => {
+                scan_ok.push(Some(!d));
+                d.then_some((comp, pin_idx))
+            }
             Err(ItemFault::Skipped(_)) => {
+                scan_ok.push(None);
                 skipped += 1;
                 None
             }
             Err(ItemFault::Panic(reason)) => {
+                scan_ok.push(None);
                 faults.push(FaultRecord {
                     phase: Phase::Repair,
                     item: pin_label(tech, design, comp, pin_idx),
@@ -765,41 +1155,25 @@ pub(crate) fn repair_failed_pins_budget(
         .collect();
     pao_obs::hist_record("repair.dirty_pins", dirty.len() as u64);
     if dirty.is_empty() {
-        return (0, exec, faults, skipped);
+        return (0, exec, faults, skipped, scan_ok);
     }
-    // Rebuild the context without the dirty pins' vias (rip-up).
-    let dirty_set: std::collections::HashSet<(CompId, usize)> = dirty.iter().copied().collect();
-    let mut ctx = ShapeSet::new(tech.layers().len());
-    for (ci, c) in design.components().iter().enumerate() {
-        let comp = CompId(ci as u32);
-        if c.master_in(tech).is_none() || !c.is_placed {
-            continue;
-        }
-        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
-            ctx.insert(layer, rect, pin_owner(comp, pin_idx));
-        }
-        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
-            ctx.insert(layer, rect, Owner::obs(u64::from(comp.0)));
-        }
-    }
-    for &(comp, pin_idx) in &connected {
-        if dirty_set.contains(&(comp, pin_idx)) {
-            continue;
-        }
-        if let Some(ap) = result.access_point(design, comp, pin_idx) {
-            if let Some(v) = ap.primary_via() {
-                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
-                    ctx.insert(layer, rect, pin_owner(comp, pin_idx));
-                }
-            }
-        }
-    }
-    ctx.rebuild();
-    // Greedy re-placement.
-    let mut repaired = 0usize;
-    let mut ws = DrcScratch::new();
+    // Greedy re-placement probes a windowed rip-up context instead of a
+    // full base+vias repack: only shapes a dirty pin's candidate probes
+    // can actually read are copied in. Each window is the hull of the
+    // pin's candidate positions grown by the widest via extent plus the
+    // engine's interaction range — a superset of every probe window —
+    // filled from the packed base and via index with the dirty pins'
+    // own (ripped-up) vias filtered out. Shapes duplicated by
+    // overlapping windows cannot change a verdict: every check is a
+    // predicate over individual context shapes or same-owner unions,
+    // and a union is idempotent.
+    let ripped: std::collections::HashSet<Owner> =
+        dirty.iter().map(|&(c, p)| pin_owner(c, p)).collect();
+    let margin = engine.interaction_range() + crate::cluster::max_via_extent(tech);
+    let mut currents: Vec<Option<AccessPoint>> = Vec::with_capacity(dirty.len());
+    let mut cand_lists: Vec<Vec<AccessPoint>> = Vec::with_capacity(dirty.len());
+    let mut ctx = ShapeSet::new(gctx.base.num_layers());
     for &(comp, pin_idx) in &dirty {
-        let owner = pin_owner(comp, pin_idx);
         let current = result.access_point(design, comp, pin_idx);
         let mut candidates: Vec<AccessPoint> = Vec::new();
         candidates.extend(current.clone());
@@ -808,14 +1182,47 @@ pub(crate) fn repair_failed_pins_budget(
                 candidates.push(alt);
             }
         }
+        if let Some(hull) = candidates
+            .iter()
+            .map(|c| Rect::from_points(c.pos, c.pos))
+            .reduce(Rect::hull)
+        {
+            let w = hull.expanded(margin);
+            for li in 0..gctx.base.num_layers() {
+                let layer = LayerId(li as u32);
+                gctx.base.for_each_in(layer, w, |r, o| {
+                    ctx.insert_deferred(layer, r, o);
+                    true
+                });
+                via_index.for_each_in(layer, w, |r, o| {
+                    if !ripped.contains(&o) {
+                        ctx.insert_deferred(layer, r, o);
+                    }
+                    true
+                });
+            }
+        }
+        currents.push(current);
+        cand_lists.push(candidates);
+    }
+    ctx.rebuild();
+    let mut repaired = 0usize;
+    let mut ws = DrcScratch::new();
+    for (i, &(comp, pin_idx)) in dirty.iter().enumerate() {
+        let owner = pin_owner(comp, pin_idx);
+        let current = currents[i].take();
         // `find_map` keeps the winning candidate *and* its via together,
         // so there is no second (fallible) `primary_via` lookup.
-        let placed = candidates.into_iter().find_map(|cand| {
-            let v = cand.primary_via()?;
-            (!is_dirty(&cand, owner, &ctx, &mut ws)).then_some((cand, v))
-        });
+        let placed = std::mem::take(&mut cand_lists[i])
+            .into_iter()
+            .find_map(|cand| {
+                let v = cand.primary_via()?;
+                engine
+                    .via_placement_clean(tech.via(v), cand.pos, owner, &ctx, &mut ws)
+                    .then_some((cand, v))
+            });
         if let Some((cand, v)) = placed {
-            for (l, r) in tech.via(v).placed_shapes(cand.pos) {
+            for (l, r) in tech.via(v).each_placed_shape(cand.pos) {
                 ctx.insert(l, r, owner);
             }
             result.overrides.insert((comp, pin_idx), cand);
@@ -825,14 +1232,14 @@ pub(crate) fn repair_failed_pins_budget(
             // Nothing clean: keep the current choice committed so later
             // pins at least see it.
             if let Some(v) = cur.primary_via() {
-                for (l, r) in tech.via(v).placed_shapes(cur.pos) {
+                for (l, r) in tech.via(v).each_placed_shape(cur.pos) {
                     ctx.insert(l, r, owner);
                 }
             }
         }
     }
     ws.flush_obs();
-    (repaired, exec, faults, skipped)
+    (repaired, exec, faults, skipped, scan_ok)
 }
 
 /// `"pin <component>/<pin name>"` for fault reports; degrades to the pin
@@ -849,52 +1256,93 @@ fn pin_label(tech: &Tech, design: &Design, comp: CompId, pin_idx: usize) -> Stri
     }
 }
 
-/// Builds the whole-design shape context (pins, obstructions, every
-/// selected access via) plus the connected-pin list.
-fn build_global_context(
-    tech: &Tech,
-    design: &Design,
-    result: &PaoResult,
-) -> (ShapeSet, Vec<(CompId, usize)>) {
-    let mut ctx = ShapeSet::new(tech.layers().len());
-    for (ci, c) in design.components().iter().enumerate() {
-        let comp = CompId(ci as u32);
-        if c.master_in(tech).is_none() || !c.is_placed {
-            continue;
-        }
-        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
-            ctx.insert(layer, rect, pin_owner(comp, pin_idx));
-        }
-        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
-            ctx.insert(layer, rect, Owner::obs(u64::from(comp.0)));
-        }
-    }
-    let mut connected: Vec<(CompId, usize)> = Vec::new();
-    for net in design.nets() {
-        for (comp, pin_name) in net.comp_pins() {
-            if !design.component(comp).is_placed {
+/// The placement-dependent half of the whole-design audit/repair context:
+/// every placed pin/obstruction shape (packed and queryable) plus the
+/// connected-pin list. Built **once** per analysis — selection-dependent
+/// via shapes are layered on per use by [`GlobalContext::with_vias`],
+/// which is far cheaper than re-walking and re-transforming the whole
+/// placement for every repair round and the final audit.
+pub(crate) struct GlobalContext {
+    /// All placed pin and obstruction shapes, packed: the repair scan
+    /// and its windowed greedy context query it directly (paired with
+    /// the selected-vias index), and [`GlobalContext::with_vias`] feeds
+    /// it to [`ShapeSet::merged`] for the full-audit repack.
+    pub(crate) base: ShapeSet,
+    /// Every `(component, pin index)` with a net attached, in net order.
+    pub(crate) connected: Vec<(CompId, usize)>,
+    /// Hull of each component's placed pin/obstruction shapes (`None`
+    /// when a component contributes nothing to `base`). Feeds the repair
+    /// scan's bbox-proximity neighborhoods.
+    pub(crate) bounds: Vec<Option<Rect>>,
+}
+
+impl GlobalContext {
+    /// Walks the placement once: base shapes + connected-pin list.
+    pub(crate) fn build(tech: &Tech, design: &Design) -> GlobalContext {
+        let mut base = ShapeSet::new(tech.layers().len());
+        let mut bounds: Vec<Option<Rect>> = vec![None; design.components().len()];
+        for (ci, c) in design.components().iter().enumerate() {
+            let comp = CompId(ci as u32);
+            if c.master_in(tech).is_none() || !c.is_placed {
                 continue;
             }
-            let Some(master) = design.component(comp).master_in(tech) else {
-                continue;
-            };
-            let Some(pin_idx) = master.pins.iter().position(|p| p.name == pin_name) else {
-                continue;
-            };
-            connected.push((comp, pin_idx));
+            for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
+                base.insert_deferred(layer, rect, pin_owner(comp, pin_idx));
+                bounds[ci] = Some(bounds[ci].map_or(rect, |b| b.hull(rect)));
+            }
+            for (layer, rect) in design.placed_obs_shapes(tech, comp) {
+                base.insert_deferred(layer, rect, Owner::obs(u64::from(comp.0)));
+                bounds[ci] = Some(bounds[ci].map_or(rect, |b| b.hull(rect)));
+            }
+        }
+        let mut connected: Vec<(CompId, usize)> = Vec::new();
+        for net in design.nets() {
+            for (comp, pin_name) in net.comp_pins() {
+                if !design.component(comp).is_placed {
+                    continue;
+                }
+                let Some(master) = design.component(comp).master_in(tech) else {
+                    continue;
+                };
+                let Some(pin_idx) = master.pins.iter().position(|p| p.name == pin_name) else {
+                    continue;
+                };
+                connected.push((comp, pin_idx));
+            }
+        }
+        base.rebuild();
+        GlobalContext {
+            base,
+            connected,
+            bounds,
         }
     }
-    for &(comp, pin_idx) in &connected {
-        if let Some(ap) = result.access_point(design, comp, pin_idx) {
-            if let Some(v) = ap.primary_via() {
-                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
-                    ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+
+    /// A full context: the base plus every connected pin's selected via
+    /// per `accessor`, excluding pins in `skip` (rip-up). Repacked.
+    pub(crate) fn with_vias(
+        &self,
+        tech: &Tech,
+        accessor: &(impl Fn(CompId, usize) -> Option<AccessPoint> + ?Sized),
+        skip: Option<&std::collections::HashSet<(CompId, usize)>>,
+    ) -> ShapeSet {
+        let mut vias = ShapeSet::new(self.base.num_layers());
+        for &(comp, pin_idx) in &self.connected {
+            if skip.is_some_and(|s| s.contains(&(comp, pin_idx))) {
+                continue;
+            }
+            if let Some(ap) = accessor(comp, pin_idx) {
+                if let Some(v) = ap.primary_via() {
+                    for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
+                        vias.insert_deferred(layer, rect, pin_owner(comp, pin_idx));
+                    }
                 }
             }
         }
+        // `merged` bulk-loads base + vias in one pack per layer — no
+        // clone of an index that the repack would discard anyway.
+        self.base.merged(&vias)
     }
-    ctx.rebuild();
-    (ctx, connected)
 }
 
 /// Counts Table III's `(total pins, failed pins)`: every component pin
@@ -982,57 +1430,102 @@ pub fn count_failed_pins_with_budget(
     threads: usize,
     budget: PhaseBudget<'_>,
 ) -> ((usize, usize), ExecReport, Vec<FaultRecord>, usize) {
-    // Global context: all placed pin/obs shapes + all selected vias.
-    let mut ctx = ShapeSet::new(tech.layers().len());
-    for (ci, c) in design.components().iter().enumerate() {
-        let comp = CompId(ci as u32);
-        if c.master_in(tech).is_none() || !c.is_placed {
-            continue;
-        }
-        for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
-            ctx.insert(layer, rect, pin_owner(comp, pin_idx));
-        }
-        for (layer, rect) in design.placed_obs_shapes(tech, comp) {
-            ctx.insert(layer, rect, Owner::obs(u64::from(comp.0)));
-        }
-    }
-    // Connected pins and their selected access.
-    let mut connected: Vec<(CompId, usize)> = Vec::new();
-    for net in design.nets() {
-        for (comp, pin_name) in net.comp_pins() {
-            if !design.component(comp).is_placed {
-                continue;
-            }
-            let Some(master) = design.component(comp).master_in(tech) else {
-                continue;
-            };
-            let Some(pin_idx) = master.pins.iter().position(|p| p.name == pin_name) else {
-                continue;
-            };
-            connected.push((comp, pin_idx));
-        }
-    }
-    for &(comp, pin_idx) in &connected {
-        if let Some(ap) = accessor(comp, pin_idx) {
-            if let Some(v) = ap.primary_via() {
-                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
-                    ctx.insert(layer, rect, pin_owner(comp, pin_idx));
+    let gctx = GlobalContext::build(tech, design);
+    audit_pins_budget(tech, design, &gctx, &accessor, None, threads, budget)
+}
+
+/// The audit over a prebuilt [`GlobalContext`], optionally short-cutting
+/// with per-pin `hints` (the last repair round's scan verdicts, aligned
+/// with `gctx.connected`; `None` entries are probed normally). When every
+/// pin carries a hint, the audit context is never even built — the scan
+/// already probed the identical context. Hinted pins still flow through
+/// the `audit.pin` executor, so fault isolation, budgeting and the
+/// thread-count identity contract are unchanged.
+pub(crate) fn audit_pins_budget(
+    tech: &Tech,
+    design: &Design,
+    gctx: &GlobalContext,
+    accessor: &(impl Fn(CompId, usize) -> Option<AccessPoint> + Sync),
+    hints: Option<&[Option<bool>]>,
+    threads: usize,
+    budget: PhaseBudget<'_>,
+) -> ((usize, usize), ExecReport, Vec<FaultRecord>, usize) {
+    let connected = &gctx.connected;
+    let hint_of = |i: usize| -> Option<bool> {
+        hints
+            .filter(|h| h.len() == connected.len())
+            .and_then(|h| h[i])
+    };
+    let engine = DrcEngine::new(tech);
+    let unhinted: Vec<usize> = (0..connected.len())
+        .filter(|&i| hint_of(i).is_none())
+        .collect();
+    let ctx = if unhinted.is_empty() {
+        pao_obs::counter_add("audit.hinted_all", 1);
+        None
+    } else if hints.is_some_and(|h| h.len() == connected.len())
+        && unhinted.len() * 8 <= connected.len()
+    {
+        // A hinted audit with only a few residual probes (the last repair
+        // round's greedy pins) doesn't need the full base+vias repack:
+        // every probe reads only within its via shapes' per-layer search
+        // halos, so a context holding just those windows' shapes gives
+        // identical verdicts. The windows are filled from the packed
+        // base plus a raw (never packed) selected-via set — raw queries
+        // scan each layer's pending items linearly, which for a handful
+        // of windows beats packing four-digit via counts outright.
+        // Shapes duplicated by overlapping windows are verdict-neutral:
+        // merged checks take idempotent same-owner unions, pairwise
+        // checks merely re-test the same pair.
+        pao_obs::counter_add("audit.windowed_ctx", 1);
+        let mut vias = ShapeSet::new(gctx.base.num_layers());
+        for &(comp, pin_idx) in connected {
+            if let Some(ap) = accessor(comp, pin_idx) {
+                if let Some(v) = ap.primary_via() {
+                    for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
+                        vias.insert_deferred(layer, rect, pin_owner(comp, pin_idx));
+                    }
                 }
             }
         }
-    }
-    ctx.rebuild();
-    let engine = DrcEngine::new(tech);
+        let mut wctx = ShapeSet::new(gctx.base.num_layers());
+        for &i in &unhinted {
+            let (comp, pin_idx) = connected[i];
+            let Some(ap) = accessor(comp, pin_idx) else {
+                continue;
+            };
+            let Some(v) = ap.primary_via() else { continue };
+            for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
+                let w = rect.expanded(engine.halo(layer));
+                let mut put = |r: Rect, o: Owner| {
+                    wctx.insert_deferred(layer, r, o);
+                    true
+                };
+                gctx.base.for_each_in(layer, w, &mut put);
+                vias.for_each_in(layer, w, &mut put);
+            }
+        }
+        wctx.rebuild();
+        Some(wctx)
+    } else {
+        Some(gctx.with_vias(tech, accessor, None))
+    };
     let (oks, exec) = {
-        let (ctx, engine, accessor) = (&ctx, &engine, &accessor);
+        let (ctx, engine, hint_of) = (&ctx, &engine, &hint_of);
         parallel_map_budget(
             threads,
             "audit.pin",
-            connected.clone(),
+            (0..connected.len()).collect::<Vec<_>>(),
             DrcScratch::new,
-            move |ws, (comp, pin_idx)| {
-                let ok = match accessor(comp, pin_idx) {
-                    Some(ap) => match ap.primary_via() {
+            move |ws, i| {
+                if let Some(ok) = hint_of(i) {
+                    pao_obs::counter_add("audit.hint_hits", 1);
+                    return ok;
+                }
+                let (comp, pin_idx) = connected[i];
+                // `ctx` is `Some` whenever any pin lacks a hint.
+                let ok = match (accessor(comp, pin_idx), ctx) {
+                    (Some(ap), Some(ctx)) => match ap.primary_via() {
                         Some(v) => engine.via_placement_clean(
                             tech.via(v),
                             ap.pos,
@@ -1043,7 +1536,7 @@ pub fn count_failed_pins_with_budget(
                         // Planar-only access (macro pins): accept.
                         None => !ap.planar.is_empty(),
                     },
-                    None => false,
+                    _ => false,
                 };
                 ws.flush_obs();
                 ok

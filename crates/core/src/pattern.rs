@@ -105,14 +105,41 @@ pub fn aps_compatible_scratch(
         // Planar-only access points cannot via-conflict.
         return true;
     };
+    vias_compatible(
+        tech,
+        engine,
+        va,
+        a.pos + offset_a,
+        vb,
+        b.pos + offset_b,
+        ctx,
+    )
+}
+
+/// Pairwise via probe underneath [`aps_compatible_scratch`]: drops the
+/// two vias at their absolute positions into the scratch context and
+/// audits. The context is deliberately **not** repacked — a pair context
+/// holds a handful of shapes, so the index's linear overflow scan beats
+/// the per-probe repack allocation, making the steady-state probe path
+/// allocation-free. The verdict is independent of insertion order, so
+/// memoizing it per (via, via, offset-delta) is sound.
+#[must_use]
+pub fn vias_compatible(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    va: pao_tech::ViaId,
+    pa: Point,
+    vb: pao_tech::ViaId,
+    pb: Point,
+    ctx: &mut ShapeSet,
+) -> bool {
     ctx.clear();
-    for (layer, rect) in tech.via(va).placed_shapes(a.pos + offset_a) {
+    for (layer, rect) in tech.via(va).each_placed_shape(pa) {
         ctx.insert(layer, rect, Owner::net(1));
     }
-    for (layer, rect) in tech.via(vb).placed_shapes(b.pos + offset_b) {
+    for (layer, rect) in tech.via(vb).each_placed_shape(pb) {
         ctx.insert(layer, rect, Owner::net(2));
     }
-    ctx.rebuild();
     engine.audit_clean(ctx)
 }
 
@@ -291,7 +318,7 @@ pub fn generate_patterns(
         for (mi, &ap_idx) in choice.iter().enumerate() {
             let ap = &pin_aps[order[mi]][ap_idx];
             if let Some(v) = ap.primary_via() {
-                for (layer, rect) in tech.via(v).placed_shapes(ap.pos) {
+                for (layer, rect) in tech.via(v).each_placed_shape(ap.pos) {
                     val_ctx.insert(layer, rect, Owner::net(mi as u64));
                 }
             }

@@ -69,6 +69,11 @@ pub struct PaoStats {
     /// [`CancelToken::cancel_at`](crate::budget::CancelToken::cancel_at)
     /// cuts are deterministic).
     pub deadline: DeadlineReport,
+    /// Cluster-selection fast-path instrumentation (probe/edge counts,
+    /// memo hit rate, pruning, wavefront sub-ranges). Deterministic per
+    /// tuning except `subranges`, which scales with the worker count —
+    /// excluded from [`Self::counters_eq`] for that reason.
+    pub select_telemetry: crate::cluster::SelectTelemetry,
 }
 
 impl PaoStats {

@@ -212,6 +212,157 @@ fn fewer_coord_types_fewer_aps() {
     });
 }
 
+/// A random multi-height placement: rows of abutting single-height
+/// cells with occasional double-height cells spanning two rows, pins
+/// hugging the cell edges so cluster selection has real boundary edges
+/// to probe. Every pin is connected, so the failed-pin audit covers the
+/// whole design.
+#[allow(clippy::needless_range_loop)]
+fn gen_world(rng: &mut pao_ptest::Rng) -> (Tech, Design) {
+    use pao_design::{Component, Net, NetPin};
+    use pao_geom::Orient;
+    use pao_tech::{Macro, Pin, PinDir, Port};
+    let mut t = tech();
+    let edge_cell = |name: &str, h: i64| {
+        let mut cell = Macro::new(name, 1200, h);
+        cell.pins.push(Pin::new(
+            "A",
+            PinDir::Input,
+            vec![Port::rects(
+                LayerId(0),
+                vec![Rect::new(35, 100, 185, h - 500)],
+            )],
+        ));
+        cell.pins.push(Pin::new(
+            "Y",
+            PinDir::Output,
+            vec![Port::rects(
+                LayerId(0),
+                vec![Rect::new(1015, 100, 1165, h - 500)],
+            )],
+        ));
+        cell
+    };
+    t.add_macro(edge_cell("SH", 1400));
+    t.add_macro(edge_cell("DH", 2800));
+    let rows = rng.gen_range(2usize..4);
+    let cols = rng.gen_range(3usize..7);
+    let mut d = Design::new("rand", Rect::new(0, 0, 40_000, 40_000));
+    d.tracks.push(TrackPattern::new(
+        Dir::Horizontal,
+        100,
+        200,
+        90,
+        vec![LayerId(0)],
+    ));
+    d.tracks.push(TrackPattern::new(
+        Dir::Vertical,
+        100,
+        200,
+        90,
+        vec![LayerId(2)],
+    ));
+    let mut occupied = vec![vec![false; cols]; rows];
+    let mut placed = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if occupied[r][c] || rng.gen_bool(0.2) {
+                continue; // leave a gap — clusters split here
+            }
+            let double = r + 1 < rows && !occupied[r + 1][c] && rng.gen_bool(0.25);
+            let master = if double { "DH" } else { "SH" };
+            let at = Point::new(200 + 1200 * c as i64, 1400 * r as i64);
+            let name = format!("u{r}_{c}");
+            placed.push(d.add_component(Component::new(name, master, at, Orient::N)));
+            occupied[r][c] = true;
+            if double {
+                occupied[r + 1][c] = true;
+            }
+        }
+    }
+    for (i, &comp) in placed.iter().enumerate() {
+        let mut net = Net::new(format!("n{i}"));
+        net.pins.push(NetPin::Comp {
+            comp,
+            pin: "A".into(),
+        });
+        net.pins.push(NetPin::Comp {
+            comp,
+            pin: "Y".into(),
+        });
+        d.add_net(net);
+    }
+    (t, d)
+}
+
+/// The cluster-selection fast path is output-invariant: memoization,
+/// the intra-group wavefront split and the thread count change wall
+/// clock and probe counts only, never a selection. Also pins down the
+/// telemetry contract (memo lookups cover every edge; counters are
+/// identical across thread counts and split modes) and cross-checks the
+/// audit's hint fast path against the public whole-design probe.
+#[test]
+fn selection_identical_across_memo_split_and_threads() {
+    use pao_core::{PaoConfig, PinAccessOracle};
+    let mut total_edges = 0u64;
+    check(
+        "selection_identical_across_memo_split_and_threads",
+        10,
+        |rng| {
+            let (t, d) = gen_world(rng);
+            let run = |threads: usize, memo: bool, split: usize| {
+                let mut cfg = PaoConfig {
+                    threads,
+                    ..PaoConfig::default()
+                };
+                cfg.select.memo = memo;
+                cfg.select.split_min_clusters = split;
+                PinAccessOracle::with_config(cfg).analyze(&t, &d)
+            };
+            let base = run(1, true, 16);
+            let split4 = run(4, true, 1); // forced wavefront split
+            let nomemo = run(1, false, 16);
+            let nomemo4 = run(4, false, 1);
+            for v in [&split4, &nomemo, &nomemo4] {
+                assert_eq!(v.selection, base.selection, "selection diverged");
+                assert_eq!(v.overrides, base.overrides, "overrides diverged");
+                assert!(v.stats.counters_eq(&base.stats), "counters diverged");
+            }
+            // Per-cluster memo scope makes every counter except `subranges`
+            // thread- and split-invariant.
+            let bt = base.stats.select_telemetry;
+            let st = split4.stats.select_telemetry;
+            assert_eq!(
+                (bt.edges, bt.probes, bt.cache_hits, bt.cache_misses),
+                (st.edges, st.probes, st.cache_hits, st.cache_misses),
+            );
+            assert_eq!(bt.edges_pruned, st.edges_pruned);
+            assert_eq!(
+                bt.cache_hits + bt.cache_misses,
+                bt.edges,
+                "memo covers every edge"
+            );
+            // Memo off: same edges and pruning, zero cache traffic, at
+            // least as many probes.
+            let nt = nomemo.stats.select_telemetry;
+            assert_eq!((nt.cache_hits, nt.cache_misses), (0, 0));
+            assert_eq!(nt.edges, bt.edges);
+            assert_eq!(nt.edges_pruned, bt.edges_pruned);
+            assert!(nt.probes >= bt.probes, "memo increased probe count");
+            // Audit-hint cross-check: the hinted audit inside analyze must
+            // agree with the public full-probe count.
+            let (total, failed) = pao_core::oracle::count_failed_pins(&t, &d, &base);
+            assert_eq!(total, base.stats.total_pins);
+            assert_eq!(failed, base.stats.failed_pins, "hinted audit diverged");
+            total_edges += bt.edges;
+        },
+    );
+    assert!(
+        total_edges > 0,
+        "no run exercised a boundary edge — vacuous fixture"
+    );
+}
+
 /// Persisted access points round-trip exactly.
 #[test]
 fn persisted_ap_roundtrip() {

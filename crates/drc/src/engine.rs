@@ -50,7 +50,14 @@ impl<'t> DrcEngine<'t> {
             .map(|li| {
                 let l = tech.layer(LayerId(li as u32));
                 let table_max = l.spacing_table.as_ref().map_or(0, |t| t.max_spacing());
-                let eol_max = l.eol_rules.iter().map(|r| r.space).max().unwrap_or(0);
+                // An EOL search region extends `space` past the edge and
+                // `within` sideways, so both bound the reach of the rule.
+                let eol_max = l
+                    .eol_rules
+                    .iter()
+                    .map(|r| r.space.max(r.within))
+                    .max()
+                    .unwrap_or(0);
                 l.spacing.max(table_max).max(eol_max)
             })
             .collect();
@@ -68,6 +75,15 @@ impl<'t> DrcEngine<'t> {
     #[must_use]
     pub fn halo(&self, layer: LayerId) -> Dbu {
         self.halos[layer.index()]
+    }
+
+    /// The widest halo across all layers — an upper bound on the distance
+    /// at which any context shape can influence any verdict. Every
+    /// context query in this engine uses a window inflated by at most the
+    /// per-layer halo, so shapes farther apart than this never interact.
+    #[must_use]
+    pub fn interaction_range(&self) -> Dbu {
+        self.halos.iter().copied().max().unwrap_or(0)
     }
 
     /// Checks metal spacing between two same-layer shapes of different
@@ -464,6 +480,34 @@ impl<'t> DrcEngine<'t> {
         }
         if !self.via_merged_sink(via, owner, ctx, ws, &mut sink) {
             ws.rejects += 1;
+            return false;
+        }
+        true
+    }
+
+    /// `true` when `via` at `at` passes every *pairwise* rule against
+    /// `ctx` (cut spacing, metal spacing, EOL) — the merged-geometry
+    /// rules are skipped. This is [`Self::via_placement_clean`] minus
+    /// the same-owner merged checks, for split-context probing: when the
+    /// base placement and the selected vias live in two separate packed
+    /// sets, probing the base with the full check and the via set with
+    /// this one covers every rule exactly once, because merged geometry
+    /// only ever unions same-owner shapes and a pin's own via copy adds
+    /// nothing to its own union.
+    #[must_use]
+    pub fn via_pairwise_clean(
+        &self,
+        via: &ViaDef,
+        at: Point,
+        owner: Owner,
+        ctx: &ShapeSet,
+        ws: &mut DrcScratch,
+    ) -> bool {
+        ws.probes += 1;
+        let mut sink = FirstOnly::new();
+        if !self.via_pre_merged_sink(via, at, owner, ctx, ws, &mut sink) {
+            ws.rejects += 1;
+            ws.early_exits += 1;
             return false;
         }
         true

@@ -119,11 +119,53 @@ impl ShapeSet {
         self.layers[layer.index()].insert(rect, owner);
     }
 
+    /// Inserts a shape without the automatic repack of
+    /// [`ShapeSet::insert`] — the bulk-fill form. A fill of `n` shapes
+    /// stays O(n) instead of paying repeated intermediate tree packs;
+    /// call [`ShapeSet::rebuild`] once when the fill is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range.
+    pub fn insert_deferred(&mut self, layer: LayerId, rect: Rect, owner: Owner) {
+        self.layers[layer.index()].defer_insert(rect, owner);
+    }
+
     /// Bulk-inserts shapes and repacks the indexes (call once after filling
     /// a large context).
     pub fn rebuild(&mut self) {
         for t in &mut self.layers {
             t.rebuild();
+        }
+    }
+
+    /// A new, fully packed set holding this set's shapes plus `extra`'s —
+    /// one bulk load per layer, with none of the clone-then-rebuild waste
+    /// of copying an index that is about to be discarded. `extra` need not
+    /// be rebuilt; its raw items are read directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two sets span a different number of layers.
+    #[must_use]
+    pub fn merged(&self, extra: &ShapeSet) -> ShapeSet {
+        assert_eq!(
+            self.layers.len(),
+            extra.layers.len(),
+            "merged contexts must span the same layers"
+        );
+        ShapeSet {
+            layers: self
+                .layers
+                .iter()
+                .zip(&extra.layers)
+                .map(|(a, b)| {
+                    let mut items = Vec::with_capacity(a.len() + b.len());
+                    items.extend(a.iter().copied());
+                    items.extend(b.iter().copied());
+                    RTree::bulk_load(items)
+                })
+                .collect(),
         }
     }
 

@@ -165,6 +165,16 @@ impl<T> RTree<T> {
         }
     }
 
+    /// Inserts an item into the overflow buffer **without** the automatic
+    /// repack of [`RTree::insert`]. Queries still see it (linear overflow
+    /// scan), but a bulk fill of `n` items stays O(n) instead of paying
+    /// repeated intermediate STR packs; call [`RTree::rebuild`] once when
+    /// the fill is complete.
+    pub fn defer_insert(&mut self, bounds: Rect, value: T) {
+        self.items.push((bounds, value));
+        self.overflow.push(self.items.len() - 1);
+    }
+
     /// Repacks the tree so overflow items participate in the index.
     pub fn rebuild(&mut self) {
         self.build_root();

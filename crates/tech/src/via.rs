@@ -127,6 +127,26 @@ impl ViaDef {
         out
     }
 
+    /// Allocation-free form of [`Self::placed_shapes`]: yields the
+    /// translated `(layer, rect)` pairs without building a `Vec`. Hot
+    /// paths that probe one via pair at a time (cluster-selection
+    /// boundary compatibility) iterate this instead.
+    pub fn each_placed_shape(&self, at: Point) -> impl Iterator<Item = (LayerId, Rect)> + '_ {
+        self.bottom_shapes
+            .iter()
+            .map(move |&r| (self.bottom_layer, r.translated(at)))
+            .chain(
+                self.cut_shapes
+                    .iter()
+                    .map(move |&r| (self.cut_layer, r.translated(at))),
+            )
+            .chain(
+                self.top_shapes
+                    .iter()
+                    .map(move |&r| (self.top_layer, r.translated(at))),
+            )
+    }
+
     /// A 90°-rotated variant of this via (shapes transposed about the
     /// origin), named `<name>_R90`. Useful when the bottom enclosure's long
     /// axis must follow a vertical pin.

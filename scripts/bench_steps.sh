@@ -42,14 +42,33 @@ with open(out_path, "w") as f:
     json.dump(hist, f, indent=2)
     f.write("\n")
 
+if run.get("host_threads", 0) < run.get("threads", 0):
+    print(
+        f"WARNING: host has only {run['host_threads']} hardware thread(s) but the\n"
+        f"WARNING: parallel run asked for {run['threads']} workers — wall-clock\n"
+        f"WARNING: speedups below are meaningless on this machine (oversubscribed\n"
+        f"WARNING: pool); counter identity and per-phase deltas remain valid.",
+        file=sys.stderr,
+    )
+
 print(f"appended run #{len(hist)} ({run['workload']}) to {out_path}")
+sel = run.get("select")
+if sel:
+    lookups = sel["cache_hits"] + sel["cache_misses"]
+    rate = 100.0 * sel["cache_hits"] / lookups if lookups else 0.0
+    print(
+        f"  select     compat-cache {rate:.1f}% hit rate "
+        f"({sel['cache_hits']}/{lookups}), {sel['probes']} probes, "
+        f"{sel['edges_pruned']} edges pruned, {sel['pairs_far']} pairs far"
+    )
 if prev is None:
     print("no previous run for this workload; no delta to report")
 else:
     for key in ("apgen_s", "pattern_s", "cluster_s", "total_s"):
         old, new = prev["parallel"][key], run["parallel"][key]
         pct = 100.0 * (new - old) / old if old else 0.0
-        print(f"  {key:<10} {old:>9.6f}s -> {new:>9.6f}s  ({pct:+.1f}%)")
+        speedup = f"  {old / new:5.2f}x vs prev" if new else ""
+        print(f"  {key:<10} {old:>9.6f}s -> {new:>9.6f}s  ({pct:+.1f}%){speedup}")
     print(f"  speedup    {prev['speedup']:.3f} -> {run['speedup']:.3f}")
     # Deadline-mode run (infinite budget, every cancellation poll live):
     # the overhead of the anytime machinery, expected well under 1%.

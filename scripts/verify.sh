@@ -81,6 +81,34 @@ grep -q "stalled on item 0" "$out" || { echo "stall not recorded"; exit 1; }
 grep -q "watchdog.stalls" "$out" || { echo "watchdog counter missing"; exit 1; }
 echo "deadline e2e: OK"
 
+echo "== selection identity =="
+# The cluster-selection fast path (compat memo, DP pruning, wavefront
+# split) must be output-invariant: --dump-selection files from any
+# thread count / memo / split combination are byte-identical
+# (DESIGN.md §14). --select-split 1 forces the intra-group split even
+# on small groups so the parallel merge path is covered.
+ref="$rep/sel-ref.txt"
+target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+    --threads 1 --dump-selection "$ref" > /dev/null 2>&1
+i=0
+for flags in "--threads 4" "--threads 1 --no-select-memo" \
+             "--threads 4 --select-split 1" \
+             "--threads 4 --select-split 1 --no-select-memo"; do
+    i=$((i+1))
+    # shellcheck disable=SC2086
+    target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+        $flags --dump-selection "$rep/sel-$i.txt" > /dev/null 2>&1
+    cmp -s "$ref" "$rep/sel-$i.txt" \
+        || { echo "selection dump diverged for: $flags"; exit 1; }
+done
+echo "selection identity: OK"
+
+echo "== selection zero-alloc gate =="
+# The warm selection pass must not allocate (counting-allocator
+# integration test; criterion is unavailable offline, so the gate lives
+# in the test suite and is re-run here explicitly).
+cargo test -p pao-core --test select_alloc -q
+
 echo "== bench history =="
 # The bench history appended by scripts/bench_steps.sh must stay valid
 # JSON (a top-level array of run objects, or the legacy single object).
