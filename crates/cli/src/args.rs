@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 17] = [
+const VALUE_OPTS: [&str; 21] = [
     "--threads",
     "--k",
     "--report",
@@ -29,6 +29,10 @@ const VALUE_OPTS: [&str; 17] = [
     "--watchdog-ms",
     "--select-split",
     "--dump-selection",
+    "--pin",
+    "--inst",
+    "--top",
+    "--heatmap",
 ];
 
 impl Args {
@@ -124,6 +128,16 @@ mod tests {
         let b = parse("bench --case ispd18s_test2 --out bench.json");
         assert_eq!(b.value("--case"), Some("ispd18s_test2"));
         assert!(b.positional(1).is_err());
+    }
+
+    #[test]
+    fn ledger_command_value_opts() {
+        let a = parse("explain x y --pin u42/A");
+        assert_eq!(a.value("--pin"), Some("u42/A"));
+        let b = parse("report x y --top 5 --heatmap h.svg --inst u3");
+        assert_eq!(b.value("--top"), Some("5"));
+        assert_eq!(b.value("--heatmap"), Some("h.svg"));
+        assert_eq!(b.value("--inst"), Some("u3"));
     }
 
     #[test]

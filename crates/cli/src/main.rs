@@ -15,6 +15,11 @@
 //!             [--out FILE]
 //! pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
 //!             [--trace FILE] [--report FILE] [--deadline-ms MS]
+//!             [--ledger]
+//! pao explain <tech.lef> <design.def> (--pin INSTANCE/PIN | --inst NAME)
+//!             [--threads N] [--report FILE]
+//! pao report  <tech.lef> <design.def> [--out FILE] [--top N]
+//!             [--heatmap FILE] [--threads N]
 //! ```
 
 use pao_core::{PaoConfig, PaoError, PinAccessOracle, RunBudget};
@@ -24,6 +29,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 mod args;
+mod explain;
 use args::Args;
 
 /// Typed CLI failure. Each variant maps to a distinct exit code so
@@ -234,8 +240,10 @@ fn parse_budget_flags(
     Ok((deadline, watchdog))
 }
 
-/// Applies the cluster-selection tuning flags. `--no-select-memo`
-/// disables the boundary-compat memo cache (A/B identity runs);
+/// Applies the cluster-selection tuning flags. The boundary-compat memo
+/// cache is off by default (its measured hit rate is sub-1%, see
+/// `SelectTuning::memo`); `--select-memo` opts back in and
+/// `--no-select-memo` forces it off (A/B identity runs).
 /// `--select-split N` sets the minimum group size for the intra-group
 /// wavefront split (0 disables, 1 forces it). Shared by analyze/profile.
 fn parse_select_flags(args: &Args, select: &mut pao_core::SelectTuning) -> Result<(), CliError> {
@@ -243,6 +251,9 @@ fn parse_select_flags(args: &Args, select: &mut pao_core::SelectTuning) -> Resul
         if args.value_missing(name) {
             return Err(CliError::usage(format!("{name} requires a value")));
         }
+    }
+    if args.flag("--select-memo") {
+        select.memo = true;
     }
     if args.flag("--no-select-memo") {
         select.memo = false;
@@ -634,6 +645,17 @@ fn git_rev() -> String {
 fn cmd_bench(args: &Args) -> Result<(), CliError> {
     let (tech, design, workload) = load_workload(args)?;
     let threads = parse_threads(args)?;
+    // Honesty about parallelism: record what was asked for and what the
+    // host can actually deliver. On a 1-core host the "parallel" run is
+    // physically the baseline again — still valuable as a determinism
+    // check, but its speedup is not a performance number.
+    let host_threads = pao_core::default_threads();
+    let threads_effective = threads.min(host_threads).max(1);
+    if threads_effective < threads {
+        eprintln!(
+            "note: host has {host_threads} thread(s); requested {threads} — speedup reflects {threads_effective}-way parallelism at best"
+        );
+    }
     let analyze = |threads: usize| {
         let cfg = PaoConfig {
             threads,
@@ -678,18 +700,21 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
             "parallel selection diverged from single-threaded baseline".to_owned(),
         ));
     }
-    eprintln!("benchmarking `{workload}`: memo-off reference ({threads} threads) …");
-    let memo_off = {
+    // The compat memo is off by default (near-dead hit rate); the
+    // reference run turns it back on to prove the memoized path still
+    // selects identically when opted into with --select-memo.
+    eprintln!("benchmarking `{workload}`: memo-on reference ({threads} threads) …");
+    let memo_on = {
         let mut cfg = PaoConfig {
             threads,
             ..PaoConfig::default()
         };
-        cfg.select.memo = false;
+        cfg.select.memo = true;
         PinAccessOracle::with_config(cfg).analyze(&tech, &design)
     };
-    if memo_off.selection != parallel.selection
-        || memo_off.overrides != parallel.overrides
-        || !memo_off.stats.counters_eq(&parallel.stats)
+    if memo_on.selection != parallel.selection
+        || memo_on.overrides != parallel.overrides
+        || !memo_on.stats.counters_eq(&parallel.stats)
     {
         return Err(CliError::Internal(
             "memoized selection diverged from unmemoized reference".to_owned(),
@@ -725,7 +750,8 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     let json = format!(
         concat!(
             "{{\n  \"workload\": \"{}\",\n  \"components\": {},\n  \"nets\": {},\n",
-            "  \"threads\": {},\n  \"git_rev\": \"{}\",\n  \"host_threads\": {},\n",
+            "  \"threads\": {},\n  \"threads_requested\": {},\n",
+            "  \"threads_effective\": {},\n  \"git_rev\": \"{}\",\n  \"host_threads\": {},\n",
             "  \"timestamp\": \"{}\",\n  \"baseline\": {},\n  \"parallel\": {},\n",
             "  \"deadline_mode\": {},\n  \"deadline_overhead_pct\": {:.3},\n",
             "  \"select\": {},\n",
@@ -735,8 +761,10 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
         design.components().len(),
         design.nets().len(),
         threads,
+        threads,
+        threads_effective,
         git_rev(),
-        pao_core::default_threads(),
+        host_threads,
         pao_obs::clock::now_iso8601(),
         stats_json(&baseline.stats),
         stats_json(&parallel.stats),
@@ -748,10 +776,27 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     let out = args.value("--out").unwrap_or("BENCH_pao.json");
     std::fs::write(out, &json)
         .map_err(|e| CliError::input(format!("cannot write `{out}`: {e}")))?;
+    let speedup_label = if threads_effective == 1 {
+        " (single-core host: determinism check only, not a performance number)"
+    } else {
+        ""
+    };
     eprintln!(
-        "speedup {speedup:.2}x, deadline-mode overhead {deadline_overhead_pct:+.2}% -> {out}"
+        "speedup {speedup:.2}x{speedup_label}, deadline-mode overhead {deadline_overhead_pct:+.2}% -> {out}"
     );
     Ok(())
+}
+
+/// Appends a warning when a memo cache's hit rate is under 5% — at that
+/// point the cache is pure bookkeeping cost. Runs with fewer than 1000
+/// lookups stay quiet (tiny workloads say nothing about the cache).
+fn cache_warning(out: &mut String, name: &str, hits: u64, lookups: u64) {
+    if lookups >= 1000 && hits * 20 < lookups {
+        out.push_str(&format!(
+            "warning: {name} hit rate {:.1}% (< 5% over {lookups} lookups) — the cache is nearly dead; prefer running without it\n",
+            100.0 * hits as f64 / lookups as f64,
+        ));
+    }
 }
 
 fn cmd_profile(args: &Args) -> Result<(), CliError> {
@@ -771,6 +816,7 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
         ..PaoConfig::default()
     };
     parse_select_flags(args, &mut cfg.select)?;
+    let cfg_ab = cfg.clone();
     let budget = RunBudget {
         deadline,
         watchdog,
@@ -929,7 +975,7 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
                 tel.cache_hits,
             ));
         } else {
-            out.push_str("  compat cache    : disabled (--no-select-memo)\n");
+            out.push_str("  compat cache    : disabled (default; opt in with --select-memo)\n");
         }
         out.push_str(&format!(
             "  edges pruned    : {:.1}% ({} of {total_edges} DP edges)\n",
@@ -946,6 +992,13 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
         ));
         out.push_str(&format!("  wavefront ranges: {}\n", tel.subranges));
     }
+    cache_warning(&mut out, "apgen via-memo", hits, hits + misses);
+    cache_warning(
+        &mut out,
+        "selection compat cache",
+        tel.cache_hits,
+        tel.cache_hits + tel.cache_misses,
+    );
     // Per-type-pair acceptance, derived from the apgen.tried.* /
     // apgen.accepted.* counter families (pair = pref_nonpref classes).
     let mut acceptance = String::new();
@@ -965,6 +1018,35 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
     if !acceptance.is_empty() {
         out.push_str("AP acceptance by type pair (accepted / tried):\n");
         out.push_str(&acceptance);
+    }
+    // Decision-ledger A/B (--ledger): rerun the same configuration with
+    // the ledger off and then on — neither rerun has metrics or tracing
+    // active — to isolate the ledger's own overhead. DESIGN.md §15
+    // budgets it at under 2% of analysis time.
+    if args.flag("--ledger") {
+        let run = |ledger_on: bool| {
+            pao_obs::reset();
+            if ledger_on {
+                pao_obs::enable_ledger();
+            }
+            let r = PinAccessOracle::with_config(cfg_ab.clone()).analyze(&tech, &design);
+            pao_obs::disable_all();
+            (r.stats.total_time().as_secs_f64(), pao_obs::take_ledger())
+        };
+        eprintln!("profiling `{workload}`: ledger-off reference …");
+        let (off_s, _) = run(false);
+        eprintln!("profiling `{workload}`: ledger-on rerun …");
+        let (on_s, ledger) = run(true);
+        let overhead_pct = if off_s > 0.0 {
+            (on_s / off_s - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "\ndecision ledger   : {} records ({} dropped), overhead {overhead_pct:+.2}% (on {on_s:.3}s vs off {off_s:.3}s)\n",
+            ledger.records.len(),
+            ledger.dropped,
+        ));
     }
     if let Some(path) = args.value("--trace") {
         // Item spans are recorded from the executor's own busy-time
@@ -1017,7 +1099,12 @@ USAGE:
   pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
               [--trace FILE] [--report FILE] [--deadline-ms MS]
               [--watchdog-ms MS] [--inject-stall PHASE[:INDEX[:MS]]]
-              [--no-select-memo] [--select-split N]
+              [--select-memo] [--no-select-memo] [--select-split N]
+              [--ledger]
+  pao explain <tech.lef> <design.def> (--pin INSTANCE/PIN | --inst NAME)
+              [--threads N] [--report FILE]
+  pao report  <tech.lef> <design.def> [--out FILE] [--top N]
+              [--heatmap FILE] [--threads N]
 
   analyze runs all compute phases on every available core by default;
   --threads 1 reproduces the paper's single-threaded measurement mode
@@ -1038,17 +1125,31 @@ USAGE:
   work item (phases: apgen, pattern, select, repair, audit) to exercise
   that path.
 
-  Selection fast path: cluster selection memoizes boundary-compat
-  probes and prunes dominated DP edges; large groups additionally split
-  into component-disjoint wavefront levels when --threads > 1. All of
-  it is output-invariant: --no-select-memo (A/B the memo cache) and
-  --select-split N (minimum group size for the split; 0 disables,
-  1 forces) exist to prove that. --dump-selection FILE (analyze) writes
-  a deterministic per-component selection dump; dumps from any thread
-  count / memo / split combination are byte-identical. bench runs a
-  memo-off reference and fails with exit 4 if a single selection
-  differs; profile prints the cache hit rate, pruned-edge share and
-  probe counts under `selection fast path`.
+  Selection fast path: cluster selection prunes dominated DP edges;
+  large groups additionally split into component-disjoint wavefront
+  levels when --threads > 1. A boundary-compat memo cache exists but is
+  off by default (its measured hit rate is sub-1% — the cost-bound
+  prune already removes the repeats it would catch); --select-memo
+  opts back in, --no-select-memo forces it off. All of it is
+  output-invariant, and --dump-selection FILE (analyze) writes a
+  deterministic per-component selection dump to prove it; dumps from
+  any thread count / memo / split combination are byte-identical.
+  bench runs a memo-on reference and fails with exit 4 if a single
+  selection differs; profile prints the cache hit rate, pruned-edge
+  share and probe counts under `selection fast path`, and warns when
+  any memo cache's hit rate drops below 5%.
+
+  Decision ledger: explain re-runs the analysis with the decision
+  ledger enabled and prints one instance's causal chain — every AP
+  candidate tried with its reject rule and sub-check, the surviving
+  APs, pattern-DP penalties, the selected pattern, boundary conflicts
+  with neighbors and repair actions. report aggregates the same ledger
+  into deterministic JSONL (per-master and per-pin AP counts, a reject
+  histogram by rule, the --top N access-poorest pins), validating every
+  line with the in-repo JSON parser; --heatmap FILE additionally
+  renders a per-layer reject-density SVG. Both commands are
+  byte-identical across --threads values. profile --ledger measures
+  the ledger's cost with an off/on A/B rerun (budget: < 2%).
 
   Deadlines: --deadline-ms MS makes the analysis *anytime* — the budget
   is split across phases (by this checkpoint directory's recorded phase
@@ -1074,6 +1175,8 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args),
         Some("bench") => cmd_bench(&args),
         Some("profile") => cmd_profile(&args),
+        Some("explain") => explain::cmd_explain(&args),
+        Some("report") => explain::cmd_report(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);

@@ -597,6 +597,132 @@ fn profile_prints_deadline_section_when_budgeted() {
 }
 
 #[test]
+fn report_is_deterministic_jsonl_and_heatmap_renders() {
+    let lef = tmp("rep.lef");
+    let def = tmp("rep.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    let r1 = tmp("report1.jsonl");
+    let r4 = tmp("report4.jsonl");
+    let heat = tmp("rejects.svg");
+    for (threads, out_path) in [("1", &r1), ("4", &r4)] {
+        let mut cmd = pao();
+        cmd.arg("report")
+            .arg(&lef)
+            .arg(&def)
+            .args(["--threads", threads, "--top", "3", "--out"])
+            .arg(out_path);
+        if threads == "4" {
+            cmd.arg("--heatmap").arg(&heat);
+        }
+        let out = cmd.output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let a = std::fs::read_to_string(&r1).expect("report written");
+    let b = std::fs::read_to_string(&r4).expect("report written");
+    assert_eq!(a, b, "report must be byte-identical across thread counts");
+    // Round-trip contract: every JSONL line survives the in-repo strict
+    // JSON parser, and the aggregate kinds are all present.
+    for line in a.lines() {
+        pao_obs::json::validate(line).expect("report line is valid JSON");
+    }
+    for kind in ["summary", "reject", "master", "pin", "access_poor"] {
+        assert!(a.contains(&format!("\"kind\": \"{kind}\"")), "{a}");
+    }
+    let svg = std::fs::read_to_string(&heat).expect("heatmap written");
+    assert!(svg.starts_with("<svg") && svg.contains("rejects"), "{svg}");
+}
+
+#[test]
+fn explain_prints_causal_chain_and_validates_targets() {
+    let lef = tmp("ex.lef");
+    let def = tmp("ex.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+    let out = pao()
+        .arg("explain")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--pin", "u1/CK", "--threads", "2"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("explain: u1"), "{text}");
+    assert!(text.contains("candidate(s) tried"), "{text}");
+    assert!(text.contains("surviving access points"), "{text}");
+    assert!(text.contains("final access"), "{text}");
+    assert!(text.contains("selected pattern"), "{text}");
+    // Missing target: usage error. Unknown instance: input error.
+    let out = pao()
+        .arg("explain")
+        .arg(&lef)
+        .arg(&def)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let out = pao()
+        .arg("explain")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--inst", "nosuchinst"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn profile_ledger_overhead_coexists_with_trace_export() {
+    let trace = tmp("ledger_trace.json");
+    let out = pao()
+        .args([
+            "profile",
+            "--case",
+            "smoke",
+            "--threads",
+            "2",
+            "--ledger",
+            "--trace",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("decision ledger"), "{text}");
+    assert!(text.contains("records"), "{text}");
+    // The ledger A/B rerun must not corrupt the Chrome trace of the
+    // instrumented run: the export still validates end to end.
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    pao_obs::json::validate(&json).expect("trace is valid JSON");
+    assert!(json.contains("\"ph\":\"X\""));
+}
+
+#[test]
 fn unknown_case_reports_error() {
     let out = pao()
         .args(["gen", "bogus", "--lef", "/tmp/x.lef", "--def", "/tmp/x.def"])

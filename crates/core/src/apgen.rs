@@ -3,11 +3,26 @@
 use crate::coord::CoordType;
 use crate::unique::local_pin_owner;
 use pao_design::Design;
-use pao_drc::{DrcEngine, DrcScratch, Owner, ShapeSet};
+use pao_drc::{DrcEngine, DrcScratch, Owner, RejectInfo, ShapeSet};
 use pao_geom::{max_rects, Dbu, Dir, Point, Rect};
+use pao_obs::{ledger, LedgerEvent, LedgerRecord};
 use pao_tech::{LayerId, Tech, ViaId};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Memo/ledger tag for a clean via placement.
+const TAG_CLEAN: u16 = u16::MAX;
+/// Tag for "rejected, but no rule attribution exists" — a pin with no
+/// up-via at all, or a planar-only failure. Distinct from every packed
+/// `(rule << 8) | subcheck` tag (rule codes stop far below `0xFF`).
+const TAG_NO_VIA: u16 = 0xFFFE;
+
+/// Packs a DRC reject attribution into a memoizable tag.
+fn pack_reject(info: Option<RejectInfo>) -> u16 {
+    info.map_or(TAG_NO_VIA, |i| {
+        (u16::from(i.rule.code()) << 8) | u16::from(i.subcheck.code())
+    })
+}
 
 /// A planar (same-layer) escape direction stored on an access point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,9 +250,18 @@ fn candidate_coords_into(
 pub struct ApScratch {
     /// Positions already enumerated for the current pin (cleared per pin).
     seen: HashSet<(LayerId, Point)>,
-    /// Memoized `check_via_placement(..).is_empty()` per placement
+    /// Memoized via-placement verdict per placement, packed as a reject
+    /// tag ([`TAG_CLEAN`] for clean) so repeat probes keep attribution
     /// (persists across the pins of one instance context).
-    via_memo: HashMap<(ViaId, Point, Owner), bool>,
+    via_memo: HashMap<(ViaId, Point, Owner), u16>,
+    /// Tag answered by the most recent [`via_clean`](ApScratch::via_clean).
+    last_tag: u16,
+    /// Tag describing why the last validated candidate was rejected (the
+    /// first dirty via's tag, or [`TAG_NO_VIA`]).
+    reject_tag: u16,
+    /// Ledger entity base (`unique_instance << 16`) OR-ed with the pin
+    /// index on emitted records; set by the oracle per instance.
+    entity_base: u64,
     /// Workspace of the early-exit DRC kernel (translated via shapes,
     /// merge fixpoint, grid buffers) plus its probe tallies.
     pub(crate) drc: DrcScratch,
@@ -308,7 +332,9 @@ impl ApScratch {
 
     /// Memoized via-placement probe: `true` when `via` drops DRC-clean at
     /// `pos` for `owner` in `ctx`. The first probe per placement runs the
-    /// engine; repeats are table lookups.
+    /// engine; repeats are table lookups. The memo stores the packed
+    /// reject tag, so even a memo hit leaves the rule + sub-check that
+    /// killed a dirty placement in [`last_tag`](ApScratch::last_tag).
     pub fn via_clean(
         &mut self,
         tech: &Tech,
@@ -319,14 +345,27 @@ impl ApScratch {
         owner: Owner,
     ) -> bool {
         let key = (via, pos, owner);
-        if let Some(&clean) = self.via_memo.get(&key) {
+        if let Some(&tag) = self.via_memo.get(&key) {
             self.memo_hits += 1;
-            return clean;
+            self.last_tag = tag;
+            return tag == TAG_CLEAN;
         }
         self.memo_misses += 1;
         let clean = engine.via_placement_clean(tech.via(via), pos, owner, ctx, &mut self.drc);
-        self.via_memo.insert(key, clean);
+        let tag = if clean {
+            TAG_CLEAN
+        } else {
+            pack_reject(self.drc.last_reject())
+        };
+        self.via_memo.insert(key, tag);
+        self.last_tag = tag;
         clean
+    }
+
+    /// Sets the unique-instance id stamped on ledger records emitted by
+    /// this scratch (entity = `instance << 16 | pin_idx`).
+    pub fn set_ledger_instance(&mut self, instance: u64) {
+        self.entity_base = instance << 16;
     }
 
     /// Publishes the accumulated tallies as `apgen.*` counters and zeroes
@@ -389,9 +428,14 @@ fn validate_point(
 ) -> Option<AccessPoint> {
     let owner = local_pin_owner(pin_idx);
     scratch.vias_buf.clear();
+    scratch.reject_tag = TAG_NO_VIA;
     for &vid in up_vias {
         if scratch.via_clean(tech, engine, ctx, vid, pos, owner) {
             scratch.vias_buf.push(vid);
+        } else if scratch.reject_tag == TAG_NO_VIA {
+            // First dirty via attributes the candidate's rejection
+            // (up-via order is fixed, so this is deterministic).
+            scratch.reject_tag = scratch.last_tag;
         }
     }
     let l = tech.layer(layer);
@@ -473,6 +517,9 @@ pub fn generate_pin_access_points_scratch(
 ) -> Vec<AccessPoint> {
     let mut aps: Vec<AccessPoint> = Vec::new();
     scratch.seen.clear();
+    // Trial index stamped on this pin's ledger records, counting unique
+    // candidate positions in enumeration (= cost) order.
+    let mut candidate: u32 = 0;
 
     // Group rects per routing layer and take maximal rectangles (the
     // paper's treatment of polygonal pins).
@@ -544,8 +591,33 @@ pub fn generate_pin_access_points_scratch(
                                 &up_vias, scratch,
                             ) {
                                 scratch.accepted[pair] += 1;
+                                if pao_obs::ledger_enabled() {
+                                    ledger::record(
+                                        LedgerRecord::new(
+                                            LedgerEvent::ApAccept,
+                                            scratch.entity_base | pin_idx as u64,
+                                            candidate,
+                                        )
+                                        .with_aux(layer.0)
+                                        .with_pos(pos.x, pos.y),
+                                    );
+                                }
                                 aps.push(ap);
+                            } else if pao_obs::ledger_enabled() {
+                                let tag = scratch.reject_tag;
+                                let mut rec = LedgerRecord::new(
+                                    LedgerEvent::ApReject,
+                                    scratch.entity_base | pin_idx as u64,
+                                    candidate,
+                                )
+                                .with_aux(layer.0)
+                                .with_pos(pos.x, pos.y);
+                                if tag != TAG_NO_VIA {
+                                    rec = rec.with_reject((tag >> 8) as u8, (tag & 0xFF) as u8);
+                                }
+                                ledger::record(rec);
                             }
+                            candidate += 1;
                         }
                     }
                 }

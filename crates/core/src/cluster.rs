@@ -13,6 +13,7 @@ use crate::unique::UniqueInstanceId;
 use pao_design::{CompId, Design};
 use pao_drc::{DrcEngine, ShapeSet};
 use pao_geom::{Dbu, Point, Rect};
+use pao_obs::{ledger, LedgerEvent, LedgerRecord};
 use pao_tech::{Tech, ViaId};
 use std::collections::HashMap;
 
@@ -194,6 +195,13 @@ pub struct SelectTuning {
     /// instances, their patterns and the boundary-relative offset delta;
     /// cleared per cluster so hit/miss counts are deterministic at every
     /// thread count and split mode).
+    ///
+    /// **Off by default**: benchmarking on ispd18s_test2 measured a 0.42%
+    /// hit rate (19 hits / 4467 misses) — the cost-bound prune and the
+    /// near-boundary filters already deduplicate almost every repeat edge,
+    /// so the per-edge hash of the six-field key is pure overhead. Opt
+    /// back in with `--select-memo` on designs with heavy cell repetition
+    /// inside single clusters.
     pub memo: bool,
     /// Minimum clusters in a selection group before its DP fans out over
     /// comp-disjoint wavefront levels (`0` disables the split).
@@ -203,7 +211,7 @@ pub struct SelectTuning {
 impl Default for SelectTuning {
     fn default() -> SelectTuning {
         SelectTuning {
-            memo: true,
+            memo: false,
             split_min_clusters: 16,
         }
     }
@@ -709,6 +717,8 @@ fn solve_cluster(
         return;
     }
     let n = members.len();
+    // Snapshots for the per-cluster pruning aggregate emitted below.
+    let (pruned_before, far_before) = (tel.edges_pruned, tel.pairs_far);
     // dp[i][p]: min cost selecting pattern p for member i (grow-only;
     // stale rows beyond `n` are never read).
     while dp.len() < n {
@@ -815,6 +825,18 @@ fn solve_cluster(
                 } else {
                     edge_clean(tech, engine, &laps_by_p[p], raps, far, ctx, tel)
                 };
+                // Attribute the dirty verdict where it is *used*, so the
+                // record stream is identical with the memo on or off.
+                if !clean && pao_obs::ledger_enabled() {
+                    ledger::record(
+                        LedgerRecord::new(
+                            LedgerEvent::SelectEdgeDirty,
+                            (u64::from(lcomp.0) << 32) | u64::from(rcomp.0),
+                            p as u32,
+                        )
+                        .with_aux(q as u32),
+                    );
+                }
                 let cost = if clean {
                     base
                 } else {
@@ -824,6 +846,22 @@ fn solve_cluster(
                     *cell = (cost, p);
                 }
             }
+        }
+    }
+    // One aggregate record per cluster: how much of this DP the distance
+    // and cost bounds skipped. Per-cluster counts depend only on the
+    // cluster's own edge sequence, so the record is thread-invariant.
+    if pao_obs::ledger_enabled() {
+        let (pruned_d, far_d) = (tel.edges_pruned - pruned_before, tel.pairs_far - far_before);
+        if pruned_d > 0 || far_d > 0 {
+            ledger::record(
+                LedgerRecord::new(
+                    LedgerEvent::SelectPruned,
+                    u64::from(members[0].0 .0),
+                    far_d as u32,
+                )
+                .with_aux(pruned_d as u32),
+            );
         }
     }
     // Traceback (dp is grow-only, so index by member count, not len()).

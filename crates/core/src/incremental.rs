@@ -410,7 +410,7 @@ impl PinAccessOracle {
         let gctx = crate::oracle::GlobalContext::build(tech, design);
         let mut repair_skipped = 0usize;
         let mut scan_ok: Option<Vec<Option<bool>>> = None;
-        for _ in 0..self.config().repair_rounds {
+        for round in 0..self.config().repair_rounds {
             if token.is_cancelled() {
                 scan_ok = None;
                 break;
@@ -422,6 +422,7 @@ impl PinAccessOracle {
                     &gctx,
                     &mut result,
                     threads,
+                    round,
                     PhaseBudget::new(&token, watchdog),
                 );
             result.stats.repair_exec.merge(&exec);

@@ -8,7 +8,7 @@ use crate::budget::{
 use crate::cluster::{select_patterns_budget, SelectTuning};
 use crate::error::{FaultRecord, PaoError, Phase};
 use crate::parallel::{parallel_map_budget, ExecReport, ItemFault, PhaseBudget};
-use crate::pattern::{generate_patterns, AccessPattern, PatternConfig};
+use crate::pattern::{generate_patterns_tagged, AccessPattern, PatternConfig};
 use crate::persist::{aps_fingerprint, ApgenSnapshot, CheckpointStore, PatternSnapshot};
 use crate::stats::PaoStats;
 use crate::unique::{
@@ -296,6 +296,7 @@ impl PinAccessOracle {
                     // buffers and memoized via probes (the audit below re-asks
                     // exactly the placements generation already checked).
                     let mut scratch = ApScratch::new();
+                    scratch.set_ledger_instance(idx as u64);
                     for (pin_idx, pin) in master.pins.iter().enumerate() {
                         if pin.use_.is_supply() {
                             continue;
@@ -475,7 +476,13 @@ impl PinAccessOracle {
                         }
                     }
                     let engine = DrcEngine::new(tech);
-                    generate_patterns(tech, &engine, &unique_ref[i].pin_aps, &self.config.pattern)
+                    generate_patterns_tagged(
+                        tech,
+                        &engine,
+                        &unique_ref[i].pin_aps,
+                        &self.config.pattern,
+                        i as u64,
+                    )
                 },
                 PhaseBudget::new(&pattern_token, watchdog),
             );
@@ -591,7 +598,7 @@ impl PinAccessOracle {
         // valid only when that round repaired nothing (the overrides — and
         // therefore the audit context — are unchanged since the scan).
         let mut scan_ok: Option<Vec<Option<bool>>> = None;
-        for _round in 0..self.config.repair_rounds {
+        for round in 0..self.config.repair_rounds {
             // All repair rounds share one phase token: once it expires, no
             // further round starts and the remaining scans are skipped.
             if repair_token.is_cancelled() {
@@ -606,6 +613,7 @@ impl PinAccessOracle {
                     &gctx,
                     &mut result,
                     self.config.threads,
+                    round,
                     PhaseBudget::new(&repair_token, watchdog),
                 );
             result.stats.repair_exec.merge(&exec);
@@ -803,12 +811,14 @@ fn scan_ap(result: &PaoResult, design: &Design, comp: CompId, pin_idx: usize) ->
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn repair_failed_pins_budget(
     tech: &Tech,
     design: &Design,
     gctx: &GlobalContext,
     result: &mut PaoResult,
     threads: usize,
+    round: usize,
     budget: PhaseBudget<'_>,
 ) -> (
     usize,
@@ -1135,6 +1145,18 @@ pub(crate) fn repair_failed_pins_budget(
         .filter_map(|((comp, pin_idx), d)| match d {
             Ok(d) => {
                 scan_ok.push(Some(!d));
+                // Sequential collection loop: the dirty-pin records land
+                // in scan order regardless of worker count.
+                if d && pao_obs::ledger_enabled() {
+                    pao_obs::ledger::record(
+                        pao_obs::LedgerRecord::new(
+                            pao_obs::LedgerEvent::RepairDirty,
+                            (u64::from(comp.0) << 16) | pin_idx as u64,
+                            0,
+                        )
+                        .with_aux(round as u32),
+                    );
+                }
                 d.then_some((comp, pin_idx))
             }
             Err(ItemFault::Skipped(_)) => {
@@ -1215,25 +1237,49 @@ pub(crate) fn repair_failed_pins_budget(
         // so there is no second (fallible) `primary_via` lookup.
         let placed = std::mem::take(&mut cand_lists[i])
             .into_iter()
-            .find_map(|cand| {
+            .enumerate()
+            .find_map(|(ci, cand)| {
                 let v = cand.primary_via()?;
                 engine
                     .via_placement_clean(tech.via(v), cand.pos, owner, &ctx, &mut ws)
-                    .then_some((cand, v))
+                    .then_some((ci, cand, v))
             });
-        if let Some((cand, v)) = placed {
+        if let Some((ci, cand, v)) = placed {
             for (l, r) in tech.via(v).each_placed_shape(cand.pos) {
                 ctx.insert(l, r, owner);
+            }
+            if pao_obs::ledger_enabled() {
+                pao_obs::ledger::record(
+                    pao_obs::LedgerRecord::new(
+                        pao_obs::LedgerEvent::RepairReplaced,
+                        (u64::from(comp.0) << 16) | pin_idx as u64,
+                        ci as u32,
+                    )
+                    .with_aux(round as u32)
+                    .with_pos(cand.pos.x, cand.pos.y),
+                );
             }
             result.overrides.insert((comp, pin_idx), cand);
             repaired += 1;
             pao_obs::counter_add("repair.replaced", 1);
-        } else if let Some(cur) = current {
-            // Nothing clean: keep the current choice committed so later
-            // pins at least see it.
-            if let Some(v) = cur.primary_via() {
-                for (l, r) in tech.via(v).each_placed_shape(cur.pos) {
-                    ctx.insert(l, r, owner);
+        } else {
+            if pao_obs::ledger_enabled() {
+                pao_obs::ledger::record(
+                    pao_obs::LedgerRecord::new(
+                        pao_obs::LedgerEvent::RepairStuck,
+                        (u64::from(comp.0) << 16) | pin_idx as u64,
+                        0,
+                    )
+                    .with_aux(round as u32),
+                );
+            }
+            if let Some(cur) = current {
+                // Nothing clean: keep the current choice committed so later
+                // pins at least see it.
+                if let Some(v) = cur.primary_via() {
+                    for (l, r) in tech.via(v).each_placed_shape(cur.pos) {
+                        ctx.insert(l, r, owner);
+                    }
                 }
             }
         }

@@ -5,6 +5,7 @@ use crate::apgen::AccessPoint;
 use crate::cost::{DRC_COST, NON_DEFAULT_VIA_COST, PENALTY_COST, UNIT_AP_COST};
 use pao_drc::{DrcEngine, Owner, ShapeSet};
 use pao_geom::Point;
+use pao_obs::{ledger, LedgerEvent, LedgerRecord};
 use pao_tech::Tech;
 use std::collections::HashSet;
 
@@ -176,13 +177,29 @@ fn ap_cost(tech: &Tech, ap: &AccessPoint) -> i64 {
 /// assumption misses); dirty patterns are discarded unless nothing clean
 /// exists.
 #[must_use]
-#[allow(clippy::if_same_then_else)] // the arms mirror Algorithm 3's cases
 pub fn generate_patterns(
     tech: &Tech,
     engine: &DrcEngine<'_>,
     pin_aps: &[Vec<AccessPoint>],
     cfg: &PatternConfig,
 ) -> (Vec<usize>, Vec<AccessPattern>) {
+    generate_patterns_tagged(tech, engine, pin_aps, cfg, 0)
+}
+
+/// [`generate_patterns`] with a unique-instance id stamped on the decision
+/// ledger records it emits (pruned DP edges, BCA penalties, validation
+/// verdicts). The oracle uses this form; `instance` becomes the high bits
+/// of each record's entity (`instance << 16 | master_pin_idx`).
+#[must_use]
+#[allow(clippy::if_same_then_else)] // the arms mirror Algorithm 3's cases
+pub fn generate_patterns_tagged(
+    tech: &Tech,
+    engine: &DrcEngine<'_>,
+    pin_aps: &[Vec<AccessPoint>],
+    cfg: &PatternConfig,
+    instance: u64,
+) -> (Vec<usize>, Vec<AccessPattern>) {
+    let entity_base = instance << 16;
     let order = order_pins(pin_aps, cfg.alpha);
     if order.is_empty() {
         return (order, Vec::new());
@@ -265,20 +282,61 @@ pub fn generate_patterns(
                     }
                     let prev_ap = &pin_aps[prev_pin][np];
                     dp_edges += 1;
-                    // Algorithm 3 edge cost.
+                    // Algorithm 3 edge cost. Each penalized arm leaves an
+                    // attribution record when the ledger is on.
                     let edge = if cfg.bca && mi - 1 == 0 && used_boundary.contains(&(0, np)) {
                         bca_penalties += 1;
+                        if pao_obs::ledger_enabled() {
+                            ledger::record(
+                                LedgerRecord::new(
+                                    LedgerEvent::PatEdgeBca,
+                                    entity_base | prev_pin as u64,
+                                    np as u32,
+                                )
+                                .with_aux(0),
+                            );
+                        }
                         PENALTY_COST
                     } else if cfg.bca && mi == m - 1 && used_boundary.contains(&(m - 1, n)) {
                         bca_penalties += 1;
+                        if pao_obs::ledger_enabled() {
+                            ledger::record(
+                                LedgerRecord::new(
+                                    LedgerEvent::PatEdgeBca,
+                                    entity_base | curr_pin as u64,
+                                    n as u32,
+                                )
+                                .with_aux(1),
+                            );
+                        }
                         PENALTY_COST
                     } else if !compat(prev_pin, np, curr_pin, n) {
+                        if pao_obs::ledger_enabled() {
+                            ledger::record(
+                                LedgerRecord::new(
+                                    LedgerEvent::PatEdgeDrc,
+                                    entity_base | curr_pin as u64,
+                                    n as u32,
+                                )
+                                .with_aux(np as u32),
+                            );
+                        }
                         DRC_COST
                     } else if cfg.history
                         && mi >= 2
                         && pcell.prev != usize::MAX
                         && !compat(order[mi - 2], pcell.prev, curr_pin, n)
                     {
+                        if pao_obs::ledger_enabled() {
+                            ledger::record(
+                                LedgerRecord::new(
+                                    LedgerEvent::PatEdgeHistory,
+                                    entity_base | curr_pin as u64,
+                                    n as u32,
+                                )
+                                .with_aux(pcell.prev as u32),
+                            );
+                        }
                         DRC_COST
                     } else {
                         ap_cost(tech, prev_ap) + ap_cost(tech, curr_ap)
@@ -326,6 +384,17 @@ pub fn generate_patterns(
         val_ctx.rebuild();
         validations += 1;
         let clean = engine.audit_clean(&val_ctx);
+        if pao_obs::ledger_enabled() {
+            ledger::record(
+                LedgerRecord::new(
+                    LedgerEvent::PatternValidated,
+                    entity_base,
+                    (dp_runs - 1) as u32,
+                )
+                .with_aux(u32::from(clean))
+                .with_pos(total, 0),
+            );
+        }
         let pat = AccessPattern {
             choice,
             cost: total,
@@ -339,6 +408,12 @@ pub fn generate_patterns(
     }
     if patterns.is_empty() {
         if let Some(p) = dirty_fallback {
+            if pao_obs::ledger_enabled() {
+                ledger::record(
+                    LedgerRecord::new(LedgerEvent::PatternFallback, entity_base, 0)
+                        .with_pos(p.cost, 0),
+                );
+            }
             patterns.push(p);
         }
     }

@@ -1,0 +1,88 @@
+//! Decision-ledger end-to-end contract:
+//!
+//! 1. the record stream of a full analysis is **bit-identical across
+//!    thread counts** (canonical sort on flush),
+//! 2. the ledger stays silent when disabled, and
+//! 3. degraded runs — injected quarantines and expired deadlines — still
+//!    flush cleanly (no drops, no panics, no stuck thread buffers).
+//!
+//! Everything lives in one `#[test]`: the ledger (like the fault plan) is
+//! process-global state, and sibling tests in this binary would race on
+//! enable/reset.
+
+use pao_core::{fault, PaoConfig, PinAccessOracle, RunBudget};
+use pao_testgen::{generate, SuiteCase};
+use std::time::Duration;
+
+fn oracle(threads: usize) -> PinAccessOracle {
+    PinAccessOracle::with_config(PaoConfig {
+        threads,
+        ..PaoConfig::default()
+    })
+}
+
+#[test]
+fn ledger_thread_identity_and_degraded_flush() {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    fault::disarm();
+
+    // Disabled (the default): an analysis leaves no records behind.
+    pao_obs::reset();
+    let _ = oracle(2).analyze(&tech, &design);
+    let dump = pao_obs::take_ledger();
+    assert!(dump.records.is_empty(), "ledger off ⇒ no records");
+    assert_eq!(dump.dropped, 0);
+
+    // Enabled: thread counts must not change the canonical stream.
+    pao_obs::enable_ledger();
+    let mut dumps = Vec::new();
+    for threads in [1usize, 4] {
+        pao_obs::reset();
+        pao_obs::enable_ledger();
+        let _ = oracle(threads).analyze(&tech, &design);
+        let dump = pao_obs::take_ledger();
+        assert_eq!(dump.dropped, 0, "x{threads}: capacity must suffice");
+        assert!(
+            !dump.records.is_empty(),
+            "x{threads}: an analysis emits records"
+        );
+        dumps.push(dump.records);
+    }
+    assert_eq!(
+        dumps[0], dumps[1],
+        "ledger stream must be identical at 1 and 4 threads"
+    );
+    // The stream covers the apgen phase at minimum (accept/reject
+    // verdicts exist for any non-trivial design).
+    assert!(dumps[0]
+        .iter()
+        .any(|r| matches!(r.decode_event(), Some(pao_obs::LedgerEvent::ApAccept))));
+
+    // Expired deadline: skipped items emit nothing, finished items flush.
+    pao_obs::reset();
+    pao_obs::enable_ledger();
+    let partial =
+        oracle(2).analyze_with_budget(&tech, &design, RunBudget::with_deadline(Duration::ZERO));
+    assert!(partial.stats.deadline.is_partial());
+    let dump = pao_obs::take_ledger();
+    assert_eq!(dump.dropped, 0, "deadline run flushes without drops");
+
+    // Injected quarantine mid-apgen: the poisoned worker's thread buffer
+    // still drains (TLS flush runs on buffer drop / take), and the run's
+    // dump stays consistent.
+    pao_obs::reset();
+    pao_obs::enable_ledger();
+    fault::arm("apgen.instance", 0);
+    let hurt = oracle(2).analyze(&tech, &design);
+    fault::disarm();
+    assert!(
+        !hurt.stats.quarantined.is_empty(),
+        "injected fault must quarantine"
+    );
+    let dump = pao_obs::take_ledger();
+    assert_eq!(dump.dropped, 0, "quarantined run flushes without drops");
+    let mut sorted = dump.records.clone();
+    sorted.sort_unstable();
+    assert_eq!(dump.records, sorted, "take() yields canonical order");
+    pao_obs::reset();
+}

@@ -9,8 +9,8 @@
 
 use crate::scratch::DrcScratch;
 use crate::shapes::{Owner, ShapeSet};
-use crate::sink::{CollectAll, DrcSink, FirstOnly};
-use crate::violation::{DrcViolation, RuleKind};
+use crate::sink::{CaptureFirst, CollectAll, DrcSink, FirstOnly};
+use crate::violation::{DrcViolation, RejectInfo, RuleKind, SubCheck};
 use pao_geom::boundary::{union_area_with, visit_union_boundaries};
 use pao_geom::{max_rects_into, Dbu, Interval, Point, Rect};
 use pao_tech::{LayerId, LayerKind, Tech, ViaDef};
@@ -450,10 +450,12 @@ impl<'t> DrcEngine<'t> {
             && self.via_merged_sink(via, owner, ctx, ws, sink)
     }
 
-    /// `true` when `via` can land at `at` DRC-free — the [`FirstOnly`]
-    /// short-circuit form of [`DrcEngine::check_via_placement`] that every
+    /// `true` when `via` can land at `at` DRC-free — the short-circuit
+    /// form of [`DrcEngine::check_via_placement`] that every
     /// accept/reject decision site uses. Tallies probe/reject/early-exit
-    /// counts into `ws` (published by [`DrcScratch::flush_obs`]).
+    /// counts into `ws` (published by [`DrcScratch::flush_obs`]) and
+    /// leaves the reject's rule + sub-check attribution in
+    /// [`DrcScratch::last_reject`].
     #[must_use]
     pub fn via_placement_clean(
         &self,
@@ -464,22 +466,35 @@ impl<'t> DrcEngine<'t> {
         ws: &mut DrcScratch,
     ) -> bool {
         ws.probes += 1;
-        let mut sink = FirstOnly::new();
+        ws.last_reject = None;
+        let mut sink = CaptureFirst::new();
         if !self.via_pre_merged_sink(via, at, owner, ctx, ws, &mut sink) {
             // Rejected before the merged-geometry machinery was touched.
             ws.rejects += 1;
             ws.early_exits += 1;
+            ws.last_reject = sink.take().map(|v| RejectInfo {
+                rule: v.rule,
+                subcheck: ws.stage,
+            });
             return false;
         }
-        if self.merged_definitely_dirty(via.bottom_layer, owner, ctx, &ws.bottom) {
+        if let Some(rule) = self.merged_dirty_rule(via.bottom_layer, owner, ctx, &ws.bottom) {
             // The dominant failure mode (enclosure overhang tripping a
             // plain min-step) proven in O(1), before any merge machinery.
             ws.rejects += 1;
             ws.early_exits += 1;
+            ws.last_reject = Some(RejectInfo {
+                rule,
+                subcheck: SubCheck::DefiniteReject,
+            });
             return false;
         }
         if !self.via_merged_sink(via, owner, ctx, ws, &mut sink) {
             ws.rejects += 1;
+            ws.last_reject = sink.take().map(|v| RejectInfo {
+                rule: v.rule,
+                subcheck: SubCheck::Merged,
+            });
             return false;
         }
         true
@@ -504,10 +519,15 @@ impl<'t> DrcEngine<'t> {
         ws: &mut DrcScratch,
     ) -> bool {
         ws.probes += 1;
-        let mut sink = FirstOnly::new();
+        ws.last_reject = None;
+        let mut sink = CaptureFirst::new();
         if !self.via_pre_merged_sink(via, at, owner, ctx, ws, &mut sink) {
             ws.rejects += 1;
             ws.early_exits += 1;
+            ws.last_reject = sink.take().map(|v| RejectInfo {
+                rule: v.rule,
+                subcheck: ws.stage,
+            });
             return false;
         }
         true
@@ -515,19 +535,19 @@ impl<'t> DrcEngine<'t> {
 
     /// Exact O(1) definite-reject test for the common merged-geometry
     /// shapes: a single bottom enclosure rect merging with at most one
-    /// same-owner metal shape. Returns `true` only when
-    /// [`Self::via_merged_sink`] would provably reject as well; `false`
-    /// means "unknown — run the real check". Only the boolean fast path
-    /// ([`Self::via_placement_clean`]) uses this, so the collected
-    /// violation lists never change.
-    fn merged_definitely_dirty(
+    /// same-owner metal shape. Returns `Some(rule)` only when
+    /// [`Self::via_merged_sink`] would provably reject as well (the rule
+    /// names the violation proven); `None` means "unknown — run the real
+    /// check". Only the boolean fast path ([`Self::via_placement_clean`])
+    /// uses this, so the collected violation lists never change.
+    fn merged_dirty_rule(
         &self,
         layer: LayerId,
         owner: Owner,
         ctx: &ShapeSet,
         bottom: &[Rect],
-    ) -> bool {
-        let [r] = bottom else { return false };
+    ) -> Option<RuleKind> {
+        let [r] = bottom else { return None };
         let r = *r;
         let l = self.tech.layer(layer);
         // Same window the merged check scans; more than one friend means
@@ -543,24 +563,28 @@ impl<'t> DrcEngine<'t> {
             true
         });
         if many {
-            return false;
+            return None;
         }
         // When the merged component is literally one rectangle, all three
         // merged rules collapse to closed forms (exact, both directions —
-        // used only for reject here).
-        let single_rect_dirty = |u: Rect| {
-            (l.min_width > 0 && u.min_side() < l.min_width)
-                || (l.min_area > 0 && u.area() < l.min_area)
-                || l.min_step.is_some_and(|rule| {
-                    let w_short = u.width() < rule.min_step_length;
-                    let h_short = u.height() < rule.min_step_length;
-                    let max_run: u32 = match (w_short, h_short) {
-                        (true, true) => 4,
-                        (true, false) | (false, true) => 1,
-                        (false, false) => 0,
-                    };
-                    max_run > rule.max_edges
-                })
+        // used only for reject here). Checked in the same order as
+        // [`Self::check_merged_sink`] reports, so attribution matches.
+        let single_rect_dirty = |u: Rect| -> Option<RuleKind> {
+            if l.min_width > 0 && u.min_side() < l.min_width {
+                return Some(RuleKind::MinWidth);
+            }
+            if l.min_area > 0 && u.area() < l.min_area {
+                return Some(RuleKind::MinArea);
+            }
+            let rule = l.min_step?;
+            let w_short = u.width() < rule.min_step_length;
+            let h_short = u.height() < rule.min_step_length;
+            let max_run: u32 = match (w_short, h_short) {
+                (true, true) => 4,
+                (true, false) | (false, true) => 1,
+                (false, false) => 0,
+            };
+            (max_run > rule.max_edges).then_some(RuleKind::MinStep)
         };
         let Some(f) = first else {
             return single_rect_dirty(r);
@@ -580,11 +604,9 @@ impl<'t> DrcEngine<'t> {
         // the other rect strictly sticks out on a perpendicular side (so
         // the short edge cannot merge with a collinear run). Only claimed
         // for plain `MAXEDGES 0` rules, where one short edge suffices.
-        let Some(rule) = l.min_step else {
-            return false;
-        };
+        let rule = l.min_step?;
         if rule.max_edges != 0 || !r.overlaps(f) {
-            return false;
+            return None;
         }
         let s = rule.min_step_length;
         let tab = |a: Rect, b: Rect| {
@@ -595,7 +617,7 @@ impl<'t> DrcEngine<'t> {
                 || (a.yhi() > b.yhi() && a.yhi() - b.yhi() < s && perp_x)
                 || (a.ylo() < b.ylo() && b.ylo() - a.ylo() < s && perp_x)
         };
-        tab(r, f) || tab(f, r)
+        (tab(r, f) || tab(f, r)).then_some(RuleKind::MinStep)
     }
 
     /// Everything except the merged-geometry check, cheapest sub-check
@@ -620,18 +642,21 @@ impl<'t> DrcEngine<'t> {
         ws.top
             .extend(via.top_shapes.iter().map(|r| r.translated(at)));
 
+        ws.stage = SubCheck::Cut;
         for i in 0..ws.cuts.len() {
             let r = ws.cuts[i];
             if !self.check_cut_shape_sink(via.cut_layer, r, owner, ctx, sink) {
                 return false;
             }
         }
+        ws.stage = SubCheck::Bottom;
         for i in 0..ws.bottom.len() {
             let r = ws.bottom[i];
             if !self.check_shape_sink(via.bottom_layer, r, owner, ctx, sink) {
                 return false;
             }
         }
+        ws.stage = SubCheck::Top;
         let top_min_width = self.tech.layer(via.top_layer).min_width;
         for i in 0..ws.top.len() {
             let r = ws.top[i];
@@ -939,16 +964,31 @@ mod tests {
         let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(1), &ctx);
         assert!(v.is_empty(), "{v:?}");
         assert!(e.via_placement_clean(&via, Point::new(0, 0), Owner::pin(1), &ctx, &mut ws));
+        assert_eq!(ws.last_reject(), None);
         // Same via for a different owner shorts against the pin.
         let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(2), &ctx);
         assert!(v.iter().any(|v| v.rule == RuleKind::Short));
         assert!(!e.via_placement_clean(&via, Point::new(0, 0), Owner::pin(2), &ctx, &mut ws));
+        assert_eq!(
+            ws.last_reject(),
+            Some(RejectInfo {
+                rule: RuleKind::Short,
+                subcheck: SubCheck::Bottom,
+            })
+        );
         // A narrow pin causes a min-step from the enclosure overhang.
         let mut ctx2 = ShapeSet::new(3);
         ctx2.insert(m1(), Rect::new(-200, -30, 200, 30), Owner::pin(1));
         let v = e.check_via_placement(&via, Point::new(0, 0), Owner::pin(1), &ctx2);
         assert!(v.iter().any(|v| v.rule == RuleKind::MinStep), "{v:?}");
         assert!(!e.via_placement_clean(&via, Point::new(0, 0), Owner::pin(1), &ctx2, &mut ws));
+        assert_eq!(
+            ws.last_reject(),
+            Some(RejectInfo {
+                rule: RuleKind::MinStep,
+                subcheck: SubCheck::DefiniteReject,
+            })
+        );
         // Probe accounting: 3 probes, 2 rejects, both early (the short
         // fires in the pre-merged phase; the single-friend overhang
         // min-step is proven by the O(1) definite-reject test).

@@ -46,5 +46,5 @@ pub mod violation;
 pub use engine::DrcEngine;
 pub use scratch::DrcScratch;
 pub use shapes::{Owner, ShapeSet};
-pub use sink::{CollectAll, CountOnly, DrcSink, FirstOnly};
-pub use violation::{DrcViolation, RuleKind};
+pub use sink::{CaptureFirst, CollectAll, CountOnly, DrcSink, FirstOnly};
+pub use violation::{DrcViolation, RejectInfo, RuleKind, SubCheck};

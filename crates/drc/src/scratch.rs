@@ -12,6 +12,7 @@
 //! chain) — the engine borrows it mutably for the duration of a single
 //! check and leaves the contents unspecified between calls.
 
+use crate::violation::{RejectInfo, SubCheck};
 use pao_geom::{GridScratch, Rect};
 
 /// Scratch buffers threaded through the sink-based engine entry points.
@@ -33,6 +34,11 @@ pub struct DrcScratch {
     pub(crate) maxes: Vec<Rect>,
     /// Workspace of the boundary / max-rect / union-area grid passes.
     pub(crate) grid: GridScratch,
+    /// Sub-check currently executing in the pre-merged probe phase (the
+    /// engine advances this so a reject can be attributed).
+    pub(crate) stage: SubCheck,
+    /// Attribution of the most recent rejected probe.
+    pub(crate) last_reject: Option<RejectInfo>,
     /// Via probes answered since the last [`DrcScratch::flush_obs`].
     pub(crate) probes: u64,
     /// Probes rejected (any violation found).
@@ -66,6 +72,15 @@ impl DrcScratch {
     #[must_use]
     pub fn early_exits(&self) -> u64 {
         self.early_exits
+    }
+
+    /// Rule + sub-check attribution of the most recent *rejected* probe
+    /// through [`via_placement_clean`](crate::DrcEngine::via_placement_clean)
+    /// or [`via_pairwise_clean`](crate::DrcEngine::via_pairwise_clean);
+    /// `None` after a clean probe. Valid until the next probe.
+    #[must_use]
+    pub fn last_reject(&self) -> Option<RejectInfo> {
+        self.last_reject
     }
 
     /// Total capacity (in elements) across all buffers — the allocation

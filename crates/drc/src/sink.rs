@@ -70,6 +70,42 @@ impl DrcSink for FirstOnly {
     }
 }
 
+/// Stops at the first violation and *keeps* it — the attribution form
+/// of [`FirstOnly`], used by decision sites that record *why* a probe
+/// was rejected (the decision ledger) in addition to the verdict.
+#[derive(Debug, Default)]
+pub struct CaptureFirst {
+    first: Option<DrcViolation>,
+}
+
+impl CaptureFirst {
+    /// A fresh sink with no violation seen.
+    #[must_use]
+    pub fn new() -> CaptureFirst {
+        CaptureFirst::default()
+    }
+
+    /// `true` when no violation was reported.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// Removes and returns the captured violation, if any.
+    pub fn take(&mut self) -> Option<DrcViolation> {
+        self.first.take()
+    }
+}
+
+impl DrcSink for CaptureFirst {
+    fn report(&mut self, v: DrcViolation) -> bool {
+        if self.first.is_none() {
+            self.first = Some(v);
+        }
+        false
+    }
+}
+
 /// Counts violations without storing them.
 #[derive(Debug, Default)]
 pub struct CountOnly {
@@ -123,6 +159,17 @@ mod tests {
         assert!(sink.is_clean());
         assert!(!sink.report(v()));
         assert!(!sink.is_clean());
+    }
+
+    #[test]
+    fn capture_first_keeps_the_violation() {
+        let mut sink = CaptureFirst::new();
+        assert!(sink.is_clean());
+        assert!(!sink.report(v()));
+        assert!(!sink.is_clean());
+        let kept = sink.take().unwrap();
+        assert_eq!(kept.rule, RuleKind::Short);
+        assert!(sink.is_clean(), "take() drains the capture");
     }
 
     #[test]

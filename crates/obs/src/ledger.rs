@@ -1,0 +1,491 @@
+//! The decision ledger: a compact attribution stream recording *why*
+//! individual candidates were rejected across the PAAF pipeline.
+//!
+//! Counters (see [`crate::metrics`]) say how much work each phase did;
+//! the ledger records the per-decision facts behind those aggregates:
+//! which access-point candidate was rejected by which DRC rule and
+//! sub-check, which pattern-DP edge was penalized and why, which
+//! selection edge probed dirty, and what the repair pass did to each
+//! dirty pin. `pao explain` and `pao report` are built on it.
+//!
+//! Design constraints (DESIGN.md §15):
+//!
+//! - **Fixed-size records, no strings on the hot path.** A
+//!   [`LedgerRecord`] is a flat `Copy` struct of integer codes; names
+//!   are resolved only at presentation time.
+//! - **Per-worker buffering.** Records accumulate in a thread-local
+//!   vector and merge into the bounded global sink in chunks (worker
+//!   exit, chunk overflow, or explicit [`flush_thread`]).
+//! - **Bounded with a drop counter.** The global sink holds at most
+//!   [`capacity`] records; overflow increments `dropped` instead of
+//!   growing without bound. A dump with `dropped == 0` is complete.
+//! - **Deterministic across thread counts.** The set of records is a
+//!   function of the input alone (recording sites only log facts that
+//!   are identical for every worker schedule); [`take`] sorts records
+//!   into canonical order, so two complete dumps of the same analysis
+//!   are bit-identical regardless of thread count.
+//! - **Off by default, cheap when off**: one relaxed atomic load per
+//!   call site (callers additionally guard record *construction* on
+//!   [`crate::ledger_enabled`]).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Sentinel for "no rule / no sub-check" in a record's `rule` and
+/// `subcheck` fields.
+pub const NO_CODE: u8 = u8::MAX;
+
+/// Pipeline phase a ledger event belongs to. Mirrors the PAAF steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum LedgerPhase {
+    /// Step 1: per-pin access point generation.
+    Apgen = 0,
+    /// Step 2: unique-instance access pattern generation (DP).
+    Pattern = 1,
+    /// Step 3: cluster-based access pattern selection (DP).
+    Select = 2,
+    /// Post-selection repair rounds.
+    Repair = 3,
+}
+
+impl LedgerPhase {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LedgerPhase::Apgen => "apgen",
+            LedgerPhase::Pattern => "pattern",
+            LedgerPhase::Select => "select",
+            LedgerPhase::Repair => "repair",
+        }
+    }
+}
+
+/// What happened. Each event fixes the meaning of the record's
+/// `entity`/`candidate`/`aux` fields (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum LedgerEvent {
+    /// An access-point candidate failed validation. `entity` =
+    /// `(unique_instance << 16) | pin`, `candidate` = per-pin trial
+    /// index, `aux` = layer index, `x`/`y` = candidate position,
+    /// `rule`/`subcheck` = offending DRC rule and sub-check (or
+    /// [`NO_CODE`] when no via candidate existed at all).
+    ApReject = 0,
+    /// An access-point candidate was accepted. Fields as [`Self::ApReject`]
+    /// minus the reject attribution.
+    ApAccept = 1,
+    /// A pattern-DP edge cost was penalized because its two access
+    /// points are not mutually DRC-clean. `entity` =
+    /// `(unique_instance << 16) | pin`, `candidate` = this pin's AP
+    /// choice, `aux` = previous pin's AP choice.
+    PatEdgeDrc = 2,
+    /// A pattern-DP history pair (choices two pins apart) probed dirty.
+    /// Fields as [`Self::PatEdgeDrc`] with `aux` = the choice two pins back.
+    PatEdgeHistory = 3,
+    /// A pattern-DP edge was penalized by the boundary-conflict-aware
+    /// term (boundary AP already used by an earlier pattern). `entity` =
+    /// `(unique_instance << 16) | pin`, `candidate` = AP choice,
+    /// `aux` = 0 for the left boundary pin, 1 for the right.
+    PatEdgeBca = 4,
+    /// A whole generated pattern was audited. `entity` =
+    /// `unique_instance << 16`, `candidate` = pattern index, `aux` = 1
+    /// when clean / 0 when dirty, `x` = DP cost.
+    PatternValidated = 5,
+    /// No clean pattern existed; the best dirty pattern was kept.
+    /// `entity` = `unique_instance << 16`, `candidate` = pattern index.
+    PatternFallback = 6,
+    /// A selection-DP edge between two neighboring instances probed
+    /// DRC-dirty. `entity` = `(left_component << 32) | right_component`,
+    /// `candidate` = left pattern index, `aux` = right pattern index.
+    SelectEdgeDirty = 7,
+    /// Per-cluster prune tally from the selection DP. `entity` = first
+    /// component id in the cluster, `candidate` = via pairs skipped as
+    /// far, `aux` = edges pruned by the cost bound.
+    SelectPruned = 8,
+    /// A connected pin was found dirty by a repair-round scan.
+    /// `entity` = `(component << 16) | pin`, `aux` = repair round.
+    RepairDirty = 9,
+    /// A dirty pin's access was replaced by a clean alternative.
+    /// Fields as [`Self::RepairDirty`] plus `candidate` = chosen
+    /// candidate index and `x`/`y` = the new access position.
+    RepairReplaced = 10,
+    /// A dirty pin had no clean alternative this round. Fields as
+    /// [`Self::RepairDirty`].
+    RepairStuck = 11,
+}
+
+impl LedgerEvent {
+    /// The phase this event belongs to.
+    #[must_use]
+    pub fn phase(self) -> LedgerPhase {
+        match self {
+            LedgerEvent::ApReject | LedgerEvent::ApAccept => LedgerPhase::Apgen,
+            LedgerEvent::PatEdgeDrc
+            | LedgerEvent::PatEdgeHistory
+            | LedgerEvent::PatEdgeBca
+            | LedgerEvent::PatternValidated
+            | LedgerEvent::PatternFallback => LedgerPhase::Pattern,
+            LedgerEvent::SelectEdgeDirty | LedgerEvent::SelectPruned => LedgerPhase::Select,
+            LedgerEvent::RepairDirty | LedgerEvent::RepairReplaced | LedgerEvent::RepairStuck => {
+                LedgerPhase::Repair
+            }
+        }
+    }
+
+    /// Stable snake_case name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LedgerEvent::ApReject => "ap_reject",
+            LedgerEvent::ApAccept => "ap_accept",
+            LedgerEvent::PatEdgeDrc => "pattern_edge_drc",
+            LedgerEvent::PatEdgeHistory => "pattern_edge_history",
+            LedgerEvent::PatEdgeBca => "pattern_edge_bca",
+            LedgerEvent::PatternValidated => "pattern_validated",
+            LedgerEvent::PatternFallback => "pattern_fallback",
+            LedgerEvent::SelectEdgeDirty => "select_edge_dirty",
+            LedgerEvent::SelectPruned => "select_pruned",
+            LedgerEvent::RepairDirty => "repair_dirty",
+            LedgerEvent::RepairReplaced => "repair_replaced",
+            LedgerEvent::RepairStuck => "repair_stuck",
+        }
+    }
+
+    /// Decodes a record's `event` byte.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<LedgerEvent> {
+        Some(match code {
+            0 => LedgerEvent::ApReject,
+            1 => LedgerEvent::ApAccept,
+            2 => LedgerEvent::PatEdgeDrc,
+            3 => LedgerEvent::PatEdgeHistory,
+            4 => LedgerEvent::PatEdgeBca,
+            5 => LedgerEvent::PatternValidated,
+            6 => LedgerEvent::PatternFallback,
+            7 => LedgerEvent::SelectEdgeDirty,
+            8 => LedgerEvent::SelectPruned,
+            9 => LedgerEvent::RepairDirty,
+            10 => LedgerEvent::RepairReplaced,
+            11 => LedgerEvent::RepairStuck,
+            _ => return None,
+        })
+    }
+}
+
+/// One ledger entry: a fixed-size, string-free attribution record.
+///
+/// The derived `Ord` (field order: phase, event, rule, subcheck, entity,
+/// candidate, aux, x, y) is the canonical sort applied by [`take`] —
+/// two equal record *multisets* always serialize identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LedgerRecord {
+    /// Pipeline phase code ([`LedgerPhase`] as `u8`).
+    pub phase: u8,
+    /// Event code ([`LedgerEvent`] as `u8`).
+    pub event: u8,
+    /// Offending DRC rule code, or [`NO_CODE`]. Decoded by the consumer
+    /// (the rule taxonomy lives in `pao-drc`, which this crate cannot
+    /// depend on).
+    pub rule: u8,
+    /// Offending DRC sub-check code, or [`NO_CODE`].
+    pub subcheck: u8,
+    /// What the record is about; encoding is event-specific (see
+    /// [`LedgerEvent`]).
+    pub entity: u64,
+    /// Candidate index; event-specific.
+    pub candidate: u32,
+    /// Extra event-specific payload (layer, round, neighbor choice …).
+    pub aux: u32,
+    /// X coordinate (DBU) when the event has a location, else 0.
+    pub x: i64,
+    /// Y coordinate (DBU) when the event has a location, else 0.
+    pub y: i64,
+}
+
+impl LedgerRecord {
+    /// A record with no reject attribution, no aux payload and no
+    /// location; chain the `with_*` builders for the rest.
+    #[must_use]
+    pub fn new(event: LedgerEvent, entity: u64, candidate: u32) -> LedgerRecord {
+        LedgerRecord {
+            phase: event.phase() as u8,
+            event: event as u8,
+            rule: NO_CODE,
+            subcheck: NO_CODE,
+            entity,
+            candidate,
+            aux: 0,
+            x: 0,
+            y: 0,
+        }
+    }
+
+    /// Attaches the offending DRC rule + sub-check codes.
+    #[must_use]
+    pub fn with_reject(mut self, rule: u8, subcheck: u8) -> LedgerRecord {
+        self.rule = rule;
+        self.subcheck = subcheck;
+        self
+    }
+
+    /// Attaches the event-specific aux payload.
+    #[must_use]
+    pub fn with_aux(mut self, aux: u32) -> LedgerRecord {
+        self.aux = aux;
+        self
+    }
+
+    /// Attaches a location.
+    #[must_use]
+    pub fn with_pos(mut self, x: i64, y: i64) -> LedgerRecord {
+        self.x = x;
+        self.y = y;
+        self
+    }
+
+    /// The decoded event, if the `event` byte is valid.
+    #[must_use]
+    pub fn decode_event(&self) -> Option<LedgerEvent> {
+        LedgerEvent::from_code(self.event)
+    }
+}
+
+/// Everything collected since the last [`take`]/[`reset`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LedgerDump {
+    /// All records, in canonical sorted order.
+    pub records: Vec<LedgerRecord>,
+    /// Records discarded because the global sink was full. A dump is
+    /// complete — and its determinism guarantee holds — only when this
+    /// is zero.
+    pub dropped: u64,
+}
+
+/// TLS chunk size: records buffered per thread before merging into the
+/// global sink.
+const CHUNK: usize = 8192;
+
+/// Default bound on the global sink (records, not bytes).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Current global-sink bound in records.
+#[must_use]
+pub fn capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
+
+/// Overrides the global-sink bound (records). Takes effect for future
+/// merges; mainly for tests and memory-constrained embeddings.
+pub fn set_capacity(records: usize) {
+    CAPACITY.store(records, Ordering::Relaxed);
+}
+
+#[derive(Default)]
+struct Sink {
+    records: Vec<LedgerRecord>,
+    dropped: u64,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+struct ThreadLedger {
+    buf: Vec<LedgerRecord>,
+}
+
+impl ThreadLedger {
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let cap = capacity();
+        let mut sink = sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let room = cap.saturating_sub(sink.records.len());
+        let take = room.min(self.buf.len());
+        sink.records.extend_from_slice(&self.buf[..take]);
+        sink.dropped += (self.buf.len() - take) as u64;
+        self.buf.clear();
+    }
+}
+
+impl Drop for ThreadLedger {
+    // Backstop: merge whatever is still buffered when the thread dies.
+    // Workers flush explicitly via `pao_obs::flush_thread()` before
+    // `std::thread::scope` unblocks; this covers everything else.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadLedger> = const { RefCell::new(ThreadLedger { buf: Vec::new() }) };
+}
+
+/// Appends one record to the calling thread's buffer. No-op while the
+/// ledger switch is off. Callers on hot paths should additionally guard
+/// record *construction* on [`crate::ledger_enabled`].
+#[inline]
+pub fn record(rec: LedgerRecord) {
+    if !crate::ledger_enabled() {
+        return;
+    }
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.buf.push(rec);
+        if t.buf.len() >= CHUNK {
+            t.flush();
+        }
+    });
+}
+
+/// Merges the calling thread's buffered records into the global sink.
+pub fn flush_thread() {
+    TLS.with(|t| t.borrow_mut().flush());
+}
+
+/// Flushes the calling thread, then drains the global sink into a
+/// canonically sorted [`LedgerDump`]. Call after worker threads have
+/// been joined (phase boundaries / end of analysis).
+#[must_use]
+pub fn take() -> LedgerDump {
+    flush_thread();
+    let (mut records, dropped) = {
+        let mut sink = sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (std::mem::take(&mut sink.records), {
+            let d = sink.dropped;
+            sink.dropped = 0;
+            d
+        })
+    };
+    records.sort_unstable();
+    LedgerDump { records, dropped }
+}
+
+/// Clears the calling thread's buffer and the global sink.
+pub fn reset() {
+    TLS.with(|t| t.borrow_mut().buf.clear());
+    let mut sink = sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    sink.records.clear();
+    sink.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(event: LedgerEvent, entity: u64, candidate: u32) -> LedgerRecord {
+        LedgerRecord::new(event, entity, candidate)
+    }
+
+    #[test]
+    fn record_take_roundtrip_and_canonical_order() {
+        let _g = crate::metrics::test_lock();
+        crate::disable_all();
+        reset();
+        crate::enable_ledger();
+        // Insert out of order; take() must return the canonical sort.
+        record(rec(LedgerEvent::RepairDirty, 9, 0).with_aux(1));
+        record(
+            rec(LedgerEvent::ApReject, 3, 2)
+                .with_reject(1, 0)
+                .with_pos(100, -200),
+        );
+        record(rec(LedgerEvent::ApAccept, 3, 4).with_pos(100, 300));
+        crate::disable_all();
+        let dump = take();
+        assert_eq!(dump.dropped, 0);
+        assert_eq!(dump.records.len(), 3);
+        let mut sorted = dump.records.clone();
+        sorted.sort_unstable();
+        assert_eq!(dump.records, sorted);
+        assert_eq!(dump.records[0].decode_event(), Some(LedgerEvent::ApReject));
+        assert_eq!(dump.records[0].rule, 1);
+        assert_eq!(dump.records[0].x, 100);
+        assert_eq!(
+            dump.records[2].decode_event(),
+            Some(LedgerEvent::RepairDirty)
+        );
+        // Drained: a second take is empty.
+        assert!(take().records.is_empty());
+        reset();
+    }
+
+    #[test]
+    fn disabled_ledger_records_nothing() {
+        let _g = crate::metrics::test_lock();
+        crate::disable_all();
+        reset();
+        record(rec(LedgerEvent::ApAccept, 1, 1));
+        assert!(take().records.is_empty());
+    }
+
+    #[test]
+    fn overflow_counts_drops() {
+        let _g = crate::metrics::test_lock();
+        crate::disable_all();
+        reset();
+        let saved = capacity();
+        set_capacity(4);
+        crate::enable_ledger();
+        for i in 0..10u32 {
+            record(rec(LedgerEvent::SelectEdgeDirty, 0, i));
+        }
+        crate::disable_all();
+        let dump = take();
+        set_capacity(saved);
+        assert_eq!(dump.records.len(), 4);
+        assert_eq!(dump.dropped, 6);
+        reset();
+    }
+
+    #[test]
+    fn threaded_collection_is_order_invariant() {
+        let _g = crate::metrics::test_lock();
+        crate::disable_all();
+        reset();
+        crate::enable_ledger();
+        let run = || {
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    s.spawn(move || {
+                        for i in 0..50u32 {
+                            record(rec(LedgerEvent::ApReject, t, i).with_reject(2, 1));
+                        }
+                        crate::flush_thread();
+                    });
+                }
+            });
+            take()
+        };
+        let a = run();
+        let b = run();
+        crate::disable_all();
+        assert_eq!(a.records.len(), 200);
+        assert_eq!(a, b, "same multiset must dump identically");
+        reset();
+    }
+
+    #[test]
+    fn event_codes_roundtrip() {
+        for code in 0..=11u8 {
+            let e = LedgerEvent::from_code(code).unwrap();
+            assert_eq!(e as u8, code);
+            assert!(!e.name().is_empty());
+            assert!(!e.phase().name().is_empty());
+        }
+        assert_eq!(LedgerEvent::from_code(200), None);
+    }
+}

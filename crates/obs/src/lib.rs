@@ -14,11 +14,15 @@
 //!    histograms, accumulated thread-locally and merged into a global
 //!    registry when threads exit (or on explicit flush). Snapshots are
 //!    plain `BTreeMap`s, diffable between two points in time.
-//! 3. **Export** ([`trace::TraceDump::to_chrome_json`]): the span sink
+//! 3. **Decision ledger** ([`ledger`]): fixed-size attribution records
+//!    (why a candidate was rejected, which rule fired) buffered per
+//!    worker and drained in canonical sorted order — the substrate of
+//!    `pao explain` / `pao report`.
+//! 4. **Export** ([`trace::TraceDump::to_chrome_json`]): the span sink
 //!    serializes to Chrome trace-event JSON loadable in Perfetto
 //!    (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
-//! Recording is controlled by two independent process-wide switches:
+//! Recording is controlled by three independent process-wide switches:
 //!
 //! ```
 //! pao_obs::enable_metrics();
@@ -37,6 +41,7 @@
 
 pub mod clock;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
@@ -44,6 +49,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 const METRICS_BIT: u8 = 1;
 const TRACE_BIT: u8 = 2;
+const LEDGER_BIT: u8 = 4;
 
 static MODE: AtomicU8 = AtomicU8::new(0);
 
@@ -57,6 +63,11 @@ pub fn enable_metrics() {
 pub fn enable_trace() {
     trace::init_epoch();
     MODE.fetch_or(TRACE_BIT, Ordering::SeqCst);
+}
+
+/// Turns on decision-ledger recording process-wide (see [`ledger`]).
+pub fn enable_ledger() {
+    MODE.fetch_or(LEDGER_BIT, Ordering::SeqCst);
 }
 
 /// Turns off all recording. Already-buffered data stays collectable.
@@ -78,22 +89,33 @@ pub fn trace_enabled() -> bool {
     MODE.load(Ordering::Relaxed) & TRACE_BIT != 0
 }
 
-/// Clears all collected metrics and span data (the current thread's
-/// buffers and the global sinks). Recording switches are left as-is.
+/// `true` when decision-ledger records are being collected.
+#[inline]
+#[must_use]
+pub fn ledger_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) & LEDGER_BIT != 0
+}
+
+/// Clears all collected metrics, span and ledger data (the current
+/// thread's buffers and the global sinks). Recording switches are left
+/// as-is.
 pub fn reset() {
     metrics::reset();
     trace::reset();
+    ledger::reset();
 }
 
-/// Flushes the calling thread's buffered metrics *and* spans into the
-/// global sinks. Worker threads call this before finishing; the TLS
-/// `Drop` flush alone is not enough because `std::thread::scope` can
-/// unblock before TLS destructors run.
+/// Flushes the calling thread's buffered metrics, spans *and* ledger
+/// records into the global sinks. Worker threads call this before
+/// finishing; the TLS `Drop` flush alone is not enough because
+/// `std::thread::scope` can unblock before TLS destructors run.
 pub fn flush_thread() {
     metrics::flush_thread();
     trace::flush_thread();
+    ledger::flush_thread();
 }
 
+pub use ledger::{take as take_ledger, LedgerDump, LedgerEvent, LedgerPhase, LedgerRecord};
 pub use metrics::{counter_add, gauge_max, hist_record, snapshot, Hist, MetricsSnapshot};
 pub use trace::{record_span_at, span, take_trace, Span, SpanEvent, TraceDump};
 

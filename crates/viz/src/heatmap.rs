@@ -1,0 +1,161 @@
+//! Reject-density heatmaps: where on the die access-point candidates die.
+//!
+//! The decision ledger records a die position on every rejected candidate
+//! ([`LedgerEvent::ApReject`](pao_obs::LedgerEvent::ApReject)); binning
+//! those positions into a per-layer grid shows the access-poor hotspots —
+//! blocked channels, congested macro edges, rows of unfriendly masters —
+//! at a glance. `pao report --heatmap` drives this renderer.
+
+use pao_geom::{Point, Rect};
+use std::fmt::Write as _;
+
+/// Per-band pixel height of the rendered grid (SVG units are layout DBU,
+/// so bands reuse the window's own height); gap between layer bands.
+const BAND_GAP_FRAC: i64 = 12;
+
+/// Renders one grid-binned density band per layer, stacked vertically.
+///
+/// `layers` supplies `(label, reject positions)` per routing layer in the
+/// order they should appear (top band first); positions outside `window`
+/// are clamped into the edge cells so nothing is silently dropped. `grid`
+/// is the bin count along the longer window axis (the shorter axis scales
+/// proportionally, minimum 1). Opacity is shared across bands — the
+/// hottest cell anywhere sets the scale — so bands are comparable.
+///
+/// Output is pure function of the inputs: byte-identical across runs and
+/// thread counts whenever the ledger dump feeding it is.
+#[must_use]
+pub fn render_reject_heatmap(window: Rect, layers: &[(String, Vec<Point>)], grid: usize) -> String {
+    let grid = grid.max(1) as i64;
+    let (w, h) = (window.width().max(1), window.height().max(1));
+    // Bin counts per axis, proportional to the window's aspect ratio.
+    let (gx, gy) = if w >= h {
+        (grid, ((grid * h) / w).max(1))
+    } else {
+        (((grid * w) / h).max(1), grid)
+    };
+    let bands: Vec<(&str, Vec<u64>)> = layers
+        .iter()
+        .map(|(label, pts)| {
+            let mut bins = vec![0u64; (gx * gy) as usize];
+            for p in pts {
+                let cx = ((p.x - window.xlo()) * gx / w).clamp(0, gx - 1);
+                let cy = ((p.y - window.ylo()) * gy / h).clamp(0, gy - 1);
+                bins[(cy * gx + cx) as usize] += 1;
+            }
+            (label.as_str(), bins)
+        })
+        .collect();
+    let hottest = bands
+        .iter()
+        .flat_map(|(_, b)| b.iter().copied())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let gap = (h / BAND_GAP_FRAC).max(1);
+    let label_h = gap * 2;
+    let band_stride = h + label_h + gap;
+    let total_h = band_stride * bands.len().max(1) as i64;
+    let mut body = String::new();
+    let (cw, ch) = (w / gx, h / gy);
+    for (bi, (label, bins)) in bands.iter().enumerate() {
+        let oy = bi as i64 * band_stride + label_h;
+        let total: u64 = bins.iter().sum();
+        let _ = writeln!(
+            body,
+            r#"<text x="0" y="{}" font-size="{label_h}" font-family="monospace">{} — {} rejects</text>"#,
+            oy - gap / 2,
+            xml_escape(label),
+            total,
+        );
+        let _ = writeln!(
+            body,
+            r##"<rect x="0" y="{oy}" width="{w}" height="{h}" fill="#ffffff" stroke="#888888" stroke-width="{}"/>"##,
+            (gap / 8).max(1),
+        );
+        for cy in 0..gy {
+            for cx in 0..gx {
+                let n = bins[(cy * gx + cx) as usize];
+                if n == 0 {
+                    continue;
+                }
+                // Layout y is up; band rows render top-down.
+                let _ = writeln!(
+                    body,
+                    r##"<rect x="{}" y="{}" width="{cw}" height="{ch}" fill="#c0392b" fill-opacity="{:.3}"/>"##,
+                    cx * cw,
+                    oy + (gy - 1 - cy) * ch,
+                    n as f64 / hottest as f64,
+                );
+            }
+        }
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {total_h}\" width=\"900\">\n{body}</svg>\n"
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cells_and_scale() {
+        let window = Rect::new(0, 0, 1000, 500);
+        let layers = vec![
+            (
+                "M1".to_owned(),
+                vec![Point::new(10, 10), Point::new(20, 20), Point::new(990, 490)],
+            ),
+            ("M2".to_owned(), vec![Point::new(500, 250)]),
+        ];
+        let svg = render_reject_heatmap(window, &layers, 10);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("M1 — 3 rejects"));
+        assert!(svg.contains("M2 — 1 rejects"));
+        // Two points share the low-left cell → it carries full opacity;
+        // singles get half of the hottest (2).
+        assert!(svg.contains(r#"fill-opacity="1.000""#), "{svg}");
+        assert!(svg.contains(r#"fill-opacity="0.500""#), "{svg}");
+    }
+
+    #[test]
+    fn out_of_window_points_clamp() {
+        let window = Rect::new(0, 0, 100, 100);
+        let layers = vec![("M1".to_owned(), vec![Point::new(-50, 500)])];
+        let svg = render_reject_heatmap(window, &layers, 4);
+        assert!(svg.contains("1 rejects"));
+        assert!(svg.contains(r#"fill-opacity="1.000""#));
+    }
+
+    #[test]
+    fn empty_input_is_valid_svg() {
+        let svg = render_reject_heatmap(Rect::new(0, 0, 10, 10), &[], 8);
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn label_escapes_markup() {
+        let layers = vec![("<M&1>".to_owned(), vec![])];
+        let svg = render_reject_heatmap(Rect::new(0, 0, 10, 10), &layers, 2);
+        assert!(svg.contains("&lt;M&amp;1&gt;"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let window = Rect::new(0, 0, 300, 300);
+        let layers = vec![("M1".to_owned(), vec![Point::new(5, 5), Point::new(250, 20)])];
+        assert_eq!(
+            render_reject_heatmap(window, &layers, 16),
+            render_reject_heatmap(window, &layers, 16)
+        );
+    }
+}

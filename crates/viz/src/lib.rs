@@ -15,8 +15,10 @@
 //! assert!(text.starts_with("<svg"));
 //! ```
 
+pub mod heatmap;
 pub mod layout;
 pub mod svg;
 
+pub use heatmap::render_reject_heatmap;
 pub use layout::{render_cell_access, render_window, RenderOptions};
 pub use svg::SvgDoc;

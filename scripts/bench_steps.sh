@@ -42,12 +42,18 @@ with open(out_path, "w") as f:
     json.dump(hist, f, indent=2)
     f.write("\n")
 
-if run.get("host_threads", 0) < run.get("threads", 0):
+# threads_effective (new field) is what the host can actually deliver;
+# fall back to min(requested, host) for history entries predating it.
+requested = run.get("threads_requested", run.get("threads", 1))
+effective = run.get("threads_effective") or min(requested, run.get("host_threads", 1)) or 1
+single_core = effective <= 1
+if run.get("host_threads", 0) < requested:
     print(
         f"WARNING: host has only {run['host_threads']} hardware thread(s) but the\n"
-        f"WARNING: parallel run asked for {run['threads']} workers — wall-clock\n"
-        f"WARNING: speedups below are meaningless on this machine (oversubscribed\n"
-        f"WARNING: pool); counter identity and per-phase deltas remain valid.",
+        f"WARNING: parallel run asked for {requested} workers (effective {effective}) —\n"
+        f"WARNING: wall-clock speedups below are meaningless on this machine\n"
+        f"WARNING: (oversubscribed pool); counter identity and per-phase deltas\n"
+        f"WARNING: remain valid.",
         file=sys.stderr,
     )
 
@@ -69,7 +75,15 @@ else:
         pct = 100.0 * (new - old) / old if old else 0.0
         speedup = f"  {old / new:5.2f}x vs prev" if new else ""
         print(f"  {key:<10} {old:>9.6f}s -> {new:>9.6f}s  ({pct:+.1f}%){speedup}")
-    print(f"  speedup    {prev['speedup']:.3f} -> {run['speedup']:.3f}")
+    if single_core:
+        # One effective worker: baseline and "parallel" are the same
+        # machine configuration, so the ratio is run-to-run noise.
+        print(
+            f"  speedup    {prev['speedup']:.3f} -> {run['speedup']:.3f} "
+            "(single-core host: determinism check only, not a performance number)"
+        )
+    else:
+        print(f"  speedup    {prev['speedup']:.3f} -> {run['speedup']:.3f}")
     # Deadline-mode run (infinite budget, every cancellation poll live):
     # the overhead of the anytime machinery, expected well under 1%.
     old_ov, new_ov = prev.get("deadline_overhead_pct"), run.get("deadline_overhead_pct")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bench-history regression gate.
+
+Compares the newest entry in BENCH_pao.json against the most recent
+previous entry for the same workload on the same host class (matched by
+`host_threads` — entries timed on different machines are not comparable)
+and fails when parallel `total_s` regressed by more than the threshold.
+
+Usage: check_bench_regression.py [BENCH_pao.json] [threshold_pct]
+
+Exit codes: 0 ok / nothing to compare, 1 regression beyond threshold,
+2 malformed history file.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pao.json"
+    threshold = float(sys.argv[2]) if len(sys.argv) > 2 else 25.0
+    try:
+        with open(path) as f:
+            hist = json.load(f)
+    except FileNotFoundError:
+        print(f"{path} not found; nothing to check")
+        return 0
+    except json.JSONDecodeError as e:
+        print(f"error: {path} is not valid JSON: {e}", file=sys.stderr)
+        return 2
+    if isinstance(hist, dict):  # legacy single-object file
+        hist = [hist]
+    if not isinstance(hist, list) or not hist:
+        print(f"{path} holds no runs; nothing to check")
+        return 0
+
+    newest = hist[-1]
+    prev = next(
+        (
+            h
+            for h in reversed(hist[:-1])
+            if h.get("workload") == newest.get("workload")
+            and h.get("host_threads") == newest.get("host_threads")
+        ),
+        None,
+    )
+    if prev is None:
+        print(
+            f"no previous same-host entry for workload "
+            f"`{newest.get('workload')}`; nothing to compare"
+        )
+        return 0
+
+    try:
+        old = float(prev["parallel"]["total_s"])
+        new = float(newest["parallel"]["total_s"])
+    except (KeyError, TypeError, ValueError) as e:
+        print(f"error: entry missing parallel.total_s: {e}", file=sys.stderr)
+        return 2
+    if old <= 0.0:
+        print("previous total_s is zero; nothing to compare")
+        return 0
+
+    pct = 100.0 * (new - old) / old
+    print(
+        f"{newest.get('workload')}: parallel total_s "
+        f"{old:.6f}s -> {new:.6f}s ({pct:+.1f}%, threshold +{threshold:.0f}%)"
+    )
+    if pct > threshold:
+        print(
+            f"FAIL: newest bench entry regressed total_s by {pct:.1f}% "
+            f"(> {threshold:.0f}%) vs the previous same-host run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

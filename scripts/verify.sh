@@ -85,15 +85,17 @@ echo "== selection identity =="
 # The cluster-selection fast path (compat memo, DP pruning, wavefront
 # split) must be output-invariant: --dump-selection files from any
 # thread count / memo / split combination are byte-identical
-# (DESIGN.md §14). --select-split 1 forces the intra-group split even
-# on small groups so the parallel merge path is covered.
+# (DESIGN.md §14). The memo is off by default, so --select-memo combos
+# keep the memoized path covered; --select-split 1 forces the
+# intra-group split even on small groups so the parallel merge path is
+# covered.
 ref="$rep/sel-ref.txt"
 target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
     --threads 1 --dump-selection "$ref" > /dev/null 2>&1
 i=0
-for flags in "--threads 4" "--threads 1 --no-select-memo" \
+for flags in "--threads 4" "--threads 1 --select-memo" \
              "--threads 4 --select-split 1" \
-             "--threads 4 --select-split 1 --no-select-memo"; do
+             "--threads 4 --select-split 1 --select-memo"; do
     i=$((i+1))
     # shellcheck disable=SC2086
     target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
