@@ -55,7 +55,7 @@ fn reject_label(rule: u8, subcheck: u8) -> String {
 fn layer_name(tech: &Tech, idx: u32) -> String {
     tech.layers()
         .get(idx as usize)
-        .map_or_else(|| format!("layer{idx}"), |l| l.name.clone())
+        .map_or_else(|| format!("layer{idx}"), |l| l.name.to_string())
 }
 
 /// Minimal JSON string encoder. Names come from LEF/DEF identifiers and
@@ -156,7 +156,7 @@ pub(crate) fn cmd_explain(args: &Args) -> Result<(), CliError> {
             .component(comp)
             .master_in(&tech)
             .and_then(|m| m.pins.get(pi))
-            .map_or_else(|| format!("pin{pi}"), |p| p.name.clone());
+            .map_or_else(|| format!("pin{pi}"), |p| p.name.to_string());
         out.push_str(&format!("\npin {comp_name}/{pin_name}\n"));
         let entity = base | pi as u64;
         // Step 1: every candidate tried, with its verdict.
@@ -420,7 +420,7 @@ pub(crate) fn cmd_report(args: &Args) -> Result<(), CliError> {
             }
             let pin = master
                 .and_then(|m| m.pins.get(pi))
-                .map_or_else(|| format!("pin{pi}"), |p| p.name.clone());
+                .map_or_else(|| format!("pin{pi}"), |p| p.name.to_string());
             lines.push(format!(
                 concat!(
                     "{{\"kind\": \"pin\", \"inst\": {}, \"master\": {}, \"pin\": {}, ",
@@ -450,7 +450,7 @@ pub(crate) fn cmd_report(args: &Args) -> Result<(), CliError> {
             .component(ua.info.rep)
             .master_in(&tech)
             .and_then(|m| m.pins.get(*pi as usize))
-            .map_or_else(|| format!("pin{pi}"), |p| p.name.clone());
+            .map_or_else(|| format!("pin{pi}"), |p| p.name.to_string());
         lines.push(format!(
             concat!(
                 "{{\"kind\": \"access_poor\", \"rank\": {}, \"inst\": {}, \"pin\": {}, ",

@@ -546,17 +546,39 @@ fn cmd_gen(args: &Args) -> Result<(), CliError> {
             pao_testgen::aes14_case().cells
         );
         println!("smoke (N45, 60 cells)");
+        for c in pao_testgen::scale_cases() {
+            println!(
+                "{} ({}x{} tiles of {} cells, streamed)",
+                c.name, c.tiles_x, c.tiles_y, c.tile.cells
+            );
+        }
         return Ok(());
     }
-    let case = pao_testgen::case_by_name(name)
-        .ok_or_else(|| CliError::usage(format!("unknown case `{name}` (try `pao gen list`)")))?;
-    let (tech, design) = pao_testgen::generate(&case);
     let lef_path = args
         .value("--lef")
         .ok_or_else(|| CliError::usage("--lef FILE is required"))?;
     let def_path = args
         .value("--def")
         .ok_or_else(|| CliError::usage("--def FILE is required"))?;
+    // Scale cases stream the DEF tile by tile; everything else goes
+    // through the in-memory generator.
+    if let Some(case) = pao_testgen::scaled_case_by_name(name) {
+        use std::io::Write as _;
+        let tech = pao_testgen::scaled_tech(&case);
+        std::fs::write(lef_path, pao_tech::lef::write_lef(&tech))
+            .map_err(|e| CliError::input(format!("cannot write `{lef_path}`: {e}")))?;
+        let f = std::fs::File::create(def_path)
+            .map_err(|e| CliError::input(format!("cannot write `{def_path}`: {e}")))?;
+        let mut w = std::io::BufWriter::new(f);
+        let (comps, nets) = pao_testgen::write_scaled_def(&tech, &case, &mut w)
+            .and_then(|r| w.flush().map(|()| r))
+            .map_err(|e| CliError::input(format!("cannot write `{def_path}`: {e}")))?;
+        eprintln!("wrote {lef_path} + {def_path} ({comps} components, {nets} nets, streamed)");
+        return Ok(());
+    }
+    let case = pao_testgen::case_by_name(name)
+        .ok_or_else(|| CliError::usage(format!("unknown case `{name}` (try `pao gen list`)")))?;
+    let (tech, design) = pao_testgen::generate(&case);
     std::fs::write(lef_path, pao_tech::lef::write_lef(&tech))
         .map_err(|e| CliError::input(format!("cannot write `{lef_path}`: {e}")))?;
     std::fs::write(def_path, pao_design::def::write_def(&design, &tech))
@@ -787,6 +809,112 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pao sweep --case NAME [--threads N] [--dir DIR]`: one point of the
+/// size-sweep matrix. Generates the case **streamed to disk** (scale
+/// cases never materialize in memory), then measures the full
+/// cold-start pipeline — streaming DEF parse, analysis phases — and
+/// prints one JSON object with timings and the process peak RSS.
+///
+/// Run each size in its own process: `VmHWM` is a per-process
+/// high-water mark, so sharing a process would attribute the largest
+/// size's memory to every smaller one. `scripts/bench_sweep.sh` does
+/// exactly that and folds the points into BENCH_pao.json.
+fn cmd_sweep(args: &Args) -> Result<(), CliError> {
+    use std::io::Write as _;
+    use std::time::Instant;
+    let name = args.value("--case").unwrap_or("ispd18s_test2");
+    let threads = parse_threads(args)?;
+    let dir = std::path::PathBuf::from(args.value("--dir").unwrap_or("target/sweep"));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::input(format!("cannot create `{}`: {e}", dir.display())))?;
+    let lef_path = dir.join(format!("{name}.lef"));
+    let def_path = dir.join(format!("{name}.def"));
+    let write_err = |p: &std::path::Path, e: std::io::Error| {
+        CliError::input(format!("cannot write `{}`: {e}", p.display()))
+    };
+
+    let gen_start = Instant::now();
+    if let Some(case) = pao_testgen::scaled_case_by_name(name) {
+        let tech = pao_testgen::scaled_tech(&case);
+        std::fs::write(&lef_path, pao_tech::lef::write_lef(&tech))
+            .map_err(|e| write_err(&lef_path, e))?;
+        let f = std::fs::File::create(&def_path).map_err(|e| write_err(&def_path, e))?;
+        let mut w = std::io::BufWriter::new(f);
+        pao_testgen::write_scaled_def(&tech, &case, &mut w)
+            .and_then(|_| w.flush())
+            .map_err(|e| write_err(&def_path, e))?;
+    } else if let Some(case) = pao_testgen::case_by_name(name) {
+        let (tech, design) = pao_testgen::generate(&case);
+        std::fs::write(&lef_path, pao_tech::lef::write_lef(&tech))
+            .map_err(|e| write_err(&lef_path, e))?;
+        let f = std::fs::File::create(&def_path).map_err(|e| write_err(&def_path, e))?;
+        let mut w = std::io::BufWriter::new(f);
+        pao_design::def::write_def_to(&design, &tech, &mut w)
+            .and_then(|_| w.flush())
+            .map_err(|e| write_err(&def_path, e))?;
+    } else {
+        return Err(CliError::usage(format!(
+            "unknown case `{name}` (suite cases via `pao gen list`, scale cases: scale_20k, scale_200k, scale_1m)"
+        )));
+    }
+    let gen_s = gen_start.elapsed().as_secs_f64();
+
+    // Cold-start parse, timed: LEF (small, in-memory) + streaming DEF.
+    let parse_start = Instant::now();
+    let lef_text = std::fs::read_to_string(&lef_path)
+        .map_err(|e| CliError::input(format!("cannot read `{}`: {e}", lef_path.display())))?;
+    let tech = pao_tech::lef::parse_lef(&lef_text).map_err(|e| {
+        CliError::Input(PaoError::input_at(
+            lef_path.display().to_string(),
+            e.line,
+            e.message,
+        ))
+    })?;
+    drop(lef_text);
+    let design = pao_design::def::parse_def_file(&def_path, &tech).map_err(|e| {
+        CliError::Input(PaoError::input_at(
+            def_path.display().to_string(),
+            e.line,
+            e.message,
+        ))
+    })?;
+    let parse_s = parse_start.elapsed().as_secs_f64();
+
+    eprintln!(
+        "sweep `{name}`: {} components parsed in {parse_s:.2}s, analyzing ({threads} thread(s)) …",
+        design.components().len()
+    );
+    let result = PinAccessOracle::with_config(PaoConfig {
+        threads,
+        ..PaoConfig::default()
+    })
+    .analyze(&tech, &design);
+    let stats = &result.stats;
+    println!(
+        concat!(
+            "{{\"case\": \"{}\", \"components\": {}, \"nets\": {}, \"threads\": {}, ",
+            "\"gen_s\": {:.3}, \"parse_s\": {:.3}, \"apgen_s\": {:.3}, \"pattern_s\": {:.3}, ",
+            "\"cluster_s\": {:.3}, \"total_s\": {:.3}, \"unique_instances\": {}, ",
+            "\"total_aps\": {}, \"failed_pins\": {}, \"peak_rss_mb\": {}}}"
+        ),
+        name,
+        design.components().len(),
+        design.nets().len(),
+        threads,
+        gen_s,
+        parse_s,
+        stats.apgen_time.as_secs_f64(),
+        stats.pattern_time.as_secs_f64(),
+        stats.cluster_time.as_secs_f64(),
+        stats.total_time().as_secs_f64(),
+        stats.unique_instances,
+        stats.total_aps,
+        stats.failed_pins,
+        pao_obs::peak_rss_mb().unwrap_or(0),
+    );
+    Ok(())
+}
+
 /// Appends a warning when a memo cache's hit rate is under 5% — at that
 /// point the cache is pure bookkeeping cost. Runs with fewer than 1000
 /// lookups stay quiet (tiny workloads say nothing about the cache).
@@ -910,6 +1038,9 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
         "run        {:>8.3}\n",
         stats.total_time().as_secs_f64()
     ));
+    if let Some(mb) = pao_obs::peak_rss_mb() {
+        out.push_str(&format!("peak RSS   {mb:>8} MB\n"));
+    }
     if !stats.quarantined.is_empty() {
         out.push_str(&format!(
             "\nquarantined items : {} (run completed degraded)\n",
@@ -1096,6 +1227,7 @@ USAGE:
   pao gen     <case|list> --lef FILE --def FILE
   pao bench   [<tech.lef> <design.def>] [--case NAME] [--threads N]
               [--out FILE]
+  pao sweep   [--case NAME] [--threads N] [--dir DIR]
   pao profile [<tech.lef> <design.def>] [--case NAME] [--threads N]
               [--trace FILE] [--report FILE] [--deadline-ms MS]
               [--watchdog-ms MS] [--inject-stall PHASE[:INDEX[:MS]]]
@@ -1113,7 +1245,14 @@ USAGE:
   comparison (default BENCH_pao.json). profile re-runs the analysis with
   pipeline instrumentation enabled and prints a per-phase breakdown:
   wall vs per-worker busy time, utilization, counters and histograms
-  (via-memo hit rate, AP acceptance per type pair, DP sizes, …).
+  (via-memo hit rate, AP acceptance per type pair, DP sizes, …) plus
+  the process peak RSS. sweep measures one size point end to end —
+  generate (streamed to disk), cold-start parse, analyze — and prints
+  a one-line JSON record with per-phase seconds and peak RSS; scale
+  cases (scale_20k, scale_200k, scale_1m) are tiled replications of
+  the ispd18s_test2 shape that never materialize in memory during
+  generation. Run each size in its own process so peak RSS stays
+  per-size (scripts/bench_sweep.sh automates the matrix).
   --trace (on analyze or profile) additionally writes a Chrome
   trace-event JSON with one track per worker, viewable in Perfetto
   (https://ui.perfetto.dev) or chrome://tracing.
@@ -1174,6 +1313,7 @@ fn main() -> ExitCode {
         Some("drc") => cmd_drc(&args),
         Some("gen") => cmd_gen(&args),
         Some("bench") => cmd_bench(&args),
+        Some("sweep") => cmd_sweep(&args),
         Some("profile") => cmd_profile(&args),
         Some("explain") => explain::cmd_explain(&args),
         Some("report") => explain::cmd_report(&args),

@@ -19,11 +19,11 @@ use crate::parallel::PhaseBudget;
 use crate::unique::extract_unique_instances;
 use pao_design::Design;
 use pao_geom::{Dbu, Orient, Point};
-use pao_tech::Tech;
+use pao_tech::{Symbol, Tech};
 use std::collections::HashMap;
 
 /// Signature key for cached intra-cell analysis.
-type Signature = (String, Orient, Vec<Dbu>);
+type Signature = (Symbol, Orient, Vec<Dbu>);
 
 /// A cached per-signature analysis entry.
 #[derive(Debug, Clone)]
@@ -92,7 +92,8 @@ impl AnalysisCache {
         let mut out = String::new();
         // Deterministic order for diff-friendliness.
         let mut sigs: Vec<&Signature> = self.entries.keys().collect();
-        sigs.sort();
+        // Symbols order by interning history, not text — sort on the name.
+        sigs.sort_by(|a, b| (a.0.as_str(), a.1, &a.2).cmp(&(b.0.as_str(), b.1, &b.2)));
         for sig in sigs {
             let e = &self.entries[sig];
             let phases: Vec<String> = sig.2.iter().map(i64::to_string).collect();
@@ -162,7 +163,7 @@ impl AnalysisCache {
             let mut phases = None;
             for tok in rest.split_whitespace() {
                 if let Some(v) = tok.strip_prefix("master=") {
-                    master = Some(v.to_owned());
+                    master = Some(Symbol::intern(v));
                 } else if let Some(v) = tok.strip_prefix("orient=") {
                     orient = Some(v.parse::<Orient>().map_err(|e| err(&e.to_string(), n))?);
                 } else if let Some(v) = tok.strip_prefix("phases=") {
@@ -231,7 +232,7 @@ impl AnalysisCache {
                     return Err(err("unexpected line in ENTRY", bn));
                 }
             }
-            let sig = (master.clone(), orient, phases.clone());
+            let sig = (master, orient, phases.clone());
             let data = UniqueInstanceAccess {
                 info: crate::unique::UniqueInstance {
                     id: crate::unique::UniqueInstanceId(cache.entries.len() as u32),
@@ -314,7 +315,7 @@ impl PinAccessOracle {
             .map(|info| {
                 cache
                     .entries
-                    .get(&(info.master.clone(), info.orient, info.phases.clone()))
+                    .get(&(info.master, info.orient, info.phases.clone()))
                     .cloned()
             })
             .collect();
@@ -324,7 +325,7 @@ impl PinAccessOracle {
             // signatures) and refresh the cache from it.
             let result = self.analyze_with_budget(tech, design, budget);
             for u in &result.unique {
-                let sig = (u.info.master.clone(), u.info.orient, u.info.phases.clone());
+                let sig = (u.info.master, u.info.orient, u.info.phases.clone());
                 cache.misses += 1;
                 pao_obs::counter_add("cache.misses", 1);
                 cache.entries.insert(
@@ -407,7 +408,7 @@ impl PinAccessOracle {
             selection: select_out.selection,
             overrides: HashMap::new(),
         };
-        let gctx = crate::oracle::GlobalContext::build(tech, design);
+        let gctx = crate::oracle::GlobalContext::build_threaded(tech, design, threads);
         let mut repair_skipped = 0usize;
         let mut scan_ok: Option<Vec<Option<bool>>> = None;
         for round in 0..self.config().repair_rounds {

@@ -389,7 +389,7 @@ impl PinAccessOracle {
                     off_track_aps += off_track;
                     if ckpt.is_some() {
                         let snap = ApgenSnapshot {
-                            master: u.info.master.clone(),
+                            master: u.info.master,
                             orient: u.info.orient,
                             phases: u.info.phases.clone(),
                             rep_location: design.component(u.info.rep).location,
@@ -519,7 +519,7 @@ impl PinAccessOracle {
                 store.put_pattern(
                     i,
                     PatternSnapshot {
-                        master: u.info.master.clone(),
+                        master: u.info.master,
                         orient: u.info.orient,
                         phases: u.info.phases.clone(),
                         aps_fnv: aps_fingerprint(&u.pin_aps),
@@ -592,7 +592,7 @@ impl PinAccessOracle {
         // on the placement, so they are built once and shared by every
         // repair round and the final audit (each use completes a clone
         // with the then-current selected vias).
-        let gctx = GlobalContext::build(tech, design);
+        let gctx = GlobalContext::build_threaded(tech, design, self.config.threads);
         let mut repair_skipped = 0usize;
         // Scan verdicts of the last repair round, usable as audit hints:
         // valid only when that round repaired nothing (the overrides — and
@@ -1322,25 +1322,63 @@ pub(crate) struct GlobalContext {
     pub(crate) bounds: Vec<Option<Rect>>,
 }
 
+/// Components per [`GlobalContext`] build shard. The partition depends
+/// only on the design size — never on the thread count — so the merged
+/// tree structure (and with it every downstream query order) is
+/// byte-identical at any `--threads` value. 4096 components keep a
+/// million-instance design at a few hundred shards while a benchmark-size
+/// design (≤4k cells) still packs as one monolithic tree.
+const GCTX_SHARD: usize = 4096;
+
 impl GlobalContext {
-    /// Walks the placement once: base shapes + connected-pin list.
-    pub(crate) fn build(tech: &Tech, design: &Design) -> GlobalContext {
-        let mut base = ShapeSet::new(tech.layers().len());
-        let mut bounds: Vec<Option<Rect>> = vec![None; design.components().len()];
-        for (ci, c) in design.components().iter().enumerate() {
-            let comp = CompId(ci as u32);
-            if c.master_in(tech).is_none() || !c.is_placed {
-                continue;
-            }
-            for (pin_idx, layer, rect) in design.placed_pin_shapes(tech, comp) {
-                base.insert_deferred(layer, rect, pin_owner(comp, pin_idx));
-                bounds[ci] = Some(bounds[ci].map_or(rect, |b| b.hull(rect)));
-            }
-            for (layer, rect) in design.placed_obs_shapes(tech, comp) {
-                base.insert_deferred(layer, rect, Owner::obs(u64::from(comp.0)));
-                bounds[ci] = Some(bounds[ci].map_or(rect, |b| b.hull(rect)));
-            }
+    /// Walks the placement once (base shapes + connected-pin list), with
+    /// contiguous component chunks built (shapes transformed + STR-packed)
+    /// on up to `threads` workers, then stitched with
+    /// [`ShapeSet::from_shards`]. Placement rows make contiguous component
+    /// indices spatially local, so the stitched tree prunes nearly as well
+    /// as a monolithic pack.
+    pub(crate) fn build_threaded(tech: &Tech, design: &Design, threads: usize) -> GlobalContext {
+        let n = design.components().len();
+        let num_layers = tech.layers().len();
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(GCTX_SHARD)
+            .map(|lo| (lo, (lo + GCTX_SHARD).min(n)))
+            .collect();
+        let shard_out: Vec<(ShapeSet, Vec<Option<Rect>>)> =
+            crate::parallel::parallel_map(threads, chunks, |(lo, hi)| {
+                let mut set = ShapeSet::new(num_layers);
+                let mut bounds: Vec<Option<Rect>> = vec![None; hi - lo];
+                for (slot, (ci, c)) in bounds
+                    .iter_mut()
+                    .zip(design.components()[lo..hi].iter().enumerate())
+                {
+                    let comp = CompId((lo + ci) as u32);
+                    if c.master_in(tech).is_none() || !c.is_placed {
+                        continue;
+                    }
+                    design.for_each_placed_pin_shape(tech, comp, |pin_idx, layer, rect| {
+                        set.insert_deferred(layer, rect, pin_owner(comp, pin_idx));
+                        *slot = Some(slot.map_or(rect, |b| b.hull(rect)));
+                    });
+                    design.for_each_placed_obs_shape(tech, comp, |layer, rect| {
+                        set.insert_deferred(layer, rect, Owner::obs(u64::from(comp.0)));
+                        *slot = Some(slot.map_or(rect, |b| b.hull(rect)));
+                    });
+                }
+                set.rebuild();
+                (set, bounds)
+            });
+        let mut bounds: Vec<Option<Rect>> = Vec::with_capacity(n);
+        let mut shards: Vec<ShapeSet> = Vec::with_capacity(shard_out.len());
+        for (set, b) in shard_out {
+            shards.push(set);
+            bounds.extend(b);
         }
+        let base = if shards.is_empty() {
+            ShapeSet::new(num_layers)
+        } else {
+            ShapeSet::from_shards(shards)
+        };
         let mut connected: Vec<(CompId, usize)> = Vec::new();
         for net in design.nets() {
             for (comp, pin_name) in net.comp_pins() {
@@ -1356,7 +1394,6 @@ impl GlobalContext {
                 connected.push((comp, pin_idx));
             }
         }
-        base.rebuild();
         GlobalContext {
             base,
             connected,
@@ -1476,7 +1513,7 @@ pub fn count_failed_pins_with_budget(
     threads: usize,
     budget: PhaseBudget<'_>,
 ) -> ((usize, usize), ExecReport, Vec<FaultRecord>, usize) {
-    let gctx = GlobalContext::build(tech, design);
+    let gctx = GlobalContext::build_threaded(tech, design, threads);
     audit_pins_budget(tech, design, &gctx, &accessor, None, threads, budget)
 }
 

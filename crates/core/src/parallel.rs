@@ -108,6 +108,13 @@ impl<'a> PhaseBudget<'a> {
 /// What one parallel phase did: how many workers ran and how long each
 /// was busy (claimed items, excluding idle/steal time). Powers the
 /// per-step parallel-efficiency lines in [`crate::stats::PaoStats`].
+///
+/// On Linux, per-worker busy time is the worker thread's **on-CPU time**
+/// (`/proc/thread-self/schedstat`), capped by its wall-clock item total.
+/// Wall clocks alone count involuntary preemption as busy: on a host
+/// with fewer cores than workers they inflate `busy_us` by the
+/// oversubscription factor even though no extra work ran. Off Linux the
+/// wall-clock item total is reported unchanged.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecReport {
     /// Worker threads that participated (1 for the inline mode).
@@ -473,13 +480,16 @@ where
                         }
                         let mut scratch = init();
                         let mut busy = Duration::ZERO;
+                        // Sampled after init() so scratch construction
+                        // doesn't count as item work.
+                        let cpu_start = pao_obs::thread_cpu_ns();
                         loop {
                             // Cooperative cancellation: poll before claiming,
                             // so in-flight items finish and unclaimed ones
                             // stay unclaimed (the post-pass skips them).
                             if budget.token.is_cancelled() {
                                 pao_obs::flush_thread();
-                                return duration_us(busy);
+                                return worker_busy_us(cpu_start, busy);
                             }
                             // Claim the next unprocessed index; self-scheduling
                             // makes uneven item costs balance automatically.
@@ -489,7 +499,7 @@ where
                                 // destructors; push buffered spans and
                                 // metrics out while still joinable.
                                 pao_obs::flush_thread();
-                                return duration_us(busy);
+                                return worker_busy_us(cpu_start, busy);
                             }
                             if monitoring {
                                 cur_item[w].store(i, Ordering::Relaxed);
@@ -645,6 +655,24 @@ fn monitor_heartbeats(
 
 fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// One worker's reported busy time: its on-CPU time for the phase when
+/// the kernel exposes it, capped by the wall-clock item total so the
+/// phase's item spans always cover the busy figure. Wall time alone
+/// counts scheduler preemption as busy — with more workers than cores
+/// it inflates by the oversubscription factor while wall time gains
+/// nothing (the apgen "3× busy on one core" artifact). Off Linux the
+/// wall-clock total is reported unchanged.
+fn worker_busy_us(cpu_start_ns: Option<u64>, wall_busy: Duration) -> u64 {
+    let wall_us = duration_us(wall_busy);
+    match (cpu_start_ns, pao_obs::thread_cpu_ns()) {
+        // A zero delta means the whole worker ran inside one scheduler
+        // accounting quantum (schedstat updates on tick/switch); the
+        // wall total is the better estimate at that scale.
+        (Some(a), Some(b)) if b > a => ((b - a) / 1_000).min(wall_us),
+        _ => wall_us,
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use crate::budget::PhaseFractions;
 use crate::coord::CoordType;
 use crate::pattern::AccessPattern;
 use pao_geom::{Dbu, Orient, Point};
+use pao_tech::Symbol;
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -325,8 +326,8 @@ fn parse_phases(s: &str) -> Option<Vec<Dbu>> {
 /// to the run counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApgenSnapshot {
-    /// Cell master name.
-    pub master: String,
+    /// Cell master name (interned).
+    pub master: Symbol,
     /// Placement orientation.
     pub orient: Orient,
     /// Track-phase signature.
@@ -353,8 +354,8 @@ pub struct ApgenSnapshot {
 /// answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternSnapshot {
-    /// Cell master name.
-    pub master: String,
+    /// Cell master name (interned).
+    pub master: Symbol,
     /// Placement orientation.
     pub orient: Orient,
     /// Track-phase signature.
@@ -637,7 +638,7 @@ fn parse_apgen_checkpoint(text: &str) -> Result<HashMap<usize, ApgenSnapshot>, L
         let mut counts = None;
         for (k, v) in kvs {
             match k {
-                "master" => master = Some(v.to_owned()),
+                "master" => master = Some(Symbol::intern(v)),
                 "orient" => {
                     orient = Some(v.parse::<Orient>().map_err(|e| err(&e.to_string(), n))?);
                 }
@@ -734,7 +735,7 @@ fn parse_pattern_checkpoint(text: &str) -> Result<HashMap<usize, PatternSnapshot
         let mut aps_fnv = None;
         for (k, v) in kvs {
             match k {
-                "master" => master = Some(v.to_owned()),
+                "master" => master = Some(Symbol::intern(v)),
                 "orient" => {
                     orient = Some(v.parse::<Orient>().map_err(|e| err(&e.to_string(), n))?);
                 }
@@ -876,7 +877,7 @@ mod tests {
 
     fn sample_apgen_snapshot() -> ApgenSnapshot {
         ApgenSnapshot {
-            master: "BUFX1".to_owned(),
+            master: "BUFX1".into(),
             orient: Orient::N,
             phases: vec![0, 140],
             rep_location: Point::new(1200, -400),
@@ -899,7 +900,7 @@ mod tests {
         let apgen = sample_apgen_snapshot();
         store.put_apgen(7, apgen.clone());
         let pattern = PatternSnapshot {
-            master: "BUFX1".to_owned(),
+            master: "BUFX1".into(),
             orient: Orient::FS,
             phases: Vec::new(),
             aps_fnv: aps_fingerprint(&apgen.pin_aps),

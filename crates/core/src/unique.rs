@@ -3,7 +3,7 @@
 use pao_design::{CompId, Design};
 use pao_drc::{Owner, ShapeSet};
 use pao_geom::{Dbu, Orient};
-use pao_tech::Tech;
+use pao_tech::{Symbol, Tech};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -37,8 +37,8 @@ impl fmt::Display for UniqueInstanceId {
 pub struct UniqueInstance {
     /// This class's id.
     pub id: UniqueInstanceId,
-    /// Cell master name.
-    pub master: String,
+    /// Cell master name (interned).
+    pub master: Symbol,
     /// Placement orientation.
     pub orient: Orient,
     /// Origin phases against every track pattern, in declaration order.
@@ -63,14 +63,14 @@ pub struct UniqueInstance {
 /// ```
 #[must_use]
 pub fn extract_unique_instances(tech: &Tech, design: &Design) -> Vec<UniqueInstance> {
-    let mut by_sig: HashMap<(String, Orient, Vec<Dbu>), usize> = HashMap::new();
+    let mut by_sig: HashMap<(Symbol, Orient, Vec<Dbu>), usize> = HashMap::new();
     let mut out: Vec<UniqueInstance> = Vec::new();
     for (i, comp) in design.components().iter().enumerate() {
         if comp.master_in(tech).is_none() || !comp.is_placed {
             continue;
         }
         let id = CompId(i as u32);
-        let sig = (comp.master.clone(), comp.orient, design.track_phases(comp));
+        let sig = (comp.master, comp.orient, design.track_phases(comp));
         match by_sig.get(&sig) {
             Some(&ui) => out[ui].members.push(id),
             None => {

@@ -1,7 +1,7 @@
 //! Placed component instances.
 
 use pao_geom::{Orient, Point, Rect, Transform};
-use pao_tech::{Macro, Tech};
+use pao_tech::{Macro, Symbol, Tech};
 use std::fmt;
 
 /// Index of a component in its [`Design`](crate::Design).
@@ -33,10 +33,10 @@ impl fmt::Display for CompId {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Component {
-    /// Instance name, e.g. `"u42"`.
-    pub name: String,
-    /// Master (macro) name resolved against the technology.
-    pub master: String,
+    /// Instance name, e.g. `"u42"` (interned).
+    pub name: Symbol,
+    /// Master (macro) name resolved against the technology (interned).
+    pub master: Symbol,
     /// Placement location (lower-left of the placed bounding box).
     pub location: Point,
     /// Placement orientation.
@@ -51,8 +51,8 @@ impl Component {
     /// Creates a placed component.
     #[must_use]
     pub fn new(
-        name: impl Into<String>,
-        master: impl Into<String>,
+        name: impl Into<Symbol>,
+        master: impl Into<Symbol>,
         location: Point,
         orient: Orient,
     ) -> Component {
@@ -69,7 +69,7 @@ impl Component {
     /// Resolves this component's master in `tech`.
     #[must_use]
     pub fn master_in<'t>(&self, tech: &'t Tech) -> Option<&'t Macro> {
-        tech.macro_by_name(&self.master)
+        tech.macro_by_symbol(self.master)
     }
 
     /// The master-to-die [`Transform`] for this placement.

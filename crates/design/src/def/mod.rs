@@ -23,5 +23,5 @@
 mod parser;
 mod writer;
 
-pub use parser::{parse_def, ParseDefError};
-pub use writer::write_def;
+pub use parser::{parse_def, parse_def_file, parse_def_reader, ParseDefError};
+pub use writer::{write_def, write_def_to};

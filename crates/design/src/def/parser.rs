@@ -1,4 +1,12 @@
 //! The DEF parser.
+//!
+//! Parsing streams: the reader works line-by-line over any
+//! [`BufRead`](std::io::Read) source with one reusable line buffer and a
+//! token table of byte ranges into it, so peak memory is the finished
+//! [`Design`], not the DEF text plus a `Vec` of per-token `String`s. Names
+//! intern directly to [`Symbol`]s from the in-place slices, and the
+//! `COMPONENTS` / `PINS` / `NETS` section count headers pre-size the
+//! design tables before the first entry lands.
 
 use crate::component::Component;
 use crate::design::Design;
@@ -7,9 +15,11 @@ use crate::net::{Net, NetPin};
 use crate::row::Row;
 use crate::tracks::TrackPattern;
 use pao_geom::{Dbu, Dir, Orient, Point, Rect};
-use pao_tech::lef::{Lexer, Token};
-use pao_tech::Tech;
+use pao_tech::{Symbol, Tech};
+use std::collections::HashMap;
 use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
 
 /// Error produced while parsing DEF.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,49 +49,134 @@ impl std::error::Error for ParseDefError {}
 
 type Result<T> = std::result::Result<T, ParseDefError>;
 
-struct DefParser<'t> {
-    tokens: Vec<Token>,
-    pos: usize,
+/// Upper bound accepted from a section count header when pre-sizing
+/// tables, so a corrupt header cannot trigger a huge up-front
+/// allocation. Real entries beyond this still parse; the tables just
+/// grow normally.
+const MAX_RESERVE: usize = 1 << 24;
+
+struct DefParser<'t, R: BufRead> {
+    src: R,
+    /// Current line text (comment-stripped), reused across lines.
+    buf: String,
+    /// Byte ranges of the current line's tokens in `buf`.
+    toks: Vec<(u32, u32)>,
+    /// Next unconsumed token index in `toks`.
+    ti: usize,
+    /// 1-based line number of `buf`.
+    line_no: u32,
+    /// Line of the most recently consumed token (error reporting).
+    last_line: u32,
+    eof: bool,
     tech: &'t Tech,
     design: Design,
 }
 
-impl<'t> DefParser<'t> {
-    fn peek(&self) -> Option<&str> {
-        self.tokens.get(self.pos).map(|t| t.text.as_str())
-    }
-
-    fn line(&self) -> u32 {
-        self.tokens
-            .get(self.pos.saturating_sub(1))
-            .map_or(0, |t| t.line)
-    }
-
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(ParseDefError::new(msg, self.line()))
-    }
-
-    fn next_word(&mut self) -> Result<String> {
-        match self.tokens.get(self.pos) {
-            Some(t) => {
-                self.pos += 1;
-                Ok(t.text.clone())
-            }
-            None => Err(ParseDefError::new("unexpected end of input", 0)),
+impl<'t, R: BufRead> DefParser<'t, R> {
+    fn new(src: R, tech: &'t Tech) -> DefParser<'t, R> {
+        DefParser {
+            src,
+            buf: String::new(),
+            toks: Vec::new(),
+            ti: 0,
+            line_no: 0,
+            last_line: 0,
+            eof: false,
+            tech,
+            design: Design::new("", Rect::new(0, 0, 0, 0)),
         }
     }
 
-    fn eat(&mut self, kw: &str) -> bool {
-        if self.peek() == Some(kw) {
-            self.pos += 1;
-            true
+    /// Ensures at least one unconsumed token is available, pulling lines
+    /// from the reader as needed. Returns `false` at end of input.
+    fn fill(&mut self) -> Result<bool> {
+        while self.ti >= self.toks.len() {
+            if self.eof {
+                return Ok(false);
+            }
+            self.buf.clear();
+            self.toks.clear();
+            self.ti = 0;
+            let n = self
+                .src
+                .read_line(&mut self.buf)
+                .map_err(|e| ParseDefError::new(format!("read error: {e}"), self.line_no))?;
+            if n == 0 {
+                self.eof = true;
+                return Ok(false);
+            }
+            self.line_no += 1;
+            tokenize_line(&self.buf, &mut self.toks);
+        }
+        Ok(true)
+    }
+
+    /// The next token without consuming it, or `None` at end of input.
+    fn peek(&mut self) -> Result<Option<&str>> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        let (a, b) = self.toks[self.ti];
+        Ok(Some(&self.buf[a as usize..b as usize]))
+    }
+
+    /// Copies the next token into `out` without consuming. Returns
+    /// `false` at end of input.
+    fn peek_into(&mut self, out: &mut String) -> Result<bool> {
+        out.clear();
+        match self.peek()? {
+            Some(t) => {
+                out.push_str(t);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Consumes the current token (which `fill` guaranteed to exist).
+    fn bump(&mut self) {
+        self.ti += 1;
+        self.last_line = self.line_no;
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseDefError::new(msg, self.last_line))
+    }
+
+    /// Consumes and returns the next token as an owned string.
+    fn next_string(&mut self) -> Result<String> {
+        if !self.fill()? {
+            return Err(ParseDefError::new("unexpected end of input", 0));
+        }
+        let (a, b) = self.toks[self.ti];
+        let s = self.buf[a as usize..b as usize].to_owned();
+        self.bump();
+        Ok(s)
+    }
+
+    /// Consumes and interns the next token.
+    fn next_sym(&mut self) -> Result<Symbol> {
+        if !self.fill()? {
+            return Err(ParseDefError::new("unexpected end of input", 0));
+        }
+        let (a, b) = self.toks[self.ti];
+        let s = Symbol::intern(&self.buf[a as usize..b as usize]);
+        self.bump();
+        Ok(s)
+    }
+
+    /// `true` and consume when the next token equals `kw`.
+    fn eat(&mut self, kw: &str) -> Result<bool> {
+        if self.peek()? == Some(kw) {
+            self.bump();
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
     fn expect(&mut self, kw: &str) -> Result<()> {
-        let t = self.next_word()?;
+        let t = self.next_string()?;
         if t == kw {
             Ok(())
         } else {
@@ -89,19 +184,50 @@ impl<'t> DefParser<'t> {
         }
     }
 
-    fn skip_statement(&mut self) {
-        while let Ok(t) = self.next_word() {
-            if t == ";" {
-                break;
+    /// Consumes tokens up to and including the next `;`.
+    fn skip_statement(&mut self) -> Result<()> {
+        loop {
+            if !self.fill()? {
+                return Ok(());
+            }
+            let (a, b) = self.toks[self.ti];
+            let done = &self.buf[a as usize..b as usize] == ";";
+            self.bump();
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Consumes tokens until the next token is one of `stops` (left
+    /// unconsumed) or input ends.
+    fn skip_until(&mut self, stops: &[&str]) -> Result<()> {
+        loop {
+            match self.peek()? {
+                None => return Ok(()),
+                Some(t) if stops.contains(&t) => return Ok(()),
+                Some(_) => self.bump(),
             }
         }
     }
 
     fn int(&mut self) -> Result<Dbu> {
-        let t = self.next_word()?;
-        t.parse::<Dbu>().map_err(|_| {
-            ParseDefError::new(format!("expected an integer, found `{t}`"), self.line())
-        })
+        if !self.fill()? {
+            return Err(ParseDefError::new("unexpected end of input", 0));
+        }
+        let (a, b) = self.toks[self.ti];
+        let t = &self.buf[a as usize..b as usize];
+        match t.parse::<Dbu>() {
+            Ok(v) => {
+                self.bump();
+                Ok(v)
+            }
+            Err(_) => {
+                let msg = format!("expected an integer, found `{t}`");
+                self.bump();
+                self.err(msg)
+            }
+        }
     }
 
     /// Parses `( x y )`.
@@ -114,28 +240,29 @@ impl<'t> DefParser<'t> {
     }
 
     fn orient(&mut self) -> Result<Orient> {
-        let t = self.next_word()?;
+        let t = self.next_string()?;
         t.parse::<Orient>()
-            .map_err(|e| ParseDefError::new(e.to_string(), self.line()))
+            .map_err(|e| ParseDefError::new(e.to_string(), self.last_line))
     }
 
     fn parse(mut self) -> Result<Design> {
-        while let Some(kw) = self.peek() {
-            match kw {
+        let mut kw = String::new();
+        while self.peek_into(&mut kw)? {
+            match kw.as_str() {
                 "DESIGN" => {
-                    self.pos += 1;
-                    self.design.name = self.next_word()?;
+                    self.bump();
+                    self.design.name = self.next_string()?;
                     self.expect(";")?;
                 }
                 "UNITS" => {
-                    self.pos += 1;
+                    self.bump();
                     self.expect("DISTANCE")?;
                     self.expect("MICRONS")?;
                     self.design.dbu_per_micron = self.int()?;
                     self.expect(";")?;
                 }
                 "DIEAREA" => {
-                    self.pos += 1;
+                    self.bump();
                     let a = self.point()?;
                     let b = self.point()?;
                     self.expect(";")?;
@@ -147,16 +274,16 @@ impl<'t> DefParser<'t> {
                 "PINS" => self.parse_pins()?,
                 "NETS" => self.parse_nets()?,
                 "END" => {
-                    self.pos += 1;
-                    let what = self.next_word().unwrap_or_default();
+                    self.bump();
+                    let what = self.next_string().unwrap_or_default();
                     if what == "DESIGN" {
                         break;
                     }
                     // END of a skipped section — continue.
                 }
                 _ => {
-                    self.pos += 1;
-                    self.skip_statement();
+                    self.bump();
+                    self.skip_statement()?;
                 }
             }
         }
@@ -165,8 +292,8 @@ impl<'t> DefParser<'t> {
 
     fn parse_row(&mut self) -> Result<()> {
         self.expect("ROW")?;
-        let name = self.next_word()?;
-        let site = self.next_word()?;
+        let name = self.next_string()?;
+        let site = self.next_string()?;
         let x = self.int()?;
         let y = self.int()?;
         let orient = self.orient()?;
@@ -196,7 +323,7 @@ impl<'t> DefParser<'t> {
 
     fn parse_tracks(&mut self) -> Result<()> {
         self.expect("TRACKS")?;
-        let axis = self.next_word()?;
+        let axis = self.next_string()?;
         // DEF `TRACKS X` lists x coordinates → vertical wires run on them.
         let dir = match axis.as_str() {
             "X" => Dir::Vertical,
@@ -209,13 +336,13 @@ impl<'t> DefParser<'t> {
         self.expect("STEP")?;
         let step = self.int()?;
         let mut layers = Vec::new();
-        if self.eat("LAYER") {
+        if self.eat("LAYER")? {
             loop {
-                match self.peek() {
+                match self.peek()? {
                     Some(";") => break,
                     Some(_) => {
-                        let lname = self.next_word()?;
-                        match self.tech.layer_id(&lname) {
+                        let lname = self.next_sym()?;
+                        match self.tech.layer_id_sym(lname) {
                             Some(id) => layers.push(id),
                             None => return self.err(format!("unknown layer `{lname}` in TRACKS")),
                         }
@@ -237,15 +364,23 @@ impl<'t> DefParser<'t> {
 
     fn parse_components(&mut self) -> Result<()> {
         self.expect("COMPONENTS")?;
-        let _count = self.int()?;
+        let count = self.int()?;
         self.expect(";")?;
-        while self.eat("-") {
-            let name = self.next_word()?;
-            let master = self.next_word()?;
+        if count > 0 {
+            self.design
+                .reserve_components((count as usize).min(MAX_RESERVE));
+        }
+        let mut kw = String::new();
+        while self.eat("-")? {
+            let name = self.next_sym()?;
+            let master = self.next_sym()?;
             let mut comp = Component::new(name, master, Point::ORIGIN, Orient::N);
             comp.is_placed = false; // until a PLACED/FIXED clause appears
-            while self.eat("+") {
-                let kw = self.next_word()?;
+            while self.eat("+")? {
+                if !self.peek_into(&mut kw)? {
+                    return Err(ParseDefError::new("unexpected end of input", 0));
+                }
+                self.bump();
                 match kw.as_str() {
                     "PLACED" | "FIXED" => {
                         comp.location = self.point()?;
@@ -258,9 +393,7 @@ impl<'t> DefParser<'t> {
                     }
                     _ => {
                         // SOURCE, WEIGHT, … skip until the next +, - or ;.
-                        while !matches!(self.peek(), Some("+" | "-" | ";") | None) {
-                            self.pos += 1;
-                        }
+                        self.skip_until(&["+", "-", ";"])?;
                     }
                 }
             }
@@ -274,36 +407,44 @@ impl<'t> DefParser<'t> {
 
     fn parse_pins(&mut self) -> Result<()> {
         self.expect("PINS")?;
-        let _count = self.int()?;
+        let count = self.int()?;
         self.expect(";")?;
-        while self.eat("-") {
-            let name = self.next_word()?;
-            let mut net = name.clone();
+        if count > 0 {
+            self.design
+                .reserve_io_pins((count as usize).min(MAX_RESERVE));
+        }
+        let mut kw = String::new();
+        while self.eat("-")? {
+            let name = self.next_sym()?;
+            let mut net = name;
             let mut layer = None;
             let mut rect = Rect::new(0, 0, 0, 0);
             let mut location = Point::ORIGIN;
             let mut orient = Orient::N;
             let mut dir = pao_tech::PinDir::Input;
             let mut use_ = pao_tech::PinUse::Signal;
-            while self.eat("+") {
-                let kw = self.next_word()?;
+            while self.eat("+")? {
+                if !self.peek_into(&mut kw)? {
+                    return Err(ParseDefError::new("unexpected end of input", 0));
+                }
+                self.bump();
                 match kw.as_str() {
-                    "NET" => net = self.next_word()?,
+                    "NET" => net = self.next_sym()?,
                     "DIRECTION" => {
-                        let d = self.next_word()?;
+                        let d = self.next_string()?;
                         dir = d
                             .parse()
-                            .map_err(|e: String| ParseDefError::new(e, self.line()))?;
+                            .map_err(|e: String| ParseDefError::new(e, self.last_line))?;
                     }
                     "USE" => {
-                        let u = self.next_word()?;
+                        let u = self.next_string()?;
                         use_ = u
                             .parse()
-                            .map_err(|e: String| ParseDefError::new(e, self.line()))?;
+                            .map_err(|e: String| ParseDefError::new(e, self.last_line))?;
                     }
                     "LAYER" => {
-                        let lname = self.next_word()?;
-                        layer = match self.tech.layer_id(&lname) {
+                        let lname = self.next_sym()?;
+                        layer = match self.tech.layer_id_sym(lname) {
                             Some(id) => Some(id),
                             None => return self.err(format!("unknown layer `{lname}` in PINS")),
                         };
@@ -316,9 +457,7 @@ impl<'t> DefParser<'t> {
                         orient = self.orient()?;
                     }
                     _ => {
-                        while !matches!(self.peek(), Some("+" | "-" | ";") | None) {
-                            self.pos += 1;
-                        }
+                        self.skip_until(&["+", "-", ";"])?;
                     }
                 }
             }
@@ -338,45 +477,50 @@ impl<'t> DefParser<'t> {
 
     fn parse_nets(&mut self) -> Result<()> {
         self.expect("NETS")?;
-        let _count = self.int()?;
+        let count = self.int()?;
         self.expect(";")?;
-        while self.eat("-") {
-            let name = self.next_word()?;
-            let mut net = Net::new(name.clone());
+        if count > 0 {
+            self.design.reserve_nets((count as usize).min(MAX_RESERVE));
+        }
+        // I/O pins were all declared by the time NETS opens; one map
+        // replaces the per-terminal linear scan of the pin list.
+        let io_index: HashMap<Symbol, u32> = self
+            .design
+            .io_pins()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name, i as u32))
+            .collect();
+        while self.eat("-")? {
+            let name = self.next_sym()?;
+            let mut net = Net::new(name);
             loop {
-                if self.eat("(") {
-                    let a = self.next_word()?;
-                    let b = self.next_word()?;
+                if self.eat("(")? {
+                    let a = self.next_sym()?;
+                    let b = self.next_sym()?;
                     self.expect(")")?;
                     if a == "PIN" {
-                        let idx = self
-                            .design
-                            .io_pins()
-                            .iter()
-                            .position(|p| p.name == b)
-                            .ok_or_else(|| {
-                                ParseDefError::new(format!("unknown design pin `{b}`"), self.line())
-                            })?;
-                        net.pins.push(NetPin::Io { index: idx as u32 });
+                        let idx = io_index.get(&b).copied().ok_or_else(|| {
+                            ParseDefError::new(format!("unknown design pin `{b}`"), self.last_line)
+                        })?;
+                        net.pins.push(NetPin::Io { index: idx });
                     } else {
-                        let comp = self.design.component_by_name(&a).ok_or_else(|| {
+                        let comp = self.design.component_by_symbol(a).ok_or_else(|| {
                             ParseDefError::new(
                                 format!("unknown component `{a}` in net `{name}`"),
-                                self.line(),
+                                self.last_line,
                             )
                         })?;
                         net.pins.push(NetPin::Comp { comp, pin: b });
                     }
-                } else if self.eat(";") {
+                } else if self.eat(";")? {
                     break;
-                } else if self.eat("+") {
+                } else if self.eat("+")? {
                     // USE / ROUTED / … — DEF places all terminals before
                     // the first `+` clause, so everything up to the `;`
                     // (including ROUTED coordinates in parentheses) is
                     // skipped.
-                    while !matches!(self.peek(), Some(";") | None) {
-                        self.pos += 1;
-                    }
+                    self.skip_until(&[";"])?;
                 } else {
                     return self.err("expected `(`, `+` or `;` in NETS entry");
                 }
@@ -389,6 +533,67 @@ impl<'t> DefParser<'t> {
     }
 }
 
+/// Tokenizes one line: whitespace-separated words with `;`, `(` and `)`
+/// standalone and `#` starting a line comment — the same rules as the
+/// LEF lexer, expressed as byte ranges instead of owned strings.
+fn tokenize_line(line: &str, toks: &mut Vec<(u32, u32)>) {
+    let bytes = line.as_bytes();
+    let end = line.find('#').unwrap_or(bytes.len());
+    let mut start: Option<usize> = None;
+    for (i, &c) in bytes[..end].iter().enumerate() {
+        match c {
+            b';' | b'(' | b')' => {
+                if let Some(s) = start.take() {
+                    toks.push((s as u32, i as u32));
+                }
+                toks.push((i as u32, (i + 1) as u32));
+            }
+            c if c.is_ascii_whitespace() => {
+                if let Some(s) = start.take() {
+                    toks.push((s as u32, i as u32));
+                }
+            }
+            _ => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        toks.push((s as u32, end as u32));
+    }
+}
+
+/// Parses DEF from any buffered reader into a [`Design`], resolving layer
+/// and site names against `tech`. This is the streaming entry point: the
+/// source is consumed line-by-line and never materialized whole.
+///
+/// # Errors
+///
+/// Returns [`ParseDefError`] on malformed input, I/O failure, unknown
+/// layers/components referenced by later sections, or unsupported
+/// constructs (multi-row `DO n BY m` with `m > 1`). Unknown statements
+/// and sections are skipped.
+pub fn parse_def_reader<R: BufRead>(
+    src: R,
+    tech: &Tech,
+) -> std::result::Result<Design, ParseDefError> {
+    DefParser::new(src, tech).parse()
+}
+
+/// Parses a DEF file by streaming it through a [`BufReader`](std::io::BufReader).
+///
+/// # Errors
+///
+/// As [`parse_def_reader`]; failure to open the file reports as a
+/// [`ParseDefError`] at line 0.
+pub fn parse_def_file(path: &Path, tech: &Tech) -> std::result::Result<Design, ParseDefError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ParseDefError::new(format!("cannot open `{}`: {e}", path.display()), 0))?;
+    parse_def_reader(std::io::BufReader::new(file), tech)
+}
+
 /// Parses DEF source into a [`Design`], resolving layer and site names
 /// against `tech`.
 ///
@@ -398,13 +603,7 @@ impl<'t> DefParser<'t> {
 /// referenced by later sections, or unsupported constructs (multi-row `DO n
 /// BY m` with `m > 1`). Unknown statements and sections are skipped.
 pub fn parse_def(src: &str, tech: &Tech) -> std::result::Result<Design, ParseDefError> {
-    DefParser {
-        tokens: Lexer::tokenize(src),
-        pos: 0,
-        tech,
-        design: Design::new("", Rect::new(0, 0, 0, 0)),
-    }
-    .parse()
+    parse_def_reader(src.as_bytes(), tech)
 }
 
 #[cfg(test)]
@@ -478,6 +677,20 @@ END DESIGN
     }
 
     #[test]
+    fn reader_entry_point_matches_str_parse() {
+        let t = tech();
+        let via_str = parse_def(SAMPLE, &t).unwrap();
+        let via_reader =
+            parse_def_reader(std::io::BufReader::with_capacity(17, SAMPLE.as_bytes()), &t).unwrap();
+        // A tiny buffer forces many refills; results must be identical.
+        assert_eq!(via_str.components(), via_reader.components());
+        assert_eq!(via_str.nets(), via_reader.nets());
+        assert_eq!(via_str.io_pins(), via_reader.io_pins());
+        assert_eq!(via_str.rows, via_reader.rows);
+        assert_eq!(via_str.tracks, via_reader.tracks);
+    }
+
+    #[test]
     fn error_on_unknown_component_in_net() {
         let t = tech();
         let src = "\
@@ -509,5 +722,49 @@ DESIGN x ;\nGCELLGRID X 0 DO 10 STEP 3000 ;\nVIAS 0 ;\nEND VIAS\nEND DESIGN";
         let t = tech();
         let src = "DESIGN x ;\nROW r core 0 0 N DO 5 BY 2 STEP 380 2800 ;\nEND DESIGN";
         assert!(parse_def(src, &t).is_err());
+    }
+
+    #[test]
+    fn truncated_input_reports_error_not_panic() {
+        let t = tech();
+        // Cut the sample at every line boundary: each prefix must either
+        // parse (possibly to a partial design) or fail cleanly.
+        let lines: Vec<&str> = SAMPLE.lines().collect();
+        for n in 0..lines.len() {
+            let prefix = lines[..n].join("\n");
+            let _ = parse_def(&prefix, &t);
+        }
+        // A truncation mid-COMPONENTS must be an error, not a silent
+        // half-design.
+        let cut = SAMPLE.split("END COMPONENTS").next().unwrap();
+        let err = parse_def(cut, &t).unwrap_err();
+        assert!(err.message.contains("unexpected end of input"));
+    }
+
+    #[test]
+    fn garbage_reports_error_not_panic() {
+        let t = tech();
+        for src in [
+            "COMPONENTS x ;",
+            "COMPONENTS 1 ; - u1 ;",
+            "NETS 1 ; - n ( ;",
+            "TRACKS Z 0 DO 1 STEP 1 ;",
+            "ROW r core a b N DO 1 BY 1 STEP 1 0 ;",
+            "PINS 1 ; - p + LAYER M9 ( 0 0 ) ( 1 1 ) ;",
+            "PINS 1 ; - p + PLACED ( 0 0 ) N ;\nEND PINS",
+            "NETS 1 ; - n [ ;",
+        ] {
+            assert!(parse_def(src, &t).is_err(), "`{src}` must not parse");
+        }
+    }
+
+    #[test]
+    fn header_counts_presize_without_trusting_garbage() {
+        let t = tech();
+        // A count header far larger than the actual entries (and larger
+        // than the reserve cap) must not blow up the parse.
+        let src = "DESIGN x ;\nCOMPONENTS 99999999 ;\n - u1 INVX1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN";
+        let d = parse_def(src, &t).unwrap();
+        assert_eq!(d.components().len(), 1);
     }
 }

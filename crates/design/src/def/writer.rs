@@ -4,74 +4,78 @@ use crate::design::Design;
 use crate::net::NetPin;
 use pao_geom::Dir;
 use pao_tech::Tech;
-use std::fmt::Write as _;
+use std::io::{self, Write};
 
-/// Serializes a [`Design`] back to DEF text.
+/// Streams a [`Design`] as DEF text to any writer.
 ///
-/// The output is a normal form of the supported subset;
-/// `parse_def(write_def(d, t), t)` reproduces the same database.
-#[must_use]
-pub fn write_def(design: &Design, tech: &Tech) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "VERSION 5.8 ;");
-    let _ = writeln!(out, "DESIGN {} ;", design.name);
-    let _ = writeln!(out, "UNITS DISTANCE MICRONS {} ;", design.dbu_per_micron);
+/// This is the scaling entry point: a million-component design writes
+/// through an `O(1)` buffer instead of materializing the full text.
+/// [`write_def`] wraps this for callers that want a `String`; both paths
+/// produce byte-identical output.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_def_to<W: Write>(design: &Design, tech: &Tech, out: &mut W) -> io::Result<()> {
+    writeln!(out, "VERSION 5.8 ;")?;
+    writeln!(out, "DESIGN {} ;", design.name)?;
+    writeln!(out, "UNITS DISTANCE MICRONS {} ;", design.dbu_per_micron)?;
     let d = design.die_area;
-    let _ = writeln!(
+    writeln!(
         out,
         "DIEAREA ( {} {} ) ( {} {} ) ;",
         d.xlo(),
         d.ylo(),
         d.xhi(),
         d.yhi()
-    );
+    )?;
     for row in &design.rows {
-        let _ = writeln!(
+        writeln!(
             out,
             "ROW {} {} {} {} {} DO {} BY 1 STEP {} 0 ;",
             row.name, row.site, row.origin.x, row.origin.y, row.orient, row.num_sites, row.step
-        );
+        )?;
     }
     for t in &design.tracks {
         let axis = if t.dir == Dir::Vertical { "X" } else { "Y" };
-        let _ = write!(
+        write!(
             out,
             "TRACKS {axis} {} DO {} STEP {}",
             t.start, t.count, t.step
-        );
+        )?;
         if !t.layers.is_empty() {
-            let _ = write!(out, " LAYER");
+            write!(out, " LAYER")?;
             for &l in &t.layers {
-                let _ = write!(out, " {}", tech.layer(l).name);
+                write!(out, " {}", tech.layer(l).name)?;
             }
         }
-        let _ = writeln!(out, " ;");
+        writeln!(out, " ;")?;
     }
-    let _ = writeln!(out, "COMPONENTS {} ;", design.components().len());
+    writeln!(out, "COMPONENTS {} ;", design.components().len())?;
     for c in design.components() {
         if !c.is_placed {
-            let _ = writeln!(out, " - {} {} + UNPLACED ;", c.name, c.master);
+            writeln!(out, " - {} {} + UNPLACED ;", c.name, c.master)?;
             continue;
         }
         let kw = if c.is_fixed { "FIXED" } else { "PLACED" };
-        let _ = writeln!(
+        writeln!(
             out,
             " - {} {} + {kw} ( {} {} ) {} ;",
             c.name, c.master, c.location.x, c.location.y, c.orient
-        );
+        )?;
     }
-    let _ = writeln!(out, "END COMPONENTS");
-    let _ = writeln!(out, "PINS {} ;", design.io_pins().len());
+    writeln!(out, "END COMPONENTS")?;
+    writeln!(out, "PINS {} ;", design.io_pins().len())?;
     for p in design.io_pins() {
-        let _ = writeln!(
+        writeln!(
             out,
             " - {} + NET {} + DIRECTION {} + USE {}",
             p.name,
             p.net,
             p.dir.as_str(),
             p.use_.as_str()
-        );
-        let _ = writeln!(
+        )?;
+        writeln!(
             out,
             "   + LAYER {} ( {} {} ) ( {} {} )",
             tech.layer(p.layer).name,
@@ -79,32 +83,44 @@ pub fn write_def(design: &Design, tech: &Tech) -> String {
             p.rect.ylo(),
             p.rect.xhi(),
             p.rect.yhi()
-        );
-        let _ = writeln!(
+        )?;
+        writeln!(
             out,
             "   + PLACED ( {} {} ) {} ;",
             p.location.x, p.location.y, p.orient
-        );
+        )?;
     }
-    let _ = writeln!(out, "END PINS");
-    let _ = writeln!(out, "NETS {} ;", design.nets().len());
+    writeln!(out, "END PINS")?;
+    writeln!(out, "NETS {} ;", design.nets().len())?;
     for n in design.nets() {
-        let _ = write!(out, " - {}", n.name);
+        write!(out, " - {}", n.name)?;
         for pin in &n.pins {
             match pin {
                 NetPin::Comp { comp, pin } => {
-                    let _ = write!(out, " ( {} {} )", design.component(*comp).name, pin);
+                    write!(out, " ( {} {} )", design.component(*comp).name, pin)?;
                 }
                 NetPin::Io { index } => {
-                    let _ = write!(out, " ( PIN {} )", design.io_pins()[*index as usize].name);
+                    write!(out, " ( PIN {} )", design.io_pins()[*index as usize].name)?;
                 }
             }
         }
-        let _ = writeln!(out, " ;");
+        writeln!(out, " ;")?;
     }
-    let _ = writeln!(out, "END NETS");
-    let _ = writeln!(out, "END DESIGN");
-    out
+    writeln!(out, "END NETS")?;
+    writeln!(out, "END DESIGN")?;
+    Ok(())
+}
+
+/// Serializes a [`Design`] back to DEF text.
+///
+/// The output is a normal form of the supported subset;
+/// `parse_def(write_def(d, t), t)` reproduces the same database.
+#[must_use]
+pub fn write_def(design: &Design, tech: &Tech) -> String {
+    let mut out = Vec::new();
+    // Writing into a Vec<u8> cannot fail.
+    let _ = write_def_to(design, tech, &mut out);
+    String::from_utf8(out).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -184,5 +200,20 @@ mod tests {
         assert_eq!(d.components(), d2.components());
         assert_eq!(d.io_pins(), d2.io_pins());
         assert_eq!(d.nets(), d2.nets());
+    }
+
+    #[test]
+    fn streamed_output_matches_string_output() {
+        let tech = tech();
+        let mut d = crate::Design::new("top", Rect::new(0, 0, 1000, 1000));
+        d.add_component(crate::Component::new(
+            "u1",
+            "INVX1",
+            Point::new(0, 0),
+            Orient::N,
+        ));
+        let mut buf = Vec::new();
+        write_def_to(&d, &tech, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), write_def(&d, &tech));
     }
 }

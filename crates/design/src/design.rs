@@ -6,7 +6,7 @@ use crate::net::{Net, NetId};
 use crate::row::Row;
 use crate::tracks::TrackPattern;
 use pao_geom::{Dbu, Rect};
-use pao_tech::{LayerId, Tech};
+use pao_tech::{LayerId, Symbol, Tech};
 use std::collections::HashMap;
 
 /// A placed design (the contents of a DEF file), resolved against a
@@ -34,10 +34,10 @@ pub struct Design {
     /// Track patterns in declaration order.
     pub tracks: Vec<TrackPattern>,
     components: Vec<Component>,
-    comp_names: HashMap<String, CompId>,
+    comp_names: HashMap<Symbol, CompId>,
     io_pins: Vec<IoPin>,
     nets: Vec<Net>,
-    net_names: HashMap<String, NetId>,
+    net_names: HashMap<Symbol, NetId>,
 }
 
 impl Design {
@@ -52,10 +52,28 @@ impl Design {
         }
     }
 
+    /// Pre-sizes the component table and name map (streaming parsers feed
+    /// the DEF section count header through here before the first add).
+    pub fn reserve_components(&mut self, n: usize) {
+        self.components.reserve(n);
+        self.comp_names.reserve(n);
+    }
+
+    /// Pre-sizes the net table and name map.
+    pub fn reserve_nets(&mut self, n: usize) {
+        self.nets.reserve(n);
+        self.net_names.reserve(n);
+    }
+
+    /// Pre-sizes the I/O pin table.
+    pub fn reserve_io_pins(&mut self, n: usize) {
+        self.io_pins.reserve(n);
+    }
+
     /// Adds a component and returns its id.
     pub fn add_component(&mut self, c: Component) -> CompId {
         let id = CompId(self.components.len() as u32);
-        self.comp_names.insert(c.name.clone(), id);
+        self.comp_names.insert(c.name, id);
         self.components.push(c);
         id
     }
@@ -69,7 +87,7 @@ impl Design {
     /// Adds a net and returns its id.
     pub fn add_net(&mut self, n: Net) -> NetId {
         let id = NetId(self.nets.len() as u32);
-        self.net_names.insert(n.name.clone(), id);
+        self.net_names.insert(n.name, id);
         self.nets.push(n);
         id
     }
@@ -102,7 +120,14 @@ impl Design {
     /// Looks up a component by instance name.
     #[must_use]
     pub fn component_by_name(&self, name: &str) -> Option<CompId> {
-        self.comp_names.get(name).copied()
+        let sym = Symbol::lookup(name)?;
+        self.comp_names.get(&sym).copied()
+    }
+
+    /// Looks up a component by interned instance name.
+    #[must_use]
+    pub fn component_by_symbol(&self, name: Symbol) -> Option<CompId> {
+        self.comp_names.get(&name).copied()
     }
 
     /// All I/O pins.
@@ -130,7 +155,8 @@ impl Design {
     /// Looks up a net by name.
     #[must_use]
     pub fn net_by_name(&self, name: &str) -> Option<NetId> {
-        self.net_names.get(name).copied()
+        let sym = Symbol::lookup(name)?;
+        self.net_names.get(&sym).copied()
     }
 
     /// Track patterns governing wires of direction `dir` on `layer`
@@ -180,6 +206,63 @@ impl Design {
             }
         }
         out
+    }
+
+    /// Allocation-free form of [`Self::placed_pin_shapes`]: calls `f` for
+    /// each `(pin index, layer, rect)` triple instead of building a `Vec`.
+    /// The spatial-index build visits every component once; at a million
+    /// instances the per-component `Vec` becomes the bottleneck.
+    ///
+    /// Polygon ports still decompose through an internal buffer; the
+    /// common all-rect port walks straight through.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the component's master is not in `tech`.
+    pub fn for_each_placed_pin_shape(
+        &self,
+        tech: &Tech,
+        id: CompId,
+        mut f: impl FnMut(usize, LayerId, Rect),
+    ) {
+        let comp = self.component(id);
+        let master = comp
+            .master_in(tech)
+            .unwrap_or_else(|| panic!("unknown master `{}`", comp.master));
+        let t = comp.transform(tech);
+        for (pi, pin) in master.pins.iter().enumerate() {
+            for port in &pin.ports {
+                for &r in &port.rects {
+                    f(pi, port.layer, t.apply_rect(r));
+                }
+                for p in &port.polygons {
+                    for r in p.to_rects() {
+                        f(pi, port.layer, t.apply_rect(r));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocation-free form of [`Self::placed_obs_shapes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the component's master is not in `tech`.
+    pub fn for_each_placed_obs_shape(
+        &self,
+        tech: &Tech,
+        id: CompId,
+        mut f: impl FnMut(LayerId, Rect),
+    ) {
+        let comp = self.component(id);
+        let master = comp
+            .master_in(tech)
+            .unwrap_or_else(|| panic!("unknown master `{}`", comp.master));
+        let t = comp.transform(tech);
+        for &(layer, r) in &master.obs {
+            f(layer, t.apply_rect(r));
+        }
     }
 
     /// Flattened obstruction geometry of a component in die coordinates.

@@ -1,7 +1,7 @@
 //! Design I/O pins.
 
 use pao_geom::{Orient, Point, Rect, Transform};
-use pao_tech::{LayerId, PinDir, PinUse};
+use pao_tech::{LayerId, PinDir, PinUse, Symbol};
 
 /// A design-level I/O pin (a DEF `PINS` entry): a single rectangle on a
 /// routing layer placed at a location/orientation.
@@ -17,10 +17,10 @@ use pao_tech::{LayerId, PinDir, PinUse};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IoPin {
-    /// Pin name.
-    pub name: String,
-    /// Net this pin belongs to.
-    pub net: String,
+    /// Pin name (interned).
+    pub name: Symbol,
+    /// Net this pin belongs to (interned).
+    pub net: Symbol,
     /// Layer of the pin shape.
     pub layer: LayerId,
     /// Pin shape relative to the pin location.
@@ -39,8 +39,8 @@ impl IoPin {
     /// Creates a signal I/O pin.
     #[must_use]
     pub fn new(
-        name: impl Into<String>,
-        net: impl Into<String>,
+        name: impl Into<Symbol>,
+        net: impl Into<Symbol>,
         layer: LayerId,
         rect: Rect,
         location: Point,

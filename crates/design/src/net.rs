@@ -1,6 +1,7 @@
 //! Signal nets.
 
 use crate::component::CompId;
+use pao_tech::Symbol;
 use std::fmt;
 
 /// Index of a net in its [`Design`](crate::Design).
@@ -28,8 +29,8 @@ pub enum NetPin {
     Comp {
         /// The component.
         comp: CompId,
-        /// The master pin name.
-        pin: String,
+        /// The master pin name (interned).
+        pin: Symbol,
     },
     /// A design I/O pin, by index into the design's I/O pin list.
     Io {
@@ -42,8 +43,8 @@ pub enum NetPin {
 /// entry).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Net {
-    /// Net name.
-    pub name: String,
+    /// Net name (interned).
+    pub name: Symbol,
     /// Terminals in declaration order.
     pub pins: Vec<NetPin>,
 }
@@ -51,7 +52,7 @@ pub struct Net {
 impl Net {
     /// Creates a net with no terminals.
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Net {
+    pub fn new(name: impl Into<Symbol>) -> Net {
         Net {
             name: name.into(),
             pins: Vec::new(),
@@ -65,9 +66,9 @@ impl Net {
     }
 
     /// Component terminals only.
-    pub fn comp_pins(&self) -> impl Iterator<Item = (CompId, &str)> {
+    pub fn comp_pins(&self) -> impl Iterator<Item = (CompId, Symbol)> + '_ {
         self.pins.iter().filter_map(|p| match p {
-            NetPin::Comp { comp, pin } => Some((*comp, pin.as_str())),
+            NetPin::Comp { comp, pin } => Some((*comp, *pin)),
             NetPin::Io { .. } => None,
         })
     }
@@ -90,7 +91,10 @@ mod tests {
             pin: "Y".into(),
         });
         assert_eq!(n.degree(), 3);
-        let comps: Vec<(CompId, &str)> = n.comp_pins().collect();
-        assert_eq!(comps, vec![(CompId(0), "A"), (CompId(7), "Y")]);
+        let comps: Vec<(CompId, Symbol)> = n.comp_pins().collect();
+        assert_eq!(
+            comps,
+            vec![(CompId(0), "A".into()), (CompId(7), "Y".into())]
+        );
     }
 }

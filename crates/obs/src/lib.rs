@@ -43,7 +43,10 @@ pub mod clock;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod procstat;
 pub mod trace;
+
+pub use procstat::{peak_rss_bytes, peak_rss_mb, thread_cpu_ns};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -1,0 +1,81 @@
+//! Process/thread statistics from `/proc` — std-only, Linux-aware.
+//!
+//! Two readings feed the benchmark surfaces:
+//!
+//! * [`peak_rss_bytes`] — the process's high-water resident set
+//!   (`VmHWM` in `/proc/self/status`), the honest answer to "did the
+//!   1M-component run fit in memory". The kernel tracks the maximum for
+//!   us, so one read at exit covers the whole run.
+//! * [`thread_cpu_ns`] — the calling thread's cumulative on-CPU time
+//!   (`/proc/thread-self/schedstat`, first field). Sampling it at worker
+//!   start/end gives busy time that excludes involuntary preemption,
+//!   unlike wall-clock spans which count time spent *descheduled* as
+//!   busy when workers oversubscribe the machine.
+//!
+//! Both return `None` off Linux (or on exotic kernels without the
+//! files); callers fall back to wall-clock accounting.
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or `None`
+/// when `/proc/self/status` is unavailable.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Peak resident set size in mebibytes, rounded to the nearest MiB.
+#[must_use]
+pub fn peak_rss_mb() -> Option<u64> {
+    peak_rss_bytes().map(|b| (b + (1 << 19)) >> 20)
+}
+
+/// Cumulative on-CPU time of the **calling thread** in nanoseconds, or
+/// `None` when `/proc/thread-self/schedstat` is unavailable.
+///
+/// The schedstat first field only advances while the thread is actually
+/// running, so `end - start` deltas measure work, not scheduler wait.
+#[must_use]
+pub fn thread_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    stat.split_whitespace().next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes().expect("linux exposes /proc/self/status");
+        assert!(rss > 1 << 20, "peak RSS {rss} suspiciously small");
+        assert!(peak_rss_mb().unwrap() >= 1);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn thread_cpu_advances_with_work() {
+        let a = thread_cpu_ns().expect("linux exposes schedstat");
+        // Burn a little CPU; schedstat must not go backwards.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_ns().unwrap();
+        assert!(b >= a, "{b} < {a}");
+    }
+
+    #[test]
+    fn readers_never_panic() {
+        let _ = peak_rss_bytes();
+        let _ = peak_rss_mb();
+        let _ = thread_cpu_ns();
+    }
+}

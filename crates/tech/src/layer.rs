@@ -1,6 +1,7 @@
 //! Routing and cut layers.
 
 use crate::rules::{EolRule, MinStepRule, SpacingTable};
+use crate::symbol::Symbol;
 use pao_geom::{Dbu, Dir};
 use std::fmt;
 
@@ -45,8 +46,8 @@ pub enum LayerKind {
 /// zero / empty and the corresponding checks are skipped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layer {
-    /// Layer name, e.g. `"metal2"`.
-    pub name: String,
+    /// Layer name, e.g. `"metal2"` (interned).
+    pub name: Symbol,
     /// Routing or cut.
     pub kind: LayerKind,
     /// Preferred routing direction (routing layers; ignored for cuts).
@@ -76,7 +77,7 @@ impl Layer {
     /// rules.
     #[must_use]
     pub fn routing(
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         dir: Dir,
         pitch: Dbu,
         width: Dbu,
@@ -100,7 +101,7 @@ impl Layer {
 
     /// Creates a cut layer with the given cut size and cut-to-cut spacing.
     #[must_use]
-    pub fn cut(name: impl Into<String>, width: Dbu, spacing: Dbu) -> Layer {
+    pub fn cut(name: impl Into<Symbol>, width: Dbu, spacing: Dbu) -> Layer {
         Layer {
             name: name.into(),
             kind: LayerKind::Cut,

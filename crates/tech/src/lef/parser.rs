@@ -422,7 +422,7 @@ impl LefParser {
                     self.expect(";")?;
                 }
                 "SITE" => {
-                    m.site = Some(self.next_word()?);
+                    m.site = Some(self.next_word()?.into());
                     self.cur.skip_statement();
                 }
                 "PIN" => {

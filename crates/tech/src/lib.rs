@@ -34,6 +34,7 @@ pub mod lef;
 pub mod macros;
 pub mod rules;
 pub mod site;
+pub mod symbol;
 pub mod tech;
 pub mod via;
 
@@ -41,5 +42,6 @@ pub use layer::{Layer, LayerId, LayerKind};
 pub use macros::{Macro, MacroClass, Pin, PinDir, PinUse, Port};
 pub use rules::{EolRule, MinStepRule, SpacingTable};
 pub use site::Site;
+pub use symbol::Symbol;
 pub use tech::Tech;
 pub use via::{ViaDef, ViaId};

@@ -1,6 +1,7 @@
 //! Cell masters (LEF `MACRO`s) with pins and obstructions.
 
 use crate::layer::LayerId;
+use crate::symbol::Symbol;
 use pao_geom::{Dbu, Polygon, Rect};
 use std::fmt;
 use std::str::FromStr;
@@ -164,8 +165,8 @@ impl Port {
 /// A pin of a cell master.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pin {
-    /// Pin name, e.g. `"A"`.
-    pub name: String,
+    /// Pin name, e.g. `"A"` (interned).
+    pub name: Symbol,
     /// Signal direction.
     pub dir: PinDir,
     /// Electrical use.
@@ -177,7 +178,7 @@ pub struct Pin {
 impl Pin {
     /// Creates a signal pin with the given ports.
     #[must_use]
-    pub fn new(name: impl Into<String>, dir: PinDir, ports: Vec<Port>) -> Pin {
+    pub fn new(name: impl Into<Symbol>, dir: PinDir, ports: Vec<Port>) -> Pin {
         Pin {
             name: name.into(),
             dir,
@@ -207,8 +208,8 @@ impl Pin {
 /// A cell master (LEF `MACRO`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Macro {
-    /// Master name, e.g. `"NAND2X1"`.
-    pub name: String,
+    /// Master name, e.g. `"NAND2X1"` (interned).
+    pub name: Symbol,
     /// Placement class.
     pub class: MacroClass,
     /// Width in DBU.
@@ -216,7 +217,7 @@ pub struct Macro {
     /// Height in DBU.
     pub height: Dbu,
     /// Site name this master snaps to (standard cells).
-    pub site: Option<String>,
+    pub site: Option<Symbol>,
     /// Pins in declaration order.
     pub pins: Vec<Pin>,
     /// Obstruction shapes as `(layer, rect)` pairs.
@@ -226,7 +227,7 @@ pub struct Macro {
 impl Macro {
     /// Creates a core-class master with no pins or obstructions.
     #[must_use]
-    pub fn new(name: impl Into<String>, width: Dbu, height: Dbu) -> Macro {
+    pub fn new(name: impl Into<Symbol>, width: Dbu, height: Dbu) -> Macro {
         Macro {
             name: name.into(),
             class: MacroClass::Core,

@@ -1,5 +1,6 @@
 //! Placement sites.
 
+use crate::symbol::Symbol;
 use pao_geom::Dbu;
 
 /// A LEF `SITE`: the placement grid unit for a class of cells. Standard
@@ -12,8 +13,8 @@ use pao_geom::Dbu;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Site {
-    /// Site name, e.g. `"core"`.
-    pub name: String,
+    /// Site name, e.g. `"core"` (interned).
+    pub name: Symbol,
     /// Site width in DBU.
     pub width: Dbu,
     /// Site height (row height) in DBU.
@@ -27,7 +28,7 @@ impl Site {
     ///
     /// Panics when `width` or `height` is not positive.
     #[must_use]
-    pub fn new(name: impl Into<String>, width: Dbu, height: Dbu) -> Site {
+    pub fn new(name: impl Into<Symbol>, width: Dbu, height: Dbu) -> Site {
         assert!(width > 0 && height > 0, "site dimensions must be positive");
         Site {
             name: name.into(),

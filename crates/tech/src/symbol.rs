@@ -1,0 +1,250 @@
+//! Interned name strings.
+//!
+//! Every name that occurs once per design object — instance names, master
+//! names, pin names, net names — is stored exactly once in a global
+//! append-only arena and referenced by a 4-byte [`Symbol`]. At a million
+//! components this turns two heap-allocated `String`s per component (plus
+//! a third copy inside the name→id map) into one shared allocation per
+//! *distinct* name, and makes name equality an integer compare.
+//!
+//! Design notes:
+//!
+//! * The arena leaks its strings (`Box::leak`), so [`Symbol::as_str`] can
+//!   return `&'static str` without holding a lock across the borrow. A
+//!   process analyzes a handful of designs per run; names are live for
+//!   the whole run anyway.
+//! * Ids are assigned in first-intern order. `Symbol` deliberately does
+//!   **not** implement `Ord`: id order is interning order, which depends
+//!   on parse history — sorting by it would smuggle nondeterminism into
+//!   otherwise order-independent algorithms. Sort on [`Symbol::as_str`]
+//!   when a name order is really wanted.
+//! * [`Symbol::lookup`] resolves a name without inserting, so probing for
+//!   names that may not exist (CLI queries, negative tests) cannot grow
+//!   the arena.
+//!
+//! ```
+//! use pao_tech::Symbol;
+//!
+//! let a = Symbol::intern("u42");
+//! let b: Symbol = "u42".into();
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "u42");
+//! assert!(a == *"u42");
+//! assert_eq!(Symbol::lookup("u42"), Some(a));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string: a 4-byte handle to a name in the global arena.
+///
+/// Equality and hashing use the integer id, which is equivalent to string
+/// equality because interning dedups. Use [`as_str`](Symbol::as_str) (or
+/// the `Deref<Target = str>` impl) to read the text back.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strs: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strs: Vec::new(),
+        })
+    })
+}
+
+/// Locks the interner, recovering from a poisoned lock: the table is
+/// append-only, so a panic mid-intern leaves it valid (at worst one
+/// string leaked without a map entry).
+fn lock() -> std::sync::MutexGuard<'static, Interner> {
+    match interner().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Symbol {
+    /// Interns `s`, returning its (existing or fresh) symbol.
+    #[must_use]
+    pub fn intern(s: &str) -> Symbol {
+        let mut t = lock();
+        if let Some(&id) = t.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(Box::<str>::from(s));
+        let id = u32::try_from(t.strs.len()).unwrap_or_else(|_| {
+            // 4 billion distinct names would already have exhausted
+            // memory; keep the error message honest anyway.
+            panic!("symbol arena overflow")
+        });
+        t.strs.push(leaked);
+        t.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolves a name that may already be interned, without inserting.
+    #[must_use]
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        lock().map.get(s).copied().map(Symbol)
+    }
+
+    /// The interned text.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        lock().strs[self.0 as usize]
+    }
+
+    /// The raw arena id (diagnostics only — see the module notes on why
+    /// id order must not drive algorithm order).
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl Default for Symbol {
+    fn default() -> Symbol {
+        Symbol::intern("")
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let a = Symbol::intern("sym_test_dedup");
+        let b = Symbol::intern("sym_test_dedup");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        let c = Symbol::intern("sym_test_other");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        assert_eq!(Symbol::lookup("sym_test_never_interned_xyzzy"), None);
+        let a = Symbol::intern("sym_test_lookup");
+        assert_eq!(Symbol::lookup("sym_test_lookup"), Some(a));
+    }
+
+    #[test]
+    #[allow(clippy::cmp_owned)] // exercises the PartialEq<String> impl itself
+    fn string_comparisons() {
+        let a = Symbol::intern("sym_test_cmp");
+        assert!(a == *"sym_test_cmp");
+        assert!(a == "sym_test_cmp");
+        assert!("sym_test_cmp" == a);
+        assert!(a == String::from("sym_test_cmp"));
+        assert!(a != *"other");
+    }
+
+    #[test]
+    fn deref_and_display() {
+        let a = Symbol::intern("sym_test_fmt");
+        assert_eq!(a.len(), "sym_test_fmt".len());
+        assert_eq!(format!("{a}"), "sym_test_fmt");
+        assert_eq!(format!("{a:?}"), "\"sym_test_fmt\"");
+        assert_eq!(String::from(a), "sym_test_fmt");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(Symbol::default().as_str(), "");
+    }
+}

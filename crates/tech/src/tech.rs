@@ -3,6 +3,7 @@
 use crate::layer::{Layer, LayerId, LayerKind};
 use crate::macros::Macro;
 use crate::site::Site;
+use crate::symbol::Symbol;
 use crate::via::{ViaDef, ViaId};
 use pao_geom::Dbu;
 use std::collections::HashMap;
@@ -32,12 +33,12 @@ pub struct Tech {
     /// Manufacturing grid in DBU (0 = unspecified).
     pub manufacturing_grid: Dbu,
     layers: Vec<Layer>,
-    layer_names: HashMap<String, LayerId>,
+    layer_names: HashMap<Symbol, LayerId>,
     vias: Vec<ViaDef>,
-    via_names: HashMap<String, ViaId>,
+    via_names: HashMap<Symbol, ViaId>,
     sites: Vec<Site>,
     macros: Vec<Macro>,
-    macro_names: HashMap<String, usize>,
+    macro_names: HashMap<Symbol, usize>,
 }
 
 impl Tech {
@@ -65,7 +66,7 @@ impl Tech {
     /// Appends a layer (bottom-up order) and returns its id.
     pub fn add_layer(&mut self, layer: Layer) -> LayerId {
         let id = LayerId(self.layers.len() as u32);
-        self.layer_names.insert(layer.name.clone(), id);
+        self.layer_names.insert(layer.name, id);
         self.layers.push(layer);
         id
     }
@@ -73,7 +74,7 @@ impl Tech {
     /// Appends a via definition and returns its id.
     pub fn add_via(&mut self, via: ViaDef) -> ViaId {
         let id = ViaId(self.vias.len() as u32);
-        self.via_names.insert(via.name.clone(), id);
+        self.via_names.insert(via.name, id);
         self.vias.push(via);
         id
     }
@@ -85,7 +86,7 @@ impl Tech {
 
     /// Appends a cell master.
     pub fn add_macro(&mut self, m: Macro) {
-        self.macro_names.insert(m.name.clone(), self.macros.len());
+        self.macro_names.insert(m.name, self.macros.len());
         self.macros.push(m);
     }
 
@@ -117,7 +118,14 @@ impl Tech {
     /// Looks up a layer by name.
     #[must_use]
     pub fn layer_id(&self, name: &str) -> Option<LayerId> {
-        self.layer_names.get(name).copied()
+        let sym = Symbol::lookup(name)?;
+        self.layer_names.get(&sym).copied()
+    }
+
+    /// Looks up a layer by interned name (no string hashing).
+    #[must_use]
+    pub fn layer_id_sym(&self, name: Symbol) -> Option<LayerId> {
+        self.layer_names.get(&name).copied()
     }
 
     /// Looks up a layer by name, returning the layer itself.
@@ -193,7 +201,14 @@ impl Tech {
     /// Looks up a via definition by name.
     #[must_use]
     pub fn via_id(&self, name: &str) -> Option<ViaId> {
-        self.via_names.get(name).copied()
+        let sym = Symbol::lookup(name)?;
+        self.via_names.get(&sym).copied()
+    }
+
+    /// Looks up a via definition by interned name.
+    #[must_use]
+    pub fn via_id_sym(&self, name: Symbol) -> Option<ViaId> {
+        self.via_names.get(&name).copied()
     }
 
     /// Ids of the vias whose bottom layer is `layer` (the candidates for an
@@ -233,7 +248,15 @@ impl Tech {
     /// Looks up a master by name.
     #[must_use]
     pub fn macro_by_name(&self, name: &str) -> Option<&Macro> {
-        self.macro_names.get(name).map(|&i| &self.macros[i])
+        let sym = Symbol::lookup(name)?;
+        self.macro_names.get(&sym).map(|&i| &self.macros[i])
+    }
+
+    /// Looks up a master by interned name — the hot path for
+    /// component→master resolution (a u32 hash instead of a string hash).
+    #[must_use]
+    pub fn macro_by_symbol(&self, name: Symbol) -> Option<&Macro> {
+        self.macro_names.get(&name).map(|&i| &self.macros[i])
     }
 }
 

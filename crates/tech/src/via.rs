@@ -1,6 +1,7 @@
 //! Fixed via definitions.
 
 use crate::layer::LayerId;
+use crate::symbol::Symbol;
 use pao_geom::{Point, Rect};
 use std::fmt;
 
@@ -40,8 +41,8 @@ impl fmt::Display for ViaId {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViaDef {
-    /// Via name, e.g. `"via1_0"`.
-    pub name: String,
+    /// Via name, e.g. `"via1_0"` (interned).
+    pub name: Symbol,
     /// Bottom routing layer.
     pub bottom_layer: LayerId,
     /// Bottom-layer enclosure shapes.
@@ -66,7 +67,7 @@ impl ViaDef {
     /// Panics when any of the three shape lists is empty.
     #[must_use]
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Symbol>,
         bottom_layer: LayerId,
         bottom_shapes: Vec<Rect>,
         cut_layer: LayerId,
@@ -154,7 +155,7 @@ impl ViaDef {
     pub fn rotated90(&self) -> ViaDef {
         let rot = |r: &Rect| Rect::new(r.ylo(), r.xlo(), r.yhi(), r.xhi());
         ViaDef {
-            name: format!("{}_R90", self.name),
+            name: Symbol::intern(&format!("{}_R90", self.name)),
             bottom_layer: self.bottom_layer,
             bottom_shapes: self.bottom_shapes.iter().map(rot).collect(),
             cut_layer: self.cut_layer,

@@ -250,7 +250,7 @@ pub fn add_std_cells(tech: &mut Tech, flavor: TechFlavor) {
         let cell_height = Dbu::from(spec.height_rows) * height;
         let mut m = Macro::new(spec.name, width, cell_height);
         m.class = MacroClass::Core;
-        m.site = Some("core".to_owned());
+        m.site = Some("core".into());
 
         let pin_names: Vec<&str> = spec.inputs.iter().copied().chain(spec.output).collect();
         let cols = pin_columns(spec, ci);

@@ -31,8 +31,10 @@
 pub mod cells;
 pub mod netlist;
 pub mod place;
+pub mod scale;
 pub mod suite;
 pub mod techs;
 
+pub use scale::{scale_cases, scaled_case_by_name, scaled_tech, write_scaled_def, ScaleCase};
 pub use suite::{aes14_case, case_by_name, generate, ispd18s_suite, SuiteCase};
 pub use techs::{make_tech, TechFlavor, TechParams};

@@ -3,7 +3,7 @@
 use pao_design::{CompId, Design, IoPin, Net, NetPin};
 use pao_geom::{Orient, Point, Rect};
 use pao_ptest::Rng;
-use pao_tech::{PinDir, Tech};
+use pao_tech::{PinDir, Symbol, Tech};
 
 /// Netlist parameters.
 #[derive(Debug, Clone)]
@@ -22,8 +22,8 @@ pub struct NetlistConfig {
 /// design I/O pin on the die boundary.
 pub fn build_netlist(tech: &Tech, design: &mut Design, cfg: &NetlistConfig, rng: &mut Rng) {
     // Collect drivers (output pins) and sinks (input pins) per component.
-    let mut drivers: Vec<(CompId, String)> = Vec::new();
-    let mut sinks: Vec<(CompId, String, Point)> = Vec::new();
+    let mut drivers: Vec<(CompId, Symbol)> = Vec::new();
+    let mut sinks: Vec<(CompId, Symbol, Point)> = Vec::new();
     for (ci, comp) in design.components().iter().enumerate() {
         let Some(master) = comp.master_in(tech) else {
             continue;
@@ -31,9 +31,9 @@ pub fn build_netlist(tech: &Tech, design: &mut Design, cfg: &NetlistConfig, rng:
         let id = CompId(ci as u32);
         for pin in master.signal_pins() {
             match pin.dir {
-                PinDir::Output => drivers.push((id, pin.name.clone())),
+                PinDir::Output => drivers.push((id, pin.name)),
                 PinDir::Input | PinDir::Inout => {
-                    sinks.push((id, pin.name.clone(), comp.location));
+                    sinks.push((id, pin.name, comp.location));
                 }
             }
         }
@@ -119,7 +119,7 @@ pub fn build_netlist(tech: &Tech, design: &mut Design, cfg: &NetlistConfig, rng:
             }
             net.pins.push(NetPin::Comp {
                 comp: *scomp,
-                pin: spin.clone(),
+                pin: *spin,
             });
         }
         if net.degree() < 2 {
@@ -193,10 +193,10 @@ mod tests {
     #[test]
     fn each_pin_in_at_most_one_net() {
         let (_, d) = world(300, 250, 20);
-        let mut seen: HashSet<(CompId, String)> = HashSet::new();
+        let mut seen: HashSet<(CompId, Symbol)> = HashSet::new();
         for net in d.nets() {
             for (c, p) in net.comp_pins() {
-                assert!(seen.insert((c, p.to_owned())), "pin reused: {c} {p}");
+                assert!(seen.insert((c, p)), "pin reused: {c} {p}");
             }
         }
     }

@@ -1,0 +1,400 @@
+//! Tiled scale-up cases: 20k / 200k / 1M-component designs.
+//!
+//! A scale case replicates an `ispd18s_test2`-sized tile on a
+//! `tiles_x × tiles_y` grid. Every tile is generated independently with
+//! its own RNG stream (placement gaps, cell mix and netlist all vary per
+//! tile), then shifted into its grid slot. The DEF is **streamed**: the
+//! writer holds at most one tile's design in memory at a time and
+//! regenerates tiles per section pass, so emitting a million-component
+//! DEF needs O(tile) memory, not O(design).
+//!
+//! Tiles abut exactly — the tile die width is a whole number of sites and
+//! its height a whole number of rows — so the merged placement is legal
+//! and rows/tracks stay on the uniform global grid. Track patterns span
+//! the full die; a tile's offset against the global track grid varies by
+//! grid slot, which multiplies unique-instance classes exactly the way a
+//! real large placement does (bounded by pitch/site commensurability).
+
+use crate::netlist::{build_netlist, NetlistConfig};
+use crate::place::{place_design, PlaceConfig};
+use crate::suite::SuiteCase;
+use crate::techs::TechFlavor;
+use pao_design::{Design, NetPin};
+use pao_ptest::Rng;
+use pao_tech::{LayerKind, Tech};
+use std::io::{self, Write};
+
+/// A tiled scale-up case.
+#[derive(Debug, Clone)]
+pub struct ScaleCase {
+    /// Case name, e.g. `"scale_200k"`.
+    pub name: String,
+    /// Grid width in tiles.
+    pub tiles_x: u32,
+    /// Grid height in tiles.
+    pub tiles_y: u32,
+    /// Per-tile generation parameters (the `ispd18s_test2` shape).
+    pub tile: SuiteCase,
+}
+
+/// The base tile: `ispd18s_test2`'s shape with no I/O pins (boundary
+/// pins don't replicate meaningfully — interior tiles have no boundary).
+fn base_tile(seed: u64) -> SuiteCase {
+    SuiteCase {
+        name: "tile".into(),
+        flavor: TechFlavor::N45,
+        cells: 1796,
+        macros: 0,
+        nets: 1842,
+        io_pins: 0,
+        utilization: 82,
+        seed,
+    }
+}
+
+/// The scale-up ladder: ~20k, ~200k and ~1M components.
+#[must_use]
+pub fn scale_cases() -> Vec<ScaleCase> {
+    let mk = |name: &str, tiles_x: u32, tiles_y: u32| ScaleCase {
+        name: name.into(),
+        tiles_x,
+        tiles_y,
+        tile: base_tile(0x5CA1_E000 + u64::from(tiles_x) * 1000 + u64::from(tiles_y)),
+    };
+    vec![
+        mk("scale_20k", 4, 3),
+        mk("scale_200k", 11, 10),
+        mk("scale_1m", 24, 24),
+    ]
+}
+
+/// Resolves a scale case by name (`"scale_20k"`, `"scale_200k"`,
+/// `"scale_1m"`).
+#[must_use]
+pub fn scaled_case_by_name(name: &str) -> Option<ScaleCase> {
+    scale_cases().into_iter().find(|c| c.name == name)
+}
+
+/// The technology every scale case uses (the tile flavour's tech plus
+/// its standard-cell library).
+#[must_use]
+pub fn scaled_tech(case: &ScaleCase) -> Tech {
+    let mut tech = crate::techs::make_tech(case.tile.flavor);
+    crate::cells::add_std_cells(&mut tech, case.tile.flavor);
+    tech
+}
+
+/// Per-tile RNG seed: decorrelates tiles so placements and netlists
+/// differ per grid slot while staying deterministic in the case seed.
+fn tile_seed(case: &ScaleCase, tx: u32, ty: u32) -> u64 {
+    let slot = u64::from(ty) * u64::from(case.tiles_x) + u64::from(tx);
+    case.tile
+        .seed
+        .wrapping_add(slot.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One tile's placement (no netlist) — the COMPONENTS-pass workhorse.
+fn tile_placed(tech: &Tech, case: &ScaleCase, tx: u32, ty: u32) -> Design {
+    let mut rng = Rng::new(tile_seed(case, tx, ty));
+    place_design(
+        tech,
+        case.tile.flavor,
+        &PlaceConfig {
+            cells: case.tile.cells,
+            macros: 0,
+            utilization: case.tile.utilization,
+        },
+        &mut rng,
+        "tile",
+    )
+}
+
+/// One tile's placement plus netlist — the NETS-pass workhorse. The
+/// netlist builder continues the placement RNG stream exactly as
+/// [`crate::generate`] does, so a tile is reproducible in isolation.
+fn tile_full(tech: &Tech, case: &ScaleCase, tx: u32, ty: u32) -> Design {
+    let mut rng = Rng::new(tile_seed(case, tx, ty));
+    let mut design = place_design(
+        tech,
+        case.tile.flavor,
+        &PlaceConfig {
+            cells: case.tile.cells,
+            macros: 0,
+            utilization: case.tile.utilization,
+        },
+        &mut rng,
+        "tile",
+    );
+    build_netlist(
+        tech,
+        &mut design,
+        &NetlistConfig {
+            nets: case.tile.nets,
+            io_pins: 0,
+        },
+        &mut rng,
+    );
+    design
+}
+
+/// Streams a scale case as DEF text. Returns `(components, nets)`
+/// totals.
+///
+/// Three passes over the tile grid keep memory at O(tile):
+///
+/// 1. a **count** pass (full generation, discarded) fills in the
+///    `COMPONENTS`/`NETS` section headers so the streaming parser can
+///    pre-size its tables;
+/// 2. a **components** pass (placement only) emits each tile's
+///    components shifted into its grid slot, names prefixed
+///    `t<tx>_<ty>_`;
+/// 3. a **nets** pass (full generation) emits each tile's netlist with
+///    the same prefix.
+///
+/// Passes regenerate tiles deterministically instead of caching them —
+/// generation is cheap, a million resident components are not.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_scaled_def<W: Write>(
+    tech: &Tech,
+    case: &ScaleCase,
+    out: &mut W,
+) -> io::Result<(usize, usize)> {
+    let params = case.tile.flavor.params();
+    let tile0 = tile_placed(tech, case, 0, 0);
+    let tile_w = tile0.die_area.width();
+    let tile_h = tile0.die_area.height();
+    let rows_per_tile = tile0.rows.len() as u32;
+    let sites_per_row = tile0.rows.first().map_or(0, |r| r.num_sites);
+    drop(tile0);
+    let die_w = tile_w * i64::from(case.tiles_x);
+    let die_h = tile_h * i64::from(case.tiles_y);
+
+    // Pass 1: totals for the section headers.
+    let mut total_comps = 0usize;
+    let mut total_nets = 0usize;
+    for ty in 0..case.tiles_y {
+        for tx in 0..case.tiles_x {
+            let t = tile_full(tech, case, tx, ty);
+            total_comps += t.components().len();
+            total_nets += t.nets().len();
+        }
+    }
+
+    writeln!(out, "VERSION 5.8 ;")?;
+    writeln!(out, "DESIGN {} ;", case.name)?;
+    writeln!(out, "UNITS DISTANCE MICRONS 1000 ;")?;
+    writeln!(out, "DIEAREA ( 0 0 ) ( {die_w} {die_h} ) ;")?;
+    // Rows: per tile, preserving each tile's exact row grid (names stay
+    // unique via the tile prefix).
+    for ty in 0..case.tiles_y {
+        for tx in 0..case.tiles_x {
+            let x0 = i64::from(tx) * tile_w;
+            let y0 = i64::from(ty) * tile_h;
+            for r in 0..rows_per_tile {
+                let orient = if r % 2 == 0 { "N" } else { "FS" };
+                writeln!(
+                    out,
+                    "ROW row_t{tx}_{ty}_{r} core {x0} {} {orient} DO {sites_per_row} BY 1 STEP {} 0 ;",
+                    y0 + i64::from(r) * params.row_height,
+                    params.site_width
+                )?;
+            }
+        }
+    }
+    // Tracks: one uniform global pattern per routing layer, the same
+    // offset/pitch the tile generator uses, extended to the full die.
+    for layer in tech.layers() {
+        if layer.kind != LayerKind::Routing || layer.pitch == 0 {
+            continue;
+        }
+        let (axis, extent) = match layer.dir {
+            pao_geom::Dir::Horizontal => ("Y", die_h),
+            pao_geom::Dir::Vertical => ("X", die_w),
+        };
+        let count = ((extent - layer.offset) / layer.pitch + 1).max(1);
+        writeln!(
+            out,
+            "TRACKS {axis} {} DO {count} STEP {} LAYER {} ;",
+            layer.offset, layer.pitch, layer.name
+        )?;
+    }
+
+    // Pass 2: components.
+    writeln!(out, "COMPONENTS {total_comps} ;")?;
+    for ty in 0..case.tiles_y {
+        for tx in 0..case.tiles_x {
+            let x0 = i64::from(tx) * tile_w;
+            let y0 = i64::from(ty) * tile_h;
+            let t = tile_placed(tech, case, tx, ty);
+            for c in t.components() {
+                writeln!(
+                    out,
+                    " - t{tx}_{ty}_{} {} + PLACED ( {} {} ) {} ;",
+                    c.name,
+                    c.master,
+                    c.location.x + x0,
+                    c.location.y + y0,
+                    c.orient
+                )?;
+            }
+        }
+    }
+    writeln!(out, "END COMPONENTS")?;
+    writeln!(out, "PINS 0 ;")?;
+    writeln!(out, "END PINS")?;
+
+    // Pass 3: nets.
+    writeln!(out, "NETS {total_nets} ;")?;
+    for ty in 0..case.tiles_y {
+        for tx in 0..case.tiles_x {
+            let t = tile_full(tech, case, tx, ty);
+            for n in t.nets() {
+                write!(out, " - t{tx}_{ty}_{}", n.name)?;
+                for pin in &n.pins {
+                    match pin {
+                        NetPin::Comp { comp, pin } => {
+                            write!(out, " ( t{tx}_{ty}_{} {} )", t.component(*comp).name, pin)?;
+                        }
+                        // io_pins is 0 for scale tiles; nothing to map.
+                        NetPin::Io { .. } => {}
+                    }
+                }
+                writeln!(out, " ;")?;
+            }
+        }
+    }
+    writeln!(out, "END NETS")?;
+    writeln!(out, "END DESIGN")?;
+    Ok((total_comps, total_nets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pao_design::def::{parse_def, write_def};
+
+    /// A miniature scale case so tests stay fast: 2×2 grid of 150-cell
+    /// tiles.
+    fn mini() -> ScaleCase {
+        ScaleCase {
+            name: "scale_mini".into(),
+            tiles_x: 2,
+            tiles_y: 2,
+            tile: SuiteCase {
+                cells: 150,
+                nets: 120,
+                ..base_tile(77)
+            },
+        }
+    }
+
+    #[test]
+    fn ladder_has_three_sizes() {
+        let cases = scale_cases();
+        assert_eq!(cases.len(), 3);
+        assert!(scaled_case_by_name("scale_20k").is_some());
+        assert!(scaled_case_by_name("scale_1m").is_some());
+        assert!(scaled_case_by_name("nope").is_none());
+        let c20 = scaled_case_by_name("scale_20k").unwrap();
+        let n = c20.tiles_x as usize * c20.tiles_y as usize * c20.tile.cells;
+        assert!((18_000..25_000).contains(&n), "{n}");
+        let c1m = scaled_case_by_name("scale_1m").unwrap();
+        let n = c1m.tiles_x as usize * c1m.tiles_y as usize * c1m.tile.cells;
+        assert!(n >= 1_000_000, "{n}");
+    }
+
+    #[test]
+    fn streamed_def_parses_with_legal_tiling() {
+        let case = mini();
+        let tech = scaled_tech(&case);
+        let mut buf = Vec::new();
+        let (comps, nets) = write_scaled_def(&tech, &case, &mut buf).unwrap();
+        assert_eq!(comps, 600);
+        assert!(nets > 200, "{nets}");
+        let text = String::from_utf8(buf).unwrap();
+        let d = parse_def(&text, &tech).unwrap();
+        assert_eq!(d.components().len(), comps);
+        assert_eq!(d.nets().len(), nets);
+        assert!(!d.tracks.is_empty());
+        // Tiles must abut without overlapping: all placements legal.
+        let mut boxes: Vec<pao_geom::Rect> = Vec::new();
+        for c in d.components() {
+            let b = c.bbox(&tech);
+            assert!(d.die_area.contains_rect(b), "inside die: {}", c.name);
+            assert!(
+                boxes.iter().all(|o| !o.overlaps(b)),
+                "overlap at {}",
+                c.name
+            );
+            boxes.push(b);
+        }
+        // Tiles differ: tile (0,0) and (1,0) place different cell mixes.
+        let sig = |tx: u32| -> Vec<&str> {
+            d.components()
+                .iter()
+                .filter(|c| c.name.starts_with(&format!("t{tx}_0_")))
+                .take(20)
+                .map(|c| c.master.as_str())
+                .collect()
+        };
+        assert_ne!(sig(0), sig(1), "tiles should vary per slot");
+    }
+
+    #[test]
+    fn streaming_is_deterministic() {
+        let case = mini();
+        let tech = scaled_tech(&case);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_scaled_def(&tech, &case, &mut a).unwrap();
+        write_scaled_def(&tech, &case, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_then_rewrite_is_stable() {
+        // The writer's normal form is a fixed point: parse → write →
+        // parse → write is byte-identical.
+        let case = mini();
+        let tech = scaled_tech(&case);
+        let mut buf = Vec::new();
+        write_scaled_def(&tech, &case, &mut buf).unwrap();
+        let d1 = parse_def(&String::from_utf8(buf).unwrap(), &tech).unwrap();
+        let w1 = write_def(&d1, &tech);
+        let d2 = parse_def(&w1, &tech).unwrap();
+        let w2 = write_def(&d2, &tech);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn benchmark_size_roundtrip_byte_identical() {
+        // The suite-size (~1.8k component) writer output survives a
+        // parse → rewrite cycle byte-identically.
+        let case = crate::case_by_name("ispd18s_test2").unwrap();
+        let (tech, design) = crate::generate(&case);
+        let w1 = write_def(&design, &tech);
+        let d = parse_def(&w1, &tech).unwrap();
+        assert_eq!(d.components().len(), design.components().len());
+        assert_eq!(w1, write_def(&d, &tech));
+    }
+
+    #[test]
+    fn scale_20k_roundtrip_byte_identical() {
+        // The streamed 20k-component DEF parses back to a database whose
+        // canonical rewrite is a fixed point — the same writer contract
+        // the in-memory path has, at real scale.
+        let case = scaled_case_by_name("scale_20k").unwrap();
+        let tech = scaled_tech(&case);
+        let mut buf = Vec::new();
+        let (comps, _) = write_scaled_def(&tech, &case, &mut buf).unwrap();
+        assert!(comps > 20_000, "{comps}");
+        let d1 = parse_def(&String::from_utf8(buf).unwrap(), &tech).unwrap();
+        assert_eq!(d1.components().len(), comps);
+        let w1 = write_def(&d1, &tech);
+        let d2 = parse_def(&w1, &tech).unwrap();
+        assert_eq!(w1, write_def(&d2, &tech));
+    }
+}

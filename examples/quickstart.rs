@@ -41,8 +41,7 @@ fn main() {
             Some(ap) => {
                 let via = ap
                     .primary_via()
-                    .map(|v| tech.via(v).name.clone())
-                    .unwrap_or_else(|| "planar".to_owned());
+                    .map_or("planar", |v| tech.via(v).name.as_str());
                 println!(
                     "{}/{:4}  access at {}  [{} x {}]  via {}",
                     inst.name, pin.name, ap.pos, ap.nonpref_type, ap.pref_type, via

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Size-sweep benchmark matrix: runs `pao sweep` once per design size in
+# a *separate process* (peak RSS is a per-process high-water mark, so
+# sharing a process would let the largest size mask the smaller ones)
+# and appends one `size_sweep` entry to the BENCH_pao.json history with
+# per-size components / parse_s / per-phase seconds / peak_rss_mb.
+#
+# Usage: scripts/bench_sweep.sh [threads] [out.json]
+#   threads  worker count per run; default: all available cores
+#   out      history file; default BENCH_pao.json
+#
+# Sizes: ispd18s_test2 (~1.8k), scale_20k, scale_200k, and — because a
+# million-component run needs ~3 GB RAM and ~a minute — scale_1m only
+# when PAO_SWEEP_1M=1 is set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-$(nproc 2> /dev/null || echo 1)}"
+OUT="${2:-BENCH_pao.json}"
+DIR="$(mktemp -d /tmp/pao_sweep_XXXXXX)"
+LINES="$DIR/lines.jsonl"
+trap 'rm -rf "$DIR"' EXIT
+
+cargo build --release -p pao-cli
+
+SIZES=(ispd18s_test2 scale_20k scale_200k)
+if [[ "${PAO_SWEEP_1M:-0}" == "1" ]]; then
+  SIZES+=(scale_1m)
+fi
+
+for case in "${SIZES[@]}"; do
+  target/release/pao sweep --case "$case" --threads "$THREADS" \
+    --dir "$DIR" >> "$LINES"
+done
+
+if ! command -v python3 > /dev/null; then
+  cp "$LINES" "$OUT.sweep.jsonl"
+  echo "python3 not found; wrote raw lines to $OUT.sweep.jsonl (no history append)"
+  exit 0
+fi
+
+python3 - "$LINES" "$OUT" "$THREADS" <<'EOF'
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+lines_path, out_path, threads = sys.argv[1], sys.argv[2], int(sys.argv[3])
+sizes = [json.loads(l) for l in open(lines_path) if l.strip()]
+try:
+    rev = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+except (OSError, subprocess.CalledProcessError):
+    rev = None
+entry = {
+    "workload": "size_sweep",
+    "threads": threads,
+    "git_rev": rev,
+    "host_threads": os.cpu_count() or 1,
+    "timestamp": datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    ),
+    "sizes": sizes,
+}
+try:
+    hist = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    hist = []
+if isinstance(hist, dict):
+    hist = [hist]
+hist.append(entry)
+with open(out_path, "w") as f:
+    json.dump(hist, f, indent=2)
+    f.write("\n")
+print(f"appended size_sweep run #{len(hist)} to {out_path}")
+print(f"{'case':<16} {'comps':>9} {'parse_s':>8} {'total_s':>8} {'rss_mb':>7} {'aps':>6}")
+for s in sizes:
+    print(
+        f"{s['case']:<16} {s['components']:>9} {s['parse_s']:>8.3f} "
+        f"{s['total_s']:>8.3f} {str(s.get('peak_rss_mb', '-')):>7} "
+        f"{s['total_aps']:>6}"
+    )
+EOF

@@ -34,11 +34,18 @@ def main() -> int:
         print(f"{path} holds no runs; nothing to check")
         return 0
 
-    newest = hist[-1]
+    # Only step-bench entries carry parallel.total_s; size_sweep entries
+    # (and any future schema) are matrices with their own shape — skip
+    # them rather than crash, comparing the newest *step-bench* run.
+    steps = [h for h in hist if isinstance(h.get("parallel"), dict)]
+    if not steps:
+        print(f"{path} holds no step-bench runs; nothing to check")
+        return 0
+    newest = steps[-1]
     prev = next(
         (
             h
-            for h in reversed(hist[:-1])
+            for h in reversed(steps[:-1])
             if h.get("workload") == newest.get("workload")
             and h.get("host_threads") == newest.get("host_threads")
         ),

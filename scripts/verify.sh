@@ -111,6 +111,39 @@ echo "== selection zero-alloc gate =="
 # in the test suite and is re-run here explicitly).
 cargo test -p pao-core --test select_alloc -q
 
+echo "== sweep scale identity =="
+# The tiled spatial index (ShapeSet::from_shards) + streamed scale DEFs
+# must keep results thread-count-invariant: the deterministic fields of
+# the sweep JSON (everything but the timings and RSS) are identical at
+# 1 and 4 threads for both the benchmark size and the streamed 20k
+# case.
+sweepdir="$(mktemp -d /tmp/pao_sweepchk_XXXXXX)"
+trap 'rm -f "$trace"; rm -rf "$ckpt" "$rep" "$sweepdir"' EXIT
+det() { # strip timing/rss fields, keep counters
+    python3 -c "
+import json, sys
+d = json.loads(sys.stdin.read())
+for k in list(d):
+    if k.endswith('_s') or k in ('threads', 'peak_rss_mb'):
+        del d[k]
+print(json.dumps(d, sort_keys=True))
+"
+}
+if command -v python3 > /dev/null; then
+    for case in ispd18s_test2 scale_20k; do
+        one="$(target/release/pao sweep --case "$case" --threads 1 \
+            --dir "$sweepdir" 2> /dev/null | det)"
+        four="$(target/release/pao sweep --case "$case" --threads 4 \
+            --dir "$sweepdir" 2> /dev/null | det)"
+        [[ "$one" == "$four" ]] \
+            || { echo "sweep $case diverged between 1 and 4 threads"; \
+                 echo " 1: $one"; echo " 4: $four"; exit 1; }
+    done
+    echo "sweep scale identity: OK"
+else
+    echo "sweep scale identity: skipped (no python3)"
+fi
+
 echo "== bench history =="
 # The bench history appended by scripts/bench_steps.sh must stay valid
 # JSON (a top-level array of run objects, or the legacy single object).
@@ -120,7 +153,15 @@ if [[ -f BENCH_pao.json ]]; then
 import json, sys
 h = json.load(open('BENCH_pao.json'))
 runs = h if isinstance(h, list) else [h]
-assert runs and all('workload' in r and 'speedup' in r for r in runs), 'malformed bench history'
+# Two entry shapes share the history: step-bench runs (speedup +
+# parallel phases) and size_sweep runs (per-size matrix).
+assert runs, 'empty bench history'
+for r in runs:
+    assert 'workload' in r, 'entry missing workload'
+    if r['workload'] == 'size_sweep':
+        assert r.get('sizes'), 'size_sweep entry missing sizes'
+    else:
+        assert 'speedup' in r, 'bench entry missing speedup'
 print(f'BENCH_pao.json: {len(runs)} run(s), ok')
 "
     else

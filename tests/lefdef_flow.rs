@@ -46,7 +46,7 @@ fn def_text_references_resolve() {
     for net in design2.nets() {
         for (comp, pin) in net.comp_pins() {
             let m = design2.component(comp).master_in(&tech).unwrap();
-            assert!(m.pin(pin).is_some(), "{} {pin}", m.name);
+            assert!(m.pin(&pin).is_some(), "{} {pin}", m.name);
         }
     }
 }
