@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 21] = [
+const VALUE_OPTS: [&str; 24] = [
     "--threads",
     "--k",
     "--report",
@@ -33,6 +33,9 @@ const VALUE_OPTS: [&str; 21] = [
     "--inst",
     "--top",
     "--heatmap",
+    "--socket",
+    "--tcp",
+    "--request",
 ];
 
 impl Args {

@@ -30,6 +30,7 @@ use std::time::Duration;
 
 mod args;
 mod explain;
+mod serve;
 use args::Args;
 
 /// Typed CLI failure. Each variant maps to a distinct exit code so
@@ -266,34 +267,11 @@ fn parse_select_flags(args: &Args, select: &mut pao_core::SelectTuning) -> Resul
     Ok(())
 }
 
-/// Deterministic text dump of the cluster-selection outcome: one line
-/// per component (selected pattern index), the repair overrides in
-/// component order, and the failed-pin count. Byte-identical across
-/// thread counts, memo modes and split settings by the selection
-/// identity contract — `scripts/verify.sh` diffs two of these to
-/// enforce it end to end.
+/// Deterministic text dump of the cluster-selection outcome; shared with
+/// the `pao serve` daemon's `dump_selection` method so the verify gate
+/// can diff the two byte-for-byte (see `pao_core::service::selection_dump`).
 fn selection_dump(design: &Design, result: &pao_core::PaoResult) -> String {
-    let mut out = String::new();
-    for (ci, comp) in design.components().iter().enumerate() {
-        match result.selection.get(ci).copied().flatten() {
-            Some(p) => out.push_str(&format!("comp {ci} {} pattern {p}\n", comp.name)),
-            None => out.push_str(&format!("comp {ci} {} pattern -\n", comp.name)),
-        }
-    }
-    let mut overrides: Vec<_> = result.overrides.iter().collect();
-    overrides.sort_by_key(|(k, _)| (k.0.index(), k.1));
-    for (k, ap) in overrides {
-        out.push_str(&format!(
-            "override {} {} layer {} at {},{}\n",
-            k.0.index(),
-            k.1,
-            ap.layer.index(),
-            ap.pos.x,
-            ap.pos.y
-        ));
-    }
-    out.push_str(&format!("failed {}\n", result.stats.failed_pins));
-    out
+    pao_core::service::selection_dump(design, result)
 }
 
 /// Opens the `--checkpoint DIR` store. With `--resume` the directory's
@@ -1041,6 +1019,18 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
     if let Some(mb) = pao_obs::peak_rss_mb() {
         out.push_str(&format!("peak RSS   {mb:>8} MB\n"));
     }
+    // Symbol interner high-water marks (also exported as the
+    // `symbol.interned` / `symbol.arena_bytes` gauges): distinct names
+    // interned process-wide and the leaked bytes backing them. Reloading
+    // the same design names costs nothing — interning dedups.
+    let sym = pao_tech::symbol_stats();
+    pao_obs::gauge_max("symbol.interned", sym.interned as u64);
+    pao_obs::gauge_max("symbol.arena_bytes", sym.arena_bytes as u64);
+    out.push_str(&format!(
+        "symbols    {:>8} interned, {} KB arena\n",
+        sym.interned,
+        sym.arena_bytes / 1024,
+    ));
     if !stats.quarantined.is_empty() {
         out.push_str(&format!(
             "\nquarantined items : {} (run completed degraded)\n",
@@ -1237,6 +1227,10 @@ USAGE:
               [--threads N] [--report FILE]
   pao report  <tech.lef> <design.def> [--out FILE] [--top N]
               [--heatmap FILE] [--threads N]
+  pao serve   <tech.lef> <design.def> (--socket PATH | --tcp ADDR)
+              [--threads N] [--deadline-ms MS] [--checkpoint DIR]
+              [--resume] [--no-ledger]
+  pao call    (--socket PATH | --tcp ADDR) [REQUEST …]
 
   analyze runs all compute phases on every available core by default;
   --threads 1 reproduces the paper's single-threaded measurement mode
@@ -1303,6 +1297,19 @@ USAGE:
   stalls one work item to exercise that path. Exit codes: 0 ok, 2 usage,
   3 bad input, 4 internal bug, 5 degraded without --degraded-ok,
   6 deadline-partial without --deadline-ok.
+
+  Service mode: serve loads LEF/DEF once, analyzes, and answers
+  line-delimited JSON-RPC over a Unix socket or TCP. Methods:
+  get_pin_access {inst,pin}, get_instance_patterns {inst},
+  get_cluster_selection {inst}, eco_update {moves:[{inst,x,y|dx,dy}],
+  deadline_ms?}, dump_selection, stats, batch (params = array of
+  requests, fanned across --threads workers), shutdown. Queries are
+  pure reads over immutable snapshots — concurrent clients get
+  byte-identical answers — and eco_update re-analyzes copy-on-write
+  through the incremental dirty-cluster path (--deadline-ms sets the
+  default per-ECO budget; --checkpoint DIR [--resume] warm-starts the
+  load). call is the matching client: each REQUEST argument (or stdin
+  line) is sent as one request, responses print one per line.
 ";
 
 fn main() -> ExitCode {
@@ -1317,6 +1324,8 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args),
         Some("explain") => explain::cmd_explain(&args),
         Some("report") => explain::cmd_report(&args),
+        Some("serve") => serve::cmd_serve(&args),
+        Some("call") => serve::cmd_call(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);

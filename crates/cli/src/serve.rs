@@ -1,0 +1,690 @@
+//! `pao serve` — the resident pin access oracle daemon — and `pao call`,
+//! its scriptable line-oriented client.
+//!
+//! The daemon loads LEF/DEF once, analyzes the design into an
+//! [`OracleService`] and then answers queries over a Unix domain socket
+//! (`--socket PATH`) or TCP (`--tcp ADDR`). The wire protocol is
+//! line-delimited JSON-RPC: one request object per line in, one response
+//! object per line out, parsed and validated with the in-repo JSON
+//! parser (`pao_obs::json`) — no external dependency.
+//!
+//! ```text
+//! -> {"id":1,"method":"get_pin_access","params":{"inst":"u17","pin":"A"}}
+//! <- {"id":1,"result":{"inst":"u17","pin":"A","selected":{...},...}}
+//! ```
+//!
+//! Methods: `get_pin_access`, `get_instance_patterns`,
+//! `get_cluster_selection`, `eco_update`, `dump_selection`, `stats`,
+//! `batch` (params = array of requests, fanned onto the work-stealing
+//! executor) and `shutdown`. Queries are pure reads over the service's
+//! immutable snapshots, so concurrent connections get byte-identical
+//! answers at any thread count; `eco_update` swaps the snapshots
+//! copy-on-write behind a write lock.
+
+use crate::args::Args;
+use crate::{load_world, open_checkpoint, parse_budget_flags, CliError};
+use pao_core::{EcoMove, EcoTarget, OracleService, PaoConfig, RunBudget, ServiceError};
+use pao_geom::Point;
+use pao_obs::json::{self, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// JSON-RPC error codes (the standard ones, plus `1` for typed service
+/// errors like "unknown instance" that are the *request's* fault).
+const PARSE_ERROR: i64 = -32700;
+const INVALID_REQUEST: i64 = -32600;
+const METHOD_NOT_FOUND: i64 = -32601;
+const INVALID_PARAMS: i64 = -32602;
+const INTERNAL_ERROR: i64 = -32603;
+const SERVICE_ERROR: i64 = 1;
+
+/// The daemon's listening endpoint. The Unix variant remembers its path
+/// so shutdown can unlink the socket file.
+enum Listener {
+    Unix(UnixListener, String),
+    Tcp(TcpListener),
+}
+
+/// One accepted (or client-side connected) connection.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    fn endpoint(&self) -> String {
+        match self {
+            Listener::Unix(_, path) => format!("unix:{path}"),
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp:{a}"),
+                Err(_) => "tcp:?".to_owned(),
+            },
+        }
+    }
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nb),
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    service: RwLock<OracleService>,
+    shutdown: AtomicBool,
+    threads: usize,
+    /// Default deadline applied to `eco_update` requests that carry no
+    /// `deadline_ms` of their own (from `--deadline-ms`).
+    eco_deadline: Option<Duration>,
+}
+
+impl Shared {
+    /// Read access to the service, recovering from a poisoned lock (a
+    /// panicking request must not take the daemon down — snapshots are
+    /// swapped atomically, so the state is always consistent).
+    fn read(&self) -> RwLockReadGuard<'_, OracleService> {
+        match self.service.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, OracleService> {
+        match self.service.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Serializes the request's `id` for echoing back (number or string;
+/// anything else degrades to `null`).
+fn id_token(req: &Value) -> String {
+    match req.get("id") {
+        Some(Value::Num(_)) => match req.get("id").and_then(Value::as_i64) {
+            Some(n) => n.to_string(),
+            None => "null".to_owned(),
+        },
+        Some(Value::Str(s)) => json::quote(s),
+        _ => "null".to_owned(),
+    }
+}
+
+fn ok_resp(id: &str, result: &str) -> String {
+    format!("{{\"id\":{id},\"result\":{result}}}")
+}
+
+fn err_resp(id: &str, code: i64, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"error\":{{\"code\":{code},\"message\":{}}}}}",
+        json::quote(message)
+    )
+}
+
+/// A required string parameter.
+fn str_param<'a>(req: &'a Value, key: &str) -> Result<&'a str, (i64, String)> {
+    req.get("params")
+        .and_then(|p| p.get(key))
+        .and_then(Value::as_str)
+        .ok_or_else(|| (INVALID_PARAMS, format!("missing string param `{key}`")))
+}
+
+fn svc_err(e: &ServiceError) -> (i64, String) {
+    (SERVICE_ERROR, e.to_string())
+}
+
+/// One access point as a JSON object (die-frame coordinates, layer by
+/// name, coordinate types by their display labels).
+fn ap_json(tech: &pao_tech::Tech, ap: &pao_core::AccessPoint) -> String {
+    format!(
+        "{{\"x\":{},\"y\":{},\"layer\":{},\"pref\":{},\"nonpref\":{},\"vias\":{}}}",
+        ap.pos.x,
+        ap.pos.y,
+        json::quote(&tech.layer(ap.layer).name),
+        json::quote(&ap.pref_type.to_string()),
+        json::quote(&ap.nonpref_type.to_string()),
+        ap.vias.len(),
+    )
+}
+
+fn usize_list(items: &[usize]) -> String {
+    let strs: Vec<String> = items.iter().map(ToString::to_string).collect();
+    strs.join(",")
+}
+
+/// Parses the `moves` array of an `eco_update` request: each entry names
+/// an instance and either an absolute target (`x` + `y`) or a relative
+/// one (`dx` / `dy`).
+fn parse_moves(req: &Value) -> Result<Vec<EcoMove>, (i64, String)> {
+    let bad = |m: String| (INVALID_PARAMS, m);
+    let items = req
+        .get("params")
+        .and_then(|p| p.get("moves"))
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("missing `moves` array".to_owned()))?;
+    let mut moves = Vec::with_capacity(items.len());
+    for item in items {
+        let inst = item
+            .get("inst")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("move missing string `inst`".to_owned()))?
+            .to_owned();
+        let coord = |key: &str| item.get(key).and_then(Value::as_i64);
+        let (x, y) = (coord("x"), coord("y"));
+        let (dx, dy) = (coord("dx"), coord("dy"));
+        let target = match (x, y, dx.or(dy)) {
+            (Some(x), Some(y), None) => EcoTarget::Abs(Point { x, y }),
+            (None, None, Some(_)) => EcoTarget::Delta(Point {
+                x: dx.unwrap_or(0),
+                y: dy.unwrap_or(0),
+            }),
+            _ => return Err(bad(format!("move for `{inst}` needs either x+y or dx/dy"))),
+        };
+        moves.push(EcoMove { inst, target });
+    }
+    Ok(moves)
+}
+
+/// Runs one method and returns its `result` payload.
+fn method_result(method: &str, req: &Value, shared: &Shared) -> Result<String, (i64, String)> {
+    match method {
+        "get_pin_access" => {
+            let inst = str_param(req, "inst")?;
+            let pin = str_param(req, "pin")?;
+            let svc = shared.read();
+            let r = svc.pin_access(inst, pin).map_err(|e| svc_err(&e))?;
+            let tech = svc.tech();
+            let selected = r
+                .selected
+                .as_ref()
+                .map_or_else(|| "null".to_owned(), |ap| ap_json(tech, ap));
+            let candidates: Vec<String> = r.candidates.iter().map(|ap| ap_json(tech, ap)).collect();
+            let rejects: Vec<String> = r
+                .rejects
+                .iter()
+                .map(|rc| {
+                    format!(
+                        "{{\"rule\":{},\"count\":{}}}",
+                        json::quote(&rc.rule),
+                        rc.count
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "{{\"inst\":{},\"pin\":{},\"selected\":{},\"from_override\":{},\"candidates\":[{}],\"rejects\":[{}]}}",
+                json::quote(&r.inst),
+                json::quote(&r.pin),
+                selected,
+                r.from_override,
+                candidates.join(","),
+                rejects.join(","),
+            ))
+        }
+        "get_instance_patterns" => {
+            let inst = str_param(req, "inst")?;
+            let svc = shared.read();
+            let r = svc.instance_patterns(inst).map_err(|e| svc_err(&e))?;
+            let patterns: Vec<String> = r
+                .patterns
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"cost\":{},\"validated\":{},\"choice\":[{}]}}",
+                        p.cost,
+                        p.validated,
+                        usize_list(&p.choice),
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "{{\"inst\":{},\"master\":{},\"unique_index\":{},\"members\":{},\"pin_order\":[{}],\"patterns\":[{}]}}",
+                json::quote(&r.inst),
+                json::quote(&r.master),
+                r.unique_index,
+                r.members,
+                usize_list(&r.pin_order),
+                patterns.join(","),
+            ))
+        }
+        "get_cluster_selection" => {
+            let inst = str_param(req, "inst")?;
+            let svc = shared.read();
+            let r = svc.cluster_selection(inst).map_err(|e| svc_err(&e))?;
+            let tech = svc.tech();
+            let pattern = r
+                .pattern
+                .map_or_else(|| "null".to_owned(), |p| p.to_string());
+            let overrides: Vec<String> = r
+                .overrides
+                .iter()
+                .map(|(pin, ap)| format!("{{\"pin\":{pin},\"ap\":{}}}", ap_json(tech, ap)))
+                .collect();
+            Ok(format!(
+                "{{\"inst\":{},\"pattern\":{},\"overrides\":[{}]}}",
+                json::quote(&r.inst),
+                pattern,
+                overrides.join(","),
+            ))
+        }
+        "dump_selection" => {
+            let svc = shared.read();
+            Ok(format!(
+                "{{\"dump\":{}}}",
+                json::quote(&svc.selection_dump())
+            ))
+        }
+        "stats" => {
+            let svc = shared.read();
+            let (hits, misses) = svc.cache_stats();
+            let sym = pao_tech::symbol_stats();
+            pao_obs::gauge_max("symbol.interned", sym.interned as u64);
+            pao_obs::gauge_max("symbol.arena_bytes", sym.arena_bytes as u64);
+            let stats = &svc.result().stats;
+            let fr = svc.fractions().snapshot().0;
+            let fr_strs: Vec<String> = fr.iter().map(|f| format!("{f:.4}")).collect();
+            Ok(format!(
+                concat!(
+                    "{{\"design\":{},\"components\":{},\"nets\":{},",
+                    "\"unique_instances\":{},\"total_aps\":{},\"failed_pins\":{},",
+                    "\"eco_updates\":{},\"cache\":{{\"hits\":{},\"misses\":{}}},",
+                    "\"symbol\":{{\"interned\":{},\"arena_bytes\":{}}},",
+                    "\"server\":{{\"requests\":{}}},\"fractions\":[{}]}}"
+                ),
+                json::quote(&svc.design().name),
+                svc.design().components().len(),
+                svc.design().nets().len(),
+                stats.unique_instances,
+                stats.total_aps,
+                stats.failed_pins,
+                svc.eco_updates(),
+                hits,
+                misses,
+                sym.interned,
+                sym.arena_bytes,
+                pao_obs::snapshot().counter("server.requests"),
+                fr_strs.join(","),
+            ))
+        }
+        "eco_update" => {
+            let moves = parse_moves(req)?;
+            let deadline = req
+                .get("params")
+                .and_then(|p| p.get("deadline_ms"))
+                .and_then(Value::as_i64)
+                .map(|ms| Duration::from_millis(ms.max(0) as u64))
+                .or(shared.eco_deadline);
+            let mut svc = shared.write();
+            let r = svc
+                .eco_update(&moves, deadline, None)
+                .map_err(|e| svc_err(&e))?;
+            Ok(format!(
+                concat!(
+                    "{{\"moved\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                    "\"full_reanalysis\":{},\"failed_pins\":{},\"eco_seq\":{}}}"
+                ),
+                r.moved, r.cache_hits, r.cache_misses, r.full_reanalysis, r.failed_pins, r.eco_seq,
+            ))
+        }
+        _ => Err((METHOD_NOT_FOUND, format!("unknown method `{method}`"))),
+    }
+}
+
+/// Handles a `batch` request: params is an array of request objects.
+/// Read-only batches fan out onto the work-stealing executor (responses
+/// come back in input order — the executor preserves it); a batch
+/// containing `eco_update` runs sequentially in order, because an ECO
+/// must observe the queries before it and be observed by those after.
+fn handle_batch(id: &str, req: &Value, shared: &Shared) -> String {
+    let Some(items) = req.get("params").and_then(Value::as_array) else {
+        return err_resp(
+            id,
+            INVALID_PARAMS,
+            "batch params must be an array of requests",
+        );
+    };
+    pao_obs::hist_record("server.batch_size", items.len() as u64);
+    let has_eco = items
+        .iter()
+        .any(|r| r.get("method").and_then(Value::as_str) == Some("eco_update"));
+    let responses: Vec<String> = if has_eco {
+        items
+            .iter()
+            .map(|r| dispatch_request(r, shared, false).0)
+            .collect()
+    } else {
+        let refs: Vec<&Value> = items.iter().collect();
+        pao_core::parallel::parallel_map(shared.threads, refs, |r| {
+            dispatch_request(r, shared, false).0
+        })
+    };
+    ok_resp(id, &format!("[{}]", responses.join(",")))
+}
+
+/// Dispatches one parsed request. Returns the response line and whether
+/// the daemon should shut down *after* the response is flushed.
+/// `allow_control` is false inside a batch: nested `batch`/`shutdown`
+/// are rejected there.
+fn dispatch_request(req: &Value, shared: &Shared, allow_control: bool) -> (String, bool) {
+    let _span = pao_obs::span("server.request");
+    pao_obs::counter_add("server.requests", 1);
+    let id = id_token(req);
+    let Some(method) = req.get("method").and_then(Value::as_str) else {
+        return (
+            err_resp(&id, INVALID_REQUEST, "request needs a string `method`"),
+            false,
+        );
+    };
+    match method {
+        "shutdown" if allow_control => (ok_resp(&id, "{\"ok\":true}"), true),
+        "batch" if allow_control => (handle_batch(&id, req, shared), false),
+        "shutdown" | "batch" => (
+            err_resp(
+                &id,
+                INVALID_REQUEST,
+                "control methods are not allowed in a batch",
+            ),
+            false,
+        ),
+        _ => match method_result(method, req, shared) {
+            Ok(result) => (ok_resp(&id, &result), false),
+            Err((code, message)) => (err_resp(&id, code, &message), false),
+        },
+    }
+}
+
+/// Parses and dispatches one request line.
+fn dispatch_line(line: &str, shared: &Shared) -> (String, bool) {
+    match json::parse(line) {
+        Ok(req) => dispatch_request(&req, shared, true),
+        Err(e) => (
+            err_resp("null", PARSE_ERROR, &format!("parse error: {e}")),
+            false,
+        ),
+    }
+}
+
+/// Serves one connection: read a line, answer a line, until EOF or
+/// shutdown. Every outgoing line is re-validated with the in-repo JSON
+/// parser — an invalid response is a `pao` bug and is reported as one.
+fn handle_conn(stream: Stream, shared: &Shared) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(reader_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (mut resp, shutdown_after) = dispatch_line(&line, shared);
+        if let Err(e) = json::validate(&resp) {
+            resp = err_resp(
+                "null",
+                INTERNAL_ERROR,
+                &format!("invalid response generated: {e}"),
+            );
+        }
+        resp.push('\n');
+        if writer
+            .write_all(resp.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown_after {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Binds the requested endpoint (exactly one of `--socket`/`--tcp`).
+fn bind(args: &Args) -> Result<Listener, CliError> {
+    match (args.value("--socket"), args.value("--tcp")) {
+        (Some(path), None) => {
+            // A stale socket file from a killed daemon would fail the
+            // bind; it is dead weight either way.
+            let _ = std::fs::remove_file(path);
+            UnixListener::bind(path)
+                .map(|l| Listener::Unix(l, path.to_owned()))
+                .map_err(|e| CliError::input(format!("cannot bind `{path}`: {e}")))
+        }
+        (None, Some(addr)) => TcpListener::bind(addr)
+            .map(Listener::Tcp)
+            .map_err(|e| CliError::input(format!("cannot bind `{addr}`: {e}"))),
+        _ => Err(CliError::usage(
+            "serve requires exactly one of --socket PATH or --tcp ADDR",
+        )),
+    }
+}
+
+/// `pao serve <tech.lef> <design.def> (--socket PATH | --tcp ADDR) …`
+pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    for name in ["--socket", "--tcp", "--threads"] {
+        if args.value_missing(name) {
+            return Err(CliError::usage(format!("{name} requires a value")));
+        }
+    }
+    // Endpoint usage errors must fire before the (potentially long)
+    // load + analysis; `bind` re-checks when it actually binds.
+    if usize::from(args.value("--socket").is_some()) + usize::from(args.value("--tcp").is_some())
+        != 1
+    {
+        return Err(CliError::usage(
+            "serve requires exactly one of --socket PATH or --tcp ADDR",
+        ));
+    }
+    let (tech, design) = load_world(
+        args.positional(1).map_err(CliError::Usage)?,
+        args.positional(2).map_err(CliError::Usage)?,
+    )?;
+    pao_obs::enable_metrics();
+    let mut cfg = PaoConfig::default();
+    if let Some(t) = args.value("--threads") {
+        cfg.threads = t
+            .parse()
+            .map_err(|_| CliError::usage("--threads expects a number"))?;
+    }
+    let (deadline, watchdog) = parse_budget_flags(args)?;
+    let mut store = open_checkpoint(args)?;
+    let fractions = store
+        .as_ref()
+        .and_then(pao_core::CheckpointStore::fractions)
+        .unwrap_or_default();
+    let budget = RunBudget {
+        deadline: None, // the load is not deadline-cut; --deadline-ms bounds ECOs
+        fractions,
+        watchdog,
+        checkpoint: store.as_mut(),
+    };
+    let collect_rejects = !args.flag("--no-ledger");
+    eprintln!(
+        "pao serve: loading `{}` ({} components) …",
+        design.name,
+        design.components().len()
+    );
+    let threads = cfg.threads.max(1);
+    let service = OracleService::start(tech, design, cfg, budget, collect_rejects);
+    let sym = pao_tech::symbol_stats();
+    pao_obs::gauge_max("symbol.interned", sym.interned as u64);
+    pao_obs::gauge_max("symbol.arena_bytes", sym.arena_bytes as u64);
+    let listener = bind(args)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::Internal(format!("cannot poll listener: {e}")))?;
+    eprintln!(
+        "pao serve: listening on {} ({} unique instances, {} failed pins)",
+        listener.endpoint(),
+        service.result().stats.unique_instances,
+        service.result().stats.failed_pins,
+    );
+    let shared = Arc::new(Shared {
+        service: RwLock::new(service),
+        shutdown: AtomicBool::new(false),
+        threads,
+        eco_deadline: deadline,
+    });
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                // Accepted sockets inherit the listener's non-blocking
+                // flag on some platforms; request handling is blocking.
+                let _ = stream.set_nonblocking(false);
+                let conn_shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_conn(stream, &conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("pao serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("pao serve: shutdown");
+    Ok(())
+}
+
+/// Connects to a running daemon, retrying while it is still loading
+/// (the socket may not exist yet right after the daemon was spawned).
+fn connect(args: &Args) -> Result<Stream, CliError> {
+    let attempt = || -> std::io::Result<Stream> {
+        match (args.value("--socket"), args.value("--tcp")) {
+            (Some(path), None) => UnixStream::connect(path).map(Stream::Unix),
+            (None, Some(addr)) => TcpStream::connect(addr).map(Stream::Tcp),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "call requires exactly one of --socket PATH or --tcp ADDR",
+            )),
+        }
+    };
+    if args.value("--socket").is_none() && args.value("--tcp").is_none() {
+        return Err(CliError::usage(
+            "call requires exactly one of --socket PATH or --tcp ADDR",
+        ));
+    }
+    let mut last = None;
+    for _ in 0..60 {
+        match attempt() {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+    Err(CliError::input(format!(
+        "cannot connect: {}",
+        last.map_or_else(|| "no endpoint".to_owned(), |e| e.to_string())
+    )))
+}
+
+/// `pao call (--socket PATH | --tcp ADDR) [REQUEST …]`: sends each
+/// request line (positionals, or stdin lines when none are given) and
+/// prints the response lines. The scripting end of the serve smoke gate.
+pub fn cmd_call(args: &Args) -> Result<(), CliError> {
+    for name in ["--socket", "--tcp"] {
+        if args.value_missing(name) {
+            return Err(CliError::usage(format!("{name} requires a value")));
+        }
+    }
+    let mut stream = connect(args)?;
+    let reader_half = stream
+        .try_clone()
+        .map_err(|e| CliError::input(format!("cannot clone connection: {e}")))?;
+    let mut reader = BufReader::new(reader_half);
+    let mut requests: Vec<String> = Vec::new();
+    let mut i = 1;
+    while let Ok(p) = args.positional(i) {
+        requests.push(p.to_owned());
+        i += 1;
+    }
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| CliError::input(format!("cannot read stdin: {e}")))?;
+            requests.push(line);
+        }
+    }
+    for req in requests {
+        if req.trim().is_empty() {
+            continue;
+        }
+        stream
+            .write_all(req.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .and_then(|()| stream.flush())
+            .map_err(|e| CliError::input(format!("cannot send request: {e}")))?;
+        let mut resp = String::new();
+        let n = reader
+            .read_line(&mut resp)
+            .map_err(|e| CliError::input(format!("cannot read response: {e}")))?;
+        if n == 0 {
+            return Err(CliError::input("server closed the connection"));
+        }
+        print!("{resp}");
+    }
+    Ok(())
+}

@@ -731,3 +731,177 @@ fn unknown_case_reports_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown case"));
 }
+
+/// Full daemon round trip: serve a generated design over a Unix socket,
+/// script a query batch through `pao call` (pin access, patterns,
+/// selection, a batch, one ECO), and require the daemon's selection dump
+/// to match a one-shot `pao analyze --dump-selection` byte-for-byte —
+/// before and after a signature-preserving ECO. Shutdown must exit 0.
+#[test]
+fn serve_daemon_matches_one_shot_analyze_and_shuts_down() {
+    use std::process::Stdio;
+    let lef = tmp("srv.lef");
+    let def = tmp("srv.def");
+    assert!(pao()
+        .args(["gen", "smoke", "--lef"])
+        .arg(&lef)
+        .arg("--def")
+        .arg(&def)
+        .status()
+        .expect("spawn")
+        .success());
+
+    // One-shot reference dump (the determinism contract makes the thread
+    // count irrelevant; use 2 to match the daemon).
+    let refdump = tmp("srv_ref.txt");
+    assert!(pao()
+        .arg("analyze")
+        .arg(&lef)
+        .arg(&def)
+        .args(["--threads", "2", "--dump-selection"])
+        .arg(&refdump)
+        .status()
+        .expect("spawn")
+        .success());
+    let reference = std::fs::read_to_string(&refdump).expect("ref dump");
+
+    let sock = tmp("srv.sock");
+    let mut daemon = pao()
+        .arg("serve")
+        .arg(&lef)
+        .arg(&def)
+        .arg("--socket")
+        .arg(&sock)
+        .args(["--threads", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+
+    let call = |requests: &[String]| -> Vec<String> {
+        let mut c = pao();
+        c.arg("call").arg("--socket").arg(&sock);
+        for r in requests {
+            c.arg(r);
+        }
+        let out = c.output().expect("call");
+        assert!(
+            out.status.success(),
+            "call failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    };
+    let result_of = |line: &str| -> pao_obs::json::Value {
+        let resp = pao_obs::json::parse(line).expect("response is valid JSON");
+        resp.get("result").expect("result present").clone()
+    };
+
+    // The daemon's dump must equal the one-shot dump.
+    let lines = call(&[r#"{"id":1,"method":"dump_selection"}"#.to_owned()]);
+    let dump = result_of(&lines[0])
+        .get("dump")
+        .and_then(|d| d.as_str().map(str::to_owned))
+        .expect("dump string");
+    assert_eq!(dump, reference, "daemon dump must match one-shot analyze");
+
+    // Pick an instance whose master has a pin named A — not every smoke
+    // master does (the flops use D/CK/Q), so scan the generated LEF for
+    // qualifying masters and the DEF for the first component using one.
+    let lef_text = std::fs::read_to_string(&lef).expect("lef");
+    let mut masters_with_a = std::collections::HashSet::new();
+    let mut cur = None;
+    for line in lef_text.lines() {
+        let mut t = line.split_whitespace();
+        match (t.next(), t.next()) {
+            (Some("MACRO"), Some(name)) => cur = Some(name),
+            (Some("PIN"), Some("A")) => {
+                if let Some(m) = cur {
+                    masters_with_a.insert(m);
+                }
+            }
+            _ => {}
+        }
+    }
+    let def_text = std::fs::read_to_string(&def).expect("def");
+    let inst = def_text
+        .lines()
+        .filter_map(|line| {
+            let mut t = line.split_whitespace();
+            (t.next() == Some("-")).then(|| (t.next(), t.next()))
+        })
+        .find_map(|(i, m)| match (i, m) {
+            (Some(i), Some(m)) if masters_with_a.contains(m) => Some(i.to_owned()),
+            _ => None,
+        })
+        .expect("smoke design has an instance with pin A");
+
+    let lines = call(&[
+        format!(r#"{{"id":2,"method":"get_pin_access","params":{{"inst":"{inst}","pin":"A"}}}}"#),
+        format!(
+            concat!(
+                r#"{{"id":3,"method":"batch","params":["#,
+                r#"{{"id":31,"method":"get_instance_patterns","params":{{"inst":"{i}"}}}},"#,
+                r#"{{"id":32,"method":"get_cluster_selection","params":{{"inst":"{i}"}}}}]}}"#
+            ),
+            i = inst
+        ),
+        format!(
+            r#"{{"id":4,"method":"eco_update","params":{{"moves":[{{"inst":"{inst}","dx":0,"dy":0}}]}}}}"#
+        ),
+        r#"{"id":5,"method":"dump_selection"}"#.to_owned(),
+        r#"{"id":6,"method":"stats"}"#.to_owned(),
+        r#"{"id":7,"method":"nonsense"}"#.to_owned(),
+    ]);
+    assert_eq!(lines.len(), 6, "one response line per request");
+    for l in &lines {
+        pao_obs::json::parse(l).expect("every response line is valid JSON");
+    }
+    let pin = result_of(&lines[0]);
+    assert!(
+        !pin.get("selected").expect("selected field").is_null(),
+        "smoke pins all have access"
+    );
+    let batch = result_of(&lines[1]);
+    assert_eq!(batch.as_array().map(<[_]>::len), Some(2));
+    let eco = result_of(&lines[2]);
+    assert_eq!(eco.get("eco_seq").and_then(|v| v.as_i64()), Some(1));
+    assert_eq!(
+        eco.get("cache_misses").and_then(|v| v.as_i64()),
+        Some(0),
+        "zero-delta ECO must stay on the dirty-cluster fast path"
+    );
+    let dump2 = result_of(&lines[3])
+        .get("dump")
+        .and_then(|d| d.as_str().map(str::to_owned))
+        .expect("dump string");
+    assert_eq!(
+        dump2, reference,
+        "selection after a no-op ECO must still match the one-shot dump"
+    );
+    let stats = result_of(&lines[4]);
+    assert_eq!(stats.get("eco_updates").and_then(|v| v.as_i64()), Some(1));
+    let interned = stats
+        .get("symbol")
+        .and_then(|s| s.get("interned"))
+        .and_then(|v| v.as_i64())
+        .unwrap_or(0);
+    assert!(interned > 0, "symbol gauges must be surfaced in stats");
+    let bad = pao_obs::json::parse(&lines[5]).expect("valid");
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|v| v.as_i64()),
+        Some(-32601),
+        "unknown method maps to METHOD_NOT_FOUND"
+    );
+
+    let lines = call(&[r#"{"id":9,"method":"shutdown"}"#.to_owned()]);
+    assert!(lines[0].contains("\"result\""), "{}", lines[0]);
+    let status = daemon.wait().expect("daemon exit");
+    assert!(status.success(), "daemon must exit 0 after shutdown");
+    assert!(!sock.exists(), "socket file is unlinked on shutdown");
+}

@@ -450,6 +450,50 @@ impl Default for PhaseFractions {
     }
 }
 
+/// Shared phase-fraction history for a resident process serving many
+/// requests: readers take an immutable [`snapshot`](SharedFractions::snapshot)
+/// (a `Copy` of the fractions) when they mint their budget, and finished
+/// runs [`publish`](SharedFractions::publish) updated measurements. A
+/// request's [`BudgetAllocator`] is built from its snapshot, so a
+/// concurrent publish — another request finishing and rolling its
+/// history forward — can never mutate the split an in-flight request
+/// already observed. (One-shot CLI runs read fractions once from the
+/// checkpoint store; the hazard only exists for long-lived daemons.)
+#[derive(Debug, Clone, Default)]
+pub struct SharedFractions {
+    inner: std::sync::Arc<std::sync::Mutex<PhaseFractions>>,
+}
+
+impl SharedFractions {
+    /// Starts the history at `fractions`.
+    #[must_use]
+    pub fn new(fractions: PhaseFractions) -> SharedFractions {
+        SharedFractions {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(fractions.normalized())),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PhaseFractions> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// An immutable copy of the current fractions. This is the only way
+    /// requests read the history: the returned value is detached, so
+    /// later publishes cannot reach a budget derived from it.
+    #[must_use]
+    pub fn snapshot(&self) -> PhaseFractions {
+        *self.lock()
+    }
+
+    /// Replaces the history with a newer measurement (normalized).
+    pub fn publish(&self, fractions: PhaseFractions) {
+        *self.lock() = fractions.normalized();
+    }
+}
+
 /// Splits an overall deadline across the five pipeline phases by their
 /// historical wall-time fractions, **rolling unused time forward**: each
 /// phase's token is minted when the phase starts, from the time actually
@@ -477,6 +521,14 @@ impl BudgetAllocator {
     #[must_use]
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// The (normalized) fractions this allocator was built with. The
+    /// allocator owns its copy — mutating whatever source produced it
+    /// (e.g. a [`SharedFractions`] publish) cannot change this value.
+    #[must_use]
+    pub fn fractions(&self) -> PhaseFractions {
+        self.fractions
     }
 
     /// A token bounded only by the overall deadline (used for work that
@@ -557,6 +609,67 @@ impl RunBudget<'static> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_fractions_snapshot_is_immutable_per_request() {
+        // Regression: one request's roll-forward (publishing measured
+        // fractions) must not mutate the split a concurrent request's
+        // allocator already derived from its snapshot.
+        let shared = SharedFractions::new(PhaseFractions([0.5, 0.2, 0.1, 0.1, 0.1]));
+        let snap = shared.snapshot();
+        let alloc = BudgetAllocator::new(Some(Duration::from_secs(1)), snap);
+        let before = alloc.fractions();
+
+        // A "finished request" publishes a very different history, from
+        // another thread, while our allocator is conceptually in flight.
+        let publisher = shared.clone();
+        std::thread::spawn(move || {
+            publisher.publish(PhaseFractions([0.01, 0.01, 0.01, 0.01, 0.96]));
+        })
+        .join()
+        .expect("publisher thread");
+
+        // The in-flight allocator still holds its snapshot bit-for-bit…
+        assert_eq!(alloc.fractions(), before);
+        assert_eq!(alloc.fractions(), snap.normalized());
+        // …while new requests observe the published history.
+        let fresh = shared.snapshot();
+        assert!((fresh.0[4] - 0.96).abs() < 1e-6, "{fresh:?}");
+        assert_ne!(fresh, before);
+    }
+
+    #[test]
+    fn shared_fractions_concurrent_snapshots_are_consistent() {
+        // Snapshots taken while a publisher churns must always be one of
+        // the published values — never a torn mix of two. `new`/`publish`
+        // re-normalize what they store (and normalization is not
+        // bit-idempotent), so capture the exact stored representation of
+        // each value via a serial round-trip first.
+        let raw_a = PhaseFractions([0.5, 0.2, 0.1, 0.1, 0.1]);
+        let raw_b = PhaseFractions([0.05, 0.05, 0.3, 0.3, 0.3]);
+        let shared = SharedFractions::new(raw_a);
+        let a = shared.snapshot();
+        shared.publish(raw_b);
+        let b = shared.snapshot();
+        shared.publish(raw_a);
+        std::thread::scope(|scope| {
+            let publisher = shared.clone();
+            scope.spawn(move || {
+                for i in 0..500 {
+                    publisher.publish(if i % 2 == 0 { raw_b } else { raw_a });
+                }
+            });
+            for _ in 0..4 {
+                let reader = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        let s = reader.snapshot();
+                        assert!(s == a || s == b, "torn snapshot: {s:?}");
+                    }
+                });
+            }
+        });
+    }
 
     #[test]
     fn token_never_is_inert() {

@@ -50,13 +50,14 @@ pub mod oracle;
 pub mod parallel;
 pub mod pattern;
 pub mod persist;
+pub mod service;
 pub mod stats;
 pub mod unique;
 
 pub use apgen::{AccessPoint, ApGenConfig, ApScratch, PlanarDir};
 pub use budget::{
     BudgetAllocator, CancelReason, CancelToken, DeadlineReport, PhaseFractions, RunBudget,
-    SkipRecord, StallRecord, Watchdog,
+    SharedFractions, SkipRecord, StallRecord, Watchdog,
 };
 pub use cluster::{Cluster, SelectTelemetry, SelectTuning};
 pub use coord::CoordType;
@@ -65,5 +66,9 @@ pub use oracle::{default_threads, PaoConfig, PaoResult, PinAccessOracle, UniqueI
 pub use parallel::{ExecReport, ItemFault, PhaseBudget};
 pub use pattern::{AccessPattern, PatternConfig};
 pub use persist::CheckpointStore;
+pub use service::{
+    ClusterSelectionReply, EcoMove, EcoReply, EcoTarget, InstancePatternsReply, OracleService,
+    PinAccessReply, RejectCount, ServiceError,
+};
 pub use stats::PaoStats;
 pub use unique::{UniqueInstance, UniqueInstanceId};

@@ -285,6 +285,31 @@ pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Removes stale `*.tmp` orphans left in `dir` by a crash between
+/// [`write_atomic`]'s write and rename. Run on every store open: the tmp
+/// file is by definition incomplete (the rename never happened), so it is
+/// garbage — but without this sweep it survives forever, and a daemon
+/// cycling checkpoints accumulates one orphan per crash. Each removal
+/// bumps the `checkpoint.tmp_reclaimed` counter; removal errors are
+/// ignored (the next open retries).
+fn sweep_stale_tmp(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reclaimed = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path.extension().is_some_and(|ext| ext == "tmp");
+        if is_tmp && path.is_file() && std::fs::remove_file(&path).is_ok() {
+            reclaimed += 1;
+        }
+    }
+    if reclaimed > 0 {
+        pao_obs::counter_add("checkpoint.tmp_reclaimed", reclaimed as u64);
+    }
+    reclaimed
+}
+
 /// FNV-1a fingerprint of a per-pin access point table, via its canonical
 /// serialization. The pattern checkpoint stores this for each instance so
 /// a resumed run only reuses pattern results whose *inputs* (the apgen
@@ -397,6 +422,7 @@ impl CheckpointStore {
     pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        sweep_stale_tmp(&dir);
         for name in ["apgen.ckpt", "pattern.ckpt"] {
             let p = dir.join(name);
             if p.exists() {
@@ -427,6 +453,7 @@ impl CheckpointStore {
     ) -> std::io::Result<(CheckpointStore, Vec<LoadCacheError>)> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        sweep_stale_tmp(&dir);
         let mut rejected = Vec::new();
         let mut apgen = HashMap::new();
         let mut pattern = HashMap::new();
@@ -941,6 +968,34 @@ mod tests {
         assert_eq!(fresh.apgen_len(), 0);
         assert!(!dir.join("apgen.ckpt").exists());
         // …but keeps the measured fractions for its allocator.
+        assert!(fresh.fractions().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_reclaims_stale_tmp_orphans() {
+        // A crash between write_atomic's write and rename leaves a
+        // `*.tmp` orphan; both open paths must sweep it so a daemon
+        // cycling checkpoints never accumulates garbage.
+        let dir = tmpdir("tmp_orphans");
+        // Seed a real (sealed) history file through the store API, then
+        // fake the crash leftovers by hand.
+        CheckpointStore::create(&dir)
+            .unwrap()
+            .save_fractions(PhaseFractions([0.5, 0.2, 0.1, 0.1, 0.1]))
+            .unwrap();
+        std::fs::write(dir.join("apgen.ckpt.tmp"), "half-written").unwrap();
+        std::fs::write(dir.join("pattern.ckpt.tmp"), "also half").unwrap();
+        let (store, rejected) = CheckpointStore::resume(&dir).unwrap();
+        assert!(rejected.is_empty(), "{rejected:?}");
+        assert!(!dir.join("apgen.ckpt.tmp").exists(), "orphan swept");
+        assert!(!dir.join("pattern.ckpt.tmp").exists(), "orphan swept");
+        assert!(store.fractions().is_some(), "real files survive the sweep");
+        drop(store);
+
+        std::fs::write(dir.join("history.ckpt.tmp"), "stale").unwrap();
+        let fresh = CheckpointStore::create(&dir).unwrap();
+        assert!(!dir.join("history.ckpt.tmp").exists(), "create sweeps too");
         assert!(fresh.fractions().is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }

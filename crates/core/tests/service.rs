@@ -1,0 +1,191 @@
+//! Service-layer determinism: concurrent queries against a resident
+//! [`OracleService`] must be byte-identical to serial ones, and an
+//! `eco_update` + re-query must match a cold full re-analysis of the
+//! moved design bit-for-bit.
+//!
+//! Reject collection stays off here — the decision ledger is
+//! process-global and these tests run concurrently with others in this
+//! binary; the ledger path is exercised end-to-end by the CLI serve test
+//! and the `scripts/verify.sh` serve gate.
+
+use pao_core::service::selection_dump;
+use pao_core::{
+    EcoMove, EcoTarget, OracleService, PaoConfig, PinAccessOracle, RunBudget, ServiceError,
+};
+use pao_design::CompId;
+use pao_testgen::{generate, SuiteCase};
+
+fn start_service() -> OracleService {
+    let (tech, design) = generate(&SuiteCase::small_smoke());
+    OracleService::start(
+        tech,
+        design,
+        PaoConfig::default(),
+        RunBudget::unlimited(),
+        false,
+    )
+}
+
+/// Every query the determinism tests replay: one of each kind per
+/// component, rendered to its debug string (typed replies are `Eq`, but
+/// the byte-identity claim is easiest stated over the rendering).
+fn query_all(svc: &OracleService) -> Vec<String> {
+    let design = svc.design().clone();
+    let tech = svc.tech().clone();
+    let mut out = Vec::new();
+    for (ci, comp) in design.components().iter().enumerate() {
+        let name: &str = &comp.name;
+        let Some(master) = design.component(CompId(ci as u32)).master_in(&tech) else {
+            continue;
+        };
+        for pin in &master.pins {
+            out.push(format!("{:?}", svc.pin_access(name, &pin.name)));
+        }
+        out.push(format!("{:?}", svc.instance_patterns(name)));
+        out.push(format!("{:?}", svc.cluster_selection(name)));
+    }
+    out.push(svc.selection_dump());
+    out
+}
+
+#[test]
+fn concurrent_queries_match_serial_byte_for_byte() {
+    let svc = start_service();
+    let serial = query_all(&svc);
+    assert!(serial.len() > 3, "smoke design should yield many queries");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| query_all(&svc))).collect();
+        for h in handles {
+            let threaded = h.join().unwrap();
+            assert_eq!(serial, threaded, "concurrent replies diverged");
+        }
+    });
+}
+
+#[test]
+fn unknown_queries_return_typed_errors() {
+    let svc = start_service();
+    assert_eq!(
+        svc.pin_access("no_such_instance", "A"),
+        Err(ServiceError::UnknownInstance("no_such_instance".to_owned()))
+    );
+    let design = svc.design().clone();
+    let tech = svc.tech().clone();
+    let comp = &design.components()[0];
+    let master = design
+        .component(CompId(0))
+        .master_in(&tech)
+        .expect("smoke components have masters");
+    assert_eq!(
+        svc.pin_access(&comp.name, "no_such_pin"),
+        Err(ServiceError::UnknownPin {
+            master: master.name.to_string(),
+            pin: "no_such_pin".to_owned(),
+        })
+    );
+    assert!(svc.instance_patterns("nope").is_err());
+    assert!(svc.cluster_selection("nope").is_err());
+}
+
+/// Swapping two same-master instances preserves the signature set, so
+/// the ECO must take the dirty-cluster fast path (zero cache misses) —
+/// and still match a cold full analysis of the moved placement
+/// bit-for-bit: same selection dump, same access points everywhere.
+#[test]
+fn eco_update_matches_cold_full_reanalysis() {
+    let mut svc = start_service();
+    let design = svc.design().clone();
+
+    // Find two instances of the same master to swap.
+    let comps = design.components();
+    let (a, b) = 'found: {
+        for i in 0..comps.len() {
+            for j in (i + 1)..comps.len() {
+                if comps[i].master == comps[j].master && comps[i].location != comps[j].location {
+                    break 'found (i, j);
+                }
+            }
+        }
+        panic!("smoke design should repeat a master");
+    };
+    let moves = [
+        EcoMove {
+            inst: comps[a].name.to_string(),
+            target: EcoTarget::Abs(comps[b].location),
+        },
+        EcoMove {
+            inst: comps[b].name.to_string(),
+            target: EcoTarget::Abs(comps[a].location),
+        },
+    ];
+
+    let reply = svc.eco_update(&moves, None, None).expect("eco applies");
+    assert_eq!(reply.moved, 2);
+    assert_eq!(reply.eco_seq, 1);
+    assert_eq!(svc.eco_updates(), 1);
+    assert_eq!(
+        reply.cache_misses, 0,
+        "signature-preserving swap must stay on the dirty-cluster fast path"
+    );
+    assert!(!reply.full_reanalysis);
+
+    // Cold reference: a fresh oracle over the moved placement.
+    let (tech, mut moved) = generate(&SuiteCase::small_smoke());
+    let loc_a = moved.components()[a].location;
+    let loc_b = moved.components()[b].location;
+    moved.component_mut(CompId(a as u32)).location = loc_b;
+    moved.component_mut(CompId(b as u32)).location = loc_a;
+    let cold = PinAccessOracle::new().analyze(&tech, &moved);
+
+    assert_eq!(
+        svc.selection_dump(),
+        selection_dump(&moved, &cold),
+        "eco result diverged from cold re-analysis"
+    );
+    let warm_design = svc.design().clone();
+    let warm = svc.result().clone();
+    assert_eq!(warm.stats.total_aps, cold.stats.total_aps);
+    assert_eq!(warm.stats.failed_pins, cold.stats.failed_pins);
+    for ci in 0..moved.components().len() {
+        let comp = CompId(ci as u32);
+        let Some(master) = moved.component(comp).master_in(&tech) else {
+            continue;
+        };
+        for pi in 0..master.pins.len() {
+            assert_eq!(
+                warm.access_point(&warm_design, comp, pi),
+                cold.access_point(&moved, comp, pi),
+                "access point diverged at comp {ci} pin {pi}"
+            );
+        }
+    }
+}
+
+/// An ECO naming a missing instance is rejected whole: nothing moves,
+/// the sequence number does not advance.
+#[test]
+fn eco_update_rejects_unknown_instance_atomically() {
+    let mut svc = start_service();
+    let before = svc.selection_dump();
+    let known = svc.design().components()[0].name.to_string();
+    let moves = [
+        EcoMove {
+            inst: known,
+            target: EcoTarget::Delta(pao_geom::Point { x: 100, y: 0 }),
+        },
+        EcoMove {
+            inst: "ghost".to_owned(),
+            target: EcoTarget::Delta(pao_geom::Point { x: 0, y: 0 }),
+        },
+    ];
+    assert_eq!(
+        svc.eco_update(&moves, None, None),
+        Err(ServiceError::UnknownInstance("ghost".to_owned()))
+    );
+    assert_eq!(svc.eco_updates(), 0);
+    assert_eq!(
+        svc.selection_dump(),
+        before,
+        "rejected ECO must not move anything"
+    );
+}

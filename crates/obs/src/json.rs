@@ -1,6 +1,7 @@
-//! Minimal JSON utilities: string quoting for the trace exporter and a
+//! Minimal JSON utilities: string quoting for the trace exporter, a
 //! validating parser used to assert that exported traces (and the bench
-//! JSON) parse — std-only, no serde.
+//! JSON) parse, and a [`Value`] tree parser for the `pao serve` JSON-RPC
+//! framing — std-only, no serde.
 
 use std::fmt;
 
@@ -51,17 +52,107 @@ impl std::error::Error for JsonError {}
 ///
 /// Returns the first [`JsonError`] encountered.
 pub fn validate(text: &str) -> Result<(), JsonError> {
+    parse(text).map(|_| ())
+}
+
+/// A parsed JSON document: the dynamic value tree behind the `pao serve`
+/// request framing. Objects keep their key order (duplicate keys keep the
+/// first occurrence on [`Value::get`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (`None` for non-objects and absent keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer (rejects fractional values and
+    /// magnitudes beyond the f64-exact integer range).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        let exact = 2f64.powi(53);
+        (n.fract() == 0.0 && n.abs() <= exact).then_some(n as i64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses one well-formed JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns the first [`JsonError`] encountered.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
     };
     p.skip_ws();
-    p.value(0)?;
+    let v = p.value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing data after document"));
     }
-    Ok(())
+    Ok(v)
 }
 
 const MAX_DEPTH: usize = 128;
@@ -107,108 +198,178 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<(), JsonError> {
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
         if depth > MAX_DEPTH {
             return Err(self.err("nesting too deep"));
         }
         match self.peek() {
             Some(b'{') => self.object(depth),
             Some(b'[') => self.array(depth),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(Value::Num),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value(depth + 1)?;
+            let v = self.value(depth + 1)?;
+            members.push((key, v));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Obj(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }
 
-    fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value(depth + 1)?;
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), JsonError> {
+    /// Parses four hex digits after `\u` into their code unit.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("bad \\u escape")),
+            };
+            unit = unit * 16 + d;
+            self.pos += 1;
+        }
+        Ok(unit)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
+        let start = self.pos;
+        let mut out = String::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
+                    // Fast path: no escapes — slice the raw bytes out.
+                    if out.is_empty() && self.pos > start {
+                        out = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    }
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 Some(b'\\') => {
+                    if out.is_empty() && self.pos > start {
+                        out = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    }
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
                             self.pos += 1;
                         }
                         Some(b'u') => {
                             self.pos += 1;
-                            for _ in 0..4 {
-                                if !matches!(
-                                    self.peek(),
-                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
-                                ) {
-                                    return Err(self.err("bad \\u escape"));
+                            let unit = self.hex4()?;
+                            // Surrogate pair: a high surrogate must pair
+                            // with a following \uDC00-\uDFFF low half.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if self.peek() == Some(b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
                                 }
-                                self.pos += 1;
-                            }
+                            } else {
+                                unit
+                            };
+                            out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(self.err("bad escape")),
                     }
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
-                Some(_) => self.pos += 1,
+                Some(_) if out.is_empty() => self.pos += 1,
+                Some(_) => {
+                    // Slow path after an escape: copy whole unescaped runs
+                    // so multi-byte UTF-8 sequences stay contiguous.
+                    let run_start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[run_start..self.pos]));
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), JsonError> {
+    fn number(&mut self) -> Result<f64, JsonError> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -239,7 +400,10 @@ impl Parser<'_> {
             }
             digits(self)?;
         }
-        Ok(())
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| self.err("unrepresentable number"))
     }
 }
 
@@ -296,5 +460,49 @@ mod tests {
         let e = validate("[1, x]").unwrap_err();
         assert_eq!(e.offset, 4);
         assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parse_builds_value_tree() {
+        let v = parse(r#"{"method":"eco","id":7,"params":{"moves":[{"inst":"u1","dx":-40}]}}"#)
+            .expect("parses");
+        assert_eq!(v.get("method").and_then(Value::as_str), Some("eco"));
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(7));
+        let moves = v
+            .get("params")
+            .and_then(|p| p.get("moves"))
+            .and_then(Value::as_array)
+            .expect("array");
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].get("inst").and_then(Value::as_str), Some("u1"));
+        assert_eq!(moves[0].get("dx").and_then(Value::as_i64), Some(-40));
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        assert_eq!(
+            parse(r#""l1\nl2\t\" \\ é 😀""#).expect("parses"),
+            Value::Str("l1\nl2\t\" \\ \u{e9} \u{1f600}".to_owned())
+        );
+        assert!(parse(r#""\ud800 lone""#).is_err(), "lone surrogate");
+        // quote -> parse round-trip.
+        let tricky = "a\"b\\c\nd\té";
+        assert_eq!(
+            parse(&quote(tricky)).expect("round-trips"),
+            Value::Str(tricky.to_owned())
+        );
+    }
+
+    #[test]
+    fn parse_numbers_and_scalars() {
+        assert_eq!(parse("-1.5e2").expect("num").as_f64(), Some(-150.0));
+        assert_eq!(parse("42").expect("num").as_i64(), Some(42));
+        assert_eq!(parse("1.5").expect("num").as_i64(), None, "not integral");
+        assert_eq!(parse("true").expect("bool").as_bool(), Some(true));
+        assert!(parse("null").expect("null").is_null());
+        assert_eq!(
+            parse("[]").expect("arr").as_array().map(<[Value]>::len),
+            Some(0)
+        );
     }
 }

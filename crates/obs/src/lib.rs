@@ -73,6 +73,13 @@ pub fn enable_ledger() {
     MODE.fetch_or(LEDGER_BIT, Ordering::SeqCst);
 }
 
+/// Turns off decision-ledger recording only, leaving metrics/trace
+/// recording as they were. A resident service scopes ledger collection
+/// to one analysis this way without dropping its request counters.
+pub fn disable_ledger() {
+    MODE.fetch_and(!LEDGER_BIT, Ordering::SeqCst);
+}
+
 /// Turns off all recording. Already-buffered data stays collectable.
 pub fn disable_all() {
     MODE.store(0, Ordering::SeqCst);

@@ -42,6 +42,6 @@ pub use layer::{Layer, LayerId, LayerKind};
 pub use macros::{Macro, MacroClass, Pin, PinDir, PinUse, Port};
 pub use rules::{EolRule, MinStepRule, SpacingTable};
 pub use site::Site;
-pub use symbol::Symbol;
+pub use symbol::{symbol_stats, Symbol, SymbolStats};
 pub use tech::Tech;
 pub use via::{ViaDef, ViaId};

@@ -144,6 +144,80 @@ else
     echo "sweep scale identity: skipped (no python3)"
 fi
 
+echo "== serve smoke gate =="
+# Service-mode contract (DESIGN.md §17): the resident daemon must answer
+# the same bytes as one-shot `pao analyze` — before and after an ECO —
+# at 1 and 4 threads, and shut down cleanly (exit 0). The scripted
+# batch covers every method: dump, pin access, a fanned-out batch, one
+# signature-preserving ECO, stats, shutdown.
+servedir="$(mktemp -d /tmp/pao_serve_XXXXXX)"
+trap 'rm -f "$trace"; rm -rf "$ckpt" "$rep" "$sweepdir" "$servedir"' EXIT
+if ! command -v python3 > /dev/null; then
+    echo "serve smoke gate: skipped (no python3)"
+else
+# Pick an instance whose master has a pin named A (not every master
+# does — the flops use D/CK/Q).
+inst="$(python3 - << 'PY'
+masters, cur = set(), None
+for line in open('benchmarks/smoke.lef'):
+    t = line.split()
+    if t[:1] == ['MACRO']:
+        cur = t[1]
+    if t[:2] == ['PIN', 'A'] and cur:
+        masters.add(cur)
+for line in open('benchmarks/smoke.def'):
+    t = line.split()
+    if t[:1] == ['-'] and len(t) > 2 and t[2] in masters:
+        print(t[1])
+        break
+PY
+)"
+[[ -n "$inst" ]] || { echo "no instance with pin A found"; exit 1; }
+for t in 1 4; do
+    target/release/pao analyze benchmarks/smoke.lef benchmarks/smoke.def \
+        --threads "$t" --dump-selection "$servedir/ref-$t.txt" > /dev/null 2>&1
+    sock="$servedir/pao-$t.sock"
+    target/release/pao serve benchmarks/smoke.lef benchmarks/smoke.def \
+        --socket "$sock" --threads "$t" > "$servedir/daemon-$t.log" 2>&1 &
+    daemon=$!
+    target/release/pao call --socket "$sock" \
+        '{"id":1,"method":"dump_selection"}' \
+        "{\"id\":2,\"method\":\"get_pin_access\",\"params\":{\"inst\":\"$inst\",\"pin\":\"A\"}}" \
+        "{\"id\":3,\"method\":\"batch\",\"params\":[{\"id\":31,\"method\":\"get_instance_patterns\",\"params\":{\"inst\":\"$inst\"}},{\"id\":32,\"method\":\"get_cluster_selection\",\"params\":{\"inst\":\"$inst\"}}]}" \
+        "{\"id\":4,\"method\":\"eco_update\",\"params\":{\"moves\":[{\"inst\":\"$inst\",\"dx\":0,\"dy\":0}]}}" \
+        '{"id":5,"method":"dump_selection"}' \
+        '{"id":6,"method":"stats"}' \
+        '{"id":7,"method":"shutdown"}' > "$servedir/resp-$t.jsonl" \
+        || { echo "pao call (threads $t) failed"; cat "$servedir/daemon-$t.log"; exit 1; }
+    wait "$daemon" \
+        || { echo "daemon (threads $t) exited non-zero"; cat "$servedir/daemon-$t.log"; exit 1; }
+    [[ "$(wc -l < "$servedir/resp-$t.jsonl")" == 7 ]] \
+        || { echo "expected 7 response lines (threads $t)"; exit 1; }
+    python3 - "$servedir/resp-$t.jsonl" "$servedir/ref-$t.txt" << 'PY'
+import json, sys
+resp = [json.loads(l) for l in open(sys.argv[1])]  # strict-parse every line
+ref = open(sys.argv[2]).read()
+assert resp[0]['result']['dump'] == ref, 'daemon dump != one-shot analyze'
+assert resp[1]['result']['selected'] is not None, 'pin has no access'
+assert len(resp[2]['result']) == 2, 'batch must answer both sub-requests'
+eco = resp[3]['result']
+assert eco['eco_seq'] == 1 and eco['cache_misses'] == 0, f'ECO off fast path: {eco}'
+assert resp[4]['result']['dump'] == ref, 'dump after no-op ECO diverged'
+assert resp[5]['result']['symbol']['interned'] > 0, 'symbol gauges missing'
+assert resp[6]['result']['ok'] is True, 'shutdown not acknowledged'
+PY
+done
+# Byte-identity across thread counts: the one-shot dumps and every
+# deterministic response line (stats — line 6 — reports measured phase
+# fractions, so it is the one line allowed to differ).
+cmp -s "$servedir/ref-1.txt" "$servedir/ref-4.txt" \
+    || { echo "one-shot dumps diverged between 1 and 4 threads"; exit 1; }
+diff <(sed -n '1,5p' "$servedir/resp-1.jsonl") \
+     <(sed -n '1,5p' "$servedir/resp-4.jsonl") \
+    || { echo "daemon responses diverged between 1 and 4 threads"; exit 1; }
+echo "serve smoke gate: OK"
+fi
+
 echo "== bench history =="
 # The bench history appended by scripts/bench_steps.sh must stay valid
 # JSON (a top-level array of run objects, or the legacy single object).
