@@ -11,7 +11,7 @@ pub struct Args {
 
 /// Options that take a value (everything else starting with `--` is a
 /// boolean flag).
-const VALUE_OPTS: [&str; 24] = [
+const VALUE_OPTS: [&str; 37] = [
     "--threads",
     "--k",
     "--report",
@@ -36,6 +36,19 @@ const VALUE_OPTS: [&str; 24] = [
     "--socket",
     "--tcp",
     "--request",
+    "--dir",
+    "--timeout-ms",
+    "--max-frame-bytes",
+    "--max-conns",
+    "--max-requests",
+    "--idle-ms",
+    "--max-inflight",
+    "--journal",
+    "--seed",
+    "--clients",
+    "--duration-ms",
+    "--count",
+    "--mode",
 ];
 
 impl Args {

@@ -31,6 +31,7 @@ use std::time::Duration;
 mod args;
 mod explain;
 mod serve;
+mod soak;
 use args::Args;
 
 /// Typed CLI failure. Each variant maps to a distinct exit code so
@@ -47,6 +48,8 @@ use args::Args;
 /// |      | `--degraded-ok` was not given                         |
 /// | 6    | run hit its `--deadline-ms` budget (partial result)   |
 /// |      | and `--deadline-ok` was not given                     |
+/// | 7    | client transport failure (`pao call`/`soak` could not |
+/// |      | reach or keep talking to the daemon)                  |
 #[derive(Debug)]
 enum CliError {
     /// The invocation is wrong: missing arguments, unknown case names,
@@ -63,6 +66,11 @@ enum CliError {
     /// items) and/or by a watchdog-detected worker stall — and the caller
     /// did not opt into partial results with `--deadline-ok`.
     DeadlinePartial { skipped: usize, stalls: usize },
+    /// A client-side transport failure (`pao call`/`soak`): connect
+    /// timeout, response-read timeout, connection closed mid-exchange.
+    /// Distinct from in-band JSON-RPC errors, which the server answered
+    /// and which therefore exit 0.
+    Transport(String),
 }
 
 impl CliError {
@@ -81,6 +89,7 @@ impl CliError {
             CliError::Internal(_) => 4,
             CliError::Degraded(_) => 5,
             CliError::DeadlinePartial { .. } => 6,
+            CliError::Transport(_) => 7,
         }
     }
 
@@ -89,6 +98,7 @@ impl CliError {
     fn report(&self) {
         match self {
             CliError::Usage(m) => eprintln!("error: {m}"),
+            CliError::Transport(m) => eprintln!("error: transport: {m}"),
             CliError::Internal(m) => eprintln!("error: internal: {m}"),
             CliError::Degraded(n) => eprintln!(
                 "error: run degraded: {n} work item(s) quarantined (see report; pass --degraded-ok to accept)"
@@ -906,6 +916,11 @@ fn cache_warning(out: &mut String, name: &str, hits: u64, lookups: u64) {
 }
 
 fn cmd_profile(args: &Args) -> Result<(), CliError> {
+    // `pao profile --socket|--tcp` queries a *live* daemon's stats
+    // instead of running a local workload.
+    if args.value("--socket").is_some() || args.value("--tcp").is_some() {
+        return serve::cmd_profile_serve(args);
+    }
     let (tech, design, workload) = load_workload(args)?;
     let threads = parse_threads(args)?;
     if let Some(spec) = args.value("--inject-fault") {
@@ -1229,8 +1244,16 @@ USAGE:
               [--heatmap FILE] [--threads N]
   pao serve   <tech.lef> <design.def> (--socket PATH | --tcp ADDR)
               [--threads N] [--deadline-ms MS] [--checkpoint DIR]
-              [--resume] [--no-ledger]
-  pao call    (--socket PATH | --tcp ADDR) [REQUEST …]
+              [--resume] [--no-ledger] [--journal FILE]
+              [--max-frame-bytes N] [--max-conns N] [--max-requests N]
+              [--idle-ms MS] [--max-inflight N]
+              [--inject-fault PHASE[:INDEX]]
+              [--inject-stall PHASE[:INDEX[:MS]]]
+  pao call    (--socket PATH | --tcp ADDR) [--timeout-ms MS] [REQUEST …]
+  pao soak    (--socket PATH | --tcp ADDR) --mode hostile|eco|emit
+              [--seed N] [--clients N] [--duration-ms MS] [--count N]
+              [--inst NAME] [--pin NAME] [--journal FILE]
+              [--timeout-ms MS]
 
   analyze runs all compute phases on every available core by default;
   --threads 1 reproduces the paper's single-threaded measurement mode
@@ -1296,7 +1319,8 @@ USAGE:
   degraded run. --inject-stall PHASE[:INDEX[:MS]] deterministically
   stalls one work item to exercise that path. Exit codes: 0 ok, 2 usage,
   3 bad input, 4 internal bug, 5 degraded without --degraded-ok,
-  6 deadline-partial without --deadline-ok.
+  6 deadline-partial without --deadline-ok, 7 client transport failure
+  (call/soak could not reach or keep talking to the daemon).
 
   Service mode: serve loads LEF/DEF once, analyzes, and answers
   line-delimited JSON-RPC over a Unix socket or TCP. Methods:
@@ -1309,7 +1333,32 @@ USAGE:
   through the incremental dirty-cluster path (--deadline-ms sets the
   default per-ECO budget; --checkpoint DIR [--resume] warm-starts the
   load). call is the matching client: each REQUEST argument (or stdin
-  line) is sent as one request, responses print one per line.
+  line) is sent as one request, responses print one per line; it
+  retries connecting with bounded exponential backoff (deterministic
+  jitter) until --timeout-ms (default 15000), which also bounds each
+  response read — transport failures exit 7, in-band JSON-RPC errors
+  print normally and exit 0.
+
+  Hardening: the daemon bounds frame size (--max-frame-bytes, default
+  1 MiB; oversized input is drained and rejected with error -32002
+  without closing the connection), concurrent connections (--max-conns,
+  default 64; excess is shed with -32001 + data.retry_after_ms),
+  requests per connection (--max-requests → -32003), connection idle
+  lifetime (--idle-ms, default 300000; 0 disables) and concurrently
+  dispatching requests (--max-inflight → -32001). Accepted eco_update
+  batches are fsynced to a write-ahead journal (--journal FILE, or
+  <checkpoint-dir>/eco.journal with --checkpoint) before analysis and
+  replayed on --resume, so a killed daemon restarts bit-identical to
+  one that never died. An ECO whose re-analysis degrades (deadline,
+  watchdog stall, injected or real fault) keeps the previous snapshot
+  serving and answers -32004 with the {quarantined,skipped,stalls}
+  breakdown. Counters for all of it live in the `serve` object of the
+  stats method; `pao profile --socket|--tcp` renders them from a live
+  daemon. soak is the chaos client (scripts/soak_serve.sh drives it):
+  --mode hostile floods concurrent valid/malformed/oversized/half-open
+  traffic, --mode eco streams random ECO batches (tolerates the daemon
+  dying mid-burst), --mode emit prints a journal's batches back as
+  eco_update request lines for serial replay through call.
 ";
 
 fn main() -> ExitCode {
@@ -1326,6 +1375,7 @@ fn main() -> ExitCode {
         Some("report") => explain::cmd_report(&args),
         Some("serve") => serve::cmd_serve(&args),
         Some("call") => serve::cmd_call(&args),
+        Some("soak") => soak::cmd_soak(&args),
         _ => {
             eprint!("{USAGE}");
             return ExitCode::from(2);

@@ -65,7 +65,7 @@ pub use error::{FaultRecord, PaoError, Phase};
 pub use oracle::{default_threads, PaoConfig, PaoResult, PinAccessOracle, UniqueInstanceAccess};
 pub use parallel::{ExecReport, ItemFault, PhaseBudget};
 pub use pattern::{AccessPattern, PatternConfig};
-pub use persist::CheckpointStore;
+pub use persist::{CheckpointStore, EcoJournal, JournalEntry};
 pub use service::{
     ClusterSelectionReply, EcoMove, EcoReply, EcoTarget, InstancePatternsReply, OracleService,
     PinAccessReply, RejectCount, ServiceError,

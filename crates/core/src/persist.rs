@@ -813,6 +813,450 @@ fn parse_pattern_checkpoint(text: &str) -> Result<HashMap<usize, PatternSnapshot
     Ok(out)
 }
 
+/// One recovered entry of the [`EcoJournal`]: a batch of moves that was
+/// accepted (durably recorded) by a previous daemon incarnation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Monotone journal sequence number (1-based).
+    pub seq: u64,
+    /// The recorded move batch, in request order.
+    pub moves: Vec<crate::service::EcoMove>,
+}
+
+/// Crash-safe write-ahead log for `eco_update` batches (the durability
+/// half of the `pao serve` hardening contract, format `PAO-JOURNAL v3`).
+///
+/// Unlike the checkpoint files — whole-file seal + atomic rename — the
+/// journal is *append-only*: each accepted ECO batch becomes one entry
+/// written and fsynced **before** its re-analysis runs, so a daemon
+/// killed at any instant can replay the journal on restart and land
+/// bit-identical to a twin that never died. Every entry carries its own
+/// FNV-1a checksum over its move lines:
+///
+/// ```text
+/// PAO-JOURNAL v3
+/// BEGIN seq=3 moves=2 fnv1a=00a1b2c3d4e5f607
+/// M A 1200 3400 u17
+/// M D -40 0 corner cell with spaces
+/// COMMIT 3
+/// REVOKE 3
+/// ```
+///
+/// `M A x y inst` is an absolute move, `M D dx dy inst` a relative one
+/// (the instance name is the final field and may contain spaces). A
+/// `COMMIT` whose sequence matches closes the entry; a kill mid-append
+/// leaves a torn tail that fails its checksum or lacks its `COMMIT` and
+/// is discarded on replay — together with everything after it, because
+/// entries only replay in order. `REVOKE seq` marks an entry that was
+/// recorded but then *not* applied (its re-analysis degraded and the old
+/// snapshot kept serving); replay skips revoked entries.
+#[derive(Debug)]
+pub struct EcoJournal {
+    path: PathBuf,
+    file: std::fs::File,
+    next_seq: u64,
+    entries: u64,
+}
+
+const JOURNAL_MAGIC: &str = "PAO-JOURNAL v3";
+
+/// Serializes one move as an `M` line (instance name last, so names with
+/// spaces survive the round trip).
+fn write_move(out: &mut String, m: &crate::service::EcoMove) {
+    use crate::service::EcoTarget;
+    match m.target {
+        EcoTarget::Abs(p) => {
+            let _ = writeln!(out, "M A {} {} {}", p.x, p.y, m.inst);
+        }
+        EcoTarget::Delta(d) => {
+            let _ = writeln!(out, "M D {} {} {}", d.x, d.y, m.inst);
+        }
+    }
+}
+
+/// Parses a line produced by [`write_move`].
+fn parse_move(line: &str) -> Option<crate::service::EcoMove> {
+    use crate::service::{EcoMove, EcoTarget};
+    let mut it = line.splitn(3, ' ');
+    if it.next() != Some("M") {
+        return None;
+    }
+    let kind = it.next()?;
+    let rest = it.next()?;
+    // `x y inst…`: split the two coordinates off the front, keep the rest
+    // verbatim as the instance name.
+    let mut it = rest.splitn(2, ' ');
+    let x: i64 = it.next()?.parse().ok()?;
+    let tail = it.next()?;
+    let mut it = tail.splitn(2, ' ');
+    let y: i64 = it.next()?.parse().ok()?;
+    let inst = it.next()?.to_owned();
+    let p = Point::new(x, y);
+    let target = match kind {
+        "A" => EcoTarget::Abs(p),
+        "D" => EcoTarget::Delta(p),
+        _ => return None,
+    };
+    Some(EcoMove { inst, target })
+}
+
+impl EcoJournal {
+    /// Starts a fresh journal at `path`, truncating whatever was there (a
+    /// non-resume daemon start must never replay stale entries — same
+    /// rule as [`CheckpointStore::create`]).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<EcoJournal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::File::create(&path)?;
+        {
+            use std::io::Write as _;
+            writeln!(file, "{JOURNAL_MAGIC}")?;
+            file.sync_all()?;
+        }
+        Ok(EcoJournal {
+            path,
+            file,
+            next_seq: 1,
+            entries: 0,
+        })
+    }
+
+    /// Reopens the journal at `path` and recovers its committed entries
+    /// in order: revoked entries are dropped, and the first torn or
+    /// corrupt record ends recovery (everything after it is discarded,
+    /// reported through the returned [`LoadCacheError`] — order matters,
+    /// so nothing past a bad record may replay). A missing file starts an
+    /// empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Only filesystem errors; data problems come back as the optional
+    /// [`LoadCacheError`] alongside the recovered prefix.
+    pub fn resume(
+        path: impl Into<PathBuf>,
+    ) -> std::io::Result<(EcoJournal, Vec<JournalEntry>, Option<LoadCacheError>)> {
+        let path = path.into();
+        if !path.exists() {
+            let journal = EcoJournal::create(&path)?;
+            return Ok((journal, Vec::new(), None));
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let (entries, truncated, warning) = parse_journal(&text);
+        if truncated {
+            // Drop the torn tail on disk too, so the next append extends a
+            // well-formed file instead of burying garbage mid-journal.
+            let mut body = format!("{JOURNAL_MAGIC}\n");
+            for e in &entries {
+                let mut moves = String::new();
+                for m in &e.moves {
+                    write_move(&mut moves, m);
+                }
+                body.push_str(&entry_text(e.seq, e.moves.len(), &moves));
+            }
+            std::fs::write(&path, &body)?;
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        let next_seq = entries.iter().map(|e| e.seq).max().unwrap_or(0) + 1;
+        let journal = EcoJournal {
+            path,
+            file,
+            next_seq,
+            entries: entries.len() as u64,
+        };
+        Ok((journal, entries, warning))
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Committed (non-revoked at last count) entries written or recovered
+    /// through this handle.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Durably records one accepted move batch *before* its analysis runs
+    /// and returns the entry's sequence number. The entry is fsynced: when
+    /// this returns `Ok`, a kill at any later instant leaves the batch
+    /// replayable.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error — the caller must then reject the
+    /// ECO (no durability, no apply).
+    pub fn append(&mut self, moves: &[crate::service::EcoMove]) -> std::io::Result<u64> {
+        use std::io::Write as _;
+        let seq = self.next_seq;
+        let mut body = String::new();
+        for m in moves {
+            write_move(&mut body, m);
+        }
+        let text = entry_text(seq, moves.len(), &body);
+        self.file.write_all(text.as_bytes())?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        self.entries += 1;
+        Ok(seq)
+    }
+
+    /// Marks entry `seq` as not-applied (its re-analysis degraded; the
+    /// previous snapshot kept serving). Replay skips revoked entries.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn revoke(&mut self, seq: u64) -> std::io::Result<()> {
+        use std::io::Write as _;
+        writeln!(self.file, "REVOKE {seq}")?;
+        self.file.sync_data()?;
+        self.entries = self.entries.saturating_sub(1);
+        Ok(())
+    }
+}
+
+/// One serialized journal entry (header + move lines + commit).
+fn entry_text(seq: u64, moves: usize, body: &str) -> String {
+    format!(
+        "BEGIN seq={seq} moves={moves} fnv1a={:016x}\n{body}COMMIT {seq}\n",
+        fnv1a(body.as_bytes())
+    )
+}
+
+/// Recovers `(entries, tail_truncated, warning)` from journal text.
+/// Entries after the first malformed record are discarded.
+fn parse_journal(text: &str) -> (Vec<JournalEntry>, bool, Option<LoadCacheError>) {
+    let mut entries: Vec<JournalEntry> = Vec::new();
+    let bad = |line: usize, message: String| {
+        (
+            true,
+            Some(LoadCacheError {
+                message: format!("journal tail discarded: {message}"),
+                line,
+            }),
+        )
+    };
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        let (t, w) = bad(1, "empty journal".to_owned());
+        return (entries, t, w);
+    };
+    if header.trim() != JOURNAL_MAGIC {
+        let (t, w) = bad(1, format!("expected `{JOURNAL_MAGIC}` header"));
+        return (entries, t, w);
+    }
+    while let Some((n, line)) = lines.next() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(seq_str) = line.strip_prefix("REVOKE ") {
+            match seq_str.trim().parse::<u64>() {
+                Ok(seq) => entries.retain(|e| e.seq != seq),
+                Err(_) => {
+                    let (t, w) = bad(n + 1, "bad REVOKE sequence".to_owned());
+                    return (entries, t, w);
+                }
+            }
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("BEGIN ") else {
+            let (t, w) = bad(n + 1, format!("unexpected line `{line}`"));
+            return (entries, t, w);
+        };
+        let mut seq = None;
+        let mut count = None;
+        let mut sum = None;
+        for tok in rest.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("seq=") {
+                seq = v.parse::<u64>().ok();
+            } else if let Some(v) = tok.strip_prefix("moves=") {
+                count = v.parse::<usize>().ok();
+            } else if let Some(v) = tok.strip_prefix("fnv1a=") {
+                sum = u64::from_str_radix(v, 16).ok();
+            }
+        }
+        let (Some(seq), Some(count), Some(sum)) = (seq, count, sum) else {
+            let (t, w) = bad(n + 1, "bad BEGIN header".to_owned());
+            return (entries, t, w);
+        };
+        let mut body = String::new();
+        let mut moves = Vec::with_capacity(count);
+        for _ in 0..count {
+            let Some((mn, mline)) = lines.next() else {
+                let (t, w) = bad(n + 1, "entry truncated mid-moves".to_owned());
+                return (entries, t, w);
+            };
+            let Some(m) = parse_move(mline.trim_end()) else {
+                let (t, w) = bad(mn + 1, format!("bad move line `{mline}`"));
+                return (entries, t, w);
+            };
+            body.push_str(mline.trim_end());
+            body.push('\n');
+            moves.push(m);
+        }
+        if fnv1a(body.as_bytes()) != sum {
+            let (t, w) = bad(n + 1, format!("entry seq={seq} failed its checksum"));
+            return (entries, t, w);
+        }
+        match lines.next() {
+            Some((_, cline)) if cline.trim_end() == format!("COMMIT {seq}") => {}
+            _ => {
+                let (t, w) = bad(n + 1, format!("entry seq={seq} missing COMMIT"));
+                return (entries, t, w);
+            }
+        }
+        entries.push(JournalEntry { seq, moves });
+    }
+    (entries, false, None)
+}
+
+#[cfg(test)]
+mod journal_tests {
+    use super::*;
+    use crate::service::{EcoMove, EcoTarget};
+
+    fn mv(inst: &str, target: EcoTarget) -> EcoMove {
+        EcoMove {
+            inst: inst.to_owned(),
+            target,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pao_journal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("eco.journal")
+    }
+
+    #[test]
+    fn append_resume_roundtrip_preserves_order_and_revokes() {
+        let path = tmp("roundtrip");
+        let mut j = EcoJournal::create(&path).unwrap();
+        let b1 = vec![mv("u1", EcoTarget::Abs(Point::new(100, 200)))];
+        let b2 = vec![
+            mv("u2", EcoTarget::Delta(Point::new(-40, 0))),
+            mv("cell with spaces", EcoTarget::Abs(Point::new(0, -7))),
+        ];
+        let b3 = vec![mv("u3", EcoTarget::Delta(Point::new(5, 5)))];
+        assert_eq!(j.append(&b1).unwrap(), 1);
+        assert_eq!(j.append(&b2).unwrap(), 2);
+        assert_eq!(j.append(&b3).unwrap(), 3);
+        j.revoke(2).unwrap();
+        assert_eq!(j.entries(), 2);
+        drop(j);
+
+        let (j2, entries, warn) = EcoJournal::resume(&path).unwrap();
+        assert!(warn.is_none(), "{warn:?}");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], JournalEntry { seq: 1, moves: b1 });
+        assert_eq!(entries[1], JournalEntry { seq: 3, moves: b3 });
+        assert_eq!(j2.entries(), 2);
+        // New appends continue the sequence past the recovered maximum.
+        let mut j2 = j2;
+        assert_eq!(j2.append(&b2).unwrap(), 4);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let path = tmp("torn");
+        let mut j = EcoJournal::create(&path).unwrap();
+        let b1 = vec![mv("u1", EcoTarget::Abs(Point::new(1, 2)))];
+        let b2 = vec![mv("u2", EcoTarget::Abs(Point::new(3, 4)))];
+        j.append(&b1).unwrap();
+        j.append(&b2).unwrap();
+        drop(j);
+        // Simulate a kill mid-append: chop bytes off the tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        let (_, entries, warn) = EcoJournal::resume(&path).unwrap();
+        assert_eq!(entries.len(), 1, "torn entry must not replay");
+        assert_eq!(entries[0].moves, b1);
+        assert!(warn.is_some(), "torn tail must be reported");
+        // Resume rewrote a clean file: a second resume sees no warning.
+        let (_, entries2, warn2) = EcoJournal::resume(&path).unwrap();
+        assert_eq!(entries2, entries);
+        assert!(warn2.is_none(), "{warn2:?}");
+    }
+
+    #[test]
+    fn corrupt_entry_ends_recovery_before_later_entries() {
+        let path = tmp("corrupt");
+        let mut j = EcoJournal::create(&path).unwrap();
+        j.append(&[mv("u1", EcoTarget::Abs(Point::new(1, 2)))])
+            .unwrap();
+        j.append(&[mv("u2", EcoTarget::Abs(Point::new(3, 4)))])
+            .unwrap();
+        j.append(&[mv("u3", EcoTarget::Abs(Point::new(5, 6)))])
+            .unwrap();
+        drop(j);
+        // Flip a byte inside entry 2's move line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let pos = text.find("M A 3 4 u2").unwrap();
+        text.replace_range(pos..pos + 10, "M A 3 9 u2");
+        std::fs::write(&path, &text).unwrap();
+        let (_, entries, warn) = EcoJournal::resume(&path).unwrap();
+        // Entry 2 fails its checksum; entry 3 must NOT replay without it.
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].seq, 1);
+        assert!(warn.is_some());
+    }
+
+    #[test]
+    fn missing_file_resumes_empty() {
+        let path = tmp("missing");
+        let (j, entries, warn) = EcoJournal::resume(&path).unwrap();
+        assert!(entries.is_empty());
+        assert!(warn.is_none());
+        assert_eq!(j.entries(), 0);
+        assert!(path.exists(), "resume must create the journal file");
+    }
+
+    #[test]
+    fn random_byte_smashes_never_panic_or_misparse() {
+        let path = tmp("fuzz");
+        let mut j = EcoJournal::create(&path).unwrap();
+        for i in 0..4 {
+            j.append(&[mv(&format!("u{i}"), EcoTarget::Abs(Point::new(i, -i)))])
+                .unwrap();
+        }
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        pao_ptest::check("journal.byte_mutation", 200, |rng| {
+            let mut bytes = text.clone().into_bytes();
+            if rng.gen_bool(0.3) {
+                bytes.truncate(rng.gen_range(0..bytes.len()));
+            } else {
+                for _ in 0..rng.gen_range(1..=3usize) {
+                    let i = rng.gen_range(0..bytes.len());
+                    bytes[i] = rng.gen_range(0..=255u64) as u8;
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            let (entries, _, _) = parse_journal(&mutated);
+            // Recovered entries must be a prefix of the originals: a
+            // mutation may shorten the journal, never change a move.
+            let (reference, _, _) = parse_journal(&text);
+            assert!(entries.len() <= reference.len());
+            for (got, want) in entries.iter().zip(&reference) {
+                assert_eq!(got, want, "mutation changed a recovered entry");
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,7 @@
 use crate::budget::{PhaseFractions, RunBudget, SharedFractions, Watchdog};
 use crate::incremental::AnalysisCache;
 use crate::oracle::{PaoConfig, PaoResult, PinAccessOracle};
+use crate::persist::{EcoJournal, JournalEntry};
 use pao_design::{CompId, Design};
 use pao_geom::Point;
 use pao_tech::Tech;
@@ -47,6 +48,22 @@ pub enum ServiceError {
     },
     /// The instance was not analyzed (unplaced or unknown master).
     NotAnalyzed(String),
+    /// An `eco_update` re-analysis degraded — it blew its deadline,
+    /// tripped the watchdog, or quarantined faulted work — so the update
+    /// was **not** applied: the previous snapshot keeps serving and the
+    /// signature cache was restored. The journaled entry is revoked.
+    EcoDegraded {
+        /// Work items quarantined by faults during the re-analysis.
+        quarantined: usize,
+        /// Work items skipped by the expired deadline budget.
+        skipped: usize,
+        /// Watchdog stalls that fired.
+        stalls: usize,
+    },
+    /// The ECO journal could not durably record the update, so the
+    /// update was rejected before any analysis ran (no durability, no
+    /// apply).
+    Journal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -62,6 +79,18 @@ impl fmt::Display for ServiceError {
             ServiceError::NotAnalyzed(inst) => {
                 write!(f, "instance `{inst}` was not analyzed")
             }
+            ServiceError::EcoDegraded {
+                quarantined,
+                skipped,
+                stalls,
+            } => {
+                write!(
+                    f,
+                    "eco re-analysis degraded (quarantined {quarantined}, skipped {skipped}, \
+                     stalls {stalls}); previous snapshot kept"
+                )
+            }
+            ServiceError::Journal(msg) => write!(f, "eco journal: {msg}"),
         }
     }
 }
@@ -184,6 +213,8 @@ pub struct OracleService {
     collect_rejects: bool,
     rejects: RejectMap,
     eco_updates: u64,
+    journal: Option<EcoJournal>,
+    degraded_ecos: u64,
 }
 
 /// Presentation label for a ledger reject attribution (mirrors
@@ -302,7 +333,60 @@ impl OracleService {
             collect_rejects,
             rejects,
             eco_updates: 0,
+            journal: None,
+            degraded_ecos: 0,
         }
+    }
+
+    /// Attaches a write-ahead [`EcoJournal`]: every subsequently accepted
+    /// `eco_update` batch is durably recorded *before* its re-analysis
+    /// runs, so a killed process can [`replay`](OracleService::replay)
+    /// on restart and land bit-identical to a never-killed twin.
+    pub fn attach_journal(&mut self, journal: EcoJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&EcoJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Re-applies recovered journal entries in order through the normal
+    /// ECO path — without deadline, watchdog or re-journaling, because
+    /// every entry was already accepted and durably recorded by a prior
+    /// incarnation. Deterministic analysis makes the resulting snapshot
+    /// bit-identical to one that applied the same batches live. Returns
+    /// the number of entries replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when an entry no longer validates (e.g. the
+    /// journal belongs to a different design); replay stops there.
+    pub fn replay(&mut self, entries: &[JournalEntry]) -> Result<u64, ServiceError> {
+        let journal = self.journal.take();
+        let mut applied = 0;
+        let mut first_err = None;
+        for e in entries {
+            match self.eco_update(&e.moves, None, None) {
+                Ok(_) => applied += 1,
+                Err(err) => {
+                    first_err = Some(err);
+                    break;
+                }
+            }
+        }
+        self.journal = journal;
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(applied),
+        }
+    }
+
+    /// ECO updates that degraded (rejected, snapshot kept) since load.
+    #[must_use]
+    pub fn degraded_ecos(&self) -> u64 {
+        self.degraded_ecos
     }
 
     /// The loaded technology.
@@ -464,6 +548,13 @@ impl OracleService {
     ///
     /// [`ServiceError::UnknownInstance`] when any move names a missing
     /// instance — the update is rejected whole, nothing moves.
+    /// [`ServiceError::Journal`] when the attached journal cannot
+    /// durably record the batch (again rejected whole, before analysis).
+    /// [`ServiceError::EcoDegraded`] when the re-analysis blows its
+    /// deadline, trips the watchdog, or quarantines faulted work — the
+    /// previous snapshot keeps serving, the signature cache is restored
+    /// (a degraded full run would otherwise pollute it with partial
+    /// entries), and the journaled record is revoked.
     pub fn eco_update(
         &mut self,
         moves: &[EcoMove],
@@ -475,6 +566,15 @@ impl OracleService {
         for m in moves {
             resolved.push(self.resolve(&m.inst)?);
         }
+        // Durably record the accepted batch before analysis: a kill at
+        // any later instant leaves it replayable on restart.
+        let journal_seq = match self.journal.as_mut() {
+            Some(j) => Some(
+                j.append(moves)
+                    .map_err(|e| ServiceError::Journal(e.to_string()))?,
+            ),
+            None => None,
+        };
         let mut design = (*self.design).clone();
         for (m, comp) in moves.iter().zip(&resolved) {
             let loc = &mut design.component_mut(*comp).location;
@@ -484,6 +584,9 @@ impl OracleService {
             }
         }
         let (h0, m0) = self.cache.stats();
+        // A degraded full re-analysis would insert partial entries into
+        // the resident cache; keep a pre-analysis copy to restore.
+        let cache_before = self.cache.clone();
         let budget = RunBudget {
             deadline,
             fractions: self.fractions.snapshot(),
@@ -501,9 +604,28 @@ impl OracleService {
         );
         let (h1, m1) = self.cache.stats();
         let full_reanalysis = m1 > m0;
-        if self.collect_rejects {
+        let dump = if self.collect_rejects {
             pao_obs::disable_ledger();
-            let dump = pao_obs::take_ledger();
+            Some(pao_obs::take_ledger())
+        } else {
+            None
+        };
+        let degraded = result.stats.deadline.is_partial() || !result.stats.quarantined.is_empty();
+        if degraded {
+            // Graceful degradation: the old snapshot keeps serving.
+            self.cache = cache_before;
+            self.degraded_ecos += 1;
+            if let (Some(j), Some(seq)) = (self.journal.as_mut(), journal_seq) {
+                j.revoke(seq)
+                    .map_err(|e| ServiceError::Journal(e.to_string()))?;
+            }
+            return Err(ServiceError::EcoDegraded {
+                quarantined: result.stats.quarantined.len(),
+                skipped: result.stats.deadline.skipped_items(),
+                stalls: result.stats.deadline.stalls.len(),
+            });
+        }
+        if let Some(dump) = dump {
             if full_reanalysis {
                 // Apgen re-ran: the drained records re-attribute every pin.
                 self.rejects = build_rejects(&dump);

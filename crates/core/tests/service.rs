@@ -189,3 +189,113 @@ fn eco_update_rejects_unknown_instance_atomically() {
         "rejected ECO must not move anything"
     );
 }
+
+/// An ECO whose re-analysis blows its deadline degrades gracefully: the
+/// previous snapshot keeps serving, the signature cache is restored, and
+/// a later unconstrained ECO still lands bit-identically.
+#[test]
+fn degraded_eco_keeps_previous_snapshot_and_cache() {
+    let mut svc = start_service();
+    let before = svc.selection_dump();
+    let cache_before = svc.cache_stats();
+    let known = svc.design().components()[0].name.to_string();
+    let moves = [EcoMove {
+        inst: known.clone(),
+        target: EcoTarget::Delta(pao_geom::Point { x: 40, y: 0 }),
+    }];
+
+    // A zero deadline deterministically skips every phase's work.
+    let err = svc
+        .eco_update(&moves, Some(std::time::Duration::ZERO), None)
+        .expect_err("zero-deadline ECO must degrade");
+    match err {
+        ServiceError::EcoDegraded {
+            quarantined,
+            skipped,
+            stalls,
+        } => {
+            assert!(skipped > 0, "zero deadline must skip work");
+            assert_eq!(quarantined, 0);
+            assert_eq!(stalls, 0);
+        }
+        other => panic!("expected EcoDegraded, got {other:?}"),
+    }
+    assert_eq!(svc.eco_updates(), 0, "degraded ECO must not count");
+    assert_eq!(svc.degraded_ecos(), 1);
+    assert_eq!(
+        svc.selection_dump(),
+        before,
+        "degraded ECO must keep the previous snapshot serving"
+    );
+    assert_eq!(
+        svc.cache_stats(),
+        cache_before,
+        "degraded ECO must restore the signature cache"
+    );
+
+    // The service stays healthy: the same move applies cleanly without a
+    // deadline and matches a cold analysis of the moved placement.
+    let reply = svc.eco_update(&moves, None, None).expect("eco applies");
+    assert_eq!(reply.eco_seq, 1);
+    let (tech, mut moved) = generate(&SuiteCase::small_smoke());
+    moved.component_mut(CompId(0)).location += pao_geom::Point { x: 40, y: 0 };
+    let cold = PinAccessOracle::new().analyze(&tech, &moved);
+    assert_eq!(svc.selection_dump(), selection_dump(&moved, &cold));
+}
+
+/// Journaled ECOs replay to a bit-identical snapshot: a service that
+/// records batches, "dies", and is rebuilt from the original design plus
+/// the recovered journal must match the uninterrupted twin byte-for-byte.
+#[test]
+fn journal_replay_matches_uninterrupted_twin() {
+    let dir = std::env::temp_dir().join(format!("pao_svc_journal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("eco.journal");
+
+    let mut svc = start_service();
+    svc.attach_journal(pao_core::EcoJournal::create(&path).expect("journal create"));
+    let names: Vec<String> = svc
+        .design()
+        .components()
+        .iter()
+        .map(|c| c.name.to_string())
+        .collect();
+    let batches: Vec<Vec<EcoMove>> = vec![
+        vec![EcoMove {
+            inst: names[0].clone(),
+            target: EcoTarget::Delta(pao_geom::Point { x: 40, y: 0 }),
+        }],
+        vec![
+            EcoMove {
+                inst: names[1].clone(),
+                target: EcoTarget::Delta(pao_geom::Point { x: 0, y: -40 }),
+            },
+            EcoMove {
+                inst: names[0].clone(),
+                target: EcoTarget::Delta(pao_geom::Point { x: -40, y: 0 }),
+            },
+        ],
+    ];
+    for b in &batches {
+        svc.eco_update(b, None, None)
+            .expect("journaled eco applies");
+    }
+    let twin_dump = svc.selection_dump();
+    drop(svc); // "kill" the first incarnation
+
+    // Restart: fresh load of the original design, then journal replay.
+    let (journal, entries, warn) = pao_core::EcoJournal::resume(&path).expect("journal resume");
+    assert!(warn.is_none(), "{warn:?}");
+    assert_eq!(entries.len(), batches.len());
+    let mut restarted = start_service();
+    let replayed = restarted.replay(&entries).expect("replay applies");
+    assert_eq!(replayed, batches.len() as u64);
+    restarted.attach_journal(journal);
+    assert_eq!(
+        restarted.selection_dump(),
+        twin_dump,
+        "replayed snapshot diverged from the uninterrupted twin"
+    );
+    assert_eq!(restarted.eco_updates(), batches.len() as u64);
+}

@@ -44,6 +44,7 @@ pub mod json;
 pub mod ledger;
 pub mod metrics;
 pub mod procstat;
+pub mod ratelimit;
 pub mod trace;
 
 pub use procstat::{peak_rss_bytes, peak_rss_mb, thread_cpu_ns};
@@ -127,6 +128,7 @@ pub fn flush_thread() {
 
 pub use ledger::{take as take_ledger, LedgerDump, LedgerEvent, LedgerPhase, LedgerRecord};
 pub use metrics::{counter_add, gauge_max, hist_record, snapshot, Hist, MetricsSnapshot};
+pub use ratelimit::warn_limited;
 pub use trace::{record_span_at, span, take_trace, Span, SpanEvent, TraceDump};
 
 #[cfg(test)]

@@ -1,0 +1,95 @@
+//! Rate-limited stderr warnings.
+//!
+//! A daemon under hostile or degraded load can hit the same warning
+//! thousands of times per second (shed requests, oversized frames,
+//! degraded ECOs). Emitting every occurrence floods stderr and slows the
+//! very path that is already struggling; emitting none hides the problem.
+//! [`warn_limited`] emits at most one message per key per interval and
+//! folds the rest into a suppressed count reported with the next emit.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct KeyState {
+    last_emit: Instant,
+    suppressed: u64,
+}
+
+static STATE: Mutex<Option<HashMap<&'static str, KeyState>>> = Mutex::new(None);
+
+/// Emits `warning: <msg>` to stderr at most once per `interval` for each
+/// `key`. Calls inside the interval are counted, not printed; the next
+/// emitted line appends `(N similar suppressed)`. Returns `true` when the
+/// message was actually emitted (testable without capturing stderr).
+///
+/// The message is built lazily so suppressed calls pay no formatting
+/// cost — pass a closure, not a formatted string.
+pub fn warn_limited(key: &'static str, interval: Duration, msg: impl FnOnce() -> String) -> bool {
+    let mut guard = match STATE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let map = guard.get_or_insert_with(HashMap::new);
+    let now = Instant::now();
+    match map.get_mut(key) {
+        Some(state) if now.duration_since(state.last_emit) < interval => {
+            state.suppressed += 1;
+            false
+        }
+        Some(state) => {
+            let suppressed = std::mem::take(&mut state.suppressed);
+            state.last_emit = now;
+            if suppressed > 0 {
+                eprintln!("warning: {} ({suppressed} similar suppressed)", msg());
+            } else {
+                eprintln!("warning: {}", msg());
+            }
+            true
+        }
+        None => {
+            map.insert(
+                key,
+                KeyState {
+                    last_emit: now,
+                    suppressed: 0,
+                },
+            );
+            eprintln!("warning: {}", msg());
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_emits_then_suppresses_then_reopens() {
+        let interval = Duration::from_millis(80);
+        assert!(warn_limited("test.ratelimit.a", interval, || "one".into()));
+        assert!(!warn_limited("test.ratelimit.a", interval, || "two".into()));
+        assert!(!warn_limited("test.ratelimit.a", interval, || "three".into()));
+        std::thread::sleep(interval + Duration::from_millis(20));
+        assert!(warn_limited("test.ratelimit.a", interval, || "four".into()));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let interval = Duration::from_secs(3600);
+        assert!(warn_limited("test.ratelimit.b", interval, || "b".into()));
+        assert!(warn_limited("test.ratelimit.c", interval, || "c".into()));
+        assert!(!warn_limited("test.ratelimit.b", interval, || "b".into()));
+    }
+
+    #[test]
+    fn suppressed_calls_skip_formatting() {
+        let interval = Duration::from_secs(3600);
+        assert!(warn_limited("test.ratelimit.d", interval, || "d".into()));
+        // The closure must not run for a suppressed call.
+        let _ = warn_limited("test.ratelimit.d", interval, || {
+            panic!("formatted a suppressed warning")
+        });
+    }
+}

@@ -35,8 +35,10 @@ def main() -> int:
         return 0
 
     # Only step-bench entries carry parallel.total_s; size_sweep entries
-    # (and any future schema) are matrices with their own shape — skip
-    # them rather than crash, comparing the newest *step-bench* run.
+    # (per-size matrices), soak_serve entries (hostile-traffic soak
+    # summaries, no timing baseline) and any future schema have their own
+    # shape — skip them rather than crash, comparing the newest
+    # *step-bench* run.
     steps = [h for h in hist if isinstance(h.get("parallel"), dict)]
     if not steps:
         print(f"{path} holds no step-bench runs; nothing to check")

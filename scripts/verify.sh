@@ -218,6 +218,16 @@ diff <(sed -n '1,5p' "$servedir/resp-1.jsonl") \
 echo "serve smoke gate: OK"
 fi
 
+echo "== serve soak gate =="
+# Hardening contract (DESIGN.md §17): hostile traffic, kill -9 +
+# journal replay, fault/stall degrade arms — short halves here; CI and
+# scripts/soak_serve.sh default to longer ones.
+if command -v python3 > /dev/null; then
+    SOAK_SECS="${SOAK_SECS:-3}" scripts/soak_serve.sh
+else
+    echo "serve soak gate: skipped (no python3)"
+fi
+
 echo "== bench history =="
 # The bench history appended by scripts/bench_steps.sh must stay valid
 # JSON (a top-level array of run objects, or the legacy single object).
@@ -227,13 +237,16 @@ if [[ -f BENCH_pao.json ]]; then
 import json, sys
 h = json.load(open('BENCH_pao.json'))
 runs = h if isinstance(h, list) else [h]
-# Two entry shapes share the history: step-bench runs (speedup +
-# parallel phases) and size_sweep runs (per-size matrix).
+# Three entry shapes share the history: step-bench runs (speedup +
+# parallel phases), size_sweep runs (per-size matrix) and soak_serve
+# runs (hostile-traffic soak summaries from scripts/soak_serve.sh).
 assert runs, 'empty bench history'
 for r in runs:
     assert 'workload' in r, 'entry missing workload'
     if r['workload'] == 'size_sweep':
         assert r.get('sizes'), 'size_sweep entry missing sizes'
+    elif r['workload'] == 'soak_serve':
+        assert r.get('soak'), 'soak_serve entry missing soak summary'
     else:
         assert 'speedup' in r, 'bench entry missing speedup'
 print(f'BENCH_pao.json: {len(runs)} run(s), ok')
